@@ -1,0 +1,25 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+formatted output is printed (visible with ``pytest -s``) and also
+written to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can be
+assembled from the artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def report(name: str, text: str) -> None:
+    """Print and persist one experiment's rendered table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")
+
+
+def run_once(benchmark, fn):
+    """Run a heavy experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

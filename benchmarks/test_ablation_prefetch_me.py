@@ -1,0 +1,50 @@
+"""Ablations: prefetch stride sweep and collapsed-load motion estimation."""
+
+from conftest import report, run_once
+
+from repro.eval.ablations import collapsed_load_ablation, prefetch_stride_sweep
+from repro.eval.reporting import format_table
+
+
+def test_ablation_prefetch_stride(benchmark):
+    """Stride sweep around Figure 3's width x block-height value."""
+    points = run_once(benchmark, prefetch_stride_sweep)
+    width = 256
+    rows = [[point.stride, point.cycles, point.dcache_stalls]
+            for point in points]
+    text = format_table(
+        "Ablation: PF0_STRIDE sweep, 4x4 block scan over a "
+        f"{width}-wide image",
+        ["stride", "cycles", "dcache stalls"], rows)
+    report("ablation_prefetch_stride", text)
+
+    by_stride = {point.stride: point for point in points}
+    baseline = by_stride[0]
+    figure3 = by_stride[width * 4]
+    # The paper's stride (width x 4) removes most stalls.
+    assert figure3.dcache_stalls < baseline.dcache_stalls / 3
+    # It beats the naive next-sequential-line stride of 128 bytes:
+    # that one prefetches within the current row only.
+    assert figure3.dcache_stalls <= by_stride[128].dcache_stalls
+    # And it is the best (or tied-best) stride in the sweep.
+    best = min(points, key=lambda point: point.dcache_stalls)
+    assert figure3.dcache_stalls <= best.dcache_stalls * 1.2
+
+
+def test_ablation_collapsed_load_me(benchmark):
+    """LD_FRAC8 vs explicit interpolation ([12]: gain > 2x)."""
+    comparison = run_once(benchmark, collapsed_load_ablation)
+    plain, ld8 = comparison.stats_a, comparison.stats_b
+    rows = [
+        ["VLIW instructions", plain.instructions, ld8.instructions],
+        ["cycles", plain.cycles, ld8.cycles],
+        ["ops executed", plain.ops_executed, ld8.ops_executed],
+    ]
+    text = format_table(
+        "Ablation: fractional-position motion estimation (TM3270)",
+        ["metric", "explicit interpolation", "ld_frac8"], rows)
+    text += f"\nld_frac8 speedup: {comparison.speedup:.2f}x (paper: >2x)"
+    report("ablation_me_frac", text)
+    assert comparison.speedup > 2.0
+    # The collapsed load removes the interpolation arithmetic.
+    assert ld8.ops_executed < plain.ops_executed / 2

@@ -1,0 +1,124 @@
+"""Ablations: the Section 6 companion studies [13] and [14] —
+MPEG2 texture pipeline (SUPER_DUALIMIX) and temporal up-conversion
+(LD_FRAC8 + region prefetch)."""
+
+import random
+
+from conftest import report, run_once
+
+from repro.asm.link import compile_program
+from repro.core.config import TM3270_CONFIG
+from repro.core.processor import run_kernel
+from repro.eval.reporting import format_table
+from repro.kernels import texture, upconv
+from repro.kernels.common import DATA_BASE, args_for
+from repro.mem.flatmem import FlatMemory
+from repro.workloads.video import synthetic_frame
+
+NBLOCKS = 16
+
+
+def _run_texture(build):
+    rng = random.Random(41)
+    src = [rng.randrange(-256, 256) for _ in range(NBLOCKS * 64)]
+    coeff_w = [rng.randrange(-64, 64) for _ in range(8)]
+    coeff_v = [rng.randrange(-64, 64) for _ in range(8)]
+    addresses = (DATA_BASE, DATA_BASE + 0x4000, DATA_BASE + 0x8000,
+                 DATA_BASE + 0x8100)
+    memory = FlatMemory(1 << 17)
+    for index, value in enumerate(src):
+        memory.store(addresses[0] + 2 * index, value & 0xFFFF, 2)
+    for index, value in enumerate(coeff_w):
+        memory.store(addresses[3] + 2 * index, value & 0xFFFF, 2)
+    for index, value in enumerate(coeff_v):
+        memory.store(addresses[3] + 16 + 2 * index, value & 0xFFFF, 2)
+    linked = compile_program(build(), TM3270_CONFIG.target)
+    result = run_kernel(linked, TM3270_CONFIG,
+                        args=args_for(*addresses, NBLOCKS),
+                        memory=memory)
+    expected = texture.reference_texture(
+        src, [], coeff_w, coeff_v, NBLOCKS)
+    for index, value in enumerate(expected):
+        got = memory.load(addresses[1] + 2 * index, 2)
+        got -= (1 << 16) if got & 0x8000 else 0
+        assert got == value, index
+    return result.stats
+
+
+def test_ablation_texture_pipeline(benchmark):
+    """[13]: SUPER_DUALIMIX on the 8x8 texture pipeline."""
+    def run_both():
+        return (_run_texture(texture.build_texture_plain),
+                _run_texture(texture.build_texture_super))
+
+    plain, fast = run_once(benchmark, run_both)
+    rows = [
+        ["VLIW instructions", plain.instructions, fast.instructions],
+        ["operations executed", plain.ops_executed, fast.ops_executed],
+        ["cycles", plain.cycles, fast.cycles],
+    ]
+    text = format_table(
+        "Ablation [13]: MPEG2 8x8 texture pipeline (TM3270)",
+        ["metric", "pack+ifir16", "super_dualimix"], rows)
+    text += (f"\nspeedup {plain.cycles / fast.cycles:.2f}x, operations "
+             f"{plain.ops_executed / fast.ops_executed:.2f}x fewer "
+             "(paper [13]: 50% application gain; see EXPERIMENTS.md)")
+    report("ablation_texture", text)
+    assert plain.cycles / fast.cycles > 1.05
+    assert fast.ops_executed < plain.ops_executed * 0.8
+
+
+WIDTH, HEIGHT, MARGIN = 256, 48, 64
+PREV = DATA_BASE + MARGIN
+NEXT = PREV + WIDTH * HEIGHT + 2 * MARGIN
+OUT = NEXT + WIDTH * HEIGHT + 2 * MARGIN
+
+
+def _run_upconv(use_frac, prefetch):
+    prev_pad = synthetic_frame(WIDTH * HEIGHT + 2 * MARGIN, 1, seed=91)
+    next_pad = synthetic_frame(WIDTH * HEIGHT + 2 * MARGIN, 1, seed=92)
+    memory = FlatMemory(1 << 18)
+    memory.write_block(PREV - MARGIN, prev_pad)
+    memory.write_block(NEXT - MARGIN, next_pad)
+    motion = upconv.trajectory(2, 8)
+    program = upconv.build_upconv(
+        use_frac_loads=use_frac, setup_prefetch=prefetch,
+        image_base=PREV - MARGIN,
+        image_bytes=WIDTH * HEIGHT + 2 * MARGIN, width_hint=WIDTH)
+    linked = compile_program(program, TM3270_CONFIG.target)
+    result = run_kernel(
+        linked, TM3270_CONFIG,
+        args=args_for(PREV, NEXT, OUT, WIDTH, HEIGHT, motion),
+        memory=memory)
+    expected = upconv.reference_upconv(
+        prev_pad, next_pad, MARGIN, WIDTH, HEIGHT, motion,
+        half_pel_blend=not use_frac)
+    assert memory.read_block(OUT, WIDTH * HEIGHT) == expected
+    return result.stats
+
+
+def test_ablation_upconversion(benchmark):
+    """[14]: LD_FRAC8 + prefetching on temporal up-conversion."""
+    def run_all():
+        return (_run_upconv(False, False), _run_upconv(True, False),
+                _run_upconv(True, True))
+
+    plain, frac, frac_pf = run_once(benchmark, run_all)
+    rows = [
+        ["cycles", plain.cycles, frac.cycles, frac_pf.cycles],
+        ["load accesses", plain.dcache.load_accesses,
+         frac.dcache.load_accesses, frac_pf.dcache.load_accesses],
+        ["dcache stalls", plain.dcache_stall_cycles,
+         frac.dcache_stall_cycles, frac_pf.dcache_stall_cycles],
+    ]
+    text = format_table(
+        "Ablation [14]: temporal up-conversion (TM3270, half-pel pan)",
+        ["metric", "baseline", "+ld_frac8", "+prefetch"], rows)
+    text += (f"\nnew ops {plain.cycles / frac.cycles:.2f}x, prefetch "
+             f"{frac.cycles / frac_pf.cycles:.2f}x on top "
+             "(paper [14]: 40% and >20%; see EXPERIMENTS.md)")
+    report("ablation_upconv", text)
+    assert plain.cycles / frac.cycles > 1.1
+    assert frac.dcache.load_accesses < plain.dcache.load_accesses
+    assert frac_pf.dcache_stall_cycles < frac.dcache_stall_cycles
+    assert frac_pf.cycles < frac.cycles

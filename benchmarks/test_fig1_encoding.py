@@ -1,0 +1,23 @@
+"""Figure 1 / Section 2.1: compressed VLIW encoding effectiveness."""
+
+from conftest import report, run_once
+
+from repro.eval.fig1 import UNCOMPRESSED_INSTRUCTION_BYTES, format_fig1, run_fig1
+
+
+def test_fig1_encoding(benchmark):
+    rows = run_once(benchmark, run_fig1)
+    report("fig1_encoding", format_fig1(rows))
+    assert rows, "no kernels encoded"
+    for row in rows:
+        # Decoder round-trips every kernel image.
+        assert row.roundtrip_ok, row.kernel
+        # Compression always beats the uncompressed 28-byte format.
+        assert row.compressed_bytes < row.uncompressed_bytes
+        # Average instruction well under the maximum encoding.
+        assert row.bytes_per_instruction < UNCOMPRESSED_INSTRUCTION_BYTES / 2
+    total = sum(row.compressed_bytes for row in rows)
+    uncompressed = sum(row.uncompressed_bytes for row in rows)
+    # Template compression reaches roughly a 3-4x code-size reduction
+    # on this suite.
+    assert total / uncompressed < 0.5

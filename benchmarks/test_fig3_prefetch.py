@@ -1,0 +1,31 @@
+"""Figure 3: region-based prefetching on 4x4 block processing."""
+
+from conftest import report, run_once
+
+from repro.eval.fig3 import format_fig3, run_fig3
+
+
+def test_fig3_prefetch(benchmark):
+    pairs = run_once(benchmark, run_fig3)
+    report("fig3_prefetch", format_fig3(pairs))
+
+    for without, with_pf in pairs:
+        assert without.result_ok and with_pf.result_ok
+        # Prefetching never slows the scan down.
+        assert with_pf.cycles <= without.cycles
+        # It always removes stall cycles.
+        assert with_pf.dcache_stalls < without.dcache_stalls
+        assert with_pf.prefetches_issued > 0
+
+    # The paper's condition: with enough processing per row of blocks
+    # the prefetch covers (nearly) all misses.  At the heaviest work
+    # point, at least 75% of stall cycles disappear.
+    heaviest = pairs[-1]
+    removed = 1 - heaviest[1].dcache_stalls / heaviest[0].dcache_stalls
+    assert removed > 0.75
+
+    # With little compute the bus cannot keep up: coverage at work=0
+    # is worse than at the heaviest point.
+    lightest = pairs[0]
+    removed_light = 1 - lightest[1].dcache_stalls / lightest[0].dcache_stalls
+    assert removed_light <= removed

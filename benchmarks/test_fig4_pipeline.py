@@ -1,0 +1,59 @@
+"""Figure 4: pipeline partitioning — structure and derived numbers."""
+
+from conftest import report, run_once
+
+from repro.asm.target import TM3260_TARGET, TM3270_TARGET
+from repro.core import pipeline
+from repro.eval.reporting import format_table
+from repro.isa.operations import spec
+
+
+def build_fig4():
+    classes = ["iadd", "imul", "fadd", "ld32", "ld_frac8",
+               "super_dualimix", "st32d"]
+    rows = []
+    for name in classes:
+        path = pipeline.stage_path(spec(name), TM3270_TARGET)
+        rows.append([name, " ".join(path.stages), path.depth])
+    text = format_table(
+        "Figure 4: TM3270 pipeline stage occupancy by operation class",
+        ["operation", "stages", "depth"], rows)
+    text += "\n\n" + pipeline.describe(TM3270_TARGET)
+    return rows, text
+
+
+def test_fig4_pipeline(benchmark):
+    rows, text = run_once(benchmark, build_fig4)
+    report("fig4_pipeline", text)
+    depths = {row[0]: row[2] for row in rows}
+    assert depths["iadd"] == 7           # Table 1 minimum
+    assert depths["ld_frac8"] == 12      # Table 1 maximum
+    assert depths["ld32"] == 10          # X4 result + W
+    assert pipeline.depth_range(TM3270_TARGET) == (7, 12)
+    # Structural delay-slot derivation matches the scheduler targets.
+    assert pipeline.jump_delay_slots(TM3270_TARGET) == 5
+    assert pipeline.jump_delay_slots(TM3260_TARGET) == 3
+
+
+def test_fig4_no_branch_prediction_needed(benchmark):
+    """Section 3: taken jumps cost zero stall cycles (delay slots)."""
+    from repro.asm.builder import ProgramBuilder
+    from repro.asm.link import compile_program
+    from repro.core.config import TM3270_CONFIG
+    from repro.core.processor import run_kernel
+    from repro.kernels.common import args_for
+
+    def measure():
+        builder = ProgramBuilder("branchy")
+        (count,) = builder.params("count")
+        end = builder.counted_loop(count, "body")
+        builder.emit("iadd", srcs=(builder.zero, builder.one))
+        end()
+        linked = compile_program(builder.finish(), TM3270_CONFIG.target)
+        return run_kernel(linked, TM3270_CONFIG, args=args_for(200),
+                          memory_size=1 << 14).stats
+
+    stats = run_once(benchmark, measure)
+    assert stats.jumps_taken >= 199
+    # All cycles are issue cycles: control flow adds no stalls.
+    assert stats.cycles == stats.instructions

@@ -1,0 +1,87 @@
+"""Figure 5: load/store unit behaviour — dual stores, non-aligned
+accesses, byte validity, and the cache write buffer."""
+
+from conftest import report, run_once
+
+from repro.asm.builder import ProgramBuilder
+from repro.asm.link import compile_program
+from repro.asm.scheduler import schedule_program
+from repro.core.config import TM3270_CONFIG
+from repro.core.processor import run_kernel
+from repro.eval.reporting import format_table
+from repro.kernels.common import args_for
+from repro.mem.flatmem import FlatMemory
+
+
+def _dual_store_rows():
+    """Two provably-disjoint stores co-issue in slots 4 and 5."""
+    builder = ProgramBuilder("dualstore")
+    (a, b) = builder.params("a", "b")
+    value = builder.const32(0x11)
+    builder.emit("st32d", srcs=(a, value), imm=0)
+    builder.emit("st32d", srcs=(a, value), imm=4)
+    program = builder.finish()
+    scheduled = schedule_program(program, TM3270_CONFIG.target)
+    best = 0
+    for block in scheduled.blocks:
+        for row in block.rows:
+            stores = [slot for slot, op in row.items()
+                      if op.spec.is_store]
+            best = max(best, len(stores))
+            for slot in stores:
+                assert slot in (4, 5)
+    return best
+
+
+def _nonaligned_run(address_offset):
+    builder = ProgramBuilder("nonaligned")
+    (addr, out) = builder.params("addr", "out")
+    value = builder.emit("ld32d", srcs=(addr,), imm=0)
+    builder.emit("st32d", srcs=(out, value), imm=0)
+    linked = compile_program(builder.finish(), TM3270_CONFIG.target)
+    memory = FlatMemory(1 << 14)
+    memory.write_block(0x1000, bytes(range(1, 200)))
+    result = run_kernel(linked, TM3270_CONFIG,
+                        args=args_for(0x1000 + address_offset, 0x2000),
+                        memory=memory)
+    expected = int.from_bytes(
+        bytes(range(1, 200))[address_offset:address_offset + 4], "big")
+    assert memory.load(0x2000, 4) == expected
+    return result.stats
+
+
+def build_fig5():
+    rows = []
+    dual = _dual_store_rows()
+    rows.append(["dual stores co-issued (slots 4+5)", dual])
+    aligned = _nonaligned_run(0)
+    offset1 = _nonaligned_run(1)
+    crossing = _nonaligned_run(126)  # spans a 128-byte line boundary
+    rows.append(["aligned load split accesses",
+                 aligned.dcache.split_accesses])
+    rows.append(["non-aligned (within line) splits",
+                 offset1.dcache.split_accesses])
+    rows.append(["non-aligned line-crossing splits",
+                 crossing.dcache.split_accesses])
+    rows.append(["line-crossing load misses",
+                 crossing.dcache.load_misses])
+    text = format_table(
+        "Figure 5: load/store unit behaviours",
+        ["behaviour", "measured"], rows)
+    return dual, aligned, offset1, crossing, text
+
+
+def test_fig5_lsu(benchmark):
+    dual, aligned, offset1, crossing, text = run_once(benchmark, build_fig5)
+    report("fig5_lsu", text)
+    # Two simultaneous stores are supported (dual tag copies).
+    assert dual == 2
+    # Penalty-free non-aligned access within a line: no split.
+    assert aligned.dcache.split_accesses == 0
+    assert offset1.dcache.split_accesses == 0
+    # A line-crossing access splits and may miss twice (Section 4.2).
+    assert crossing.dcache.split_accesses == 1
+    assert crossing.dcache.load_misses == 2
+    # Store hits are absorbed by the cache write buffer: no stalls
+    # beyond the (allocate-policy-free) misses.
+    assert aligned.dcache.cwb_writes >= 1

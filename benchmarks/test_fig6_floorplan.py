@@ -1,0 +1,23 @@
+"""Figure 6: floorplan rendering from the parametric area model."""
+
+from conftest import report, run_once
+
+from repro.core.area import area_breakdown
+from repro.core.config import TM3270_CONFIG
+from repro.eval.fig6 import render_floorplan
+
+
+def test_fig6_floorplan(benchmark):
+    text = run_once(benchmark, render_floorplan)
+    report("fig6_floorplan", text)
+    breakdown = area_breakdown(TM3270_CONFIG)
+    # Every module appears with its Table 4 area.
+    for label, area in (("LS", breakdown.load_store),
+                        ("IFU", breakdown.ifu),
+                        ("Execute", breakdown.execute),
+                        ("Regfile", breakdown.regfile)):
+        assert f"{area:.2f} mm2" in text, label
+    assert f"{breakdown.total:.2f} mm2" in text
+    # The LS module (D$ SRAMs included) is the largest tile: its
+    # area line comes first in the stack, as in the paper's figure.
+    assert text.index("LS (") < text.index("IFU (")

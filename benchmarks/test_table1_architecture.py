@@ -1,0 +1,28 @@
+"""Table 1: TM3270 architecture summary, regenerated from the model."""
+
+from conftest import report, run_once
+
+from repro.core.config import TM3270_CONFIG
+from repro.eval.reporting import format_table
+
+
+def build_table1():
+    summary = TM3270_CONFIG.architecture_summary()
+    rows = [[feature, value] for feature, value in summary.items()]
+    return summary, format_table(
+        "Table 1: TM3270 architecture",
+        ["Architectural feature", "Quantity"], rows)
+
+
+def test_table1_architecture(benchmark):
+    summary, text = run_once(benchmark, build_table1)
+    report("table1_architecture", text)
+    assert "5 issue slot VLIW" in summary["Architecture"]
+    assert summary["Register-file"] == "Unified, 128 32-bit registers"
+    assert summary["Functional units"] == "31"
+    assert summary["Pipeline depth"] == "7-12 stages"
+    assert "64 Kbyte" in summary["Instruction cache"]
+    assert "8 way set-associative" in summary["Instruction cache"]
+    assert "128 Kbyte" in summary["Data cache"]
+    assert "4 way set-associative" in summary["Data cache"]
+    assert "allocate-on-write-miss" in summary["Data cache"]

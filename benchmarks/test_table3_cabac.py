@@ -1,0 +1,33 @@
+"""Table 3: CABAC decoding with/without the new operations."""
+
+from conftest import report, run_once
+
+from repro.eval.table3 import PAPER_TABLE3, format_table3, run_table3
+
+
+def test_table3_cabac(benchmark):
+    rows = run_once(benchmark, run_table3)
+    report("table3_cabac", format_table3(rows))
+
+    by_type = {row.field_type: row for row in rows}
+    assert set(by_type) == {"I", "P", "B"}
+
+    # Field-size ratios follow the paper: I > B > P bits/field.
+    assert by_type["I"].bits_per_field > by_type["B"].bits_per_field
+    assert by_type["B"].bits_per_field > by_type["P"].bits_per_field
+
+    # Instructions/bit climb from I through P to B, both decoders
+    # (Table 3's ordering).
+    assert by_type["I"].plain_instr_per_bit < \
+        by_type["P"].plain_instr_per_bit < by_type["B"].plain_instr_per_bit
+    assert by_type["I"].super_instr_per_bit < \
+        by_type["P"].super_instr_per_bit < by_type["B"].super_instr_per_bit
+
+    # The new operations speed decoding up by 1.5-1.7x in the paper;
+    # accept a slightly wider modeling band.
+    for row in rows:
+        assert 1.3 <= row.speedup <= 2.0, row
+
+    # The optimized decoder always beats the plain one.
+    for row in rows:
+        assert row.super_instructions < row.plain_instructions

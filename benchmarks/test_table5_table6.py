@@ -1,0 +1,53 @@
+"""Tables 5 and 6: the kernel suite and the TM3260/TM3270 contrast."""
+
+from conftest import report, run_once
+
+from repro.asm.link import compile_program
+from repro.core.config import TM3260_CONFIG, TM3270_CONFIG, \
+    table6_characteristics
+from repro.eval.reporting import format_table
+from repro.kernels.registry import TABLE5_KERNELS
+
+
+def build_table5():
+    rows = []
+    for case in TABLE5_KERNELS:
+        linked_70 = compile_program(case.build(), TM3270_CONFIG.target)
+        linked_60 = compile_program(case.build(), TM3260_CONFIG.target)
+        rows.append([case.name, linked_70.operation_count,
+                     linked_70.instruction_count,
+                     linked_60.instruction_count,
+                     case.description[:52]])
+    return rows, format_table(
+        "Table 5: evaluation kernels (static code, both targets)",
+        ["kernel", "ops", "TM3270 instrs", "TM3260 instrs",
+         "description"], rows)
+
+
+def test_table5_kernels(benchmark):
+    rows, text = run_once(benchmark, build_table5)
+    report("table5_kernels", text)
+    assert len(rows) == 11
+    for _name, ops, instr70, instr60, _desc in rows:
+        assert ops > 0
+        # Deeper pipeline => the TM3270 schedule is never shorter.
+        assert instr70 >= instr60
+
+
+def test_table6_characteristics(benchmark):
+    rows = run_once(benchmark, table6_characteristics)
+    text = format_table("Table 6: TM3260 and TM3270 characteristics",
+                        ["Feature", "TM3260", "TM3270"], rows)
+    report("table6_configs", text)
+    as_dict = {feature: (a, d) for feature, a, d in rows}
+    assert as_dict["Operating frequency"] == ("240 MHz", "350 MHz")
+    assert "64-byte lines" in as_dict["Instruction cache"][0]
+    assert "128-byte lines" in as_dict["Instruction cache"][1]
+    assert "3 jump delay slots" in as_dict["Instruction cache"][0]
+    assert "5 jump delay slots" in as_dict["Instruction cache"][1]
+    assert "16 Kbyte" in as_dict["Data cache"][0]
+    assert "128 Kbyte" in as_dict["Data cache"][1]
+    assert "fetch-on-write-miss" in as_dict["Data cache"][0]
+    assert "allocate-on-write-miss" in as_dict["Data cache"][1]
+    assert "2 loads / VLIW instr." in as_dict["Data cache"][0]
+    assert "1 loads / VLIW instr." in as_dict["Data cache"][1]

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""CABAC decoding with and without the TM3270's new operations.
+
+Recreates the Table 3 experiment interactively: encode a synthetic
+H.264-style bitstream with the library's CABAC encoder, then decode it
+on the simulated TM3270 twice — once with Figure 2 implemented in
+baseline operations, once with SUPER_CABAC_CTX / SUPER_CABAC_STR —
+and compare VLIW instructions per coded bit.
+
+Run:  python examples/cabac_decoding.py
+"""
+
+from repro.asm import compile_program
+from repro.core import TM3270_CONFIG, run_kernel
+from repro.kernels import cabac_kernel
+from repro.kernels.common import DATA_BASE, args_for
+from repro.mem.flatmem import FlatMemory
+from repro.workloads.cabac_streams import generate_field
+
+STREAM, OUT = DATA_BASE, DATA_BASE + 0x8000
+CTX, TABLES = DATA_BASE + 0xA000, DATA_BASE + 0xB000
+
+
+def decode_on_tm3270(build_kernel, field):
+    """Decode ``field`` with one of the two kernels; verify and time."""
+    program = compile_program(
+        build_kernel(num_contexts=field.num_contexts),
+        TM3270_CONFIG.target)
+    memory = FlatMemory(1 << 18)
+    memory.write_block(STREAM, field.data)
+    memory.write_block(TABLES, cabac_kernel.prepare_tables())
+    result = run_kernel(
+        program, TM3270_CONFIG,
+        args=args_for(STREAM, OUT, CTX, TABLES, field.num_symbols),
+        memory=memory)
+    decoded = memory.read_block(OUT, field.num_symbols)
+    assert decoded == bytes(field.symbols), "decode mismatch!"
+    return result.stats
+
+
+def main():
+    print("CABAC decoding on the TM3270 (Table 3 experiment)\n")
+    header = (f"{'field':>5} {'bits':>7} {'symbols':>8} "
+              f"{'plain i/bit':>12} {'super i/bit':>12} {'speedup':>8}")
+    print(header)
+    print("-" * len(header))
+    for field_type in ("I", "P", "B"):
+        field = generate_field(field_type, scale=0.01)
+        plain = decode_on_tm3270(cabac_kernel.build_cabac_plain, field)
+        fast = decode_on_tm3270(cabac_kernel.build_cabac_super, field)
+        print(f"{field_type:>5} {field.num_bits:>7} "
+              f"{field.num_symbols:>8} "
+              f"{plain.instructions / field.num_bits:>12.1f} "
+              f"{fast.instructions / field.num_bits:>12.1f} "
+              f"{plain.instructions / fast.instructions:>8.2f}")
+    print("\nPaper (Table 3): speedups of 1.7 (I), 1.6 (P), 1.5 (B);")
+    print("both decoders produce bit-exact output, verified against")
+    print("the encoder's symbol stream.")
+
+
+if __name__ == "__main__":
+    main()

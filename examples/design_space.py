@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Design-space exploration: what did each TM3270 choice buy?
+
+Uses the configuration system to morph the TM3260 into the TM3270 one
+design decision at a time — frequency, write-miss policy, line size,
+cache capacity — and measures the MPEG2 decoder kernel at each step,
+plus area and power of the endpoints.  This is the Figure 7 / Table 4
+machinery exposed as an interactive what-if tool.
+
+Run:  python examples/design_space.py
+"""
+
+from repro.core import TM3260_CONFIG, TM3270_CONFIG
+from repro.core.area import area_breakdown
+from repro.core.power import PowerModel
+from repro.eval.mp3 import run_mp3_proxy
+from repro.eval.runner import run_case
+from repro.kernels.registry import kernel_by_name
+from repro.mem.cache import CacheGeometry
+from repro.mem.dcache import WriteMissPolicy
+
+
+def main():
+    case = kernel_by_name("mpeg2_a")
+    print("Morphing the TM3260 into the TM3270, one decision at a "
+          "time\nworkload: mpeg2_a (highly disruptive motion field)\n")
+
+    steps = [("TM3260 baseline (config A)", TM3260_CONFIG)]
+    step = TM3260_CONFIG
+    # Each step layers one TM3270 decision on top of the previous.
+    step = step.with_overrides(
+        name="+ TM3270 core", target=TM3270_CONFIG.target,
+        dcache=CacheGeometry(16 * 1024, 64, 8))
+    steps.append(("+ TM3270 core (deeper pipeline, 1 load/instr)", step))
+    step = step.with_overrides(
+        name="+ allocate-on-write",
+        write_miss_policy=WriteMissPolicy.ALLOCATE)
+    steps.append(("+ allocate-on-write-miss", step))
+    step = step.with_overrides(
+        name="+ 128B lines", dcache=CacheGeometry(16 * 1024, 128, 4))
+    steps.append(("+ 128-byte lines, 4-way", step))
+    step = step.with_overrides(name="+ 350 MHz", freq_mhz=350.0)
+    steps.append(("+ 350 MHz", step))
+    step = step.with_overrides(
+        name="TM3270 (config D)",
+        dcache=CacheGeometry(128 * 1024, 128, 4))
+    steps.append(("+ 128 KB data cache  (= TM3270)", step))
+
+    baseline_seconds = None
+    print(f"{'configuration':<42} {'cycles':>9} {'CPI':>6} "
+          f"{'us':>8} {'vs A':>6}")
+    print("-" * 76)
+    for label, config in steps:
+        stats = run_case(case, config, verify=False)
+        if baseline_seconds is None:
+            baseline_seconds = stats.seconds
+        print(f"{label:<42} {stats.cycles:>9} {stats.cpi:>6.2f} "
+              f"{1e6 * stats.seconds:>8.1f} "
+              f"{baseline_seconds / stats.seconds:>6.2f}")
+
+    print("\nEndpoint silicon cost (area model, 90 nm):")
+    for config in (TM3260_CONFIG, TM3270_CONFIG):
+        area = area_breakdown(config)
+        print(f"  {config.name:<8} {area.total:>6.2f} mm2 "
+              f"(LS {area.load_store:.2f}, IFU {area.ifu:.2f}, "
+              f"Execute {area.execute:.2f})")
+
+    print("\nPower at the endpoints (MP3 proxy, activity model):")
+    stats = run_mp3_proxy(TM3270_CONFIG)
+    model = PowerModel()
+    for voltage in (1.2, 0.8):
+        breakdown = model.breakdown(stats, voltage=voltage)
+        print(f"  TM3270 @ {voltage:.1f} V: "
+              f"{breakdown.total:.3f} mW/MHz "
+              f"-> {breakdown.milliwatts(8.0):.2f} mW for MP3 at 8 MHz")
+
+
+if __name__ == "__main__":
+    main()

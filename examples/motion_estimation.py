@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Fractional-position motion estimation with collapsed loads.
+
+The paper's LD_FRAC8 operation fuses a 5-byte load with a two-taps
+interpolation filter (Section 2.2.2), the inner operation of motion
+estimation at fractional pixel positions.  This example searches the
+best fractional offset for an 8x8 block both ways and reports the
+speedup ([12] reports more than 2x for the fully optimized kernel).
+
+Run:  python examples/motion_estimation.py
+"""
+
+from repro.asm import compile_program
+from repro.core import TM3270_CONFIG, run_kernel
+from repro.kernels import motion
+from repro.kernels.common import DATA_BASE, args_for
+from repro.mem.flatmem import FlatMemory
+from repro.workloads.video import synthetic_frame
+
+WIDTH = 64
+CUR, REF, RESULT = DATA_BASE, DATA_BASE + 0x800, DATA_BASE + 0x1000
+
+
+def search(build_kernel, frame):
+    linked = compile_program(build_kernel(), TM3270_CONFIG.target)
+    memory = FlatMemory(1 << 15)
+    memory.write_block(CUR, frame[:8 * WIDTH])
+    memory.write_block(REF, frame[8 * WIDTH:16 * WIDTH])
+    result = run_kernel(linked, TM3270_CONFIG,
+                        args=args_for(CUR, REF, WIDTH, RESULT),
+                        memory=memory)
+    return memory.load(RESULT, 4), result.stats
+
+
+def main():
+    frame = synthetic_frame(WIDTH, 16, seed=2026)
+    expected = motion.reference_best_sad(
+        frame[:8 * WIDTH], frame[8 * WIDTH:], WIDTH)
+
+    print("Fractional motion estimation on the TM3270\n")
+    print(f"searching {len(motion.FRACTIONS)} fractional positions "
+          f"(x/16 pel) of an 8x8 block\n")
+
+    sad_plain, plain = search(motion.build_me_frac_plain, frame)
+    sad_fast, fast = search(motion.build_me_frac_ld8, frame)
+    assert sad_plain == sad_fast == expected, "SAD mismatch!"
+
+    print(f"best SAD (both kernels, verified): {sad_plain}\n")
+    rows = [
+        ("VLIW instructions", plain.instructions, fast.instructions),
+        ("operations executed", plain.ops_executed, fast.ops_executed),
+        ("cycles", plain.cycles, fast.cycles),
+        ("time (us @ 350 MHz)", f"{1e6 * plain.seconds:.1f}",
+         f"{1e6 * fast.seconds:.1f}"),
+    ]
+    print(f"{'metric':<22} {'explicit interp':>16} {'ld_frac8':>10}")
+    print("-" * 50)
+    for metric, a, b in rows:
+        print(f"{metric:<22} {a:>16} {b:>10}")
+    print(f"\nspeedup: {plain.cycles / fast.cycles:.2f}x "
+          "(paper [12]: > 2x)")
+    print("\nWhy: one LD_FRAC8 replaces two loads, ten byte extracts,")
+    print("twenty multiply/add/shift operations and three packs —")
+    print("and frees the registers they would have occupied.")
+
+
+if __name__ == "__main__":
+    main()

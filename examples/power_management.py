@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Power management: measure a workload, scale voltage and frequency.
+
+Walks the Section 5.2 power story end to end:
+
+1. run the MP3-proxy decoder on the TM3270 model and measure its
+   cycles and per-module power activity;
+2. reproduce the Table 4 power breakdown at 1.2 V and the quadratic
+   scaling to 0.8 V;
+3. let the DVS governor pick the minimal operating point for a
+   real-time audio deadline and report the energy saving — the
+   paper's "dynamic voltage scaling based on computational
+   requirements".
+
+Run:  python examples/power_management.py
+"""
+
+from repro.core import TM3270_CONFIG
+from repro.core.dvs import DvsGovernor, energy_saving
+from repro.core.power import PowerModel
+from repro.core.trace import utilization
+from repro.eval.mp3 import DEFAULT_FRAMES, run_mp3_proxy
+
+
+def main():
+    print("Measuring the MP3-proxy workload on the TM3270...\n")
+    stats = run_mp3_proxy(TM3270_CONFIG, nframes=DEFAULT_FRAMES)
+    report = utilization(stats)
+    print(f"  {stats.instructions} VLIW instructions, "
+          f"{stats.cycles} cycles")
+    print(f"  OPI {report.opi:.2f}, CPI {report.cpi:.2f}, "
+          f"issue rate {report.issue_rate:.2f} ops/cycle\n")
+
+    model = PowerModel()
+    print("Per-module power (mW/MHz), Table 4 reproduction:")
+    for voltage in (1.2, 0.8):
+        breakdown = model.breakdown(stats, voltage=voltage)
+        rows = "  ".join(f"{module}={value:.3f}"
+                         for module, value in breakdown.as_rows())
+        print(f"  @{voltage:.1f} V: {rows}")
+    print()
+
+    # The paper: MP3 decoding "is performed in approximately 8 MHz";
+    # our proxy measures cycles per frame directly.
+    governor = DvsGovernor(margin=0.05)
+    cycles_per_frame = stats.cycles // DEFAULT_FRAMES
+    for fps, label in ((38.28, "44.1 kHz granule rate"),
+                       (500.0, "12x faster-than-real-time rip")):
+        try:
+            point = governor.select(cycles_per_frame, fps)
+        except ValueError as error:
+            print(f"  {label}: {error}")
+            continue
+        busy_mhz = cycles_per_frame * fps / 1e6
+        milliwatts = (model.breakdown(stats, voltage=point.voltage)
+                      .milliwatts(busy_mhz))
+        print(f"  {label} ({fps:g} frames/s):")
+        print(f"    effective load     : {busy_mhz:.1f} MHz")
+        print(f"    operating point    : {point.freq_mhz:.0f} MHz "
+              f"@ {point.voltage:.2f} V "
+              f"(busy {100 * point.utilization:.1f}% of each period)")
+        print(f"    dynamic power      : {milliwatts:.2f} mW")
+        print(f"    energy saving      : "
+              f"{100 * energy_saving(point):.0f}% per frame vs 1.2 V\n")
+
+    print("The fully static design + asynchronous BIU let frequency")
+    print("change on the fly (Section 5.2); energy per frame falls")
+    print("with the square of the voltage.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Tuning region-based prefetching (Figure 3).
+
+Walks the paper's example — an image processed at 4x4-block
+granularity — through a sweep of ``PF0_STRIDE`` values and per-block
+compute loads, showing when the prefetcher hides all memory latency:
+"if the time to process a row of blocks exceeds the time to prefetch
+the lower row of blocks, the processor will not incur any stall
+cycles due to data cache misses."
+
+Run:  python examples/prefetch_tuning.py
+"""
+
+from repro.asm import compile_program
+from repro.core import TM3270_CONFIG
+from repro.core.processor import Processor
+from repro.kernels import blockscan
+from repro.kernels.common import DATA_BASE, args_for
+from repro.mem.flatmem import FlatMemory
+from repro.mem.prefetch import OFFSET_END, OFFSET_START, OFFSET_STRIDE
+from repro.workloads.video import synthetic_frame
+
+IMAGE = 0x0004_0000
+WIDTH, HEIGHT = 256, 64
+
+
+def run_scan(work, stride):
+    """One block scan; returns (cycles, dcache stalls)."""
+    program = compile_program(
+        blockscan.build_blockscan(IMAGE, WIDTH, HEIGHT, work=work,
+                                  setup_prefetch=False),
+        TM3270_CONFIG.target)
+    memory = FlatMemory(1 << 19)
+    memory.write_block(IMAGE, synthetic_frame(WIDTH, HEIGHT, seed=1))
+    processor = Processor(TM3270_CONFIG, memory=memory)
+    if stride:
+        processor.prefetcher.mmio_store(OFFSET_START, IMAGE)
+        processor.prefetcher.mmio_store(
+            OFFSET_END, IMAGE + WIDTH * HEIGHT)
+        processor.prefetcher.mmio_store(OFFSET_STRIDE, stride)
+    stats = processor.run(program, args=args_for(DATA_BASE)).stats
+    return stats.cycles, stats.dcache_stall_cycles
+
+
+def main():
+    print(f"4x4 block scan over a {WIDTH}x{HEIGHT} image "
+          "(TM3270, region prefetch)\n")
+
+    print("1) Stride sweep at moderate per-block compute (work=12):")
+    print(f"{'stride':>10} {'cycles':>9} {'stalls':>8}   note")
+    figure3_stride = WIDTH * 4
+    for stride, note in [
+        (0, "prefetch off"),
+        (128, "next sequential line"),
+        (WIDTH, "one image row"),
+        (figure3_stride, "width x block height  <- Figure 3"),
+        (WIDTH * 8, "two block rows ahead"),
+    ]:
+        cycles, stalls = run_scan(12, stride)
+        print(f"{stride:>10} {cycles:>9} {stalls:>8}   {note}")
+
+    print("\n2) Compute sweep at the Figure 3 stride "
+          "(more work per block -> more time to prefetch):")
+    print(f"{'work/blk':>9} {'stalls off':>11} {'stalls on':>10} "
+          f"{'removed':>8}")
+    for work in (0, 4, 8, 16, 24):
+        _, stalls_off = run_scan(work, 0)
+        _, stalls_on = run_scan(work, figure3_stride)
+        removed = 1 - stalls_on / max(stalls_off, 1)
+        print(f"{work:>9} {stalls_off:>11} {stalls_on:>10} "
+              f"{100 * removed:>7.0f}%")
+
+    print("\nThe stride equal to image-width x block-height walks the")
+    print("row of blocks *below* the one being processed into the")
+    print("cache — once compute per row exceeds the prefetch time,")
+    print("stall cycles vanish, exactly as Section 2.3 describes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Reproduction of "The TM3270 Media-Processor" (MICRO 2005).
+
+A from-scratch executable model of the TM3270 VLIW media-processor and
+its evaluation: the ISA (including the paper's new operations), a
+target-parameterized VLIW scheduler, a cycle-approximate processor
+model with the paper's load/store unit, caches, region prefetching and
+SDRAM timing, power/area models, a CABAC codec, the paper's kernel
+suite, and drivers that regenerate every table and figure.
+"""
+
+__version__ = "1.0.0"

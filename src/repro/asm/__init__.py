@@ -1,0 +1,25 @@
+"""VLIW mini-compiler: IR, builder, scheduler, register allocation, linking."""
+
+from repro.asm.assembler import AssemblyError, assemble
+from repro.asm.builder import ProgramBuilder
+from repro.asm.disasm import disassemble, disassemble_image
+from repro.asm.ir import AsmProgram, Block, VOp
+from repro.asm.link import LinkedProgram, compile_program, link
+from repro.asm.regalloc import RegisterPressureError, allocate_registers
+from repro.asm.scheduler import (
+    ScheduledBlock,
+    ScheduledProgram,
+    SchedulingError,
+    schedule_block,
+    schedule_program,
+)
+from repro.asm.target import TM3260_TARGET, TM3270_TARGET, Target
+
+__all__ = [
+    "AsmProgram", "AssemblyError", "assemble", "disassemble",
+    "disassemble_image", "Block", "VOp", "ProgramBuilder", "LinkedProgram",
+    "compile_program", "link", "allocate_registers",
+    "RegisterPressureError", "ScheduledBlock", "ScheduledProgram",
+    "SchedulingError", "schedule_block", "schedule_program",
+    "Target", "TM3260_TARGET", "TM3270_TARGET",
+]

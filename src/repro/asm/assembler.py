@@ -1,0 +1,232 @@
+"""Textual assembler for TriMedia kernels.
+
+A small, regular assembly syntax over the virtual-register IR — handy
+for tests, REPL experiments, and porting kernels without writing
+builder code.  Example::
+
+    .kernel memset32
+    .param dst count value
+
+    loop:
+        st32d dst, value, #0
+        dst = iaddi dst, #4
+        count = iaddi count, #-1
+        going = igtr count, zero
+        @going jmpt ->loop
+
+Grammar (one operation per line):
+
+* ``.kernel NAME`` — program name (optional, once).
+* ``.param A B C`` — declare parameters (pinned to r10, r11, ...).
+* ``LABEL:`` — start a new basic block.
+* ``[@GUARD] [DSTS =] OPCODE OPERANDS`` — one operation; ``DSTS`` is a
+  comma-separated register list, operands are registers, ``#IMM``
+  immediates (decimal or 0x hex), or ``->LABEL`` jump targets.
+* ``zero`` and ``one`` name the architectural constants r0/r1.
+* ``;`` starts a comment.
+
+Register names are created on first use as a destination; reading a
+never-written, non-parameter name is an error (use ``zero``).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.asm.builder import PARAM_BASE_PREG
+from repro.asm.ir import (
+    FIRST_FREE_VREG,
+    VREG_ONE,
+    VREG_ZERO,
+    AsmProgram,
+    Block,
+    VOp,
+)
+from repro.isa.operations import REGISTRY
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][\w.]*):$")
+_NAME_RE = re.compile(r"^[A-Za-z_][\w.]*$")
+
+
+class AssemblyError(Exception):
+    """Syntax or semantic error in assembly text."""
+
+    def __init__(self, line_number: int, message: str) -> None:
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+class Assembler:
+    """Stateful single-pass assembler."""
+
+    def __init__(self) -> None:
+        self.name = "kernel"
+        self._blocks: list[Block] = [Block("entry")]
+        self._registers: dict[str, int] = {"zero": VREG_ZERO,
+                                           "one": VREG_ONE}
+        self._defined: set[str] = {"zero", "one"}
+        self._pinned: dict[int, int] = {}
+        self._next_vreg = FIRST_FREE_VREG
+        self._param_count = 0
+        self._line_number = 0
+
+    # -- helpers -------------------------------------------------------------
+
+    def _error(self, message: str):
+        raise AssemblyError(self._line_number, message)
+
+    def _new_vreg(self) -> int:
+        reg = self._next_vreg
+        self._next_vreg += 1
+        return reg
+
+    def _lookup_read(self, name: str) -> int:
+        if name not in self._registers:
+            self._error(f"register {name!r} read before being written")
+        if name not in self._defined:
+            self._error(f"register {name!r} read before being written")
+        return self._registers[name]
+
+    def _lookup_write(self, name: str) -> int:
+        if not _NAME_RE.match(name):
+            self._error(f"bad register name {name!r}")
+        if name in ("zero", "one"):
+            self._error(f"cannot write constant register {name!r}")
+        if name not in self._registers:
+            self._registers[name] = self._new_vreg()
+        self._defined.add(name)
+        return self._registers[name]
+
+    # -- directives ---------------------------------------------------------
+
+    def _directive(self, line: str) -> None:
+        parts = line.split()
+        if parts[0] == ".kernel":
+            if len(parts) != 2:
+                self._error(".kernel takes exactly one name")
+            self.name = parts[1]
+        elif parts[0] == ".param":
+            if len(parts) < 2:
+                self._error(".param needs at least one name")
+            for name in parts[1:]:
+                if name in self._registers:
+                    self._error(f"parameter {name!r} already declared")
+                reg = self._new_vreg()
+                self._registers[name] = reg
+                self._defined.add(name)
+                self._pinned[reg] = PARAM_BASE_PREG + self._param_count
+                self._param_count += 1
+        else:
+            self._error(f"unknown directive {parts[0]!r}")
+
+    # -- operations ---------------------------------------------------------
+
+    def _parse_imm(self, token: str) -> int:
+        body = token[1:]
+        try:
+            return int(body, 0)
+        except ValueError:
+            self._error(f"bad immediate {token!r}")
+
+    def _operation(self, line: str) -> None:
+        guard = None
+        if line.startswith("@"):
+            guard_name, _, line = line[1:].partition(" ")
+            guard = self._lookup_read(guard_name.strip())
+            line = line.strip()
+            if not line:
+                self._error("guard with no operation")
+
+        dst_names: list[str] = []
+        if "=" in line:
+            dst_part, _, line = line.partition("=")
+            dst_names = [name.strip()
+                         for name in dst_part.split(",") if name.strip()]
+            line = line.strip()
+
+        parts = line.split(None, 1)
+        opname = parts[0]
+        if opname not in REGISTRY:
+            self._error(f"unknown operation {opname!r}")
+        spec = REGISTRY.spec(opname)
+
+        srcs: list[int] = []
+        imm = None
+        target = None
+        if len(parts) > 1:
+            for token in (t.strip() for t in parts[1].split(",")):
+                if not token:
+                    self._error("empty operand")
+                elif token.startswith("#"):
+                    if imm is not None:
+                        self._error("multiple immediates")
+                    imm = self._parse_imm(token)
+                elif token.startswith("->"):
+                    if target is not None:
+                        self._error("multiple jump targets")
+                    target = token[2:].strip()
+                else:
+                    srcs.append(self._lookup_read(token))
+
+        # Destinations are looked up last so an op may read a name it
+        # also redefines (accumulators).
+        dsts = tuple(self._lookup_write(name) for name in dst_names)
+        op = VOp(opname, dsts=dsts, srcs=tuple(srcs), imm=imm,
+                 guard=guard, target=target)
+        try:
+            op.validate()
+        except ValueError as error:
+            self._error(str(error))
+
+        if spec.is_jump:
+            if self._blocks[-1].jump is not None:
+                self._error("block already ended by a jump")
+            self._blocks[-1].jump = op
+            self._blocks.append(
+                Block(f"{self.name}.b{len(self._blocks)}"))
+        else:
+            self._blocks[-1].ops.append(op)
+
+    # -- main entry -----------------------------------------------------------
+
+    def assemble(self, text: str) -> AsmProgram:
+        """Assemble ``text`` into a validated program."""
+        for self._line_number, raw in enumerate(text.splitlines(), 1):
+            line = raw.split(";", 1)[0].strip()
+            if not line:
+                continue
+            label = _LABEL_RE.match(line)
+            if label:
+                name = label.group(1)
+                if any(block.label == name for block in self._blocks):
+                    self._error(f"duplicate label {name!r}")
+                self._blocks.append(Block(name))
+            elif line.startswith("."):
+                self._directive(line)
+            else:
+                self._operation(line)
+
+        referenced = {"entry"}
+        for block in self._blocks:
+            for op in block.all_ops():
+                if op.target is not None:
+                    referenced.add(op.target)
+        blocks = [block for block in self._blocks
+                  if block.ops or block.jump is not None
+                  or block.label in referenced]
+        program = AsmProgram(
+            name=self.name,
+            blocks=blocks,
+            num_vregs=self._next_vreg,
+            pinned=dict(self._pinned),
+        )
+        try:
+            program.validate()
+        except ValueError as error:
+            raise AssemblyError(0, str(error)) from error
+        return program
+
+
+def assemble(text: str) -> AsmProgram:
+    """Assemble kernel source text into an :class:`AsmProgram`."""
+    return Assembler().assemble(text)

@@ -1,0 +1,205 @@
+"""Kernel construction API.
+
+:class:`ProgramBuilder` is how kernels are written in this repository:
+straight-line virtual-register code organized into labeled blocks with
+explicit jumps, which the target-parameterized scheduler then packs
+into VLIW instructions.  Example::
+
+    b = ProgramBuilder("memset32")
+    dst, n, value = b.params("dst", "n", "value")
+    b.label("loop")
+    b.emit("st32d", srcs=(dst, value), imm=0)
+    dst = b.emit_into(dst, "iaddi", srcs=(dst,), imm=4)
+    n = b.emit_into(n, "iaddi", srcs=(n,), imm=-1)
+    cond = b.emit("igtr", srcs=(n, b.zero))
+    b.jump_if_true(cond, "loop")
+    program = b.finish()
+
+Helper methods cover common idioms: 32-bit constant formation
+(``const32``), guarded/predicated emission, and loop heads.
+"""
+
+from __future__ import annotations
+
+from repro.asm.ir import (
+    FIRST_FREE_VREG,
+    VREG_ONE,
+    VREG_ZERO,
+    AsmProgram,
+    Block,
+    VOp,
+)
+from repro.isa.operations import REGISTRY
+
+#: Parameters are pinned to consecutive physical registers from r10,
+#: a simple calling convention shared with the processor's run() API.
+PARAM_BASE_PREG = 10
+
+
+class ProgramBuilder:
+    """Incrementally builds an :class:`~repro.asm.ir.AsmProgram`."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._blocks: list[Block] = [Block("entry")]
+        self._next_vreg = FIRST_FREE_VREG
+        self._param_count = 0
+        self._pinned: dict[int, int] = {}
+        self._finished = False
+        self.zero = VREG_ZERO
+        self.one = VREG_ONE
+
+    # -- registers ---------------------------------------------------------
+
+    def vreg(self) -> int:
+        """Allocate a fresh virtual register."""
+        reg = self._next_vreg
+        self._next_vreg += 1
+        return reg
+
+    def vregs(self, count: int) -> list[int]:
+        """Allocate ``count`` fresh virtual registers."""
+        return [self.vreg() for _ in range(count)]
+
+    def params(self, *names: str) -> list[int]:
+        """Declare kernel parameters pinned to r10, r11, ...
+
+        The names are for documentation; the returned virtual registers
+        are what matters.  May be called multiple times; pinning
+        continues from the previous call.
+        """
+        regs = []
+        for _name in names:
+            reg = self.vreg()
+            self._pinned[reg] = PARAM_BASE_PREG + self._param_count
+            self._param_count += 1
+            regs.append(reg)
+        return regs
+
+    # -- blocks and control flow --------------------------------------------
+
+    @property
+    def _current(self) -> Block:
+        return self._blocks[-1]
+
+    def label(self, name: str) -> None:
+        """Start a new block named ``name`` (fall-through from current)."""
+        if self._current.label == name:
+            return
+        self._blocks.append(Block(name))
+
+    def _end_block_with_jump(self, jump: VOp) -> None:
+        if self._current.jump is not None:
+            raise ValueError(
+                f"block {self._current.label!r} already has a jump")
+        self._current.jump = jump
+        self._blocks.append(Block(f"{self.name}.b{len(self._blocks)}"))
+
+    def jump(self, target: str) -> None:
+        """Unconditional jump to ``target``; ends the current block."""
+        self._end_block_with_jump(VOp("jmpi", target=target))
+
+    def jump_if_true(self, guard: int, target: str) -> None:
+        """Jump to ``target`` when ``guard`` is true; ends the block."""
+        self._end_block_with_jump(VOp("jmpt", guard=guard, target=target))
+
+    def jump_if_false(self, guard: int, target: str) -> None:
+        """Jump to ``target`` when ``guard`` is false; ends the block."""
+        self._end_block_with_jump(VOp("jmpf", guard=guard, target=target))
+
+    # -- operations ----------------------------------------------------------
+
+    def emit(self, name: str, srcs: tuple[int, ...] = (),
+             imm: int | None = None, guard: int | None = None,
+             alias: str | None = None):
+        """Emit operation ``name``; returns its destination vreg(s).
+
+        Returns a single vreg for 1-destination ops, a tuple for
+        2-destination (two-slot) ops, and ``None`` for stores.
+        ``alias`` tags memory operations with a ``restrict``-style
+        alias class (see :class:`~repro.asm.ir.VOp`).
+        """
+        spec = REGISTRY.spec(name)
+        dsts = tuple(self.vreg() for _ in range(spec.ndst))
+        op = VOp(name, dsts=dsts, srcs=tuple(srcs), imm=imm,
+                 guard=guard, alias_class=alias)
+        op.validate()
+        self._current.ops.append(op)
+        if spec.ndst == 0:
+            return None
+        if spec.ndst == 1:
+            return dsts[0]
+        return dsts
+
+    def emit_into(self, dst: int, name: str, srcs: tuple[int, ...] = (),
+                  imm: int | None = None, guard: int | None = None,
+                  alias: str | None = None) -> int:
+        """Emit an op writing into an *existing* vreg (loop updates)."""
+        spec = REGISTRY.spec(name)
+        if spec.ndst != 1:
+            raise ValueError(f"emit_into needs a 1-destination op: {name}")
+        op = VOp(name, dsts=(dst,), srcs=tuple(srcs), imm=imm,
+                 guard=guard, alias_class=alias)
+        op.validate()
+        self._current.ops.append(op)
+        return dst
+
+    def const32(self, value: int) -> int:
+        """Materialize a 32-bit constant (uimm, plus himm when needed)."""
+        value &= 0xFFFFFFFF
+        low = value & 0xFFFF
+        high = value >> 16
+        reg = self.emit("uimm", imm=low)
+        if high:
+            reg = self.emit("himm", srcs=(reg,), imm=high)
+        return reg
+
+    def counted_loop(self, count_reg: int, body_label: str = "loop"):
+        """Begin a counted loop; returns a closure that ends it.
+
+        Usage::
+
+            end_loop = b.counted_loop(n, "body")
+            ...  # body, may update registers in place via emit_into
+            end_loop()
+
+        The loop decrements a private counter each iteration and
+        branches back while it remains positive.  ``count_reg`` must be
+        >= 1 at entry.
+        """
+        counter = self.emit("mov", srcs=(count_reg,))
+        self.label(body_label)
+
+        def end_loop() -> None:
+            self.emit_into(counter, "iaddi", srcs=(counter,), imm=-1)
+            cond = self.emit("igtr", srcs=(counter, self.zero))
+            self.jump_if_true(cond, body_label)
+
+        return end_loop
+
+    # -- finalization ---------------------------------------------------------
+
+    def finish(self) -> AsmProgram:
+        """Validate and return the finished program."""
+        if self._finished:
+            raise ValueError(f"{self.name}: finish() called twice")
+        self._finished = True
+        blocks = [blk for blk in self._blocks
+                  if blk.ops or blk.jump is not None
+                  or blk.label in self._referenced_labels()]
+        program = AsmProgram(
+            name=self.name,
+            blocks=blocks,
+            num_vregs=self._next_vreg,
+            pinned=dict(self._pinned),
+        )
+        program.validate()
+        return program
+
+    def _referenced_labels(self) -> set[str]:
+        referenced = {"entry"}
+        for blk in self._blocks:
+            for op in blk.all_ops():
+                if op.target is not None:
+                    referenced.add(op.target)
+        return referenced

@@ -1,0 +1,88 @@
+"""Disassembler: linked programs / binary images back to listings.
+
+Produces an objdump-style listing of a :class:`LinkedProgram` or of a
+raw encoded image, with per-instruction addresses, sizes, template
+codes, and slot-annotated operations — the inspection tool for
+everything the encoder and linker produce.
+"""
+
+from __future__ import annotations
+
+from repro.asm.link import LinkedProgram
+from repro.isa.encoding import (
+    SLOT_UNUSED,
+    TRUE_GUARD,
+    EncodedInstruction,
+    EncodedOp,
+    decode_program,
+    instruction_nbytes,
+)
+
+_TEMPLATE_NAMES = {0: "26", 1: "34", 2: "42", 3: "--"}
+
+
+def format_operand_list(op: EncodedOp) -> str:
+    """Render one operation's operands."""
+    parts = []
+    if op.dsts:
+        parts.append(" ".join(f"r{reg}" for reg in op.dsts) + " =")
+    parts.append(op.name)
+    operands = [f"r{reg}" for reg in op.srcs]
+    if op.spec.has_imm and op.imm is not None:
+        if op.spec.is_jump:
+            operands.append(f"-> {op.imm:#06x}")
+        else:
+            operands.append(f"#{op.imm}")
+    if operands:
+        parts.append(", ".join(operands))
+    text = " ".join(parts)
+    if op.guard != TRUE_GUARD:
+        text = f"@r{op.guard} {text}"
+    return text
+
+
+def format_instruction(instr: EncodedInstruction, address: int,
+                       label: str | None = None) -> str:
+    """Render one VLIW instruction as listing lines."""
+    lines = []
+    if label:
+        lines.append(f"{label}:")
+    template = ":".join(_TEMPLATE_NAMES[code]
+                        for code in instr.template_codes())
+    marker = " <target>" if instr.is_jump_target else ""
+    lines.append(f"  {address:#06x}  [{template}] "
+                 f"({instruction_nbytes(instr):2d}B){marker}")
+    if not instr.ops:
+        lines.append("          (empty)")
+    for op in sorted(instr.ops, key=lambda candidate: candidate.slot):
+        slots = (f"{op.slot}+{op.slot + 1}" if op.spec.two_slot
+                 else f"{op.slot}")
+        lines.append(f"          slot {slots:<4} "
+                     f"{format_operand_list(op)}")
+    return "\n".join(lines)
+
+
+def disassemble(program: LinkedProgram) -> str:
+    """Full listing of a linked program, with labels."""
+    index_to_label = {index: label
+                      for label, index in program.labels.items()}
+    lines = [f"; {program.name} for {program.target.name}: "
+             f"{program.instruction_count} instructions, "
+             f"{program.nbytes} bytes"]
+    for index, instr in enumerate(program.instructions):
+        lines.append(format_instruction(
+            instr, program.addresses[index],
+            index_to_label.get(index)))
+    return "\n".join(lines)
+
+
+def disassemble_image(image: bytes) -> str:
+    """Listing of a raw encoded image (no label information)."""
+    instructions = decode_program(image)
+    lines = [f"; image: {len(instructions)} instructions, "
+             f"{len(image)} bytes"]
+    address = 0
+    for instr in instructions:
+        lines.append(format_instruction(instr, address))
+        address += instruction_nbytes(instr)
+    return "\n".join(lines)

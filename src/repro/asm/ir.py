@@ -1,0 +1,138 @@
+"""Assembler-level intermediate representation.
+
+Kernels are written (by hand or by the kernel generators in
+:mod:`repro.kernels`) as a list of *basic blocks* of virtual-register
+operations.  The target-parameterized list scheduler
+(:mod:`repro.asm.scheduler`) packs each block into VLIW instructions
+for a concrete target — the "re-compilation" the paper performs when
+moving applications from the TM3260 to the TM3270 (Section 6).
+
+Virtual registers are plain ints.  Two are special and pre-pinned, as
+in the TriMedia architecture: vreg 0 reads as constant 0 (physical r0)
+and vreg 1 as constant 1 (physical r1); r1 doubles as the TRUE guard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.operations import REGISTRY, OpSpec
+
+#: Virtual registers 0 and 1 are pinned to the constant registers.
+VREG_ZERO = 0
+VREG_ONE = 1
+FIRST_FREE_VREG = 2
+
+#: Physical registers: r0 = 0 and r1 = 1 are architectural constants.
+NUM_PHYSICAL_REGS = 128
+FIRST_ALLOCATABLE_PREG = 2
+
+
+@dataclass
+class VOp:
+    """One operation over virtual registers.
+
+    ``guard`` is a virtual register or ``None`` (always execute).
+    Jump operations carry a ``target`` block label instead of an
+    immediate; the linker resolves it to a byte address.
+
+    ``alias_class`` is the ``restrict`` mechanism: memory operations
+    carrying *different* non-None alias classes are promised (by the
+    kernel author, as a C programmer promises with ``restrict``
+    pointers) never to touch the same bytes, so the scheduler need
+    not order them.  ``None`` means "may alias anything".
+    """
+
+    name: str
+    dsts: tuple[int, ...] = ()
+    srcs: tuple[int, ...] = ()
+    imm: int | None = None
+    guard: int | None = None
+    target: str | None = None
+    alias_class: str | None = None
+
+    @property
+    def spec(self) -> OpSpec:
+        return REGISTRY.spec(self.name)
+
+    def validate(self) -> None:
+        """Check operand counts against the operation spec."""
+        spec = self.spec
+        if len(self.dsts) != spec.ndst:
+            raise ValueError(
+                f"{self.name}: expected {spec.ndst} dsts, got "
+                f"{len(self.dsts)}")
+        if len(self.srcs) != spec.nsrc:
+            raise ValueError(
+                f"{self.name}: expected {spec.nsrc} srcs, got "
+                f"{len(self.srcs)}")
+        if spec.is_jump and self.target is None:
+            raise ValueError(f"{self.name}: jump without target label")
+        if not spec.is_jump and self.target is not None:
+            raise ValueError(f"{self.name}: target on non-jump")
+        if spec.has_imm and not spec.is_jump and self.imm is None:
+            raise ValueError(f"{self.name}: missing immediate")
+
+    def reads(self) -> tuple[int, ...]:
+        """Virtual registers read: sources plus the guard, if any."""
+        if self.guard is None:
+            return self.srcs
+        return self.srcs + (self.guard,)
+
+
+@dataclass
+class Block:
+    """A basic block: straight-line ops plus an optional ending jump."""
+
+    label: str
+    ops: list[VOp] = field(default_factory=list)
+    jump: VOp | None = None
+
+    def all_ops(self) -> list[VOp]:
+        """Ops including the jump, in program order."""
+        if self.jump is None:
+            return list(self.ops)
+        return list(self.ops) + [self.jump]
+
+
+@dataclass
+class AsmProgram:
+    """A whole kernel at the virtual-register level."""
+
+    name: str
+    blocks: list[Block] = field(default_factory=list)
+    num_vregs: int = FIRST_FREE_VREG
+    #: vreg -> required physical register (parameters, returns).
+    pinned: dict[int, int] = field(default_factory=dict)
+
+    def block(self, label: str) -> Block:
+        """Look up a block by label."""
+        for blk in self.blocks:
+            if blk.label == label:
+                return blk
+        raise KeyError(f"no block labeled {label!r} in {self.name}")
+
+    def validate(self) -> None:
+        """Validate operand counts and jump-target resolution."""
+        labels = {blk.label for blk in self.blocks}
+        if len(labels) != len(self.blocks):
+            raise ValueError(f"{self.name}: duplicate block labels")
+        for blk in self.blocks:
+            for op in blk.all_ops():
+                op.validate()
+                if op.target is not None and op.target not in labels:
+                    raise ValueError(
+                        f"{self.name}: jump to unknown label {op.target!r}")
+
+    def jump_target_labels(self) -> set[str]:
+        """Labels that are reached by an explicit jump."""
+        targets = set()
+        for blk in self.blocks:
+            for op in blk.all_ops():
+                if op.target is not None:
+                    targets.add(op.target)
+        return targets
+
+    def op_count(self) -> int:
+        """Total number of operations (jumps included)."""
+        return sum(len(blk.all_ops()) for blk in self.blocks)

@@ -1,0 +1,153 @@
+"""Linking: scheduled blocks -> executable VLIW program image.
+
+Lays blocks out in order, converts scheduled rows into
+:class:`~repro.isa.encoding.EncodedInstruction` objects over physical
+registers, marks jump-target instructions (which are encoded
+uncompressed — Section 2.1), resolves jump labels to byte addresses,
+and produces both the binary image and the in-memory instruction list
+the processor model executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asm.ir import AsmProgram
+from repro.asm.regalloc import allocate_registers_scheduled
+from repro.asm.scheduler import (
+    ScheduledProgram,
+    compute_global_defs,
+    schedule_program,
+)
+from repro.asm.target import Target
+from repro.isa.encoding import (
+    TRUE_GUARD,
+    EncodedInstruction,
+    EncodedOp,
+    encode_program,
+    instruction_nbytes,
+)
+
+
+@dataclass
+class LinkedProgram:
+    """An executable kernel for one target."""
+
+    name: str
+    target: Target
+    instructions: list[EncodedInstruction]
+    addresses: list[int]
+    labels: dict[str, int]
+    image: bytes = b""
+    register_map: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.image)
+
+    @property
+    def instruction_count(self) -> int:
+        return len(self.instructions)
+
+    @property
+    def operation_count(self) -> int:
+        return sum(len(instr.ops) for instr in self.instructions)
+
+    def index_of_address(self, address: int) -> int:
+        """Instruction index at byte ``address`` (jump resolution)."""
+        try:
+            return self._address_index[address]
+        except AttributeError:
+            self._address_index = {
+                addr: index for index, addr in enumerate(self.addresses)}
+            return self._address_index[address]
+
+
+def _row_to_instruction(row, jump_targets, regmap, label: str,
+                        row_index: int) -> EncodedInstruction:
+    ops = []
+    for slot, vop in sorted(row.items()):
+        if vop.guard is None:
+            guard = TRUE_GUARD
+        else:
+            guard = regmap.resolve(label, vop.guard)
+        ops.append(EncodedOp(
+            name=vop.name,
+            slot=slot,
+            dsts=tuple(regmap.resolve(label, reg) for reg in vop.dsts),
+            srcs=tuple(regmap.resolve(label, reg) for reg in vop.srcs),
+            guard=guard,
+            imm=vop.imm,
+        ))
+    is_target = row_index == 0 and label in jump_targets
+    return EncodedInstruction(tuple(ops), is_target)
+
+
+def link(program: AsmProgram, target: Target,
+         scheduled: ScheduledProgram | None = None) -> LinkedProgram:
+    """Schedule (if needed), allocate registers, and link ``program``."""
+    if scheduled is None:
+        scheduled = schedule_program(program, target)
+    regmap = allocate_registers_scheduled(
+        program, scheduled, target, compute_global_defs(program))
+    jump_targets = program.jump_target_labels()
+
+    instructions: list[EncodedInstruction] = []
+    labels: dict[str, int] = {}
+    pending_jumps: list[tuple[int, str]] = []  # (instruction idx, label)
+    for sblock in scheduled.blocks:
+        labels[sblock.label] = len(instructions)
+        for row_index, row in enumerate(sblock.rows):
+            instr = _row_to_instruction(
+                row, jump_targets, regmap, sblock.label, row_index)
+            for op in instr.ops:
+                if op.spec.is_jump:
+                    source = next(
+                        vop for vop in row.values() if vop.name == op.name)
+                    pending_jumps.append((len(instructions), source.target))
+            instructions.append(instr)
+    if instructions:
+        instructions[0].is_jump_target = True
+
+    # Address assignment: sizes are independent of immediate values, so
+    # a single pass suffices before patching jump targets.
+    addresses: list[int] = []
+    offset = 0
+    for instr in instructions:
+        addresses.append(offset)
+        offset += instruction_nbytes(instr)
+
+    for instr_index, label in pending_jumps:
+        if label not in labels:
+            raise ValueError(f"{program.name}: undefined label {label!r}")
+        target_index = labels[label]
+        target_address = (addresses[target_index]
+                          if target_index < len(addresses) else offset)
+        instr = instructions[instr_index]
+        patched_ops = tuple(
+            EncodedOp(op.name, op.slot, op.dsts, op.srcs, op.guard,
+                      target_address)
+            if op.spec.is_jump and op.imm is None else op
+            for op in instr.ops
+        )
+        instructions[instr_index] = EncodedInstruction(
+            patched_ops, instr.is_jump_target)
+
+    image, encoded_addresses = encode_program(instructions)
+    if encoded_addresses != addresses:
+        raise AssertionError(
+            f"{program.name}: address assignment mismatch during linking")
+    return LinkedProgram(
+        name=program.name,
+        target=target,
+        instructions=instructions,
+        addresses=addresses,
+        labels=labels,
+        image=image,
+        register_map=regmap.as_flat_dict(),
+    )
+
+
+def compile_program(program: AsmProgram, target: Target) -> LinkedProgram:
+    """One-step compile: schedule + allocate + link for ``target``."""
+    return link(program, target)

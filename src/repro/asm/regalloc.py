@@ -1,0 +1,189 @@
+"""Register allocation.
+
+The TM3270's unified register file has 128 32-bit registers (Table 1)
+— deliberately large so that media kernels keep their whole working
+set in registers and never spill (Section 1).  We never spill either:
+running out is a hard error (:class:`RegisterPressureError`).
+
+Two allocators are provided:
+
+* :func:`allocate_registers` — the trivial 1:1 mapping (no reuse),
+  kept for small programs and for tests that want stable numbering;
+* :func:`allocate_registers_scheduled` — a linear-scan allocator over
+  the *scheduled* code, used by the linker.  Globals (values live
+  across blocks, loop-carried values, pinned parameters) get dedicated
+  registers; block-local temporaries share a recycled pool.
+
+Recycling must respect the exposed pipeline: a physical register may
+be redefined only once (a) every read of the previous value has
+issued, and (b) the previous write has landed — otherwise a later,
+shorter-latency write could be clobbered by an earlier in-flight
+longer-latency one.  Hence a local's register frees at
+``max(last_use_row, def_row + latency)`` and is reusable by
+definitions issuing at or after that row.
+"""
+
+from __future__ import annotations
+
+from repro.asm.ir import (
+    FIRST_ALLOCATABLE_PREG,
+    NUM_PHYSICAL_REGS,
+    AsmProgram,
+    VREG_ONE,
+    VREG_ZERO,
+)
+
+
+class RegisterPressureError(Exception):
+    """Raised when a program needs more than 128 physical registers."""
+
+
+def allocate_registers(program: AsmProgram) -> dict[int, int]:
+    """Trivial vreg -> preg mapping with no reuse.
+
+    Pinned virtual registers (parameters/returns) keep their requested
+    physical registers; everything else is assigned sequentially.
+    """
+    mapping: dict[int, int] = {VREG_ZERO: 0, VREG_ONE: 1}
+    taken = {0, 1}
+    for vreg, preg in sorted(program.pinned.items()):
+        _check_pin(program, vreg, preg, taken, mapping)
+        mapping[vreg] = preg
+        taken.add(preg)
+
+    used_vregs: set[int] = set()
+    for blk in program.blocks:
+        for op in blk.all_ops():
+            used_vregs.update(op.dsts)
+            used_vregs.update(op.reads())
+
+    next_free = FIRST_ALLOCATABLE_PREG
+    for vreg in sorted(used_vregs):
+        if vreg in mapping:
+            continue
+        while next_free in taken:
+            next_free += 1
+        if next_free >= NUM_PHYSICAL_REGS:
+            raise RegisterPressureError(
+                f"{program.name}: register pressure exceeds "
+                f"{NUM_PHYSICAL_REGS} registers "
+                f"({len(used_vregs)} virtual registers)")
+        mapping[vreg] = next_free
+        taken.add(next_free)
+    return mapping
+
+
+def _check_pin(program, vreg, preg, taken, mapping) -> None:
+    if not 0 <= preg < NUM_PHYSICAL_REGS:
+        raise RegisterPressureError(
+            f"{program.name}: pin of v{vreg} to r{preg} out of range")
+    if preg in taken and mapping.get(vreg) != preg:
+        raise RegisterPressureError(
+            f"{program.name}: physical r{preg} pinned twice")
+
+
+class BlockAwareMapping:
+    """vreg -> preg lookup that resolves locals per block."""
+
+    def __init__(self, global_map: dict[int, int],
+                 local_maps: dict[str, dict[int, int]]) -> None:
+        self.global_map = global_map
+        self.local_maps = local_maps
+
+    def resolve(self, label: str, vreg: int) -> int:
+        locals_here = self.local_maps.get(label)
+        if locals_here is not None and vreg in locals_here:
+            return locals_here[vreg]
+        return self.global_map[vreg]
+
+    def as_flat_dict(self) -> dict[int, int]:
+        """Best-effort flat view (globals only), for introspection."""
+        return dict(self.global_map)
+
+
+def allocate_registers_scheduled(program: AsmProgram, scheduled,
+                                 target,
+                                 global_regs: set[int]) -> BlockAwareMapping:
+    """Linear-scan allocation over scheduled blocks.
+
+    ``scheduled`` is a :class:`~repro.asm.scheduler.ScheduledProgram`;
+    ``global_regs`` the cross-block-live vreg set (from
+    :func:`repro.asm.scheduler.compute_global_defs`).
+    """
+    global_map: dict[int, int] = {VREG_ZERO: 0, VREG_ONE: 1}
+    taken = {0, 1}
+    for vreg, preg in sorted(program.pinned.items()):
+        _check_pin(program, vreg, preg, taken, global_map)
+        global_map[vreg] = preg
+        taken.add(preg)
+    next_free = FIRST_ALLOCATABLE_PREG
+    for vreg in sorted(global_regs):
+        if vreg in global_map:
+            continue
+        while next_free in taken:
+            next_free += 1
+        if next_free >= NUM_PHYSICAL_REGS:
+            raise RegisterPressureError(
+                f"{program.name}: {len(global_regs)} cross-block values "
+                f"exceed the register file")
+        global_map[vreg] = next_free
+        taken.add(next_free)
+
+    pool = [preg for preg in range(NUM_PHYSICAL_REGS)
+            if preg not in taken]
+    local_maps: dict[str, dict[int, int]] = {}
+    for sblock in scheduled.blocks:
+        local_maps[sblock.label] = _allocate_block_locals(
+            program.name, sblock, target, global_map, pool)
+    return BlockAwareMapping(global_map, local_maps)
+
+
+def _allocate_block_locals(program_name: str, sblock, target,
+                           global_map: dict[int, int],
+                           pool: list[int]) -> dict[int, int]:
+    """Interval allocation of one block's local temporaries."""
+    first_def: dict[int, int] = {}
+    expiry: dict[int, int] = {}
+    for row_index, row in enumerate(sblock.rows):
+        for vop in row.values():
+            latency = target.latency_of(vop.spec)
+            for vreg in vop.reads():
+                if vreg in global_map:
+                    continue
+                expiry[vreg] = max(expiry.get(vreg, 0), row_index)
+            for vreg in vop.dsts:
+                if vreg in global_map:
+                    continue
+                first_def.setdefault(vreg, row_index)
+                expiry[vreg] = max(expiry.get(vreg, 0),
+                                   row_index + latency)
+
+    # Sanity: a local read before any definition would be a scheduler
+    # or globals-analysis bug.
+    for vreg in expiry:
+        if vreg not in first_def:
+            raise RegisterPressureError(
+                f"{program_name}/{sblock.label}: local v{vreg} read "
+                f"but never defined (globals analysis bug?)")
+
+    events = sorted(first_def.items(), key=lambda item: (item[1], item[0]))
+    free = sorted(pool)
+    active: list[tuple[int, int]] = []  # (expiry_row, preg)
+    mapping: dict[int, int] = {}
+    for vreg, def_row in events:
+        still_active = []
+        for exp_row, preg in active:
+            if exp_row <= def_row:
+                free.append(preg)
+            else:
+                still_active.append((exp_row, preg))
+        active = still_active
+        free.sort()
+        if not free:
+            raise RegisterPressureError(
+                f"{program_name}/{sblock.label}: out of registers at "
+                f"row {def_row} ({len(active)} locals live)")
+        preg = free.pop(0)
+        mapping[vreg] = preg
+        active.append((expiry[vreg], preg))
+    return mapping

@@ -1,0 +1,371 @@
+"""Target-parameterized VLIW list scheduler.
+
+Packs each basic block's operations into VLIW instructions for a
+concrete :class:`~repro.asm.target.Target`, honoring:
+
+* issue-slot and functional-unit constraints (one operation per slot;
+  two-slot operations occupy two neighboring slots);
+* per-instruction memory-port limits (e.g. 2 loads/instruction on the
+  TM3260 but 1 on the TM3270 — Table 6);
+* exposed-pipeline latencies: a consumer may not issue fewer than
+  ``latency`` instructions after its producer (TriMedia semantics: the
+  compiler, not hardware interlocks, guarantees correctness);
+* jump delay slots: a taken jump transfers control only after the
+  target's architectural delay-slot count (Section 3), so the jump is
+  placed exactly ``delay_slots + 1`` instructions before the block end
+  and the trailing instructions — which always execute — are filled
+  with the block's own tail operations where possible;
+* cross-block liveness: values consumed in other blocks (or carried
+  around a loop) must complete before the block ends, since the
+  scheduler cannot see across the control transfer.
+
+The dependence graph uses conservative memory edges (stores are ordered
+against all other memory operations; loads may reorder freely between
+themselves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asm.ir import AsmProgram, Block, VOp
+from repro.asm.target import Target
+from repro.isa.operations import FU
+
+#: Slot preference per functional-unit role: keep slots 4/5 free for
+#: memory operations and 2/3/4 for branches when alternatives exist.
+_GENERIC_SLOT_PREFERENCE = {1: 0, 3: 1, 2: 2, 5: 3, 4: 4}
+_BRANCH_SLOT_PREFERENCE = {3: 0, 2: 1, 4: 2}
+
+
+class SchedulingError(Exception):
+    """Raised when a block cannot be scheduled for the target."""
+
+
+@dataclass
+class ScheduledBlock:
+    """One block packed into instruction rows.
+
+    ``rows[c]`` maps anchor slot -> operation issued in cycle ``c``.
+    ``jump_row`` is the row index of the block's jump, or ``None``.
+    """
+
+    label: str
+    rows: list[dict[int, VOp]]
+    jump_row: int | None = None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+@dataclass
+class ScheduledProgram:
+    """All blocks of a program, scheduled for one target."""
+
+    name: str
+    target: Target
+    blocks: list[ScheduledBlock] = field(default_factory=list)
+
+    @property
+    def instruction_count(self) -> int:
+        return sum(len(blk) for blk in self.blocks)
+
+
+def _mem_descriptor(op: VOp, versions: dict[int, int]):
+    """Static address descriptor for disambiguation, or None.
+
+    Base+displacement memory operations are described as
+    ``(base_vreg, base_version, lo, hi)``: two accesses through the
+    same *version* of the same base register with disjoint
+    displacement ranges provably do not alias.  Indexed and collapsed
+    loads (unknown addresses) return None and stay fully ordered.
+    """
+    spec = op.spec
+    if not spec.has_imm or not op.srcs:
+        return None
+    base = op.srcs[0]
+    return (base, versions.get(base, 0), op.imm, op.imm + spec.mem_bytes)
+
+
+def _may_alias(first_op: VOp, first, second_op: VOp, second) -> bool:
+    """Conservative alias test between two memory operations.
+
+    Distinct author-declared alias classes (``restrict`` semantics)
+    never alias; otherwise fall back to base+displacement reasoning.
+    """
+    if (first_op.alias_class is not None
+            and second_op.alias_class is not None
+            and first_op.alias_class != second_op.alias_class):
+        return False
+    if first is None or second is None:
+        return True
+    if first[0] != second[0] or first[1] != second[1]:
+        return True  # different or re-versioned bases: unknown
+    return not (first[3] <= second[2] or second[3] <= first[2])
+
+
+def _dependence_edges(ops: list[VOp], target: Target):
+    """Predecessor lists with latency weights for one block.
+
+    Edge kinds: flow (weight = producer latency), anti (0), output
+    (producer latency - consumer latency + 1, floored at 1 when
+    equal), and memory-ordering edges of weight 1 between accesses
+    that may alias (statically disambiguated base+displacement pairs
+    are left unordered, which is what lets two stores share an
+    instruction — Section 4.2).
+    """
+    preds: list[list[tuple[int, int]]] = [[] for _ in ops]
+    last_def: dict[int, int] = {}
+    last_uses: dict[int, list[int]] = {}
+    versions: dict[int, int] = {}
+    #: (index, is_store, descriptor) of every prior memory op.
+    mem_history: list[tuple[int, bool, object]] = []
+    for index, op in enumerate(ops):
+        spec = op.spec
+        for reg in op.reads():
+            if reg in last_def:
+                producer = last_def[reg]
+                weight = target.latency_of(ops[producer].spec)
+                preds[index].append((producer, weight))
+        for reg in op.dsts:
+            if reg in last_def:
+                producer = last_def[reg]
+                lat_p = target.latency_of(ops[producer].spec)
+                lat_c = target.latency_of(spec)
+                preds[index].append((producer, max(1, lat_p - lat_c + 1)))
+            for user in last_uses.get(reg, ()):
+                if user != index:
+                    preds[index].append((user, 0))
+        if spec.is_jump:
+            # Jumps are ordered after every memory op so that memory
+            # state is settled when control leaves the block.
+            for mem_index, _is_store, _desc in mem_history:
+                preds[index].append((mem_index, 1))
+        elif spec.is_mem:
+            descriptor = _mem_descriptor(op, versions)
+            for mem_index, prior_is_store, prior_desc in mem_history:
+                if not (spec.is_store or prior_is_store):
+                    continue  # loads reorder freely among themselves
+                if _may_alias(op, descriptor, ops[mem_index], prior_desc):
+                    preds[index].append((mem_index, 1))
+            mem_history.append((index, spec.is_store, descriptor))
+        for reg in op.reads():
+            last_uses.setdefault(reg, []).append(index)
+        for reg in op.dsts:
+            last_def[reg] = index
+            last_uses[reg] = []
+            versions[reg] = versions.get(reg, 0) + 1
+    return preds
+
+
+def _critical_heights(ops: list[VOp], preds, target: Target) -> list[int]:
+    """Longest-path height of each op (for priority ordering)."""
+    succs: list[list[tuple[int, int]]] = [[] for _ in ops]
+    for index, plist in enumerate(preds):
+        for producer, weight in plist:
+            succs[producer].append((index, weight))
+    heights = [0] * len(ops)
+    for index in range(len(ops) - 1, -1, -1):
+        lat = target.latency_of(ops[index].spec)
+        best = lat
+        for successor, weight in succs[index]:
+            best = max(best, weight + heights[successor])
+        heights[index] = best
+    return heights
+
+
+class _RowResources:
+    """Slot and memory-port occupancy of one instruction row."""
+
+    def __init__(self, target: Target) -> None:
+        self._target = target
+        self.slots: dict[int, VOp] = {}
+        self.loads = 0
+        self.stores = 0
+        self.jumps = 0
+
+    def try_place(self, op: VOp) -> bool:
+        """Attempt to place ``op``; returns True and records on success."""
+        spec = op.spec
+        target = self._target
+        if spec.is_load and self.loads >= target.max_loads_per_instr:
+            return False
+        if spec.is_store and self.stores >= target.max_stores_per_instr:
+            return False
+        if spec.is_mem and (
+                self.loads + self.stores >= target.max_mem_per_instr):
+            return False
+        if spec.is_jump and self.jumps >= 1:
+            return False
+        allowed = target.allowed_slots(spec)
+        if spec.is_jump:
+            ordered = sorted(allowed, key=_BRANCH_SLOT_PREFERENCE.__getitem__)
+        elif spec.is_mem:
+            ordered = allowed
+        else:
+            ordered = sorted(allowed, key=_GENERIC_SLOT_PREFERENCE.__getitem__)
+        for slot in ordered:
+            occupied = slot in self.slots
+            if spec.two_slot:
+                occupied = occupied or (slot + 1) in self.slots
+            if occupied:
+                continue
+            self.slots[slot] = op
+            if spec.two_slot:
+                self.slots[slot + 1] = op
+            if spec.is_load:
+                self.loads += 1
+            if spec.is_store:
+                self.stores += 1
+            if spec.is_jump:
+                self.jumps += 1
+            return True
+        return False
+
+    def anchors(self) -> dict[int, VOp]:
+        """Slot -> op map keeping only each op's anchor slot."""
+        result: dict[int, VOp] = {}
+        seen: set[int] = set()
+        for slot in sorted(self.slots):
+            op = self.slots[slot]
+            if id(op) not in seen:
+                result[slot] = op
+                seen.add(id(op))
+        return result
+
+
+def schedule_block(block: Block, target: Target,
+                   global_defs: set[int]) -> ScheduledBlock:
+    """List-schedule one block for ``target``.
+
+    ``global_defs`` is the set of virtual registers whose values must
+    be architecturally complete when the block ends (consumed in other
+    blocks or loop-carried).
+    """
+    ops = list(block.ops)
+    for op in ops + ([block.jump] if block.jump else []):
+        if not target.supports(op.spec):
+            raise SchedulingError(
+                f"{block.label}: operation {op.name!r} not supported on "
+                f"target {target.name!r}")
+        if not target.allowed_slots(op.spec):
+            raise SchedulingError(
+                f"{block.label}: no issue slot for {op.name!r} on "
+                f"{target.name!r}")
+    all_ops = ops + ([block.jump] if block.jump else [])
+    preds = _dependence_edges(all_ops, target)
+    heights = _critical_heights(all_ops, preds, target)
+    jump_index = len(all_ops) - 1 if block.jump else None
+
+    n = len(all_ops)
+    cycle_of = [-1] * n
+    earliest = [0] * n
+    unscheduled = set(range(n))
+    if jump_index is not None:
+        unscheduled.discard(jump_index)
+    rows: list[_RowResources] = []
+    cycle = 0
+    while unscheduled:
+        while len(rows) <= cycle:
+            rows.append(_RowResources(target))
+        ready = [
+            index for index in unscheduled
+            if all(cycle_of[p] >= 0 for p, _ in preds[index])
+            and earliest[index] <= cycle
+        ]
+        ready.sort(key=lambda index: (-heights[index], index))
+        placed_any = False
+        for index in ready:
+            if rows[cycle].try_place(all_ops[index]):
+                cycle_of[index] = cycle
+                unscheduled.discard(index)
+                placed_any = True
+                for successor in range(n):
+                    for producer, weight in preds[successor]:
+                        if producer == index:
+                            earliest[successor] = max(
+                                earliest[successor], cycle + weight)
+        if not placed_any and not ready:
+            # Nothing ready yet: fast-forward to the next earliest time.
+            pending = [
+                earliest[i] for i in unscheduled
+                if all(cycle_of[p] >= 0 for p, _ in preds[i])
+            ]
+            if pending:
+                cycle = max(cycle + 1, min(pending))
+                continue
+        cycle += 1
+        if cycle > 10 * n + 64:
+            raise SchedulingError(
+                f"{block.label}: scheduler failed to converge")
+
+    makespan = 1 + max((c for c in cycle_of if c >= 0), default=-1)
+    # Values visible outside the block must have written back by the end.
+    needed_len = makespan
+    for index, op in enumerate(all_ops):
+        if index == jump_index:
+            continue
+        if any(dst in global_defs for dst in op.dsts):
+            needed_len = max(
+                needed_len,
+                cycle_of[index] + target.latency_of(op.spec))
+
+    jump_row: int | None = None
+    if jump_index is not None:
+        jump_op = all_ops[jump_index]
+        jump_ready = 0
+        for producer, weight in preds[jump_index]:
+            jump_ready = max(jump_ready, cycle_of[producer] + weight)
+        jump_row = max(jump_ready,
+                       needed_len - 1 - target.jump_delay_slots, 0)
+        while True:
+            while len(rows) <= jump_row:
+                rows.append(_RowResources(target))
+            if rows[jump_row].try_place(jump_op):
+                break
+            jump_row += 1
+        block_len = jump_row + 1 + target.jump_delay_slots
+    else:
+        block_len = max(needed_len, 1 if not all_ops else needed_len)
+
+    result_rows: list[dict[int, VOp]] = []
+    for index in range(block_len):
+        if index < len(rows):
+            result_rows.append(rows[index].anchors())
+        else:
+            result_rows.append({})
+    return ScheduledBlock(block.label, result_rows, jump_row)
+
+
+def compute_global_defs(program: AsmProgram) -> set[int]:
+    """Virtual registers that must survive past their defining block.
+
+    A vreg is *global* when it is read in a different block than the
+    one defining it, read before (re)definition within its own block
+    (loop-carried), or pinned (parameters: live at entry).
+    """
+    global_regs: set[int] = set(program.pinned)
+    def_block: dict[int, str] = {}
+    for blk in program.blocks:
+        defined_here: set[int] = set()
+        for op in blk.all_ops():
+            for reg in op.reads():
+                if reg not in defined_here:
+                    # Value flows in from outside this block.
+                    global_regs.add(reg)
+            for reg in op.dsts:
+                defined_here.add(reg)
+                if reg in def_block and def_block[reg] != blk.label:
+                    global_regs.add(reg)
+                def_block[reg] = blk.label
+    return global_regs
+
+
+def schedule_program(program: AsmProgram, target: Target) -> ScheduledProgram:
+    """Schedule every block of ``program`` for ``target``."""
+    program.validate()
+    global_defs = compute_global_defs(program)
+    scheduled = ScheduledProgram(program.name, target)
+    for blk in program.blocks:
+        scheduled.blocks.append(schedule_block(blk, target, global_defs))
+    return scheduled

@@ -1,0 +1,91 @@
+"""Scheduler-visible target descriptions (Table 6).
+
+A :class:`Target` captures everything the scheduler must know to
+"compile" a kernel for a family member: issue-slot constraints, memory
+operation limits, load latency, jump delay slots, and which operations
+exist.  The differences between the two presets mirror Table 6:
+
+===================  =============  =============
+feature              TM3260         TM3270
+===================  =============  =============
+jump delay slots     3              5
+load latency         3 cycles       4 cycles
+loads / instr        2 (slots 4,5)  1 (slot 5)
+two-slot operations  no             yes
+new TM3270 ops       no             yes
+===================  =============  =============
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.operations import FU, REGISTRY, OpSpec
+
+
+@dataclass(frozen=True)
+class Target:
+    """Scheduling model of one TriMedia family member."""
+
+    name: str
+    issue_slots: int = 5
+    jump_delay_slots: int = 5
+    load_latency: int = 4
+    load_slots: tuple[int, ...] = (5,)
+    store_slots: tuple[int, ...] = (4, 5)
+    max_loads_per_instr: int = 1
+    max_stores_per_instr: int = 2
+    max_mem_per_instr: int = 2
+    supports_two_slot: bool = True
+    supports_new_ops: bool = True
+
+    def supports(self, spec: OpSpec) -> bool:
+        """True when this target implements the operation."""
+        if spec.new_in_tm3270 and not self.supports_new_ops:
+            return False
+        if spec.two_slot and not self.supports_two_slot:
+            return False
+        return True
+
+    def latency_of(self, spec: OpSpec) -> int:
+        """Operation result latency on this target.
+
+        Plain loads take the target's load latency (Table 6).
+        Collapsed loads with interpolation add the two filter stages
+        X5/X6 on top of the load pipeline (Section 4.2, Figure 5).
+        """
+        if spec.is_load:
+            if spec.fu is FU.FRACLOAD:
+                return self.load_latency + 2
+            return self.load_latency
+        return spec.latency
+
+    def allowed_slots(self, spec: OpSpec) -> tuple[int, ...]:
+        """Anchor slots in which the operation may issue on this target."""
+        if not self.supports(spec):
+            return ()
+        if spec.is_load and spec.fu is FU.LOADSTORE:
+            return self.load_slots
+        if spec.is_store:
+            return self.store_slots
+        return spec.slots
+
+
+#: The TM3270 (configuration D of Section 6).
+TM3270_TARGET = Target(name="tm3270")
+
+#: The TM3260 predecessor (configuration A of Section 6).
+TM3260_TARGET = Target(
+    name="tm3260",
+    jump_delay_slots=3,
+    load_latency=3,
+    load_slots=(4, 5),
+    max_loads_per_instr=2,
+    supports_two_slot=False,
+    supports_new_ops=False,
+)
+
+
+def unsupported_ops(target: Target) -> list[str]:
+    """Mnemonics registered globally but absent on ``target``."""
+    return [spec.name for spec in REGISTRY if not target.supports(spec)]

@@ -1,0 +1,6 @@
+"""H.264-style CABAC codec: tables, bitstreams, encoder, reference decoder."""
+
+from repro.cabac.encoder import CabacEncoder
+from repro.cabac.reference import CabacDecoder, ContextModel, decode_step
+
+__all__ = ["CabacEncoder", "CabacDecoder", "ContextModel", "decode_step"]

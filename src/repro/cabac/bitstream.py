@@ -1,0 +1,93 @@
+"""Bitstream containers for the CABAC codec.
+
+The decoder side deliberately mirrors the paper's representation
+(Figure 2): the consumer holds a 32-bit big-endian ``stream_data`` word
+and a ``stream_bit_position`` within it, refilling the word from a
+byte-aligned pointer — exactly the state the ``SUPER_CABAC_*``
+operations manipulate.
+"""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """Append-only MSB-first bit accumulator used by the encoder."""
+
+    def __init__(self) -> None:
+        self._bits: list[int] = []
+
+    def put_bit(self, bit: int) -> None:
+        """Append a single bit (0 or 1)."""
+        self._bits.append(bit & 1)
+
+    def put_bits(self, value: int, count: int) -> None:
+        """Append ``count`` bits of ``value``, most-significant first."""
+        for shift in range(count - 1, -1, -1):
+            self._bits.append((value >> shift) & 1)
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    def to_bytes(self) -> bytes:
+        """Pack accumulated bits into bytes, zero-padding the tail.
+
+        At least 8 trailing zero bytes are appended so a decoder's
+        32-bit look-ahead window never reads past the buffer.
+        """
+        padded = self._bits + [0] * ((-len(self._bits)) % 8)
+        out = bytearray()
+        for index in range(0, len(padded), 8):
+            byte = 0
+            for bit in padded[index:index + 8]:
+                byte = (byte << 1) | bit
+            out.append(byte)
+        out.extend(b"\x00" * 8)
+        return bytes(out)
+
+
+class BitReader:
+    """MSB-first bit reader over a byte buffer.
+
+    Maintains the (word, bit-position) decoder state of Figure 2:
+    ``peek_word()`` is the 32-bit ``stream_data`` value, ``position``
+    the ``stream_bit_position`` within it.  ``realign()`` advances the
+    byte pointer and folds the position back below 8 — the refill step
+    a software decode loop performs between symbols.
+    """
+
+    def __init__(self, data: bytes) -> None:
+        if len(data) < 4:
+            data = data + b"\x00" * (4 - len(data))
+        self._data = data
+        self._byte_pos = 0
+        self.position = 0  # bit position within the current 32-bit window
+
+    def peek_word(self) -> int:
+        """The 32-bit big-endian window at the current byte pointer."""
+        chunk = self._data[self._byte_pos:self._byte_pos + 4]
+        chunk = chunk + b"\x00" * (4 - len(chunk))
+        return int.from_bytes(chunk, "big")
+
+    def read_bit(self) -> int:
+        """Consume and return the next bit."""
+        bit = (self.peek_word() >> (31 - self.position)) & 1
+        self.position += 1
+        self.realign()
+        return bit
+
+    def read_bits(self, count: int) -> int:
+        """Consume ``count`` bits, MSB first."""
+        value = 0
+        for _ in range(count):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def realign(self) -> None:
+        """Fold whole consumed bytes into the byte pointer."""
+        advance, self.position = divmod(self.position, 8)
+        self._byte_pos += advance
+
+    @property
+    def bits_consumed(self) -> int:
+        """Total number of bits consumed since construction."""
+        return 8 * self._byte_pos + self.position

@@ -1,0 +1,111 @@
+"""CABAC arithmetic *encoder* (H.264/AVC encoding engine).
+
+The paper only needs the decoder (Figure 2), but reproducing Table 3
+requires CABAC-coded bitstreams to decode.  The authors used a real
+4.5 Mbit/s H.264 bitstream; we build the exact mirror-image encoder so
+we can synthesize I/P/B-field bitstreams with controlled statistics
+(see :mod:`repro.workloads.cabac_streams`) and verify the decoder —
+and therefore the ``SUPER_CABAC_*`` operations — by round-trip.
+"""
+
+from __future__ import annotations
+
+from repro.cabac import tables
+from repro.cabac.bitstream import BitWriter
+from repro.cabac.reference import ContextModel
+
+
+class CabacEncoder:
+    """H.264-style binary arithmetic encoding engine.
+
+    Implements the specification's ``EncodeDecision`` /
+    ``EncodeBypass`` / ``EncodeFlush`` procedures over
+    :class:`~repro.cabac.bitstream.BitWriter`.
+    """
+
+    def __init__(self, num_contexts: int = 1) -> None:
+        self.contexts = [ContextModel() for _ in range(num_contexts)]
+        self._writer = BitWriter()
+        self._low = 0
+        self._range = tables.INITIAL_RANGE
+        self._bits_outstanding = 0
+        self._first_bit = True
+        self.symbols_encoded = 0
+
+    # -- bit plumbing -----------------------------------------------------
+
+    def _put_bit(self, bit: int) -> None:
+        # The very first renormalization output bit carries no
+        # information (low < 1024) and is dropped, mirroring the
+        # decoder's 9-bit initialization read.
+        if self._first_bit:
+            self._first_bit = False
+        else:
+            self._writer.put_bit(bit)
+        while self._bits_outstanding > 0:
+            self._writer.put_bit(bit ^ 1)
+            self._bits_outstanding -= 1
+
+    def _renormalize(self) -> None:
+        while self._range < tables.RENORM_THRESHOLD:
+            if self._low >= 512:
+                self._put_bit(1)
+                self._low -= 512
+            elif self._low < 256:
+                self._put_bit(0)
+            else:
+                self._bits_outstanding += 1
+                self._low -= 256
+            self._low <<= 1
+            self._range <<= 1
+
+    # -- encoding ---------------------------------------------------------
+
+    def encode(self, bit: int, context_index: int = 0) -> None:
+        """Encode one context-coded binary symbol."""
+        ctx = self.contexts[context_index]
+        range_lps = tables.LPS_RANGE_TABLE[ctx.state][(self._range >> 6) & 3]
+        self._range -= range_lps
+        if bit == ctx.mps:
+            ctx.state = tables.MPS_NEXT_STATE[ctx.state]
+        else:
+            self._low += self._range
+            self._range = range_lps
+            if ctx.state == 0:
+                ctx.mps ^= 1
+            ctx.state = tables.LPS_NEXT_STATE[ctx.state]
+        self._renormalize()
+        self.symbols_encoded += 1
+
+    def encode_bypass(self, bit: int) -> None:
+        """Encode one bypass (equiprobable) symbol."""
+        self._low <<= 1
+        if bit:
+            self._low += self._range
+        if self._low >= 1024:
+            self._put_bit(1)
+            self._low -= 1024
+        elif self._low < 512:
+            self._put_bit(0)
+        else:
+            self._bits_outstanding += 1
+            self._low -= 512
+        self.symbols_encoded += 1
+
+    def flush(self) -> bytes:
+        """Terminate the stream and return the coded bytes.
+
+        Follows the specification's ``EncodeFlush``: the remaining
+        interval is narrowed to 2 and the low bits are emitted so any
+        conforming decoder resolves the final symbols unambiguously.
+        """
+        self._range = 2
+        self._renormalize()
+        self._put_bit((self._low >> 9) & 1)
+        self._writer.put_bits(((self._low >> 7) & 3) | 1, 2)
+        return self._writer.to_bytes()
+
+    @property
+    def bits_written(self) -> int:
+        """Bits emitted so far (excluding flush/padding)."""
+        return len(self._writer)

@@ -1,0 +1,126 @@
+"""Reference CABAC decoding engine — Figure 2's ``biari_decode_symbol``.
+
+The central function, :func:`decode_step`, is a pure function over the
+exact state tuple that the paper's Figure 2 manipulates::
+
+    (value, range, state, mps, stream_data, stream_bit_position)
+
+It returns the updated state and the decoded bit.  The TM3270's
+``SUPER_CABAC_CTX`` and ``SUPER_CABAC_STR`` operation semantics
+(:mod:`repro.isa.custom_ops`) call this same function, each projecting
+out its half of the outputs — so by construction the hardware operations
+and the reference software path agree bit for bit.
+
+Note on Figure 2's ``mps = mps ^ (state != 0)`` line: the H.264/AVC
+specification flips the MPS when the LPS path is taken *in state 0*
+(``pStateIdx == 0``), i.e. the flip condition is ``state == 0``.  We
+implement the specification behaviour (and our encoder mirrors it); the
+figure's polarity is a typo in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cabac import tables
+from repro.cabac.bitstream import BitReader
+
+
+def decode_step(
+    value: int,
+    range_: int,
+    state: int,
+    mps: int,
+    stream_data: int,
+    stream_bit_position: int,
+) -> tuple[int, int, int, int, int, int]:
+    """One ``biari_decode_symbol`` step (Figure 2).
+
+    Parameters mirror the figure: ``value`` is the 10-bit coding value,
+    ``range_`` the 9-bit coding range, ``(state, mps)`` the context's
+    probability model, ``stream_data`` a 32-bit big-endian bitstream
+    window and ``stream_bit_position`` the consumer position within it.
+
+    Returns ``(value, range, state, mps, stream_bit_position, bit)``.
+    """
+    stream_data_aligned = (stream_data << stream_bit_position) & 0xFFFFFFFF
+    range_lps = tables.LPS_RANGE_TABLE[state][(range_ >> 6) & 3]
+    temp_range = range_ - range_lps
+    if value < temp_range:
+        # Most probable symbol.
+        range_ = temp_range
+        bit = mps
+        state = tables.MPS_NEXT_STATE[state]
+    else:
+        # Least probable symbol.
+        value = value - temp_range
+        bit = mps ^ 1
+        mps = mps ^ (1 if state == 0 else 0)
+        range_ = range_lps
+        state = tables.LPS_NEXT_STATE[state]
+    # Renormalization: at most 8 bits can be consumed (range is 9 bits).
+    while range_ < tables.RENORM_THRESHOLD:
+        value = ((value << 1) | ((stream_data_aligned >> 31) & 1)) & 0x3FF
+        range_ = range_ << 1
+        stream_data_aligned = (stream_data_aligned << 1) & 0xFFFFFFFF
+        stream_bit_position += 1
+    return value, range_, state, mps, stream_bit_position, bit
+
+
+@dataclass
+class ContextModel:
+    """One CABAC context: 6-bit probability state plus the MPS bit."""
+
+    state: int = 0
+    mps: int = 0
+
+
+class CabacDecoder:
+    """Software CABAC decoding engine over a byte buffer.
+
+    Maintains Figure 2's engine state and a set of context models;
+    ``decode(ctx)`` decodes one binary symbol with context ``ctx`` and
+    ``decode_bypass()`` decodes an equiprobable symbol (used for sign
+    bits and suffixes, as in H.264).
+    """
+
+    def __init__(self, data: bytes, num_contexts: int = 1) -> None:
+        self._reader = BitReader(data)
+        self.contexts = [ContextModel() for _ in range(num_contexts)]
+        self.range = tables.INITIAL_RANGE
+        self.value = self._reader.read_bits(9)
+        self.symbols_decoded = 0
+
+    def decode(self, context_index: int = 0) -> int:
+        """Decode one context-coded binary symbol."""
+        ctx = self.contexts[context_index]
+        value, range_, state, mps, position, bit = decode_step(
+            self.value,
+            self.range,
+            ctx.state,
+            ctx.mps,
+            self._reader.peek_word(),
+            self._reader.position,
+        )
+        self.value = value
+        self.range = range_
+        ctx.state = state
+        ctx.mps = mps
+        self._reader.position = position
+        self._reader.realign()
+        self.symbols_decoded += 1
+        return bit
+
+    def decode_bypass(self) -> int:
+        """Decode one bypass (equiprobable) symbol."""
+        self.value = ((self.value << 1) | self._reader.read_bit()) & 0x3FF
+        self.symbols_decoded += 1
+        if self.value >= self.range:
+            self.value -= self.range
+            return 1
+        return 0
+
+    @property
+    def bits_consumed(self) -> int:
+        """Bits read from the buffer so far (including the 9 init bits)."""
+        return self._reader.bits_consumed

@@ -1,0 +1,69 @@
+"""H.264/AVC CABAC probability tables.
+
+These are the standard tables from the H.264/AVC specification (and
+reference software) that Figure 2 of the paper refers to:
+
+* ``LPS_RANGE_TABLE[64][4]`` — ``LpsRangeTable`` in Figure 2: the range
+  of the least-probable symbol, indexed by context state and by the two
+  quantizer bits ``(range >> 6) & 3``.
+* ``MPS_NEXT_STATE[64]`` / ``LPS_NEXT_STATE[64]`` — the probability
+  state transition tables for most-/least-probable-symbol outcomes.
+
+The encoder and decoder in this package (and the TM3270's
+``SUPER_CABAC_*`` operation semantics) all share these tables, so
+round-trip correctness exercises them end to end.
+"""
+
+from __future__ import annotations
+
+#: Figure 2's ``LpsRangeTable[64][4]``.
+LPS_RANGE_TABLE: tuple[tuple[int, int, int, int], ...] = (
+    (128, 176, 208, 240), (128, 167, 197, 227), (128, 158, 187, 216),
+    (123, 150, 178, 205), (116, 142, 169, 195), (111, 135, 160, 185),
+    (105, 128, 152, 175), (100, 122, 144, 166), (95, 116, 137, 158),
+    (90, 110, 130, 150), (85, 104, 123, 142), (81, 99, 117, 135),
+    (77, 94, 111, 128), (73, 89, 105, 122), (69, 85, 100, 116),
+    (66, 80, 95, 110), (62, 76, 90, 104), (59, 72, 86, 99),
+    (56, 69, 81, 94), (53, 65, 77, 89), (51, 62, 73, 85),
+    (48, 59, 69, 80), (46, 56, 66, 76), (43, 53, 63, 72),
+    (41, 50, 59, 69), (39, 48, 56, 65), (37, 45, 54, 62),
+    (35, 43, 51, 59), (33, 41, 48, 56), (32, 39, 46, 53),
+    (30, 37, 43, 50), (28, 35, 41, 48), (27, 33, 39, 45),
+    (26, 31, 37, 43), (24, 30, 35, 41), (23, 28, 33, 39),
+    (22, 27, 32, 37), (21, 26, 30, 35), (20, 24, 29, 33),
+    (19, 23, 27, 31), (18, 22, 26, 30), (17, 21, 25, 28),
+    (16, 20, 23, 27), (15, 19, 22, 25), (14, 18, 21, 24),
+    (14, 17, 20, 23), (13, 16, 19, 22), (12, 15, 18, 21),
+    (12, 14, 17, 20), (11, 14, 16, 19), (11, 13, 15, 18),
+    (10, 12, 15, 17), (10, 12, 14, 16), (9, 11, 13, 15),
+    (9, 11, 12, 14), (8, 10, 12, 14), (8, 9, 11, 13),
+    (7, 9, 11, 12), (7, 9, 10, 12), (7, 8, 10, 11),
+    (6, 8, 9, 11), (6, 7, 9, 10), (6, 7, 8, 9),
+    (2, 2, 2, 2),
+)
+
+#: Figure 2's ``MpsNextStateTable[64]``: state increments towards 62 on a
+#: most-probable-symbol outcome; state 63 is the terminating state.
+MPS_NEXT_STATE: tuple[int, ...] = tuple(
+    min(state + 1, 62) if state < 63 else 63 for state in range(64)
+)
+
+#: Figure 2's ``LpsNextStateTable[64]``.
+LPS_NEXT_STATE: tuple[int, ...] = (
+    0, 0, 1, 2, 2, 4, 4, 5, 6, 7, 8, 9, 9, 11, 11, 12,
+    13, 13, 15, 15, 16, 16, 18, 18, 19, 19, 21, 21, 23, 22, 23, 24,
+    24, 25, 26, 26, 27, 27, 28, 29, 29, 30, 30, 30, 31, 32, 32, 33,
+    33, 33, 34, 34, 35, 35, 35, 36, 36, 36, 37, 37, 37, 38, 38, 63,
+)
+
+N_STATES = 64
+
+#: Number of quantized range indices: ``(range >> 6) & 3``.
+N_RANGE_QUANT = 4
+
+#: The decoding engine's range stays in ``[256, 511)`` after
+#: renormalization; it starts at 510 (H.264 initialization).
+INITIAL_RANGE = 510
+
+#: Renormalization threshold from Figure 2: ``while (range < 256)``.
+RENORM_THRESHOLD = 256

@@ -1,0 +1,26 @@
+"""Processor core: configs, executor, cycle-level model, power and area."""
+
+from repro.core.config import (
+    CONFIG_A,
+    CONFIG_B,
+    CONFIG_C,
+    CONFIG_D,
+    EVALUATION_CONFIGS,
+    TM3260_CONFIG,
+    TM3270_CONFIG,
+    ProcessorConfig,
+)
+from repro.core.area import area_breakdown
+from repro.core.dvs import DvsGovernor
+from repro.core.power import PowerModel
+from repro.core.processor import Processor, RunResult, run_kernel
+from repro.core.stats import RunStats
+from repro.core.trace import format_profile, profile_program, utilization
+
+__all__ = [
+    "CONFIG_A", "CONFIG_B", "CONFIG_C", "CONFIG_D", "EVALUATION_CONFIGS",
+    "TM3260_CONFIG", "TM3270_CONFIG", "ProcessorConfig", "Processor",
+    "RunResult", "RunStats", "run_kernel", "area_breakdown",
+    "DvsGovernor", "PowerModel", "format_profile", "profile_program",
+    "utilization",
+]

@@ -1,0 +1,132 @@
+"""Parametric area model (Section 5.1, Table 4, Figure 6).
+
+The TM3270 measures 8.08 mm² in the low-power 90 nm process, with the
+SRAMs of the 64 KB instruction cache and 128 KB data cache making up
+roughly 50% of the total.  The model decomposes each module into an
+SRAM part (proportional to capacity) and a logic part, with the
+register file additionally modeled by its port count (the paper calls
+out the routing inefficiency of 15 read + 5 write ports).
+
+Coefficients are calibrated so the TM3270 configuration reproduces
+Table 4; because they are *parametric*, the ablation benches can ask
+"what would a 16 KB data cache or a portless register file cost?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ProcessorConfig, TM3270_CONFIG
+from repro.isa.operations import FU
+
+#: 90 nm SRAM density: 192 KB of cache SRAM ~= 50% of 8.08 mm².
+SRAM_MM2_PER_KB = 4.04 / 192.0
+
+#: Register-file bit-port cell area: 128 regs x 32 bits x 20 ports
+#: (15 read + 5 write) = 0.97 mm².
+REGFILE_MM2_PER_BIT_PORT = 0.97 / (128 * 32 * 20)
+
+#: Logic area of each functional-unit instance, relative units.
+#: Normalized so the TM3270 inventory totals EXECUTE_MM2_TM3270.
+FU_RELATIVE_AREA = {
+    FU.ALU: 0.04,
+    FU.SHIFTER: 0.05,
+    FU.DSPALU: 0.08,
+    FU.DSPMUL: 0.12,
+    FU.BRANCH: 0.02,
+    FU.FALU: 0.12,
+    FU.FMUL: 0.14,
+    FU.FCOMP: 0.03,
+    FU.FTOUGH: 0.10,
+    FU.LOADSTORE: 0.0,   # accounted in the LS module
+    FU.SUPER_DSPMUL: 0.13,
+    FU.SUPER_CABAC: 0.07,
+    FU.SUPER_LS: 0.0,    # accounted in the LS module
+    FU.FRACLOAD: 0.08,
+}
+EXECUTE_MM2_TM3270 = 1.53
+
+#: Fixed logic areas (Table 4 minus the parametric parts).
+IFU_LOGIC_MM2 = 1.46 - 64 * SRAM_MM2_PER_KB
+LS_LOGIC_MM2 = 3.60 - 128 * SRAM_MM2_PER_KB
+DECODE_MM2 = 0.05
+BIU_MM2 = 0.24
+MMIO_MM2 = 0.23
+
+#: Register-file port counts of the 5-issue TM3270: 10 operand read
+#: ports + 5 guard read ports and 5 write ports (Section 3).
+READ_PORTS = 15
+WRITE_PORTS = 5
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Per-module silicon area in mm² (the Table 4 'Area' column)."""
+
+    ifu: float
+    decode: float
+    regfile: float
+    execute: float
+    load_store: float
+    biu: float
+    mmio: float
+
+    @property
+    def total(self) -> float:
+        return (self.ifu + self.decode + self.regfile + self.execute
+                + self.load_store + self.biu + self.mmio)
+
+    def as_rows(self) -> list[tuple[str, float]]:
+        """(module, mm²) rows in Table 4 order."""
+        return [
+            ("IFU", self.ifu),
+            ("Decode", self.decode),
+            ("Regfile", self.regfile),
+            ("Execute", self.execute),
+            ("LS", self.load_store),
+            ("BIU", self.biu),
+            ("MMIO", self.mmio),
+            ("Total", self.total),
+        ]
+
+
+def _execute_area(target_has_new_ops: bool, issue_slots: int) -> float:
+    """Execute-module logic area from the functional-unit inventory."""
+    from repro.isa.operations import FU_SLOTS  # local to avoid cycles
+
+    relative = 0.0
+    tm3270_relative = 0.0
+    for fu, weight in FU_RELATIVE_AREA.items():
+        instances = len(FU_SLOTS[fu])
+        tm3270_relative += weight * instances
+        is_new = fu in (FU.SUPER_DSPMUL, FU.SUPER_CABAC, FU.SUPER_LS,
+                        FU.FRACLOAD)
+        if is_new and not target_has_new_ops:
+            continue
+        relative += weight * instances
+    scale = EXECUTE_MM2_TM3270 / tm3270_relative
+    return relative * scale * (issue_slots / 5.0)
+
+
+def regfile_area(num_regs: int = 128, bits: int = 32,
+                 read_ports: int = READ_PORTS,
+                 write_ports: int = WRITE_PORTS) -> float:
+    """Register-file area from its geometry and port count."""
+    ports = read_ports + write_ports
+    return num_regs * bits * ports * REGFILE_MM2_PER_BIT_PORT
+
+
+def area_breakdown(config: ProcessorConfig = TM3270_CONFIG) -> AreaBreakdown:
+    """Compute the per-module area breakdown for ``config``."""
+    icache_kb = config.icache.size_bytes / 1024
+    dcache_kb = config.dcache.size_bytes / 1024
+    return AreaBreakdown(
+        ifu=icache_kb * SRAM_MM2_PER_KB + IFU_LOGIC_MM2,
+        decode=DECODE_MM2,
+        regfile=regfile_area(),
+        execute=_execute_area(config.target.supports_new_ops,
+                              config.target.issue_slots),
+        load_store=dcache_kb * SRAM_MM2_PER_KB + LS_LOGIC_MM2,
+        biu=BIU_MM2,
+        mmio=MMIO_MM2,
+    )

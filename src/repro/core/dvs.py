@@ -1,0 +1,123 @@
+"""Dynamic voltage and frequency scaling (Section 5.2).
+
+The paper: "Typical supply voltage V for our process technology is
+1.2 V, but functional operation at 0.8 V is guaranteed at a lower
+frequency.  This allows for dynamic voltage scaling based on
+computational requirements.  Since the processor has a fully static
+design and asynchronous bus interfaces ... the operating frequency can
+be changed on the fly, independent of the rest of the SoC."
+
+This module implements that power-management story: a
+voltage/frequency operating-curve model and a governor that, given a
+measured workload (cycles per frame) and a real-time deadline (e.g.
+60 fields/s), picks the lowest operating point that still makes the
+deadline — and reports the energy saved against running flat-out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.power import NOMINAL_VOLTAGE
+from repro.core.stats import RunStats
+
+#: Guaranteed operating points from Section 5.2: 350 MHz at 1.2 V
+#: worst case, functional at 0.8 V at a reduced frequency.  Between
+#: the anchors frequency is modeled as (to first order) linear in
+#: voltage — the classic alpha-power approximation for V >> Vt.
+VOLTAGE_MAX = 1.2
+VOLTAGE_MIN = 0.8
+FREQ_AT_VMAX_MHZ = 350.0
+FREQ_AT_VMIN_MHZ = 175.0
+
+
+def max_frequency_mhz(voltage: float) -> float:
+    """Highest guaranteed frequency at ``voltage`` (linear model)."""
+    if not VOLTAGE_MIN <= voltage <= VOLTAGE_MAX:
+        raise ValueError(
+            f"voltage {voltage} outside the guaranteed "
+            f"[{VOLTAGE_MIN}, {VOLTAGE_MAX}] V window")
+    span = (voltage - VOLTAGE_MIN) / (VOLTAGE_MAX - VOLTAGE_MIN)
+    return FREQ_AT_VMIN_MHZ + span * (FREQ_AT_VMAX_MHZ - FREQ_AT_VMIN_MHZ)
+
+
+def min_voltage_for(freq_mhz: float) -> float:
+    """Lowest voltage at which ``freq_mhz`` is guaranteed."""
+    if not 0 < freq_mhz <= FREQ_AT_VMAX_MHZ:
+        raise ValueError(f"frequency {freq_mhz} MHz not attainable")
+    if freq_mhz <= FREQ_AT_VMIN_MHZ:
+        return VOLTAGE_MIN
+    span = ((freq_mhz - FREQ_AT_VMIN_MHZ)
+            / (FREQ_AT_VMAX_MHZ - FREQ_AT_VMIN_MHZ))
+    return VOLTAGE_MIN + span * (VOLTAGE_MAX - VOLTAGE_MIN)
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One chosen (frequency, voltage) pair and its consequences."""
+
+    freq_mhz: float
+    voltage: float
+    utilization: float  # busy fraction of the deadline period
+
+    def relative_power(self) -> float:
+        """Dynamic power relative to (f_max, V_max): (f/fm)(V/Vm)^2.
+
+        Assumes clock gating during the idle fraction of the period,
+        so only busy cycles burn dynamic power (Section 5.2).
+        """
+        return ((self.freq_mhz / FREQ_AT_VMAX_MHZ)
+                * (self.voltage / VOLTAGE_MAX) ** 2
+                * self.utilization)
+
+    def relative_energy_per_frame(self) -> float:
+        """Energy per frame relative to racing at (f_max, V_max).
+
+        Cycles per frame are fixed, so energy scales as V² alone —
+        the fundamental DVS win.
+        """
+        return (self.voltage / VOLTAGE_MAX) ** 2
+
+
+class DvsGovernor:
+    """Deadline-driven frequency/voltage selection."""
+
+    def __init__(self, margin: float = 0.05) -> None:
+        if not 0 <= margin < 1:
+            raise ValueError("margin must be in [0, 1)")
+        self.margin = margin
+
+    def required_frequency_mhz(self, cycles_per_frame: int,
+                               frames_per_second: float) -> float:
+        """Minimum frequency meeting the frame deadline (with margin)."""
+        return (cycles_per_frame * frames_per_second
+                * (1.0 + self.margin) / 1e6)
+
+    def select(self, cycles_per_frame: int,
+               frames_per_second: float) -> OperatingPoint:
+        """Choose the lowest guaranteed operating point for the load."""
+        needed = self.required_frequency_mhz(
+            cycles_per_frame, frames_per_second)
+        if needed > FREQ_AT_VMAX_MHZ:
+            raise ValueError(
+                f"workload needs {needed:.0f} MHz, above the "
+                f"{FREQ_AT_VMAX_MHZ:.0f} MHz maximum")
+        freq = max(needed, 1.0)
+        voltage = min_voltage_for(freq)
+        # Run at the point's guaranteed maximum frequency and idle
+        # (clock-gated) for the rest of the period: race-to-idle
+        # within the chosen voltage.
+        attainable = max_frequency_mhz(voltage)
+        utilization = needed / attainable
+        return OperatingPoint(attainable, voltage, utilization)
+
+    def select_for_run(self, stats: RunStats, frames_per_run: int,
+                       frames_per_second: float) -> OperatingPoint:
+        """Convenience: derive cycles/frame from a measured run."""
+        cycles_per_frame = stats.cycles // max(frames_per_run, 1)
+        return self.select(cycles_per_frame, frames_per_second)
+
+
+def energy_saving(point: OperatingPoint) -> float:
+    """Fractional energy-per-frame saving vs full voltage."""
+    return 1.0 - point.relative_energy_per_frame()

@@ -1,0 +1,209 @@
+"""Architectural executor: runs a linked VLIW program.
+
+The executor implements the *architecture* — what the programmer sees:
+guarded operations, exposed latencies measured in issue slots, jump
+delay slots, and big-endian memory.  It knows nothing about caches or
+stall cycles; the cycle-level model (:mod:`repro.core.processor`) wraps
+each step with timing.  This split mirrors the paper's Blaauw framing
+(Section 1): architecture here, implementation in the processor model.
+
+Each :meth:`Executor.step` executes one VLIW instruction and returns a
+:class:`StepInfo` describing what happened — the hooks the timing and
+power models consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asm.link import LinkedProgram
+from repro.isa.encoding import EncodedOp
+from repro.isa.operations import REGISTRY
+from repro.isa.semantics import JumpOutcome
+from repro.core.regfile import RegisterFile
+from repro.mem.flatmem import FlatMemory
+
+#: Memory-mapped IO window (prefetch-region registers and friends).
+MMIO_BASE = 0x1000_0000
+MMIO_SIZE = 0x1000
+
+
+@dataclass
+class MemAccess:
+    """One memory reference performed by an operation."""
+
+    is_load: bool
+    address: int
+    nbytes: int
+    slot: int
+    op_name: str
+
+
+@dataclass
+class StepInfo:
+    """What one VLIW instruction did (input to the timing model)."""
+
+    index: int
+    address: int
+    nbytes: int
+    issued_ops: int
+    executed_ops: int  # guard-true operations actually performed
+    fu_counts: dict = field(default_factory=dict)
+    mem_accesses: list[MemAccess] = field(default_factory=list)
+    jump_taken: bool = False
+    jump_target: int | None = None
+
+
+class _OpContext:
+    """Execution context handed to operation semantics."""
+
+    def __init__(self, memory: FlatMemory, mmio_store=None, mmio_load=None):
+        self._memory = memory
+        self._mmio_store = mmio_store
+        self._mmio_load = mmio_load
+        self.guard_value = 1
+        self.accesses: list[MemAccess] = []
+        self._slot = 0
+        self._op_name = ""
+
+    def begin(self, slot: int, op_name: str, guard_value: int) -> None:
+        self._slot = slot
+        self._op_name = op_name
+        self.guard_value = guard_value
+
+    def load(self, address: int, nbytes: int) -> int:
+        self.accesses.append(
+            MemAccess(True, address, nbytes, self._slot, self._op_name))
+        if MMIO_BASE <= address < MMIO_BASE + MMIO_SIZE and self._mmio_load:
+            return self._mmio_load(address, nbytes)
+        return self._memory.load(address, nbytes)
+
+    def store(self, address: int, value: int, nbytes: int) -> None:
+        self.accesses.append(
+            MemAccess(False, address, nbytes, self._slot, self._op_name))
+        if MMIO_BASE <= address < MMIO_BASE + MMIO_SIZE and self._mmio_store:
+            self._mmio_store(address, value, nbytes)
+            return
+        self._memory.store(address, value, nbytes)
+
+
+class ExecutionError(Exception):
+    """Raised when a program exceeds its instruction budget."""
+
+
+class Executor:
+    """Executes one :class:`~repro.asm.link.LinkedProgram`."""
+
+    def __init__(
+        self,
+        program: LinkedProgram,
+        memory: FlatMemory,
+        args: dict[int, int] | None = None,
+        strict_timing: bool = True,
+        mmio_store=None,
+        mmio_load=None,
+    ) -> None:
+        self.program = program
+        self.memory = memory
+        self.regfile = RegisterFile(strict=strict_timing)
+        if args:
+            for preg, value in args.items():
+                self.regfile.poke(preg, value)
+        self._ctx = _OpContext(memory, mmio_store, mmio_load)
+        self.pc = 0
+        self.issue_count = 0
+        #: (instructions remaining, target index) of an in-flight jump.
+        self._pending_jump: tuple[int, int] | None = None
+        self._halt_address = program.nbytes
+
+    @property
+    def halted(self) -> bool:
+        return self.pc >= len(self.program.instructions)
+
+    def _resolve_target(self, address: int) -> int:
+        if address >= self._halt_address:
+            return len(self.program.instructions)
+        return self.program.index_of_address(address)
+
+    def step(self) -> StepInfo | None:
+        """Execute one VLIW instruction; returns None when halted."""
+        if self.halted:
+            return None
+        now = self.issue_count
+        regfile = self.regfile
+        regfile.commit_until(now)
+        instr = self.program.instructions[self.pc]
+        info = StepInfo(
+            index=self.pc,
+            address=self.program.addresses[self.pc],
+            nbytes=(self.program.addresses[self.pc + 1]
+                    - self.program.addresses[self.pc])
+            if self.pc + 1 < len(self.program.addresses)
+            else self.program.nbytes - self.program.addresses[self.pc],
+            issued_ops=len(instr.ops),
+            executed_ops=0,
+        )
+        ctx = self._ctx
+        ctx.accesses = []
+        target = self.program.target
+
+        # Operand read phase: all reads observe start-of-instruction state.
+        staged = []
+        for op in instr.ops:
+            guard_value = regfile.read_guard(op.guard, now)
+            if not guard_value:
+                continue
+            srcs = tuple(regfile.read(reg, now) for reg in op.srcs)
+            staged.append((op, srcs))
+
+        for op, srcs in staged:
+            spec = op.spec
+            info.executed_ops += 1
+            info.fu_counts[spec.fu] = info.fu_counts.get(spec.fu, 0) + 1
+            ctx.begin(op.slot, op.name, 1)
+            results = REGISTRY.semantic(op.name)(ctx, srcs, op.imm)
+            if spec.is_jump:
+                outcome = results[0]
+                if not isinstance(outcome, JumpOutcome):
+                    raise TypeError(f"{op.name} did not return JumpOutcome")
+                if outcome.taken:
+                    info.jump_taken = True
+                    info.jump_target = outcome.target
+                    self._pending_jump = (
+                        target.jump_delay_slots,
+                        self._resolve_target(outcome.target),
+                    )
+                continue
+            latency = target.latency_of(spec)
+            for reg, value in zip(op.dsts, results):
+                regfile.schedule_write(reg, value, now, latency)
+        info.mem_accesses = list(ctx.accesses)
+
+        self.issue_count += 1
+        if self._pending_jump is not None:
+            remaining, target_index = self._pending_jump
+            if remaining == 0:
+                self.pc = target_index
+                self._pending_jump = None
+            else:
+                self._pending_jump = (remaining - 1, target_index)
+                self.pc += 1
+        else:
+            self.pc += 1
+        return info
+
+    def run(self, max_instructions: int = 50_000_000):
+        """Run to completion; yields nothing, collects nothing.
+
+        Use :meth:`step` (or :class:`repro.core.processor.Processor`)
+        when per-instruction information is needed.
+        """
+        budget = max_instructions
+        while not self.halted:
+            self.step()
+            budget -= 1
+            if budget <= 0:
+                raise ExecutionError(
+                    f"{self.program.name}: exceeded {max_instructions} "
+                    f"instructions (runaway loop?)")
+        self.regfile.settle()

@@ -1,0 +1,128 @@
+"""Pipeline structure model (Section 3, Figures 4 and 5).
+
+The TM3270 pipeline:
+
+* front end — I1, I2, I3 (sequential instruction-cache access: tags in
+  I1, instruction data in I3), P (pre-decode from the 4-entry
+  instruction buffer);
+* D — decode, register-file and operand bypass read;
+* X1..X6 — execute; the number of execute stages equals the
+  operation's latency (single-cycle ops use X1 only; collapsed loads
+  with interpolation run X1..X6 — Figure 5's address stage, access
+  arbitration, SRAM access, way selection, and the two filter-bank
+  stages);
+* W — write-back: up to five simultaneous register-file updates.
+
+This module exposes that structure declaratively: stage sequences per
+operation class, the 7–12 stage depth claim of Table 1, and the
+derivation of the five jump delay slots (the I1 -> X1 distance).  The
+cycle-level model does not walk these stages one by one — TriMedia
+timing reduces to issue slots + stalls — but the structure predicts the
+architectural numbers (latencies, delay slots) that the timing model
+and scheduler use, and the tests assert that consistency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asm.target import TM3270_TARGET, Target
+from repro.isa.operations import FU, OpSpec
+
+FRONT_END_STAGES = ("I1", "I2", "I3", "P")
+DECODE_STAGE = "D"
+EXECUTE_STAGES = ("X1", "X2", "X3", "X4", "X5", "X6")
+WRITEBACK_STAGE = "W"
+
+#: Stage occupancy of the load/store unit pipeline (Figure 5).
+LSU_STAGE_ROLES = {
+    "X1": "effective address computation (addr_lo and addr_hi)",
+    "X2": "access arbitration to tag/data SRAMs",
+    "X3": "tag and data SRAM access, tag comparison",
+    "X4": "way selection, hit/validity resolution, CWB entry",
+    "X5": "collapsed-load filter bank, first stage",
+    "X6": "collapsed-load filter bank, second stage",
+}
+
+#: Instruction-buffer depth between the front end and back end.
+INSTRUCTION_BUFFER_ENTRIES = 4
+
+#: Bytes fetched from the instruction cache per cycle.
+FETCH_BYTES_PER_CYCLE = 32
+
+
+@dataclass(frozen=True)
+class StagePath:
+    """The stage sequence one operation class flows through."""
+
+    name: str
+    stages: tuple[str, ...]
+
+    @property
+    def depth(self) -> int:
+        return len(self.stages)
+
+
+def stage_path(spec: OpSpec, target: Target = TM3270_TARGET) -> StagePath:
+    """Stage sequence of ``spec`` on ``target`` (Figure 4)."""
+    if spec.is_store:
+        # Stores occupy the LSU through way-selection (X4) but write
+        # no register: no W stage.
+        stages = FRONT_END_STAGES + (DECODE_STAGE,) + EXECUTE_STAGES[:4]
+        return StagePath(spec.name, stages)
+    latency = min(target.latency_of(spec), len(EXECUTE_STAGES))
+    stages = (FRONT_END_STAGES + (DECODE_STAGE,)
+              + EXECUTE_STAGES[:latency] + (WRITEBACK_STAGE,))
+    return StagePath(spec.name, stages)
+
+
+def pipeline_depth(spec: OpSpec, target: Target = TM3270_TARGET) -> int:
+    """Total stage count for one operation class."""
+    return stage_path(spec, target).depth
+
+
+def depth_range(target: Target = TM3270_TARGET) -> tuple[int, int]:
+    """(min, max) pipeline depth across operation classes.
+
+    Table 1: "Pipeline depth: 7-12 stages" — 7 for single-cycle
+    operations (I1 I2 I3 P D X1 W), 12 for collapsed loads
+    (I1 I2 I3 P D X1..X6 W).
+    """
+    from repro.isa.operations import REGISTRY
+
+    depths = [pipeline_depth(spec, target) for spec in REGISTRY
+              if not spec.is_jump and target.supports(spec)
+              and spec.latency <= 6]
+    return min(depths), max(depths)
+
+
+def jump_delay_slots(target: Target = TM3270_TARGET) -> int:
+    """Architectural delay slots from the pipeline structure.
+
+    Jumps execute in X1 (Section 3); the refetch distance is the
+    number of stages from I1 up to (but excluding) X1, i.e. the four
+    front-end stages plus decode = 5 on the TM3270.  The TM3260's
+    shallower front end (no separate arbitration stage, parallel
+    instruction cache) gives 3.
+    """
+    if target.jump_delay_slots == 5:
+        return len(FRONT_END_STAGES) + 1
+    return target.jump_delay_slots
+
+
+def describe(target: Target = TM3270_TARGET) -> str:
+    """Human-readable pipeline summary (the Figure 4 caption)."""
+    low, high = depth_range(target)
+    lines = [
+        f"{target.name} pipeline:",
+        f"  front end : {' '.join(FRONT_END_STAGES)} "
+        f"({INSTRUCTION_BUFFER_ENTRIES}-entry instruction buffer, "
+        f"{FETCH_BYTES_PER_CYCLE}-byte fetch chunks)",
+        f"  decode    : {DECODE_STAGE} (register file: 10 source + "
+        "5 guard read ports)",
+        "  execute   : X1..X6 (stage count = operation latency)",
+        f"  write-back: {WRITEBACK_STAGE} (up to 5 register updates)",
+        f"  depth     : {low}-{high} stages",
+        f"  jump delay: {jump_delay_slots(target)} slots",
+    ]
+    return "\n".join(lines)

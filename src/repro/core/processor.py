@@ -1,0 +1,190 @@
+"""The cycle-level processor model: architecture + implementation.
+
+Wraps the architectural :class:`~repro.core.executor.Executor` with the
+implementation-side timing of Sections 3 and 4:
+
+* front end — 32-byte instruction chunks through the instruction
+  cache into the instruction buffer; misses stall;
+* load/store unit — every memory access goes through the data cache
+  (non-aligned splits, write policies, byte validity), misses stall
+  for the SDRAM round trip via the BIU;
+* region prefetcher — observes demand loads, issues line fetches on
+  idle bus cycles;
+* MMIO — stores into the prefetch-region window configure the
+  prefetcher (Section 2.3's ``PFn_*`` parameters).
+
+Because the TriMedia pipeline stalls as a whole (no out-of-order
+machinery), cycle accounting is simply ``instructions + stall cycles``
+— the structure the paper itself uses when it reasons about CPI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asm.link import LinkedProgram
+from repro.core.config import ProcessorConfig, TM3270_CONFIG
+from repro.core.executor import MMIO_BASE, MMIO_SIZE, Executor
+from repro.core.stats import RunStats
+from repro.mem.bus import BusInterfaceUnit
+from repro.mem.dcache import DataCache
+from repro.mem.flatmem import FlatMemory
+from repro.mem.icache import FETCH_CHUNK_BYTES, InstructionCache
+from repro.mem.prefetch import RegionPrefetcher
+
+#: Programs are laid out in a dedicated code region so instruction and
+#: data addresses never alias in the caches.
+CODE_BASE = 0x0080_0000
+
+
+@dataclass
+class RunResult:
+    """Execution outcome: stats plus final architectural state."""
+
+    stats: RunStats
+    regfile: object
+    memory: FlatMemory
+
+    def reg(self, preg: int) -> int:
+        """Final committed value of a physical register."""
+        return self.regfile.peek(preg)
+
+
+class Processor:
+    """One processor instance (construct per run for clean stats)."""
+
+    def __init__(self, config: ProcessorConfig = TM3270_CONFIG,
+                 memory: FlatMemory | None = None,
+                 memory_size: int = 1 << 20) -> None:
+        self.config = config
+        self.memory = memory or FlatMemory(memory_size)
+        self.biu = BusInterfaceUnit(config.freq_mhz, config.sdram)
+        self.icache = InstructionCache(
+            config.icache, self.biu, config.icache_mode)
+        self.dcache = DataCache(
+            config.dcache, self.biu, config.write_miss_policy)
+        self.prefetcher = RegionPrefetcher(
+            self.dcache, self.biu, enabled=config.prefetch_enabled)
+
+    # -- MMIO ---------------------------------------------------------------
+
+    def _mmio_store(self, address: int, value: int, nbytes: int) -> None:
+        self.prefetcher.mmio_store(address - MMIO_BASE, value)
+
+    def _mmio_load(self, address: int, nbytes: int) -> int:
+        return self.prefetcher.mmio_load(address - MMIO_BASE)
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, program: LinkedProgram, args: dict[int, int] | None = None,
+            max_instructions: int = 50_000_000,
+            warm_code: bool = True) -> RunResult:
+        """Execute ``program`` to completion and return the result.
+
+        ``args`` maps physical registers to initial values (the kernel
+        calling convention pins parameters to r10, r11, ...).  With
+        ``warm_code`` the instruction cache is preloaded — kernel-style
+        measurement, excluding cold-code effects; pass False to include
+        them.
+        """
+        if program.target.name != self.config.target.name:
+            raise ValueError(
+                f"program compiled for {program.target.name!r} cannot run "
+                f"on {self.config.target.name!r} "
+                "(binary compatibility is not guaranteed across the "
+                "TriMedia family — Section 2)")
+        executor = Executor(
+            program,
+            self.memory,
+            args=args,
+            mmio_store=self._mmio_store,
+            mmio_load=self._mmio_load,
+        )
+        stats = RunStats(
+            config_name=self.config.name,
+            program_name=program.name,
+            freq_mhz=self.config.freq_mhz,
+        )
+        if warm_code:
+            line_bytes = self.config.icache.line_bytes
+            for offset in range(0, max(program.nbytes, 1), line_bytes):
+                self.icache.tags.install(CODE_BASE + offset)
+                line = self.icache.tags.lookup(CODE_BASE + offset)
+                line.valid_mask = (1 << line_bytes) - 1
+
+        cycle = 0
+        last_chunk = -1
+        chunk_mask = ~(FETCH_CHUNK_BYTES - 1)
+        mmio_end = MMIO_BASE + MMIO_SIZE
+        budget = max_instructions
+        while True:
+            info = executor.step()
+            if info is None:
+                break
+            budget -= 1
+            if budget < 0:
+                raise RuntimeError(
+                    f"{program.name}: exceeded {max_instructions} "
+                    f"instructions on {self.config.name}")
+            stall = 0
+
+            # Front end: fetch any newly-consumed 32-byte chunks.
+            first_chunk = (CODE_BASE + info.address) & chunk_mask
+            last_needed = (CODE_BASE + info.address
+                           + max(info.nbytes - 1, 0)) & chunk_mask
+            chunk = first_chunk
+            while chunk <= last_needed:
+                if chunk != last_chunk:
+                    stall += self.icache.fetch_chunk(chunk, cycle + stall)
+                    stats.code_bytes_fetched += FETCH_CHUNK_BYTES
+                    last_chunk = chunk
+                chunk += FETCH_CHUNK_BYTES
+            stats.icache_stall_cycles += stall
+
+            # Load/store unit.
+            for access in info.mem_accesses:
+                if MMIO_BASE <= access.address < mmio_end:
+                    stats.mmio_accesses += 1
+                    continue
+                mem_stall = self.dcache.access(
+                    access.is_load, access.address, access.nbytes,
+                    cycle + stall)
+                stall += mem_stall
+                stats.dcache_stall_cycles += mem_stall
+                if access.is_load:
+                    self.prefetcher.observe_load(
+                        access.address, cycle + stall)
+            self.prefetcher.tick(cycle + stall)
+
+            cycle += 1 + stall
+            stats.instructions += 1
+            stats.ops_issued += info.issued_ops
+            stats.ops_executed += info.executed_ops
+            if info.jump_taken:
+                stats.jumps_taken += 1
+            for fu, count in info.fu_counts.items():
+                stats.fu_counts[fu] = stats.fu_counts.get(fu, 0) + count
+
+        executor.regfile.settle()
+        stats.cycles = cycle
+        stats.regfile_reads = executor.regfile.reads
+        stats.regfile_writes = executor.regfile.writes
+        stats.guard_reads = executor.regfile.guard_reads
+        stats.dcache = self.dcache.stats
+        stats.icache = self.icache.stats
+        stats.biu = self.biu.stats
+        stats.sdram = self.biu.sdram.stats
+        stats.prefetch = self.prefetcher.stats
+        return RunResult(stats, executor.regfile, self.memory)
+
+
+def run_kernel(program: LinkedProgram,
+               config: ProcessorConfig = TM3270_CONFIG,
+               args: dict[int, int] | None = None,
+               memory: FlatMemory | None = None,
+               memory_size: int = 1 << 20,
+               max_instructions: int = 50_000_000) -> RunResult:
+    """Convenience: build a fresh processor and run one kernel."""
+    processor = Processor(config, memory=memory, memory_size=memory_size)
+    return processor.run(program, args=args,
+                         max_instructions=max_instructions)

@@ -1,0 +1,103 @@
+"""The unified register file with exposed-pipeline write timing.
+
+128 32-bit registers (Table 1); r0 and r1 read as the architectural
+constants 0 and 1.  Results are written back ``latency`` issue-slots
+after their operation issues — TriMedia's exposed pipeline: reads in
+between return the *old* value, and it is the compiler's job to respect
+latencies.  The register file enforces this discipline: in strict mode
+a read that overlaps an in-flight write issued on an *earlier* cycle
+raises :class:`TimingViolation` (a scheduler bug detector), while a
+same-cycle redefine — which the scheduler's zero-weight anti-dependence
+edges legitimately produce — is permitted and returns the old value.
+
+Time here is measured in *issued instructions*, not wall cycles:
+when the pipeline stalls, in-flight operations stall with it
+(Section 3), so latencies elapse in issue slots.
+"""
+
+from __future__ import annotations
+
+from repro.isa.simd import MASK32
+
+NUM_REGS = 128
+
+
+class TimingViolation(Exception):
+    """A register was read before its pending write completed."""
+
+
+class RegisterFile:
+    """128-entry register file with delayed write-back."""
+
+    def __init__(self, strict: bool = True) -> None:
+        self._values = [0] * NUM_REGS
+        self._values[1] = 1
+        #: reg -> list of (due, issue_time, value), due-ordered.
+        self._pending: dict[int, list[tuple[int, int, int]]] = {}
+        self.strict = strict
+        self.reads = 0
+        self.writes = 0
+        self.guard_reads = 0
+
+    def read(self, reg: int, now: int) -> int:
+        """Read ``reg`` at issue time ``now``."""
+        self.reads += 1
+        if self.strict:
+            for due, issued, _value in self._pending.get(reg, ()):
+                if issued < now < due:
+                    raise TimingViolation(
+                        f"r{reg} read at t={now} while write issued at "
+                        f"t={issued} lands at t={due}")
+        return self._values[reg]
+
+    def read_guard(self, reg: int, now: int) -> int:
+        """Read the LSB of ``reg`` as a guard bit."""
+        self.guard_reads += 1
+        if self.strict:
+            for due, issued, _value in self._pending.get(reg, ()):
+                if issued < now < due:
+                    raise TimingViolation(
+                        f"guard r{reg} read at t={now} while write issued "
+                        f"at t={issued} lands at t={due}")
+        return self._values[reg] & 1
+
+    def schedule_write(self, reg: int, value: int, now: int,
+                       latency: int) -> None:
+        """Schedule ``reg = value`` to land ``latency`` slots after ``now``."""
+        if reg in (0, 1):
+            raise ValueError(f"write to constant register r{reg}")
+        if not 0 <= reg < NUM_REGS:
+            raise ValueError(f"register r{reg} out of range")
+        self.writes += 1
+        entry = (now + latency, now, value & MASK32)
+        queue = self._pending.setdefault(reg, [])
+        queue.append(entry)
+        queue.sort()
+
+    def commit_until(self, now: int) -> None:
+        """Apply every pending write due at or before ``now``."""
+        if not self._pending:
+            return
+        done = []
+        for reg, queue in self._pending.items():
+            while queue and queue[0][0] <= now:
+                _due, _issued, value = queue.pop(0)
+                self._values[reg] = value
+            if not queue:
+                done.append(reg)
+        for reg in done:
+            del self._pending[reg]
+
+    def settle(self) -> None:
+        """Apply all pending writes (program end)."""
+        self.commit_until(1 << 62)
+
+    def peek(self, reg: int) -> int:
+        """Read the committed value without timing checks or stats."""
+        return self._values[reg]
+
+    def poke(self, reg: int, value: int) -> None:
+        """Set a register directly (argument passing at program entry)."""
+        if reg in (0, 1):
+            raise ValueError(f"r{reg} is an architectural constant")
+        self._values[reg] = value & MASK32

@@ -1,0 +1,94 @@
+"""Run statistics: cycles, stalls, OPI/CPI, activity counters.
+
+The paper reports performance as VLIW instruction counts (Table 3),
+relative execution times across configurations (Figure 7), and power
+as a function of OPI (operations per VLIW instruction) and CPI (cycles
+per VLIW instruction) (Section 5.2).  :class:`RunStats` carries all the
+raw counters needed to derive those plus the per-module activities the
+power model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.operations import FU
+
+
+@dataclass
+class RunStats:
+    """Counters for one program execution on one configuration."""
+
+    config_name: str = ""
+    program_name: str = ""
+    freq_mhz: float = 0.0
+
+    instructions: int = 0
+    cycles: int = 0
+    ops_issued: int = 0
+    ops_executed: int = 0
+    jumps_taken: int = 0
+
+    dcache_stall_cycles: int = 0
+    icache_stall_cycles: int = 0
+
+    fu_counts: dict = field(default_factory=dict)
+    regfile_reads: int = 0
+    regfile_writes: int = 0
+    guard_reads: int = 0
+
+    code_bytes_fetched: int = 0
+    mmio_accesses: int = 0
+
+    # Component stats objects (attached after the run).
+    dcache: object = None
+    icache: object = None
+    biu: object = None
+    sdram: object = None
+    prefetch: object = None
+
+    # -- derived metrics -------------------------------------------------------
+
+    @property
+    def stall_cycles(self) -> int:
+        return self.dcache_stall_cycles + self.icache_stall_cycles
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per VLIW instruction (>= 1.0; 1.0 = no stalls)."""
+        if not self.instructions:
+            return 0.0
+        return self.cycles / self.instructions
+
+    @property
+    def opi(self) -> float:
+        """Effective (guard-true) operations per VLIW instruction."""
+        if not self.instructions:
+            return 0.0
+        return self.ops_executed / self.instructions
+
+    @property
+    def seconds(self) -> float:
+        """Wall-clock execution time at the configured frequency."""
+        if not self.freq_mhz:
+            return 0.0
+        return self.cycles / (self.freq_mhz * 1e6)
+
+    @property
+    def stall_fraction(self) -> float:
+        if not self.cycles:
+            return 0.0
+        return self.stall_cycles / self.cycles
+
+    def fu_count(self, fu: FU) -> int:
+        return self.fu_counts.get(fu, 0)
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph summary."""
+        return (
+            f"{self.program_name} on {self.config_name}: "
+            f"{self.instructions} VLIW instructions, {self.cycles} cycles "
+            f"(CPI {self.cpi:.2f}, OPI {self.opi:.2f}), "
+            f"{self.stall_cycles} stall cycles "
+            f"({100 * self.stall_fraction:.1f}%), "
+            f"{1e6 * self.seconds:.1f} us at {self.freq_mhz:.0f} MHz")

@@ -1,0 +1,183 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Each function isolates one TM3270 design decision and measures its
+effect with everything else held constant:
+
+* write-miss policy (allocate vs fetch) — memcpy traffic/time;
+* data-cache line size (128 vs 64 bytes at fixed capacity) — the
+  MPEG2 capacity-miss effect of Section 6;
+* instruction-cache access mode (sequential vs parallel) — SRAM
+  way-read energy (Section 5.2);
+* two-slot operations — SUPER_LD32R memcpy vs the plain one;
+* collapsed loads — LD_FRAC8 motion estimation vs explicit
+  interpolation;
+* prefetch stride — the Figure 3 stride around width x block-height.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asm.link import compile_program
+from repro.core.config import TM3270_CONFIG, ProcessorConfig
+from repro.core.processor import run_kernel
+from repro.core.stats import RunStats
+from repro.eval.runner import run_case
+from repro.kernels import blockscan, memops, motion
+from repro.kernels.common import DATA_BASE, args_for
+from repro.kernels.registry import kernel_by_name
+from repro.mem.cache import CacheGeometry
+from repro.mem.dcache import WriteMissPolicy
+from repro.mem.icache import ICacheMode
+from repro.mem.prefetch import (
+    OFFSET_END,
+    OFFSET_START,
+    OFFSET_STRIDE,
+)
+from repro.mem.flatmem import FlatMemory
+from repro.workloads.video import synthetic_frame
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A labeled pair of runs."""
+
+    label_a: str
+    stats_a: RunStats
+    label_b: str
+    stats_b: RunStats
+
+    @property
+    def speedup(self) -> float:
+        """Time(a) / time(b): how much faster b is."""
+        return self.stats_a.seconds / self.stats_b.seconds
+
+
+def write_policy_ablation(kernel: str = "memcpy") -> Comparison:
+    """TM3270 with allocate- vs fetch-on-write-miss (Section 4.1)."""
+    case = kernel_by_name(kernel)
+    allocate = TM3270_CONFIG
+    fetch = TM3270_CONFIG.with_overrides(
+        name="TM3270-fetchwm", write_miss_policy=WriteMissPolicy.FETCH)
+    return Comparison(
+        "fetch-on-write-miss", run_case(case, fetch),
+        "allocate-on-write-miss", run_case(case, allocate))
+
+
+def line_size_ablation(kernel: str = "mpeg2_a",
+                       capacity: int = 16 * 1024) -> Comparison:
+    """64- vs 128-byte lines at fixed (small) capacity (Section 6)."""
+    case = kernel_by_name(kernel)
+    lines64 = TM3270_CONFIG.with_overrides(
+        name="16K/64B", freq_mhz=240.0,
+        dcache=CacheGeometry(capacity, 64, 4))
+    lines128 = TM3270_CONFIG.with_overrides(
+        name="16K/128B", freq_mhz=240.0,
+        dcache=CacheGeometry(capacity, 128, 4))
+    return Comparison(
+        "128-byte lines", run_case(case, lines128, verify=False),
+        "64-byte lines", run_case(case, lines64, verify=False))
+
+
+def icache_mode_ablation(kernel: str = "filter") -> Comparison:
+    """Sequential vs parallel instruction cache (Section 5.2).
+
+    Timing is identical; the difference is SRAM way reads — the
+    caller inspects ``stats.icache.data_way_reads``.
+    """
+    case = kernel_by_name(kernel)
+    sequential = TM3270_CONFIG
+    parallel = TM3270_CONFIG.with_overrides(
+        name="TM3270-parallel-I$", icache_mode=ICacheMode.PARALLEL)
+    return Comparison(
+        "parallel I$", _run_cold_code(case, parallel),
+        "sequential I$", _run_cold_code(case, sequential))
+
+
+def _run_cold_code(case, config: ProcessorConfig) -> RunStats:
+    from repro.core.processor import Processor
+
+    linked = compile_program(case.build(), config.target)
+    memory = FlatMemory(case.memory_size)
+    args = case.prepare(memory)
+    processor = Processor(config, memory=memory)
+    result = processor.run(linked, args=args, warm_code=False)
+    case.verify(memory, result)
+    return result.stats
+
+
+def two_slot_ablation(nbytes: int = 16 * 1024) -> Comparison:
+    """memcpy with plain loads vs SUPER_LD32R (Section 2.2.1)."""
+    src, dst = DATA_BASE, DATA_BASE + 2 * nbytes
+    results = {}
+    payload = synthetic_frame(nbytes, 1, seed=17)
+    for label, build in (("plain loads", memops.build_memcpy),
+                         ("super_ld32r", memops.build_memcpy_super)):
+        memory = FlatMemory(1 << 19)
+        memory.write_block(src, payload)
+        linked = compile_program(build(), TM3270_CONFIG.target)
+        run = run_kernel(linked, TM3270_CONFIG,
+                         args=args_for(dst, src, nbytes), memory=memory)
+        assert memory.read_block(dst, nbytes) == payload
+        results[label] = run.stats
+    return Comparison("plain loads", results["plain loads"],
+                      "super_ld32r", results["super_ld32r"])
+
+
+def collapsed_load_ablation(width: int = 64) -> Comparison:
+    """Motion estimation: explicit interpolation vs LD_FRAC8 ([12])."""
+    frame = synthetic_frame(width, 16, seed=77)
+    cur, ref, result = DATA_BASE, DATA_BASE + 0x800, DATA_BASE + 0x1000
+    results = {}
+    for label, build in (("explicit interp", motion.build_me_frac_plain),
+                         ("ld_frac8", motion.build_me_frac_ld8)):
+        memory = FlatMemory(1 << 15)
+        memory.write_block(cur, frame[:8 * width])
+        memory.write_block(ref, frame[8 * width:16 * width])
+        linked = compile_program(build(), TM3270_CONFIG.target)
+        run = run_kernel(linked, TM3270_CONFIG,
+                         args=args_for(cur, ref, width, result),
+                         memory=memory)
+        results[label] = run.stats
+    return Comparison("explicit interp", results["explicit interp"],
+                      "ld_frac8", results["ld_frac8"])
+
+
+@dataclass(frozen=True)
+class StridePoint:
+    """One prefetch-stride measurement."""
+
+    stride: int
+    dcache_stalls: int
+    cycles: int
+
+
+def prefetch_stride_sweep(width: int = 256, height: int = 64,
+                          work: int = 12) -> list[StridePoint]:
+    """Sweep PF0_STRIDE around the Figure 3 value (width x 4)."""
+    image_base = 0x0004_0000
+    image = synthetic_frame(width, height, seed=88)
+    points = []
+    strides = [0, width, width * 2, width * 4, width * 8, 128]
+    program = blockscan.build_blockscan(
+        image_base, width, height, work=work, setup_prefetch=False)
+    for stride in strides:
+        from repro.core.processor import Processor
+
+        linked = compile_program(program, TM3270_CONFIG.target)
+        memory = FlatMemory(1 << 19)
+        memory.write_block(image_base, image)
+        processor = Processor(TM3270_CONFIG, memory=memory)
+        if stride:
+            processor.prefetcher.mmio_store(OFFSET_START, image_base)
+            processor.prefetcher.mmio_store(
+                OFFSET_END, image_base + width * height)
+            processor.prefetcher.mmio_store(OFFSET_STRIDE, stride)
+        result = processor.run(linked, args=args_for(DATA_BASE))
+        expected = blockscan.reference_blockscan(
+            image, width, height, work)
+        assert memory.load(DATA_BASE, 4) == expected
+        points.append(StridePoint(
+            stride, result.stats.dcache_stall_cycles,
+            result.stats.cycles))
+    return points

@@ -1,0 +1,58 @@
+"""Figure 6: the TM3270 floorplan, rendered from the area model.
+
+The paper's Figure 6 is a die photo-style floorplan of the major
+modules.  This driver renders an ASCII floorplan whose module tile
+areas are proportional to the parametric area model's breakdown —
+the same data as Table 4's area column, arranged spatially.
+"""
+
+from __future__ import annotations
+
+from repro.core.area import AreaBreakdown, area_breakdown
+from repro.core.config import ProcessorConfig, TM3270_CONFIG
+
+#: Render resolution: characters per row of the floorplan box.
+WIDTH_CHARS = 64
+HEIGHT_CHARS = 24
+
+
+def _tile_rows(breakdown: AreaBreakdown) -> list[tuple[str, float]]:
+    """Modules ordered roughly as in the paper's floorplan."""
+    return [
+        ("LS (D$ SRAM + logic)", breakdown.load_store),
+        ("IFU (I$ SRAM + fetch)", breakdown.ifu),
+        ("Execute", breakdown.execute),
+        ("Regfile", breakdown.regfile),
+        ("BIU", breakdown.biu),
+        ("MMIO", breakdown.mmio),
+        ("Decode", breakdown.decode),
+    ]
+
+
+def render_floorplan(config: ProcessorConfig = TM3270_CONFIG) -> str:
+    """ASCII floorplan with row heights proportional to module area."""
+    breakdown = area_breakdown(config)
+    total = breakdown.total
+    lines = [
+        f"Figure 6: {config.name} floorplan "
+        f"({total:.2f} mm2, areas to scale)",
+        "+" + "-" * WIDTH_CHARS + "+",
+    ]
+    remaining_rows = HEIGHT_CHARS
+    tiles = _tile_rows(breakdown)
+    for index, (label, area) in enumerate(tiles):
+        if index == len(tiles) - 1:
+            rows = max(remaining_rows, 1)
+        else:
+            rows = max(1, round(HEIGHT_CHARS * area / total))
+            rows = min(rows, remaining_rows - (len(tiles) - index - 1))
+        remaining_rows -= rows
+        text = f" {label}: {area:.2f} mm2 "
+        for row in range(rows):
+            body = text if row == rows // 2 else ""
+            lines.append("|" + body.ljust(WIDTH_CHARS, " ")[:WIDTH_CHARS]
+                         + "|")
+        if index != len(tiles) - 1:
+            lines.append("+" + "-" * WIDTH_CHARS + "+")
+    lines.append("+" + "-" * WIDTH_CHARS + "+")
+    return "\n".join(lines)

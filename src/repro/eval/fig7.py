@@ -1,0 +1,87 @@
+"""Figure 7: relative performance of configurations A-D (Section 6).
+
+Every Table 5 kernel is compiled *once per target* from the same
+source (baseline operations only — the paper's "re-compilation, no
+TM3270-specific optimization" methodology), executed on all four
+configurations, and verified.  Performance is wall-clock execution
+time at each configuration's operating frequency; Figure 7 reports it
+relative to configuration A (the TM3260).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import EVALUATION_CONFIGS, ProcessorConfig
+from repro.core.stats import RunStats
+from repro.eval.reporting import format_table
+from repro.eval.runner import run_case
+from repro.kernels.registry import TABLE5_KERNELS, KernelCase
+
+
+@dataclass(frozen=True)
+class Fig7Row:
+    """One kernel's results across configurations."""
+
+    kernel: str
+    stats: dict  # config name -> RunStats
+
+    def seconds(self, config_name: str) -> float:
+        return self.stats[config_name].seconds
+
+    def relative(self, config_name: str) -> float:
+        """Speedup of ``config_name`` over configuration A."""
+        return self.seconds("A") / self.seconds(config_name)
+
+
+def run_fig7(configs: tuple[ProcessorConfig, ...] = EVALUATION_CONFIGS,
+             kernels: tuple[KernelCase, ...] = TABLE5_KERNELS,
+             verify: bool = True) -> list[Fig7Row]:
+    """Run the full suite; returns one row per kernel."""
+    rows = []
+    for case in kernels:
+        stats: dict[str, RunStats] = {}
+        for config in configs:
+            stats[config.name] = run_case(case, config, verify=verify)
+        rows.append(Fig7Row(case.name, stats))
+    return rows
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean (the right average for speedup ratios)."""
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def average_gain(rows: list[Fig7Row], config_name: str = "D") -> float:
+    """Mean speedup of a configuration over A across all kernels.
+
+    The paper reports "an average 2.29 performance gain over the
+    TM3260" for the TM3270 (configuration D).
+    """
+    return geometric_mean([row.relative(config_name) for row in rows])
+
+
+def format_fig7(rows: list[Fig7Row]) -> str:
+    """Render the relative-performance series of Figure 7."""
+    body = []
+    for row in rows:
+        body.append([
+            row.kernel,
+            1.0,
+            round(row.relative("B"), 2),
+            round(row.relative("C"), 2),
+            round(row.relative("D"), 2),
+        ])
+    body.append([
+        "geomean", 1.0,
+        round(average_gain(rows, "B"), 2),
+        round(average_gain(rows, "C"), 2),
+        round(average_gain(rows, "D"), 2),
+    ])
+    return format_table(
+        "Figure 7: performance relative to configuration A (TM3260); "
+        "paper average for D: 2.29",
+        ["kernel", "A", "B", "C", "D"], body, precision=2)

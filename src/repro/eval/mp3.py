@@ -1,0 +1,57 @@
+"""MP3-proxy run setup (shared by Table 4 power/area and calibration)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.asm.link import compile_program
+from repro.core.config import ProcessorConfig, TM3270_CONFIG
+from repro.core.processor import run_kernel
+from repro.core.stats import RunStats
+from repro.kernels import mp3proxy
+from repro.kernels.common import DATA_BASE, args_for
+from repro.mem.flatmem import FlatMemory
+
+SAMPLES_ADDR = DATA_BASE
+COEFFS_ADDR = DATA_BASE + 0x1000
+OUT_ADDR = DATA_BASE + 0x2000
+DEFAULT_FRAMES = 20
+
+
+def mp3_workload(seed: int = 99):
+    """Deterministic samples and packed coefficient pairs."""
+    rng = random.Random(seed)
+    samples = [rng.randrange(-2000, 2000)
+               for _ in range(mp3proxy.SUBBANDS + mp3proxy.TAPS * 2 + 2)]
+    coeff_pairs = [(rng.randrange(-300, 300), rng.randrange(-300, 300))
+                   for _ in range(mp3proxy.SUBBANDS * mp3proxy.TAPS)]
+    return samples, coeff_pairs
+
+
+def run_mp3_proxy(config: ProcessorConfig = TM3270_CONFIG,
+                  nframes: int = DEFAULT_FRAMES,
+                  verify: bool = True, seed: int = 99) -> RunStats:
+    """Run the MP3 proxy on ``config`` and return its stats."""
+    samples, coeff_pairs = mp3_workload(seed)
+    memory = FlatMemory(1 << 17)
+    for index, value in enumerate(samples):
+        memory.store(SAMPLES_ADDR + 2 * index, value & 0xFFFF, 2)
+    for index, (hi, lo) in enumerate(coeff_pairs):
+        memory.store(COEFFS_ADDR + 4 * index,
+                     ((hi & 0xFFFF) << 16) | (lo & 0xFFFF), 4)
+    linked = compile_program(mp3proxy.build_mp3proxy(), config.target)
+    result = run_kernel(
+        linked, config,
+        args=args_for(SAMPLES_ADDR, COEFFS_ADDR, OUT_ADDR, nframes),
+        memory=memory)
+    if verify:
+        expected = mp3proxy.reference_mp3proxy(samples, coeff_pairs)
+        for index, (v_out, u_out) in enumerate(expected):
+            got_v = _signed(memory.load(OUT_ADDR + 8 * index, 4))
+            got_u = _signed(memory.load(OUT_ADDR + 8 * index + 4, 4))
+            assert (got_v, got_u) == (v_out, u_out), index
+    return result.stats
+
+
+def _signed(value: int) -> int:
+    return value - (1 << 32) if value & 0x80000000 else value

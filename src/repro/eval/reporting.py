@@ -1,0 +1,28 @@
+"""Plain-text table rendering for experiment drivers and benches."""
+
+from __future__ import annotations
+
+
+def format_table(title: str, headers: list[str],
+                 rows: list[list], precision: int = 3) -> str:
+    """Render an aligned monospace table with a title rule."""
+    def fmt(cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.{precision}f}"
+        return str(cell)
+
+    text_rows = [[fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: list[str]) -> str:
+        return "  ".join(cell.rjust(width)
+                         for cell, width in zip(cells, widths))
+
+    rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    out = [title, rule, line(headers), rule]
+    out.extend(line(row) for row in text_rows)
+    out.append(rule)
+    return "\n".join(out)

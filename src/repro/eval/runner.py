@@ -1,0 +1,40 @@
+"""Shared experiment plumbing: compile, run, verify, collect stats."""
+
+from __future__ import annotations
+
+from repro.asm.link import compile_program
+from repro.core.config import ProcessorConfig
+from repro.core.processor import RunResult, run_kernel
+from repro.core.stats import RunStats
+from repro.kernels.registry import KernelCase
+from repro.mem.flatmem import FlatMemory
+
+_PROGRAM_CACHE: dict = {}
+
+
+def compile_case(case: KernelCase, config: ProcessorConfig):
+    """Compile a kernel for a configuration's target (cached)."""
+    key = (case.name, config.target.name)
+    if key not in _PROGRAM_CACHE:
+        _PROGRAM_CACHE[key] = compile_program(case.build(), config.target)
+    return _PROGRAM_CACHE[key]
+
+
+def run_case(case: KernelCase, config: ProcessorConfig,
+             verify: bool = True) -> RunStats:
+    """Run one kernel case on one configuration; returns its stats."""
+    linked = compile_case(case, config)
+    memory = FlatMemory(case.memory_size)
+    args = case.prepare(memory)
+    result = run_kernel(linked, config, args=args, memory=memory)
+    if verify:
+        case.verify(memory, result)
+    return result.stats
+
+
+def run_program(program, config: ProcessorConfig, args: dict[int, int],
+                memory: FlatMemory | None = None,
+                memory_size: int = 1 << 19) -> RunResult:
+    """Compile-free variant for pre-built programs."""
+    return run_kernel(program, config, args=args, memory=memory,
+                      memory_size=memory_size)

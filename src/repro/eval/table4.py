@@ -1,0 +1,85 @@
+"""Table 4: area and power breakdown (Section 5).
+
+Area comes from the parametric model (:mod:`repro.core.area`); power
+from the activity-based model (:mod:`repro.core.power`) driven by an
+actual MP3-proxy run on the TM3270.  Also reproduces Section 5.2's
+derived numbers: the 0.8 V total (quadratic scaling) and the absolute
+MP3-decode power at the paper's effective 8 MHz operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.area import AreaBreakdown, area_breakdown
+from repro.core.config import TM3270_CONFIG
+from repro.core.power import PowerBreakdown, PowerModel
+from repro.eval.mp3 import run_mp3_proxy
+from repro.eval.reporting import format_table
+
+#: Table 4 as published: module -> (area mm^2, power mW/MHz at 1.2 V).
+PAPER_TABLE4 = {
+    "IFU": (1.46, 0.272),
+    "Decode": (0.05, 0.022),
+    "Regfile": (0.97, 0.170),
+    "Execute": (1.53, 0.255),
+    "LS": (3.60, 0.266),
+    "BIU": (0.24, 0.002),
+    "MMIO": (0.23, 0.012),
+    "Total": (8.08, 0.935),
+}
+
+#: Section 5.2: MP3 decoding runs in ~8 MHz; at 0.8 V that is 3.32 mW.
+MP3_EFFECTIVE_MHZ = 8.0
+PAPER_MP3_MILLIWATTS_08V = 3.32
+
+
+@dataclass(frozen=True)
+class Table4Result:
+    """Measured area + power, plus the derived Section 5.2 numbers."""
+
+    area: AreaBreakdown
+    power_12v: PowerBreakdown
+    power_08v: PowerBreakdown
+    mp3_milliwatts_08v: float
+    opi: float
+    cpi: float
+
+
+def run_table4() -> Table4Result:
+    """Compute the full Table 4 reproduction."""
+    stats = run_mp3_proxy(TM3270_CONFIG)
+    model = PowerModel()
+    power_12v = model.breakdown(stats, voltage=1.2)
+    power_08v = model.breakdown(stats, voltage=0.8)
+    return Table4Result(
+        area=area_breakdown(TM3270_CONFIG),
+        power_12v=power_12v,
+        power_08v=power_08v,
+        mp3_milliwatts_08v=power_08v.milliwatts(MP3_EFFECTIVE_MHZ),
+        opi=stats.opi,
+        cpi=stats.cpi,
+    )
+
+
+def format_table4(result: Table4Result) -> str:
+    """Render measured-vs-paper Table 4."""
+    area_rows = dict(result.area.as_rows())
+    power_rows = dict(result.power_12v.as_rows())
+    body = []
+    for module, (paper_area, paper_power) in PAPER_TABLE4.items():
+        body.append([
+            module,
+            round(area_rows[module], 2), paper_area,
+            round(power_rows[module], 3), paper_power,
+        ])
+    table = format_table(
+        "Table 4: TM3270 area/power breakdown "
+        f"(MP3 proxy: OPI {result.opi:.2f}, CPI {result.cpi:.2f})",
+        ["module", "area mm2", "paper", "mW/MHz @1.2V", "paper"], body)
+    extra = (
+        f"\nTotal at 0.8 V: {result.power_08v.total:.3f} mW/MHz "
+        f"(paper: 0.415); MP3 decoding at {MP3_EFFECTIVE_MHZ:.0f} MHz, "
+        f"0.8 V: {result.mp3_milliwatts_08v:.2f} mW "
+        f"(paper: {PAPER_MP3_MILLIWATTS_08V})")
+    return table + extra

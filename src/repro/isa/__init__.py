@@ -1,0 +1,11 @@
+"""TM3270 instruction-set architecture: specs, semantics, encoding.
+
+Importing this package populates the global operation
+:data:`~repro.isa.operations.REGISTRY` with both the baseline TriMedia
+operation set and the TM3270's new operations.
+"""
+
+from repro.isa import custom_ops, semantics  # noqa: F401  (registry side effects)
+from repro.isa.operations import FU, REGISTRY, OpSpec, spec
+
+__all__ = ["FU", "REGISTRY", "OpSpec", "spec"]

@@ -1,0 +1,378 @@
+"""Template-based compressed VLIW instruction encoding (Section 2.1).
+
+Every VLIW instruction starts with a 10-bit template field that
+specifies the compression of the operations in the *next* VLIW
+instruction (making the template available one cycle before the
+instruction's encoding, which relaxes decode timing).  The template has
+five 2-bit sub-fields, one per issue slot:
+
+====  ==========================
+code  operation encoding size
+====  ==========================
+00    26 bits
+01    34 bits
+10    42 bits
+11    slot unused
+====  ==========================
+
+An empty instruction therefore encodes in 2 bytes (template only) and a
+maximal one in 28 bytes (10 + 5*42 = 220 bits), as in the paper.
+
+Jump-target instructions are not compressed: all five slots are present
+at 42 bits (empty slots carry explicit NOPs), so no template in the
+*preceding* instruction is needed to decode them — a jump can land on
+one cold.  Their total size is exactly the 28-byte maximum.
+
+Operation chunk layout (MSB first)::
+
+    opcode(9) | gflag(1) | [guard(7) if gflag] | dst*7 ... | src*7 ... |
+    imm(spec.imm_bits) | zero padding to the chunk size
+
+Two-slot operations span two chunks: the anchor chunk carries the
+opcode, guard, destinations and the first two sources; a continuation
+chunk (opcode ``CONTINUATION``) in the next slot carries the remaining
+sources — "encoded as part of the second operation in the operation
+pair" (Section 2.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.operations import REGISTRY, OpSpec
+
+#: 2-bit template codes, by chunk size.
+CHUNK_SIZES = (26, 34, 42)
+SLOT_UNUSED = 3
+TEMPLATE_BITS = 10
+MAX_CHUNK_BITS = 42
+
+#: Reserved opcode marking the continuation chunk of a two-slot op.
+CONTINUATION_OPCODE = (1 << 9) - 1
+
+#: The guard register meaning "always execute" (r1 holds constant 1).
+TRUE_GUARD = 1
+
+
+@dataclass
+class EncodedOp:
+    """One operation as placed in an instruction, ready to encode.
+
+    ``slot`` is the anchor issue slot (1-based).  ``dsts``/``srcs`` are
+    physical register numbers; ``guard`` is a physical register number
+    (``TRUE_GUARD`` when unguarded); ``imm`` is the raw immediate value
+    (signed immediates still in signed form).
+    """
+
+    name: str
+    slot: int
+    dsts: tuple[int, ...] = ()
+    srcs: tuple[int, ...] = ()
+    guard: int = TRUE_GUARD
+    imm: int | None = None
+
+    @property
+    def spec(self) -> OpSpec:
+        return REGISTRY.spec(self.name)
+
+
+class _BitPacker:
+    """MSB-first bit accumulator with byte-aligned output."""
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._nbits = 0
+
+    def put(self, value: int, nbits: int) -> None:
+        if nbits < 0 or value < 0 or value >= (1 << nbits):
+            raise ValueError(f"value {value} does not fit in {nbits} bits")
+        self._value = (self._value << nbits) | value
+        self._nbits += nbits
+
+    def to_bytes(self) -> bytes:
+        pad = (-self._nbits) % 8
+        value = self._value << pad
+        return value.to_bytes((self._nbits + pad) // 8, "big")
+
+    @property
+    def nbits(self) -> int:
+        return self._nbits
+
+
+class _BitUnpacker:
+    """MSB-first bit reader over bytes."""
+
+    def __init__(self, data: bytes, bit_offset: int = 0) -> None:
+        self._data = data
+        self.pos = bit_offset
+
+    def get(self, nbits: int) -> int:
+        value = 0
+        for _ in range(nbits):
+            byte = self._data[self.pos >> 3]
+            value = (value << 1) | ((byte >> (7 - (self.pos & 7))) & 1)
+            self.pos += 1
+        return value
+
+
+def _imm_field(op: EncodedOp) -> int:
+    """Raw (unsigned) immediate field bits for ``op``."""
+    spec = op.spec
+    if not spec.has_imm:
+        return 0
+    imm = op.imm or 0
+    if spec.imm_signed:
+        lo = -(1 << (spec.imm_bits - 1))
+        hi = (1 << (spec.imm_bits - 1)) - 1
+        if not lo <= imm <= hi:
+            raise ValueError(
+                f"{op.name}: immediate {imm} out of signed "
+                f"{spec.imm_bits}-bit range")
+        return imm & ((1 << spec.imm_bits) - 1)
+    if not 0 <= imm < (1 << spec.imm_bits):
+        raise ValueError(
+            f"{op.name}: immediate {imm} out of unsigned "
+            f"{spec.imm_bits}-bit range")
+    return imm
+
+
+def chunk_bits(op: EncodedOp) -> tuple[int, ...]:
+    """Exact payload bit counts of the chunk(s) encoding ``op``.
+
+    Single-slot ops produce one chunk; two-slot ops produce the anchor
+    chunk and the continuation chunk.
+    """
+    spec = op.spec
+    guard_bits = 0 if op.guard == TRUE_GUARD else 7
+    if not spec.two_slot:
+        bits = 9 + 1 + guard_bits + 7 * (spec.ndst + spec.nsrc)
+        if spec.has_imm:
+            bits += spec.imm_bits
+        return (bits,)
+    # Anchor: opcode, guard flag, dsts, first two srcs.
+    anchor_srcs = min(2, spec.nsrc)
+    anchor = 9 + 1 + guard_bits + 7 * (spec.ndst + anchor_srcs)
+    # Continuation: marker opcode plus remaining srcs and immediate.
+    cont = 9 + 7 * (spec.nsrc - anchor_srcs)
+    if spec.has_imm:
+        cont += spec.imm_bits
+    return (anchor, cont)
+
+
+def chunk_sizes(op: EncodedOp) -> tuple[int, ...]:
+    """Template chunk sizes (26/34/42) for ``op``'s chunk(s)."""
+    sizes = []
+    for bits in chunk_bits(op):
+        for size in CHUNK_SIZES:
+            if bits <= size:
+                sizes.append(size)
+                break
+        else:
+            raise ValueError(
+                f"{op.name}: chunk needs {bits} bits, exceeds "
+                f"{MAX_CHUNK_BITS}")
+    return tuple(sizes)
+
+
+@dataclass
+class EncodedInstruction:
+    """One VLIW instruction: up to five operations bound to slots."""
+
+    ops: tuple[EncodedOp, ...] = ()
+    is_jump_target: bool = False
+
+    def slot_map(self) -> dict[int, tuple[EncodedOp, int, int]]:
+        """Map slot -> (op, chunk_index, chunk_size)."""
+        mapping: dict[int, tuple[EncodedOp, int, int]] = {}
+        for op in self.ops:
+            sizes = chunk_sizes(op)
+            for index, size in enumerate(sizes):
+                slot = op.slot + index
+                if slot in mapping:
+                    raise ValueError(f"slot {slot} doubly occupied")
+                if not 1 <= slot <= 5:
+                    raise ValueError(f"slot {slot} out of range")
+                mapping[slot] = (op, index, size)
+        return mapping
+
+    def template_codes(self) -> tuple[int, ...]:
+        """Per-slot 2-bit compression codes for this instruction."""
+        if self.is_jump_target:
+            return (2, 2, 2, 2, 2)  # uncompressed: all slots at 42 bits
+        mapping = self.slot_map()
+        codes = []
+        for slot in range(1, 6):
+            if slot in mapping:
+                codes.append(CHUNK_SIZES.index(mapping[slot][2]))
+            else:
+                codes.append(SLOT_UNUSED)
+        return tuple(codes)
+
+
+def _encode_chunk(packer: _BitPacker, op: EncodedOp, chunk_index: int,
+                  size: int) -> None:
+    spec = op.spec
+    start = packer.nbits
+    if chunk_index == 0:
+        packer.put(spec.opcode, 9)
+        if op.guard == TRUE_GUARD:
+            packer.put(0, 1)
+        else:
+            packer.put(1, 1)
+            packer.put(op.guard, 7)
+        for dst in op.dsts:
+            packer.put(dst, 7)
+        srcs = op.srcs if not spec.two_slot else op.srcs[:2]
+        for src in srcs:
+            packer.put(src, 7)
+        if spec.has_imm and not spec.two_slot:
+            packer.put(_imm_field(op), spec.imm_bits)
+    else:
+        packer.put(CONTINUATION_OPCODE, 9)
+        for src in op.srcs[2:]:
+            packer.put(src, 7)
+        if spec.has_imm:
+            packer.put(_imm_field(op), spec.imm_bits)
+    used = packer.nbits - start
+    packer.put(0, size - used)
+
+
+def encode_instruction(instr: EncodedInstruction,
+                       next_template: tuple[int, ...]) -> bytes:
+    """Encode one instruction given the *next* instruction's template."""
+    packer = _BitPacker()
+    for code in next_template:
+        packer.put(code, 2)
+    mapping = instr.slot_map()
+    own_template = instr.template_codes()
+    for slot in range(1, 6):
+        code = own_template[slot - 1]
+        if code == SLOT_UNUSED:
+            continue
+        size = CHUNK_SIZES[code]
+        if slot in mapping:
+            op, chunk_index, natural = mapping[slot]
+            if natural > size:
+                raise ValueError("chunk larger than template size")
+            # At jump targets all chunks are stretched to 42 bits; the
+            # payload layout is unchanged, padding grows.
+            _encode_chunk(packer, op, chunk_index, size)
+        else:
+            # Uncompressed empty slot: explicit NOP chunk.
+            nop = EncodedOp("nop", slot)
+            _encode_chunk(packer, nop, 0, size)
+    return packer.to_bytes()
+
+
+def instruction_nbytes(instr: EncodedInstruction) -> int:
+    """Encoded size in bytes (template + chunks, byte-aligned)."""
+    bits = TEMPLATE_BITS
+    for code in instr.template_codes():
+        if code != SLOT_UNUSED:
+            bits += CHUNK_SIZES[code]
+    return (bits + 7) // 8
+
+
+def encode_program(
+    instructions: list[EncodedInstruction],
+) -> tuple[bytes, list[int]]:
+    """Encode a whole program image.
+
+    The first instruction is implicitly a jump target (the entry point).
+    Returns ``(image, addresses)`` where ``addresses[i]`` is the byte
+    address of instruction ``i``.
+    """
+    if not instructions:
+        return b"", []
+    instructions = list(instructions)
+    instructions[0].is_jump_target = True
+    addresses: list[int] = []
+    image = bytearray()
+    empty_template = (SLOT_UNUSED,) * 5
+    for index, instr in enumerate(instructions):
+        addresses.append(len(image))
+        if index + 1 < len(instructions):
+            next_template = instructions[index + 1].template_codes()
+        else:
+            next_template = empty_template
+        image.extend(encode_instruction(instr, next_template))
+    return bytes(image), addresses
+
+
+def _decode_chunk(unpacker: _BitUnpacker, size: int,
+                  pending: EncodedOp | None,
+                  slot: int) -> tuple[EncodedOp | None, EncodedOp | None]:
+    """Decode one chunk.
+
+    Returns ``(completed_op, still_pending)``; two-slot anchors return
+    as pending until their continuation chunk arrives.
+    """
+    start = unpacker.pos
+    opcode = unpacker.get(9)
+    if opcode == CONTINUATION_OPCODE:
+        if pending is None:
+            raise ValueError("continuation chunk with no pending super-op")
+        spec = pending.spec
+        srcs = list(pending.srcs)
+        for _ in range(spec.nsrc - len(srcs)):
+            srcs.append(unpacker.get(7))
+        imm = pending.imm
+        if spec.has_imm:
+            raw = unpacker.get(spec.imm_bits)
+            imm = _decode_imm(spec, raw)
+        unpacker.pos = start + size
+        done = EncodedOp(pending.name, pending.slot, pending.dsts,
+                         tuple(srcs), pending.guard, imm)
+        return done, None
+    spec = REGISTRY.spec_by_opcode(opcode)
+    guard = TRUE_GUARD
+    if unpacker.get(1):
+        guard = unpacker.get(7)
+    dsts = tuple(unpacker.get(7) for _ in range(spec.ndst))
+    nsrc = spec.nsrc if not spec.two_slot else min(2, spec.nsrc)
+    srcs = tuple(unpacker.get(7) for _ in range(nsrc))
+    imm = None
+    if spec.has_imm and not spec.two_slot:
+        imm = _decode_imm(spec, unpacker.get(spec.imm_bits))
+    unpacker.pos = start + size
+    op = EncodedOp(spec.name, slot, dsts, srcs, guard, imm)
+    if spec.two_slot:
+        return None, op
+    return op, None
+
+
+def _decode_imm(spec: OpSpec, raw: int) -> int:
+    if spec.imm_signed and raw & (1 << (spec.imm_bits - 1)):
+        return raw - (1 << spec.imm_bits)
+    return raw
+
+
+def decode_program(image: bytes) -> list[EncodedInstruction]:
+    """Decode a program image produced by :func:`encode_program`.
+
+    Walks linearly from the entry, tracking each instruction's template
+    from its predecessor (the entry is uncompressed by construction).
+    """
+    instructions: list[EncodedInstruction] = []
+    template = (2, 2, 2, 2, 2)
+    bit = 0
+    total_bits = 8 * len(image)
+    first = True
+    while bit < total_bits:
+        unpacker = _BitUnpacker(image, bit)
+        next_template = tuple(unpacker.get(2) for _ in range(5))
+        ops: list[EncodedOp] = []
+        pending: EncodedOp | None = None
+        for slot in range(1, 6):
+            code = template[slot - 1]
+            if code == SLOT_UNUSED:
+                continue
+            done, pending = _decode_chunk(
+                unpacker, CHUNK_SIZES[code], pending, slot)
+            if done is not None and done.name != "nop":
+                ops.append(done)
+        instructions.append(EncodedInstruction(tuple(ops), first))
+        bit += 8 * ((unpacker.pos - bit + 7) // 8)
+        template = next_template
+        first = False
+    return instructions

@@ -1,0 +1,404 @@
+"""TM3270 operation set: specifications and the operation registry.
+
+The TM3270 is a 5 issue-slot VLIW with guarded RISC-like operations
+(Table 1).  Every operation is described by an :class:`OpSpec`: its
+functional-unit class, result latency, the issue slots that can execute
+it, operand counts, and encoding-relevant properties.
+
+Functional-unit classes and their slot assignments follow the TriMedia
+organization described in the paper (Sections 3 and 4):
+
+* ALU units exist in every slot.
+* The load/store unit lives in issue slots 4 and 5 (Section 4.2): stores
+  can issue in slots 4 or 5, a single load only in slot 5.
+* Branch units live in slots 2, 3, and 4.
+* Two-slot ("super") operations occupy two *neighboring* slots and are
+  anchored at the lower slot (Section 2.2.1).
+
+Semantics live in :mod:`repro.isa.semantics` (baseline TriMedia ops) and
+:mod:`repro.isa.custom_ops` (the TM3270's new operations) and are bound
+into the registry at import time by :mod:`repro.isa`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class FU(enum.Enum):
+    """Functional-unit classes."""
+
+    ALU = "alu"
+    SHIFTER = "shifter"
+    DSPALU = "dspalu"
+    DSPMUL = "dspmul"
+    BRANCH = "branch"
+    FALU = "falu"
+    FMUL = "fmul"
+    FCOMP = "fcomp"
+    FTOUGH = "ftough"
+    LOADSTORE = "loadstore"
+    SUPER_DSPMUL = "super_dspmul"  # two-slot, anchored at slot 2 (slots 2+3)
+    SUPER_CABAC = "super_cabac"    # two-slot, anchored at slot 2 (slots 2+3)
+    SUPER_LS = "super_ls"          # two-slot, anchored at slot 4 (slots 4+5)
+    FRACLOAD = "fracload"          # collapsed load with interpolation, slot 5
+
+
+# Issue slots are numbered 1..5 as in the paper.  For each FU class the
+# tuple lists the slots in which an instance of that class exists; for
+# two-slot classes the slot listed is the *anchor* (lower) slot.
+FU_SLOTS: dict[FU, tuple[int, ...]] = {
+    FU.ALU: (1, 2, 3, 4, 5),
+    FU.SHIFTER: (1, 2),
+    FU.DSPALU: (1, 3),
+    FU.DSPMUL: (2, 3),
+    FU.BRANCH: (2, 3, 4),
+    FU.FALU: (1, 4),
+    FU.FMUL: (2, 3),
+    FU.FCOMP: (3,),
+    FU.FTOUGH: (2,),
+    FU.LOADSTORE: (4, 5),
+    FU.SUPER_DSPMUL: (2,),
+    FU.SUPER_CABAC: (2,),
+    FU.SUPER_LS: (4,),
+    FU.FRACLOAD: (5,),
+}
+
+TWO_SLOT_FUS = frozenset({FU.SUPER_DSPMUL, FU.SUPER_CABAC, FU.SUPER_LS})
+
+#: Slot-occupancy of each functional-unit *instance* of the TM3270.
+#: 31 instances in total (Table 1: "Functional units: 31").
+FUNCTIONAL_UNIT_INVENTORY: tuple[tuple[FU, int], ...] = tuple(
+    (fu, slot) for fu in FU for slot in FU_SLOTS[fu]
+) + (
+    # Constant-generation units (immediate formers), one in each of
+    # slots 1..5, share the ALU slot assignment but are separate units.
+    (FU.ALU, 1),
+    (FU.ALU, 2),
+    (FU.ALU, 3),
+    (FU.ALU, 4),
+    (FU.ALU, 5),
+)
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static description of one operation.
+
+    Attributes
+    ----------
+    name:
+        Mnemonic, lowercase (e.g. ``"iadd"``, ``"super_ld32r"``).
+    fu:
+        Functional-unit class executing the operation.
+    latency:
+        Result latency in cycles on the TM3270 (targets may override
+        load latencies — Table 6: 3 cycles on TM3260 vs 4 on TM3270).
+    nsrc / ndst:
+        Number of register source/destination operands.
+    has_imm / imm_bits:
+        Whether an immediate operand is present and its encoded width.
+    imm_signed:
+        Whether the immediate is sign-extended when decoded.
+    is_load / is_store / is_jump:
+        Memory- and control-flow classification used by the scheduler
+        and the load/store unit.
+    mem_bytes:
+        Number of memory bytes referenced (for loads/stores), used by
+        the LSU to compute the first/last byte addresses of possibly
+        non-aligned accesses.
+    new_in_tm3270:
+        True for operations introduced by the TM3270 (Section 2.2).
+    description:
+        One-line human-readable summary.
+    """
+
+    name: str
+    fu: FU
+    latency: int
+    nsrc: int
+    ndst: int
+    has_imm: bool = False
+    imm_bits: int = 0
+    imm_signed: bool = False
+    is_load: bool = False
+    is_store: bool = False
+    is_jump: bool = False
+    mem_bytes: int = 0
+    new_in_tm3270: bool = False
+    description: str = ""
+    opcode: int = field(default=-1, compare=False)
+
+    @property
+    def two_slot(self) -> bool:
+        """True when the operation occupies two neighboring slots."""
+        return self.fu in TWO_SLOT_FUS
+
+    @property
+    def slots(self) -> tuple[int, ...]:
+        """Anchor slots in which this operation may issue."""
+        return FU_SLOTS[self.fu]
+
+    @property
+    def is_mem(self) -> bool:
+        """True for any memory-referencing operation."""
+        return self.is_load or self.is_store
+
+
+class OperationRegistry:
+    """Name-indexed registry of operation specs and their semantics."""
+
+    def __init__(self) -> None:
+        self._specs: dict[str, OpSpec] = {}
+        self._semantics: dict[str, object] = {}
+
+    def define(self, spec: OpSpec) -> OpSpec:
+        """Register ``spec``, assigning it the next opcode number."""
+        if spec.name in self._specs:
+            raise ValueError(f"duplicate operation name: {spec.name}")
+        numbered = OpSpec(**{**spec.__dict__, "opcode": len(self._specs)})
+        self._specs[spec.name] = numbered
+        return numbered
+
+    def bind(self, name: str, semantic) -> None:
+        """Attach an executable semantic function to operation ``name``."""
+        if name not in self._specs:
+            raise KeyError(f"unknown operation: {name}")
+        self._semantics[name] = semantic
+
+    def spec(self, name: str) -> OpSpec:
+        """Look up the spec for ``name``; raises ``KeyError`` if absent."""
+        return self._specs[name]
+
+    def spec_by_opcode(self, opcode: int) -> OpSpec:
+        """Look up a spec by its assigned opcode number."""
+        for spec in self._specs.values():
+            if spec.opcode == opcode:
+                return spec
+        raise KeyError(f"unknown opcode: {opcode}")
+
+    def semantic(self, name: str):
+        """Return the semantic function bound to ``name``."""
+        return self._semantics[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __iter__(self):
+        return iter(self._specs.values())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def names(self) -> list[str]:
+        """All registered mnemonics, in opcode order."""
+        return list(self._specs)
+
+    def new_operations(self) -> list[OpSpec]:
+        """Operations introduced by the TM3270 (Section 2.2)."""
+        return [s for s in self._specs.values() if s.new_in_tm3270]
+
+
+#: The global operation registry used by the assembler, scheduler,
+#: encoder, and processor.  Populated below and by the semantics modules.
+REGISTRY = OperationRegistry()
+
+
+def _op(name: str, fu: FU, latency: int, nsrc: int, ndst: int, **kw) -> OpSpec:
+    return REGISTRY.define(OpSpec(name, fu, latency, nsrc, ndst, **kw))
+
+
+# ---------------------------------------------------------------------------
+# Baseline TriMedia operation set (available on TM3260 and TM3270)
+# ---------------------------------------------------------------------------
+
+# Scalar ALU, single-cycle, any slot.
+_op("iadd", FU.ALU, 1, 2, 1, description="32-bit add")
+_op("isub", FU.ALU, 1, 2, 1, description="32-bit subtract")
+_op("imin", FU.ALU, 1, 2, 1, description="signed minimum")
+_op("imax", FU.ALU, 1, 2, 1, description="signed maximum")
+_op("bitand", FU.ALU, 1, 2, 1, description="bitwise AND")
+_op("bitor", FU.ALU, 1, 2, 1, description="bitwise OR")
+_op("bitxor", FU.ALU, 1, 2, 1, description="bitwise XOR")
+_op("bitandinv", FU.ALU, 1, 2, 1, description="a AND NOT b")
+_op("bitinv", FU.ALU, 1, 1, 1, description="bitwise NOT")
+_op("ineg", FU.ALU, 1, 1, 1, description="two's complement negate")
+_op("iabs", FU.ALU, 1, 1, 1, description="absolute value (saturating)")
+_op("mov", FU.ALU, 1, 1, 1, description="register copy")
+_op("sex16", FU.ALU, 1, 1, 1, description="sign-extend low 16 bits")
+_op("zex16", FU.ALU, 1, 1, 1, description="zero-extend low 16 bits")
+_op("sex8", FU.ALU, 1, 1, 1, description="sign-extend low 8 bits")
+_op("zex8", FU.ALU, 1, 1, 1, description="zero-extend low 8 bits")
+
+# Immediate forms.
+_op("iaddi", FU.ALU, 1, 1, 1, has_imm=True, imm_bits=7, imm_signed=True,
+    description="add signed 7-bit immediate")
+_op("uimm", FU.ALU, 1, 0, 1, has_imm=True, imm_bits=16,
+    description="load 16-bit unsigned immediate")
+_op("himm", FU.ALU, 1, 1, 1, has_imm=True, imm_bits=16,
+    description="dst = src | (imm16 << 16); forms 32-bit constants")
+
+# Comparisons (produce 1/0, typically consumed as guards).
+_op("igtr", FU.ALU, 1, 2, 1, description="signed greater-than")
+_op("igeq", FU.ALU, 1, 2, 1, description="signed greater-or-equal")
+_op("iles", FU.ALU, 1, 2, 1, description="signed less-than")
+_op("ileq", FU.ALU, 1, 2, 1, description="signed less-or-equal")
+_op("ieql", FU.ALU, 1, 2, 1, description="equality")
+_op("ineq", FU.ALU, 1, 2, 1, description="inequality")
+_op("ugtr", FU.ALU, 1, 2, 1, description="unsigned greater-than")
+_op("ugeq", FU.ALU, 1, 2, 1, description="unsigned greater-or-equal")
+_op("igtri", FU.ALU, 1, 1, 1, has_imm=True, imm_bits=7, imm_signed=True,
+    description="signed greater-than immediate")
+_op("ieqli", FU.ALU, 1, 1, 1, has_imm=True, imm_bits=7, imm_signed=True,
+    description="equal-to-immediate")
+_op("ineqi", FU.ALU, 1, 1, 1, has_imm=True, imm_bits=7, imm_signed=True,
+    description="not-equal-to-immediate")
+
+# Shifter, slots 1 and 2.
+_op("asl", FU.SHIFTER, 1, 2, 1, description="arithmetic shift left")
+_op("asr", FU.SHIFTER, 1, 2, 1, description="arithmetic shift right")
+_op("lsr", FU.SHIFTER, 1, 2, 1, description="logical shift right")
+_op("rol", FU.SHIFTER, 1, 2, 1, description="rotate left")
+_op("asli", FU.SHIFTER, 1, 1, 1, has_imm=True, imm_bits=7,
+    description="arithmetic shift left immediate")
+_op("asri", FU.SHIFTER, 1, 1, 1, has_imm=True, imm_bits=7,
+    description="arithmetic shift right immediate")
+_op("lsri", FU.SHIFTER, 1, 1, 1, has_imm=True, imm_bits=7,
+    description="logical shift right immediate")
+_op("roli", FU.SHIFTER, 1, 1, 1, has_imm=True, imm_bits=7,
+    description="rotate left immediate")
+
+# Multiplier, slots 2 and 3, 3-cycle latency.
+_op("imul", FU.DSPMUL, 3, 2, 1, description="signed 32x32 multiply, low 32")
+_op("imulm", FU.DSPMUL, 3, 2, 1, description="signed 32x32 multiply, high 32")
+_op("umulm", FU.DSPMUL, 3, 2, 1, description="unsigned 32x32 multiply, high 32")
+_op("ifir16", FU.DSPMUL, 3, 2, 1,
+    description="dual 16-bit dot product (signed, clipped)")
+_op("ufir16", FU.DSPMUL, 3, 2, 1,
+    description="dual 16-bit dot product (unsigned)")
+_op("ifir8ui", FU.DSPMUL, 3, 2, 1,
+    description="quad 8-bit dot product (unsigned x signed)")
+_op("quadumulmsb", FU.DSPMUL, 3, 2, 1,
+    description="per-byte unsigned multiply, keep MSBs")
+
+# DSP ALU, slots 1 and 3, 2-cycle latency.
+_op("dspiabs", FU.DSPALU, 2, 1, 1, description="clipped absolute value")
+_op("dspidualadd", FU.DSPALU, 2, 2, 1,
+    description="dual 16-bit saturating add")
+_op("dspidualsub", FU.DSPALU, 2, 2, 1,
+    description="dual 16-bit saturating subtract")
+_op("dspidualmul", FU.DSPALU, 2, 2, 1,
+    description="dual 16-bit saturating multiply (low halves)")
+_op("dspuquadaddui", FU.DSPALU, 2, 2, 1,
+    description="quad 8-bit saturating add (unsigned + signed)")
+_op("quadavg", FU.DSPALU, 2, 2, 1,
+    description="quad 8-bit rounding average")
+_op("quadumax", FU.DSPALU, 2, 2, 1, description="quad 8-bit unsigned max")
+_op("quadumin", FU.DSPALU, 2, 2, 1, description="quad 8-bit unsigned min")
+_op("ume8uu", FU.DSPALU, 2, 2, 1,
+    description="sum of absolute differences over 4 unsigned bytes")
+_op("iclipi", FU.DSPALU, 2, 1, 1, has_imm=True, imm_bits=7,
+    description="clip to [-2^imm, 2^imm - 1]")
+_op("uclipi", FU.DSPALU, 2, 1, 1, has_imm=True, imm_bits=7,
+    description="clip to [0, 2^imm - 1]")
+_op("mergelsb", FU.DSPALU, 2, 2, 1,
+    description="interleave the two low bytes of each source")
+_op("mergemsb", FU.DSPALU, 2, 2, 1,
+    description="interleave the two high bytes of each source")
+_op("pack16lsb", FU.DSPALU, 2, 2, 1,
+    description="pack low halves: (a.lo << 16) | b.lo")
+_op("pack16msb", FU.DSPALU, 2, 2, 1,
+    description="pack high halves: (a.hi << 16) | b.hi")
+_op("packbytes", FU.DSPALU, 2, 2, 1,
+    description="pack low bytes: (a.byte0 << 8) | b.byte0")
+_op("ubytesel", FU.DSPALU, 2, 2, 1,
+    description="select byte of a indexed by low 2 bits of b")
+
+# Floating point (IEEE-754 single precision; Table 1).
+_op("fadd", FU.FALU, 3, 2, 1, description="FP add")
+_op("fsub", FU.FALU, 3, 2, 1, description="FP subtract")
+_op("i2f", FU.FALU, 3, 1, 1, description="int to float")
+_op("f2i", FU.FALU, 3, 1, 1, description="float to int (truncate)")
+_op("fmul", FU.FMUL, 3, 2, 1, description="FP multiply")
+_op("fgtr", FU.FCOMP, 1, 2, 1, description="FP greater-than")
+_op("feql", FU.FCOMP, 1, 2, 1, description="FP equality")
+_op("fdiv", FU.FTOUGH, 17, 2, 1, description="FP divide (iterative)")
+_op("fsqrt", FU.FTOUGH, 17, 1, 1, description="FP square root (iterative)")
+
+# Loads.  Latency is the TM3270's 4 cycles; targets override (Table 6).
+_op("ld32", FU.LOADSTORE, 4, 2, 1, is_load=True, mem_bytes=4,
+    description="load 32-bit word, indexed addressing (base + index)")
+_op("ld32d", FU.LOADSTORE, 4, 1, 1, has_imm=True, imm_bits=7,
+    imm_signed=True, is_load=True, mem_bytes=4,
+    description="load 32-bit word, base + displacement")
+_op("ild16d", FU.LOADSTORE, 4, 1, 1, has_imm=True, imm_bits=7,
+    imm_signed=True, is_load=True, mem_bytes=2,
+    description="load signed 16-bit, base + displacement")
+_op("uld16d", FU.LOADSTORE, 4, 1, 1, has_imm=True, imm_bits=7,
+    imm_signed=True, is_load=True, mem_bytes=2,
+    description="load unsigned 16-bit, base + displacement")
+_op("ild8d", FU.LOADSTORE, 4, 1, 1, has_imm=True, imm_bits=7,
+    imm_signed=True, is_load=True, mem_bytes=1,
+    description="load signed 8-bit, base + displacement")
+_op("uld8d", FU.LOADSTORE, 4, 1, 1, has_imm=True, imm_bits=7,
+    imm_signed=True, is_load=True, mem_bytes=1,
+    description="load unsigned 8-bit, base + displacement")
+
+# Stores (no register result).
+_op("st32d", FU.LOADSTORE, 1, 2, 0, has_imm=True, imm_bits=7,
+    imm_signed=True, is_store=True, mem_bytes=4,
+    description="store 32-bit word, base + displacement")
+_op("st16d", FU.LOADSTORE, 1, 2, 0, has_imm=True, imm_bits=7,
+    imm_signed=True, is_store=True, mem_bytes=2,
+    description="store low 16 bits, base + displacement")
+_op("st8d", FU.LOADSTORE, 1, 2, 0, has_imm=True, imm_bits=7,
+    imm_signed=True, is_store=True, mem_bytes=1,
+    description="store low 8 bits, base + displacement")
+
+# Jumps.  Control transfer takes effect after the target's architectural
+# jump delay slots (Section 3: 5 on the TM3270, Table 6: 3 on TM3260).
+_op("jmpi", FU.BRANCH, 1, 0, 0, has_imm=True, imm_bits=24, is_jump=True,
+    description="unconditional jump to immediate address")
+_op("jmpt", FU.BRANCH, 1, 0, 0, has_imm=True, imm_bits=24, is_jump=True,
+    description="jump if guard is true")
+_op("jmpf", FU.BRANCH, 1, 0, 0, has_imm=True, imm_bits=24, is_jump=True,
+    description="jump if guard is false")
+
+# Explicit no-operation (used to encode empty slots at branch targets).
+_op("nop", FU.ALU, 1, 0, 0, description="no operation")
+
+
+# ---------------------------------------------------------------------------
+# TM3270 ISA enhancements (Section 2.2) — specifications.
+# Semantics are implemented in repro.isa.custom_ops.
+# ---------------------------------------------------------------------------
+
+_op("super_dualimix", FU.SUPER_DSPMUL, 4, 4, 2, new_in_tm3270=True,
+    description="two-slot pair-wise 2-taps filter on signed 16-bit values "
+                "with 32-bit clipping (Table 2)")
+_op("super_ufir16", FU.SUPER_DSPMUL, 4, 4, 2, new_in_tm3270=True,
+    description="two-slot dual unsigned 16-bit dot products")
+_op("super_ld32r", FU.SUPER_LS, 4, 2, 2, is_load=True, mem_bytes=8,
+    new_in_tm3270=True,
+    description="two-slot load of two consecutive 32-bit words, big endian "
+                "(Table 2); doubles load bandwidth")
+_op("ld_frac8", FU.FRACLOAD, 6, 2, 1, is_load=True, mem_bytes=5,
+    new_in_tm3270=True,
+    description="collapsed load: 5 bytes + two-taps fractional interpolation "
+                "(Table 2); for motion estimation at fractional positions")
+_op("ld_frac16", FU.FRACLOAD, 6, 2, 1, is_load=True, mem_bytes=6,
+    new_in_tm3270=True,
+    description="collapsed load: 3 half-words + two-taps fractional "
+                "interpolation on 16-bit lanes")
+_op("super_cabac_ctx", FU.SUPER_CABAC, 4, 4, 2, new_in_tm3270=True,
+    description="two-slot CABAC context update: (value,range),(state,mps) "
+                "out of full decode state (Table 2, Figure 2)")
+_op("super_cabac_str", FU.SUPER_CABAC, 4, 3, 2, new_in_tm3270=True,
+    description="two-slot CABAC bitstream update: stream position and "
+                "decoded bit (Table 2, Figure 2)")
+
+
+def spec(name: str) -> OpSpec:
+    """Convenience module-level lookup into :data:`REGISTRY`."""
+    return REGISTRY.spec(name)

@@ -1,0 +1,553 @@
+"""Executable semantics of the baseline TriMedia operation set.
+
+Each semantic is a function ``fn(ctx, srcs, imm) -> tuple_of_results``:
+
+* ``ctx`` — an execution context providing byte-addressed memory access
+  through ``ctx.load(addr, nbytes) -> int`` (big-endian, as in Table 2's
+  ``SUPER_LD32R`` definition) and ``ctx.store(addr, value, nbytes)``.
+* ``srcs`` — tuple of unsigned 32-bit source register values.
+* ``imm`` — decoded immediate (already sign-extended where applicable),
+  or ``None``.
+
+The return value is a tuple of unsigned 32-bit results, one per
+destination register.  Jumps return the resolved target address wrapped
+in a :class:`JumpOutcome`; the pipeline applies the control transfer
+after the configured number of delay slots.
+
+Semantics are *purely functional* over their inputs and the memory
+context, which is what makes them reusable across the cycle-accurate
+processor, the assembler-level interpreter, and the unit tests.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.isa import simd
+from repro.isa.operations import REGISTRY
+
+
+@dataclass(frozen=True)
+class JumpOutcome:
+    """Result of a jump operation: whether taken and the target address."""
+
+    taken: bool
+    target: int
+
+
+def _f32(value: int) -> float:
+    """Reinterpret an unsigned 32-bit word as an IEEE-754 float."""
+    return struct.unpack(">f", struct.pack(">I", value & simd.MASK32))[0]
+
+
+def _bits(value: float) -> int:
+    """Reinterpret an IEEE-754 single as an unsigned 32-bit word.
+
+    Overflow to infinity follows IEEE-754 round-to-nearest semantics via
+    the struct codec; NaNs are canonicalized by the codec as well.
+    """
+    try:
+        return struct.unpack(">I", struct.pack(">f", value))[0]
+    except OverflowError:
+        return 0x7F800000 if value > 0 else 0xFF800000
+
+
+def semantic(name: str):
+    """Decorator: bind the decorated function to operation ``name``."""
+
+    def register(fn):
+        REGISTRY.bind(name, fn)
+        return fn
+
+    return register
+
+
+# ---------------------------------------------------------------------------
+# Scalar ALU
+# ---------------------------------------------------------------------------
+
+@semantic("iadd")
+def _iadd(ctx, srcs, imm):
+    return (simd.u32(srcs[0] + srcs[1]),)
+
+
+@semantic("isub")
+def _isub(ctx, srcs, imm):
+    return (simd.u32(srcs[0] - srcs[1]),)
+
+
+@semantic("imin")
+def _imin(ctx, srcs, imm):
+    return (simd.u32(min(simd.s32(srcs[0]), simd.s32(srcs[1]))),)
+
+
+@semantic("imax")
+def _imax(ctx, srcs, imm):
+    return (simd.u32(max(simd.s32(srcs[0]), simd.s32(srcs[1]))),)
+
+
+@semantic("bitand")
+def _bitand(ctx, srcs, imm):
+    return (srcs[0] & srcs[1],)
+
+
+@semantic("bitor")
+def _bitor(ctx, srcs, imm):
+    return (srcs[0] | srcs[1],)
+
+
+@semantic("bitxor")
+def _bitxor(ctx, srcs, imm):
+    return (srcs[0] ^ srcs[1],)
+
+
+@semantic("bitandinv")
+def _bitandinv(ctx, srcs, imm):
+    return (srcs[0] & simd.u32(~srcs[1]),)
+
+
+@semantic("bitinv")
+def _bitinv(ctx, srcs, imm):
+    return (simd.u32(~srcs[0]),)
+
+
+@semantic("ineg")
+def _ineg(ctx, srcs, imm):
+    return (simd.u32(-simd.s32(srcs[0])),)
+
+
+@semantic("iabs")
+def _iabs(ctx, srcs, imm):
+    value = simd.s32(srcs[0])
+    return (simd.u32(simd.clip_s32(abs(value))),)
+
+
+@semantic("mov")
+def _mov(ctx, srcs, imm):
+    return (srcs[0],)
+
+
+@semantic("sex16")
+def _sex16(ctx, srcs, imm):
+    return (simd.u32(simd.s16(srcs[0])),)
+
+
+@semantic("zex16")
+def _zex16(ctx, srcs, imm):
+    return (simd.u16(srcs[0]),)
+
+
+@semantic("sex8")
+def _sex8(ctx, srcs, imm):
+    return (simd.u32(simd.s8(srcs[0])),)
+
+
+@semantic("zex8")
+def _zex8(ctx, srcs, imm):
+    return (simd.u8(srcs[0]),)
+
+
+@semantic("iaddi")
+def _iaddi(ctx, srcs, imm):
+    return (simd.u32(srcs[0] + imm),)
+
+
+@semantic("uimm")
+def _uimm(ctx, srcs, imm):
+    return (imm & simd.MASK16,)
+
+
+@semantic("himm")
+def _himm(ctx, srcs, imm):
+    return (simd.u32(srcs[0] | ((imm & simd.MASK16) << 16)),)
+
+
+# ---------------------------------------------------------------------------
+# Comparisons (results are 1/0 words, typically consumed as guards)
+# ---------------------------------------------------------------------------
+
+@semantic("igtr")
+def _igtr(ctx, srcs, imm):
+    return (1 if simd.s32(srcs[0]) > simd.s32(srcs[1]) else 0,)
+
+
+@semantic("igeq")
+def _igeq(ctx, srcs, imm):
+    return (1 if simd.s32(srcs[0]) >= simd.s32(srcs[1]) else 0,)
+
+
+@semantic("iles")
+def _iles(ctx, srcs, imm):
+    return (1 if simd.s32(srcs[0]) < simd.s32(srcs[1]) else 0,)
+
+
+@semantic("ileq")
+def _ileq(ctx, srcs, imm):
+    return (1 if simd.s32(srcs[0]) <= simd.s32(srcs[1]) else 0,)
+
+
+@semantic("ieql")
+def _ieql(ctx, srcs, imm):
+    return (1 if srcs[0] == srcs[1] else 0,)
+
+
+@semantic("ineq")
+def _ineq(ctx, srcs, imm):
+    return (1 if srcs[0] != srcs[1] else 0,)
+
+
+@semantic("ugtr")
+def _ugtr(ctx, srcs, imm):
+    return (1 if srcs[0] > srcs[1] else 0,)
+
+
+@semantic("ugeq")
+def _ugeq(ctx, srcs, imm):
+    return (1 if srcs[0] >= srcs[1] else 0,)
+
+
+@semantic("igtri")
+def _igtri(ctx, srcs, imm):
+    return (1 if simd.s32(srcs[0]) > imm else 0,)
+
+
+@semantic("ieqli")
+def _ieqli(ctx, srcs, imm):
+    return (1 if simd.s32(srcs[0]) == imm else 0,)
+
+
+@semantic("ineqi")
+def _ineqi(ctx, srcs, imm):
+    return (1 if simd.s32(srcs[0]) != imm else 0,)
+
+
+# ---------------------------------------------------------------------------
+# Shifter
+# ---------------------------------------------------------------------------
+
+def _shift_amount(value: int) -> int:
+    return value & 31
+
+
+@semantic("asl")
+def _asl(ctx, srcs, imm):
+    return (simd.u32(srcs[0] << _shift_amount(srcs[1])),)
+
+
+@semantic("asr")
+def _asr(ctx, srcs, imm):
+    return (simd.u32(simd.s32(srcs[0]) >> _shift_amount(srcs[1])),)
+
+
+@semantic("lsr")
+def _lsr(ctx, srcs, imm):
+    return (srcs[0] >> _shift_amount(srcs[1]),)
+
+
+@semantic("rol")
+def _rol(ctx, srcs, imm):
+    return (simd.rotate_left32(srcs[0], srcs[1]),)
+
+
+@semantic("asli")
+def _asli(ctx, srcs, imm):
+    return (simd.u32(srcs[0] << _shift_amount(imm)),)
+
+
+@semantic("asri")
+def _asri(ctx, srcs, imm):
+    return (simd.u32(simd.s32(srcs[0]) >> _shift_amount(imm)),)
+
+
+@semantic("lsri")
+def _lsri(ctx, srcs, imm):
+    return (srcs[0] >> _shift_amount(imm),)
+
+
+@semantic("roli")
+def _roli(ctx, srcs, imm):
+    return (simd.rotate_left32(srcs[0], imm),)
+
+
+# ---------------------------------------------------------------------------
+# Multiplier
+# ---------------------------------------------------------------------------
+
+@semantic("imul")
+def _imul(ctx, srcs, imm):
+    return (simd.u32(simd.s32(srcs[0]) * simd.s32(srcs[1])),)
+
+
+@semantic("imulm")
+def _imulm(ctx, srcs, imm):
+    product = simd.s32(srcs[0]) * simd.s32(srcs[1])
+    return (simd.u32(product >> 32),)
+
+
+@semantic("umulm")
+def _umulm(ctx, srcs, imm):
+    return ((srcs[0] * srcs[1]) >> 32,)
+
+
+@semantic("ifir16")
+def _ifir16(ctx, srcs, imm):
+    a_hi, a_lo = simd.unpack16s(srcs[0])
+    b_hi, b_lo = simd.unpack16s(srcs[1])
+    return (simd.u32(simd.clip_s32(a_hi * b_hi + a_lo * b_lo)),)
+
+
+@semantic("ufir16")
+def _ufir16(ctx, srcs, imm):
+    a_hi, a_lo = simd.unpack16(srcs[0])
+    b_hi, b_lo = simd.unpack16(srcs[1])
+    return (simd.u32(a_hi * b_hi + a_lo * b_lo),)
+
+
+@semantic("ifir8ui")
+def _ifir8ui(ctx, srcs, imm):
+    a = simd.unpack8(srcs[0])
+    b = simd.unpack8s(srcs[1])
+    return (simd.u32(simd.clip_s32(sum(x * y for x, y in zip(a, b)))),)
+
+
+@semantic("quadumulmsb")
+def _quadumulmsb(ctx, srcs, imm):
+    return (simd.map8(lambda a, b: (a * b) >> 8, srcs[0], srcs[1]),)
+
+
+# ---------------------------------------------------------------------------
+# DSP ALU
+# ---------------------------------------------------------------------------
+
+@semantic("dspiabs")
+def _dspiabs(ctx, srcs, imm):
+    return (simd.u32(simd.clip_s32(abs(simd.s32(srcs[0])))),)
+
+
+@semantic("dspidualadd")
+def _dspidualadd(ctx, srcs, imm):
+    return (simd.map16(simd.add_sat_s16, srcs[0], srcs[1]),)
+
+
+@semantic("dspidualsub")
+def _dspidualsub(ctx, srcs, imm):
+    return (simd.map16(simd.sub_sat_s16, srcs[0], srcs[1]),)
+
+
+@semantic("dspidualmul")
+def _dspidualmul(ctx, srcs, imm):
+    return (simd.map16(lambda a, b: simd.clip_s16(a * b), srcs[0], srcs[1]),)
+
+
+@semantic("dspuquadaddui")
+def _dspuquadaddui(ctx, srcs, imm):
+    a = simd.unpack8(srcs[0])
+    b = simd.unpack8s(srcs[1])
+    return (simd.pack8(*(simd.clip_u8(x + y) for x, y in zip(a, b))),)
+
+
+@semantic("quadavg")
+def _quadavg(ctx, srcs, imm):
+    return (simd.map8(simd.avg_round_u8, srcs[0], srcs[1]),)
+
+
+@semantic("quadumax")
+def _quadumax(ctx, srcs, imm):
+    return (simd.map8(max, srcs[0], srcs[1]),)
+
+
+@semantic("quadumin")
+def _quadumin(ctx, srcs, imm):
+    return (simd.map8(min, srcs[0], srcs[1]),)
+
+
+@semantic("ume8uu")
+def _ume8uu(ctx, srcs, imm):
+    a = simd.unpack8(srcs[0])
+    b = simd.unpack8(srcs[1])
+    return (sum(simd.abs_diff_u8(x, y) for x, y in zip(a, b)),)
+
+
+@semantic("iclipi")
+def _iclipi(ctx, srcs, imm):
+    bound = 1 << (imm & 31)
+    return (simd.u32(simd.clip(simd.s32(srcs[0]), -bound, bound - 1)),)
+
+
+@semantic("uclipi")
+def _uclipi(ctx, srcs, imm):
+    bound = 1 << (imm & 31)
+    return (simd.clip(simd.s32(srcs[0]), 0, bound - 1),)
+
+
+@semantic("mergelsb")
+def _mergelsb(ctx, srcs, imm):
+    a3, a2, a1, a0 = simd.unpack8(srcs[0])
+    b3, b2, b1, b0 = simd.unpack8(srcs[1])
+    return (simd.pack8(a1, b1, a0, b0),)
+
+
+@semantic("mergemsb")
+def _mergemsb(ctx, srcs, imm):
+    a3, a2, a1, a0 = simd.unpack8(srcs[0])
+    b3, b2, b1, b0 = simd.unpack8(srcs[1])
+    return (simd.pack8(a3, b3, a2, b2),)
+
+
+@semantic("pack16lsb")
+def _pack16lsb(ctx, srcs, imm):
+    return (simd.pack16(srcs[0] & simd.MASK16, srcs[1] & simd.MASK16),)
+
+
+@semantic("pack16msb")
+def _pack16msb(ctx, srcs, imm):
+    return (simd.pack16(srcs[0] >> 16, srcs[1] >> 16),)
+
+
+@semantic("packbytes")
+def _packbytes(ctx, srcs, imm):
+    return (((srcs[0] & simd.MASK8) << 8) | (srcs[1] & simd.MASK8),)
+
+
+@semantic("ubytesel")
+def _ubytesel(ctx, srcs, imm):
+    index = srcs[1] & 3
+    return ((srcs[0] >> (8 * index)) & simd.MASK8,)
+
+
+# ---------------------------------------------------------------------------
+# Floating point
+# ---------------------------------------------------------------------------
+
+@semantic("fadd")
+def _fadd(ctx, srcs, imm):
+    return (_bits(_f32(srcs[0]) + _f32(srcs[1])),)
+
+
+@semantic("fsub")
+def _fsub(ctx, srcs, imm):
+    return (_bits(_f32(srcs[0]) - _f32(srcs[1])),)
+
+
+@semantic("fmul")
+def _fmul(ctx, srcs, imm):
+    return (_bits(_f32(srcs[0]) * _f32(srcs[1])),)
+
+
+@semantic("fdiv")
+def _fdiv(ctx, srcs, imm):
+    denominator = _f32(srcs[1])
+    if denominator == 0.0:
+        numerator = _f32(srcs[0])
+        infinity = float("inf") if numerator >= 0 else float("-inf")
+        return (_bits(infinity),)
+    return (_bits(_f32(srcs[0]) / denominator),)
+
+
+@semantic("fsqrt")
+def _fsqrt(ctx, srcs, imm):
+    value = _f32(srcs[0])
+    if value < 0.0:
+        return (0x7FC00000,)  # quiet NaN
+    return (_bits(value ** 0.5),)
+
+
+@semantic("i2f")
+def _i2f(ctx, srcs, imm):
+    return (_bits(float(simd.s32(srcs[0]))),)
+
+
+@semantic("f2i")
+def _f2i(ctx, srcs, imm):
+    value = _f32(srcs[0])
+    if value != value:  # NaN
+        return (0,)
+    return (simd.u32(simd.clip_s32(int(value))),)
+
+
+@semantic("fgtr")
+def _fgtr(ctx, srcs, imm):
+    return (1 if _f32(srcs[0]) > _f32(srcs[1]) else 0,)
+
+
+@semantic("feql")
+def _feql(ctx, srcs, imm):
+    return (1 if _f32(srcs[0]) == _f32(srcs[1]) else 0,)
+
+
+# ---------------------------------------------------------------------------
+# Loads and stores (big-endian byte order, as in Table 2)
+# ---------------------------------------------------------------------------
+
+@semantic("ld32")
+def _ld32(ctx, srcs, imm):
+    return (ctx.load(simd.u32(srcs[0] + srcs[1]), 4),)
+
+
+@semantic("ld32d")
+def _ld32d(ctx, srcs, imm):
+    return (ctx.load(simd.u32(srcs[0] + imm), 4),)
+
+
+@semantic("ild16d")
+def _ild16d(ctx, srcs, imm):
+    return (simd.u32(simd.s16(ctx.load(simd.u32(srcs[0] + imm), 2))),)
+
+
+@semantic("uld16d")
+def _uld16d(ctx, srcs, imm):
+    return (ctx.load(simd.u32(srcs[0] + imm), 2),)
+
+
+@semantic("ild8d")
+def _ild8d(ctx, srcs, imm):
+    return (simd.u32(simd.s8(ctx.load(simd.u32(srcs[0] + imm), 1))),)
+
+
+@semantic("uld8d")
+def _uld8d(ctx, srcs, imm):
+    return (ctx.load(simd.u32(srcs[0] + imm), 1),)
+
+
+@semantic("st32d")
+def _st32d(ctx, srcs, imm):
+    ctx.store(simd.u32(srcs[0] + imm), srcs[1], 4)
+    return ()
+
+
+@semantic("st16d")
+def _st16d(ctx, srcs, imm):
+    ctx.store(simd.u32(srcs[0] + imm), srcs[1] & simd.MASK16, 2)
+    return ()
+
+
+@semantic("st8d")
+def _st8d(ctx, srcs, imm):
+    ctx.store(simd.u32(srcs[0] + imm), srcs[1] & simd.MASK8, 1)
+    return ()
+
+
+# ---------------------------------------------------------------------------
+# Jumps.  The guard decides whether jmpt/jmpf are taken; the guard value
+# is evaluated by the pipeline and passed via ctx.guard_value.
+# ---------------------------------------------------------------------------
+
+@semantic("jmpi")
+def _jmpi(ctx, srcs, imm):
+    return (JumpOutcome(True, imm),)
+
+
+@semantic("jmpt")
+def _jmpt(ctx, srcs, imm):
+    return (JumpOutcome(bool(ctx.guard_value), imm),)
+
+
+@semantic("jmpf")
+def _jmpf(ctx, srcs, imm):
+    return (JumpOutcome(not ctx.guard_value, imm),)
+
+
+@semantic("nop")
+def _nop(ctx, srcs, imm):
+    return ()

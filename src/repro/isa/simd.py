@@ -1,0 +1,226 @@
+"""Bit-exact 32-bit word and SIMD lane arithmetic.
+
+All TM3270 operations work on 32-bit registers, optionally treated as a
+vector of two 16-bit or four 8-bit lanes (Table 1: "SIMD capabilities:
+1 x 32-bit, 2 x 16-bit, 4 x 8-bit").  This module provides the
+masking/sign/saturation helpers that every operation semantic builds on.
+
+All functions take and return plain Python ints.  Register values are
+canonically represented as *unsigned* 32-bit ints in ``[0, 2**32)``.
+"""
+
+from __future__ import annotations
+
+MASK8 = 0xFF
+MASK16 = 0xFFFF
+MASK32 = 0xFFFFFFFF
+
+INT8_MIN, INT8_MAX = -(1 << 7), (1 << 7) - 1
+INT16_MIN, INT16_MAX = -(1 << 15), (1 << 15) - 1
+INT32_MIN, INT32_MAX = -(1 << 31), (1 << 31) - 1
+UINT8_MAX = MASK8
+UINT16_MAX = MASK16
+UINT32_MAX = MASK32
+
+
+def u32(value: int) -> int:
+    """Truncate ``value`` to an unsigned 32-bit word."""
+    return value & MASK32
+
+
+def u16(value: int) -> int:
+    """Truncate ``value`` to an unsigned 16-bit half-word."""
+    return value & MASK16
+
+
+def u8(value: int) -> int:
+    """Truncate ``value`` to an unsigned byte."""
+    return value & MASK8
+
+
+def s32(value: int) -> int:
+    """Interpret the low 32 bits of ``value`` as a signed integer."""
+    value &= MASK32
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+def s16(value: int) -> int:
+    """Interpret the low 16 bits of ``value`` as a signed integer."""
+    value &= MASK16
+    return value - (1 << 16) if value & 0x8000 else value
+
+
+def s8(value: int) -> int:
+    """Interpret the low 8 bits of ``value`` as a signed integer."""
+    value &= MASK8
+    return value - (1 << 8) if value & 0x80 else value
+
+
+def clip(value: int, lo: int, hi: int) -> int:
+    """Clip ``value`` into the inclusive range ``[lo, hi]``.
+
+    This is the ``min(max(lo, value), hi)`` clipping used throughout
+    Table 2's operation definitions.
+    """
+    if value < lo:
+        return lo
+    if value > hi:
+        return hi
+    return value
+
+
+def clip_s32(value: int) -> int:
+    """Clip to the signed 32-bit range (result still signed)."""
+    return clip(value, INT32_MIN, INT32_MAX)
+
+
+def clip_s16(value: int) -> int:
+    """Clip to the signed 16-bit range (result still signed)."""
+    return clip(value, INT16_MIN, INT16_MAX)
+
+
+def clip_u8(value: int) -> int:
+    """Clip to the unsigned 8-bit range."""
+    return clip(value, 0, UINT8_MAX)
+
+
+def clip_u16(value: int) -> int:
+    """Clip to the unsigned 16-bit range."""
+    return clip(value, 0, UINT16_MAX)
+
+
+# ---------------------------------------------------------------------------
+# Lane packing / unpacking
+# ---------------------------------------------------------------------------
+
+def unpack16(word: int) -> tuple[int, int]:
+    """Split a 32-bit word into (high, low) unsigned 16-bit lanes."""
+    word &= MASK32
+    return (word >> 16) & MASK16, word & MASK16
+
+
+def pack16(hi: int, lo: int) -> int:
+    """Pack two 16-bit lanes into a word: ``(hi << 16) | lo``.
+
+    This is the paper's ``DUAL16(a, b) = (a << 16) | (b & 0xffff)``.
+    """
+    return ((hi & MASK16) << 16) | (lo & MASK16)
+
+
+def unpack16s(word: int) -> tuple[int, int]:
+    """Split a word into (high, low) *signed* 16-bit lanes."""
+    hi, lo = unpack16(word)
+    return s16(hi), s16(lo)
+
+
+def unpack8(word: int) -> tuple[int, int, int, int]:
+    """Split a word into four unsigned bytes, most-significant first."""
+    word &= MASK32
+    return (
+        (word >> 24) & MASK8,
+        (word >> 16) & MASK8,
+        (word >> 8) & MASK8,
+        word & MASK8,
+    )
+
+
+def pack8(b3: int, b2: int, b1: int, b0: int) -> int:
+    """Pack four bytes into a word, ``b3`` most significant."""
+    return (
+        ((b3 & MASK8) << 24)
+        | ((b2 & MASK8) << 16)
+        | ((b1 & MASK8) << 8)
+        | (b0 & MASK8)
+    )
+
+
+def unpack8s(word: int) -> tuple[int, int, int, int]:
+    """Split a word into four *signed* bytes, most-significant first."""
+    return tuple(s8(b) for b in unpack8(word))  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# Lane-wise maps
+# ---------------------------------------------------------------------------
+
+def map16(fn, a: int, b: int) -> int:
+    """Apply ``fn(lane_a, lane_b)`` to signed 16-bit lane pairs.
+
+    The per-lane results are truncated back to 16 bits.
+    """
+    a_hi, a_lo = unpack16s(a)
+    b_hi, b_lo = unpack16s(b)
+    return pack16(fn(a_hi, b_hi), fn(a_lo, b_lo))
+
+
+def map8(fn, a: int, b: int) -> int:
+    """Apply ``fn(lane_a, lane_b)`` to unsigned 8-bit lane quadruples."""
+    av = unpack8(a)
+    bv = unpack8(b)
+    return pack8(*(fn(x, y) for x, y in zip(av, bv)))
+
+
+def map8s(fn, a: int, b: int) -> int:
+    """Apply ``fn(lane_a, lane_b)`` to signed 8-bit lane quadruples."""
+    av = unpack8s(a)
+    bv = unpack8s(b)
+    return pack8(*(fn(x, y) for x, y in zip(av, bv)))
+
+
+# ---------------------------------------------------------------------------
+# Common media arithmetic
+# ---------------------------------------------------------------------------
+
+def add_sat_s16(a: int, b: int) -> int:
+    """Signed-saturating 16-bit add (one lane)."""
+    return clip_s16(a + b)
+
+
+def sub_sat_s16(a: int, b: int) -> int:
+    """Signed-saturating 16-bit subtract (one lane)."""
+    return clip_s16(a - b)
+
+
+def add_sat_u8(a: int, b: int) -> int:
+    """Unsigned-saturating 8-bit add (one lane)."""
+    return clip_u8(a + b)
+
+
+def sub_sat_u8(a: int, b: int) -> int:
+    """Unsigned-saturating 8-bit subtract (one lane)."""
+    return clip_u8(a - b)
+
+
+def avg_round_u8(a: int, b: int) -> int:
+    """Rounding average of two unsigned bytes: ``(a + b + 1) >> 1``."""
+    return (a + b + 1) >> 1
+
+
+def abs_diff_u8(a: int, b: int) -> int:
+    """Absolute difference of two unsigned bytes."""
+    return a - b if a >= b else b - a
+
+
+def interp2(a: int, b: int, frac: int, scale: int = 16) -> int:
+    """Two-taps linear interpolation with rounding.
+
+    ``(a * (scale - frac) + b * frac + scale/2) / scale`` — the filter
+    function used by the collapsed-load ``LD_FRAC8`` operation (Table 2),
+    with ``scale = 16`` and a 4-bit fractional position.
+    """
+    return (a * (scale - frac) + b * frac + scale // 2) // scale
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Sign-extend the low ``bits`` bits of ``value`` to a Python int."""
+    mask = (1 << bits) - 1
+    value &= mask
+    sign_bit = 1 << (bits - 1)
+    return value - (1 << bits) if value & sign_bit else value
+
+
+def rotate_left32(value: int, amount: int) -> int:
+    """Rotate a 32-bit word left by ``amount`` (mod 32)."""
+    amount &= 31
+    value &= MASK32
+    return ((value << amount) | (value >> (32 - amount))) & MASK32

@@ -1,0 +1,5 @@
+"""Kernel suite: Table 5 workloads plus optimization-study kernels."""
+
+from repro.kernels.registry import TABLE5_KERNELS, KernelCase, kernel_by_name
+
+__all__ = ["TABLE5_KERNELS", "KernelCase", "kernel_by_name"]

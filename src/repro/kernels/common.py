@@ -1,0 +1,52 @@
+"""Shared kernel-construction helpers.
+
+Memory-layout conventions for all kernels: data buffers live from
+:data:`DATA_BASE` upward (code occupies a separate region, see
+:mod:`repro.core.processor`), and kernel parameters arrive in physical
+registers r10, r11, ... (:data:`repro.asm.builder.PARAM_BASE_PREG`).
+"""
+
+from __future__ import annotations
+
+from repro.asm.builder import PARAM_BASE_PREG, ProgramBuilder
+from repro.core.executor import MMIO_BASE
+from repro.mem.prefetch import (
+    OFFSET_END,
+    OFFSET_START,
+    OFFSET_STRIDE,
+    REGION_STRIDE_BYTES,
+)
+
+#: First byte address available to kernel data.
+DATA_BASE = 0x0000_1000
+
+
+def args_for(*values: int) -> dict[int, int]:
+    """Map positional kernel arguments onto the calling convention."""
+    return {PARAM_BASE_PREG + index: value & 0xFFFFFFFF
+            for index, value in enumerate(values)}
+
+
+def emit_prefetch_region_setup(builder: ProgramBuilder, region: int,
+                               start: int, end: int, stride: int) -> None:
+    """Emit MMIO stores that program prefetch region ``region``.
+
+    This is the software side of Section 2.3: the ``PFn_START_ADDR``,
+    ``PFn_END_ADDR`` and ``PFn_STRIDE`` parameters are memory-mapped
+    registers written with ordinary store operations.
+    """
+    base = builder.const32(MMIO_BASE + region * REGION_STRIDE_BYTES)
+    start_reg = builder.const32(start)
+    end_reg = builder.const32(end)
+    stride_reg = builder.const32(stride)
+    builder.emit("st32d", srcs=(base, start_reg), imm=OFFSET_START)
+    builder.emit("st32d", srcs=(base, end_reg), imm=OFFSET_END)
+    builder.emit("st32d", srcs=(base, stride_reg), imm=OFFSET_STRIDE)
+
+
+def emit_prefetch_region_disable(builder: ProgramBuilder,
+                                 region: int) -> None:
+    """Emit MMIO stores that deactivate prefetch region ``region``."""
+    base = builder.const32(MMIO_BASE + region * REGION_STRIDE_BYTES)
+    builder.emit("st32d", srcs=(base, builder.zero), imm=OFFSET_START)
+    builder.emit("st32d", srcs=(base, builder.zero), imm=OFFSET_END)

@@ -1,0 +1,160 @@
+"""EEMBC consumer-suite kernels: filter, rgb2yuv, rgb2cmyk, rgb2yiq.
+
+Table 5: "Four kernels taken from the EEMBC consumer suite."  These are
+compute-bound pixel kernels; the paper's Figure 7 shows them gaining
+mostly from the TM3270's higher operating frequency (Section 6: "these
+applications benefit most from a higher operating frequency").
+
+All kernels use baseline operations only (the re-compilation
+methodology) and planar byte images.
+"""
+
+from __future__ import annotations
+
+from repro.asm.builder import ProgramBuilder
+from repro.asm.ir import AsmProgram
+
+
+def _packed_coeff(builder: ProgramBuilder, hi: int, lo: int) -> int:
+    """Materialize DUAL16(hi, lo) with signed 16-bit halves."""
+    return builder.const32(((hi & 0xFFFF) << 16) | (lo & 0xFFFF))
+
+
+def build_filter() -> AsmProgram:
+    """High-pass grey-scale filter: out[x] = clip(2c - w - e).
+
+    A 3-tap [-1, 2, -1] horizontal filter with the window slid through
+    registers (one load per output pixel).  Params: (src, dst, width,
+    height); interior pixels only (columns 1 .. width-2).
+    """
+    b = ProgramBuilder("filter")
+    src, dst, width, height = b.params("src", "dst", "width", "height")
+    inner_count = b.emit("iaddi", srcs=(width,), imm=-2)
+    src_row = b.emit("mov", srcs=(src,))
+    dst_row = b.emit("mov", srcs=(dst,))
+
+    unroll = 4
+    iters = b.emit("lsri", srcs=(inner_count,),
+                   imm=unroll.bit_length() - 1)
+    end_rows = b.counted_loop(height, "rows")
+    in_ptr = b.emit("mov", srcs=(src_row,))
+    out_ptr = b.emit("iaddi", srcs=(dst_row,), imm=1)
+    end_cols = b.counted_loop(iters, "cols")
+    # Sliding 3-tap window, four output pixels per iteration.
+    window = [b.emit("uld8d", srcs=(in_ptr,), imm=offset, alias="src")
+              for offset in range(unroll + 2)]
+    for pixel in range(unroll):
+        west, center, east = window[pixel:pixel + 3]
+        doubled = b.emit("asli", srcs=(center,), imm=1)
+        no_west = b.emit("isub", srcs=(doubled, west))
+        raw = b.emit("isub", srcs=(no_west, east))
+        clipped = b.emit("uclipi", srcs=(raw,), imm=8)
+        b.emit("st8d", srcs=(out_ptr, clipped), imm=pixel,
+               alias="dst")
+    b.emit_into(in_ptr, "iaddi", srcs=(in_ptr,), imm=unroll)
+    b.emit_into(out_ptr, "iaddi", srcs=(out_ptr,), imm=unroll)
+    end_cols()
+    b.emit_into(src_row, "iadd", srcs=(src_row, width))
+    b.emit_into(dst_row, "iadd", srcs=(dst_row, width))
+    end_rows()
+    return b.finish()
+
+
+def _build_color_transform(name: str, rows: list[tuple[int, int, int, int]],
+                           ) -> AsmProgram:
+    """Shared 3x3 fixed-point color-space transform builder.
+
+    ``rows`` holds (coeff_r, coeff_g, coeff_b, offset) per output plane;
+    out = clip8(((cr*r + cg*g + cb*b + 128) >> 8) + offset).
+    Params: (src_r, src_g, src_b, out0, out1, out2, npixels).
+    """
+    b = ProgramBuilder(name)
+    src_r, src_g, src_b, out0, out1, out2 = b.params(
+        "src_r", "src_g", "src_b", "out0", "out1", "out2")
+    (npixels,) = b.params("npixels")
+    outs = (out0, out1, out2)
+    coeff_rg = [_packed_coeff(b, cr, cg) for cr, cg, _cb, _off in rows]
+    coeff_b = [b.const32(cb & 0xFFFFFFFF) for _cr, _cg, cb, _off in rows]
+    rounding = b.const32(128)
+    offsets = [b.const32(off) if off else None
+               for _cr, _cg, _cb, off in rows]
+
+    unroll = 2
+    iters = b.emit("lsri", srcs=(npixels,), imm=unroll.bit_length() - 1)
+    end_loop = b.counted_loop(iters, "pixels")
+    for pixel in range(unroll):
+        red = b.emit("uld8d", srcs=(src_r,), imm=pixel, alias="in")
+        green = b.emit("uld8d", srcs=(src_g,), imm=pixel, alias="in")
+        blue = b.emit("uld8d", srcs=(src_b,), imm=pixel, alias="in")
+        rg = b.emit("pack16lsb", srcs=(red, green))
+        for plane in range(len(rows)):
+            partial = b.emit("ifir16", srcs=(rg, coeff_rg[plane]))
+            blue_term = b.emit("imul", srcs=(blue, coeff_b[plane]))
+            total = b.emit("iadd", srcs=(partial, blue_term))
+            rounded = b.emit("iadd", srcs=(total, rounding))
+            shifted = b.emit("asri", srcs=(rounded,), imm=8)
+            if offsets[plane] is None:
+                biased = shifted
+            else:
+                biased = b.emit("iadd", srcs=(shifted, offsets[plane]))
+            clipped = b.emit("uclipi", srcs=(biased,), imm=8)
+            b.emit("st8d", srcs=(outs[plane], clipped), imm=pixel,
+                   alias=f"out{plane}")
+    for pointer in (src_r, src_g, src_b, *outs):
+        b.emit_into(pointer, "iaddi", srcs=(pointer,), imm=unroll)
+    end_loop()
+    return b.finish()
+
+
+def build_rgb2yuv() -> AsmProgram:
+    """RGB -> YUV (BT.601 fixed point), planar in/out."""
+    return _build_color_transform("rgb2yuv", [
+        (66, 129, 25, 16),
+        (-38, -74, 112, 128),
+        (112, -94, -18, 128),
+    ])
+
+
+def build_rgb2yiq() -> AsmProgram:
+    """RGB -> YIQ (fixed point), planar in/out; I/Q biased by 128."""
+    return _build_color_transform("rgb2yiq", [
+        (77, 150, 29, 0),
+        (153, -70, -83, 128),
+        (54, -133, 79, 128),
+    ])
+
+
+def build_rgb2cmyk() -> AsmProgram:
+    """RGB -> CMYK: k = min(255-r, 255-g, 255-b), c/m/y = x' - k.
+
+    Params: (src_r, src_g, src_b, out_c, out_m, out_y, out_k, npixels).
+    """
+    b = ProgramBuilder("rgb2cmyk")
+    src_r, src_g, src_b, out_c, out_m, out_y = b.params(
+        "src_r", "src_g", "src_b", "out_c", "out_m", "out_y")
+    out_k, npixels = b.params("out_k", "npixels")
+    max_byte = b.const32(255)
+
+    unroll = 2
+    iters = b.emit("lsri", srcs=(npixels,), imm=unroll.bit_length() - 1)
+    end_loop = b.counted_loop(iters, "pixels")
+    for pixel in range(unroll):
+        red = b.emit("uld8d", srcs=(src_r,), imm=pixel, alias="in")
+        green = b.emit("uld8d", srcs=(src_g,), imm=pixel, alias="in")
+        blue = b.emit("uld8d", srcs=(src_b,), imm=pixel, alias="in")
+        inv_c = b.emit("isub", srcs=(max_byte, red))
+        inv_m = b.emit("isub", srcs=(max_byte, green))
+        inv_y = b.emit("isub", srcs=(max_byte, blue))
+        k_partial = b.emit("imin", srcs=(inv_c, inv_m))
+        black = b.emit("imin", srcs=(k_partial, inv_y))
+        cyan = b.emit("isub", srcs=(inv_c, black))
+        magenta = b.emit("isub", srcs=(inv_m, black))
+        yellow = b.emit("isub", srcs=(inv_y, black))
+        b.emit("st8d", srcs=(out_c, cyan), imm=pixel, alias="outc")
+        b.emit("st8d", srcs=(out_m, magenta), imm=pixel, alias="outm")
+        b.emit("st8d", srcs=(out_y, yellow), imm=pixel, alias="outy")
+        b.emit("st8d", srcs=(out_k, black), imm=pixel, alias="outk")
+    for pointer in (src_r, src_g, src_b, out_c, out_m, out_y, out_k):
+        b.emit_into(pointer, "iaddi", srcs=(pointer,), imm=unroll)
+    end_loop()
+    return b.finish()

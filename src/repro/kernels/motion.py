@@ -1,0 +1,131 @@
+"""Motion-estimation kernels: fractional-position search, plain vs
+collapsed loads (Section 2.2.2, reference [12]).
+
+Motion estimation refines a candidate around fractional horizontal
+positions: each candidate row must be interpolated between neighboring
+pixels before the SAD is computed.  The baseline implementation loads
+five bytes (two 32-bit loads), unpacks them, performs the two-taps
+filter ``(b[i]*(16-frac) + b[i+1]*frac + 8)/16`` per output byte, and
+repacks — "at least two 32-bit loads ... and multiple arithmetic
+operations" as the paper puts it.  The TM3270's ``LD_FRAC8`` collapses
+all of that into one operation, and additionally relaxes register
+pressure (Section 2.2.2).
+
+Both kernels evaluate seven fractional horizontal sub-positions
+(2/16 .. 14/16 pel) of an 8x8 block against the current block and
+write the best (minimum) SAD to ``result``.
+"""
+
+from __future__ import annotations
+
+from repro.asm.builder import ProgramBuilder
+from repro.asm.ir import AsmProgram
+
+BLOCK = 8
+#: Fractional positions evaluated (1/16-pel units).
+FRACTIONS = tuple(range(2, 16, 2))
+
+
+def build_me_frac_plain() -> AsmProgram:
+    """Baseline fractional search: loads + explicit interpolation.
+
+    Params: (cur, ref, width, result); writes best SAD to result.
+    """
+    b = ProgramBuilder("me_frac_plain")
+    cur, ref, width, result = b.params("cur", "ref", "width", "result")
+    best = b.const32(0x7FFFFFFF)
+    sixteen = b.const32(16)
+    frac = b.emit("mov", srcs=(b.zero,))
+
+    end_fracs = b.counted_loop(b.const32(len(FRACTIONS)), "fracs")
+    b.emit_into(frac, "iaddi", srcs=(frac,), imm=2)
+    weight_b = b.emit("mov", srcs=(frac,))
+    weight_a = b.emit("isub", srcs=(sixteen, frac))
+    acc = b.emit("mov", srcs=(b.zero,))
+    ref_row = b.emit("mov", srcs=(ref,))
+    cur_row = b.emit("mov", srcs=(cur,))
+    end_rows = b.counted_loop(b.const32(BLOCK), "rows")
+    for half in range(2):  # two 4-pixel groups per 8-wide row
+        word = b.emit("ld32d", srcs=(ref_row,), imm=4 * half,
+                      alias="ref")
+        tail = b.emit("uld8d", srcs=(ref_row,), imm=4 * half + 4,
+                      alias="ref")
+        raw = [
+            b.emit("lsri", srcs=(word,), imm=24),
+            b.emit("zex8", srcs=(b.emit("lsri", srcs=(word,), imm=16),)),
+            b.emit("zex8", srcs=(b.emit("lsri", srcs=(word,), imm=8),)),
+            b.emit("zex8", srcs=(word,)),
+            tail,
+        ]
+        lanes = []
+        for lane in range(4):
+            left = b.emit("imul", srcs=(raw[lane], weight_a))
+            right = b.emit("imul", srcs=(raw[lane + 1], weight_b))
+            mixed = b.emit("iadd", srcs=(left, right))
+            rounded = b.emit("iaddi", srcs=(mixed,), imm=8)
+            lanes.append(b.emit("asri", srcs=(rounded,), imm=4))
+        high = b.emit("packbytes", srcs=(lanes[0], lanes[1]))
+        low = b.emit("packbytes", srcs=(lanes[2], lanes[3]))
+        interp = b.emit("pack16lsb", srcs=(high, low))
+        cur_word = b.emit("ld32d", srcs=(cur_row,), imm=4 * half,
+                          alias="cur")
+        sad = b.emit("ume8uu", srcs=(interp, cur_word))
+        b.emit_into(acc, "iadd", srcs=(acc, sad))
+    b.emit_into(ref_row, "iadd", srcs=(ref_row, width))
+    b.emit_into(cur_row, "iadd", srcs=(cur_row, width))
+    end_rows()
+    b.emit_into(best, "imin", srcs=(best, acc))
+    end_fracs()
+    b.emit("st32d", srcs=(result, best), imm=0)
+    return b.finish()
+
+
+def build_me_frac_ld8() -> AsmProgram:
+    """TM3270-optimized fractional search using LD_FRAC8.
+
+    Params: (cur, ref, width, result); writes best SAD to result.
+    """
+    b = ProgramBuilder("me_frac_ld8")
+    cur, ref, width, result = b.params("cur", "ref", "width", "result")
+    best = b.const32(0x7FFFFFFF)
+    frac = b.emit("mov", srcs=(b.zero,))
+
+    end_fracs = b.counted_loop(b.const32(len(FRACTIONS)), "fracs")
+    b.emit_into(frac, "iaddi", srcs=(frac,), imm=2)
+    acc = b.emit("mov", srcs=(b.zero,))
+    ref_row = b.emit("mov", srcs=(ref,))
+    cur_row = b.emit("mov", srcs=(cur,))
+    end_rows = b.counted_loop(b.const32(BLOCK), "rows")
+    for half in range(2):
+        if half:
+            address = b.emit("iaddi", srcs=(ref_row,), imm=4)
+        else:
+            address = ref_row
+        interp = b.emit("ld_frac8", srcs=(address, frac),
+                        alias="ref")
+        cur_word = b.emit("ld32d", srcs=(cur_row,), imm=4 * half,
+                          alias="cur")
+        sad = b.emit("ume8uu", srcs=(interp, cur_word))
+        b.emit_into(acc, "iadd", srcs=(acc, sad))
+    b.emit_into(ref_row, "iadd", srcs=(ref_row, width))
+    b.emit_into(cur_row, "iadd", srcs=(cur_row, width))
+    end_rows()
+    b.emit_into(best, "imin", srcs=(best, acc))
+    end_fracs()
+    b.emit("st32d", srcs=(result, best), imm=0)
+    return b.finish()
+
+
+def reference_best_sad(cur: bytes, ref: bytes, width: int) -> int:
+    """Pure-Python reference of the best fractional SAD."""
+    best = 0x7FFFFFFF
+    for frac in FRACTIONS:
+        acc = 0
+        for row in range(BLOCK):
+            for col in range(BLOCK):
+                a = ref[row * width + col]
+                b_ = ref[row * width + col + 1]
+                interp = (a * (16 - frac) + b_ * frac + 8) >> 4
+                acc += abs(interp - cur[row * width + col])
+        best = min(best, acc)
+    return best

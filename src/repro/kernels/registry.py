@@ -1,0 +1,308 @@
+"""The Table 5 kernel suite: builders, workload setup, verification.
+
+Each :class:`KernelCase` bundles everything needed to measure one of
+the paper's evaluation kernels on any processor configuration: the IR
+builder (baseline operations only, so one source recompiles for the
+TM3260 and TM3270 — the paper's methodology), a ``prepare`` function
+that lays the workload out in memory and returns the argument
+registers, and a ``verify`` function asserting the kernel computed the
+right answer (so performance numbers are never measured on broken
+runs).
+
+Workload sizes are scaled from the paper's full-rate video for
+simulation speed; DESIGN.md records each substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.asm.ir import AsmProgram
+from repro.core.processor import RunResult
+from repro.kernels import eembc, memops, mpeg2, tv
+from repro.kernels.common import DATA_BASE, args_for
+from repro.mem.flatmem import FlatMemory
+from repro.workloads import video
+
+
+@dataclass(frozen=True)
+class KernelCase:
+    """One runnable, verifiable kernel workload."""
+
+    name: str
+    description: str
+    build: Callable[[], AsmProgram]
+    prepare: Callable[[FlatMemory], dict[int, int]]
+    verify: Callable[[FlatMemory, RunResult], None]
+    memory_size: int = 1 << 19
+    work_units: int = 1  # bytes/pixels processed, for rate reporting
+
+
+# ---------------------------------------------------------------------------
+# memset / memcpy
+# ---------------------------------------------------------------------------
+
+MEM_REGION = memops.DEFAULT_REGION_BYTES
+MEMSET_VALUE = 0xA5A5A5A5
+
+
+def _prepare_memset(memory: FlatMemory) -> dict[int, int]:
+    return args_for(DATA_BASE, MEM_REGION, MEMSET_VALUE)
+
+
+def _verify_memset(memory: FlatMemory, result: RunResult) -> None:
+    expected = MEMSET_VALUE.to_bytes(4, "big") * (MEM_REGION // 4)
+    assert memory.read_block(DATA_BASE, MEM_REGION) == expected
+
+
+MEMCPY_SRC = DATA_BASE
+MEMCPY_DST = DATA_BASE + 2 * MEM_REGION
+
+
+def _prepare_memcpy(memory: FlatMemory) -> dict[int, int]:
+    payload = video.synthetic_frame(MEM_REGION, 1, seed=11)
+    memory.write_block(MEMCPY_SRC, payload)
+    return args_for(MEMCPY_DST, MEMCPY_SRC, MEM_REGION)
+
+
+def _verify_memcpy(memory: FlatMemory, result: RunResult) -> None:
+    assert (memory.read_block(MEMCPY_DST, MEM_REGION)
+            == memory.read_block(MEMCPY_SRC, MEM_REGION))
+
+
+# ---------------------------------------------------------------------------
+# EEMBC kernels
+# ---------------------------------------------------------------------------
+
+FILTER_W, FILTER_H = 130, 48
+FILTER_SRC = DATA_BASE
+FILTER_DST = DATA_BASE + FILTER_W * FILTER_H + 64
+
+
+def _prepare_filter(memory: FlatMemory) -> dict[int, int]:
+    image = video.synthetic_frame(FILTER_W, FILTER_H, seed=21)
+    memory.write_block(FILTER_SRC, image)
+    return args_for(FILTER_SRC, FILTER_DST, FILTER_W, FILTER_H)
+
+
+def _verify_filter(memory: FlatMemory, result: RunResult) -> None:
+    image = memory.read_block(FILTER_SRC, FILTER_W * FILTER_H)
+    out = memory.read_block(FILTER_DST, FILTER_W * FILTER_H)
+    for y in range(FILTER_H):
+        for x in range(1, FILTER_W - 1, 7):  # spot-check a lattice
+            expected = 2 * image[y * FILTER_W + x] \
+                - image[y * FILTER_W + x - 1] - image[y * FILTER_W + x + 1]
+            expected = min(255, max(0, expected))
+            assert out[y * FILTER_W + x] == expected, (x, y)
+
+
+PIXELS = 64 * 64
+
+
+def _plane(index: int) -> int:
+    return DATA_BASE + index * (PIXELS + 64)
+
+
+def _prepare_rgb(memory: FlatMemory) -> dict[int, int]:
+    for plane in range(3):
+        data = video.synthetic_frame(64, 64, seed=31 + plane)
+        memory.write_block(_plane(plane), data)
+    return args_for(_plane(0), _plane(1), _plane(2),
+                    _plane(3), _plane(4), _plane(5), PIXELS)
+
+
+def _prepare_cmyk(memory: FlatMemory) -> dict[int, int]:
+    for plane in range(3):
+        data = video.synthetic_frame(64, 64, seed=31 + plane)
+        memory.write_block(_plane(plane), data)
+    return args_for(_plane(0), _plane(1), _plane(2), _plane(3),
+                    _plane(4), _plane(5), _plane(6), PIXELS)
+
+
+def _color_rows(kind: str) -> list[tuple[int, int, int, int]]:
+    if kind == "yuv":
+        return [(66, 129, 25, 16), (-38, -74, 112, 128),
+                (112, -94, -18, 128)]
+    return [(77, 150, 29, 0), (153, -70, -83, 128), (54, -133, 79, 128)]
+
+
+def _verify_color(kind: str):
+    rows = _color_rows(kind)
+
+    def verify(memory: FlatMemory, result: RunResult) -> None:
+        planes = [memory.read_block(_plane(i), PIXELS) for i in range(6)]
+        for pixel in range(0, PIXELS, 97):  # spot-check a lattice
+            red, green, blue = (planes[i][pixel] for i in range(3))
+            for out_plane, (cr, cg, cb, offset) in enumerate(rows):
+                value = ((cr * red + cg * green + cb * blue + 128) >> 8)
+                value = min(255, max(0, value + offset))
+                assert planes[3 + out_plane][pixel] == value, (pixel,
+                                                               out_plane)
+    return verify
+
+
+def _verify_cmyk(memory: FlatMemory, result: RunResult) -> None:
+    planes = [memory.read_block(_plane(i), PIXELS) for i in range(7)]
+    for pixel in range(0, PIXELS, 89):
+        red, green, blue = (planes[i][pixel] for i in range(3))
+        black = min(255 - red, 255 - green, 255 - blue)
+        expected = (255 - red - black, 255 - green - black,
+                    255 - blue - black, black)
+        got = tuple(planes[3 + i][pixel] for i in range(4))
+        assert got == expected, pixel
+
+
+# ---------------------------------------------------------------------------
+# MPEG2 (three streams of differing motion disruptiveness)
+# ---------------------------------------------------------------------------
+
+MPEG2_W, MPEG2_H = 256, 128
+#: Fields decoded per run: >1 so warm-cache behaviour is measured (the
+#: paper runs a continuously decoding application).
+MPEG2_FIELDS = 2
+MPEG2_BX, MPEG2_BY = MPEG2_W // 8, MPEG2_H // 8
+MPEG2_REF = DATA_BASE
+MPEG2_CUR = DATA_BASE + 0x10000
+MPEG2_MV = DATA_BASE + 0x20000
+MPEG2_RESID = DATA_BASE + 0x21000
+
+
+def _prepare_mpeg2(stream: str):
+    def prepare(memory: FlatMemory) -> dict[int, int]:
+        frame = video.synthetic_frame(MPEG2_W, MPEG2_H, seed=41)
+        memory.write_block(MPEG2_REF, frame)
+        field = video.motion_field(
+            MPEG2_BX, MPEG2_BY, MPEG2_W, MPEG2_H,
+            video.MPEG2_STREAM_DISRUPTIVENESS[stream], seed=43)
+        for index, word in enumerate(field.packed_words()):
+            memory.store(MPEG2_MV + 4 * index, word, 4)
+        residuals = video.synthetic_residuals(MPEG2_BX * MPEG2_BY, seed=47)
+        memory.write_block(MPEG2_RESID, residuals)
+        return args_for(MPEG2_CUR, MPEG2_REF, MPEG2_MV, MPEG2_RESID,
+                        MPEG2_W, MPEG2_BX, MPEG2_BY, MPEG2_FIELDS)
+    return prepare
+
+
+def _verify_mpeg2(memory: FlatMemory, result: RunResult) -> None:
+    ref = memory.read_block(MPEG2_REF, MPEG2_W * MPEG2_H)
+    residuals = memory.read_block(MPEG2_RESID, MPEG2_BX * MPEG2_BY * 64)
+    mvs = []
+    for index in range(MPEG2_BX * MPEG2_BY):
+        word = memory.load(MPEG2_MV + 4 * index, 4)
+        dx = word & 0xFFFF
+        dx -= 0x10000 if dx & 0x8000 else 0
+        dy = word >> 16
+        dy -= 0x10000 if dy & 0x8000 else 0
+        mvs.append((dx, dy))
+    expected = mpeg2.reference_mpeg2(
+        ref, mvs, residuals, MPEG2_W, MPEG2_BX, MPEG2_BY)
+    assert memory.read_block(MPEG2_CUR, len(expected)) == bytes(expected)
+
+
+# ---------------------------------------------------------------------------
+# TV kernels
+# ---------------------------------------------------------------------------
+
+TV_W, TV_H = 256, 64
+FILMDET_A = DATA_BASE
+FILMDET_B = DATA_BASE + TV_W * TV_H + 64
+FILMDET_RESULT = DATA_BASE + 0x10000
+FILMDET_THRESH = 1800
+
+
+def _prepare_filmdet(memory: FlatMemory) -> dict[int, int]:
+    memory.write_block(FILMDET_A, video.synthetic_frame(TV_W, TV_H, seed=51))
+    memory.write_block(FILMDET_B, video.synthetic_frame(TV_W, TV_H, seed=52))
+    return args_for(FILMDET_A, FILMDET_B, TV_W // 4, TV_H,
+                    FILMDET_THRESH, FILMDET_RESULT)
+
+
+def _verify_filmdet(memory: FlatMemory, result: RunResult) -> None:
+    field_a = memory.read_block(FILMDET_A, TV_W * TV_H)
+    field_b = memory.read_block(FILMDET_B, TV_W * TV_H)
+    moving, total = tv.reference_filmdet(
+        field_a, field_b, TV_W, TV_H, FILMDET_THRESH)
+    assert memory.load(FILMDET_RESULT, 4) == moving
+    assert memory.load(FILMDET_RESULT + 4, 4) == total & 0xFFFFFFFF
+
+
+MAJ_ABOVE = DATA_BASE
+MAJ_BELOW = DATA_BASE + TV_W * TV_H + 64
+MAJ_PREV = MAJ_BELOW + TV_W * TV_H + 64
+MAJ_OUT = MAJ_PREV + TV_W * TV_H + 64
+
+
+def _prepare_majority(memory: FlatMemory) -> dict[int, int]:
+    for base, seed in ((MAJ_ABOVE, 61), (MAJ_BELOW, 62), (MAJ_PREV, 63)):
+        memory.write_block(base, video.synthetic_frame(TV_W, TV_H, seed=seed))
+    return args_for(MAJ_ABOVE, MAJ_BELOW, MAJ_PREV, MAJ_OUT,
+                    TV_W * TV_H // 4)
+
+
+def _verify_majority(memory: FlatMemory, result: RunResult) -> None:
+    above = memory.read_block(MAJ_ABOVE, TV_W * TV_H)
+    below = memory.read_block(MAJ_BELOW, TV_W * TV_H)
+    prev = memory.read_block(MAJ_PREV, TV_W * TV_H)
+    expected = tv.reference_majority_sel(above, below, prev)
+    assert memory.read_block(MAJ_OUT, TV_W * TV_H) == expected
+
+
+# ---------------------------------------------------------------------------
+# The suite
+# ---------------------------------------------------------------------------
+
+TABLE5_KERNELS: tuple[KernelCase, ...] = (
+    KernelCase(
+        "memset", "Sets a 32 Kbyte region to a pre-defined value "
+        "(paper: 64 Kbyte).", memops.build_memset,
+        _prepare_memset, _verify_memset, work_units=MEM_REGION),
+    KernelCase(
+        "memcpy", "Copies a 32 Kbyte region (paper: 64 Kbyte).",
+        memops.build_memcpy, _prepare_memcpy, _verify_memcpy,
+        work_units=MEM_REGION),
+    KernelCase(
+        "filter", "EEMBC consumer: 3-tap high-pass grey-scale filter.",
+        eembc.build_filter, _prepare_filter, _verify_filter,
+        work_units=FILTER_W * FILTER_H),
+    KernelCase(
+        "rgb2yuv", "EEMBC consumer: RGB to YUV color conversion.",
+        eembc.build_rgb2yuv, _prepare_rgb, _verify_color("yuv"),
+        work_units=PIXELS),
+    KernelCase(
+        "rgb2cmyk", "EEMBC consumer: RGB to CMYK color conversion.",
+        eembc.build_rgb2cmyk, _prepare_cmyk, _verify_cmyk,
+        work_units=PIXELS),
+    KernelCase(
+        "rgb2yiq", "EEMBC consumer: RGB to YIQ color conversion.",
+        eembc.build_rgb2yiq, _prepare_rgb, _verify_color("yiq"),
+        work_units=PIXELS),
+    KernelCase(
+        "mpeg2_a", "MPEG2 decoder, highly disruptive motion vector field.",
+        mpeg2.build_mpeg2, _prepare_mpeg2("mpeg2_a"), _verify_mpeg2,
+        work_units=MPEG2_W * MPEG2_H),
+    KernelCase(
+        "mpeg2_b", "MPEG2 decoder, moderate motion vector field.",
+        mpeg2.build_mpeg2, _prepare_mpeg2("mpeg2_b"), _verify_mpeg2,
+        work_units=MPEG2_W * MPEG2_H),
+    KernelCase(
+        "mpeg2_c", "MPEG2 decoder, smooth motion vector field.",
+        mpeg2.build_mpeg2, _prepare_mpeg2("mpeg2_c"), _verify_mpeg2,
+        work_units=MPEG2_W * MPEG2_H),
+    KernelCase(
+        "filmdet", "Film detection algorithm, as used in TV sets.",
+        tv.build_filmdet, _prepare_filmdet, _verify_filmdet,
+        work_units=TV_W * TV_H),
+    KernelCase(
+        "majority_sel", "De-interlacer algorithm, as used in TV sets.",
+        tv.build_majority_sel, _prepare_majority, _verify_majority,
+        work_units=TV_W * TV_H),
+)
+
+
+def kernel_by_name(name: str) -> KernelCase:
+    """Look up one Table 5 kernel case."""
+    for case in TABLE5_KERNELS:
+        if case.name == name:
+            return case
+    raise KeyError(f"unknown kernel {name!r}")

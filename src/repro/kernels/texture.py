@@ -1,0 +1,171 @@
+"""MPEG2 8x8 texture pipeline kernel (Section 6, reference [13]).
+
+The paper: "In [13] a MPEG2 encoder application was evaluated.  New
+operations improve the performance of a MPEG2 8x8 texture pipeline by
+50%."  The texture pipeline is dequantization followed by the inverse
+transform's multiply-accumulate butterflies over 16-bit coefficients.
+
+Both variants compute, per 8x8 block of dual-16 packed coefficients:
+
+1. dequantization — saturating dual-16 multiply with a per-column
+   quantizer word;
+2. a butterfly stage per row: for word pairs (X, Y) and coefficient
+   words (W, V), two 32-bit MACs
+   ``hi = clip32(x_hi*w_hi + y_hi*v_hi)``,
+   ``lo = clip32(x_lo*w_lo + y_lo*v_lo)``;
+3. scale (arithmetic shift), clip to 9 bits (MPEG2 range), repack to
+   dual-16, store.
+
+The **baseline** variant realizes each MAC pair with four pack
+operations and two ``ifir16`` dot products; the **optimized** variant
+is a single two-slot ``SUPER_DUALIMIX`` — the exact use case of
+Section 2.2.1 (combining two-input operations, reducing latency and
+register pressure).
+"""
+
+from __future__ import annotations
+
+from repro.asm.builder import ProgramBuilder
+from repro.asm.ir import AsmProgram
+
+BLOCK_WORDS = 4  # 8 dual-16 coefficients per row = 4 words
+ROWS = 8
+SCALE_SHIFT = 6
+CLIP_BITS = 9  # MPEG2 coefficient range [-256, 255]
+
+
+def _emit_shared_head(name: str):
+    b = ProgramBuilder(name)
+    src, dst, quant, coeff, nblocks = b.params(
+        "src", "dst", "quant", "coeff", "nblocks")
+    return b, src, dst, quant, coeff, nblocks
+
+
+def _emit_row_tail(b: ProgramBuilder, hi32: int, lo32: int,
+                   dst: int, offset: int) -> None:
+    """Scale, clip, repack and store one output word."""
+    hi_scaled = b.emit("asri", srcs=(hi32,), imm=SCALE_SHIFT)
+    lo_scaled = b.emit("asri", srcs=(lo32,), imm=SCALE_SHIFT)
+    hi_clipped = b.emit("iclipi", srcs=(hi_scaled,), imm=CLIP_BITS)
+    lo_clipped = b.emit("iclipi", srcs=(lo_scaled,), imm=CLIP_BITS)
+    packed = b.emit("pack16lsb", srcs=(hi_clipped, lo_clipped))
+    b.emit("st32d", srcs=(dst, packed), imm=offset, alias="dst")
+
+
+def _emit_block_body(b: ProgramBuilder, src, dst, quant, coeff,
+                     use_super: bool) -> None:
+    """One 8x8 block: 8 rows of butterfly MACs, two rows per trip.
+
+    Dequantization is folded into the coefficient words host-side
+    (the standard texture-pipeline optimization); the ``quant``
+    parameter is kept in the signature for layout compatibility.
+    """
+    coeff_w = [b.emit("ld32d", srcs=(coeff,), imm=4 * index,
+                      alias="coeff")
+               for index in range(BLOCK_WORDS)]
+    coeff_v = [b.emit("ld32d", srcs=(coeff,), imm=16 + 4 * index,
+                      alias="coeff")
+               for index in range(BLOCK_WORDS)]
+    row_src = b.emit("mov", srcs=(src,))
+    row_dst = b.emit("mov", srcs=(dst,))
+    unrolled_rows = 4
+    end_rows = b.counted_loop(b.const32(ROWS // unrolled_rows),
+                              f"{b.name}.rows")
+    for half in range(unrolled_rows):  # four rows per loop trip
+        src_base = (half % 2) * 4 * BLOCK_WORDS
+        dst_base = (half % 2) * 2 * BLOCK_WORDS
+        if half and half % 2 == 0:
+            b.emit_into(row_src, "iaddi", srcs=(row_src,),
+                        imm=2 * 4 * BLOCK_WORDS)
+            b.emit_into(row_dst, "iaddi", srcs=(row_dst,),
+                        imm=2 * 2 * BLOCK_WORDS)
+        words = [b.emit("ld32d", srcs=(row_src,),
+                        imm=src_base + 4 * index, alias="src")
+                 for index in range(BLOCK_WORDS)]
+        for pair in range(BLOCK_WORDS // 2):
+            x_word = words[2 * pair]
+            y_word = words[2 * pair + 1]
+            w_word = coeff_w[2 * pair]
+            v_word = coeff_v[2 * pair]
+            if use_super:
+                hi32, lo32 = b.emit(
+                    "super_dualimix",
+                    srcs=(x_word, w_word, y_word, v_word))
+            else:
+                top = b.emit("pack16msb", srcs=(x_word, y_word))
+                top_coeff = b.emit("pack16msb", srcs=(w_word, v_word))
+                bottom = b.emit("pack16lsb", srcs=(x_word, y_word))
+                bottom_coeff = b.emit("pack16lsb",
+                                      srcs=(w_word, v_word))
+                hi32 = b.emit("ifir16", srcs=(top, top_coeff))
+                lo32 = b.emit("ifir16", srcs=(bottom, bottom_coeff))
+            _emit_row_tail(b, hi32, lo32, row_dst,
+                           dst_base + 4 * pair)
+    b.emit_into(row_src, "iaddi", srcs=(row_src,),
+                imm=2 * 4 * BLOCK_WORDS)
+    # The butterfly halves the data: 2 output words per 4 input words.
+    b.emit_into(row_dst, "iaddi", srcs=(row_dst,),
+                imm=2 * 2 * BLOCK_WORDS)
+    end_rows()
+
+
+def _build(name: str, use_super: bool) -> AsmProgram:
+    b, src, dst, quant, coeff, nblocks = _emit_shared_head(name)
+    src_step = b.const32(ROWS * 4 * BLOCK_WORDS)
+    dst_step = b.const32(ROWS * 2 * BLOCK_WORDS)
+    end_blocks = b.counted_loop(nblocks, "blocks")
+    _emit_block_body(b, src, dst, quant, coeff, use_super)
+    b.emit_into(src, "iadd", srcs=(src, src_step))
+    b.emit_into(dst, "iadd", srcs=(dst, dst_step))
+    end_blocks()
+    return b.finish()
+
+
+def build_texture_plain() -> AsmProgram:
+    """Baseline texture pipeline: pack + ifir16 butterflies.
+
+    Params: (src, dst, quant, coeff, nblocks); src/dst hold nblocks
+    8x16-bit-row blocks; quant 4 words; coeff 8 words (W then V).
+    """
+    return _build("texture_plain", use_super=False)
+
+
+def build_texture_super() -> AsmProgram:
+    """Optimized texture pipeline using SUPER_DUALIMIX."""
+    return _build("texture_super", use_super=True)
+
+
+def reference_texture(src_halves: list[int], quant_halves: list[int],
+                      coeff_w_halves: list[int],
+                      coeff_v_halves: list[int],
+                      nblocks: int) -> list[int]:
+    """Pure-Python reference: output 16-bit halves in memory order.
+
+    All arguments are signed 16-bit values; ``src_halves`` has
+    ``nblocks * ROWS * 8`` entries, the quantizer 8, W and V 8 each.
+    """
+    def sat16(value):
+        return min(max(value, -(1 << 15)), (1 << 15) - 1)
+
+    def clip(value, bits):
+        bound = 1 << bits
+        return min(max(value, -bound), bound - 1)
+
+    out = []
+    for block in range(nblocks):
+        for row in range(ROWS):
+            base = (block * ROWS + row) * 8
+            dequantized = [src_halves[base + lane] for lane in range(8)]
+            for pair in range(BLOCK_WORDS // 2):
+                x_hi, x_lo = dequantized[4 * pair], dequantized[4 * pair + 1]
+                y_hi, y_lo = (dequantized[4 * pair + 2],
+                              dequantized[4 * pair + 3])
+                w_hi, w_lo = (coeff_w_halves[4 * pair],
+                              coeff_w_halves[4 * pair + 1])
+                v_hi, v_lo = (coeff_v_halves[4 * pair],
+                              coeff_v_halves[4 * pair + 1])
+                hi32 = clip(x_hi * w_hi + y_hi * v_hi, 31)
+                lo32 = clip(x_lo * w_lo + y_lo * v_lo, 31)
+                out.append(clip(hi32 >> SCALE_SHIFT, CLIP_BITS))
+                out.append(clip(lo32 >> SCALE_SHIFT, CLIP_BITS))
+    return out

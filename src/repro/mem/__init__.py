@@ -1,0 +1,15 @@
+"""Memory hierarchy: flat memory, caches, prefetch unit, BIU, SDRAM."""
+
+from repro.mem.bus import BusInterfaceUnit
+from repro.mem.cache import CacheGeometry, Line, TagStore
+from repro.mem.dcache import DataCache, WriteMissPolicy
+from repro.mem.flatmem import FlatMemory
+from repro.mem.icache import ICacheMode, InstructionCache
+from repro.mem.prefetch import RegionPrefetcher
+from repro.mem.sdram import Sdram, SdramConfig
+
+__all__ = [
+    "BusInterfaceUnit", "CacheGeometry", "Line", "TagStore", "DataCache",
+    "WriteMissPolicy", "FlatMemory", "ICacheMode", "InstructionCache",
+    "RegionPrefetcher", "Sdram", "SdramConfig",
+]

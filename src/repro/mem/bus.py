@@ -1,0 +1,100 @@
+"""Bus interface unit (BIU).
+
+The BIU is the processor's window to the SoC (Section 3): cache line
+refills, copy-backs, and prefetches all cross it to the off-chip SDRAM.
+It contains an asynchronous clock-domain transfer — the processor and
+memory run at independent frequencies — which the model captures by
+keeping bus time in nanoseconds and converting at the boundary.
+
+A single shared channel serializes all traffic.  Demand refills stall
+the processor until completion; copy-backs and prefetches only occupy
+bandwidth (which *indirectly* delays later demand misses — the effect
+that makes memcpy memory-bound and rewards the TM3270's
+allocate-on-write-miss policy with its lower traffic, Section 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mem.sdram import Sdram, SdramConfig
+
+
+@dataclass
+class BiuStats:
+    """Per-category byte counters plus occupancy."""
+
+    refill_bytes: int = 0
+    copyback_bytes: int = 0
+    prefetch_bytes: int = 0
+    ifetch_bytes: int = 0
+    transactions: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return (self.refill_bytes + self.copyback_bytes
+                + self.prefetch_bytes + self.ifetch_bytes)
+
+
+class BusInterfaceUnit:
+    """Serializing bus + clock-domain conversion to SDRAM time."""
+
+    #: Fixed cost of crossing the asynchronous clock-domain boundary
+    #: (request + response), in processor cycles.
+    DOMAIN_CROSSING_CYCLES = 4
+
+    def __init__(self, cpu_freq_mhz: float,
+                 sdram_config: SdramConfig | None = None) -> None:
+        self.cpu_freq_mhz = cpu_freq_mhz
+        self.sdram = Sdram(sdram_config)
+        self._busy_until_ns = 0.0
+        self.stats = BiuStats()
+
+    # -- time conversion ----------------------------------------------------
+
+    def ns_of_cycle(self, cycle: int) -> float:
+        return cycle * 1e3 / self.cpu_freq_mhz
+
+    def cycle_of_ns(self, ns: float) -> int:
+        return int(ns * self.cpu_freq_mhz / 1e3 + 0.999999)
+
+    # -- transactions ---------------------------------------------------------
+
+    def _transact(self, address: int, nbytes: int, now_cycle: int) -> int:
+        """Run one bus transaction; returns the completion cycle."""
+        now_ns = self.ns_of_cycle(now_cycle)
+        start_ns = max(now_ns, self._busy_until_ns)
+        duration = self.sdram.transaction_ns(address, nbytes)
+        self._busy_until_ns = start_ns + duration
+        self.stats.transactions += 1
+        return (self.cycle_of_ns(self._busy_until_ns)
+                + self.DOMAIN_CROSSING_CYCLES)
+
+    def demand_refill(self, address: int, nbytes: int, now_cycle: int) -> int:
+        """Fetch a cache line for a demand miss; returns completion cycle."""
+        self.stats.refill_bytes += nbytes
+        return self._transact(address, nbytes, now_cycle)
+
+    def instruction_refill(self, address: int, nbytes: int,
+                           now_cycle: int) -> int:
+        """Fetch an instruction-cache line; returns completion cycle."""
+        self.stats.ifetch_bytes += nbytes
+        return self._transact(address, nbytes, now_cycle)
+
+    def copyback(self, address: int, nbytes: int, now_cycle: int) -> int:
+        """Write validated victim bytes back; occupies bandwidth only.
+
+        With byte-validity support in the bus protocol (Section 4.1)
+        only the validated bytes travel.
+        """
+        self.stats.copyback_bytes += nbytes
+        return self._transact(address, nbytes, now_cycle)
+
+    def prefetch(self, address: int, nbytes: int, now_cycle: int) -> int:
+        """Fetch a line for the prefetch unit; returns completion cycle."""
+        self.stats.prefetch_bytes += nbytes
+        return self._transact(address, nbytes, now_cycle)
+
+    def idle_at(self, now_cycle: int) -> bool:
+        """True when the bus has no transaction in flight at ``now``."""
+        return self.ns_of_cycle(now_cycle) >= self._busy_until_ns

@@ -1,0 +1,117 @@
+"""Generic set-associative tag store with true-LRU replacement.
+
+Shared machinery of the instruction cache and the data cache
+(both are LRU set-associative caches — Table 1); the data cache adds
+byte-validity, write policies, and the write buffer on top
+(:mod:`repro.mem.dcache`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Size/line/associativity of one cache."""
+
+    size_bytes: int
+    line_bytes: int
+    ways: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.line_bytes * self.ways):
+            raise ValueError("size must be a multiple of line_bytes * ways")
+        for value in (self.size_bytes, self.line_bytes, self.ways):
+            if value <= 0 or value & (value - 1):
+                raise ValueError("cache parameters must be powers of two")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.ways)
+
+    def set_index(self, address: int) -> int:
+        return (address // self.line_bytes) % self.num_sets
+
+    def tag(self, address: int) -> int:
+        return address // (self.line_bytes * self.num_sets)
+
+    def line_address(self, address: int) -> int:
+        return address - (address % self.line_bytes)
+
+
+@dataclass
+class Line:
+    """One resident cache line and its per-byte state."""
+
+    tag: int
+    #: Bitmask over the line's bytes: 1 = byte holds valid data.
+    valid_mask: int = 0
+    #: Bitmask over the line's bytes: 1 = byte modified since fill.
+    dirty_mask: int = 0
+    #: Cycle at which an in-flight fill completes (prefetch/refill).
+    ready_at: int = 0
+
+
+class TagStore:
+    """Tag array: per-set recency-ordered lists (index 0 = MRU)."""
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self.geometry = geometry
+        self._sets: list[list[Line]] = [
+            [] for _ in range(geometry.num_sets)]
+
+    def lookup(self, address: int) -> Line | None:
+        """Find the resident line covering ``address``; updates LRU."""
+        set_list = self._sets[self.geometry.set_index(address)]
+        tag = self.geometry.tag(address)
+        for position, line in enumerate(set_list):
+            if line.tag == tag:
+                if position:
+                    set_list.pop(position)
+                    set_list.insert(0, line)
+                return line
+        return None
+
+    def probe(self, address: int) -> Line | None:
+        """Find without updating LRU (used by the prefetch unit)."""
+        set_list = self._sets[self.geometry.set_index(address)]
+        tag = self.geometry.tag(address)
+        for line in set_list:
+            if line.tag == tag:
+                return line
+        return None
+
+    def install(self, address: int) -> tuple[Line, Line | None]:
+        """Insert a line for ``address`` as MRU.
+
+        Returns ``(new_line, victim)``; the victim is the evicted LRU
+        line, or ``None`` when the set still had room.
+        """
+        index = self.geometry.set_index(address)
+        set_list = self._sets[index]
+        victim = None
+        if len(set_list) >= self.geometry.ways:
+            victim = set_list.pop()
+        line = Line(tag=self.geometry.tag(address))
+        set_list.insert(0, line)
+        return line, victim
+
+    def victim_address(self, set_index: int, line: Line) -> int:
+        """Reconstruct the byte address of an evicted line."""
+        return ((line.tag * self.geometry.num_sets + set_index)
+                * self.geometry.line_bytes)
+
+    def resident_lines(self) -> int:
+        """Number of lines currently resident (tests/introspection)."""
+        return sum(len(s) for s in self._sets)
+
+    def flush(self) -> list[tuple[int, Line]]:
+        """Drop everything; returns (address, line) of dirty lines."""
+        dirty = []
+        for index, set_list in enumerate(self._sets):
+            for line in set_list:
+                if line.dirty_mask:
+                    dirty.append((self.victim_address(index, line), line))
+            set_list.clear()
+        return dirty

@@ -1,0 +1,247 @@
+"""The TM3270 data cache / load-store unit timing model (Section 4).
+
+Implements the policies the paper describes:
+
+* 4-way set-associative, 128-byte lines, true LRU, copy-back
+  (Table 1 — all parameters configurable for the A–D study);
+* **allocate-on-write-miss** with a per-byte validity structure: a
+  write miss allocates a line without fetching it, validating only the
+  written bytes; when the line is victimized, only validated dirty
+  bytes travel back over the bus (Section 4.1).  The alternative
+  **fetch-on-write-miss** policy of the TM3260 (Table 6) fetches the
+  line on a write miss and stalls for it;
+* penalty-free non-aligned access: an access spanning a line boundary
+  becomes two lookups and may produce two misses (Section 4.2);
+* load hits must find every requested byte *valid*; a hit on a line
+  whose requested bytes are invalid refetches and merges (the
+  byte-validity complication of the hit signal, Section 4.2);
+* a cache write buffer (CWB) absorbs store hits without stalling;
+* lines delivered by the prefetch unit carry a ``ready_at`` time — a
+  demand access arriving before the prefetch completed stalls only for
+  the remainder (partial prefetch coverage).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.mem.bus import BusInterfaceUnit
+from repro.mem.cache import CacheGeometry, Line, TagStore
+
+
+class WriteMissPolicy(enum.Enum):
+    """Write-miss handling (Table 6)."""
+
+    ALLOCATE = "allocate-on-write-miss"   # TM3270
+    FETCH = "fetch-on-write-miss"         # TM3260
+
+
+@dataclass
+class DCacheStats:
+    """Hit/miss/stall accounting."""
+
+    load_accesses: int = 0
+    load_hits: int = 0
+    load_misses: int = 0
+    load_validity_misses: int = 0  # line present, requested bytes invalid
+    store_accesses: int = 0
+    store_hits: int = 0
+    store_misses: int = 0
+    stall_cycles: int = 0
+    prefetch_partial_hits: int = 0
+    copyback_bytes: int = 0
+    split_accesses: int = 0  # non-aligned accesses spanning two lines
+    cwb_writes: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.load_accesses + self.store_accesses
+
+    @property
+    def load_hit_rate(self) -> float:
+        if not self.load_accesses:
+            return 1.0
+        return self.load_hits / self.load_accesses
+
+
+def _mask(geometry: CacheGeometry, address: int, nbytes: int) -> int:
+    """Byte-validity mask of ``nbytes`` starting at ``address``."""
+    offset = address % geometry.line_bytes
+    return ((1 << nbytes) - 1) << offset
+
+
+class DataCache:
+    """Timing-only data cache (architectural data lives in FlatMemory)."""
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        biu: BusInterfaceUnit,
+        write_miss_policy: WriteMissPolicy = WriteMissPolicy.ALLOCATE,
+    ) -> None:
+        self.geometry = geometry
+        self.biu = biu
+        self.write_miss_policy = write_miss_policy
+        self.tags = TagStore(geometry)
+        self.stats = DCacheStats()
+
+    # -- internals ------------------------------------------------------------
+
+    def _victimize(self, victim: Line, set_index: int, now: int) -> None:
+        """Copy validated dirty bytes of a victim back to memory."""
+        writeback = victim.dirty_mask & victim.valid_mask
+        if writeback:
+            nbytes = bin(writeback).count("1")
+            address = self.tags.victim_address(set_index, victim)
+            self.biu.copyback(address, nbytes, now)
+            self.stats.copyback_bytes += nbytes
+
+    def _fill(self, address: int, now: int, *, demand: bool) -> tuple[Line, int]:
+        """Install and fetch a full line; returns (line, ready cycle)."""
+        line_address = self.geometry.line_address(address)
+        set_index = self.geometry.set_index(address)
+        line, victim = self.tags.install(line_address)
+        if victim is not None:
+            self._victimize(victim, set_index, now)
+        if demand:
+            done = self.biu.demand_refill(
+                line_address, self.geometry.line_bytes, now)
+        else:
+            done = self.biu.prefetch(
+                line_address, self.geometry.line_bytes, now)
+        line.valid_mask = (1 << self.geometry.line_bytes) - 1
+        line.ready_at = done
+        return line, done
+
+    def _allocate(self, address: int, now: int) -> Line:
+        """Install a line *without* fetching (allocate-on-write-miss)."""
+        line_address = self.geometry.line_address(address)
+        set_index = self.geometry.set_index(address)
+        line, victim = self.tags.install(line_address)
+        if victim is not None:
+            self._victimize(victim, set_index, now)
+        line.ready_at = now
+        return line
+
+    def _wait(self, line: Line, now: int) -> int:
+        """Stall cycles until an in-flight fill of ``line`` lands."""
+        if line.ready_at > now:
+            self.stats.prefetch_partial_hits += 1
+            return line.ready_at - now
+        return 0
+
+    # -- per-line pieces of an access ------------------------------------------
+
+    def _load_piece(self, address: int, nbytes: int, now: int) -> int:
+        mask = _mask(self.geometry, address, nbytes)
+        line = self.tags.lookup(address)
+        if line is not None and (line.valid_mask & mask) == mask:
+            stall = self._wait(line, now)
+            if stall == 0:
+                self.stats.load_hits += 1
+            else:
+                self.stats.load_misses += 1
+            return stall
+        if line is not None:
+            # Present but requested bytes invalid: refetch and merge.
+            # Dirty validated bytes keep their (newer) data; the fill
+            # validates the rest.
+            self.stats.load_validity_misses += 1
+            done = self.biu.demand_refill(
+                self.geometry.line_address(address),
+                self.geometry.line_bytes, now)
+            line.valid_mask = (1 << self.geometry.line_bytes) - 1
+            line.ready_at = max(line.ready_at, done)
+            self.stats.load_misses += 1
+            return done - now
+        self.stats.load_misses += 1
+        _line, done = self._fill(address, now, demand=True)
+        return done - now
+
+    def _store_piece(self, address: int, nbytes: int, now: int) -> int:
+        mask = _mask(self.geometry, address, nbytes)
+        line = self.tags.lookup(address)
+        if line is not None:
+            stall = self._wait(line, now)
+            line.valid_mask |= mask
+            line.dirty_mask |= mask
+            self.stats.store_hits += 1
+            self.stats.cwb_writes += 1
+            return stall
+        self.stats.store_misses += 1
+        if self.write_miss_policy is WriteMissPolicy.ALLOCATE:
+            line = self._allocate(address, now)
+            line.valid_mask = mask
+            line.dirty_mask = mask
+            self.stats.cwb_writes += 1
+            return 0
+        # Fetch-on-write-miss: bring the line in, then merge the write.
+        line, done = self._fill(address, now, demand=True)
+        line.dirty_mask |= mask
+        self.stats.cwb_writes += 1
+        return done - now
+
+    # -- public API -------------------------------------------------------------
+
+    def access(self, is_load: bool, address: int, nbytes: int,
+               now: int) -> int:
+        """One load/store; returns stall cycles.
+
+        Accesses spanning a line boundary are split in two (both halves
+        may miss — Section 4.2); the stalls serialize.
+        """
+        if is_load:
+            self.stats.load_accesses += 1
+        else:
+            self.stats.store_accesses += 1
+        line_bytes = self.geometry.line_bytes
+        end = address + nbytes - 1
+        stall = 0
+        if address // line_bytes == end // line_bytes:
+            if is_load:
+                stall = self._load_piece(address, nbytes, now)
+            else:
+                stall = self._store_piece(address, nbytes, now)
+        else:
+            self.stats.split_accesses += 1
+            split = (address // line_bytes + 1) * line_bytes
+            first_bytes = split - address
+            if is_load:
+                stall = self._load_piece(address, first_bytes, now)
+                stall += self._load_piece(
+                    split, nbytes - first_bytes, now + stall)
+            else:
+                stall = self._store_piece(address, first_bytes, now)
+                stall += self._store_piece(
+                    split, nbytes - first_bytes, now + stall)
+        self.stats.stall_cycles += stall
+        return stall
+
+    def prefetch_line(self, address: int, now: int) -> bool:
+        """Install a prefetched line (no processor stall).
+
+        Returns False when the line is already resident (the prefetch
+        request is dropped, Section 2.3: "if the prefetch address is
+        not yet present in the cache").
+        """
+        if self.tags.probe(address) is not None:
+            return False
+        self._fill(address, now, demand=False)
+        return True
+
+    def contains(self, address: int) -> bool:
+        """Residency probe (no LRU update)."""
+        return self.tags.probe(address) is not None
+
+    def flush(self, now: int) -> int:
+        """Write back all dirty data; returns bytes copied back."""
+        total = 0
+        for address, line in self.tags.flush():
+            writeback = line.dirty_mask & line.valid_mask
+            nbytes = bin(writeback).count("1")
+            if nbytes:
+                self.biu.copyback(address, nbytes, now)
+                total += nbytes
+        self.stats.copyback_bytes += total
+        return total

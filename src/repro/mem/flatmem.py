@@ -1,0 +1,45 @@
+"""Flat byte-addressable memory (the functional backing store).
+
+The timing models (:mod:`repro.mem.dcache`, :mod:`repro.mem.sdram`)
+track *when* data moves; the architectural data always lives here.
+Byte order is big-endian throughout, matching Table 2's operation
+definitions (``rdest1[31:24] = Mem[addr]`` ...).
+"""
+
+from __future__ import annotations
+
+
+class FlatMemory:
+    """A fixed-size big-endian byte-addressable memory."""
+
+    def __init__(self, size: int = 1 << 20) -> None:
+        if size <= 0:
+            raise ValueError("memory size must be positive")
+        self.size = size
+        self._bytes = bytearray(size)
+
+    def _check(self, address: int, nbytes: int) -> None:
+        if address < 0 or address + nbytes > self.size:
+            raise IndexError(
+                f"access [{address:#x}, {address + nbytes:#x}) outside "
+                f"memory of {self.size:#x} bytes")
+
+    def load(self, address: int, nbytes: int) -> int:
+        """Read ``nbytes`` big-endian bytes as an unsigned int."""
+        self._check(address, nbytes)
+        return int.from_bytes(self._bytes[address:address + nbytes], "big")
+
+    def store(self, address: int, value: int, nbytes: int) -> None:
+        """Write ``value`` as ``nbytes`` big-endian bytes."""
+        self._check(address, nbytes)
+        self._bytes[address:address + nbytes] = value.to_bytes(nbytes, "big")
+
+    def write_block(self, address: int, data: bytes) -> None:
+        """Bulk write (workload setup)."""
+        self._check(address, len(data))
+        self._bytes[address:address + len(data)] = data
+
+    def read_block(self, address: int, nbytes: int) -> bytes:
+        """Bulk read (workload verification)."""
+        self._check(address, nbytes)
+        return bytes(self._bytes[address:address + nbytes])

@@ -1,0 +1,89 @@
+"""Instruction cache model (Table 1 / Table 6).
+
+64 KB, 128-byte lines, 8-way set-associative, LRU.  The TM3270 uses a
+*sequential* design — tags in stage I1, instruction data in stage I3 —
+which halves the SRAM energy per access relative to the TM3260's
+*parallel* design that reads all ways speculatively (Section 5.2).
+The access mode therefore feeds the power model; the stall behaviour
+(miss => refill over the BIU) is common to both.
+
+The front end fetches 32-byte aligned chunks into the instruction
+buffer (Section 3); the processor model calls :meth:`fetch_chunk` once
+per newly-consumed chunk.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.mem.bus import BusInterfaceUnit
+from repro.mem.cache import CacheGeometry, TagStore
+
+FETCH_CHUNK_BYTES = 32
+
+
+class ICacheMode(enum.Enum):
+    """Tag/data access organization (Table 6)."""
+
+    SEQUENTIAL = "sequential"  # TM3270: tags, then one data way
+    PARALLEL = "parallel"      # TM3260: tags and all data ways at once
+
+
+@dataclass
+class ICacheStats:
+    """Access/miss/energy accounting."""
+
+    chunk_fetches: int = 0
+    misses: int = 0
+    stall_cycles: int = 0
+    #: Way-datum reads — the activity behind the sequential-vs-parallel
+    #: power difference (Section 5.2).
+    data_way_reads: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.chunk_fetches:
+            return 1.0
+        return 1.0 - self.misses / self.chunk_fetches
+
+
+class InstructionCache:
+    """Timing + activity model of the instruction cache."""
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        biu: BusInterfaceUnit,
+        mode: ICacheMode = ICacheMode.SEQUENTIAL,
+    ) -> None:
+        self.geometry = geometry
+        self.biu = biu
+        self.mode = mode
+        self.tags = TagStore(geometry)
+        self.stats = ICacheStats()
+
+    def fetch_chunk(self, chunk_address: int, now: int) -> int:
+        """Fetch one 32-byte chunk; returns stall cycles."""
+        self.stats.chunk_fetches += 1
+        if self.mode is ICacheMode.SEQUENTIAL:
+            self.stats.data_way_reads += 1
+        else:
+            self.stats.data_way_reads += self.geometry.ways
+        line = self.tags.lookup(chunk_address)
+        if line is not None:
+            if line.ready_at > now:
+                stall = line.ready_at - now
+                self.stats.stall_cycles += stall
+                return stall
+            return 0
+        self.stats.misses += 1
+        line_address = self.geometry.line_address(chunk_address)
+        new_line, _victim = self.tags.install(line_address)
+        done = self.biu.instruction_refill(
+            line_address, self.geometry.line_bytes, now)
+        new_line.valid_mask = (1 << self.geometry.line_bytes) - 1
+        new_line.ready_at = done
+        stall = done - now
+        self.stats.stall_cycles += stall
+        return stall

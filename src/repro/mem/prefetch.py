@@ -1,0 +1,143 @@
+"""Memory-region based data prefetching (Section 2.3, Figure 3).
+
+The TM3270 supports four software-programmed memory regions, each
+defined by three parameters::
+
+    PFn_START_ADDR, PFn_END_ADDR, PFn_STRIDE        (n = 0..3)
+
+When the hardware detects a *load* from an address ``A`` inside region
+``x``, it requests a prefetch of ``A + PFx_STRIDE`` — provided the
+target is still inside the region and not already in the cache.
+Prefetched data goes directly into the (large, 4-way) data cache; no
+stream buffers are needed.
+
+The region registers live in the processor's MMIO window; programs set
+them with ordinary store operations (see
+:func:`repro.kernels.common.emit_prefetch_region_setup`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mem.bus import BusInterfaceUnit
+from repro.mem.dcache import DataCache
+
+NUM_REGIONS = 4
+
+#: MMIO register layout: each region has three 4-byte registers.
+REGION_STRIDE_BYTES = 16
+OFFSET_START = 0
+OFFSET_END = 4
+OFFSET_STRIDE = 8
+
+
+@dataclass
+class PrefetchRegion:
+    """One region descriptor; inactive while start == end."""
+
+    start: int = 0
+    end: int = 0
+    stride: int = 0
+
+    @property
+    def active(self) -> bool:
+        return self.end > self.start and self.stride != 0
+
+    def covers(self, address: int) -> bool:
+        return self.start <= address < self.end
+
+
+@dataclass
+class PrefetchStats:
+    """Prefetch effectiveness counters."""
+
+    triggers: int = 0          # loads observed inside an active region
+    requests: int = 0          # prefetches enqueued
+    issued: int = 0            # prefetches sent to the bus
+    duplicates: int = 0        # dropped: line already cached/in flight
+    out_of_region: int = 0     # dropped: target outside the region
+    queue_overflows: int = 0
+
+
+class RegionPrefetcher:
+    """The prefetch unit: region match, request queue, bus issue."""
+
+    QUEUE_DEPTH = 8
+
+    def __init__(self, dcache: DataCache, biu: BusInterfaceUnit,
+                 enabled: bool = True) -> None:
+        self.regions = [PrefetchRegion() for _ in range(NUM_REGIONS)]
+        self.dcache = dcache
+        self.biu = biu
+        self.enabled = enabled
+        self.stats = PrefetchStats()
+        self._queue: list[int] = []
+        self._inflight: set[int] = set()
+
+    # -- MMIO interface ---------------------------------------------------------
+
+    def mmio_store(self, offset: int, value: int) -> None:
+        """Write a region register at byte ``offset`` in the PF window."""
+        index, reg = divmod(offset, REGION_STRIDE_BYTES)
+        if not 0 <= index < NUM_REGIONS:
+            raise ValueError(f"prefetch region {index} out of range")
+        region = self.regions[index]
+        if reg == OFFSET_START:
+            region.start = value
+        elif reg == OFFSET_END:
+            region.end = value
+        elif reg == OFFSET_STRIDE:
+            # Strides are signed 32-bit: upward or downward patterns.
+            region.stride = value - (1 << 32) if value >> 31 else value
+        else:
+            raise ValueError(f"unknown prefetch register offset {offset}")
+
+    def mmio_load(self, offset: int) -> int:
+        """Read back a region register."""
+        index, reg = divmod(offset, REGION_STRIDE_BYTES)
+        region = self.regions[index]
+        if reg == OFFSET_START:
+            return region.start
+        if reg == OFFSET_END:
+            return region.end
+        if reg == OFFSET_STRIDE:
+            return region.stride & 0xFFFFFFFF
+        raise ValueError(f"unknown prefetch register offset {offset}")
+
+    # -- hardware behaviour -------------------------------------------------------
+
+    def observe_load(self, address: int, now: int) -> None:
+        """Region-match a demand load and enqueue a prefetch request."""
+        if not self.enabled:
+            return
+        for region in self.regions:
+            if not region.active or not region.covers(address):
+                continue
+            self.stats.triggers += 1
+            target = address + region.stride
+            if not region.covers(target):
+                self.stats.out_of_region += 1
+                continue
+            line_address = self.dcache.geometry.line_address(target)
+            if (self.dcache.contains(line_address)
+                    or line_address in self._inflight):
+                self.stats.duplicates += 1
+                continue
+            if len(self._queue) >= self.QUEUE_DEPTH:
+                self.stats.queue_overflows += 1
+                continue
+            self._queue.append(line_address)
+            self._inflight.add(line_address)
+            self.stats.requests += 1
+
+    def tick(self, now: int) -> None:
+        """Issue the oldest queued prefetch when the bus is idle."""
+        if not self._queue or not self.biu.idle_at(now):
+            return
+        line_address = self._queue.pop(0)
+        self._inflight.discard(line_address)
+        if self.dcache.prefetch_line(line_address, now):
+            self.stats.issued += 1
+        else:
+            self.stats.duplicates += 1

@@ -1,0 +1,76 @@
+"""Off-chip DDR SDRAM timing model.
+
+The paper's measurements use "a 32-bit off-chip DDR SDRAM memory
+operating at 200 MHz" (Section 6).  The model works in nanoseconds so
+that the same memory looks *relatively* slower to a faster processor —
+the effect that separates configurations B (240 MHz) and C (350 MHz).
+
+Timing structure per transaction:
+
+* a base latency (controller + row activate + CAS) that depends on
+  whether the access hits the currently open row of its bank;
+* a transfer time of ``nbytes / peak_bandwidth`` with DDR peak
+  bandwidth of ``2 * clock * bus_width`` (1.6 GB/s at 200 MHz x 32 bit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SdramConfig:
+    """DDR SDRAM timing parameters."""
+
+    clock_mhz: float = 200.0
+    bus_bytes: int = 4
+    row_bytes: int = 2048
+    banks: int = 4
+    row_miss_latency_ns: float = 60.0
+    row_hit_latency_ns: float = 25.0
+
+    @property
+    def bandwidth_bytes_per_ns(self) -> float:
+        """DDR peak bandwidth: two transfers per clock."""
+        return 2.0 * self.clock_mhz * 1e-3 * self.bus_bytes
+
+
+@dataclass
+class SdramStats:
+    """Traffic and locality counters."""
+
+    transactions: int = 0
+    bytes_transferred: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    busy_ns: float = 0.0
+
+
+class Sdram:
+    """A single-channel DDR SDRAM with per-bank open-row tracking."""
+
+    def __init__(self, config: SdramConfig | None = None) -> None:
+        self.config = config or SdramConfig()
+        self._open_rows: dict[int, int] = {}
+        self.stats = SdramStats()
+
+    def _bank_and_row(self, address: int) -> tuple[int, int]:
+        row = address // self.config.row_bytes
+        return row % self.config.banks, row
+
+    def transaction_ns(self, address: int, nbytes: int) -> float:
+        """Duration of one transaction starting now; updates row state."""
+        config = self.config
+        bank, row = self._bank_and_row(address)
+        if self._open_rows.get(bank) == row:
+            latency = config.row_hit_latency_ns
+            self.stats.row_hits += 1
+        else:
+            latency = config.row_miss_latency_ns
+            self.stats.row_misses += 1
+            self._open_rows[bank] = row
+        duration = latency + nbytes / config.bandwidth_bytes_per_ns
+        self.stats.transactions += 1
+        self.stats.bytes_transferred += nbytes
+        self.stats.busy_ns += duration
+        return duration

@@ -1,0 +1,9 @@
+"""Synthetic workload generation: frames, motion fields, CABAC streams."""
+
+from repro.workloads.cabac_streams import CabacField, generate_all_fields, generate_field
+from repro.workloads.video import MotionField, motion_field, synthetic_frame, synthetic_residuals
+
+__all__ = [
+    "CabacField", "generate_all_fields", "generate_field",
+    "MotionField", "motion_field", "synthetic_frame", "synthetic_residuals",
+]

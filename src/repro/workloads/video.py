@@ -1,0 +1,99 @@
+"""Synthetic video workload generation.
+
+The paper's MPEG2 streams (Table 5: mpeg2_a/b/c) are proprietary; what
+matters for the Figure 7 result is the *memory access pattern* of
+motion-compensated reference fetches — mpeg2_a has "a highly
+disruptive motion vector field".  This module generates deterministic
+synthetic frames, residuals, and motion-vector fields whose
+disruptiveness (spatial spread of the vectors) is a controlled knob.
+
+All generators take an explicit seed: runs are reproducible and no
+global random state is touched.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+def synthetic_frame(width: int, height: int, seed: int = 1) -> bytes:
+    """A deterministic pseudo-natural frame: smooth gradients + noise."""
+    rng = random.Random(seed)
+    row_phase = [rng.randrange(256) for _ in range(height)]
+    out = bytearray(width * height)
+    for y in range(height):
+        base = row_phase[y]
+        for x in range(width):
+            out[y * width + x] = (base + 3 * x + ((x * y) >> 4)) & 0xFF
+    return bytes(out)
+
+
+def synthetic_residuals(num_blocks: int, seed: int = 2,
+                        magnitude: int = 12) -> bytes:
+    """Per-block 8x8 signed residuals, small magnitude (as after IDCT)."""
+    rng = random.Random(seed)
+    out = bytearray(num_blocks * 64)
+    for index in range(len(out)):
+        out[index] = rng.randrange(-magnitude, magnitude + 1) & 0xFF
+    return bytes(out)
+
+
+@dataclass(frozen=True)
+class MotionField:
+    """A per-block motion-vector field."""
+
+    vectors: tuple[tuple[int, int], ...]
+    blocks_x: int
+    blocks_y: int
+
+    def packed_words(self) -> list[int]:
+        """(dy << 16) | (dx & 0xffff) words, row-major (kernel layout)."""
+        return [((dy & 0xFFFF) << 16) | (dx & 0xFFFF)
+                for dx, dy in self.vectors]
+
+
+def motion_field(blocks_x: int, blocks_y: int, width: int, height: int,
+                 disruptiveness: float, seed: int = 3,
+                 block: int = 8) -> MotionField:
+    """Generate a motion field with controlled disruptiveness.
+
+    ``disruptiveness`` in [0, 1]: 0 produces a globally coherent pan
+    (adjacent blocks reference adjacent memory — cache friendly), 1
+    produces independent long-range vectors per block (every reference
+    fetch lands far from the previous one — the "highly disruptive"
+    mpeg2_a case).  Vectors are clamped so reference reads stay inside
+    the frame.
+    """
+    if not 0.0 <= disruptiveness <= 1.0:
+        raise ValueError("disruptiveness must be within [0, 1]")
+    rng = random.Random(seed)
+    pan_dx = rng.randrange(-3, 4)
+    pan_dy = rng.randrange(-2, 3)
+    max_dx = max(4, int((width - block) * disruptiveness))
+    max_dy = max(2, int((height - block) * disruptiveness))
+    vectors = []
+    for by in range(blocks_y):
+        for bx in range(blocks_x):
+            if rng.random() < disruptiveness:
+                dx = rng.randrange(-max_dx, max_dx + 1)
+                dy = rng.randrange(-max_dy, max_dy + 1)
+            else:
+                dx = pan_dx + rng.randrange(-1, 2)
+                dy = pan_dy + rng.randrange(-1, 2)
+            # Clamp so [x0+dx, x0+dx+8) and rows stay inside the frame.
+            x0 = bx * block
+            y0 = by * block
+            dx = max(-x0, min(dx, width - block - x0))
+            dy = max(-y0, min(dy, height - block - y0))
+            vectors.append((dx, dy))
+    return MotionField(tuple(vectors), blocks_x, blocks_y)
+
+
+#: Disruptiveness of the three MPEG2 evaluation streams.  Stream "a"
+#: is the paper's "highly disruptive motion vector field".
+MPEG2_STREAM_DISRUPTIVENESS = {
+    "mpeg2_a": 1.0,
+    "mpeg2_b": 0.35,
+    "mpeg2_c": 0.1,
+}

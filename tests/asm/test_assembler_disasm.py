@@ -1,0 +1,189 @@
+"""Tests of the textual assembler and the disassembler."""
+
+import pytest
+
+from repro.asm.assembler import AssemblyError, assemble
+from repro.asm.disasm import disassemble, disassemble_image
+from repro.asm.link import compile_program
+from repro.asm.target import TM3270_TARGET
+from repro.core import TM3270_CONFIG, run_kernel
+from repro.kernels.common import args_for
+from repro.mem.flatmem import FlatMemory
+
+MEMSET_SOURCE = """
+.kernel memset32
+.param dst count value
+
+loop:
+    st32d dst, value, #0
+    dst = iaddi dst, #4
+    count = iaddi count, #-1
+    going = igtr count, zero
+    @going jmpt ->loop
+"""
+
+
+class TestAssemblerBasics:
+    def test_memset_assembles_and_runs(self):
+        program = assemble(MEMSET_SOURCE)
+        assert program.name == "memset32"
+        linked = compile_program(program, TM3270_TARGET)
+        memory = FlatMemory(1 << 14)
+        run_kernel(linked, TM3270_CONFIG,
+                   args=args_for(0x1000, 16, 0xDEADBEEF), memory=memory)
+        expected = (0xDEADBEEF).to_bytes(4, "big") * 16
+        assert memory.read_block(0x1000, 64) == expected
+
+    def test_params_pin_in_order(self):
+        program = assemble(".param a b c\n x = iadd a, b")
+        assert sorted(program.pinned.values()) == [10, 11, 12]
+
+    def test_comments_and_blank_lines(self):
+        program = assemble("""
+        ; a comment
+        .param a    ; trailing comment
+
+        x = mov a
+        """)
+        assert program.op_count() == 1
+
+    def test_hex_immediates(self):
+        program = assemble(".param a\n x = uimm #0xBEEF")
+        op = program.blocks[0].ops[0]
+        assert op.imm == 0xBEEF
+
+    def test_multiple_destinations(self):
+        program = assemble("""
+        .param base off
+        lo, hi = super_ld32r base, off
+        """)
+        op = program.blocks[0].ops[0]
+        assert op.name == "super_ld32r"
+        assert len(op.dsts) == 2
+
+    def test_accumulator_reads_then_writes(self):
+        program = assemble("""
+        .param a
+        acc = mov zero
+        acc = iadd acc, a
+        """)
+        ops = program.blocks[0].ops
+        assert ops[1].dsts == ops[1].srcs[:1]
+
+    def test_constants_named(self):
+        program = assemble("x = iadd zero, one")
+        op = program.blocks[0].ops[0]
+        assert op.srcs == (0, 1)
+
+
+class TestAssemblerErrors:
+    def test_unknown_operation(self):
+        with pytest.raises(AssemblyError, match="unknown operation"):
+            assemble("x = frobnicate zero")
+
+    def test_read_before_write(self):
+        with pytest.raises(AssemblyError, match="before being written"):
+            assemble("x = mov y")
+
+    def test_write_to_constant(self):
+        with pytest.raises(AssemblyError, match="constant register"):
+            assemble("zero = mov one")
+
+    def test_operand_count_checked(self):
+        with pytest.raises(AssemblyError, match="expected 2 srcs"):
+            assemble("x = iadd zero")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError, match="duplicate label"):
+            assemble("a:\n x = mov zero\na:\n")
+
+    def test_jump_to_missing_label(self):
+        with pytest.raises(AssemblyError):
+            assemble("jmpi ->nowhere")
+
+    def test_bad_immediate(self):
+        with pytest.raises(AssemblyError, match="bad immediate"):
+            assemble("x = uimm #zz")
+
+    def test_duplicate_param(self):
+        with pytest.raises(AssemblyError, match="already declared"):
+            assemble(".param a a")
+
+    def test_unknown_directive(self):
+        with pytest.raises(AssemblyError, match="unknown directive"):
+            assemble(".frob a")
+
+    def test_line_numbers_reported(self):
+        with pytest.raises(AssemblyError, match="line 3"):
+            assemble("\n\nx = frobnicate zero")
+
+    def test_guard_without_op(self):
+        with pytest.raises(AssemblyError):
+            assemble(".param g\n@g")
+
+
+class TestAssemblerVsBuilder:
+    def test_same_results_as_builder(self):
+        from repro.asm.builder import ProgramBuilder
+
+        source = assemble(MEMSET_SOURCE)
+        builder = ProgramBuilder("memset32")
+        dst, count, value = builder.params("dst", "count", "value")
+        builder.label("loop")
+        builder.emit("st32d", srcs=(dst, value), imm=0)
+        builder.emit_into(dst, "iaddi", srcs=(dst,), imm=4)
+        builder.emit_into(count, "iaddi", srcs=(count,), imm=-1)
+        going = builder.emit("igtr", srcs=(count, builder.zero))
+        builder.jump_if_true(going, "loop")
+        built = builder.finish()
+
+        for program in (source, built):
+            linked = compile_program(program, TM3270_TARGET)
+            memory = FlatMemory(1 << 14)
+            result = run_kernel(linked, TM3270_CONFIG,
+                                args=args_for(0x1000, 8, 0xAA55AA55),
+                                memory=memory)
+            assert memory.read_block(0x1000, 32) == \
+                (0xAA55AA55).to_bytes(4, "big") * 8
+            assert result.stats.instructions > 0
+
+
+class TestDisassembler:
+    @pytest.fixture()
+    def linked(self):
+        return compile_program(assemble(MEMSET_SOURCE), TM3270_TARGET)
+
+    def test_listing_structure(self, linked):
+        listing = disassemble(linked)
+        assert "memset32 for tm3270" in listing
+        assert "loop:" in listing
+        assert "st32d" in listing
+        assert "jmpt" in listing
+        assert "<target>" in listing
+
+    def test_addresses_present(self, linked):
+        listing = disassemble(linked)
+        for address in linked.addresses:
+            assert f"{address:#06x}" in listing
+
+    def test_image_roundtrip_listing(self, linked):
+        from_image = disassemble_image(linked.image)
+        assert f"{len(linked.instructions)} instructions" in from_image
+        # The same operations appear (modulo label names).
+        for mnemonic in ("st32d", "iaddi", "igtr", "jmpt"):
+            assert mnemonic in from_image
+
+    def test_guard_rendering(self, linked):
+        listing = disassemble(linked)
+        assert "@r" in listing  # the guarded jump
+
+    def test_two_slot_rendering(self):
+        program = assemble("""
+        .param base off out
+        lo, hi = super_ld32r base, off
+        st32d out, lo, #0
+        st32d out, hi, #4
+        """)
+        listing = disassemble(compile_program(program, TM3270_TARGET))
+        assert "slot 4+5" in listing
+        assert "super_ld32r" in listing

@@ -1,0 +1,132 @@
+"""Tests of the program builder and the linker."""
+
+import pytest
+
+from repro.asm.builder import PARAM_BASE_PREG, ProgramBuilder
+from repro.asm.link import compile_program
+from repro.asm.target import TM3260_TARGET, TM3270_TARGET
+from repro.isa.encoding import decode_program
+
+
+class TestBuilder:
+    def test_params_pin_sequentially(self):
+        builder = ProgramBuilder("p")
+        a, b = builder.params("a", "b")
+        (c,) = builder.params("c")
+        assert builder._pinned[a] == PARAM_BASE_PREG
+        assert builder._pinned[b] == PARAM_BASE_PREG + 1
+        assert builder._pinned[c] == PARAM_BASE_PREG + 2
+
+    def test_const32_small(self):
+        builder = ProgramBuilder("p")
+        builder.const32(0x1234)
+        program = builder.finish()
+        names = [op.name for op in program.blocks[0].ops]
+        assert names == ["uimm"]
+
+    def test_const32_large(self):
+        builder = ProgramBuilder("p")
+        builder.const32(0xDEADBEEF)
+        program = builder.finish()
+        names = [op.name for op in program.blocks[0].ops]
+        assert names == ["uimm", "himm"]
+
+    def test_emit_returns_per_arity(self):
+        builder = ProgramBuilder("p")
+        one = builder.emit("uimm", imm=1)
+        assert isinstance(one, int)
+        two = builder.emit("super_ld32r", srcs=(one, one))
+        assert isinstance(two, tuple) and len(two) == 2
+        nothing = builder.emit("st32d", srcs=(one, one), imm=0)
+        assert nothing is None
+
+    def test_emit_into_rejects_multi_dst(self):
+        builder = ProgramBuilder("p")
+        reg = builder.emit("uimm", imm=1)
+        with pytest.raises(ValueError):
+            builder.emit_into(reg, "super_ld32r", srcs=(reg, reg))
+
+    def test_jump_ends_block(self):
+        builder = ProgramBuilder("p")
+        builder.label("head")
+        builder.emit("uimm", imm=1)
+        builder.jump("head")
+        builder.emit("uimm", imm=2)
+        program = builder.finish()
+        head = program.block("head")
+        assert head.jump is not None
+        assert len(head.ops) == 1
+
+    def test_double_jump_in_block_rejected(self):
+        builder = ProgramBuilder("p")
+        builder.label("head")
+        builder._current.jump = None
+        builder.jump("head")
+        # jump() opened a new block, so a second jump is fine there;
+        # force the error by re-jumping the same block object.
+        block = builder._blocks[-2]
+        with pytest.raises(ValueError):
+            from repro.asm.ir import VOp
+            builder._blocks[-1] = block
+            builder.jump("head")
+
+    def test_finish_twice_rejected(self):
+        builder = ProgramBuilder("p")
+        builder.finish()
+        with pytest.raises(ValueError):
+            builder.finish()
+
+
+class TestLinker:
+    def _simple_loop(self):
+        builder = ProgramBuilder("loop")
+        (count, out) = builder.params("count", "out")
+        acc = builder.emit("mov", srcs=(builder.zero,))
+        end = builder.counted_loop(count, "body")
+        builder.emit_into(acc, "iaddi", srcs=(acc,), imm=2)
+        end()
+        builder.emit("st32d", srcs=(out, acc), imm=0)
+        return builder.finish()
+
+    def test_addresses_strictly_increasing(self):
+        linked = compile_program(self._simple_loop(), TM3270_TARGET)
+        for index in range(1, len(linked.addresses)):
+            assert linked.addresses[index] > linked.addresses[index - 1]
+
+    def test_entry_is_jump_target(self):
+        linked = compile_program(self._simple_loop(), TM3270_TARGET)
+        assert linked.instructions[0].is_jump_target
+
+    def test_loop_head_is_jump_target(self):
+        linked = compile_program(self._simple_loop(), TM3270_TARGET)
+        body_index = linked.labels["body"]
+        assert linked.instructions[body_index].is_jump_target
+
+    def test_jump_immediates_resolve_to_label_addresses(self):
+        linked = compile_program(self._simple_loop(), TM3270_TARGET)
+        body_address = linked.addresses[linked.labels["body"]]
+        jumps = [op for instr in linked.instructions for op in instr.ops
+                 if op.spec.is_jump]
+        assert jumps and all(op.imm == body_address for op in jumps)
+
+    def test_image_decodes(self):
+        linked = compile_program(self._simple_loop(), TM3270_TARGET)
+        decoded = decode_program(linked.image)
+        assert len(decoded) == len(linked.instructions)
+
+    def test_index_of_address(self):
+        linked = compile_program(self._simple_loop(), TM3270_TARGET)
+        for index, address in enumerate(linked.addresses):
+            assert linked.index_of_address(address) == index
+
+    def test_operation_count(self):
+        program = self._simple_loop()
+        linked = compile_program(program, TM3270_TARGET)
+        assert linked.operation_count == program.op_count()
+
+    def test_targets_differ_in_length(self):
+        program = self._simple_loop()
+        tm3270 = compile_program(program, TM3270_TARGET)
+        tm3260 = compile_program(program, TM3260_TARGET)
+        # Five vs three delay slots: the TM3270 loop body is longer.
+        assert tm3270.instruction_count > tm3260.instruction_count

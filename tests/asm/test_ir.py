@@ -1,0 +1,73 @@
+"""Tests of the assembler-level IR validation."""
+
+import pytest
+
+from repro.asm.ir import AsmProgram, Block, VOp
+
+
+class TestVOp:
+    def test_operand_counts_validated(self):
+        with pytest.raises(ValueError):
+            VOp("iadd", dsts=(2,), srcs=(3,)).validate()
+        with pytest.raises(ValueError):
+            VOp("iadd", dsts=(), srcs=(3, 4)).validate()
+        VOp("iadd", dsts=(2,), srcs=(3, 4)).validate()
+
+    def test_jump_needs_target(self):
+        with pytest.raises(ValueError):
+            VOp("jmpi").validate()
+        VOp("jmpi", target="loop").validate()
+
+    def test_non_jump_rejects_target(self):
+        with pytest.raises(ValueError):
+            VOp("iadd", dsts=(2,), srcs=(3, 4), target="x").validate()
+
+    def test_missing_immediate(self):
+        with pytest.raises(ValueError):
+            VOp("iaddi", dsts=(2,), srcs=(3,)).validate()
+        VOp("iaddi", dsts=(2,), srcs=(3,), imm=1).validate()
+
+    def test_reads_include_guard(self):
+        op = VOp("iadd", dsts=(2,), srcs=(3, 4), guard=9)
+        assert set(op.reads()) == {3, 4, 9}
+
+    def test_reads_without_guard(self):
+        op = VOp("iadd", dsts=(2,), srcs=(3, 4))
+        assert op.reads() == (3, 4)
+
+
+class TestProgram:
+    def _program(self, blocks):
+        return AsmProgram(name="test", blocks=blocks)
+
+    def test_duplicate_labels_rejected(self):
+        program = self._program([Block("a"), Block("a")])
+        with pytest.raises(ValueError):
+            program.validate()
+
+    def test_unknown_jump_target_rejected(self):
+        block = Block("entry", jump=VOp("jmpi", target="nowhere"))
+        with pytest.raises(ValueError):
+            self._program([block]).validate()
+
+    def test_block_lookup(self):
+        program = self._program([Block("entry"), Block("loop")])
+        assert program.block("loop").label == "loop"
+        with pytest.raises(KeyError):
+            program.block("missing")
+
+    def test_jump_target_labels(self):
+        blocks = [
+            Block("entry", jump=VOp("jmpi", target="loop")),
+            Block("loop", jump=VOp("jmpt", guard=5, target="loop")),
+            Block("exit"),
+        ]
+        program = self._program(blocks)
+        assert program.jump_target_labels() == {"loop"}
+
+    def test_op_count(self):
+        block = Block("entry", ops=[
+            VOp("iadd", dsts=(2,), srcs=(3, 4)),
+            VOp("mov", dsts=(5,), srcs=(2,)),
+        ], jump=VOp("jmpi", target="entry"))
+        assert self._program([block]).op_count() == 3

@@ -1,0 +1,140 @@
+"""Tests of both register allocators."""
+
+import pytest
+
+from repro.asm.builder import ProgramBuilder
+from repro.asm.ir import AsmProgram, Block, VOp
+from repro.asm.regalloc import (
+    RegisterPressureError,
+    allocate_registers,
+    allocate_registers_scheduled,
+)
+from repro.asm.scheduler import compute_global_defs, schedule_program
+from repro.asm.target import TM3270_TARGET
+
+
+def build_straightline(num_temps):
+    builder = ProgramBuilder("pressure")
+    (value,) = builder.params("value")
+    temps = [builder.emit("iaddi", srcs=(value,), imm=1)
+             for _ in range(num_temps)]
+    acc = builder.emit("mov", srcs=(builder.zero,))
+    for temp in temps:
+        builder.emit_into(acc, "iadd", srcs=(acc, temp))
+    return builder.finish()
+
+
+class TestTrivialAllocator:
+    def test_constants_fixed(self):
+        program = build_straightline(3)
+        mapping = allocate_registers(program)
+        assert mapping[0] == 0
+        assert mapping[1] == 1
+
+    def test_pinned_respected(self):
+        program = build_straightline(3)
+        mapping = allocate_registers(program)
+        for vreg, preg in program.pinned.items():
+            assert mapping[vreg] == preg
+
+    def test_no_duplicates(self):
+        program = build_straightline(20)
+        mapping = allocate_registers(program)
+        values = list(mapping.values())
+        assert len(values) == len(set(values))
+
+    def test_pressure_error(self):
+        program = build_straightline(200)
+        with pytest.raises(RegisterPressureError):
+            allocate_registers(program)
+
+    def test_conflicting_pins_rejected(self):
+        program = AsmProgram("bad", blocks=[Block("entry")],
+                             pinned={5: 10, 6: 10})
+        with pytest.raises(RegisterPressureError):
+            allocate_registers(program)
+
+    def test_pin_out_of_range(self):
+        program = AsmProgram("bad", blocks=[Block("entry")],
+                             pinned={5: 200})
+        with pytest.raises(RegisterPressureError):
+            allocate_registers(program)
+
+
+class TestScheduledAllocator:
+    def _allocate(self, program):
+        scheduled = schedule_program(program, TM3270_TARGET)
+        return scheduled, allocate_registers_scheduled(
+            program, scheduled, TM3270_TARGET,
+            compute_global_defs(program))
+
+    def test_locals_recycled(self):
+        # A 400-deep dependent chain of temporaries fits easily in 128
+        # registers: each temp dies as soon as its successor issues.
+        builder = ProgramBuilder("recycle")
+        (value,) = builder.params("value")
+        temp = builder.emit("iaddi", srcs=(value,), imm=1)
+        for _ in range(400):
+            temp = builder.emit("iaddi", srcs=(temp,), imm=1)
+        builder.emit("st32d", srcs=(value, temp), imm=0)
+        program = builder.finish()
+        _scheduled, mapping = self._allocate(program)
+        used = set(mapping.global_map.values())
+        for local_map in mapping.local_maps.values():
+            used |= set(local_map.values())
+        assert len(used) <= 128
+
+    def test_globals_never_recycled(self):
+        builder = ProgramBuilder("globals")
+        (count,) = builder.params("count")
+        acc = builder.emit("mov", srcs=(builder.zero,))
+        end = builder.counted_loop(count, "body")
+        builder.emit_into(acc, "iaddi", srcs=(acc,), imm=1)
+        end()
+        program = builder.finish()
+        _scheduled, mapping = self._allocate(program)
+        acc_preg = mapping.global_map[acc]
+        for local_map in mapping.local_maps.values():
+            assert acc_preg not in local_map.values()
+
+    def test_no_overlapping_local_lifetimes(self):
+        # Execute a recycled-register program and check the result:
+        # wrong recycling would corrupt the accumulation.
+        from repro.asm.link import compile_program
+        from repro.core import run_kernel, TM3270_CONFIG
+        from repro.kernels.common import args_for
+
+        builder = ProgramBuilder("overlap")
+        (value, result) = builder.params("value", "result")
+        acc = builder.emit("mov", srcs=(builder.zero,))
+        for index in range(60):
+            temp = builder.emit("iaddi", srcs=(value,), imm=index % 63)
+            shifted = builder.emit("asli", srcs=(temp,), imm=1)
+            builder.emit_into(acc, "iadd", srcs=(acc, shifted))
+        builder.emit("st32d", srcs=(result, acc), imm=0)
+        program = builder.finish()
+        linked = compile_program(program, TM3270_TARGET)
+        run = run_kernel(linked, TM3270_CONFIG,
+                         args=args_for(100, 0x2000), memory_size=1 << 14)
+        expected = sum(2 * (100 + index % 63) for index in range(60))
+        assert run.memory.load(0x2000, 4) == expected & 0xFFFFFFFF
+
+    def test_pressure_error_when_all_live(self):
+        # Temps all live to the end: no recycling possible.
+        builder = ProgramBuilder("live")
+        (value,) = builder.params("value")
+        temps = [builder.emit("iaddi", srcs=(value,), imm=1)
+                 for _ in range(300)]
+        acc = builder.emit("mov", srcs=(builder.zero,))
+        for temp in temps:
+            builder.emit_into(acc, "iadd", srcs=(acc, temp))
+        program = builder.finish()
+        with pytest.raises(RegisterPressureError):
+            self._allocate(program)
+
+    def test_resolve_prefers_local(self):
+        program = build_straightline(5)
+        scheduled, mapping = self._allocate(program)
+        label = scheduled.blocks[0].label
+        for vreg, preg in mapping.local_maps.get(label, {}).items():
+            assert mapping.resolve(label, vreg) == preg

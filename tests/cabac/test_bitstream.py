@@ -1,0 +1,81 @@
+"""Tests of the MSB-first bit containers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cabac.bitstream import BitReader, BitWriter
+
+
+class TestBitWriter:
+    def test_single_bits(self):
+        writer = BitWriter()
+        for bit in (1, 0, 1, 1, 0, 0, 0, 1):
+            writer.put_bit(bit)
+        assert writer.to_bytes()[0] == 0b10110001
+
+    def test_put_bits_msb_first(self):
+        writer = BitWriter()
+        writer.put_bits(0b101, 3)
+        writer.put_bits(0b11111, 5)
+        assert writer.to_bytes()[0] == 0b10111111
+
+    def test_len_counts_bits(self):
+        writer = BitWriter()
+        writer.put_bits(0, 13)
+        assert len(writer) == 13
+
+    def test_padding_appended(self):
+        writer = BitWriter()
+        writer.put_bit(1)
+        data = writer.to_bytes()
+        assert len(data) >= 9  # 1 payload byte + 8 guard bytes
+        assert data[1:] == bytes(len(data) - 1)
+
+
+class TestBitReader:
+    def test_read_bits(self):
+        reader = BitReader(bytes([0b10110001, 0xFF]))
+        assert reader.read_bits(4) == 0b1011
+        assert reader.read_bits(4) == 0b0001
+        assert reader.read_bits(8) == 0xFF
+
+    def test_peek_word_big_endian(self):
+        reader = BitReader(bytes([1, 2, 3, 4, 5]))
+        assert reader.peek_word() == 0x01020304
+
+    def test_realign_advances_bytes(self):
+        reader = BitReader(bytes([0xAA, 0xBB, 0xCC, 0xDD, 0xEE]))
+        reader.read_bits(9)
+        assert reader.position < 8
+        assert reader.peek_word() == 0xBBCCDDEE
+
+    def test_bits_consumed(self):
+        reader = BitReader(bytes(8))
+        reader.read_bits(11)
+        assert reader.bits_consumed == 11
+
+    def test_short_buffer_padded(self):
+        reader = BitReader(b"\xFF")
+        assert reader.peek_word() == 0xFF000000
+
+
+class TestRoundTrip:
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=200))
+    def test_writer_reader_roundtrip(self, bits):
+        writer = BitWriter()
+        for bit in bits:
+            writer.put_bit(bit)
+        reader = BitReader(writer.to_bytes())
+        assert [reader.read_bit() for _ in bits] == bits
+
+    @given(st.lists(
+        st.tuples(st.integers(0, 0xFFFF), st.integers(1, 16)),
+        min_size=1, max_size=50))
+    def test_multibit_roundtrip(self, chunks):
+        writer = BitWriter()
+        for value, width in chunks:
+            writer.put_bits(value & ((1 << width) - 1), width)
+        reader = BitReader(writer.to_bytes())
+        for value, width in chunks:
+            assert reader.read_bits(width) == value & ((1 << width) - 1)

@@ -1,0 +1,166 @@
+"""CABAC encoder/decoder round-trip and behavioural tests.
+
+The encoder is our own (the paper needs only the decoder); round-trip
+correctness through the decoder — and therefore through the
+``SUPER_CABAC_*`` operation semantics, which share
+:func:`repro.cabac.reference.decode_step` — is the keystone property.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cabac import CabacDecoder, CabacEncoder, tables
+from repro.cabac.reference import ContextModel, decode_step
+
+
+def roundtrip(symbols, num_contexts=1):
+    encoder = CabacEncoder(num_contexts=num_contexts)
+    for context, bit in symbols:
+        if context is None:
+            encoder.encode_bypass(bit)
+        else:
+            encoder.encode(bit, context)
+    data = encoder.flush()
+    decoder = CabacDecoder(data, num_contexts=num_contexts)
+    decoded = []
+    for context, _bit in symbols:
+        if context is None:
+            decoded.append((context, decoder.decode_bypass()))
+        else:
+            decoded.append((context, decoder.decode(context)))
+    return decoded
+
+
+class TestRoundTrip:
+    def test_single_symbol(self):
+        assert roundtrip([(0, 1)]) == [(0, 1)]
+
+    def test_alternating(self):
+        symbols = [(0, index % 2) for index in range(100)]
+        assert roundtrip(symbols) == symbols
+
+    def test_all_zeros_and_all_ones(self):
+        for bit in (0, 1):
+            symbols = [(0, bit)] * 500
+            assert roundtrip(symbols) == symbols
+
+    def test_bypass_only(self):
+        symbols = [(None, (index * 7) % 2) for index in range(64)]
+        assert roundtrip(symbols) == symbols
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2 ** 31), st.integers(1, 6),
+           st.floats(0.02, 0.98), st.integers(1, 400))
+    def test_random_streams(self, seed, num_contexts, bias, length):
+        rng = random.Random(seed)
+        symbols = []
+        for _ in range(length):
+            context = (rng.randrange(num_contexts)
+                       if rng.random() < 0.85 else None)
+            bit = 1 if rng.random() < bias else 0
+            symbols.append((context, bit))
+        assert roundtrip(symbols, num_contexts) == symbols
+
+
+class TestCompression:
+    def test_biased_stream_compresses(self):
+        encoder = CabacEncoder()
+        n = 4000
+        for index in range(n):
+            encoder.encode(0 if index % 16 else 1)
+        data = encoder.flush()
+        # ~0.34 bits/symbol entropy; allow generous slack.
+        assert len(data) * 8 < n * 0.8
+
+    def test_unbiased_stream_does_not_compress(self):
+        rng = random.Random(5)
+        encoder = CabacEncoder()
+        n = 4000
+        for _ in range(n):
+            encoder.encode(rng.randrange(2))
+        data = encoder.flush()
+        assert encoder.bits_written > 0.9 * n
+
+    def test_adaptivity(self):
+        # The same symbol repeated costs less and less: contexts adapt.
+        encoder = CabacEncoder()
+        costs = []
+        for _ in range(10):
+            before = encoder.bits_written
+            for _ in range(100):
+                encoder.encode(1)
+            costs.append(encoder.bits_written - before)
+        assert costs[-1] < costs[0]
+
+
+class TestDecoderEngine:
+    def test_initialization_reads_9_bits(self):
+        decoder = CabacDecoder(bytes(16))
+        assert decoder.bits_consumed == 9
+        assert decoder.range == tables.INITIAL_RANGE
+
+    def test_symbols_counted(self):
+        symbols = [(0, 1), (0, 0), (0, 1)]
+        encoder = CabacEncoder()
+        for _ctx, bit in symbols:
+            encoder.encode(bit)
+        decoder = CabacDecoder(encoder.flush())
+        for _ctx, _bit in symbols:
+            decoder.decode()
+        assert decoder.symbols_decoded == 3
+
+    def test_context_isolation(self):
+        # Two contexts with opposite statistics adapt independently.
+        encoder = CabacEncoder(num_contexts=2)
+        pattern = [(0, 1), (1, 0)] * 300
+        for context, bit in pattern:
+            encoder.encode(bit, context)
+        assert encoder.contexts[0].state > 30
+        assert encoder.contexts[1].state > 30
+        assert roundtrip(pattern, 2) == pattern
+
+
+class TestDecodeStep:
+    def test_invariant_value_below_range(self):
+        rng = random.Random(11)
+        for _ in range(2000):
+            range_ = rng.randrange(256, 511)
+            value = rng.randrange(range_)
+            state = rng.randrange(64)
+            mps = rng.randrange(2)
+            new = decode_step(value, range_, state, mps,
+                              rng.randrange(1 << 32), rng.randrange(8))
+            new_value, new_range = new[0], new[1]
+            assert new_value < new_range
+            assert 256 <= new_range < 512
+
+    def test_mps_path_keeps_value(self):
+        # value < temp_range: MPS, value unchanged.
+        range_lps = tables.LPS_RANGE_TABLE[10][(400 >> 6) & 3]
+        value = 0
+        new = decode_step(value, 400, 10, 1, 0, 0)
+        assert new[5] == 1  # bit == mps
+        assert new[2] == tables.MPS_NEXT_STATE[10]
+
+    def test_lps_path_flips_bit(self):
+        range_ = 400
+        range_lps = tables.LPS_RANGE_TABLE[10][(range_ >> 6) & 3]
+        value = range_ - 1  # >= temp_range -> LPS
+        new = decode_step(value, range_, 10, 1, 0, 0)
+        assert new[5] == 0  # bit == !mps
+        assert new[2] == tables.LPS_NEXT_STATE[10]
+
+    def test_lps_in_state0_flips_mps(self):
+        range_ = 400
+        value = range_ - 1
+        new = decode_step(value, range_, 0, 1, 0, 0)
+        assert new[3] == 0  # mps flipped (H.264 semantics)
+
+    def test_lps_in_nonzero_state_keeps_mps(self):
+        range_ = 400
+        value = range_ - 1
+        new = decode_step(value, range_, 20, 1, 0, 0)
+        assert new[3] == 1

@@ -1,0 +1,73 @@
+"""Structural invariants of the H.264 CABAC probability tables."""
+
+from repro.cabac import tables
+
+
+class TestLpsRangeTable:
+    def test_dimensions(self):
+        assert len(tables.LPS_RANGE_TABLE) == 64
+        assert all(len(row) == 4 for row in tables.LPS_RANGE_TABLE)
+
+    def test_rows_increase_with_range_quantile(self):
+        # Larger range quantiles get larger LPS sub-ranges.
+        for row in tables.LPS_RANGE_TABLE:
+            assert list(row) == sorted(row)
+
+    def test_columns_decrease_with_state(self):
+        # Higher state = more confident = smaller LPS range
+        # (monotone except for quantization plateaus).
+        for quant in range(4):
+            column = [row[quant] for row in tables.LPS_RANGE_TABLE]
+            for index in range(1, 63):
+                assert column[index] <= column[index - 1]
+
+    def test_terminating_state_row(self):
+        assert tables.LPS_RANGE_TABLE[63] == (2, 2, 2, 2)
+
+    def test_values_fit_9_bits(self):
+        for row in tables.LPS_RANGE_TABLE:
+            for value in row:
+                assert 0 < value < 512
+
+
+class TestTransitionTables:
+    def test_lengths(self):
+        assert len(tables.MPS_NEXT_STATE) == 64
+        assert len(tables.LPS_NEXT_STATE) == 64
+
+    def test_mps_increases_confidence(self):
+        for state in range(62):
+            assert tables.MPS_NEXT_STATE[state] == state + 1
+        assert tables.MPS_NEXT_STATE[62] == 62
+        assert tables.MPS_NEXT_STATE[63] == 63
+
+    def test_lps_decreases_confidence(self):
+        for state in range(1, 63):
+            assert tables.LPS_NEXT_STATE[state] <= state
+
+    def test_lps_state0_stays(self):
+        assert tables.LPS_NEXT_STATE[0] == 0
+
+    def test_terminating_state_absorbs(self):
+        assert tables.LPS_NEXT_STATE[63] == 63
+
+    def test_states_in_range(self):
+        for table in (tables.MPS_NEXT_STATE, tables.LPS_NEXT_STATE):
+            for value in table:
+                assert 0 <= value < 64
+
+
+class TestEngineConstants:
+    def test_initial_range(self):
+        assert tables.INITIAL_RANGE == 510
+
+    def test_renorm_threshold(self):
+        assert tables.RENORM_THRESHOLD == 256
+
+    def test_range_minus_lps_stays_positive(self):
+        # range - rangeLPS must remain positive for any reachable
+        # (state, range) pair: range >= 256 during decoding.
+        for state in range(64):
+            for range_value in range(256, 512):
+                lps = tables.LPS_RANGE_TABLE[state][(range_value >> 6) & 3]
+                assert range_value - lps > 0

@@ -1,0 +1,102 @@
+"""Tests of the configuration presets (Tables 1 and 6)."""
+
+import pytest
+
+from repro.core.config import (
+    CONFIG_A,
+    CONFIG_B,
+    CONFIG_C,
+    CONFIG_D,
+    EVALUATION_CONFIGS,
+    TM3260_CONFIG,
+    TM3270_CONFIG,
+    table6_characteristics,
+)
+from repro.mem.dcache import WriteMissPolicy
+from repro.mem.icache import ICacheMode
+
+
+class TestTable1:
+    def test_tm3270_caches(self):
+        config = TM3270_CONFIG
+        assert config.icache.size_bytes == 64 * 1024
+        assert config.icache.line_bytes == 128
+        assert config.icache.ways == 8
+        assert config.dcache.size_bytes == 128 * 1024
+        assert config.dcache.line_bytes == 128
+        assert config.dcache.ways == 4
+
+    def test_tm3270_policies(self):
+        assert TM3270_CONFIG.write_miss_policy is WriteMissPolicy.ALLOCATE
+        assert TM3270_CONFIG.icache_mode is ICacheMode.SEQUENTIAL
+        assert TM3270_CONFIG.prefetch_enabled
+
+    def test_architecture_summary(self):
+        summary = TM3270_CONFIG.architecture_summary()
+        assert "5 issue slot VLIW" in summary["Architecture"]
+        assert summary["Register-file"] == \
+            "Unified, 128 32-bit registers"
+        assert summary["Functional units"] == "31"
+        assert "128 Kbyte" in summary["Data cache"]
+        assert "allocate-on-write-miss" in summary["Data cache"]
+
+
+class TestTable6:
+    def test_frequencies(self):
+        assert TM3260_CONFIG.freq_mhz == 240.0
+        assert TM3270_CONFIG.freq_mhz == 350.0
+
+    def test_tm3260_cache_parameters(self):
+        config = TM3260_CONFIG
+        assert config.dcache.size_bytes == 16 * 1024
+        assert config.dcache.line_bytes == 64
+        assert config.dcache.ways == 8
+        assert config.write_miss_policy is WriteMissPolicy.FETCH
+        assert config.icache_mode is ICacheMode.PARALLEL
+
+    def test_target_differences(self):
+        assert TM3260_CONFIG.target.jump_delay_slots == 3
+        assert TM3270_CONFIG.target.jump_delay_slots == 5
+        assert TM3260_CONFIG.target.load_latency == 3
+        assert TM3270_CONFIG.target.load_latency == 4
+        assert TM3260_CONFIG.target.max_loads_per_instr == 2
+        assert TM3270_CONFIG.target.max_loads_per_instr == 1
+
+    def test_characteristics_rows(self):
+        rows = table6_characteristics()
+        features = [row[0] for row in rows]
+        assert features == ["Operating frequency", "Instruction cache",
+                            "Data cache"]
+        assert rows[0][1:] == ("240 MHz", "350 MHz")
+
+
+class TestEvaluationConfigs:
+    def test_four_configs(self):
+        assert tuple(c.name for c in EVALUATION_CONFIGS) == \
+            ("A", "B", "C", "D")
+
+    def test_a_is_tm3260(self):
+        assert CONFIG_A.target.name == "tm3260"
+        assert CONFIG_A.dcache == TM3260_CONFIG.dcache
+
+    def test_b_is_tm3270_core_small_cache(self):
+        # Section 6: "the TM3270, with TM3260 cache sizes and a
+        # TM3260 frequency of 240 MHz"; line size is the TM3270's
+        # doubled 128 bytes.
+        assert CONFIG_B.target.name == "tm3270"
+        assert CONFIG_B.freq_mhz == 240.0
+        assert CONFIG_B.dcache.size_bytes == 16 * 1024
+        assert CONFIG_B.dcache.line_bytes == 128
+
+    def test_c_is_b_at_350(self):
+        assert CONFIG_C.freq_mhz == 350.0
+        assert CONFIG_C.dcache == CONFIG_B.dcache
+
+    def test_d_is_tm3270(self):
+        assert CONFIG_D.dcache == TM3270_CONFIG.dcache
+        assert CONFIG_D.freq_mhz == 350.0
+
+    def test_with_overrides_is_pure(self):
+        modified = TM3270_CONFIG.with_overrides(freq_mhz=100.0)
+        assert modified.freq_mhz == 100.0
+        assert TM3270_CONFIG.freq_mhz == 350.0

@@ -1,0 +1,74 @@
+"""Tests of the pipeline structure model (Figures 4 and 5)."""
+
+from repro.asm.target import TM3260_TARGET, TM3270_TARGET
+from repro.core import pipeline
+from repro.isa.operations import REGISTRY, spec
+
+
+class TestDepths:
+    def test_table1_depth_range(self):
+        # Table 1: "Pipeline depth: 7-12 stages".
+        assert pipeline.depth_range(TM3270_TARGET) == (7, 12)
+
+    def test_single_cycle_op_is_7_stages(self):
+        path = pipeline.stage_path(spec("iadd"))
+        assert path.stages == ("I1", "I2", "I3", "P", "D", "X1", "W")
+
+    def test_collapsed_load_is_12_stages(self):
+        # Figure 5: LD_FRAC8 produces its result in X6.
+        path = pipeline.stage_path(spec("ld_frac8"))
+        assert path.depth == 12
+        assert path.stages[-3:] == ("X5", "X6", "W")
+
+    def test_plain_load_produces_in_x4(self):
+        # Section 4.2: "Normal load operations have a 4-cycle latency
+        # and produce a result in stage X4."
+        path = pipeline.stage_path(spec("ld32"))
+        assert path.stages[-2] == "X4"
+
+    def test_store_skips_writeback(self):
+        path = pipeline.stage_path(spec("st32d"))
+        assert "W" not in path.stages
+        assert path.stages[-1] == "X4"
+
+    def test_tm3260_load_produces_in_x3(self):
+        path = pipeline.stage_path(spec("ld32"), TM3260_TARGET)
+        assert path.stages[-2] == "X3"
+
+
+class TestDelaySlots:
+    def test_tm3270_five_delay_slots_from_structure(self):
+        # Section 3: delay slots reflect "the pipeline distance from
+        # the first stage of instruction retrieval (I1) to the X1
+        # stage" — I1 I2 I3 P D = 5.
+        assert pipeline.jump_delay_slots(TM3270_TARGET) == 5
+        assert pipeline.jump_delay_slots(TM3270_TARGET) == \
+            TM3270_TARGET.jump_delay_slots
+
+    def test_tm3260_three_delay_slots(self):
+        assert pipeline.jump_delay_slots(TM3260_TARGET) == 3
+
+
+class TestStructure:
+    def test_lsu_stage_roles(self):
+        assert "address" in pipeline.LSU_STAGE_ROLES["X1"]
+        assert "arbitration" in pipeline.LSU_STAGE_ROLES["X2"]
+        assert "SRAM" in pipeline.LSU_STAGE_ROLES["X3"]
+        assert "filter" in pipeline.LSU_STAGE_ROLES["X5"]
+
+    def test_instruction_buffer(self):
+        assert pipeline.INSTRUCTION_BUFFER_ENTRIES == 4
+        assert pipeline.FETCH_BYTES_PER_CYCLE == 32
+
+    def test_describe_mentions_depth(self):
+        text = pipeline.describe(TM3270_TARGET)
+        assert "7-12 stages" in text
+        assert "5 slots" in text
+
+    def test_every_supported_op_has_a_path(self):
+        for op_spec in REGISTRY:
+            if op_spec.is_jump:
+                continue
+            path = pipeline.stage_path(op_spec)
+            assert path.stages[0] == "I1"
+            assert 6 <= path.depth <= 12

@@ -1,0 +1,150 @@
+"""Tests of the power and area models against Table 4."""
+
+import pytest
+
+from repro.core.area import (
+    REGFILE_MM2_PER_BIT_PORT,
+    area_breakdown,
+    regfile_area,
+)
+from repro.core.config import TM3260_CONFIG, TM3270_CONFIG
+from repro.core.power import (
+    NOMINAL_VOLTAGE,
+    TABLE4_POWER_MW_PER_MHZ,
+    PowerModel,
+    activity_from_stats,
+    voltage_scaled_total,
+)
+from repro.core.stats import RunStats
+from repro.eval.mp3 import run_mp3_proxy
+
+
+@pytest.fixture(scope="module")
+def mp3_stats():
+    return run_mp3_proxy(TM3270_CONFIG)
+
+
+class TestPowerCalibration:
+    def test_table4_rows_reproduced(self, mp3_stats):
+        breakdown = PowerModel().breakdown(mp3_stats)
+        rows = dict(breakdown.as_rows())
+        for module, target in TABLE4_POWER_MW_PER_MHZ.items():
+            assert rows[module] == pytest.approx(target, rel=0.02), module
+
+    def test_paper_total_note(self, mp3_stats):
+        # The paper's stated total (0.935) does not equal the sum of
+        # its own rows (0.999); our total is the true row sum.
+        breakdown = PowerModel().breakdown(mp3_stats)
+        assert breakdown.total == pytest.approx(
+            sum(TABLE4_POWER_MW_PER_MHZ.values()), rel=0.02)
+
+    def test_cpi_near_one(self, mp3_stats):
+        # Section 5.2: "CPI close to 1.0".
+        assert mp3_stats.cpi < 1.1
+
+    def test_opi_high(self, mp3_stats):
+        # Section 5.2 quotes OPI ~4.5; our proxy reaches >3 (see
+        # EXPERIMENTS.md for the deviation discussion).
+        assert mp3_stats.opi > 3.0
+
+
+class TestVoltageScaling:
+    def test_quadratic_law(self):
+        # Section 5.2: 0.935 * (0.8^2 / 1.2^2) = 0.415 mW/MHz.
+        assert voltage_scaled_total(0.935, 0.8) == pytest.approx(
+            0.415, abs=0.001)
+
+    def test_breakdown_scales_quadratically(self, mp3_stats):
+        model = PowerModel()
+        at_12 = model.breakdown(mp3_stats, voltage=1.2)
+        at_08 = model.breakdown(mp3_stats, voltage=0.8)
+        assert at_08.total == pytest.approx(
+            at_12.total * (0.8 / 1.2) ** 2)
+
+    def test_mp3_absolute_power(self, mp3_stats):
+        # Section 5.2: ~3.32 mW for MP3 decoding at 8 MHz, 0.8 V.
+        milliwatts = PowerModel().mp3_decode_milliwatts(
+            mp3_stats, freq_mhz=8.0, voltage=0.8)
+        assert 2.5 < milliwatts < 4.5
+
+
+class TestClockGating:
+    def _stats_with_cpi(self, base: RunStats, cpi: float) -> RunStats:
+        stalled = RunStats(
+            config_name=base.config_name,
+            program_name=base.program_name,
+            freq_mhz=base.freq_mhz,
+            instructions=base.instructions,
+            cycles=int(base.instructions * cpi),
+            ops_issued=base.ops_issued,
+            ops_executed=base.ops_executed,
+            regfile_reads=base.regfile_reads,
+            regfile_writes=base.regfile_writes,
+            guard_reads=base.guard_reads,
+            code_bytes_fetched=base.code_bytes_fetched,
+        )
+        stalled.dcache = base.dcache
+        stalled.icache = base.icache
+        stalled.biu = base.biu
+        return stalled
+
+    def test_higher_cpi_lower_mw_per_mhz(self, mp3_stats):
+        # Section 5.2: "As the amount of stall cycles increases
+        # (larger CPI), the mW/MHz number decreases."
+        model = PowerModel()
+        base = model.breakdown(mp3_stats).total
+        stalled = model.breakdown(
+            self._stats_with_cpi(mp3_stats, 3.0)).total
+        assert stalled < base
+
+    def test_activity_extraction(self, mp3_stats):
+        activity = activity_from_stats(mp3_stats)
+        assert activity.decode_ops == pytest.approx(
+            mp3_stats.ops_executed / mp3_stats.cycles)
+        assert activity.execute_ops == activity.decode_ops
+
+
+class TestAreaModel:
+    def test_table4_totals(self):
+        breakdown = area_breakdown(TM3270_CONFIG)
+        assert breakdown.total == pytest.approx(8.08, abs=0.02)
+
+    def test_table4_rows(self):
+        rows = dict(area_breakdown(TM3270_CONFIG).as_rows())
+        paper = {"IFU": 1.46, "Decode": 0.05, "Regfile": 0.97,
+                 "Execute": 1.53, "LS": 3.60, "BIU": 0.24, "MMIO": 0.23}
+        for module, value in paper.items():
+            assert rows[module] == pytest.approx(value, abs=0.02), module
+
+    def test_srams_are_half_the_area(self):
+        # Section 5.1: cache SRAMs "constitute roughly 50% of the
+        # overall area".
+        breakdown = area_breakdown(TM3270_CONFIG)
+        sram = (64 + 128) * (4.04 / 192.0)
+        assert sram / breakdown.total == pytest.approx(0.5, abs=0.02)
+
+    def test_ls_is_largest_module(self):
+        breakdown = area_breakdown(TM3270_CONFIG)
+        rows = dict(breakdown.as_rows())
+        del rows["Total"]
+        assert max(rows, key=rows.get) == "LS"
+
+    def test_smaller_dcache_shrinks_ls(self):
+        small = area_breakdown(TM3260_CONFIG)
+        large = area_breakdown(TM3270_CONFIG)
+        assert small.load_store < large.load_store
+
+    def test_regfile_port_scaling(self):
+        # The paper blames the regfile's size on its 15R/5W ports.
+        full = regfile_area()
+        narrow = regfile_area(read_ports=6, write_ports=2)
+        assert narrow < full / 2
+
+    def test_regfile_formula(self):
+        assert regfile_area() == pytest.approx(
+            128 * 32 * 20 * REGFILE_MM2_PER_BIT_PORT)
+
+    def test_no_new_ops_smaller_execute(self):
+        tm3260 = area_breakdown(TM3260_CONFIG)
+        tm3270 = area_breakdown(TM3270_CONFIG)
+        assert tm3260.execute < tm3270.execute

@@ -1,0 +1,132 @@
+"""Tests of the cycle-level processor model."""
+
+import pytest
+
+from repro.asm.builder import ProgramBuilder
+from repro.asm.link import compile_program
+from repro.core.config import (
+    CONFIG_A,
+    CONFIG_B,
+    TM3260_CONFIG,
+    TM3270_CONFIG,
+)
+from repro.core.executor import MMIO_BASE
+from repro.core.processor import Processor, run_kernel
+from repro.kernels.common import args_for
+from repro.mem.flatmem import FlatMemory
+
+
+def store_loop(n_stores=32, stride=4):
+    builder = ProgramBuilder("stores")
+    (dst, count) = builder.params("dst", "count")
+    value = builder.const32(0xAB)
+    end = builder.counted_loop(count, "body")
+    builder.emit("st32d", srcs=(dst, value), imm=0)
+    builder.emit_into(dst, "iaddi", srcs=(dst,), imm=stride)
+    end()
+    return builder.finish()
+
+
+class TestBasics:
+    def test_cpi_at_least_one(self):
+        linked = compile_program(store_loop(), TM3270_CONFIG.target)
+        result = run_kernel(linked, TM3270_CONFIG,
+                            args=args_for(0x1000, 16),
+                            memory_size=1 << 16)
+        assert result.stats.cycles >= result.stats.instructions
+
+    def test_wrong_target_rejected(self):
+        # Section 2: binary compatibility is not guaranteed.
+        linked = compile_program(store_loop(), TM3260_CONFIG.target)
+        with pytest.raises(ValueError):
+            run_kernel(linked, TM3270_CONFIG, args=args_for(0x1000, 4))
+
+    def test_stats_identify_run(self):
+        linked = compile_program(store_loop(), TM3270_CONFIG.target)
+        result = run_kernel(linked, TM3270_CONFIG,
+                            args=args_for(0x1000, 4),
+                            memory_size=1 << 16)
+        assert result.stats.program_name == "stores"
+        assert result.stats.config_name == "TM3270"
+        assert result.stats.freq_mhz == 350.0
+
+    def test_seconds_scale_with_frequency(self):
+        linked_d = compile_program(store_loop(), CONFIG_B.target)
+        result = run_kernel(linked_d, CONFIG_B, args=args_for(0x1000, 4),
+                            memory_size=1 << 16)
+        expected = result.stats.cycles / (240.0 * 1e6)
+        assert result.stats.seconds == pytest.approx(expected)
+
+
+class TestStallAccounting:
+    def test_write_policy_changes_stalls(self):
+        program = store_loop()
+        stalls = {}
+        for config in (CONFIG_A, CONFIG_B):
+            linked = compile_program(program, config.target)
+            result = run_kernel(linked, config, args=args_for(0x1000, 64),
+                                memory_size=1 << 16)
+            stalls[config.name] = result.stats.dcache_stall_cycles
+        # A fetches on write miss (stalls); B allocates (no stalls).
+        assert stalls["A"] > 0
+        assert stalls["B"] == 0
+
+    def test_cycles_are_instructions_plus_stalls(self):
+        linked = compile_program(store_loop(), CONFIG_A.target)
+        result = run_kernel(linked, CONFIG_A, args=args_for(0x1000, 64),
+                            memory_size=1 << 16)
+        stats = result.stats
+        assert stats.cycles == stats.instructions + stats.stall_cycles
+
+    def test_cold_code_stalls_icache(self):
+        builder = ProgramBuilder("straight")
+        for _ in range(64):
+            builder.emit("iadd", srcs=(builder.zero, builder.one))
+        linked = compile_program(builder.finish(), TM3270_CONFIG.target)
+        processor = Processor(TM3270_CONFIG, memory_size=1 << 14)
+        result = processor.run(linked, warm_code=False)
+        assert result.stats.icache_stall_cycles > 0
+
+    def test_warm_code_no_icache_stalls(self):
+        builder = ProgramBuilder("straight")
+        for _ in range(64):
+            builder.emit("iadd", srcs=(builder.zero, builder.one))
+        linked = compile_program(builder.finish(), TM3270_CONFIG.target)
+        processor = Processor(TM3270_CONFIG, memory_size=1 << 14)
+        result = processor.run(linked, warm_code=True)
+        assert result.stats.icache_stall_cycles == 0
+
+
+class TestMmio:
+    def test_prefetch_regions_programmable_from_code(self):
+        builder = ProgramBuilder("pfsetup")
+        from repro.kernels.common import emit_prefetch_region_setup
+        emit_prefetch_region_setup(builder, 1, 0x4000, 0x8000, 1024)
+        linked = compile_program(builder.finish(), TM3270_CONFIG.target)
+        processor = Processor(TM3270_CONFIG, memory_size=1 << 16)
+        result = processor.run(linked)
+        region = processor.prefetcher.regions[1]
+        assert (region.start, region.end, region.stride) == \
+            (0x4000, 0x8000, 1024)
+        assert result.stats.mmio_accesses == 3
+
+    def test_mmio_not_counted_as_dcache_traffic(self):
+        builder = ProgramBuilder("pf")
+        base = builder.const32(MMIO_BASE)
+        builder.emit("st32d", srcs=(base, builder.one), imm=0)
+        linked = compile_program(builder.finish(), TM3270_CONFIG.target)
+        processor = Processor(TM3270_CONFIG, memory_size=1 << 14)
+        result = processor.run(linked)
+        assert result.stats.dcache.accesses == 0
+        assert result.stats.mmio_accesses == 1
+
+
+class TestRegisterResults:
+    def test_final_register_state_visible(self):
+        builder = ProgramBuilder("sum")
+        (a, b) = builder.params("a", "b")
+        builder.emit_into(a, "iadd", srcs=(a, b))
+        linked = compile_program(builder.finish(), TM3270_CONFIG.target)
+        result = run_kernel(linked, TM3270_CONFIG, args=args_for(30, 12),
+                            memory_size=1 << 12)
+        assert result.reg(10) == 42

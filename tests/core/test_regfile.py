@@ -1,0 +1,118 @@
+"""Tests of the register file's exposed-pipeline write timing."""
+
+import pytest
+
+from repro.core.regfile import NUM_REGS, RegisterFile, TimingViolation
+
+
+class TestConstants:
+    def test_r0_is_zero(self):
+        assert RegisterFile().read(0, now=0) == 0
+
+    def test_r1_is_one(self):
+        assert RegisterFile().read(1, now=0) == 1
+
+    def test_writes_to_constants_rejected(self):
+        regfile = RegisterFile()
+        with pytest.raises(ValueError):
+            regfile.schedule_write(0, 5, now=0, latency=1)
+        with pytest.raises(ValueError):
+            regfile.schedule_write(1, 5, now=0, latency=1)
+        with pytest.raises(ValueError):
+            regfile.poke(0, 5)
+
+    def test_128_registers(self):
+        regfile = RegisterFile()
+        regfile.schedule_write(NUM_REGS - 1, 7, now=0, latency=1)
+        with pytest.raises(ValueError):
+            regfile.schedule_write(NUM_REGS, 7, now=0, latency=1)
+
+
+class TestWriteTiming:
+    def test_write_lands_after_latency(self):
+        regfile = RegisterFile()
+        regfile.schedule_write(10, 42, now=0, latency=3)
+        regfile.commit_until(2)
+        assert regfile.peek(10) == 0  # not yet
+        regfile.commit_until(3)
+        assert regfile.peek(10) == 42
+
+    def test_old_value_readable_before_landing(self):
+        regfile = RegisterFile()
+        regfile.poke(10, 7)
+        regfile.schedule_write(10, 42, now=0, latency=3)
+        # Same-cycle read sees the old value (exposed pipeline).
+        assert regfile.read(10, now=0) == 7
+
+    def test_read_too_early_raises_in_strict_mode(self):
+        regfile = RegisterFile(strict=True)
+        regfile.schedule_write(10, 42, now=0, latency=4)
+        regfile.commit_until(2)
+        with pytest.raises(TimingViolation):
+            regfile.read(10, now=2)
+
+    def test_guard_read_too_early_raises(self):
+        regfile = RegisterFile(strict=True)
+        regfile.schedule_write(10, 1, now=0, latency=4)
+        with pytest.raises(TimingViolation):
+            regfile.read_guard(10, now=2)
+
+    def test_same_cycle_redefine_allowed(self):
+        # Anti-dependences of weight 0: a redefinition may issue on
+        # the same cycle as a reader of the old value.
+        regfile = RegisterFile(strict=True)
+        regfile.schedule_write(10, 42, now=5, latency=1)
+        assert regfile.read(10, now=5) == 0
+
+    def test_read_after_landing_ok(self):
+        regfile = RegisterFile(strict=True)
+        regfile.schedule_write(10, 42, now=0, latency=4)
+        regfile.commit_until(4)
+        assert regfile.read(10, now=4) == 42
+
+    def test_lenient_mode_never_raises(self):
+        regfile = RegisterFile(strict=False)
+        regfile.schedule_write(10, 42, now=0, latency=4)
+        assert regfile.read(10, now=2) == 0
+
+    def test_multiple_pending_ordered_by_due(self):
+        regfile = RegisterFile(strict=False)
+        regfile.schedule_write(10, 1, now=0, latency=6)
+        regfile.schedule_write(10, 2, now=3, latency=1)
+        regfile.commit_until(4)
+        assert regfile.peek(10) == 2
+        regfile.commit_until(6)
+        assert regfile.peek(10) == 1  # later-landing write wins
+
+    def test_settle(self):
+        regfile = RegisterFile()
+        regfile.schedule_write(10, 9, now=0, latency=100)
+        regfile.settle()
+        assert regfile.peek(10) == 9
+
+    def test_guard_reads_lsb(self):
+        regfile = RegisterFile()
+        regfile.poke(10, 0xFE)
+        assert regfile.read_guard(10, now=0) == 0
+        regfile.poke(10, 0xFF)
+        assert regfile.read_guard(10, now=0) == 1
+
+
+class TestStatistics:
+    def test_port_counters(self):
+        regfile = RegisterFile()
+        regfile.read(2, 0)
+        regfile.read(3, 0)
+        regfile.read_guard(1, 0)
+        regfile.schedule_write(10, 1, 0, 1)
+        assert regfile.reads == 2
+        assert regfile.guard_reads == 1
+        assert regfile.writes == 1
+
+    def test_values_masked_to_32_bits(self):
+        regfile = RegisterFile()
+        regfile.schedule_write(10, 1 << 40, now=0, latency=1)
+        regfile.settle()
+        assert regfile.peek(10) == 0
+        regfile.poke(11, -1)
+        assert regfile.peek(11) == 0xFFFFFFFF

@@ -1,0 +1,108 @@
+"""Small-surface tests: RunStats derivations, summaries, misc."""
+
+import pytest
+
+from repro.core.stats import RunStats
+from repro.isa.operations import FU
+
+
+def make_stats(**overrides):
+    defaults = dict(
+        config_name="TM3270",
+        program_name="demo",
+        freq_mhz=350.0,
+        instructions=1000,
+        cycles=1500,
+        ops_issued=3000,
+        ops_executed=2800,
+        dcache_stall_cycles=400,
+        icache_stall_cycles=100,
+    )
+    defaults.update(overrides)
+    return RunStats(**defaults)
+
+
+class TestDerivedMetrics:
+    def test_cpi(self):
+        assert make_stats().cpi == 1.5
+
+    def test_opi_counts_executed_ops(self):
+        assert make_stats().opi == 2.8
+
+    def test_stall_accounting(self):
+        stats = make_stats()
+        assert stats.stall_cycles == 500
+        assert stats.stall_fraction == pytest.approx(500 / 1500)
+
+    def test_seconds(self):
+        stats = make_stats()
+        assert stats.seconds == pytest.approx(1500 / 350e6)
+
+    def test_empty_run_is_safe(self):
+        empty = RunStats()
+        assert empty.cpi == 0.0
+        assert empty.opi == 0.0
+        assert empty.seconds == 0.0
+        assert empty.stall_fraction == 0.0
+
+    def test_fu_count_default(self):
+        assert make_stats().fu_count(FU.ALU) == 0
+        stats = make_stats(fu_counts={FU.ALU: 7})
+        assert stats.fu_count(FU.ALU) == 7
+
+    def test_summary_mentions_key_numbers(self):
+        text = make_stats().summary()
+        assert "demo on TM3270" in text
+        assert "1000 VLIW instructions" in text
+        assert "CPI 1.50" in text
+        assert "350 MHz" in text
+
+
+class TestAreaPowerEdges:
+    def test_power_breakdown_rows_ordered(self):
+        from repro.core.power import PowerBreakdown
+
+        breakdown = PowerBreakdown(
+            ifu=0.1, decode=0.2, regfile=0.3, execute=0.4,
+            load_store=0.5, biu=0.6, mmio=0.7)
+        rows = breakdown.as_rows()
+        assert [row[0] for row in rows] == [
+            "IFU", "Decode", "Regfile", "Execute", "LS", "BIU",
+            "MMIO", "Total"]
+        assert rows[-1][1] == pytest.approx(2.8)
+
+    def test_milliwatts(self):
+        from repro.core.power import PowerBreakdown
+
+        breakdown = PowerBreakdown(
+            ifu=0.5, decode=0, regfile=0, execute=0,
+            load_store=0.5, biu=0, mmio=0)
+        assert breakdown.milliwatts(100.0) == pytest.approx(100.0)
+
+    def test_area_rows_ordered(self):
+        from repro.core.area import area_breakdown
+        from repro.core.config import TM3270_CONFIG
+
+        rows = area_breakdown(TM3270_CONFIG).as_rows()
+        assert rows[-1][0] == "Total"
+        assert rows[-1][1] == pytest.approx(
+            sum(value for _name, value in rows[:-1]))
+
+
+class TestFloorplan:
+    def test_render_scales_with_config(self):
+        from repro.core.config import TM3260_CONFIG, TM3270_CONFIG
+        from repro.eval.fig6 import render_floorplan
+
+        tm3270 = render_floorplan(TM3270_CONFIG)
+        tm3260 = render_floorplan(TM3260_CONFIG)
+        assert "8.08 mm2" in tm3270
+        assert "8.08 mm2" not in tm3260  # smaller D$ -> smaller die
+
+    def test_all_modules_present(self):
+        from repro.eval.fig6 import render_floorplan
+
+        text = render_floorplan()
+        for module in ("LS", "IFU", "Execute", "Regfile", "BIU",
+                       "MMIO", "Decode"):
+            assert module in text

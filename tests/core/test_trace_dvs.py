@@ -1,0 +1,160 @@
+"""Tests of the profiling tooling and the DVS governor."""
+
+import pytest
+
+from repro.asm.builder import ProgramBuilder
+from repro.asm.link import compile_program
+from repro.core import dvs, trace
+from repro.core.config import TM3270_CONFIG
+from repro.core.processor import run_kernel
+from repro.isa.operations import FU
+from repro.kernels.common import args_for
+
+
+@pytest.fixture(scope="module")
+def compiled_run():
+    builder = ProgramBuilder("profiled")
+    (dst, count) = builder.params("dst", "count")
+    value = builder.const32(0x55AA55AA)
+    end = builder.counted_loop(count, "loop")
+    doubled = builder.emit("asli", srcs=(value,), imm=1)
+    total = builder.emit("iadd", srcs=(doubled, value))
+    builder.emit("st32d", srcs=(dst, total), imm=0)
+    builder.emit_into(dst, "iaddi", srcs=(dst,), imm=4)
+    end()
+    linked = compile_program(builder.finish(), TM3270_CONFIG.target)
+    result = run_kernel(linked, TM3270_CONFIG,
+                        args=args_for(0x1000, 200),
+                        memory_size=1 << 16)
+    return linked, result.stats
+
+
+class TestSlotProfile:
+    def test_widths_sum_to_instructions(self, compiled_run):
+        linked, _stats = compiled_run
+        profile = trace.profile_program(linked)
+        assert sum(profile.width_histogram.values()) == \
+            profile.instructions
+
+    def test_mean_width_matches_ops(self, compiled_run):
+        linked, _stats = compiled_run
+        profile = trace.profile_program(linked)
+        assert profile.mean_width == pytest.approx(
+            linked.operation_count / linked.instruction_count)
+
+    def test_slot_utilization_bounded(self, compiled_run):
+        linked, _stats = compiled_run
+        profile = trace.profile_program(linked)
+        for slot in range(1, 6):
+            assert 0.0 <= profile.slot_utilization(slot) <= 1.0
+
+    def test_store_slots_used(self, compiled_run):
+        linked, _stats = compiled_run
+        profile = trace.profile_program(linked)
+        assert (profile.slot_counts.get(4, 0)
+                + profile.slot_counts.get(5, 0)) > 0
+
+    def test_two_slot_counts_both_slots(self):
+        builder = ProgramBuilder("super")
+        (base,) = builder.params("base")
+        builder.emit("super_ld32r", srcs=(base, builder.zero))
+        linked = compile_program(builder.finish(), TM3270_CONFIG.target)
+        profile = trace.profile_program(linked)
+        assert profile.slot_counts.get(4, 0) == 1
+        assert profile.slot_counts.get(5, 0) == 1
+
+    def test_fu_pressure(self, compiled_run):
+        linked, _stats = compiled_run
+        profile = trace.profile_program(linked)
+        assert profile.fu_pressure(FU.LOADSTORE) > 0
+
+
+class TestUtilization:
+    def test_report_fields(self, compiled_run):
+        _linked, stats = compiled_run
+        report = trace.utilization(stats)
+        assert report.cpi >= 1.0
+        assert 0 <= report.nullification_rate < 1
+        assert report.issue_rate <= 5.0
+        assert abs(report.dcache_stall_share
+                   + report.icache_stall_share - 1.0) < 1e-9 \
+            or stats.stall_cycles == 0
+
+    def test_format_contains_key_lines(self, compiled_run):
+        linked, stats = compiled_run
+        text = trace.format_profile(linked, stats)
+        assert "slot utilization" in text
+        assert "dynamic OPI / CPI" in text
+        assert "stall cycles" in text
+
+
+class TestOperatingCurve:
+    def test_anchors(self):
+        assert dvs.max_frequency_mhz(1.2) == 350.0
+        assert dvs.max_frequency_mhz(0.8) == 175.0
+
+    def test_monotone(self):
+        assert dvs.max_frequency_mhz(1.0) < dvs.max_frequency_mhz(1.1)
+
+    def test_out_of_window_rejected(self):
+        with pytest.raises(ValueError):
+            dvs.max_frequency_mhz(0.5)
+        with pytest.raises(ValueError):
+            dvs.max_frequency_mhz(1.5)
+
+    def test_inverse_consistency(self):
+        for freq in (175.0, 200.0, 300.0, 350.0):
+            voltage = dvs.min_voltage_for(freq)
+            assert dvs.max_frequency_mhz(voltage) >= freq - 1e-9
+
+    def test_low_frequencies_at_vmin(self):
+        assert dvs.min_voltage_for(50.0) == dvs.VOLTAGE_MIN
+
+
+class TestGovernor:
+    def test_light_load_drops_to_vmin(self):
+        governor = dvs.DvsGovernor()
+        # 8 MHz-equivalent load (the paper's MP3 example) at 60 Hz.
+        point = governor.select(cycles_per_frame=8_000_000 // 60,
+                                frames_per_second=60)
+        assert point.voltage == dvs.VOLTAGE_MIN
+        assert point.utilization < 0.1
+
+    def test_heavy_load_needs_full_voltage(self):
+        governor = dvs.DvsGovernor(margin=0.0)
+        point = governor.select(cycles_per_frame=340_000_000 // 60,
+                                frames_per_second=60)
+        assert point.voltage > 1.1
+
+    def test_impossible_load_rejected(self):
+        governor = dvs.DvsGovernor()
+        with pytest.raises(ValueError):
+            governor.select(cycles_per_frame=400_000_000 // 60,
+                            frames_per_second=60)
+
+    def test_energy_saving_quadratic(self):
+        governor = dvs.DvsGovernor()
+        point = governor.select(cycles_per_frame=1_000_000 // 60,
+                                frames_per_second=60)
+        expected = 1.0 - (dvs.VOLTAGE_MIN / dvs.VOLTAGE_MAX) ** 2
+        assert dvs.energy_saving(point) == pytest.approx(expected)
+
+    def test_select_for_run(self, compiled_run):
+        _linked, stats = compiled_run
+        governor = dvs.DvsGovernor()
+        point = governor.select_for_run(stats, frames_per_run=1,
+                                        frames_per_second=60)
+        assert point.voltage == dvs.VOLTAGE_MIN  # tiny kernel
+
+    def test_margin_validated(self):
+        with pytest.raises(ValueError):
+            dvs.DvsGovernor(margin=1.5)
+
+    def test_deadline_met(self):
+        governor = dvs.DvsGovernor(margin=0.1)
+        cycles = 2_000_000
+        fps = 50
+        point = governor.select(cycles, fps)
+        frame_time = 1.0 / fps
+        busy_time = cycles / (point.freq_mhz * 1e6)
+        assert busy_time <= frame_time

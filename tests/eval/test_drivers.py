@@ -1,0 +1,106 @@
+"""Smoke tests of the experiment drivers (small scales).
+
+The benchmarks run the full-size experiments; these tests exercise the
+same driver code paths quickly and assert their structural outputs.
+"""
+
+import pytest
+
+from repro.core.config import CONFIG_A, CONFIG_D
+from repro.eval import fig1, fig3, fig7, table3, table4
+from repro.eval.ablations import (
+    collapsed_load_ablation,
+    two_slot_ablation,
+    write_policy_ablation,
+)
+from repro.eval.reporting import format_table
+from repro.kernels.registry import kernel_by_name
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table("T", ["a", "bb"], [[1, 2.5], [30, 4.25]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "2.500" in text
+        # All data lines share one width.
+        widths = {len(line) for line in lines[2:-1]}
+        assert len(widths) == 1
+
+    def test_precision(self):
+        text = format_table("T", ["x"], [[1.23456]], precision=1)
+        assert "1.2" in text
+
+
+class TestFig1Driver:
+    def test_rows_and_formatting(self):
+        rows = fig1.run_fig1()
+        assert len(rows) == 11
+        text = fig1.format_fig1(rows)
+        assert "total" in text
+        for row in rows:
+            assert row.roundtrip_ok
+
+
+class TestTable3Driver:
+    def test_small_scale(self):
+        rows = table3.run_table3(scale=0.004)
+        assert [row.field_type for row in rows] == ["I", "P", "B"]
+        for row in rows:
+            assert row.speedup > 1.0
+        text = table3.format_table3(rows)
+        assert "paper speedup" in text
+
+
+class TestFig3Driver:
+    def test_single_point(self):
+        without = fig3.run_point(work=8, prefetch=False)
+        with_pf = fig3.run_point(work=8, prefetch=True)
+        assert without.result_ok and with_pf.result_ok
+        assert with_pf.dcache_stalls < without.dcache_stalls
+        text = fig3.format_fig3([(without, with_pf)])
+        assert "stalls removed" in text
+
+
+class TestFig7Driver:
+    def test_subset(self):
+        rows = fig7.run_fig7(
+            configs=(CONFIG_A, CONFIG_D),
+            kernels=(kernel_by_name("memset"),
+                     kernel_by_name("majority_sel")))
+        assert len(rows) == 2
+        for row in rows:
+            assert row.relative("D") > 1.0
+        assert fig7.geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_average_gain(self):
+        rows = fig7.run_fig7(
+            configs=(CONFIG_A, CONFIG_D),
+            kernels=(kernel_by_name("memset"),))
+        assert fig7.average_gain(rows, "D") == \
+            rows[0].relative("D")
+
+
+class TestTable4Driver:
+    def test_full(self):
+        result = table4.run_table4()
+        assert result.area.total == pytest.approx(8.08, abs=0.05)
+        assert result.power_12v.total > result.power_08v.total
+        text = table4.format_table4(result)
+        assert "MP3 decoding" in text
+        assert "0.415" in text
+
+
+class TestAblationDrivers:
+    def test_write_policy(self):
+        comparison = write_policy_ablation("memset")
+        assert comparison.speedup > 1.0
+
+    def test_two_slot(self):
+        comparison = two_slot_ablation(nbytes=4096)
+        assert comparison.stats_b.instructions < \
+            comparison.stats_a.instructions
+
+    def test_collapsed_load(self):
+        comparison = collapsed_load_ablation()
+        assert comparison.speedup > 2.0

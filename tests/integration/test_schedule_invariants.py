@@ -1,0 +1,118 @@
+"""Schedule-validity property tests.
+
+The differential tests check end results; these check the *schedule
+itself*: for randomly generated blocks, every constraint the exposed
+pipeline imposes must hold row by row — flow-dependence latencies,
+slot legality, per-instruction memory-port limits, two-slot adjacency,
+and delay-slot placement.  A latent scheduler bug that happens not to
+corrupt results (e.g. a wasted slot or an illegal co-issue the
+executor tolerates) is caught here.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asm.builder import ProgramBuilder
+from repro.asm.scheduler import compute_global_defs, schedule_program
+from repro.asm.target import TM3260_TARGET, TM3270_TARGET
+
+OPS_POOL = [
+    ("iadd", 2), ("isub", 2), ("imul", 2), ("ifir16", 2),
+    ("dspidualadd", 2), ("quadavg", 2), ("asl", 2), ("ume8uu", 2),
+    ("mov", 1), ("bitinv", 1), ("sex16", 1), ("dspiabs", 1),
+]
+
+
+def random_program(seed: int):
+    rng = random.Random(seed)
+    builder = ProgramBuilder(f"sched_{seed}")
+    base, count = builder.params("base", "count")
+    live = [base, builder.zero, builder.one]
+    end = builder.counted_loop(count, "loop")
+    for _ in range(rng.randrange(3, 40)):
+        choice = rng.random()
+        if choice < 0.2:
+            live.append(builder.emit(
+                "ld32d", srcs=(base,), imm=4 * rng.randrange(8),
+                alias="in" if rng.random() < 0.5 else None))
+        elif choice < 0.3:
+            builder.emit("st32d", srcs=(base, rng.choice(live)),
+                         imm=32 + 4 * rng.randrange(8),
+                         alias="out" if rng.random() < 0.5 else None)
+        else:
+            name, nsrc = rng.choice(OPS_POOL)
+            srcs = tuple(rng.choice(live) for _ in range(nsrc))
+            live.append(builder.emit(name, srcs=srcs))
+    end()
+    return builder.finish()
+
+
+def check_schedule(program, target):
+    global_defs = compute_global_defs(program)
+    scheduled = schedule_program(program, target)
+    for sblock in scheduled.blocks:
+        ready_at = {}          # vreg -> absolute row when readable
+        store_rows = []
+        block_len = len(sblock.rows)
+        for row_index, row in enumerate(sblock.rows):
+            loads = stores = 0
+            used_slots = set()
+            for slot, vop in row.items():
+                spec = vop.spec
+                # Slot legality.
+                assert slot in target.allowed_slots(spec), \
+                    (vop.name, slot)
+                occupied = {slot, slot + 1} if spec.two_slot else {slot}
+                assert not (occupied & used_slots), (vop.name, slot)
+                used_slots |= occupied
+                # Operand readiness (exposed-pipeline latency).
+                for reg in vop.reads():
+                    if reg in ready_at:
+                        assert row_index >= ready_at[reg], \
+                            f"{vop.name} reads v{reg} too early"
+                if spec.is_load:
+                    loads += 1
+                if spec.is_store:
+                    stores += 1
+            assert loads <= target.max_loads_per_instr
+            assert stores <= target.max_stores_per_instr
+            assert loads + stores <= target.max_mem_per_instr
+            for slot, vop in row.items():
+                latency = target.latency_of(vop.spec)
+                for reg in vop.dsts:
+                    ready_at[reg] = row_index + latency
+        # Values live across the block completed before its end.
+        for row_index, row in enumerate(sblock.rows):
+            for vop in row.values():
+                if vop.spec.is_jump:
+                    continue
+                for reg in vop.dsts:
+                    if reg in global_defs:
+                        assert (row_index + target.latency_of(vop.spec)
+                                <= block_len), \
+                            f"global v{reg} lands after block end"
+        # Delay slots: the jump sits exactly delay+1 rows from the end.
+        if sblock.jump_row is not None:
+            assert block_len == (sblock.jump_row + 1
+                                 + target.jump_delay_slots)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(0, 100_000))
+def test_schedules_respect_all_constraints(seed):
+    program = random_program(seed)
+    for target in (TM3270_TARGET, TM3260_TARGET):
+        check_schedule(program, target)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 100_000))
+def test_all_operations_scheduled_exactly_once(seed):
+    program = random_program(seed)
+    for target in (TM3270_TARGET, TM3260_TARGET):
+        scheduled = schedule_program(program, target)
+        emitted = sum(len(row) for sblock in scheduled.blocks
+                      for row in sblock.rows)
+        assert emitted == program.op_count()

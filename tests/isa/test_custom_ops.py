@@ -1,0 +1,195 @@
+"""Table 2 bit-exactness tests for the TM3270's new operations."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cabac import tables
+from repro.cabac.reference import decode_step
+from repro.isa import REGISTRY, simd
+
+words = st.integers(min_value=0, max_value=0xFFFFFFFF)
+s16s = st.integers(min_value=-(1 << 15), max_value=(1 << 15) - 1)
+bytes8 = st.integers(min_value=0, max_value=255)
+
+
+class FakeMem:
+    def __init__(self, data=b""):
+        self.data = bytearray(data or bytes(64))
+        self.guard_value = 1
+
+    def load(self, address, nbytes):
+        return int.from_bytes(self.data[address:address + nbytes], "big")
+
+    def store(self, address, value, nbytes):
+        self.data[address:address + nbytes] = value.to_bytes(nbytes, "big")
+
+
+def run(name, *srcs, imm=None, ctx=None):
+    return REGISTRY.semantic(name)(ctx or FakeMem(), srcs, imm)
+
+
+class TestSuperDualimix:
+    def test_table2_formula(self):
+        r1 = simd.pack16(3, -2)
+        r2 = simd.pack16(7, 5)
+        r3 = simd.pack16(-1, 10)
+        r4 = simd.pack16(100, -100)
+        d1, d2 = run("super_dualimix", r1, r2, r3, r4)
+        assert simd.s32(d1) == 3 * 7 + (-1) * 100
+        assert simd.s32(d2) == (-2) * 5 + 10 * (-100)
+
+    def test_clipping_positive(self):
+        big = simd.pack16(0x7FFF, 0)
+        d1, _d2 = run("super_dualimix", big, big, big, big)
+        # 2 * 32767^2 < 2^31 - 1, no clip; force clip with -32768s.
+        assert simd.s32(d1) == 2 * 32767 * 32767
+
+    def test_clipping_boundary(self):
+        lows = simd.pack16(-32768, 0)
+        d1, _ = run("super_dualimix", lows, lows, lows, lows)
+        # 2 * 2^30 = 2^31 clips to INT32_MAX.
+        assert d1 == 0x7FFFFFFF
+
+    @given(s16s, s16s, s16s, s16s, s16s, s16s, s16s, s16s)
+    def test_matches_reference(self, a, b, c, d, e, f, g, h):
+        d1, d2 = run("super_dualimix",
+                     simd.pack16(a, b), simd.pack16(c, d),
+                     simd.pack16(e, f), simd.pack16(g, h))
+        assert simd.s32(d1) == simd.clip_s32(a * c + e * g)
+        assert simd.s32(d2) == simd.clip_s32(b * d + f * h)
+
+
+class TestSuperUfir16:
+    @given(words, words, words, words)
+    def test_dual_dot_products(self, a, b, c, d):
+        d1, d2 = run("super_ufir16", a, b, c, d)
+        a_hi, a_lo = simd.unpack16(a)
+        b_hi, b_lo = simd.unpack16(b)
+        c_hi, c_lo = simd.unpack16(c)
+        d_hi, d_lo = simd.unpack16(d)
+        assert d1 == simd.u32(a_hi * b_hi + a_lo * b_lo)
+        assert d2 == simd.u32(c_hi * d_hi + c_lo * d_lo)
+
+
+class TestSuperLd32r:
+    def test_two_consecutive_words_big_endian(self):
+        mem = FakeMem(bytes(range(1, 17)))
+        d1, d2 = run("super_ld32r", 2, 2, ctx=mem)
+        # Address = rsrc3 + rsrc4 = 4 (Table 2 byte layout).
+        assert d1 == 0x05060708
+        assert d2 == 0x090A0B0C
+
+    def test_address_is_source_sum(self):
+        mem = FakeMem(bytes(range(1, 17)))
+        assert run("super_ld32r", 0, 8, ctx=mem) == \
+            run("super_ld32r", 8, 0, ctx=mem)
+
+
+class TestLdFrac8:
+    def test_frac_zero_is_plain_load(self):
+        mem = FakeMem(bytes([10, 20, 30, 40, 50, 60]))
+        (result,) = run("ld_frac8", 0, 0, ctx=mem)
+        assert result == simd.pack8(10, 20, 30, 40)
+
+    def test_table2_interpolation(self):
+        data = [10, 20, 30, 40, 50]
+        mem = FakeMem(bytes(data))
+        frac = 5
+        (result,) = run("ld_frac8", 0, frac, ctx=mem)
+        expected = [
+            (data[i] * (16 - frac) + data[i + 1] * frac + 8) // 16
+            for i in range(4)]
+        assert result == simd.pack8(*expected)
+
+    def test_frac_masked_to_4_bits(self):
+        mem = FakeMem(bytes([1, 2, 3, 4, 5]))
+        assert run("ld_frac8", 0, 16, ctx=mem) == \
+            run("ld_frac8", 0, 0, ctx=mem)
+
+    @given(st.lists(bytes8, min_size=5, max_size=5),
+           st.integers(0, 15))
+    def test_five_bytes_consumed(self, data, frac):
+        mem = FakeMem(bytes(data) + bytes(8))
+        (result,) = run("ld_frac8", 0, frac, ctx=mem)
+        lanes = simd.unpack8(result)
+        for index, lane in enumerate(lanes):
+            assert lane == simd.interp2(data[index], data[index + 1], frac)
+
+
+class TestLdFrac16:
+    def test_halfword_lanes(self):
+        mem = FakeMem(bytes([0x00, 0x10, 0x00, 0x20, 0x00, 0x30]))
+        (result,) = run("ld_frac16", 0, 8, ctx=mem)  # midpoint
+        hi, lo = simd.unpack16(result)
+        assert hi == simd.interp2(0x10, 0x20, 8)
+        assert lo == simd.interp2(0x20, 0x30, 8)
+
+
+def random_cabac_state(draw_seed):
+    import random
+    rng = random.Random(draw_seed)
+    range_ = rng.randrange(256, 511)
+    value = rng.randrange(0, range_)
+    state = rng.randrange(64)
+    mps = rng.randrange(2)
+    stream = rng.randrange(1 << 32)
+    position = rng.randrange(8)
+    return value, range_, state, mps, stream, position
+
+
+class TestCabacOps:
+    @given(st.integers(0, 10_000))
+    def test_ctx_matches_reference(self, seed):
+        value, range_, state, mps, stream, position = \
+            random_cabac_state(seed)
+        vr = simd.pack16(value, range_)
+        sm = simd.pack16(state, mps)
+        d1, d2 = run("super_cabac_ctx", vr, position, stream, sm)
+        ref = decode_step(value, range_, state, mps, stream, position)
+        ref_value, ref_range, ref_state, ref_mps, _, _ = ref
+        assert simd.unpack16(d1) == (ref_value, ref_range)
+        assert simd.unpack16(d2) == (ref_state, ref_mps)
+
+    @given(st.integers(0, 10_000))
+    def test_str_matches_reference(self, seed):
+        value, range_, state, mps, stream, position = \
+            random_cabac_state(seed)
+        vr = simd.pack16(value, range_)
+        sm = simd.pack16(state, mps)
+        d1, d2 = run("super_cabac_str", vr, position, sm)
+        ref = decode_step(value, range_, state, mps, stream, position)
+        _, _, _, _, ref_position, ref_bit = ref
+        assert d1 == ref_position
+        assert d2 == ref_bit
+
+    @given(st.integers(0, 10_000))
+    def test_str_needs_no_stream_data(self, seed):
+        # Table 2: "rsrc3 is not used" — the renormalization count
+        # follows from the range alone.
+        value, range_, state, mps, stream, position = \
+            random_cabac_state(seed)
+        vr = simd.pack16(value, range_)
+        sm = simd.pack16(state, mps)
+        ref_a = decode_step(value, range_, state, mps, 0, position)
+        ref_b = decode_step(value, range_, state, mps, stream, position)
+        assert ref_a[4] == ref_b[4]  # position
+        assert ref_a[5] == ref_b[5]  # bit
+
+    @given(st.integers(0, 10_000))
+    def test_renormalized_range(self, seed):
+        value, range_, state, mps, stream, position = \
+            random_cabac_state(seed)
+        d1, _ = run("super_cabac_ctx", simd.pack16(value, range_),
+                    position, stream, simd.pack16(state, mps))
+        _new_value, new_range = simd.unpack16(d1)
+        assert tables.RENORM_THRESHOLD <= new_range < 512
+
+    @given(st.integers(0, 10_000))
+    def test_position_advances_at_most_8(self, seed):
+        # Figure 2: "at most 8 bits can be consumed".
+        value, range_, state, mps, stream, position = \
+            random_cabac_state(seed)
+        d1, _ = run("super_cabac_str", simd.pack16(value, range_),
+                    position, simd.pack16(state, mps))
+        assert position <= d1 <= position + 8

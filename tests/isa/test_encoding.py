@@ -1,0 +1,212 @@
+"""Tests of the template-based compressed VLIW encoding (Section 2.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import encoding
+from repro.isa.encoding import (
+    CHUNK_SIZES,
+    SLOT_UNUSED,
+    TRUE_GUARD,
+    EncodedInstruction,
+    EncodedOp,
+    chunk_sizes,
+    decode_program,
+    encode_program,
+    instruction_nbytes,
+)
+
+
+class TestChunkSizing:
+    def test_one_source_op_is_smallest(self):
+        # 9 opcode + 1 gflag + 2x7 regs = 24 bits fits the 26-bit chunk.
+        op = EncodedOp("mov", 1, dsts=(2,), srcs=(3,))
+        assert chunk_sizes(op) == (26,)
+
+    def test_three_operand_op_is_medium(self):
+        # 9 + 1 + 3x7 = 31 bits needs the 34-bit chunk.
+        op = EncodedOp("iadd", 1, dsts=(2,), srcs=(3, 4))
+        assert chunk_sizes(op) == (34,)
+
+    def test_guard_grows_chunk(self):
+        unguarded = EncodedOp("iadd", 1, dsts=(2,), srcs=(3, 4))
+        guarded = EncodedOp("iadd", 1, dsts=(2,), srcs=(3, 4), guard=9)
+        assert chunk_sizes(guarded)[0] > chunk_sizes(unguarded)[0]
+
+    def test_jump_fits_max_chunk(self):
+        op = EncodedOp("jmpt", 2, guard=7, imm=0xFFFFFF)
+        assert chunk_sizes(op) == (42,)
+
+    def test_two_slot_op_uses_two_chunks(self):
+        op = EncodedOp("super_dualimix", 2, dsts=(2, 3),
+                       srcs=(4, 5, 6, 7))
+        assert len(chunk_sizes(op)) == 2
+
+    def test_all_sizes_valid(self):
+        op = EncodedOp("uimm", 3, dsts=(2,), imm=0xFFFF)
+        for size in chunk_sizes(op):
+            assert size in CHUNK_SIZES
+
+
+class TestInstructionSizes:
+    def test_empty_instruction_is_2_bytes(self):
+        # Section 2.1: "A VLIW instruction without any operations is
+        # efficiently encoded in 2 bytes."
+        assert instruction_nbytes(EncodedInstruction(())) == 2
+
+    def test_maximum_instruction_is_28_bytes(self):
+        # Section 2.1: five 42-bit operations encode in 28 bytes.
+        instr = EncodedInstruction((), is_jump_target=True)
+        assert instruction_nbytes(instr) == 28
+
+    def test_jump_target_always_uncompressed(self):
+        instr = EncodedInstruction(
+            (EncodedOp("iadd", 1, dsts=(2,), srcs=(3, 4)),),
+            is_jump_target=True)
+        assert instr.template_codes() == (2, 2, 2, 2, 2)
+        assert instruction_nbytes(instr) == 28
+
+    def test_template_marks_unused_slots(self):
+        instr = EncodedInstruction(
+            (EncodedOp("iadd", 3, dsts=(2,), srcs=(3, 4)),))
+        codes = instr.template_codes()
+        assert codes[2] != SLOT_UNUSED
+        assert all(code == SLOT_UNUSED
+                   for index, code in enumerate(codes) if index != 2)
+
+    def test_doubly_occupied_slot_rejected(self):
+        instr = EncodedInstruction((
+            EncodedOp("iadd", 1, dsts=(2,), srcs=(3, 4)),
+            EncodedOp("isub", 1, dsts=(5,), srcs=(6, 7)),
+        ))
+        with pytest.raises(ValueError):
+            instr.slot_map()
+
+    def test_two_slot_occupies_neighbor(self):
+        instr = EncodedInstruction((
+            EncodedOp("super_dualimix", 2, dsts=(2, 3), srcs=(4, 5, 6, 7)),
+            EncodedOp("iadd", 3, dsts=(8,), srcs=(9, 10)),
+        ))
+        with pytest.raises(ValueError):
+            instr.slot_map()
+
+
+class TestImmediateRanges:
+    def test_signed_range_enforced(self):
+        op = EncodedOp("iaddi", 1, dsts=(2,), srcs=(3,), imm=64)
+        instr = EncodedInstruction((op,))
+        with pytest.raises(ValueError):
+            encode_program([instr])
+
+    def test_unsigned_range_enforced(self):
+        op = EncodedOp("uimm", 1, dsts=(2,), imm=-1)
+        instr = EncodedInstruction((op,))
+        with pytest.raises(ValueError):
+            encode_program([instr])
+
+    def test_negative_immediate_roundtrips(self):
+        op = EncodedOp("iaddi", 1, dsts=(2,), srcs=(3,), imm=-64)
+        image, _ = encode_program([EncodedInstruction((op,))])
+        decoded = decode_program(image)
+        assert decoded[0].ops[0].imm == -64
+
+
+def _simple_ops():
+    """Strategy: a single-slot op with valid operands."""
+    return st.sampled_from([
+        ("iadd", 1, 2, None), ("isub", 2, 2, None), ("imin", 3, 2, None),
+        ("mov", 4, 1, None), ("bitinv", 5, 1, None),
+        ("iaddi", 1, 1, 63), ("iaddi", 2, 1, -64),
+        ("uimm", 3, 0, 0xFFFF), ("asli", 1, 1, 31),
+        ("ld32d", 5, 1, -5), ("st32d", 4, 2, 10),
+    ])
+
+
+@st.composite
+def _instructions(draw):
+    count = draw(st.integers(0, 3))
+    slots_used = set()
+    ops = []
+    for _ in range(count):
+        name, slot, nsrc, imm = draw(_simple_ops())
+        from repro.isa.operations import REGISTRY
+        spec = REGISTRY.spec(name)
+        slot = draw(st.sampled_from(spec.slots))
+        if slot in slots_used:
+            continue
+        slots_used.add(slot)
+        guard = draw(st.sampled_from([TRUE_GUARD, 9, 33]))
+        ops.append(EncodedOp(
+            name, slot,
+            dsts=tuple(draw(st.integers(2, 127))
+                       for _ in range(spec.ndst)),
+            srcs=tuple(draw(st.integers(0, 127)) for _ in range(nsrc)),
+            guard=guard,
+            imm=imm,
+        ))
+    return EncodedInstruction(tuple(ops))
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(_instructions(), min_size=1, max_size=12))
+    def test_encode_decode_roundtrip(self, instructions):
+        image, addresses = encode_program(instructions)
+        assert addresses[0] == 0
+        assert sorted(addresses) == addresses
+        decoded = decode_program(image)
+        assert len(decoded) == len(instructions)
+        for original, recovered in zip(instructions, decoded):
+            original_ops = sorted(
+                (op.name, op.slot, op.dsts, op.srcs, op.guard, op.imm)
+                for op in original.ops)
+            recovered_ops = sorted(
+                (op.name, op.slot, op.dsts, op.srcs, op.guard, op.imm)
+                for op in recovered.ops)
+            assert original_ops == recovered_ops
+
+    def test_two_slot_roundtrip(self):
+        super_op = EncodedOp("super_ld32r", 4, dsts=(2, 3), srcs=(10, 11))
+        alu = EncodedOp("iadd", 1, dsts=(4,), srcs=(5, 6), guard=40)
+        image, _ = encode_program([
+            EncodedInstruction((alu, super_op)),
+            EncodedInstruction((EncodedOp("mov", 2, (7,), (8,)),)),
+        ])
+        decoded = decode_program(image)
+        names = sorted(op.name for op in decoded[0].ops)
+        assert names == ["iadd", "super_ld32r"]
+        recovered = next(op for op in decoded[0].ops
+                         if op.name == "super_ld32r")
+        assert recovered.dsts == (2, 3)
+        assert recovered.srcs == (10, 11)
+
+    def test_compression_beats_uncompressed(self):
+        # Low-ILP code (1 op/instruction) must compress well
+        # (Section 2.1's stated motivation).
+        instructions = [
+            EncodedInstruction(
+                (EncodedOp("iadd", 1, dsts=(2,), srcs=(3, 4)),))
+            for _ in range(20)
+        ]
+        image, _ = encode_program(instructions)
+        assert len(image) < 20 * 28 / 3
+
+    def test_empty_program(self):
+        image, addresses = encode_program([])
+        assert image == b""
+        assert addresses == []
+
+    def test_addresses_match_sizes(self):
+        instructions = [
+            EncodedInstruction(
+                (EncodedOp("iadd", 1, dsts=(2,), srcs=(3, 4)),)),
+            EncodedInstruction(()),
+            EncodedInstruction(
+                (EncodedOp("uimm", 2, dsts=(5,), imm=99),)),
+        ]
+        image, addresses = encode_program(instructions)
+        assert addresses[0] == 0
+        for index in range(1, len(addresses)):
+            assert addresses[index] > addresses[index - 1]
+        assert len(image) >= addresses[-1]

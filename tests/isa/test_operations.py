@@ -1,0 +1,167 @@
+"""Tests of the operation registry and Table 1 structural claims."""
+
+import pytest
+
+from repro.isa import REGISTRY
+from repro.isa.operations import (
+    FU,
+    FU_SLOTS,
+    FUNCTIONAL_UNIT_INVENTORY,
+    TWO_SLOT_FUS,
+    OpSpec,
+    OperationRegistry,
+    spec,
+)
+
+
+class TestRegistry:
+    def test_every_operation_has_a_semantic(self):
+        for op_spec in REGISTRY:
+            assert REGISTRY.semantic(op_spec.name) is not None
+
+    def test_opcode_uniqueness(self):
+        opcodes = [op.opcode for op in REGISTRY]
+        assert len(opcodes) == len(set(opcodes))
+
+    def test_opcode_lookup(self):
+        for op_spec in REGISTRY:
+            assert REGISTRY.spec_by_opcode(op_spec.opcode) == op_spec
+
+    def test_unknown_opcode_raises(self):
+        with pytest.raises(KeyError):
+            REGISTRY.spec_by_opcode(100000)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            REGISTRY.spec("frobnicate")
+
+    def test_contains(self):
+        assert "iadd" in REGISTRY
+        assert "nosuchop" not in REGISTRY
+
+    def test_duplicate_define_rejected(self):
+        registry = OperationRegistry()
+        registry.define(OpSpec("x", FU.ALU, 1, 2, 1))
+        with pytest.raises(ValueError):
+            registry.define(OpSpec("x", FU.ALU, 1, 2, 1))
+
+    def test_bind_unknown_rejected(self):
+        registry = OperationRegistry()
+        with pytest.raises(KeyError):
+            registry.bind("nope", lambda ctx, s, i: ())
+
+
+class TestTable1Claims:
+    def test_31_functional_units(self):
+        # Table 1: "Functional units: 31".
+        assert len(FUNCTIONAL_UNIT_INVENTORY) == 31
+
+    def test_five_issue_slots(self):
+        slots = {slot for slots in FU_SLOTS.values() for slot in slots}
+        assert slots <= {1, 2, 3, 4, 5}
+        assert FU_SLOTS[FU.ALU] == (1, 2, 3, 4, 5)
+
+    def test_load_store_unit_in_slots_4_and_5(self):
+        # Section 4: "The load/store unit ... is located in issue
+        # slots 4 and 5."
+        assert FU_SLOTS[FU.LOADSTORE] == (4, 5)
+
+    def test_branch_units(self):
+        assert FU_SLOTS[FU.BRANCH] == (2, 3, 4)
+
+    def test_ieee754_support(self):
+        for name in ("fadd", "fsub", "fmul", "fdiv", "fsqrt"):
+            assert name in REGISTRY
+
+
+class TestNewOperations:
+    def test_new_operation_set(self):
+        names = {op.name for op in REGISTRY.new_operations()}
+        assert names == {
+            "super_dualimix", "super_ufir16", "super_ld32r",
+            "ld_frac8", "ld_frac16", "super_cabac_ctx", "super_cabac_str",
+        }
+
+    def test_two_slot_operations_are_new(self):
+        for op_spec in REGISTRY:
+            if op_spec.two_slot:
+                assert op_spec.new_in_tm3270
+
+    def test_two_slot_operand_limits(self):
+        # Section 2.2.1: up to 4 sources, up to 2 destinations.
+        for op_spec in REGISTRY:
+            if op_spec.two_slot:
+                assert op_spec.nsrc <= 4
+                assert op_spec.ndst <= 2
+            else:
+                assert op_spec.nsrc <= 2
+
+    def test_super_ld32r_is_two_slot_load(self):
+        op_spec = spec("super_ld32r")
+        assert op_spec.two_slot
+        assert op_spec.is_load
+        assert op_spec.mem_bytes == 8
+        assert op_spec.slots == (4,)  # anchored in slot 4 (pair 4+5)
+
+    def test_ld_frac8_shape(self):
+        # Table 2: 5 bytes loaded, 6-cycle latency, slot 5 only.
+        op_spec = spec("ld_frac8")
+        assert op_spec.mem_bytes == 5
+        assert op_spec.latency == 6
+        assert op_spec.slots == (5,)
+        assert not op_spec.two_slot
+
+    def test_cabac_ops_anchor_slot_2(self):
+        # Table 2: issue slots 2 and 3, latency 4.
+        for name in ("super_cabac_ctx", "super_cabac_str"):
+            op_spec = spec(name)
+            assert op_spec.slots == (2,)
+            assert op_spec.latency == 4
+            assert op_spec.ndst == 2
+
+    def test_super_dualimix_shape(self):
+        op_spec = spec("super_dualimix")
+        assert op_spec.nsrc == 4
+        assert op_spec.ndst == 2
+        assert op_spec.latency == 4
+
+
+class TestSpecInvariants:
+    def test_mem_ops_have_bytes(self):
+        for op_spec in REGISTRY:
+            if op_spec.is_load or op_spec.is_store:
+                assert op_spec.mem_bytes > 0
+            else:
+                assert op_spec.mem_bytes == 0
+
+    def test_loads_have_destinations(self):
+        for op_spec in REGISTRY:
+            if op_spec.is_load:
+                assert op_spec.ndst >= 1
+
+    def test_stores_have_no_destinations(self):
+        for op_spec in REGISTRY:
+            if op_spec.is_store:
+                assert op_spec.ndst == 0
+
+    def test_jumps_are_branch_unit(self):
+        for op_spec in REGISTRY:
+            if op_spec.is_jump:
+                assert op_spec.fu is FU.BRANCH
+                assert op_spec.has_imm
+
+    def test_latencies_positive(self):
+        for op_spec in REGISTRY:
+            assert op_spec.latency >= 1
+
+    def test_imm_specs_consistent(self):
+        for op_spec in REGISTRY:
+            if op_spec.has_imm:
+                assert op_spec.imm_bits > 0
+            else:
+                assert op_spec.imm_bits == 0
+
+    def test_two_slot_fus_anchor_below_5(self):
+        for fu in TWO_SLOT_FUS:
+            for slot in FU_SLOTS[fu]:
+                assert slot < 5  # needs a neighbor

@@ -1,0 +1,296 @@
+"""Bit-exact tests of the baseline operation semantics."""
+
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import REGISTRY, simd
+from repro.isa.semantics import JumpOutcome
+
+words = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+class FakeMem:
+    """Big-endian memory stub for load/store semantics."""
+
+    def __init__(self, data=b""):
+        self.data = bytearray(data or bytes(64))
+        self.guard_value = 1
+
+    def load(self, address, nbytes):
+        return int.from_bytes(self.data[address:address + nbytes], "big")
+
+    def store(self, address, value, nbytes):
+        self.data[address:address + nbytes] = value.to_bytes(nbytes, "big")
+
+
+def run(name, *srcs, imm=None, ctx=None):
+    result = REGISTRY.semantic(name)(ctx or FakeMem(), srcs, imm)
+    return result[0] if len(result) == 1 else result
+
+
+class TestScalarAlu:
+    def test_iadd_wraps(self):
+        assert run("iadd", 0xFFFFFFFF, 1) == 0
+
+    def test_isub_wraps(self):
+        assert run("isub", 0, 1) == 0xFFFFFFFF
+
+    def test_imin_imax_signed(self):
+        assert run("imin", simd.u32(-5), 3) == simd.u32(-5)
+        assert run("imax", simd.u32(-5), 3) == 3
+
+    def test_bit_ops(self):
+        assert run("bitand", 0xF0F0, 0xFF00) == 0xF000
+        assert run("bitor", 0xF0F0, 0x0F00) == 0xFFF0
+        assert run("bitxor", 0xFFFF, 0x00FF) == 0xFF00
+        assert run("bitandinv", 0xFFFF, 0x00FF) == 0xFF00
+        assert run("bitinv", 0) == 0xFFFFFFFF
+
+    def test_ineg_iabs(self):
+        assert run("ineg", 5) == simd.u32(-5)
+        assert run("iabs", simd.u32(-5)) == 5
+        # INT32_MIN saturates rather than overflowing.
+        assert run("iabs", 0x80000000) == 0x7FFFFFFF
+
+    def test_extensions(self):
+        assert run("sex16", 0x0000FFFF) == 0xFFFFFFFF
+        assert run("zex16", 0xABCD1234) == 0x1234
+        assert run("sex8", 0x80) == 0xFFFFFF80
+        assert run("zex8", 0x1FF) == 0xFF
+
+    def test_immediates(self):
+        assert run("iaddi", 10, imm=-3) == 7
+        assert run("uimm", imm=0xBEEF) == 0xBEEF
+        assert run("himm", 0xBEEF, imm=0xDEAD) == 0xDEADBEEF
+
+    @given(words, words)
+    def test_iadd_commutative(self, a, b):
+        assert run("iadd", a, b) == run("iadd", b, a)
+
+
+class TestComparisons:
+    def test_signed_compares(self):
+        minus_one = simd.u32(-1)
+        assert run("igtr", 1, minus_one) == 1
+        assert run("iles", minus_one, 1) == 1
+        assert run("igeq", 5, 5) == 1
+        assert run("ileq", 5, 5) == 1
+
+    def test_unsigned_compares(self):
+        assert run("ugtr", 0xFFFFFFFF, 1) == 1
+        assert run("ugeq", 1, 1) == 1
+
+    def test_equality(self):
+        assert run("ieql", 7, 7) == 1
+        assert run("ineq", 7, 8) == 1
+
+    def test_immediate_compares(self):
+        assert run("igtri", 5, imm=4) == 1
+        assert run("ieqli", simd.u32(-1), imm=-1) == 1
+        assert run("ineqi", 3, imm=0) == 1
+
+    @given(words, words)
+    def test_trichotomy(self, a, b):
+        total = run("igtr", a, b) + run("iles", a, b) + run("ieql", a, b)
+        assert total == 1
+
+
+class TestShifter:
+    def test_asl(self):
+        assert run("asl", 1, 4) == 16
+
+    def test_asr_sign_fills(self):
+        assert run("asr", 0x80000000, 31) == 0xFFFFFFFF
+
+    def test_lsr_zero_fills(self):
+        assert run("lsr", 0x80000000, 31) == 1
+
+    def test_rol(self):
+        assert run("rol", 0x80000001, 1) == 3
+
+    def test_shift_amount_masked(self):
+        assert run("asl", 1, 32) == 1  # amount mod 32
+
+    def test_immediate_forms(self):
+        assert run("asli", 1, imm=4) == 16
+        assert run("asri", 0x80000000, imm=31) == 0xFFFFFFFF
+        assert run("lsri", 0xFF00, imm=8) == 0xFF
+        assert run("roli", 0x80000001, imm=1) == 3
+
+
+class TestMultiplier:
+    def test_imul_low(self):
+        assert run("imul", simd.u32(-2), 3) == simd.u32(-6)
+
+    def test_imulm_high(self):
+        assert run("imulm", 0x40000000, 4) == 1
+
+    def test_umulm(self):
+        assert run("umulm", 0xFFFFFFFF, 0xFFFFFFFF) == 0xFFFFFFFE
+
+    def test_ifir16(self):
+        a = simd.pack16(2, 3)
+        b = simd.pack16(10, 100)
+        assert run("ifir16", a, b) == 2 * 10 + 3 * 100
+
+    def test_ifir16_signed_and_clipped(self):
+        a = simd.pack16(-32768, -32768)
+        b = simd.pack16(-32768, -32768)
+        # 2 * 2^30 = 2^31 clips to INT32_MAX.
+        assert run("ifir16", a, b) == 0x7FFFFFFF
+
+    def test_ufir16(self):
+        a = simd.pack16(0xFFFF, 1)
+        b = simd.pack16(2, 3)
+        assert run("ufir16", a, b) == 0xFFFF * 2 + 3
+
+    def test_ifir8ui(self):
+        a = simd.pack8(1, 2, 3, 4)
+        b = simd.pack8(1, 0xFF, 1, 1)  # 0xFF is signed -1
+        assert run("ifir8ui", a, b) == 1 - 2 + 3 + 4
+
+    def test_quadumulmsb(self):
+        a = simd.pack8(16, 255, 0, 1)
+        b = simd.pack8(16, 255, 10, 1)
+        assert run("quadumulmsb", a, b) == simd.pack8(1, 254, 0, 0)
+
+
+class TestDspAlu:
+    def test_dualadd_saturates(self):
+        a = simd.pack16(0x7FFF, 1)
+        b = simd.pack16(1, 1)
+        assert run("dspidualadd", a, b) == simd.pack16(0x7FFF, 2)
+
+    def test_dualsub_saturates(self):
+        a = simd.pack16(-32768 & 0xFFFF, 5)
+        b = simd.pack16(1, 3)
+        assert run("dspidualsub", a, b) == simd.pack16(-32768, 2)
+
+    def test_quadavg_rounds(self):
+        a = simd.pack8(0, 1, 2, 255)
+        b = simd.pack8(1, 1, 3, 255)
+        assert run("quadavg", a, b) == simd.pack8(1, 1, 3, 255)
+
+    def test_quad_minmax(self):
+        a = simd.pack8(1, 200, 3, 100)
+        b = simd.pack8(2, 100, 3, 200)
+        assert run("quadumax", a, b) == simd.pack8(2, 200, 3, 200)
+        assert run("quadumin", a, b) == simd.pack8(1, 100, 3, 100)
+
+    def test_ume8uu(self):
+        a = simd.pack8(10, 0, 255, 7)
+        b = simd.pack8(3, 5, 0, 7)
+        assert run("ume8uu", a, b) == 7 + 5 + 255 + 0
+
+    def test_dspuquadaddui(self):
+        a = simd.pack8(250, 5, 0, 128)
+        b = simd.pack8(10, 0xFF, 0xFF, 1)  # signed: 10, -1, -1, 1
+        assert run("dspuquadaddui", a, b) == simd.pack8(255, 4, 0, 129)
+
+    def test_clips(self):
+        assert run("iclipi", 300, imm=8) == 255
+        assert run("iclipi", simd.u32(-300), imm=8) == simd.u32(-256)
+        assert run("uclipi", 300, imm=8) == 255
+        assert run("uclipi", simd.u32(-300), imm=8) == 0
+
+    def test_merge_pack(self):
+        a, b = 0x01020304, 0x0A0B0C0D
+        assert run("mergelsb", a, b) == simd.pack8(3, 0x0C, 4, 0x0D)
+        assert run("mergemsb", a, b) == simd.pack8(1, 0x0A, 2, 0x0B)
+        assert run("pack16lsb", a, b) == 0x03040C0D
+        assert run("pack16msb", a, b) == 0x01020A0B
+        assert run("packbytes", a, b) == 0x040D
+
+    def test_ubytesel(self):
+        word = 0x01020304
+        assert run("ubytesel", word, 0) == 4
+        assert run("ubytesel", word, 3) == 1
+
+
+def f32_bits(value):
+    return struct.unpack(">I", struct.pack(">f", value))[0]
+
+
+class TestFloat:
+    def test_fadd(self):
+        assert run("fadd", f32_bits(1.5), f32_bits(2.25)) == f32_bits(3.75)
+
+    def test_fsub_fmul(self):
+        assert run("fsub", f32_bits(5.0), f32_bits(2.0)) == f32_bits(3.0)
+        assert run("fmul", f32_bits(3.0), f32_bits(-2.0)) == f32_bits(-6.0)
+
+    def test_fdiv(self):
+        assert run("fdiv", f32_bits(1.0), f32_bits(4.0)) == f32_bits(0.25)
+
+    def test_fdiv_by_zero_gives_infinity(self):
+        assert run("fdiv", f32_bits(1.0), f32_bits(0.0)) == 0x7F800000
+
+    def test_fsqrt(self):
+        assert run("fsqrt", f32_bits(9.0)) == f32_bits(3.0)
+
+    def test_fsqrt_negative_is_nan(self):
+        assert run("fsqrt", f32_bits(-1.0)) == 0x7FC00000
+
+    def test_conversions(self):
+        assert run("i2f", simd.u32(-7)) == f32_bits(-7.0)
+        assert run("f2i", f32_bits(-7.9)) == simd.u32(-7)
+
+    def test_fcompare(self):
+        assert run("fgtr", f32_bits(2.0), f32_bits(1.0)) == 1
+        assert run("feql", f32_bits(2.0), f32_bits(2.0)) == 1
+
+
+class TestLoadsStores:
+    def test_ld32_big_endian(self):
+        mem = FakeMem(bytes([0xDE, 0xAD, 0xBE, 0xEF]))
+        assert run("ld32", 0, 0, ctx=mem) == 0xDEADBEEF
+
+    def test_ld32d_displacement(self):
+        mem = FakeMem(bytes(4) + bytes([1, 2, 3, 4]))
+        assert run("ld32d", 2, imm=2, ctx=mem) == 0x01020304
+
+    def test_small_loads(self):
+        mem = FakeMem(bytes([0xFF, 0x80, 0x01, 0x02]))
+        assert run("uld16d", 0, imm=0, ctx=mem) == 0xFF80
+        assert run("ild16d", 0, imm=0, ctx=mem) == simd.u32(-128)
+        assert run("uld8d", 1, imm=0, ctx=mem) == 0x80
+        assert run("ild8d", 1, imm=0, ctx=mem) == simd.u32(-128)
+
+    def test_stores(self):
+        mem = FakeMem()
+        run("st32d", 0, 0xCAFEBABE, imm=4, ctx=mem)
+        assert mem.data[4:8] == bytes([0xCA, 0xFE, 0xBA, 0xBE])
+        run("st16d", 0, 0xABCD, imm=0, ctx=mem)
+        assert mem.data[0:2] == bytes([0xAB, 0xCD])
+        run("st8d", 0, 0x5A, imm=2, ctx=mem)
+        assert mem.data[2] == 0x5A
+
+    @given(words)
+    def test_store_load_roundtrip(self, value):
+        mem = FakeMem()
+        run("st32d", 8, value, imm=0, ctx=mem)
+        assert run("ld32d", 8, imm=0, ctx=mem) == value
+
+
+class TestJumps:
+    def test_jmpi_always_taken(self):
+        outcome = run("jmpi", imm=0x100)
+        assert outcome == JumpOutcome(True, 0x100)
+
+    def test_jmpt_follows_guard(self):
+        ctx = FakeMem()
+        ctx.guard_value = 1
+        assert run("jmpt", imm=4, ctx=ctx).taken
+        ctx.guard_value = 0
+        assert not run("jmpt", imm=4, ctx=ctx).taken
+
+    def test_jmpf_inverts_guard(self):
+        ctx = FakeMem()
+        ctx.guard_value = 0
+        assert run("jmpf", imm=4, ctx=ctx).taken
+
+    def test_nop(self):
+        assert REGISTRY.semantic("nop")(FakeMem(), (), None) == ()

@@ -1,0 +1,182 @@
+"""Unit and property tests for the SIMD lane-arithmetic helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import simd
+
+words = st.integers(min_value=0, max_value=0xFFFFFFFF)
+any_int = st.integers(min_value=-(1 << 40), max_value=1 << 40)
+
+
+class TestMasking:
+    def test_u32_truncates(self):
+        assert simd.u32(1 << 35) == 0
+        assert simd.u32(0x1_2345_6789) == 0x2345_6789
+
+    def test_u32_negative(self):
+        assert simd.u32(-1) == 0xFFFFFFFF
+
+    def test_u16_u8(self):
+        assert simd.u16(0x12345) == 0x2345
+        assert simd.u8(0x1FF) == 0xFF
+
+    @given(any_int)
+    def test_u32_range(self, value):
+        assert 0 <= simd.u32(value) <= 0xFFFFFFFF
+
+
+class TestSigned:
+    def test_s32_positive(self):
+        assert simd.s32(5) == 5
+
+    def test_s32_negative(self):
+        assert simd.s32(0xFFFFFFFF) == -1
+        assert simd.s32(0x80000000) == -(1 << 31)
+
+    def test_s16(self):
+        assert simd.s16(0x8000) == -(1 << 15)
+        assert simd.s16(0x7FFF) == 0x7FFF
+
+    def test_s8(self):
+        assert simd.s8(0x80) == -128
+        assert simd.s8(0x7F) == 127
+
+    @given(words)
+    def test_s32_roundtrip(self, value):
+        assert simd.u32(simd.s32(value)) == value
+
+    @given(words)
+    def test_s16_roundtrip(self, value):
+        assert simd.u16(simd.s16(value)) == value & 0xFFFF
+
+
+class TestClipping:
+    def test_clip_inside(self):
+        assert simd.clip(5, 0, 10) == 5
+
+    def test_clip_bounds(self):
+        assert simd.clip(-5, 0, 10) == 0
+        assert simd.clip(15, 0, 10) == 10
+
+    def test_clip_s32(self):
+        assert simd.clip_s32(1 << 40) == simd.INT32_MAX
+        assert simd.clip_s32(-(1 << 40)) == simd.INT32_MIN
+
+    def test_clip_s16(self):
+        assert simd.clip_s16(40000) == simd.INT16_MAX
+        assert simd.clip_s16(-40000) == simd.INT16_MIN
+
+    def test_clip_u8(self):
+        assert simd.clip_u8(300) == 255
+        assert simd.clip_u8(-3) == 0
+
+    @given(any_int)
+    def test_clip_idempotent(self, value):
+        once = simd.clip_s16(value)
+        assert simd.clip_s16(once) == once
+
+
+class TestPacking:
+    def test_pack16(self):
+        assert simd.pack16(0x1234, 0x5678) == 0x12345678
+
+    def test_pack16_masks(self):
+        assert simd.pack16(-1, -1) == 0xFFFFFFFF
+
+    def test_unpack16(self):
+        assert simd.unpack16(0xABCD1234) == (0xABCD, 0x1234)
+
+    def test_unpack16s(self):
+        assert simd.unpack16s(0xFFFF0001) == (-1, 1)
+
+    def test_pack8(self):
+        assert simd.pack8(1, 2, 3, 4) == 0x01020304
+
+    def test_unpack8(self):
+        assert simd.unpack8(0x01020304) == (1, 2, 3, 4)
+
+    def test_unpack8s(self):
+        assert simd.unpack8s(0xFF000180) == (-1, 0, 1, -128)
+
+    @given(words)
+    def test_pack16_roundtrip(self, word):
+        hi, lo = simd.unpack16(word)
+        assert simd.pack16(hi, lo) == word
+
+    @given(words)
+    def test_pack8_roundtrip(self, word):
+        assert simd.pack8(*simd.unpack8(word)) == word
+
+    @given(st.integers(0, 0xFFFF), st.integers(0, 0xFFFF))
+    def test_dual16_definition(self, a, b):
+        # DUAL16(a, b) = (a << 16) | (b & 0xffff), from Table 2.
+        assert simd.pack16(a, b) == ((a << 16) | (b & 0xFFFF))
+
+
+class TestLaneMaps:
+    def test_map16_signed_saturation(self):
+        word = simd.pack16(0x7FFF, 0x8000)
+        result = simd.map16(simd.add_sat_s16, word, simd.pack16(1, -1))
+        assert simd.unpack16s(result) == (simd.INT16_MAX, simd.INT16_MIN)
+
+    def test_map8(self):
+        a = simd.pack8(250, 250, 1, 0)
+        b = simd.pack8(10, 1, 1, 0)
+        assert simd.map8(simd.add_sat_u8, a, b) == simd.pack8(255, 251, 2, 0)
+
+    @given(words, words)
+    def test_map8_lanewise(self, a, b):
+        result = simd.map8(simd.abs_diff_u8, a, b)
+        for la, lb, lr in zip(simd.unpack8(a), simd.unpack8(b),
+                              simd.unpack8(result)):
+            assert lr == abs(la - lb)
+
+
+class TestMediaArithmetic:
+    def test_avg_round_u8(self):
+        assert simd.avg_round_u8(0, 1) == 1  # rounds up
+        assert simd.avg_round_u8(2, 2) == 2
+
+    def test_abs_diff(self):
+        assert simd.abs_diff_u8(10, 3) == 7
+        assert simd.abs_diff_u8(3, 10) == 7
+
+    def test_interp2_endpoints(self):
+        # frac = 0 returns the first tap exactly.
+        assert simd.interp2(100, 200, 0) == 100
+
+    def test_interp2_table2_formula(self):
+        # (a*(16-f) + b*f + 8) / 16, from the LD_FRAC8 definition.
+        assert simd.interp2(10, 20, 4) == (10 * 12 + 20 * 4 + 8) // 16
+
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 15))
+    def test_interp2_bounded(self, a, b, frac):
+        result = simd.interp2(a, b, frac)
+        assert min(a, b) <= result <= max(a, b) + 1
+        assert 0 <= result <= 255
+
+    @given(st.integers(0, 255), st.integers(0, 15))
+    def test_interp2_constant(self, a, frac):
+        assert simd.interp2(a, a, frac) == a
+
+
+class TestShifts:
+    def test_sign_extend(self):
+        assert simd.sign_extend(0b1000, 4) == -8
+        assert simd.sign_extend(0b0111, 4) == 7
+
+    @given(st.integers(0, 0xFFFFFF), st.integers(1, 31))
+    def test_sign_extend_range(self, value, bits):
+        result = simd.sign_extend(value, bits)
+        assert -(1 << (bits - 1)) <= result < (1 << (bits - 1))
+
+    def test_rotate_left(self):
+        assert simd.rotate_left32(0x80000001, 1) == 0x00000003
+
+    @given(words, st.integers(0, 64))
+    def test_rotate_roundtrip(self, word, amount):
+        rotated = simd.rotate_left32(word, amount)
+        back = simd.rotate_left32(rotated, 32 - (amount % 32))
+        assert back == word

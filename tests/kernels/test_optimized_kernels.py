@@ -1,0 +1,157 @@
+"""Tests of the TM3270-specific optimized kernels.
+
+These cover the paper's optimization studies: the CABAC operation pair
+(Table 3), LD_FRAC8 motion estimation (Section 2.2.2 / [12]),
+SUPER_LD32R memcpy (Section 2.2.1), and the Figure 3 block scan.
+"""
+
+import pytest
+
+from repro.asm.link import compile_program
+from repro.core.config import TM3270_CONFIG
+from repro.core.processor import run_kernel
+from repro.kernels import blockscan, cabac_kernel, memops, motion
+from repro.kernels.common import DATA_BASE, args_for
+from repro.mem.flatmem import FlatMemory
+from repro.workloads.cabac_streams import generate_field
+from repro.workloads.video import synthetic_frame
+
+
+def run_tm3270(program, args, memory):
+    linked = compile_program(program, TM3270_CONFIG.target)
+    return run_kernel(linked, TM3270_CONFIG, args=args, memory=memory)
+
+
+class TestCabacKernels:
+    @pytest.fixture(scope="class")
+    def field(self):
+        return generate_field("I", scale=0.01)
+
+    def _decode(self, build, field):
+        stream, out, ctx, tab = (DATA_BASE, DATA_BASE + 0x4000,
+                                 DATA_BASE + 0x5000, DATA_BASE + 0x6000)
+        memory = FlatMemory(1 << 17)
+        memory.write_block(stream, field.data)
+        memory.write_block(tab, cabac_kernel.prepare_tables())
+        result = run_tm3270(
+            build(num_contexts=field.num_contexts),
+            args_for(stream, out, ctx, tab, field.num_symbols), memory)
+        return memory.read_block(out, field.num_symbols), result.stats
+
+    def test_plain_decodes_exactly(self, field):
+        decoded, _stats = self._decode(
+            cabac_kernel.build_cabac_plain, field)
+        assert decoded == bytes(field.symbols)
+
+    def test_super_decodes_exactly(self, field):
+        decoded, _stats = self._decode(
+            cabac_kernel.build_cabac_super, field)
+        assert decoded == bytes(field.symbols)
+
+    def test_speedup_in_paper_range(self, field):
+        _, plain = self._decode(cabac_kernel.build_cabac_plain, field)
+        _, optimized = self._decode(cabac_kernel.build_cabac_super, field)
+        speedup = plain.instructions / optimized.instructions
+        # Table 3: [1.5, 1.7]; allow modeling slack.
+        assert 1.3 < speedup < 2.0
+
+    def test_super_uses_cabac_operations(self, field):
+        program = cabac_kernel.build_cabac_super()
+        names = {op.name for block in program.blocks
+                 for op in block.all_ops()}
+        assert "super_cabac_ctx" in names
+        assert "super_cabac_str" in names
+
+    def test_tables_blob_layout(self):
+        blob = cabac_kernel.prepare_tables()
+        from repro.cabac import tables
+        assert len(blob) == cabac_kernel.TABLES_BYTES
+        assert blob[0] == tables.LPS_RANGE_TABLE[0][0]
+        assert blob[cabac_kernel.OFF_MPS_NEXT + 5] == \
+            tables.MPS_NEXT_STATE[5]
+        # Renorm counts: range 255 needs 1 shift, 128 needs 2, 256: 0.
+        assert blob[cabac_kernel.OFF_RENORM + 256] == 0
+        assert blob[cabac_kernel.OFF_RENORM + 255] == 1
+        assert blob[cabac_kernel.OFF_RENORM + 128] == 1
+        assert blob[cabac_kernel.OFF_RENORM + 127] == 2
+
+
+class TestMotionKernels:
+    WIDTH = 64
+
+    def _run(self, build):
+        frame = synthetic_frame(self.WIDTH, 16, seed=77)
+        cur, ref, result = DATA_BASE, DATA_BASE + 0x800, DATA_BASE + 0x1000
+        memory = FlatMemory(1 << 15)
+        memory.write_block(cur, frame[:8 * self.WIDTH])
+        memory.write_block(ref, frame[8 * self.WIDTH:16 * self.WIDTH])
+        run = run_tm3270(build(), args_for(cur, ref, self.WIDTH, result),
+                         memory)
+        return memory.load(result, 4), run.stats, frame
+
+    def test_plain_correct(self):
+        sad, _stats, frame = self._run(motion.build_me_frac_plain)
+        expected = motion.reference_best_sad(
+            frame[:8 * self.WIDTH], frame[8 * self.WIDTH:], self.WIDTH)
+        assert sad == expected
+
+    def test_ld8_correct(self):
+        sad, _stats, frame = self._run(motion.build_me_frac_ld8)
+        expected = motion.reference_best_sad(
+            frame[:8 * self.WIDTH], frame[8 * self.WIDTH:], self.WIDTH)
+        assert sad == expected
+
+    def test_ld_frac8_speedup_over_2x(self):
+        # Section 6 / [12]: "an additional performance gain of more
+        # than a factor two".
+        _, plain, _ = self._run(motion.build_me_frac_plain)
+        _, optimized, _ = self._run(motion.build_me_frac_ld8)
+        assert plain.cycles / optimized.cycles > 2.0
+
+
+class TestSuperMemcpy:
+    def test_super_ld32r_memcpy_correct(self):
+        nbytes = 4096
+        src, dst = DATA_BASE, DATA_BASE + 0x4000
+        memory = FlatMemory(1 << 16)
+        payload = synthetic_frame(nbytes, 1, seed=3)
+        memory.write_block(src, payload)
+        run_tm3270(memops.build_memcpy_super(),
+                   args_for(dst, src, nbytes), memory)
+        assert memory.read_block(dst, nbytes) == payload
+
+    def test_super_variant_fewer_instructions(self):
+        nbytes = 4096
+        results = {}
+        for build in (memops.build_memcpy, memops.build_memcpy_super):
+            src, dst = DATA_BASE, DATA_BASE + 0x4000
+            memory = FlatMemory(1 << 16)
+            memory.write_block(src, bytes(nbytes))
+            run = run_tm3270(build(), args_for(dst, src, nbytes), memory)
+            results[build.__name__] = run.stats.instructions
+        # SUPER_LD32R doubles load bandwidth (Section 2.2.1).
+        assert results["build_memcpy_super"] < results["build_memcpy"]
+
+
+class TestBlockscan:
+    def test_prefetch_reduces_stalls(self):
+        image_base, width, height = 0x8000, 128, 32
+        image = synthetic_frame(width, height, seed=88)
+        stalls = {}
+        for prefetch in (False, True):
+            memory = FlatMemory(1 << 17)
+            memory.write_block(image_base, image)
+            run = run_tm3270(
+                blockscan.build_blockscan(image_base, width, height,
+                                          work=12,
+                                          setup_prefetch=prefetch),
+                args_for(DATA_BASE), memory)
+            expected = blockscan.reference_blockscan(
+                image, width, height, 12)
+            assert memory.load(DATA_BASE, 4) == expected
+            stalls[prefetch] = run.stats.dcache_stall_cycles
+        assert stalls[True] < stalls[False] / 2
+
+    def test_geometry_validated(self):
+        with pytest.raises(ValueError):
+            blockscan.build_blockscan(0x8000, 130, 32)

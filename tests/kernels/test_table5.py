@@ -1,0 +1,83 @@
+"""Every Table 5 kernel runs and verifies on both targets.
+
+These are full integration runs: builder -> scheduler -> register
+allocator -> linker -> encoder -> executor -> memory hierarchy, with
+results checked bit-exactly against pure-Python references.
+"""
+
+import pytest
+
+from repro.core.config import CONFIG_A, CONFIG_D
+from repro.eval.runner import run_case
+from repro.kernels.registry import TABLE5_KERNELS, kernel_by_name
+
+FAST_KERNELS = [case.name for case in TABLE5_KERNELS
+                if case.name not in ("mpeg2_b", "mpeg2_c")]
+
+
+@pytest.mark.parametrize("name", FAST_KERNELS)
+def test_kernel_on_tm3270(name):
+    stats = run_case(kernel_by_name(name), CONFIG_D, verify=True)
+    assert stats.instructions > 0
+    assert stats.cycles >= stats.instructions
+
+
+@pytest.mark.parametrize("name", FAST_KERNELS)
+def test_kernel_on_tm3260(name):
+    stats = run_case(kernel_by_name(name), CONFIG_A, verify=True)
+    assert stats.instructions > 0
+
+
+@pytest.mark.parametrize("name", ["mpeg2_b", "mpeg2_c"])
+def test_remaining_mpeg2_streams(name):
+    stats = run_case(kernel_by_name(name), CONFIG_D, verify=True)
+    assert stats.instructions > 0
+
+
+def test_suite_is_table5():
+    names = [case.name for case in TABLE5_KERNELS]
+    assert names == [
+        "memset", "memcpy", "filter", "rgb2yuv", "rgb2cmyk", "rgb2yiq",
+        "mpeg2_a", "mpeg2_b", "mpeg2_c", "filmdet", "majority_sel",
+    ]
+
+
+def test_kernels_use_baseline_ops_only():
+    # The Figure 7 methodology: TM3260-optimized sources recompiled —
+    # so no TM3270-only operations may appear.
+    for case in TABLE5_KERNELS:
+        program = case.build()
+        for block in program.blocks:
+            for op in block.all_ops():
+                assert not op.spec.new_in_tm3270, (case.name, op.name)
+
+
+def test_unknown_kernel_raises():
+    with pytest.raises(KeyError):
+        kernel_by_name("quake")
+
+
+def test_memset_kernel_writes_pattern():
+    from repro.kernels.registry import MEM_REGION
+    stats = run_case(kernel_by_name("memset"), CONFIG_D)
+    # Stores dominate; one word per store.
+    assert stats.dcache.store_accesses == MEM_REGION // 4
+
+
+def test_memcpy_moves_every_byte():
+    from repro.kernels.registry import MEM_REGION
+    stats = run_case(kernel_by_name("memcpy"), CONFIG_D)
+    assert stats.dcache.load_accesses == MEM_REGION // 4
+    assert stats.dcache.store_accesses == MEM_REGION // 4
+
+
+def test_mpeg2_disruptiveness_orders_stalls():
+    # mpeg2_a's disruptive motion field must stress the cache more
+    # than mpeg2_c's smooth pan (on the small-cache config B).
+    from repro.core.config import CONFIG_B
+    stalls = {
+        name: run_case(kernel_by_name(name), CONFIG_B,
+                       verify=False).dcache_stall_cycles
+        for name in ("mpeg2_a", "mpeg2_c")
+    }
+    assert stalls["mpeg2_a"] > stalls["mpeg2_c"]

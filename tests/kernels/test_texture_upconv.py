@@ -1,0 +1,155 @@
+"""Tests of the companion-study kernels: texture pipeline and
+temporal up-conversion (Section 6's optimization references)."""
+
+import random
+
+import pytest
+
+from repro.asm.link import compile_program
+from repro.core.config import TM3270_CONFIG
+from repro.core.processor import run_kernel
+from repro.kernels import texture, upconv
+from repro.kernels.common import DATA_BASE, args_for
+from repro.mem.flatmem import FlatMemory
+from repro.workloads.video import synthetic_frame
+
+SRC, DST, QUANT, COEFF = (DATA_BASE, DATA_BASE + 0x4000,
+                          DATA_BASE + 0x8000, DATA_BASE + 0x8100)
+NBLOCKS = 6
+
+
+def _texture_workload():
+    rng = random.Random(41)
+    src = [rng.randrange(-256, 256) for _ in range(NBLOCKS * 8 * 8)]
+    quant = [rng.randrange(1, 32) for _ in range(8)]
+    coeff_w = [rng.randrange(-64, 64) for _ in range(8)]
+    coeff_v = [rng.randrange(-64, 64) for _ in range(8)]
+    return src, quant, coeff_w, coeff_v
+
+
+def _run_texture(build):
+    src, quant, coeff_w, coeff_v = _texture_workload()
+    memory = FlatMemory(1 << 17)
+    for index, value in enumerate(src):
+        memory.store(SRC + 2 * index, value & 0xFFFF, 2)
+    for index, value in enumerate(quant):
+        memory.store(QUANT + 2 * index, value & 0xFFFF, 2)
+    for index, value in enumerate(coeff_w):
+        memory.store(COEFF + 2 * index, value & 0xFFFF, 2)
+    for index, value in enumerate(coeff_v):
+        memory.store(COEFF + 16 + 2 * index, value & 0xFFFF, 2)
+    linked = compile_program(build(), TM3270_CONFIG.target)
+    result = run_kernel(
+        linked, TM3270_CONFIG,
+        args=args_for(SRC, DST, QUANT, COEFF, NBLOCKS), memory=memory)
+    expected = texture.reference_texture(src, quant, coeff_w, coeff_v,
+                                         NBLOCKS)
+    got = []
+    for index in range(len(expected)):
+        value = memory.load(DST + 2 * index, 2)
+        got.append(value - (1 << 16) if value & 0x8000 else value)
+    return got, expected, result.stats
+
+
+class TestTexturePipeline:
+    def test_plain_correct(self):
+        got, expected, _stats = _run_texture(texture.build_texture_plain)
+        assert got == expected
+
+    def test_super_correct(self):
+        got, expected, _stats = _run_texture(texture.build_texture_super)
+        assert got == expected
+
+    def test_super_dualimix_gain(self):
+        # [13]: "New operations improve the performance of a MPEG2
+        # 8x8 texture pipeline by 50%."  Our list scheduler (no
+        # software pipelining) realizes a smaller cycle gain; the
+        # mechanism the paper names — fewer operations and relaxed
+        # register pressure — shows up fully (see EXPERIMENTS.md).
+        _, _, plain = _run_texture(texture.build_texture_plain)
+        _, _, fast = _run_texture(texture.build_texture_super)
+        assert plain.cycles / fast.cycles > 1.05
+        # A quarter of the operations disappear with SUPER_DUALIMIX.
+        assert fast.ops_executed < plain.ops_executed * 0.8
+
+    def test_super_variant_uses_two_slot_op(self):
+        program = texture.build_texture_super()
+        names = {op.name for block in program.blocks
+                 for op in block.all_ops()}
+        assert "super_dualimix" in names
+        plain_names = {op.name
+                       for block in texture.build_texture_plain().blocks
+                       for op in block.all_ops()}
+        assert "super_dualimix" not in plain_names
+
+
+WIDTH, HEIGHT = 128, 24
+MARGIN = 64
+PREV = DATA_BASE + MARGIN
+NEXT = PREV + WIDTH * HEIGHT + 2 * MARGIN
+OUT = NEXT + WIDTH * HEIGHT + 2 * MARGIN
+
+
+def _run_upconv(use_frac, motion, prefetch=False):
+    prev_pad = synthetic_frame(WIDTH * HEIGHT + 2 * MARGIN, 1, seed=91)
+    next_pad = synthetic_frame(WIDTH * HEIGHT + 2 * MARGIN, 1, seed=92)
+    memory = FlatMemory(1 << 17)
+    memory.write_block(PREV - MARGIN, prev_pad)
+    memory.write_block(NEXT - MARGIN, next_pad)
+    program = upconv.build_upconv(
+        use_frac_loads=use_frac, setup_prefetch=prefetch,
+        image_base=PREV - MARGIN,
+        image_bytes=WIDTH * HEIGHT + 2 * MARGIN,
+        width_hint=WIDTH)
+    linked = compile_program(program, TM3270_CONFIG.target)
+    result = run_kernel(
+        linked, TM3270_CONFIG,
+        args=args_for(PREV, NEXT, OUT, WIDTH, HEIGHT, motion),
+        memory=memory)
+    expected = upconv.reference_upconv(
+        prev_pad, next_pad, MARGIN, WIDTH, HEIGHT, motion,
+        half_pel_blend=not use_frac)
+    got = memory.read_block(OUT, WIDTH * HEIGHT)
+    return got, expected, result.stats
+
+
+class TestUpconversion:
+    def test_plain_half_pel_correct(self):
+        got, expected, _ = _run_upconv(False, upconv.trajectory(2, 8))
+        assert got == expected
+
+    def test_frac_half_pel_correct(self):
+        got, expected, _ = _run_upconv(True, upconv.trajectory(2, 8))
+        assert got == expected
+
+    def test_variants_agree_at_half_pel(self):
+        # At frac=8 quadavg equals the exact two-taps filter.
+        plain, _, _ = _run_upconv(False, upconv.trajectory(1, 8))
+        frac, _, _ = _run_upconv(True, upconv.trajectory(1, 8))
+        assert plain == frac
+
+    def test_frac_quarter_pel_correct(self):
+        got, expected, _ = _run_upconv(True, upconv.trajectory(0, 4))
+        assert got == expected
+
+    def test_new_ops_gain(self):
+        # [14]: "New operations improve performance by 40%."  The
+        # collapsed loads remove a third of the load issues and the
+        # blend arithmetic; our cycle gain is smaller than the
+        # paper's application-level 40% (see EXPERIMENTS.md).
+        _, _, plain = _run_upconv(False, upconv.trajectory(2, 8))
+        _, _, fast = _run_upconv(True, upconv.trajectory(2, 8))
+        assert plain.cycles / fast.cycles > 1.1
+        assert fast.dcache.load_accesses < \
+            plain.dcache.load_accesses * 0.75
+
+    def test_prefetch_gain_documented(self):
+        # [14]: "data prefetching improves performance by more than
+        # 20%" — for cold streaming input.  Our frames are small, so
+        # assert the direction and stall reduction instead of 20%.
+        _, _, cold = _run_upconv(True, upconv.trajectory(2, 8),
+                                 prefetch=False)
+        _, _, prefetched = _run_upconv(True, upconv.trajectory(2, 8),
+                                       prefetch=True)
+        assert prefetched.dcache_stall_cycles < cold.dcache_stall_cycles
+        assert prefetched.cycles < cold.cycles

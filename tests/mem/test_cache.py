@@ -1,0 +1,123 @@
+"""Tests of the generic set-associative LRU tag store."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.cache import CacheGeometry, TagStore
+
+
+class TestGeometry:
+    def test_num_sets(self):
+        geometry = CacheGeometry(128 * 1024, 128, 4)
+        assert geometry.num_sets == 256  # Table 1 data cache
+
+    def test_icache_geometry(self):
+        geometry = CacheGeometry(64 * 1024, 128, 8)
+        assert geometry.num_sets == 64  # Table 1 instruction cache
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(100, 128, 4)
+        with pytest.raises(ValueError):
+            CacheGeometry(1024, 96, 4)
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(1024, 512, 4)
+
+    def test_set_index_and_tag(self):
+        geometry = CacheGeometry(1024, 64, 2)
+        address = 0x12345
+        line = address // 64
+        assert geometry.set_index(address) == line % geometry.num_sets
+        assert geometry.tag(address) == line // geometry.num_sets
+
+    def test_line_address(self):
+        geometry = CacheGeometry(1024, 64, 2)
+        assert geometry.line_address(0x12345) == 0x12340
+
+
+class TestTagStore:
+    def _store(self):
+        return TagStore(CacheGeometry(1024, 64, 2))  # 8 sets, 2 ways
+
+    def test_miss_then_hit(self):
+        store = self._store()
+        assert store.lookup(0x100) is None
+        store.install(0x100)
+        assert store.lookup(0x100) is not None
+
+    def test_hit_within_line(self):
+        store = self._store()
+        store.install(0x100)
+        assert store.lookup(0x13F) is not None
+        assert store.lookup(0x140) is None
+
+    def test_lru_eviction_order(self):
+        store = self._store()
+        geometry = store.geometry
+        # Three lines mapping to the same set; 2 ways.
+        set_stride = geometry.num_sets * geometry.line_bytes
+        a, b, c = 0x0, set_stride, 2 * set_stride
+        store.install(a)
+        store.install(b)
+        store.lookup(a)  # a becomes MRU; b is LRU
+        _line, victim = store.install(c)
+        assert victim is not None
+        assert store.victim_address(geometry.set_index(b), victim) == b
+        assert store.lookup(a) is not None
+        assert store.lookup(b) is None
+
+    def test_probe_does_not_touch_lru(self):
+        store = self._store()
+        geometry = store.geometry
+        set_stride = geometry.num_sets * geometry.line_bytes
+        a, b, c = 0x0, set_stride, 2 * set_stride
+        store.install(a)
+        store.install(b)
+        store.probe(a)  # must NOT refresh a
+        _line, victim = store.install(c)
+        assert store.victim_address(geometry.set_index(a), victim) == a
+
+    def test_no_victim_when_room(self):
+        store = self._store()
+        _line, victim = store.install(0x0)
+        assert victim is None
+
+    def test_victim_address_roundtrip(self):
+        store = self._store()
+        geometry = store.geometry
+        for address in (0x0, 0x40, 0x3C0, 0x7C0):
+            line, _ = store.install(address)
+            recovered = store.victim_address(
+                geometry.set_index(address), line)
+            assert recovered == geometry.line_address(address)
+
+    def test_flush_returns_dirty(self):
+        store = self._store()
+        line, _ = store.install(0x80)
+        line.dirty_mask = 0xF
+        clean, _ = store.install(0x100)
+        dirty = store.flush()
+        assert [address for address, _line in dirty] == [0x80]
+        assert store.resident_lines() == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 0xFFFF), min_size=1, max_size=200))
+    def test_capacity_never_exceeded(self, addresses):
+        store = self._store()
+        geometry = store.geometry
+        for address in addresses:
+            if store.lookup(address) is None:
+                store.install(address)
+        assert store.resident_lines() <= geometry.num_sets * geometry.ways
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 0xFFFF), min_size=1, max_size=100))
+    def test_lookup_after_install(self, addresses):
+        store = self._store()
+        for address in addresses:
+            if store.lookup(address) is None:
+                store.install(address)
+            assert store.lookup(address) is not None

@@ -1,0 +1,181 @@
+"""Tests of the data cache: the paper's load/store unit policies."""
+
+import pytest
+
+from repro.mem.bus import BusInterfaceUnit
+from repro.mem.cache import CacheGeometry
+from repro.mem.dcache import DataCache, WriteMissPolicy
+
+
+def make_dcache(policy=WriteMissPolicy.ALLOCATE, size=16 * 1024,
+                line=128, ways=4, freq=350.0):
+    biu = BusInterfaceUnit(freq)
+    return DataCache(CacheGeometry(size, line, ways), biu, policy), biu
+
+
+class TestLoadPath:
+    def test_cold_miss_stalls(self):
+        dcache, _ = make_dcache()
+        stall = dcache.access(True, 0x1000, 4, now=0)
+        assert stall > 0
+        assert dcache.stats.load_misses == 1
+
+    def test_hit_after_miss(self):
+        dcache, _ = make_dcache()
+        first = dcache.access(True, 0x1000, 4, now=0)
+        second = dcache.access(True, 0x1004, 4, now=first + 1)
+        assert second == 0
+        assert dcache.stats.load_hits == 1
+
+    def test_line_granularity(self):
+        dcache, _ = make_dcache()
+        stall = dcache.access(True, 0x1000, 4, now=0)
+        # Same 128-byte line: hit; next line: miss.
+        assert dcache.access(True, 0x107C, 4, now=stall) == 0
+        assert dcache.access(True, 0x1080, 4, now=stall) > 0
+
+
+class TestNonAligned:
+    def test_within_line_no_split(self):
+        dcache, _ = make_dcache()
+        dcache.access(True, 0x1001, 4, now=0)  # non-aligned, one line
+        assert dcache.stats.split_accesses == 0
+
+    def test_line_crossing_splits(self):
+        # Section 4.2: "non-aligned accesses may result in two cache
+        # misses when the data crosses a cache line boundary."
+        dcache, _ = make_dcache()
+        stall = dcache.access(True, 0x107E, 4, now=0)
+        assert dcache.stats.split_accesses == 1
+        assert dcache.stats.load_misses == 2
+        assert stall > 0
+
+    def test_split_store_allocates_two_lines(self):
+        dcache, _ = make_dcache()
+        dcache.access(False, 0x107E, 4, now=0)
+        assert dcache.stats.split_accesses == 1
+        assert dcache.contains(0x1000)
+        assert dcache.contains(0x1080)
+
+
+class TestWriteMissPolicies:
+    def test_allocate_on_write_miss_is_free(self):
+        # Section 4.1: allocation avoids the fetch; no stall.
+        dcache, biu = make_dcache(WriteMissPolicy.ALLOCATE)
+        stall = dcache.access(False, 0x2000, 4, now=0)
+        assert stall == 0
+        assert biu.stats.refill_bytes == 0
+
+    def test_fetch_on_write_miss_stalls(self):
+        dcache, biu = make_dcache(WriteMissPolicy.FETCH)
+        stall = dcache.access(False, 0x2000, 4, now=0)
+        assert stall > 0
+        assert biu.stats.refill_bytes == 128
+
+    def test_traffic_difference_is_the_memcpy_story(self):
+        # Section 6: allocate-on-write-miss generates less traffic.
+        region = 4096
+        totals = {}
+        for policy in WriteMissPolicy:
+            dcache, biu = make_dcache(policy)
+            now = 0
+            for offset in range(0, region, 4):
+                now += 1 + dcache.access(False, 0x4000 + offset, 4, now)
+            dcache.flush(now)
+            totals[policy] = biu.stats.total_bytes
+        assert totals[WriteMissPolicy.ALLOCATE] < \
+            totals[WriteMissPolicy.FETCH]
+
+
+class TestByteValidity:
+    def test_allocated_line_partially_valid(self):
+        dcache, _ = make_dcache(WriteMissPolicy.ALLOCATE)
+        dcache.access(False, 0x3000, 4, now=0)
+        line = dcache.tags.probe(0x3000)
+        assert line.valid_mask == 0xF
+        assert line.dirty_mask == 0xF
+
+    def test_load_of_written_bytes_hits(self):
+        dcache, _ = make_dcache(WriteMissPolicy.ALLOCATE)
+        dcache.access(False, 0x3000, 4, now=0)
+        assert dcache.access(True, 0x3000, 4, now=1) == 0
+        assert dcache.stats.load_hits == 1
+
+    def test_load_of_invalid_bytes_refetches(self):
+        # Section 4.2: "for loads, the validity of the requested bytes
+        # needs to be checked."
+        dcache, biu = make_dcache(WriteMissPolicy.ALLOCATE)
+        dcache.access(False, 0x3000, 4, now=0)
+        stall = dcache.access(True, 0x3010, 4, now=1)
+        assert stall > 0
+        assert dcache.stats.load_validity_misses == 1
+        assert biu.stats.refill_bytes == 128
+
+    def test_copyback_only_validated_bytes(self):
+        # Section 4.1: "only the validated bytes are copied back."
+        dcache, biu = make_dcache(WriteMissPolicy.ALLOCATE)
+        dcache.access(False, 0x3000, 8, now=0)
+        dcache.flush(now=10)
+        assert dcache.stats.copyback_bytes == 8
+        assert biu.stats.copyback_bytes == 8
+
+    def test_clean_victim_no_copyback(self):
+        dcache, biu = make_dcache()
+        dcache.access(True, 0x1000, 4, now=0)
+        dcache.flush(now=100)
+        assert biu.stats.copyback_bytes == 0
+
+
+class TestEvictionTraffic:
+    def test_dirty_victim_copies_back(self):
+        dcache, biu = make_dcache(size=1024, line=128, ways=2)
+        # Fill both ways of set 0, dirty one line fully.
+        now = 0
+        now += dcache.access(False, 0x0000, 4, now)
+        now += dcache.access(True, 0x0400, 4, now) + 1
+        # Third line in set 0 evicts the LRU (the dirtied one).
+        now += dcache.access(True, 0x0800, 4, now) + 1
+        assert biu.stats.copyback_bytes == 4
+
+
+class TestPrefetchInterface:
+    def test_prefetch_line_installs(self):
+        dcache, _ = make_dcache()
+        assert dcache.prefetch_line(0x5000, now=0)
+        assert dcache.contains(0x5000)
+
+    def test_prefetch_duplicate_dropped(self):
+        dcache, _ = make_dcache()
+        dcache.prefetch_line(0x5000, now=0)
+        assert not dcache.prefetch_line(0x5000, now=1)
+
+    def test_demand_on_inflight_prefetch_waits_remainder(self):
+        dcache, biu = make_dcache()
+        dcache.prefetch_line(0x5000, now=0)
+        line = dcache.tags.probe(0x5000)
+        ready = line.ready_at
+        assert ready > 0
+        stall = dcache.access(True, 0x5000, 4, now=1)
+        assert stall == ready - 1
+        assert dcache.stats.prefetch_partial_hits == 1
+
+    def test_prefetch_never_stalls_processor(self):
+        dcache, _ = make_dcache()
+        dcache.prefetch_line(0x6000, now=0)
+        # Access far in the future: fully covered.
+        assert dcache.access(True, 0x6000, 4, now=10_000) == 0
+
+
+class TestStats:
+    def test_hit_rate(self):
+        dcache, _ = make_dcache()
+        dcache.access(True, 0x1000, 4, now=0)
+        dcache.access(True, 0x1004, 4, now=100)
+        dcache.access(True, 0x1008, 4, now=101)
+        assert dcache.stats.load_hit_rate == pytest.approx(2 / 3)
+
+    def test_cwb_counts_stores(self):
+        dcache, _ = make_dcache()
+        dcache.access(False, 0x1000, 4, now=0)
+        dcache.access(False, 0x1004, 4, now=1)
+        assert dcache.stats.cwb_writes == 2

@@ -1,0 +1,151 @@
+"""Differential test: the data cache against an independent model.
+
+A deliberately simple reference model (per-set LRU lists with byte
+masks, no timing) is driven with the same random access sequence as
+the real :class:`~repro.mem.dcache.DataCache`; residency, validity,
+dirtiness, and copy-back byte counts must agree at every step.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.bus import BusInterfaceUnit
+from repro.mem.cache import CacheGeometry
+from repro.mem.dcache import DataCache, WriteMissPolicy
+
+SIZE, LINE, WAYS = 2048, 64, 2
+NUM_SETS = SIZE // (LINE * WAYS)
+
+
+class ReferenceCache:
+    """Independent re-derivation of the cache policies."""
+
+    def __init__(self, policy):
+        self.policy = policy
+        self.sets = [[] for _ in range(NUM_SETS)]  # [(line_addr, v, d)]
+        self.copyback_bytes = 0
+
+    def _set(self, address):
+        return (address // LINE) % NUM_SETS
+
+    def _find(self, address):
+        line_address = address - address % LINE
+        bucket = self.sets[self._set(address)]
+        for index, entry in enumerate(bucket):
+            if entry[0] == line_address:
+                return index, entry
+        return None, None
+
+    def _evict_if_full(self, address):
+        bucket = self.sets[self._set(address)]
+        if len(bucket) >= WAYS:
+            _addr, valid, dirty = bucket.pop()
+            self.copyback_bytes += bin(valid & dirty).count("1")
+
+    def _mask(self, address, nbytes):
+        return ((1 << nbytes) - 1) << (address % LINE)
+
+    def access(self, is_load, address, nbytes):
+        # Split line-crossers exactly like the hardware.
+        end = address + nbytes - 1
+        if address // LINE != end // LINE:
+            split = (address // LINE + 1) * LINE
+            self.access(is_load, address, split - address)
+            self.access(is_load, split, end - split + 1)
+            return
+        line_address = address - address % LINE
+        mask = self._mask(address, nbytes)
+        index, entry = self._find(address)
+        bucket = self.sets[self._set(address)]
+        full = (1 << LINE) - 1
+        if is_load:
+            if entry is not None and (entry[1] & mask) == mask:
+                bucket.insert(0, bucket.pop(index))  # MRU
+                return
+            if entry is not None:
+                # Validity miss: refetch merges; dirty data preserved.
+                bucket.pop(index)
+                bucket.insert(0, (line_address, full, entry[2]))
+                return
+            self._evict_if_full(address)
+            bucket.insert(0, (line_address, full, 0))
+        else:
+            if entry is not None:
+                bucket.pop(index)
+                bucket.insert(
+                    0, (line_address, entry[1] | mask, entry[2] | mask))
+                return
+            if self.policy is WriteMissPolicy.ALLOCATE:
+                self._evict_if_full(address)
+                bucket.insert(0, (line_address, mask, mask))
+            else:
+                self._evict_if_full(address)
+                bucket.insert(0, (line_address, full, mask))
+
+    def resident(self, address):
+        _index, entry = self._find(address)
+        return entry
+
+
+def _accesses(seed, count):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(count):
+        out.append((
+            rng.random() < 0.5,                      # is_load
+            rng.randrange(0, 8 * SIZE),              # address
+            rng.choice((1, 2, 4, 4, 4, 8)),          # nbytes
+        ))
+    return out
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000), st.integers(10, 300))
+def test_dcache_agrees_with_reference(seed, count):
+    for policy in WriteMissPolicy:
+        biu = BusInterfaceUnit(350.0)
+        dcache = DataCache(CacheGeometry(SIZE, LINE, WAYS), biu, policy)
+        reference = ReferenceCache(policy)
+        now = 0
+        for is_load, address, nbytes in _accesses(seed, count):
+            stall = dcache.access(is_load, address, nbytes, now)
+            reference.access(is_load, address, nbytes)
+            now += 1 + stall
+        # Residency, validity, and dirtiness agree line by line.
+        for set_index in range(NUM_SETS):
+            for line_address, valid, dirty in reference.sets[set_index]:
+                line = dcache.tags.probe(line_address)
+                assert line is not None, hex(line_address)
+                assert line.valid_mask == valid, hex(line_address)
+                assert line.dirty_mask == dirty, hex(line_address)
+            count_resident = len(reference.sets[set_index])
+            real = sum(
+                1 for line_address in range(0, 8 * SIZE, LINE)
+                if (line_address // LINE) % NUM_SETS == set_index
+                and dcache.tags.probe(line_address) is not None)
+            assert real == count_resident
+        # Copy-back traffic (victimized validated dirty bytes) agrees.
+        assert dcache.stats.copyback_bytes == reference.copyback_bytes
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000))
+def test_flush_writes_back_everything_dirty(seed):
+    biu = BusInterfaceUnit(350.0)
+    dcache = DataCache(CacheGeometry(SIZE, LINE, WAYS), biu,
+                       WriteMissPolicy.ALLOCATE)
+    rng = random.Random(seed)
+    written = 0
+    now = 0
+    for _ in range(50):
+        address = rng.randrange(0, 2 * SIZE)
+        now += 1 + dcache.access(False, address, 4, now)
+    before = dcache.stats.copyback_bytes
+    flushed = dcache.flush(now)
+    # After a flush nothing is resident and re-flushing is a no-op.
+    assert dcache.tags.resident_lines() == 0
+    assert dcache.flush(now + 1) == 0
+    assert dcache.stats.copyback_bytes == before + flushed

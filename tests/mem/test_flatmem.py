@@ -1,0 +1,44 @@
+"""Tests of the flat functional memory."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mem.flatmem import FlatMemory
+
+
+class TestFlatMemory:
+    def test_big_endian(self):
+        memory = FlatMemory(64)
+        memory.store(0, 0x01020304, 4)
+        assert memory.read_block(0, 4) == bytes([1, 2, 3, 4])
+        assert memory.load(0, 1) == 1
+
+    def test_bounds_checked(self):
+        memory = FlatMemory(16)
+        with pytest.raises(IndexError):
+            memory.load(14, 4)
+        with pytest.raises(IndexError):
+            memory.store(-1, 0, 1)
+
+    def test_zero_initialized(self):
+        assert FlatMemory(32).read_block(0, 32) == bytes(32)
+
+    def test_block_io(self):
+        memory = FlatMemory(64)
+        memory.write_block(8, b"hello")
+        assert memory.read_block(8, 5) == b"hello"
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            FlatMemory(0)
+
+    @given(st.integers(0, 60), st.integers(0, 0xFFFFFFFF),
+           st.sampled_from([1, 2, 4]))
+    def test_store_load_roundtrip(self, address, value, nbytes):
+        memory = FlatMemory(64)
+        masked = value & ((1 << (8 * nbytes)) - 1)
+        if address + nbytes > 64:
+            return
+        memory.store(address, masked, nbytes)
+        assert memory.load(address, nbytes) == masked

@@ -1,0 +1,147 @@
+"""Tests of the region-based prefetch unit (Section 2.3)."""
+
+import pytest
+
+from repro.mem.bus import BusInterfaceUnit
+from repro.mem.cache import CacheGeometry
+from repro.mem.dcache import DataCache
+from repro.mem.prefetch import (
+    OFFSET_END,
+    OFFSET_START,
+    OFFSET_STRIDE,
+    REGION_STRIDE_BYTES,
+    RegionPrefetcher,
+)
+
+
+def make_prefetcher(freq=350.0):
+    biu = BusInterfaceUnit(freq)
+    dcache = DataCache(CacheGeometry(16 * 1024, 128, 4), biu)
+    return RegionPrefetcher(dcache, biu), dcache, biu
+
+
+def program_region(prefetcher, index, start, end, stride):
+    base = index * REGION_STRIDE_BYTES
+    prefetcher.mmio_store(base + OFFSET_START, start)
+    prefetcher.mmio_store(base + OFFSET_END, end)
+    prefetcher.mmio_store(base + OFFSET_STRIDE, stride & 0xFFFFFFFF)
+
+
+class TestRegionRegisters:
+    def test_four_regions(self):
+        prefetcher, _, _ = make_prefetcher()
+        assert len(prefetcher.regions) == 4
+
+    def test_mmio_roundtrip(self):
+        prefetcher, _, _ = make_prefetcher()
+        program_region(prefetcher, 2, 0x1000, 0x2000, 512)
+        base = 2 * REGION_STRIDE_BYTES
+        assert prefetcher.mmio_load(base + OFFSET_START) == 0x1000
+        assert prefetcher.mmio_load(base + OFFSET_END) == 0x2000
+        assert prefetcher.mmio_load(base + OFFSET_STRIDE) == 512
+
+    def test_negative_stride(self):
+        prefetcher, _, _ = make_prefetcher()
+        program_region(prefetcher, 0, 0x1000, 0x2000, -128)
+        assert prefetcher.regions[0].stride == -128
+
+    def test_inactive_until_programmed(self):
+        prefetcher, _, _ = make_prefetcher()
+        assert not any(region.active for region in prefetcher.regions)
+
+    def test_bad_offset_rejected(self):
+        prefetcher, _, _ = make_prefetcher()
+        with pytest.raises(ValueError):
+            prefetcher.mmio_store(12, 1)
+
+
+class TestTriggering:
+    def test_load_in_region_requests_prefetch(self):
+        prefetcher, dcache, _ = make_prefetcher()
+        program_region(prefetcher, 0, 0x1000, 0x9000, 0x400)
+        prefetcher.observe_load(0x1000, now=0)
+        prefetcher.tick(now=1)
+        assert prefetcher.stats.issued == 1
+        assert dcache.contains(0x1400)
+
+    def test_load_outside_region_ignored(self):
+        prefetcher, _, _ = make_prefetcher()
+        program_region(prefetcher, 0, 0x1000, 0x2000, 0x400)
+        prefetcher.observe_load(0x9000, now=0)
+        assert prefetcher.stats.triggers == 0
+
+    def test_target_outside_region_dropped(self):
+        # Section 2.3: prefetch only "if the prefetch address is ...
+        # within the region".
+        prefetcher, _, _ = make_prefetcher()
+        program_region(prefetcher, 0, 0x1000, 0x2000, 0x400)
+        prefetcher.observe_load(0x1F00, now=0)
+        assert prefetcher.stats.out_of_region == 1
+        assert prefetcher.stats.requests == 0
+
+    def test_duplicate_suppressed_when_cached(self):
+        # Section 2.3: "if the prefetch address is not yet present in
+        # the cache".
+        prefetcher, dcache, _ = make_prefetcher()
+        program_region(prefetcher, 0, 0x1000, 0x9000, 0x400)
+        dcache.prefetch_line(0x1400, now=0)
+        prefetcher.observe_load(0x1000, now=1)
+        assert prefetcher.stats.duplicates == 1
+        assert prefetcher.stats.requests == 0
+
+    def test_duplicate_suppressed_when_queued(self):
+        prefetcher, _, _ = make_prefetcher()
+        program_region(prefetcher, 0, 0x1000, 0x9000, 0x400)
+        prefetcher.observe_load(0x1000, now=0)
+        prefetcher.observe_load(0x1004, now=0)  # same target line
+        assert prefetcher.stats.requests == 1
+        assert prefetcher.stats.duplicates == 1
+
+    def test_disabled_prefetcher_idle(self):
+        prefetcher, _, _ = make_prefetcher()
+        prefetcher.enabled = False
+        program_region(prefetcher, 0, 0x1000, 0x9000, 0x400)
+        prefetcher.observe_load(0x1000, now=0)
+        assert prefetcher.stats.triggers == 0
+
+    def test_queue_overflow(self):
+        prefetcher, _, _ = make_prefetcher()
+        program_region(prefetcher, 0, 0x0, 0x100000, 0x400)
+        for index in range(prefetcher.QUEUE_DEPTH + 3):
+            prefetcher.observe_load(index * 0x800, now=0)
+        assert prefetcher.stats.queue_overflows == 3
+
+    def test_negative_stride_prefetches_backwards(self):
+        prefetcher, dcache, _ = make_prefetcher()
+        program_region(prefetcher, 0, 0x1000, 0x9000, -0x400)
+        prefetcher.observe_load(0x2000, now=0)
+        prefetcher.tick(now=1)
+        assert dcache.contains(0x1C00)
+
+
+class TestBusInteraction:
+    def test_prefetch_waits_for_idle_bus(self):
+        prefetcher, dcache, biu = make_prefetcher()
+        program_region(prefetcher, 0, 0x1000, 0x9000, 0x400)
+        biu.demand_refill(0x40000, 128, now_cycle=0)  # bus busy
+        prefetcher.observe_load(0x1000, now=0)
+        prefetcher.tick(now=1)
+        assert prefetcher.stats.issued == 0  # still queued
+        prefetcher.tick(now=10_000)
+        assert prefetcher.stats.issued == 1
+
+    def test_figure3_pattern(self):
+        # The Figure 3 scenario: scanning a row of 4-high blocks over
+        # a width-W image with stride W*4 walks the whole next row in.
+        width = 512
+        prefetcher, dcache, _ = make_prefetcher()
+        program_region(prefetcher, 0, 0x10000, 0x10000 + width * 64,
+                       width * 4)
+        now = 0
+        for x in range(0, width, 128):
+            for row in range(4):
+                prefetcher.observe_load(0x10000 + row * width + x, now)
+                prefetcher.tick(now)
+                now += 50
+        for x in range(0, width, 128):
+            assert dcache.contains(0x10000 + 4 * width + x)

@@ -1,0 +1,140 @@
+"""Tests of the SDRAM timing model and the bus interface unit."""
+
+import pytest
+
+from repro.mem.bus import BusInterfaceUnit
+from repro.mem.icache import ICacheMode, InstructionCache
+from repro.mem.cache import CacheGeometry
+from repro.mem.sdram import Sdram, SdramConfig
+
+
+class TestSdram:
+    def test_peak_bandwidth(self):
+        # 32-bit DDR at 200 MHz: 1.6 bytes/ns (Section 6).
+        config = SdramConfig()
+        assert config.bandwidth_bytes_per_ns == pytest.approx(1.6)
+
+    def test_row_miss_then_hit(self):
+        sdram = Sdram()
+        first = sdram.transaction_ns(0x1000, 128)
+        second = sdram.transaction_ns(0x1080, 128)
+        assert second < first  # open-row hit
+        assert sdram.stats.row_hits == 1
+        assert sdram.stats.row_misses == 1
+
+    def test_different_rows_miss(self):
+        sdram = Sdram()
+        sdram.transaction_ns(0x0, 128)
+        sdram.transaction_ns(0x100000, 128)
+        assert sdram.stats.row_misses == 2
+
+    def test_transfer_time_scales_with_bytes(self):
+        sdram = Sdram()
+        small = sdram.transaction_ns(0x0, 32)
+        sdram2 = Sdram()
+        large = sdram2.transaction_ns(0x0, 512)
+        assert large - small == pytest.approx((512 - 32) / 1.6)
+
+    def test_stats_accumulate(self):
+        sdram = Sdram()
+        sdram.transaction_ns(0, 128)
+        sdram.transaction_ns(4096, 128)
+        assert sdram.stats.transactions == 2
+        assert sdram.stats.bytes_transferred == 256
+        assert sdram.stats.busy_ns > 0
+
+    def test_banks_track_independent_rows(self):
+        config = SdramConfig(banks=2, row_bytes=1024)
+        sdram = Sdram(config)
+        sdram.transaction_ns(0, 64)        # bank 0, row 0
+        sdram.transaction_ns(1024, 64)     # bank 1, row 1
+        sdram.transaction_ns(32, 64)       # bank 0, row 0: hit
+        assert sdram.stats.row_hits == 1
+
+
+class TestBiu:
+    def test_clock_domain_conversion(self):
+        biu = BusInterfaceUnit(350.0)
+        assert biu.ns_of_cycle(350) == pytest.approx(1000.0)
+        assert biu.cycle_of_ns(1000.0) == 350
+
+    def test_completion_after_request(self):
+        biu = BusInterfaceUnit(350.0)
+        done = biu.demand_refill(0x1000, 128, now_cycle=100)
+        assert done > 100
+
+    def test_serialization(self):
+        biu = BusInterfaceUnit(350.0)
+        first = biu.demand_refill(0x1000, 128, now_cycle=0)
+        second = biu.demand_refill(0x8000, 128, now_cycle=0)
+        assert second > first
+
+    def test_faster_cpu_waits_more_cycles(self):
+        # The same memory transaction costs more cycles at 350 MHz
+        # than at 240 MHz — the B-vs-C separation of Section 6.
+        slow = BusInterfaceUnit(240.0).demand_refill(0x1000, 128, 0)
+        fast = BusInterfaceUnit(350.0).demand_refill(0x1000, 128, 0)
+        assert fast > slow
+
+    def test_traffic_categories(self):
+        biu = BusInterfaceUnit(350.0)
+        biu.demand_refill(0x0, 128, 0)
+        biu.copyback(0x100, 64, 0)
+        biu.prefetch(0x200, 128, 0)
+        biu.instruction_refill(0x300, 128, 0)
+        stats = biu.stats
+        assert stats.refill_bytes == 128
+        assert stats.copyback_bytes == 64
+        assert stats.prefetch_bytes == 128
+        assert stats.ifetch_bytes == 128
+        assert stats.total_bytes == 448
+
+    def test_idle_detection(self):
+        biu = BusInterfaceUnit(350.0)
+        assert biu.idle_at(0)
+        done = biu.demand_refill(0x0, 128, 0)
+        assert not biu.idle_at(1)
+        assert biu.idle_at(done + 10)
+
+
+class TestICache:
+    def _icache(self, mode):
+        biu = BusInterfaceUnit(350.0)
+        geometry = CacheGeometry(64 * 1024, 128, 8)
+        return InstructionCache(geometry, biu, mode)
+
+    def test_miss_then_hit(self):
+        icache = self._icache(ICacheMode.SEQUENTIAL)
+        stall = icache.fetch_chunk(0x1000, now=0)
+        assert stall > 0
+        assert icache.fetch_chunk(0x1000, now=stall + 1) == 0
+
+    def test_chunks_share_lines(self):
+        icache = self._icache(ICacheMode.SEQUENTIAL)
+        stall = icache.fetch_chunk(0x1000, now=0)
+        # Chunks 0x1020..0x1060 live in the same 128-byte line.
+        assert icache.fetch_chunk(0x1020, now=stall + 1) == 0
+        assert icache.stats.misses == 1
+
+    def test_sequential_reads_one_way(self):
+        # Section 5.2: the sequential design reads tag then only the
+        # hit way, cutting SRAM energy vs the parallel design.
+        sequential = self._icache(ICacheMode.SEQUENTIAL)
+        parallel = self._icache(ICacheMode.PARALLEL)
+        sequential.fetch_chunk(0x0, 0)
+        parallel.fetch_chunk(0x0, 0)
+        assert sequential.stats.data_way_reads == 1
+        assert parallel.stats.data_way_reads == 8
+
+    def test_hit_rate(self):
+        icache = self._icache(ICacheMode.SEQUENTIAL)
+        icache.fetch_chunk(0x0, 0)
+        icache.fetch_chunk(0x0, 1000)
+        icache.fetch_chunk(0x0, 1001)
+        assert icache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_inflight_fill_partial_stall(self):
+        icache = self._icache(ICacheMode.SEQUENTIAL)
+        stall = icache.fetch_chunk(0x2000, now=0)
+        again = icache.fetch_chunk(0x2020, now=stall // 2)
+        assert 0 < again <= stall

@@ -1,0 +1,104 @@
+"""Tests of the synthetic workload generators."""
+
+import pytest
+
+from repro.cabac import CabacDecoder
+from repro.workloads import cabac_streams, video
+
+
+class TestSyntheticFrames:
+    def test_deterministic(self):
+        assert video.synthetic_frame(64, 32, seed=5) == \
+            video.synthetic_frame(64, 32, seed=5)
+
+    def test_seed_changes_content(self):
+        assert video.synthetic_frame(64, 32, seed=5) != \
+            video.synthetic_frame(64, 32, seed=6)
+
+    def test_size(self):
+        assert len(video.synthetic_frame(64, 32)) == 64 * 32
+
+    def test_residuals_small_magnitude(self):
+        residuals = video.synthetic_residuals(10, magnitude=12)
+        for byte in residuals:
+            value = byte - 256 if byte & 0x80 else byte
+            assert -12 <= value <= 12
+
+
+class TestMotionFields:
+    def _spread(self, field):
+        xs = [dx for dx, _dy in field.vectors]
+        ys = [dy for _dx, dy in field.vectors]
+        return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+    def test_vectors_stay_in_frame(self):
+        for disruptiveness in (0.0, 0.5, 1.0):
+            field = video.motion_field(16, 8, 128, 64, disruptiveness)
+            for index, (dx, dy) in enumerate(field.vectors):
+                bx, by = index % 16, index // 16
+                x0, y0 = bx * 8 + dx, by * 8 + dy
+                assert 0 <= x0 <= 128 - 8
+                assert 0 <= y0 <= 64 - 8
+
+    def test_disruptiveness_increases_spread(self):
+        smooth = video.motion_field(16, 8, 128, 64, 0.05)
+        wild = video.motion_field(16, 8, 128, 64, 1.0)
+        assert self._spread(wild) > self._spread(smooth)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            video.motion_field(4, 4, 64, 64, 1.5)
+
+    def test_packed_words_roundtrip(self):
+        field = video.motion_field(4, 4, 64, 64, 0.8)
+        for (dx, dy), word in zip(field.vectors, field.packed_words()):
+            unpacked_dx = word & 0xFFFF
+            unpacked_dx -= 0x10000 if unpacked_dx & 0x8000 else 0
+            unpacked_dy = word >> 16
+            unpacked_dy -= 0x10000 if unpacked_dy & 0x8000 else 0
+            assert (unpacked_dx, unpacked_dy) == (dx, dy)
+
+    def test_stream_presets(self):
+        assert video.MPEG2_STREAM_DISRUPTIVENESS["mpeg2_a"] > \
+            video.MPEG2_STREAM_DISRUPTIVENESS["mpeg2_b"] > \
+            video.MPEG2_STREAM_DISRUPTIVENESS["mpeg2_c"]
+
+
+class TestCabacStreams:
+    @pytest.fixture(scope="class")
+    def fields(self):
+        return cabac_streams.generate_all_fields(scale=0.01)
+
+    def test_three_field_types(self, fields):
+        assert set(fields) == {"I", "P", "B"}
+
+    def test_bit_budget_ratios(self, fields):
+        # Scaled from the paper: I > B > P bits per field (Table 3).
+        assert fields["I"].num_bits > fields["B"].num_bits
+        assert fields["B"].num_bits > fields["P"].num_bits
+
+    def test_predictability_ordering(self, fields):
+        # B symbols are most predictable: fewest bits per symbol.
+        assert fields["I"].bits_per_symbol > \
+            fields["P"].bits_per_symbol > fields["B"].bits_per_symbol
+
+    def test_i_field_near_incompressible(self, fields):
+        assert fields["I"].bits_per_symbol > 0.85
+
+    def test_streams_decode_with_reference_decoder(self, fields):
+        for field in fields.values():
+            decoder = CabacDecoder(field.data,
+                                   num_contexts=field.num_contexts)
+            context = 0
+            for expected in field.symbols:
+                assert decoder.decode(context) == expected
+                context = (context + 1) % field.num_contexts
+
+    def test_determinism(self):
+        first = cabac_streams.generate_field("I", seed=3, scale=0.005)
+        second = cabac_streams.generate_field("I", seed=3, scale=0.005)
+        assert first.data == second.data
+
+    def test_unknown_field_type(self):
+        with pytest.raises(ValueError):
+            cabac_streams.generate_field("X")
