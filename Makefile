@@ -1,0 +1,29 @@
+# Convenience entry points; every target is plain python + pytest.
+
+PY := PYTHONPATH=src python
+
+.PHONY: test fast slow bench benchmarks trace
+
+# Tier-1 verification: the whole unit/property suite.
+test:
+	$(PY) -m pytest -x -q
+
+# Skip the hypothesis-heavy differential suites (seconds, not minutes).
+fast:
+	$(PY) -m pytest -x -q -m "not slow"
+
+# Only the hypothesis-heavy differential suites.
+slow:
+	$(PY) -m pytest -x -q -m slow
+
+# Regenerate the machine-readable perf trajectory (BENCH_*.json).
+bench:
+	$(PY) -m repro.eval.runner --bench-out benchmarks/results/BENCH_pr1.json
+
+# Regenerate every paper table/figure artifact (slow).
+benchmarks:
+	$(PY) -m pytest -x -q benchmarks
+
+# Capture a Chrome trace of the quickstart kernel (chrome://tracing).
+trace:
+	$(PY) examples/quickstart.py --trace trace_quickstart.json

@@ -11,12 +11,21 @@ The flow below is the library's core loop:
 4. inspect cycles, CPI/OPI, stall breakdown, and memory contents.
 
 Run:  python examples/quickstart.py
+      python examples/quickstart.py --trace trace_quickstart.json
+                                    # then load in chrome://tracing
+
+With ``--trace`` the TM3270 run captures the observability event
+stream (pipeline stages, cache hits/misses, prefetch activity) and
+writes it as Chrome ``trace_event`` JSON.
 """
+
+import argparse
 
 from repro.asm import ProgramBuilder, compile_program
 from repro.core import TM3260_CONFIG, TM3270_CONFIG, run_kernel
 from repro.kernels.common import args_for
 from repro.mem.flatmem import FlatMemory
+from repro.obs import EventBus, write_chrome_trace
 
 
 def build_saxpy():
@@ -40,6 +49,13 @@ def build_saxpy():
 
 
 def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a Chrome trace_event JSON of the TM3270 run "
+             "(open in chrome://tracing or ui.perfetto.dev)")
+    options = parser.parse_args()
+
     program = build_saxpy()
     x_base, y_base, nwords = 0x1000, 0x2000, 256
 
@@ -53,10 +69,14 @@ def main():
         memory.write_block(x_base, bytes(range(256)) * 4)
         memory.write_block(y_base, bytes([10] * 1024))
 
+        bus = None
+        if options.trace and config is TM3270_CONFIG:
+            bus = EventBus(stage_detail=True)
+
         result = run_kernel(
             linked, config,
             args=args_for(x_base, y_base, nwords, 0x80808080),
-            memory=memory)
+            memory=memory, obs=bus)
 
         stats = result.stats
         print(f"{config.name}:")
@@ -68,7 +88,13 @@ def main():
         print(f"  time @ {config.freq_mhz:.0f} MHz  : "
               f"{1e6 * stats.seconds:.1f} us")
         sample = memory.read_block(y_base, 8)
-        print(f"  y[0..8]          : {list(sample)}\n")
+        print(f"  y[0..8]          : {list(sample)}")
+        if bus is not None:
+            write_chrome_trace(options.trace, bus,
+                               freq_mhz=config.freq_mhz)
+            print(f"  trace            : {len(bus)} events "
+                  f"-> {options.trace}")
+        print()
 
 
 if __name__ == "__main__":

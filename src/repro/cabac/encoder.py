@@ -31,6 +31,10 @@ class CabacEncoder:
         self._bits_outstanding = 0
         self._first_bit = True
         self.symbols_encoded = 0
+        #: Optional :class:`~repro.obs.events.EventBus`.  The encoder
+        #: has no cycle clock; events are stamped with the symbol
+        #: index (``symbols_encoded``) instead.
+        self.obs = None
 
     # -- bit plumbing -----------------------------------------------------
 
@@ -47,6 +51,7 @@ class CabacEncoder:
             self._bits_outstanding -= 1
 
     def _renormalize(self) -> None:
+        iterations = 0
         while self._range < tables.RENORM_THRESHOLD:
             if self._low >= 512:
                 self._put_bit(1)
@@ -58,6 +63,12 @@ class CabacEncoder:
                 self._low -= 256
             self._low <<= 1
             self._range <<= 1
+            iterations += 1
+        if iterations and self.obs:
+            # Renormalization count is the data-dependent part of the
+            # SUPER_CABAC loop the paper accelerates (Figure 2).
+            self.obs.cabac(self.symbols_encoded, "renorm",
+                           shifts=iterations)
 
     # -- encoding ---------------------------------------------------------
 
@@ -103,6 +114,10 @@ class CabacEncoder:
         self._renormalize()
         self._put_bit((self._low >> 9) & 1)
         self._writer.put_bits(((self._low >> 7) & 3) | 1, 2)
+        if self.obs:
+            self.obs.cabac(self.symbols_encoded, "flush",
+                           symbols=self.symbols_encoded,
+                           bits=len(self._writer))
         return self._writer.to_bytes()
 
     @property

@@ -110,6 +110,32 @@ def jump_delay_slots(target: Target = TM3270_TARGET) -> int:
     return target.jump_delay_slots
 
 
+def stage_spans(issue_cycle: int, *, latency: int = 1, stall: int = 0,
+                ) -> list[tuple[str, int, int]]:
+    """Per-stage ``(stage, start_cycle, duration)`` spans of one
+    instruction issued (entering D) at ``issue_cycle``.
+
+    This is the Figure 4 overlay the observability layer renders on a
+    Chrome-trace timeline: the front-end stages are back-dated from the
+    issue cycle (the model charges fetch stalls at issue time, so the
+    skew is structural, not measured), the decode stage stretches over
+    any whole-pipeline ``stall`` charged to this instruction — TriMedia
+    stalls the pipeline as a unit — and ``latency`` execute stages plus
+    write-back follow.
+    """
+    spans = []
+    skew = len(FRONT_END_STAGES)
+    for index, stage in enumerate(FRONT_END_STAGES):
+        spans.append((stage, issue_cycle - skew + index, 1))
+    spans.append((DECODE_STAGE, issue_cycle, 1 + stall))
+    execute_start = issue_cycle + 1 + stall
+    depth = min(max(latency, 1), len(EXECUTE_STAGES))
+    for index in range(depth):
+        spans.append((EXECUTE_STAGES[index], execute_start + index, 1))
+    spans.append((WRITEBACK_STAGE, execute_start + depth, 1))
+    return spans
+
+
 def describe(target: Target = TM3270_TARGET) -> str:
     """Human-readable pipeline summary (the Figure 4 caption)."""
     low, high = depth_range(target)

@@ -25,12 +25,14 @@ from dataclasses import dataclass
 from repro.asm.link import LinkedProgram
 from repro.core.config import ProcessorConfig, TM3270_CONFIG
 from repro.core.executor import MMIO_BASE, MMIO_SIZE, Executor
+from repro.core.pipeline import stage_spans
 from repro.core.stats import RunStats
 from repro.mem.bus import BusInterfaceUnit
 from repro.mem.dcache import DataCache
 from repro.mem.flatmem import FlatMemory
 from repro.mem.icache import FETCH_CHUNK_BYTES, InstructionCache
 from repro.mem.prefetch import RegionPrefetcher
+from repro.obs.events import EventBus
 
 #: Programs are laid out in a dedicated code region so instruction and
 #: data addresses never alias in the caches.
@@ -55,7 +57,8 @@ class Processor:
 
     def __init__(self, config: ProcessorConfig = TM3270_CONFIG,
                  memory: FlatMemory | None = None,
-                 memory_size: int = 1 << 20) -> None:
+                 memory_size: int = 1 << 20,
+                 obs: EventBus | None = None) -> None:
         self.config = config
         self.memory = memory or FlatMemory(memory_size)
         self.biu = BusInterfaceUnit(config.freq_mhz, config.sdram)
@@ -65,6 +68,12 @@ class Processor:
             config.dcache, self.biu, config.write_miss_policy)
         self.prefetcher = RegionPrefetcher(
             self.dcache, self.biu, enabled=config.prefetch_enabled)
+        # One bus observes every component; None keeps all emission
+        # sites on their zero-cost path.
+        self.obs = obs
+        self.icache.obs = obs
+        self.dcache.obs = obs
+        self.prefetcher.obs = obs
 
     # -- MMIO ---------------------------------------------------------------
 
@@ -140,6 +149,7 @@ class Processor:
                     last_chunk = chunk
                 chunk += FETCH_CHUNK_BYTES
             stats.icache_stall_cycles += stall
+            fetch_stall = stall
 
             # Load/store unit.
             for access in info.mem_accesses:
@@ -155,6 +165,21 @@ class Processor:
                     self.prefetcher.observe_load(
                         access.address, cycle + stall)
             self.prefetcher.tick(cycle + stall)
+
+            obs = self.obs
+            if obs:
+                obs.instruction(cycle, 1 + stall,
+                                index=stats.instructions,
+                                issued_ops=info.issued_ops,
+                                executed_ops=info.executed_ops)
+                obs.stall(cycle, "icache", fetch_stall)
+                obs.stall(cycle + fetch_stall, "dcache",
+                          stall - fetch_stall)
+                if obs.stage_detail:
+                    for stage, start, dur in stage_spans(
+                            cycle, stall=stall):
+                        obs.stage(start, stage, dur,
+                                  instr=stats.instructions)
 
             cycle += 1 + stall
             stats.instructions += 1
@@ -183,8 +208,10 @@ def run_kernel(program: LinkedProgram,
                args: dict[int, int] | None = None,
                memory: FlatMemory | None = None,
                memory_size: int = 1 << 20,
-               max_instructions: int = 50_000_000) -> RunResult:
+               max_instructions: int = 50_000_000,
+               obs: EventBus | None = None) -> RunResult:
     """Convenience: build a fresh processor and run one kernel."""
-    processor = Processor(config, memory=memory, memory_size=memory_size)
+    processor = Processor(config, memory=memory, memory_size=memory_size,
+                          obs=obs)
     return processor.run(program, args=args,
                          max_instructions=max_instructions)

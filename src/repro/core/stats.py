@@ -83,6 +83,14 @@ class RunStats:
     def fu_count(self, fu: FU) -> int:
         return self.fu_counts.get(fu, 0)
 
+    def metrics(self, registry=None):
+        """This run's counters as a unified
+        :class:`~repro.obs.metrics.MetricsRegistry` (stable names,
+        labelled series — the export contract of the obs layer)."""
+        from repro.obs.metrics import from_run_stats
+
+        return from_run_stats(self, registry)
+
     def summary(self) -> str:
         """Human-readable one-paragraph summary."""
         return (

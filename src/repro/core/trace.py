@@ -108,6 +108,23 @@ def utilization(stats: RunStats) -> UtilizationReport:
     )
 
 
+def register_utilization(stats: RunStats, registry) -> None:
+    """Export the dynamic utilization view as gauges on ``registry``.
+
+    Complements :func:`repro.obs.metrics.from_run_stats` (raw
+    counters) with the derived pipeline-occupancy ratios this module
+    computes, under one metric family.
+    """
+    report = utilization(stats)
+    gauge = registry.gauge(
+        "pipeline_utilization",
+        "derived pipeline occupancy ratios", ("metric",))
+    gauge.labels("issue_rate").set(report.issue_rate)
+    gauge.labels("nullification_rate").set(report.nullification_rate)
+    gauge.labels("dcache_stall_share").set(report.dcache_stall_share)
+    gauge.labels("icache_stall_share").set(report.icache_stall_share)
+
+
 def format_profile(program: LinkedProgram,
                    stats: RunStats | None = None) -> str:
     """Human-readable profile report."""

@@ -1,15 +1,74 @@
-"""Shared experiment plumbing: compile, run, verify, collect stats."""
+"""Shared experiment plumbing: compile, run, verify, collect stats.
+
+Every verified kernel run is also recorded on the module-level
+:data:`BENCH_SINK`, which maintains a ``BENCH_*.json`` perf-trajectory
+file (schema ``tm3270.bench/1``, see :mod:`repro.obs.export`) — so any
+benchmark or evaluation driver leaves a machine-readable record behind
+without further ceremony.  The default output is
+``benchmarks/results/BENCH_runs.json`` in the source tree; override
+with the ``REPRO_BENCH_OUT`` environment variable or
+:meth:`BenchSink.set_path`.
+
+Run ``python -m repro.eval.runner --bench-out BENCH_pr1.json`` to
+regenerate the trajectory mechanically (see :func:`main`).
+"""
 
 from __future__ import annotations
 
+import os
+import pathlib
+
 from repro.asm.link import compile_program
-from repro.core.config import ProcessorConfig
+from repro.core.config import EVALUATION_CONFIGS, ProcessorConfig
 from repro.core.processor import RunResult, run_kernel
 from repro.core.stats import RunStats
-from repro.kernels.registry import KernelCase
+from repro.kernels.registry import TABLE5_KERNELS, KernelCase
 from repro.mem.flatmem import FlatMemory
+from repro.obs.export import bench_record, write_bench
 
 _PROGRAM_CACHE: dict = {}
+
+
+def _default_bench_path() -> pathlib.Path:
+    override = os.environ.get("REPRO_BENCH_OUT")
+    if override:
+        return pathlib.Path(override)
+    # src/repro/eval/runner.py -> repository root; falls back to the
+    # working directory when running from an installed package.
+    root = pathlib.Path(__file__).resolve().parents[3]
+    results = root / "benchmarks" / "results"
+    if results.is_dir():
+        return results / "BENCH_runs.json"
+    return pathlib.Path("BENCH_runs.json")
+
+
+class BenchSink:
+    """Accumulates bench records and keeps one ``BENCH_*.json`` fresh."""
+
+    def __init__(self, path: os.PathLike | str | None = None) -> None:
+        self._path = pathlib.Path(path) if path else None
+        self.records: list[dict] = []
+
+    @property
+    def path(self) -> pathlib.Path:
+        return self._path or _default_bench_path()
+
+    def set_path(self, path: os.PathLike | str) -> None:
+        self._path = pathlib.Path(path)
+
+    def record(self, stats: RunStats) -> dict:
+        """Validate, append, and persist one run's record."""
+        record = bench_record(stats)
+        self.records.append(record)
+        self.flush()
+        return record
+
+    def flush(self) -> None:
+        write_bench(self.path, self.records)
+
+
+#: Process-wide sink every :func:`run_case` reports into.
+BENCH_SINK = BenchSink()
 
 
 def compile_case(case: KernelCase, config: ProcessorConfig):
@@ -21,14 +80,20 @@ def compile_case(case: KernelCase, config: ProcessorConfig):
 
 
 def run_case(case: KernelCase, config: ProcessorConfig,
-             verify: bool = True) -> RunStats:
-    """Run one kernel case on one configuration; returns its stats."""
+             verify: bool = True, bench: bool = True) -> RunStats:
+    """Run one kernel case on one configuration; returns its stats.
+
+    With ``bench`` (the default) the run is appended to
+    :data:`BENCH_SINK`'s ``BENCH_*.json``.
+    """
     linked = compile_case(case, config)
     memory = FlatMemory(case.memory_size)
     args = case.prepare(memory)
     result = run_kernel(linked, config, args=args, memory=memory)
     if verify:
         case.verify(memory, result)
+    if bench:
+        BENCH_SINK.record(result.stats)
     return result.stats
 
 
@@ -38,3 +103,69 @@ def run_program(program, config: ProcessorConfig, args: dict[int, int],
     """Compile-free variant for pre-built programs."""
     return run_kernel(program, config, args=args, memory=memory,
                       memory_size=memory_size)
+
+
+# ---------------------------------------------------------------------------
+# CLI: python -m repro.eval.runner --bench-out BENCH_pr1.json
+# ---------------------------------------------------------------------------
+
+def main(argv: list[str] | None = None) -> int:
+    """Run kernels across configurations and write a bench file."""
+    import argparse
+
+    from repro.kernels.registry import kernel_by_name
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval.runner",
+        description="Run Table 5 kernels and export BENCH_*.json "
+                    "perf-trajectory records.")
+    parser.add_argument(
+        "--bench-out", default=None, metavar="PATH",
+        help="output file (default: benchmarks/results/BENCH_runs.json "
+             "or $REPRO_BENCH_OUT)")
+    parser.add_argument(
+        "--kernels", default=None, metavar="NAME[,NAME...]",
+        help="comma-separated kernel names (default: all Table 5 "
+             "kernels)")
+    parser.add_argument(
+        "--configs", default="A,D", metavar="NAME[,NAME...]",
+        help="comma-separated configuration names among "
+             "A,B,C,D (default: A,D)")
+    parser.add_argument(
+        "--no-verify", action="store_true",
+        help="skip bit-exact output verification")
+    options = parser.parse_args(argv)
+
+    if options.kernels:
+        try:
+            kernels = [kernel_by_name(name.strip())
+                       for name in options.kernels.split(",")]
+        except KeyError:
+            known = sorted(case.name for case in TABLE5_KERNELS)
+            parser.error(f"unknown kernel in {options.kernels!r} "
+                         f"(choose from {known})")
+    else:
+        kernels = list(TABLE5_KERNELS)
+    by_name = {config.name: config for config in EVALUATION_CONFIGS}
+    try:
+        configs = [by_name[name.strip()]
+                   for name in options.configs.split(",")]
+    except KeyError as error:
+        parser.error(f"unknown configuration {error.args[0]!r} "
+                     f"(choose from {sorted(by_name)})")
+
+    sink = BenchSink(options.bench_out) if options.bench_out \
+        else BENCH_SINK
+    for case in kernels:
+        for config in configs:
+            stats = run_case(case, config,
+                             verify=not options.no_verify, bench=False)
+            sink.records.append(bench_record(stats))
+            print(stats.summary())
+    sink.flush()
+    print(f"\nwrote {len(sink.records)} bench records to {sink.path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

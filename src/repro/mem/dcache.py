@@ -85,17 +85,26 @@ class DataCache:
         self.write_miss_policy = write_miss_policy
         self.tags = TagStore(geometry)
         self.stats = DCacheStats()
+        #: Optional :class:`~repro.obs.events.EventBus`; ``None`` keeps
+        #: every emission site a single falsy check (zero events).
+        self.obs = None
 
     # -- internals ------------------------------------------------------------
 
     def _victimize(self, victim: Line, set_index: int, now: int) -> None:
         """Copy validated dirty bytes of a victim back to memory."""
         writeback = victim.dirty_mask & victim.valid_mask
+        address = self.tags.victim_address(set_index, victim)
+        if self.obs:
+            self.obs.cache(now, "dcache", "evict", address,
+                           dirty=bool(writeback))
         if writeback:
             nbytes = bin(writeback).count("1")
-            address = self.tags.victim_address(set_index, victim)
             self.biu.copyback(address, nbytes, now)
             self.stats.copyback_bytes += nbytes
+            if self.obs:
+                self.obs.cache(now, "dcache", "copyback", address,
+                               nbytes=nbytes)
 
     def _fill(self, address: int, now: int, *, demand: bool) -> tuple[Line, int]:
         """Install and fetch a full line; returns (line, ready cycle)."""
@@ -142,6 +151,11 @@ class DataCache:
                 self.stats.load_hits += 1
             else:
                 self.stats.load_misses += 1
+            if self.obs:
+                self.obs.cache(now, "dcache",
+                               "load-hit" if stall == 0
+                               else "load-inflight-hit",
+                               address, stall=stall)
             return stall
         if line is not None:
             # Present but requested bytes invalid: refetch and merge.
@@ -154,9 +168,15 @@ class DataCache:
             line.valid_mask = (1 << self.geometry.line_bytes) - 1
             line.ready_at = max(line.ready_at, done)
             self.stats.load_misses += 1
+            if self.obs:
+                self.obs.cache(now, "dcache", "load-validity-miss",
+                               address, stall=done - now)
             return done - now
         self.stats.load_misses += 1
         _line, done = self._fill(address, now, demand=True)
+        if self.obs:
+            self.obs.cache(now, "dcache", "load-miss", address,
+                           stall=done - now)
         return done - now
 
     def _store_piece(self, address: int, nbytes: int, now: int) -> int:
@@ -168,6 +188,9 @@ class DataCache:
             line.dirty_mask |= mask
             self.stats.store_hits += 1
             self.stats.cwb_writes += 1
+            if self.obs:
+                self.obs.cache(now, "dcache", "store-hit", address,
+                               stall=stall)
             return stall
         self.stats.store_misses += 1
         if self.write_miss_policy is WriteMissPolicy.ALLOCATE:
@@ -175,11 +198,17 @@ class DataCache:
             line.valid_mask = mask
             line.dirty_mask = mask
             self.stats.cwb_writes += 1
+            if self.obs:
+                self.obs.cache(now, "dcache", "store-allocate", address,
+                               stall=0)
             return 0
         # Fetch-on-write-miss: bring the line in, then merge the write.
         line, done = self._fill(address, now, demand=True)
         line.dirty_mask |= mask
         self.stats.cwb_writes += 1
+        if self.obs:
+            self.obs.cache(now, "dcache", "store-miss", address,
+                           stall=done - now)
         return done - now
 
     # -- public API -------------------------------------------------------------
@@ -228,6 +257,8 @@ class DataCache:
         if self.tags.probe(address) is not None:
             return False
         self._fill(address, now, demand=False)
+        if self.obs:
+            self.obs.cache(now, "dcache", "prefetch-fill", address)
         return True
 
     def contains(self, address: int) -> bool:
@@ -243,5 +274,8 @@ class DataCache:
             if nbytes:
                 self.biu.copyback(address, nbytes, now)
                 total += nbytes
+                if self.obs:
+                    self.obs.cache(now, "dcache", "copyback", address,
+                                   nbytes=nbytes, flush=True)
         self.stats.copyback_bytes += total
         return total

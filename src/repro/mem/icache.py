@@ -62,6 +62,9 @@ class InstructionCache:
         self.mode = mode
         self.tags = TagStore(geometry)
         self.stats = ICacheStats()
+        #: Optional :class:`~repro.obs.events.EventBus` (``None`` =
+        #: zero-overhead, zero-event operation).
+        self.obs = None
 
     def fetch_chunk(self, chunk_address: int, now: int) -> int:
         """Fetch one 32-byte chunk; returns stall cycles."""
@@ -75,7 +78,13 @@ class InstructionCache:
             if line.ready_at > now:
                 stall = line.ready_at - now
                 self.stats.stall_cycles += stall
+                if self.obs:
+                    self.obs.cache(now, "icache", "chunk-inflight-hit",
+                                   chunk_address, stall=stall)
                 return stall
+            if self.obs:
+                self.obs.cache(now, "icache", "chunk-hit",
+                               chunk_address, stall=0)
             return 0
         self.stats.misses += 1
         line_address = self.geometry.line_address(chunk_address)
@@ -86,4 +95,7 @@ class InstructionCache:
         new_line.ready_at = done
         stall = done - now
         self.stats.stall_cycles += stall
+        if self.obs:
+            self.obs.cache(now, "icache", "chunk-miss", chunk_address,
+                           stall=stall)
         return stall

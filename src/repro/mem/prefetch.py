@@ -72,6 +72,9 @@ class RegionPrefetcher:
         self.biu = biu
         self.enabled = enabled
         self.stats = PrefetchStats()
+        #: Optional :class:`~repro.obs.events.EventBus` (``None`` =
+        #: zero-overhead, zero-event operation).
+        self.obs = None
         self._queue: list[int] = []
         self._inflight: set[int] = set()
 
@@ -111,25 +114,37 @@ class RegionPrefetcher:
         """Region-match a demand load and enqueue a prefetch request."""
         if not self.enabled:
             return
-        for region in self.regions:
+        for index, region in enumerate(self.regions):
             if not region.active or not region.covers(address):
                 continue
             self.stats.triggers += 1
             target = address + region.stride
             if not region.covers(target):
                 self.stats.out_of_region += 1
+                if self.obs:
+                    self.obs.prefetch(now, "out-of-region", target,
+                                      region=index)
                 continue
             line_address = self.dcache.geometry.line_address(target)
             if (self.dcache.contains(line_address)
                     or line_address in self._inflight):
                 self.stats.duplicates += 1
+                if self.obs:
+                    self.obs.prefetch(now, "duplicate", line_address,
+                                      region=index)
                 continue
             if len(self._queue) >= self.QUEUE_DEPTH:
                 self.stats.queue_overflows += 1
+                if self.obs:
+                    self.obs.prefetch(now, "queue-overflow",
+                                      line_address, region=index)
                 continue
             self._queue.append(line_address)
             self._inflight.add(line_address)
             self.stats.requests += 1
+            if self.obs:
+                self.obs.prefetch(now, "request", line_address,
+                                  region=index)
 
     def tick(self, now: int) -> None:
         """Issue the oldest queued prefetch when the bus is idle."""
@@ -139,5 +154,9 @@ class RegionPrefetcher:
         self._inflight.discard(line_address)
         if self.dcache.prefetch_line(line_address, now):
             self.stats.issued += 1
+            if self.obs:
+                self.obs.prefetch(now, "issue", line_address)
         else:
             self.stats.duplicates += 1
+            if self.obs:
+                self.obs.prefetch(now, "duplicate", line_address)

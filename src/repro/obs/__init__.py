@@ -1,0 +1,65 @@
+"""Unified observability: event tracing and metrics export.
+
+Three pieces:
+
+* :mod:`repro.obs.events` — a structured event bus; instrumented
+  components emit typed, cycle-stamped events through no-op-by-default
+  hooks (``component.obs`` is ``None`` unless a bus is attached);
+* :mod:`repro.obs.metrics` — a labelled counter/gauge/histogram
+  registry unifying the per-module stat dataclasses under stable
+  metric names;
+* :mod:`repro.obs.export` — exporters: Chrome ``trace_event`` JSON for
+  ``chrome://tracing`` and the ``BENCH_*.json`` perf-trajectory schema.
+"""
+
+from repro.obs.events import (
+    CAT_CABAC,
+    CAT_DCACHE,
+    CAT_ICACHE,
+    CAT_PIPELINE,
+    CAT_PREFETCH,
+    CATEGORIES,
+    Event,
+    EventBus,
+)
+from repro.obs.export import (
+    BENCH_SCHEMA,
+    bench_record,
+    chrome_trace,
+    read_bench,
+    validate_bench_file,
+    validate_bench_record,
+    write_bench,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    from_run_stats,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "CATEGORIES",
+    "CAT_CABAC",
+    "CAT_DCACHE",
+    "CAT_ICACHE",
+    "CAT_PIPELINE",
+    "CAT_PREFETCH",
+    "Counter",
+    "Event",
+    "EventBus",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "bench_record",
+    "chrome_trace",
+    "from_run_stats",
+    "read_bench",
+    "validate_bench_file",
+    "validate_bench_record",
+    "write_bench",
+    "write_chrome_trace",
+]

@@ -1,0 +1,145 @@
+"""Structured event bus for simulator observability.
+
+The paper reasons about the TM3270 through measured behaviour —
+pipeline occupancy, cache hits/misses, prefetch coverage, CABAC
+renormalization rates — so the simulator needs a single emission path
+for that telemetry.  Every instrumented component (processor front
+end, data/instruction caches, prefetch unit, CABAC engines) holds an
+``obs`` attribute that is ``None`` by default; emission sites are
+guarded by a plain ``if self.obs:`` so the un-instrumented hot path
+costs one attribute read and a falsy check, and produces **zero**
+events.
+
+Events are cycle-stamped and categorized; :mod:`repro.obs.export`
+turns a captured stream into Chrome ``trace_event`` JSON.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Event categories — one per instrumented subsystem.
+CAT_PIPELINE = "pipeline"
+CAT_DCACHE = "dcache"
+CAT_ICACHE = "icache"
+CAT_PREFETCH = "prefetch"
+CAT_CABAC = "cabac"
+
+CATEGORIES = (CAT_PIPELINE, CAT_DCACHE, CAT_ICACHE, CAT_PREFETCH,
+              CAT_CABAC)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One telemetry event.
+
+    ``ts`` is a processor cycle (CABAC engines, which have no cycle
+    clock, stamp symbol indices instead).  ``dur`` is a cycle span for
+    duration events (0 = instant).  ``track`` names the timeline lane
+    the event renders on; ``args`` carries event-specific payload.
+    """
+
+    ts: int
+    cat: str
+    name: str
+    dur: int = 0
+    track: str = ""
+    args: dict = field(default_factory=dict)
+
+
+class EventBus:
+    """Append-only event collector with a hard capacity bound.
+
+    The bus is deliberately tiny: components call :meth:`emit` (or a
+    typed helper) and tests/exporters read :attr:`events`.  A disabled
+    bus drops everything; a full bus drops and counts overflow so a
+    long run cannot exhaust memory.
+    """
+
+    __slots__ = ("events", "enabled", "capacity", "dropped",
+                 "stage_detail")
+
+    def __init__(self, capacity: int = 1_000_000, enabled: bool = True,
+                 stage_detail: bool = False) -> None:
+        self.events: list[Event] = []
+        self.enabled = enabled
+        self.capacity = capacity
+        self.dropped = 0
+        #: When set, the processor additionally emits per-instruction
+        #: pipeline *stage* spans (I1..W) — detailed, heavy tracing.
+        self.stage_detail = stage_detail
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        # ``if self.obs:`` at emission sites must short-circuit on a
+        # disabled bus as cheaply as on a missing one.
+        return self.enabled
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped = 0
+
+    # -- emission -----------------------------------------------------------
+
+    def emit(self, ts: int, cat: str, name: str, dur: int = 0,
+             track: str = "", **args) -> None:
+        """Record one event (dropped when disabled or over capacity)."""
+        if not self.enabled:
+            return
+        if len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(Event(ts, cat, name, dur, track, args))
+
+    # -- typed helpers ------------------------------------------------------
+    # One per event family, so emission sites stay one-liners and the
+    # track/category vocabulary stays consistent across components.
+
+    def stage(self, ts: int, stage: str, dur: int = 1, *,
+              instr: int | None = None) -> None:
+        """Pipeline stage occupancy span (Figure 4 overlay)."""
+        self.emit(ts, CAT_PIPELINE, stage, dur, track=f"stage:{stage}",
+                  instr=instr)
+
+    def instruction(self, ts: int, dur: int, *, index: int,
+                    issued_ops: int, executed_ops: int) -> None:
+        """One VLIW instruction's issue-to-retire span."""
+        self.emit(ts, CAT_PIPELINE, "instr", dur, track="issue",
+                  index=index, issued_ops=issued_ops,
+                  executed_ops=executed_ops)
+
+    def stall(self, ts: int, cause: str, cycles: int) -> None:
+        """Whole-pipeline stall attributed to ``cause``."""
+        if cycles:
+            self.emit(ts, CAT_PIPELINE, f"stall:{cause}", cycles,
+                      track="stalls", cause=cause)
+
+    def cache(self, ts: int, cache: str, kind: str, address: int,
+              **extra) -> None:
+        """Cache event: hit/miss/validity-miss/evict/copyback/fill."""
+        cat = CAT_DCACHE if cache == "dcache" else CAT_ICACHE
+        self.emit(ts, cat, kind, track=cache, address=address, **extra)
+
+    def prefetch(self, ts: int, kind: str, address: int, **extra) -> None:
+        """Prefetch-unit event: trigger/request/issue/drop."""
+        self.emit(ts, CAT_PREFETCH, kind, track="prefetch",
+                  address=address, **extra)
+
+    def cabac(self, ts: int, kind: str, **extra) -> None:
+        """CABAC engine event (ts = symbol index)."""
+        self.emit(ts, CAT_CABAC, kind, track="cabac", **extra)
+
+    # -- inspection ---------------------------------------------------------
+
+    def by_category(self, cat: str) -> list[Event]:
+        return [event for event in self.events if event.cat == cat]
+
+    def counts(self) -> dict[str, int]:
+        """Event counts per (category, name) — handy in tests."""
+        out: dict[str, int] = {}
+        for event in self.events:
+            key = f"{event.cat}/{event.name}"
+            out[key] = out.get(key, 0) + 1
+        return out

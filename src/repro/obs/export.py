@@ -1,0 +1,241 @@
+"""Exporters: Chrome ``trace_event`` timelines and ``BENCH_*.json``.
+
+Two machine-readable views of a run:
+
+* :func:`chrome_trace` — converts a captured
+  :class:`~repro.obs.events.EventBus` stream into the Chrome trace
+  format (load the file in ``chrome://tracing`` or https://ui.perfetto.dev)
+  with one timeline lane per event track;
+* :func:`bench_record` / :func:`write_bench` — the stable benchmark
+  schema (``tm3270.bench/1``) that seeds the perf trajectory.  Every
+  record carries kernel, config, cycles, OPI/CPI, stall decomposition,
+  and cache hit rates; :func:`validate_bench_record` is the executable
+  schema both the writers and the tests go through.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+from repro.obs.events import Event, EventBus
+
+# ---------------------------------------------------------------------------
+# Chrome trace_event
+# ---------------------------------------------------------------------------
+
+#: One trace process for the whole simulator.
+TRACE_PID = 0
+
+
+def _microseconds(cycles: int, freq_mhz: float | None) -> float:
+    # At freq MHz, one cycle is 1/freq microseconds; without a known
+    # frequency the timeline renders in raw cycles (1 cycle = 1 "us").
+    if freq_mhz:
+        return cycles / freq_mhz
+    return float(cycles)
+
+
+def chrome_trace(bus: EventBus | list[Event], *,
+                 freq_mhz: float | None = None) -> dict:
+    """Build a Chrome ``trace_event`` JSON object from captured events.
+
+    Events keep their emission order within a timestamp (the exporter
+    sorts stably by ``ts``), so causally ordered same-cycle events stay
+    causally ordered in the viewer.
+    """
+    events = bus.events if isinstance(bus, EventBus) else list(bus)
+    tracks: dict[str, int] = {}
+    trace_events: list[dict] = []
+    for event in sorted(events, key=lambda candidate: candidate.ts):
+        track = event.track or event.cat
+        tid = tracks.setdefault(track, len(tracks))
+        record = {
+            "name": event.name,
+            "cat": event.cat,
+            "ts": _microseconds(event.ts, freq_mhz),
+            "pid": TRACE_PID,
+            "tid": tid,
+            "args": {key: value for key, value in event.args.items()
+                     if value is not None},
+        }
+        if event.dur:
+            record["ph"] = "X"
+            record["dur"] = _microseconds(event.dur, freq_mhz)
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"
+        trace_events.append(record)
+    metadata = [
+        {"ph": "M", "ts": 0, "pid": TRACE_PID, "tid": tid,
+         "name": "thread_name", "args": {"name": track}}
+        for track, tid in tracks.items()
+    ]
+    metadata.append(
+        {"ph": "M", "ts": 0, "pid": TRACE_PID, "tid": 0,
+         "name": "process_name", "args": {"name": "tm3270-sim"}})
+    return {
+        "traceEvents": metadata + trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "freq_mhz": freq_mhz,
+            "dropped_events": (bus.dropped
+                               if isinstance(bus, EventBus) else 0),
+        },
+    }
+
+
+def write_chrome_trace(path, bus: EventBus | list[Event], *,
+                       freq_mhz: float | None = None) -> dict:
+    """Serialize :func:`chrome_trace` to ``path``; returns the object."""
+    trace = chrome_trace(bus, freq_mhz=freq_mhz)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle, indent=1)
+    return trace
+
+
+# ---------------------------------------------------------------------------
+# BENCH_*.json
+# ---------------------------------------------------------------------------
+
+BENCH_SCHEMA = "tm3270.bench/1"
+
+#: Field -> type of one bench record (the documented schema; optional
+#: component sections are dicts of numeric values).
+_REQUIRED_FIELDS = {
+    "kernel": str,
+    "config": str,
+    "freq_mhz": (int, float),
+    "instructions": int,
+    "cycles": int,
+    "ops_issued": int,
+    "ops_executed": int,
+    "opi": (int, float),
+    "cpi": (int, float),
+    "seconds": (int, float),
+    "stall_cycles": dict,     # {"dcache": int, "icache": int}
+    "hit_rates": dict,        # {"dcache_load": float, "icache": float}
+}
+
+_OPTIONAL_SECTIONS = ("dcache", "icache", "biu", "prefetch")
+
+
+def bench_record(stats) -> dict:
+    """One run's :class:`~repro.core.stats.RunStats` as a bench record."""
+    record = {
+        "kernel": stats.program_name,
+        "config": stats.config_name,
+        "freq_mhz": stats.freq_mhz,
+        "instructions": stats.instructions,
+        "cycles": stats.cycles,
+        "ops_issued": stats.ops_issued,
+        "ops_executed": stats.ops_executed,
+        "opi": stats.opi,
+        "cpi": stats.cpi,
+        "seconds": stats.seconds,
+        "stall_cycles": {
+            "dcache": stats.dcache_stall_cycles,
+            "icache": stats.icache_stall_cycles,
+        },
+        "hit_rates": {},
+    }
+    dcache = getattr(stats, "dcache", None)
+    if dcache is not None:
+        record["hit_rates"]["dcache_load"] = dcache.load_hit_rate
+        record["dcache"] = {
+            "load_hits": dcache.load_hits,
+            "load_misses": dcache.load_misses,
+            "store_hits": dcache.store_hits,
+            "store_misses": dcache.store_misses,
+            "validity_misses": dcache.load_validity_misses,
+            "copyback_bytes": dcache.copyback_bytes,
+        }
+    icache = getattr(stats, "icache", None)
+    if icache is not None:
+        record["hit_rates"]["icache"] = icache.hit_rate
+        record["icache"] = {
+            "chunk_fetches": icache.chunk_fetches,
+            "misses": icache.misses,
+        }
+    biu = getattr(stats, "biu", None)
+    if biu is not None:
+        record["biu"] = {
+            "refill_bytes": biu.refill_bytes,
+            "copyback_bytes": biu.copyback_bytes,
+            "prefetch_bytes": biu.prefetch_bytes,
+            "ifetch_bytes": biu.ifetch_bytes,
+        }
+    prefetch = getattr(stats, "prefetch", None)
+    if prefetch is not None:
+        record["prefetch"] = {
+            "triggers": prefetch.triggers,
+            "requests": prefetch.requests,
+            "issued": prefetch.issued,
+            "duplicates": prefetch.duplicates,
+        }
+    validate_bench_record(record)
+    return record
+
+
+def validate_bench_record(record: dict) -> None:
+    """Raise ``ValueError`` unless ``record`` conforms to the schema."""
+    if not isinstance(record, dict):
+        raise ValueError("bench record must be an object")
+    for name, types in _REQUIRED_FIELDS.items():
+        if name not in record:
+            raise ValueError(f"bench record missing field {name!r}")
+        if not isinstance(record[name], types):
+            raise ValueError(
+                f"bench field {name!r} has type "
+                f"{type(record[name]).__name__}")
+    for key, value in record["stall_cycles"].items():
+        if not isinstance(value, int):
+            raise ValueError(f"stall_cycles[{key!r}] must be an int")
+    for key, value in record["hit_rates"].items():
+        if not isinstance(value, (int, float)) or not 0 <= value <= 1:
+            raise ValueError(f"hit_rates[{key!r}] must be in [0, 1]")
+    for section in _OPTIONAL_SECTIONS:
+        if section in record and not all(
+                isinstance(value, (int, float))
+                for value in record[section].values()):
+            raise ValueError(f"section {section!r} must be numeric")
+
+
+def validate_bench_file(document: dict) -> None:
+    """Validate a whole ``BENCH_*.json`` document."""
+    if document.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"expected schema {BENCH_SCHEMA!r}, "
+            f"got {document.get('schema')!r}")
+    records = document.get("records")
+    if not isinstance(records, list):
+        raise ValueError("bench document must carry a 'records' list")
+    for record in records:
+        validate_bench_record(record)
+
+
+def write_bench(path, records: list[dict]) -> dict:
+    """Write a bench document atomically; returns the document."""
+    document = {"schema": BENCH_SCHEMA, "records": records}
+    validate_bench_file(document)
+    directory = os.path.dirname(os.fspath(path)) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=1)
+        os.replace(temp_path, path)
+    except BaseException:
+        if os.path.exists(temp_path):
+            os.unlink(temp_path)
+        raise
+    return document
+
+
+def read_bench(path) -> dict:
+    """Load and validate a bench document."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    validate_bench_file(document)
+    return document

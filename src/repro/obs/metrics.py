@@ -1,0 +1,382 @@
+"""Metrics registry: named counters/gauges/histograms with labels.
+
+The simulator's raw counters live where the behaviour lives — in
+``DCacheStats``, ``ICacheStats``, ``BiuStats``, ``PrefetchStats``,
+``SdramStats`` and :class:`~repro.core.stats.RunStats` — which is right
+for the models but leaves every consumer (power model, evaluation
+drivers, BENCH export) reinventing the aggregation.  This module is the
+unified read side: a Prometheus-style registry with stable metric
+names, plus :func:`from_run_stats`, which projects one finished run
+into it.  The registry is the contract later perf PRs are pinned
+against: tests assert registry values equal the per-module counters,
+so a refactor cannot silently change counter semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_TYPES = ("counter", "gauge", "histogram")
+
+
+def _label_key(labelnames: tuple[str, ...],
+               labelvalues: tuple) -> tuple:
+    if len(labelnames) != len(labelvalues):
+        raise ValueError(
+            f"expected labels {labelnames}, got {labelvalues}")
+    return tuple(str(value) for value in labelvalues)
+
+
+@dataclass
+class Sample:
+    """One exported time-series point."""
+
+    name: str
+    labels: dict
+    value: float
+
+
+class Metric:
+    """Base: a named family of labelled children."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str,
+                 labelnames: tuple[str, ...] = ()) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._children: dict[tuple, object] = {}
+
+    def labels(self, *labelvalues):
+        """Child for one label-value combination (created on demand)."""
+        key = _label_key(self.labelnames, labelvalues)
+        child = self._children.get(key)
+        if child is None:
+            child = self._make_child()
+            self._children[key] = child
+        return child
+
+    def _make_child(self):
+        raise NotImplementedError
+
+    def _unlabelled(self):
+        if self.labelnames:
+            raise ValueError(
+                f"{self.name} requires labels {self.labelnames}")
+        return self.labels()
+
+    def samples(self) -> list[Sample]:
+        out = []
+        for key, child in sorted(self._children.items()):
+            labels = dict(zip(self.labelnames, key))
+            out.extend(child._samples(self.name, labels))
+        return out
+
+
+class _CounterChild:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def _samples(self, name, labels):
+        return [Sample(name, labels, self.value)]
+
+
+class Counter(Metric):
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def _make_child(self):
+        return _CounterChild()
+
+    def inc(self, amount: int = 1) -> None:
+        self._unlabelled().inc(amount)
+
+    @property
+    def value(self):
+        return self._unlabelled().value
+
+
+class _GaugeChild:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def _samples(self, name, labels):
+        return [Sample(name, labels, self.value)]
+
+
+class Gauge(Metric):
+    """Point-in-time value (rates, ratios, derived figures)."""
+
+    kind = "gauge"
+
+    def _make_child(self):
+        return _GaugeChild()
+
+    def set(self, value: float) -> None:
+        self._unlabelled().set(value)
+
+    @property
+    def value(self):
+        return self._unlabelled().value
+
+
+class _HistogramChild:
+    __slots__ = ("buckets", "counts", "total", "count")
+
+    def __init__(self, buckets) -> None:
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)  # +inf overflow bucket
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.total += value
+        self.count += 1
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def _samples(self, name, labels):
+        out = []
+        cumulative = 0
+        for bound, count in zip(self.buckets, self.counts):
+            cumulative += count
+            out.append(Sample(f"{name}_bucket",
+                              {**labels, "le": str(bound)}, cumulative))
+        out.append(Sample(f"{name}_bucket", {**labels, "le": "+inf"},
+                          self.count))
+        out.append(Sample(f"{name}_sum", dict(labels), self.total))
+        out.append(Sample(f"{name}_count", dict(labels), self.count))
+        return out
+
+
+DEFAULT_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+class Histogram(Metric):
+    """Distribution with fixed cumulative buckets."""
+
+    kind = "histogram"
+
+    def __init__(self, name, help, labelnames=(),
+                 buckets=DEFAULT_BUCKETS) -> None:
+        super().__init__(name, help, labelnames)
+        self.buckets = tuple(sorted(buckets))
+
+    def _make_child(self):
+        return _HistogramChild(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._unlabelled().observe(value)
+
+
+class MetricsRegistry:
+    """Namespace of metrics; names are unique, re-registration must
+    agree exactly (type, help, and label names)."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+
+    def _register(self, cls, name, help, labelnames, **kwargs) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if (type(existing) is not cls
+                    or existing.labelnames != tuple(labelnames)
+                    or existing.help != help):
+                raise ValueError(
+                    f"metric {name!r} already registered with a "
+                    "different type, help, or label set")
+            return existing
+        metric = cls(name, help, tuple(labelnames), **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "",
+                labelnames: tuple[str, ...] = ()) -> Counter:
+        return self._register(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: tuple[str, ...] = ()) -> Gauge:
+        return self._register(Gauge, name, help, labelnames)
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames: tuple[str, ...] = (),
+                  buckets=DEFAULT_BUCKETS) -> Histogram:
+        return self._register(Histogram, name, help, labelnames,
+                              buckets=buckets)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __getitem__(self, name: str) -> Metric:
+        return self._metrics[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def collect(self) -> list[Sample]:
+        """All samples, sorted by metric name (stable export order)."""
+        out: list[Sample] = []
+        for name in self.names():
+            out.extend(self._metrics[name].samples())
+        return out
+
+    def as_dict(self) -> dict:
+        """``{name: {labels-tuple-or-(): value}}`` — the test-friendly
+        flat view."""
+        out: dict = {}
+        for sample in self.collect():
+            family = out.setdefault(sample.name, {})
+            key = tuple(sorted(sample.labels.items()))
+            if key in family:
+                raise ValueError(
+                    f"duplicate sample for {sample.name} labels "
+                    f"{sample.labels}")
+            family[key] = sample.value
+        return out
+
+    def value(self, name: str, **labels) -> float:
+        """Single sample lookup by name and labels."""
+        metric = self._metrics[name]
+        values = tuple(labels[label] for label in metric.labelnames)
+        return metric.labels(*values).value
+
+
+# ---------------------------------------------------------------------------
+# Projection of one finished run into the unified namespace.
+# ---------------------------------------------------------------------------
+
+def from_run_stats(stats, registry: MetricsRegistry | None = None,
+                   ) -> MetricsRegistry:
+    """Project a :class:`~repro.core.stats.RunStats` (with its attached
+    component stats) into a registry under stable metric names.
+
+    Works by duck typing so :mod:`repro.obs` stays import-free of the
+    core models.  Missing component stats are simply skipped (a run
+    that never touched the prefetcher exports no prefetch series).
+    """
+    registry = registry or MetricsRegistry()
+
+    core = registry.counter(
+        "core_events_total", "core pipeline counters", ("event",))
+    core.labels("instructions").inc(stats.instructions)
+    core.labels("cycles").inc(stats.cycles)
+    core.labels("jumps_taken").inc(stats.jumps_taken)
+    core.labels("mmio_accesses").inc(stats.mmio_accesses)
+    core.labels("code_bytes_fetched").inc(stats.code_bytes_fetched)
+
+    ops = registry.counter(
+        "core_ops_total", "operations per disposition", ("kind",))
+    ops.labels("issued").inc(stats.ops_issued)
+    ops.labels("executed").inc(stats.ops_executed)
+
+    stalls = registry.counter(
+        "core_stall_cycles_total", "stall cycles by unit", ("unit",))
+    stalls.labels("dcache").inc(stats.dcache_stall_cycles)
+    stalls.labels("icache").inc(stats.icache_stall_cycles)
+
+    fu = registry.counter(
+        "core_fu_ops_total", "executed ops per functional-unit class",
+        ("fu",))
+    for unit, count in sorted(stats.fu_counts.items(),
+                              key=lambda item: str(item[0])):
+        name = getattr(unit, "value", str(unit))
+        fu.labels(name).inc(count)
+
+    regfile = registry.counter(
+        "core_regfile_accesses_total", "register-file port traffic",
+        ("port",))
+    regfile.labels("read").inc(stats.regfile_reads)
+    regfile.labels("write").inc(stats.regfile_writes)
+    regfile.labels("guard").inc(stats.guard_reads)
+
+    perf = registry.gauge(
+        "perf_ratio", "derived per-run performance ratios", ("metric",))
+    perf.labels("opi").set(stats.opi)
+    perf.labels("cpi").set(stats.cpi)
+    perf.labels("stall_fraction").set(stats.stall_fraction)
+    registry.gauge("perf_seconds",
+                   "wall-clock seconds at the configured frequency"
+                   ).set(stats.seconds)
+
+    dcache = getattr(stats, "dcache", None)
+    if dcache is not None:
+        accesses = registry.counter(
+            "dcache_accesses_total", "data-cache accesses",
+            ("op", "outcome"))
+        accesses.labels("load", "hit").inc(dcache.load_hits)
+        accesses.labels("load", "miss").inc(dcache.load_misses)
+        accesses.labels("store", "hit").inc(dcache.store_hits)
+        accesses.labels("store", "miss").inc(dcache.store_misses)
+        extra = registry.counter(
+            "dcache_events_total", "data-cache secondary events",
+            ("event",))
+        extra.labels("validity_miss").inc(dcache.load_validity_misses)
+        extra.labels("split_access").inc(dcache.split_accesses)
+        extra.labels("cwb_write").inc(dcache.cwb_writes)
+        extra.labels("prefetch_partial_hit").inc(
+            dcache.prefetch_partial_hits)
+        registry.counter("dcache_stall_cycles_total",
+                         "processor stalls charged to the data cache"
+                         ).inc(dcache.stall_cycles)
+        registry.counter("dcache_copyback_bytes_total",
+                         "validated dirty bytes written back"
+                         ).inc(dcache.copyback_bytes)
+        registry.gauge("dcache_load_hit_rate",
+                       "load hits / load accesses"
+                       ).set(dcache.load_hit_rate)
+
+    icache = getattr(stats, "icache", None)
+    if icache is not None:
+        ic = registry.counter(
+            "icache_events_total", "instruction-cache counters",
+            ("event",))
+        ic.labels("chunk_fetches").inc(icache.chunk_fetches)
+        ic.labels("misses").inc(icache.misses)
+        ic.labels("data_way_reads").inc(icache.data_way_reads)
+        registry.counter("icache_stall_cycles_total",
+                         "front-end stalls on instruction fetch"
+                         ).inc(icache.stall_cycles)
+        registry.gauge("icache_hit_rate", "chunk-fetch hit rate"
+                       ).set(icache.hit_rate)
+
+    biu = getattr(stats, "biu", None)
+    if biu is not None:
+        bytes_total = registry.counter(
+            "biu_bytes_total", "bus traffic by category", ("kind",))
+        bytes_total.labels("refill").inc(biu.refill_bytes)
+        bytes_total.labels("copyback").inc(biu.copyback_bytes)
+        bytes_total.labels("prefetch").inc(biu.prefetch_bytes)
+        bytes_total.labels("ifetch").inc(biu.ifetch_bytes)
+        registry.counter("biu_transactions_total",
+                         "bus transactions").inc(biu.transactions)
+
+    prefetch = getattr(stats, "prefetch", None)
+    if prefetch is not None:
+        pf = registry.counter(
+            "prefetch_events_total", "region-prefetcher outcomes",
+            ("event",))
+        pf.labels("trigger").inc(prefetch.triggers)
+        pf.labels("request").inc(prefetch.requests)
+        pf.labels("issued").inc(prefetch.issued)
+        pf.labels("duplicate").inc(prefetch.duplicates)
+        pf.labels("out_of_region").inc(prefetch.out_of_region)
+        pf.labels("queue_overflow").inc(prefetch.queue_overflows)
+
+    return registry

@@ -1,0 +1,158 @@
+"""Roundtrip properties: encode -> decode identity, over the full ISA.
+
+Hypothesis drives :func:`encode_program` / :func:`decode_program` with
+arbitrary well-formed VLIW instructions — every operation in the
+registry, every legal anchor slot, random registers, guards, and
+range-respecting immediates — and asserts the decoder reconstructs the
+exact operation tuples.  The same generated programs pin the Section
+2.1 size envelope (2-byte empty instruction, 28-byte jump target) and
+feed :func:`~repro.asm.disasm.disassemble_image` as a smoke check that
+the inspection path accepts everything the encoder can produce.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asm.disasm import disassemble_image
+from repro.isa.encoding import (
+    TRUE_GUARD,
+    EncodedInstruction,
+    EncodedOp,
+    chunk_sizes,
+    decode_program,
+    encode_program,
+    instruction_nbytes,
+)
+from repro.isa.operations import REGISTRY
+
+pytestmark = pytest.mark.slow
+
+#: Every encodable operation ("nop" encodes but is dropped on decode —
+#: it exists to pad uncompressed slots, so it cannot roundtrip).
+SPECS = [spec for spec in REGISTRY if spec.name != "nop"]
+
+registers = st.integers(0, 127)
+
+
+def _immediates(spec):
+    if not spec.has_imm:
+        return st.none()
+    if spec.imm_signed:
+        return st.integers(-(1 << (spec.imm_bits - 1)),
+                           (1 << (spec.imm_bits - 1)) - 1)
+    return st.integers(0, (1 << spec.imm_bits) - 1)
+
+
+@st.composite
+def encoded_instructions(draw):
+    free = set(range(1, 6))
+    ops = []
+    for _ in range(draw(st.integers(0, 4))):
+        candidates = [
+            (spec, slot) for spec in SPECS for slot in spec.slots
+            if ({slot, slot + 1} if spec.two_slot else {slot}) <= free]
+        if not candidates:
+            break
+        spec, slot = draw(st.sampled_from(candidates))
+        op = EncodedOp(
+            spec.name, slot,
+            dsts=tuple(draw(registers) for _ in range(spec.ndst)),
+            srcs=tuple(draw(registers) for _ in range(spec.nsrc)),
+            guard=draw(st.one_of(st.just(TRUE_GUARD), registers)),
+            imm=draw(_immediates(spec)))
+        try:
+            chunk_sizes(op)
+        except ValueError:
+            # A guard costs 7 chunk bits; wide (e.g. two-slot) ops only
+            # encode unguarded.
+            op = EncodedOp(op.name, op.slot, op.dsts, op.srcs,
+                           TRUE_GUARD, op.imm)
+        ops.append(op)
+        free -= {slot, slot + 1} if spec.two_slot else {slot}
+    return EncodedInstruction(tuple(ops))
+
+
+programs = st.lists(encoded_instructions(), min_size=1, max_size=6)
+
+
+def by_slot(instr):
+    return sorted(instr.ops, key=lambda op: op.slot)
+
+
+@settings(max_examples=200, deadline=None)
+@given(programs)
+def test_encode_decode_identity(instructions):
+    image, addresses = encode_program(instructions)
+    decoded = decode_program(image)
+    assert len(decoded) == len(instructions)
+    # The entry point is implicitly a jump target on both sides.
+    assert instructions[0].is_jump_target
+    assert decoded[0].is_jump_target
+    for original, roundtripped in zip(instructions, decoded):
+        assert by_slot(roundtripped) == by_slot(original)
+
+
+@settings(max_examples=200, deadline=None)
+@given(programs)
+def test_addresses_match_sizes(instructions):
+    image, addresses = encode_program(instructions)
+    expected = 0
+    for instr, address in zip(instructions, addresses):
+        assert address == expected
+        expected += instruction_nbytes(instr)
+    assert expected == len(image)
+
+
+@settings(max_examples=100, deadline=None)
+@given(programs)
+def test_size_envelope(instructions):
+    """Section 2.1 bounds: 2 bytes empty, 28 bytes maximal."""
+    for instr in instructions:
+        nbytes = instruction_nbytes(instr)
+        assert 2 <= nbytes <= 28
+        if instr.is_jump_target:
+            # Jump targets are uncompressed: always the full 28 bytes.
+            assert nbytes == 28
+        elif not instr.ops:
+            assert nbytes == 2
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(encoded_instructions(), min_size=2, max_size=4),
+       st.integers(1, 3))
+def test_interior_jump_targets_roundtrip_ops(instructions, index):
+    """A cold-decodable interior instruction keeps its operations."""
+    index = min(index, len(instructions) - 1)
+    instructions[index].is_jump_target = True
+    image, _ = encode_program(instructions)
+    decoded = decode_program(image)
+    assert by_slot(decoded[index]) == by_slot(instructions[index])
+
+
+@settings(max_examples=50, deadline=None)
+@given(programs)
+def test_disassemble_image_accepts_everything(instructions):
+    image, _ = encode_program(instructions)
+    listing = disassemble_image(image)
+    assert f"{len(instructions)} instructions" in listing
+    for instr in instructions:
+        for op in instr.ops:
+            assert op.name in listing
+
+
+def test_empty_program_roundtrip():
+    image, addresses = encode_program([])
+    assert image == b""
+    assert addresses == []
+    assert decode_program(b"") == []
+
+
+def test_empty_instruction_is_two_bytes():
+    assert instruction_nbytes(EncodedInstruction(())) == 2
+
+
+def test_maximal_instruction_is_28_bytes():
+    # 10 template bits + 5 * 42 chunk bits = 220 bits -> 28 bytes.
+    assert instruction_nbytes(
+        EncodedInstruction((), is_jump_target=True)) == 28

@@ -1,0 +1,73 @@
+"""Event-bus semantics: ordering, capacity, disabled path."""
+
+from repro.obs.events import (
+    CAT_DCACHE,
+    CAT_PIPELINE,
+    CAT_PREFETCH,
+    Event,
+    EventBus,
+)
+
+
+class TestEmission:
+    def test_events_preserve_emission_order(self):
+        bus = EventBus()
+        for index in range(10):
+            bus.emit(index % 3, CAT_PIPELINE, f"e{index}")
+        assert [event.name for event in bus.events] == \
+            [f"e{index}" for index in range(10)]
+
+    def test_typed_helpers_categorize(self):
+        bus = EventBus()
+        bus.stage(4, "X1", 1, instr=7)
+        bus.instruction(4, 2, index=7, issued_ops=3, executed_ops=2)
+        bus.stall(4, "dcache", 5)
+        bus.cache(4, "dcache", "load-hit", 0x100, stall=0)
+        bus.prefetch(4, "request", 0x200, region=1)
+        bus.cabac(12, "renorm", shifts=2)
+        cats = [event.cat for event in bus.events]
+        assert cats == ["pipeline", "pipeline", "pipeline", "dcache",
+                        "prefetch", "cabac"]
+        assert bus.by_category(CAT_DCACHE)[0].args["address"] == 0x100
+        assert bus.by_category(CAT_PREFETCH)[0].args["region"] == 1
+
+    def test_zero_cycle_stall_not_emitted(self):
+        bus = EventBus()
+        bus.stall(0, "icache", 0)
+        assert len(bus) == 0
+
+    def test_counts_view(self):
+        bus = EventBus()
+        bus.cache(0, "dcache", "load-hit", 0)
+        bus.cache(1, "dcache", "load-hit", 64)
+        bus.cache(2, "dcache", "load-miss", 128)
+        assert bus.counts() == {"dcache/load-hit": 2,
+                                "dcache/load-miss": 1}
+
+
+class TestDisabledAndCapacity:
+    def test_disabled_bus_is_falsy_and_collects_nothing(self):
+        bus = EventBus(enabled=False)
+        assert not bus
+        bus.emit(0, CAT_PIPELINE, "x")
+        bus.stage(0, "D")
+        bus.cache(0, "dcache", "load-hit", 0)
+        assert len(bus) == 0
+        assert bus.dropped == 0
+
+    def test_capacity_bound_drops_and_counts(self):
+        bus = EventBus(capacity=3)
+        for index in range(5):
+            bus.emit(index, CAT_PIPELINE, "e")
+        assert len(bus) == 3
+        assert bus.dropped == 2
+
+    def test_clear_resets(self):
+        bus = EventBus(capacity=2)
+        bus.emit(0, CAT_PIPELINE, "a")
+        bus.emit(1, CAT_PIPELINE, "b")
+        bus.emit(2, CAT_PIPELINE, "c")
+        bus.clear()
+        assert len(bus) == 0 and bus.dropped == 0
+        bus.emit(3, CAT_PIPELINE, "d")
+        assert bus.events == [Event(3, CAT_PIPELINE, "d")]

@@ -1,0 +1,134 @@
+"""Exporter contracts: Chrome trace_event JSON and BENCH schema."""
+
+import json
+
+import pytest
+
+from repro.obs.events import EventBus
+from repro.obs.export import (
+    BENCH_SCHEMA,
+    chrome_trace,
+    read_bench,
+    validate_bench_file,
+    validate_bench_record,
+    write_bench,
+    write_chrome_trace,
+)
+
+REQUIRED_EVENT_KEYS = {"name", "ph", "ts", "pid", "tid"}
+
+
+def sample_bus():
+    bus = EventBus()
+    bus.instruction(0, 3, index=0, issued_ops=2, executed_ops=2)
+    bus.stall(0, "dcache", 2)
+    bus.cache(2, "dcache", "load-miss", 0x80, stall=2)
+    bus.cache(1, "icache", "chunk-hit", 0x800000, stall=0)
+    bus.prefetch(3, "request", 0x100, region=0)
+    bus.stage(0, "D", 1, instr=0)
+    return bus
+
+
+class TestChromeTrace:
+    def test_json_serializable_and_well_formed(self):
+        trace = chrome_trace(sample_bus(), freq_mhz=350.0)
+        parsed = json.loads(json.dumps(trace))
+        assert isinstance(parsed["traceEvents"], list)
+        for event in parsed["traceEvents"]:
+            assert REQUIRED_EVENT_KEYS <= set(event)
+            assert event["ph"] in {"X", "i", "M"}
+            if event["ph"] == "X":
+                assert event["dur"] > 0
+            if event["ph"] != "M":
+                assert isinstance(event["ts"], (int, float))
+
+    def test_sorted_by_timestamp_and_stable(self):
+        trace = chrome_trace(sample_bus())
+        timeline = [event for event in trace["traceEvents"]
+                    if event["ph"] != "M"]
+        assert [event["ts"] for event in timeline] == \
+            sorted(event["ts"] for event in timeline)
+        # Same-cycle events keep their emission (causal) order.
+        names_at_zero = [event["name"] for event in timeline
+                         if event["ts"] == 0]
+        assert names_at_zero == ["instr", "stall:dcache", "D"]
+
+    def test_tracks_become_named_threads(self):
+        trace = chrome_trace(sample_bus())
+        metadata = [event for event in trace["traceEvents"]
+                    if event["ph"] == "M"
+                    and event["name"] == "thread_name"]
+        names = {event["args"]["name"] for event in metadata}
+        assert {"issue", "stalls", "dcache", "icache",
+                "prefetch", "stage:D"} <= names
+        # Every timeline event's tid resolves to a declared thread.
+        tids = {event["tid"] for event in metadata}
+        for event in trace["traceEvents"]:
+            if event["ph"] != "M":
+                assert event["tid"] in tids
+
+    def test_frequency_scales_timestamps(self):
+        bus = EventBus()
+        bus.cache(350, "dcache", "load-hit", 0, stall=0)
+        trace = chrome_trace(bus, freq_mhz=350.0)
+        event = [e for e in trace["traceEvents"] if e["ph"] != "M"][0]
+        assert event["ts"] == pytest.approx(1.0)  # 350 cycles = 1 us
+
+    def test_write_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, sample_bus(), freq_mhz=350.0)
+        parsed = json.loads(path.read_text())
+        assert parsed["otherData"]["freq_mhz"] == 350.0
+
+
+def valid_record():
+    return {
+        "kernel": "memset", "config": "D", "freq_mhz": 350.0,
+        "instructions": 100, "cycles": 120, "ops_issued": 300,
+        "ops_executed": 280, "opi": 2.8, "cpi": 1.2, "seconds": 3.4e-7,
+        "stall_cycles": {"dcache": 15, "icache": 5},
+        "hit_rates": {"dcache_load": 0.97, "icache": 1.0},
+    }
+
+
+class TestBenchSchema:
+    def test_valid_record_passes(self):
+        validate_bench_record(valid_record())
+
+    @pytest.mark.parametrize("field", ["kernel", "cycles", "opi",
+                                       "stall_cycles", "hit_rates"])
+    def test_missing_field_rejected(self, field):
+        record = valid_record()
+        del record[field]
+        with pytest.raises(ValueError):
+            validate_bench_record(record)
+
+    def test_bad_types_rejected(self):
+        record = valid_record()
+        record["cycles"] = "120"
+        with pytest.raises(ValueError):
+            validate_bench_record(record)
+
+    def test_hit_rate_range_enforced(self):
+        record = valid_record()
+        record["hit_rates"]["dcache_load"] = 1.5
+        with pytest.raises(ValueError):
+            validate_bench_record(record)
+
+    def test_file_schema_tag_enforced(self):
+        with pytest.raises(ValueError):
+            validate_bench_file({"schema": "bogus", "records": []})
+        validate_bench_file({"schema": BENCH_SCHEMA, "records": []})
+
+    def test_write_read_roundtrip(self, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        write_bench(path, [valid_record(), valid_record()])
+        document = read_bench(path)
+        assert document["schema"] == BENCH_SCHEMA
+        assert len(document["records"]) == 2
+
+    def test_invalid_records_never_written(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        with pytest.raises(ValueError):
+            write_bench(path, [{"kernel": "x"}])
+        assert not path.exists()

@@ -1,0 +1,95 @@
+"""Metrics registry: naming, labels, uniqueness, histograms."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestRegistry:
+    def test_counter_roundtrip(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total", "hits")
+        counter.inc()
+        counter.inc(4)
+        assert registry.value("hits_total") == 5
+
+    def test_labelled_counter_children_are_distinct(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("accesses_total", "x",
+                                   ("op", "outcome"))
+        counter.labels("load", "hit").inc(3)
+        counter.labels("load", "miss").inc(1)
+        counter.labels("store", "hit").inc(2)
+        assert registry.value("accesses_total", op="load",
+                              outcome="hit") == 3
+        assert registry.value("accesses_total", op="store",
+                              outcome="hit") == 2
+
+    def test_same_labels_share_one_child(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c", "", ("k",))
+        counter.labels("a").inc()
+        counter.labels("a").inc()
+        assert counter.labels("a") is counter.labels("a")
+        assert registry.value("c", k="a") == 2
+
+    def test_reregistration_must_agree(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x_total", "help", ("a",))
+        assert registry.counter("x_total", "help", ("a",)) is first
+        with pytest.raises(ValueError):
+            registry.gauge("x_total", "help", ("a",))
+        with pytest.raises(ValueError):
+            registry.counter("x_total", "help", ("b",))
+        with pytest.raises(ValueError):
+            registry.counter("x_total", "different help", ("a",))
+
+    def test_counters_reject_decrement(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("c").inc(-1)
+
+    def test_label_arity_enforced(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c", "", ("a", "b"))
+        with pytest.raises(ValueError):
+            counter.labels("only-one")
+        with pytest.raises(ValueError):
+            counter.inc()  # unlabelled use of a labelled family
+
+    def test_samples_are_unique_per_label_set(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c", "", ("k",))
+        counter.labels("a").inc()
+        counter.labels("b").inc()
+        flat = registry.as_dict()
+        assert flat == {"c": {(("k", "a"),): 1, (("k", "b"),): 1}}
+
+    def test_gauge_set(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("ratio", "", ("metric",))
+        gauge.labels("cpi").set(1.25)
+        gauge.labels("cpi").set(1.5)
+        assert registry.value("ratio", metric="cpi") == 1.5
+
+    def test_histogram_buckets_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("stall_cycles", "",
+                                       buckets=(1, 4, 16))
+        for value in (0, 1, 3, 5, 100):
+            histogram.observe(value)
+        flat = registry.as_dict()
+        buckets = flat["stall_cycles_bucket"]
+        assert buckets[(("le", "1"),)] == 2
+        assert buckets[(("le", "4"),)] == 3
+        assert buckets[(("le", "16"),)] == 4
+        assert buckets[(("le", "+inf"),)] == 5
+        assert flat["stall_cycles_count"][()] == 5
+        assert flat["stall_cycles_sum"][()] == 109
+
+    def test_collect_is_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("zzz").inc()
+        registry.counter("aaa").inc()
+        names = [sample.name for sample in registry.collect()]
+        assert names == sorted(names)

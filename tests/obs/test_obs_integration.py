@@ -1,0 +1,211 @@
+"""Observability wired into the full simulator.
+
+Pins the unification contract: every counter the metrics registry and
+BENCH exporter report must equal the per-module stat fields, and the
+event stream must agree with the counters — so later perf PRs cannot
+silently change counter semantics.
+"""
+
+import pytest
+
+from repro.asm import ProgramBuilder, compile_program
+from repro.core import TM3270_CONFIG, run_kernel
+from repro.core.pipeline import stage_spans
+from repro.core.trace import register_utilization
+from repro.eval import runner
+from repro.kernels.common import args_for
+from repro.kernels.registry import kernel_by_name
+from repro.mem.flatmem import FlatMemory
+from repro.obs import EventBus, bench_record, read_bench
+from repro.obs.metrics import MetricsRegistry
+
+
+def build_sum_kernel():
+    builder = ProgramBuilder("obs_sum")
+    ptr, count, out = builder.params("ptr", "count", "out")
+    acc = builder.emit("mov", srcs=(builder.zero,))
+    end = builder.counted_loop(count, "loop")
+    word = builder.emit("ld32d", srcs=(ptr,), imm=0)
+    builder.emit_into(acc, "iadd", srcs=(acc, word))
+    builder.emit_into(ptr, "iaddi", srcs=(ptr,), imm=4)
+    end()
+    builder.emit("st32d", srcs=(out, acc), imm=0)
+    return builder.finish()
+
+
+def run_sum(obs=None):
+    program = build_sum_kernel()
+    linked = compile_program(program, TM3270_CONFIG.target)
+    memory = FlatMemory(1 << 16)
+    memory.write_block(0x1000, bytes(range(128)) * 8)
+    return run_kernel(linked, TM3270_CONFIG,
+                      args=args_for(0x1000, 128, 0x4000),
+                      memory=memory, obs=obs)
+
+
+class TestZeroOverheadPath:
+    def test_no_bus_runs_clean(self):
+        result = run_sum(obs=None)
+        assert result.stats.cycles > 0
+
+    def test_disabled_bus_adds_zero_events(self):
+        bus = EventBus(enabled=False)
+        result = run_sum(obs=bus)
+        assert len(bus) == 0
+        assert bus.dropped == 0
+        assert result.stats.cycles > 0
+
+    def test_observation_does_not_change_timing(self):
+        baseline = run_sum(obs=None).stats
+        observed = run_sum(obs=EventBus(stage_detail=True)).stats
+        assert observed.cycles == baseline.cycles
+        assert observed.instructions == baseline.instructions
+        assert observed.dcache_stall_cycles == \
+            baseline.dcache_stall_cycles
+
+
+class TestEventStreamAgreesWithCounters:
+    def test_cache_events_match_dcache_stats(self):
+        bus = EventBus()
+        stats = run_sum(obs=bus).stats
+        counts = bus.counts()
+        loads = (counts.get("dcache/load-hit", 0)
+                 + counts.get("dcache/load-inflight-hit", 0)
+                 + counts.get("dcache/load-miss", 0)
+                 + counts.get("dcache/load-validity-miss", 0))
+        # One event per line-piece access; line-crossing accesses
+        # split, so events >= accesses with equality when none split.
+        assert loads == stats.dcache.load_accesses + \
+            stats.dcache.split_accesses or stats.dcache.split_accesses
+        assert counts.get("dcache/load-hit", 0) == \
+            stats.dcache.load_hits
+        assert counts.get("dcache/load-miss", 0) + \
+            counts.get("dcache/load-validity-miss", 0) + \
+            counts.get("dcache/load-inflight-hit", 0) == \
+            stats.dcache.load_misses
+        stores = (counts.get("dcache/store-hit", 0)
+                  + counts.get("dcache/store-allocate", 0)
+                  + counts.get("dcache/store-miss", 0))
+        assert stores == stats.dcache.store_accesses + \
+            stats.dcache.split_accesses or stats.dcache.split_accesses
+
+    def test_instruction_events_match_run_stats(self):
+        bus = EventBus()
+        stats = run_sum(obs=bus).stats
+        instr_events = [event for event in bus.events
+                        if event.name == "instr"]
+        assert len(instr_events) == stats.instructions
+        assert sum(event.dur for event in instr_events) == stats.cycles
+        assert sum(event.args["issued_ops"]
+                   for event in instr_events) == stats.ops_issued
+        stalls = [event for event in bus.events
+                  if event.name.startswith("stall:")]
+        assert sum(event.dur for event in stalls) == stats.stall_cycles
+
+    def test_stage_detail_emits_figure4_overlay(self):
+        bus = EventBus(stage_detail=True)
+        stats = run_sum(obs=bus).stats
+        stage_counts = bus.counts()
+        for stage in ("I1", "I2", "I3", "P", "D", "X1", "W"):
+            assert stage_counts[f"pipeline/{stage}"] == \
+                stats.instructions
+
+
+class TestStageSpans:
+    def test_single_cycle_shape(self):
+        spans = stage_spans(10)
+        names = [name for name, _, _ in spans]
+        assert names == ["I1", "I2", "I3", "P", "D", "X1", "W"]
+        assert spans[0] == ("I1", 6, 1)
+        assert spans[4] == ("D", 10, 1)
+        assert spans[-1] == ("W", 12, 1)
+
+    def test_stall_stretches_decode(self):
+        spans = dict((name, (start, dur))
+                     for name, start, dur in stage_spans(10, stall=5))
+        assert spans["D"] == (10, 6)
+        assert spans["X1"] == (16, 1)
+
+    def test_latency_grows_execute_stages(self):
+        names = [name for name, _, _ in stage_spans(0, latency=6)]
+        assert names[-7:] == ["X1", "X2", "X3", "X4", "X5", "X6", "W"]
+
+
+class TestUnifiedMetricsPinned:
+    def test_registry_equals_component_counters(self):
+        stats = run_sum().stats
+        registry = stats.metrics()
+        value = registry.value
+        assert value("core_events_total",
+                     event="instructions") == stats.instructions
+        assert value("core_events_total", event="cycles") == stats.cycles
+        assert value("core_ops_total", kind="issued") == stats.ops_issued
+        assert value("core_ops_total",
+                     kind="executed") == stats.ops_executed
+        assert value("core_stall_cycles_total",
+                     unit="dcache") == stats.dcache_stall_cycles
+        assert value("core_stall_cycles_total",
+                     unit="icache") == stats.icache_stall_cycles
+        assert value("dcache_accesses_total", op="load",
+                     outcome="hit") == stats.dcache.load_hits
+        assert value("dcache_accesses_total", op="load",
+                     outcome="miss") == stats.dcache.load_misses
+        assert value("dcache_accesses_total", op="store",
+                     outcome="hit") == stats.dcache.store_hits
+        assert value("dcache_copyback_bytes_total") == \
+            stats.dcache.copyback_bytes
+        assert value("icache_events_total",
+                     event="misses") == stats.icache.misses
+        assert value("biu_bytes_total",
+                     kind="refill") == stats.biu.refill_bytes
+        assert value("prefetch_events_total",
+                     event="trigger") == stats.prefetch.triggers
+        assert value("perf_ratio",
+                     metric="cpi") == pytest.approx(stats.cpi)
+        assert value("perf_ratio",
+                     metric="opi") == pytest.approx(stats.opi)
+
+    def test_fu_counts_projected(self):
+        stats = run_sum().stats
+        registry = stats.metrics()
+        total = sum(stats.fu_counts.values())
+        projected = sum(
+            sample.value for sample in registry.collect()
+            if sample.name == "core_fu_ops_total")
+        assert projected == total == stats.ops_executed
+
+    def test_utilization_gauges(self):
+        stats = run_sum().stats
+        registry = MetricsRegistry()
+        register_utilization(stats, registry)
+        issue_rate = registry.value("pipeline_utilization",
+                                    metric="issue_rate")
+        assert issue_rate == pytest.approx(
+            stats.ops_issued / stats.cycles)
+
+
+class TestBenchPipeline:
+    def test_bench_record_equals_stats(self):
+        stats = run_sum().stats
+        record = bench_record(stats)
+        assert record["kernel"] == "obs_sum"
+        assert record["config"] == "TM3270"
+        assert record["cycles"] == stats.cycles
+        assert record["opi"] == pytest.approx(stats.opi)
+        assert record["stall_cycles"]["dcache"] == \
+            stats.dcache_stall_cycles
+        assert record["hit_rates"]["dcache_load"] == \
+            pytest.approx(stats.dcache.load_hit_rate)
+
+    def test_run_case_writes_bench_file(self, tmp_path, monkeypatch):
+        sink = runner.BenchSink(tmp_path / "BENCH_case.json")
+        monkeypatch.setattr(runner, "BENCH_SINK", sink)
+        from repro.core.config import CONFIG_D
+
+        stats = runner.run_case(kernel_by_name("memset"), CONFIG_D)
+        document = read_bench(tmp_path / "BENCH_case.json")
+        assert len(document["records"]) == 1
+        record = document["records"][0]
+        assert record["kernel"] == "memset"
+        assert record["config"] == "D"
+        assert record["cycles"] == stats.cycles
