@@ -2,7 +2,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test fast slow bench benchmarks trace
+.PHONY: test fast slow bench benchmarks perf trace
 
 # Tier-1 verification: the whole unit/property suite.
 test:
@@ -23,6 +23,12 @@ bench:
 # Regenerate every paper table/figure artifact (slow).
 benchmarks:
 	$(PY) -m pytest -x -q benchmarks
+
+# Simulator throughput: fast path vs reference interpreter
+# (writes benchmarks/results/BENCH_sim_speed.json).  Guard against
+# regressions with: scripts/bench_compare.py OLD.json NEW.json
+perf:
+	$(PY) -m repro.eval.runner --perf
 
 # Capture a Chrome trace of the quickstart kernel (chrome://tracing).
 trace:

@@ -1,0 +1,51 @@
+"""Simulator throughput: pre-decoded fast path vs reference interpreter.
+
+Unlike every other benchmark in this directory, the measured quantity
+is *simulator* performance — simulated VLIW instructions per wall
+second — not simulated-processor cycles.  Records land in
+``benchmarks/results/BENCH_sim_speed.json`` (schema ``tm3270.bench/1``
+with a ``sim_speed`` section); ``scripts/bench_compare.py`` guards
+against throughput regressions between two such files.
+"""
+
+import pathlib
+
+from conftest import report, run_once
+
+from repro.eval.perf import format_measurement, measure_case, perf_cases
+from repro.eval.perf import perf_record
+from repro.obs.export import write_bench
+
+RESULTS = pathlib.Path(__file__).parent / "results"
+
+
+def _measure_all():
+    return [measure_case(case, repeats=2) for case in perf_cases()]
+
+
+def test_sim_speed(benchmark):
+    measurements = run_once(benchmark, _measure_all)
+
+    lines = [format_measurement(m) for m in measurements]
+    report("sim_speed", "\n".join(lines))
+    write_bench(RESULTS / "BENCH_sim_speed.json",
+                [perf_record(m) for m in measurements])
+
+    by_name = {m.case_name: m for m in measurements}
+
+    # Every case runs both paths to *identical* stats (measure_case
+    # asserts this); the fast path must never be slower.
+    for measurement in measurements:
+        assert measurement.speedup > 1.0, measurement.case_name
+
+    # The PR's headline claim: >= 2x interpreter throughput on the
+    # motion-estimation and CABAC kernels (allow a little slack under
+    # noisy CI for the marginal cases).
+    assert by_name["me_frac_plain"].speedup >= 2.0
+    assert by_name["cabac_plain"].speedup >= 2.0
+    assert by_name["cabac_super"].speedup >= 1.8
+    assert by_name["me_frac_ld8"].speedup >= 1.8
+
+    # Absolute sanity: the fast path simulates at a usable rate.
+    for name in ("me_frac_plain", "cabac_plain"):
+        assert by_name[name].instructions_per_sec > 50_000

@@ -13,13 +13,18 @@ The flow below is the library's core loop:
 Run:  python examples/quickstart.py
       python examples/quickstart.py --trace trace_quickstart.json
                                     # then load in chrome://tracing
+      python examples/quickstart.py --profile
 
 With ``--trace`` the TM3270 run captures the observability event
 stream (pipeline stages, cache hits/misses, prefetch activity) and
-writes it as Chrome ``trace_event`` JSON.
+writes it as Chrome ``trace_event`` JSON.  ``--profile`` wraps the
+runs in cProfile and prints the hottest simulator functions — handy
+when hacking on the fast path (see DESIGN.md section 8).
 """
 
 import argparse
+import cProfile
+import pstats
 
 from repro.asm import ProgramBuilder, compile_program
 from repro.core import TM3260_CONFIG, TM3270_CONFIG, run_kernel
@@ -54,8 +59,26 @@ def main():
         "--trace", metavar="PATH", default=None,
         help="write a Chrome trace_event JSON of the TM3270 run "
              "(open in chrome://tracing or ui.perfetto.dev)")
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile and print the hottest simulator "
+             "functions (cumulative time, top 30)")
     options = parser.parse_args()
 
+    if options.profile:
+        profile = cProfile.Profile()
+        profile.enable()
+        try:
+            run_demo(options)
+        finally:
+            profile.disable()
+            stats = pstats.Stats(profile)
+            stats.sort_stats("cumulative").print_stats(30)
+    else:
+        run_demo(options)
+
+
+def run_demo(options):
     program = build_saxpy()
     x_base, y_base, nwords = 0x1000, 0x2000, 256
 

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Compare two ``BENCH_*.json`` files and gate on regressions.
+
+Usage::
+
+    python scripts/bench_compare.py OLD.json NEW.json [--threshold 0.20]
+
+Records are matched by ``(kernel, config)``.  Two kinds of drift are
+checked:
+
+* **simulator throughput** — for records carrying a ``sim_speed``
+  section (written by ``make perf``), ``instructions_per_sec`` in NEW
+  must not fall more than ``--threshold`` (default 20%) below OLD;
+* **simulated cycles** — for every matched pair, a change in
+  ``cycles`` is reported (informational unless ``--strict-cycles``,
+  which treats any cycle-count growth beyond the threshold as a
+  failure too).
+
+Exit status is 0 when nothing regressed, 1 otherwise — wire it into CI
+after ``make perf`` to keep the fast path fast.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.obs.export import read_bench  # noqa: E402
+
+
+def _index(document: dict) -> dict[tuple[str, str], dict]:
+    return {(record["kernel"], record["config"]): record
+            for record in document["records"]}
+
+
+def _fmt_rate(value: float) -> str:
+    return f"{value / 1e3:8.1f}k instr/s"
+
+
+def compare(old: dict, new: dict, threshold: float,
+            strict_cycles: bool = False) -> list[str]:
+    """Return a list of failure messages (empty = no regressions)."""
+    failures: list[str] = []
+    old_index, new_index = _index(old), _index(new)
+
+    for key in sorted(old_index.keys() - new_index.keys()):
+        failures.append(f"{key[0]}/{key[1]}: missing from NEW file")
+
+    for key in sorted(new_index):
+        kernel, config = key
+        name = f"{kernel}/{config}"
+        new_record = new_index[key]
+        old_record = old_index.get(key)
+        if old_record is None:
+            print(f"  {name}: new record (no baseline)")
+            continue
+
+        old_speed = old_record.get("sim_speed")
+        new_speed = new_record.get("sim_speed")
+        if old_speed and new_speed:
+            old_rate = old_speed["instructions_per_sec"]
+            new_rate = new_speed["instructions_per_sec"]
+            change = new_rate / old_rate - 1.0
+            line = (f"  {name}: {_fmt_rate(old_rate)} -> "
+                    f"{_fmt_rate(new_rate)}  ({change:+.1%})")
+            if change < -threshold:
+                failures.append(
+                    f"{name}: throughput fell {-change:.1%} "
+                    f"({old_rate:.0f} -> {new_rate:.0f} instr/s), "
+                    f"threshold is {threshold:.0%}")
+                line += "  REGRESSION"
+            print(line)
+
+        old_cycles = old_record["cycles"]
+        new_cycles = new_record["cycles"]
+        if new_cycles != old_cycles:
+            drift = new_cycles / old_cycles - 1.0
+            print(f"  {name}: cycles {old_cycles} -> {new_cycles} "
+                  f"({drift:+.2%})")
+            if strict_cycles and drift > threshold:
+                failures.append(
+                    f"{name}: simulated cycles grew {drift:.1%}, "
+                    f"threshold is {threshold:.0%}")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_*.json files; exit 1 on regression.")
+    parser.add_argument("old", type=pathlib.Path,
+                        help="baseline bench file")
+    parser.add_argument("new", type=pathlib.Path,
+                        help="candidate bench file")
+    parser.add_argument(
+        "--threshold", type=float, default=0.20, metavar="FRACTION",
+        help="allowed fractional throughput drop (default 0.20)")
+    parser.add_argument(
+        "--strict-cycles", action="store_true",
+        help="also fail when simulated cycle counts grow past the "
+             "threshold (off by default: cycle changes are usually "
+             "deliberate model changes, not regressions)")
+    options = parser.parse_args(argv)
+
+    old = read_bench(options.old)
+    new = read_bench(options.new)
+    print(f"comparing {options.old} -> {options.new} "
+          f"(threshold {options.threshold:.0%})")
+    failures = compare(old, new, options.threshold,
+                       strict_cycles=options.strict_cycles)
+    if failures:
+        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nno regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

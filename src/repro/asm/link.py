@@ -50,6 +50,31 @@ class LinkedProgram:
         return len(self.instructions)
 
     @property
+    def instruction_sizes(self) -> list[int]:
+        """Per-instruction encoded byte sizes (cached).
+
+        Derived once from the address map so the executor never
+        recomputes ``addresses[i + 1] - addresses[i]`` per step.
+        """
+        try:
+            return self._instruction_sizes
+        except AttributeError:
+            sizes = [
+                self.addresses[index + 1] - address
+                for index, address in enumerate(self.addresses[:-1])
+            ]
+            if self.addresses:
+                sizes.append(self.nbytes - self.addresses[-1])
+            self._instruction_sizes = sizes
+            return sizes
+
+    def plan(self):
+        """The cached pre-decoded :class:`~repro.core.plan.ExecutionPlan`."""
+        from repro.core.plan import plan_for
+
+        return plan_for(self)
+
+    @property
     def operation_count(self) -> int:
         return sum(len(instr.ops) for instr in self.instructions)
 

@@ -10,25 +10,45 @@ each step with timing.  This split mirrors the paper's Blaauw framing
 Each :meth:`Executor.step` executes one VLIW instruction and returns a
 :class:`StepInfo` describing what happened — the hooks the timing and
 power models consume.
+
+Two step implementations share that contract:
+
+* the **reference path** (``fast=False``) interprets the encoded
+  instruction dynamically — registry lookups, fresh ``StepInfo`` per
+  step — and is kept as the executable specification;
+* the **fast path** (``fast=True``, the default) runs over the
+  program's pre-decoded :class:`~repro.core.plan.ExecutionPlan`:
+  bound semantics, resolved latencies, pre-validated destination
+  registers, and a single reused ``StepInfo``/access buffer.  It is
+  required to be *bit-identical* to the reference path in
+  architectural state and statistics (the differential suite in
+  ``tests/core/test_fast_path_differential.py`` enforces this).
+
+Because the fast path reuses one ``StepInfo`` object, callers must
+consume a returned info before the next ``step()`` call (the processor
+model and all in-tree consumers do); hold a copy if you need history.
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass, field
+from heapq import heappush
 
 from repro.asm.link import LinkedProgram
-from repro.isa.encoding import EncodedOp
 from repro.isa.operations import REGISTRY
 from repro.isa.semantics import JumpOutcome
-from repro.core.regfile import RegisterFile
+from repro.isa.simd import MASK32
+from repro.core.regfile import RegisterFile, TimingViolation
 from repro.mem.flatmem import FlatMemory
 
 #: Memory-mapped IO window (prefetch-region registers and friends).
 MMIO_BASE = 0x1000_0000
 MMIO_SIZE = 0x1000
+_MMIO_END = MMIO_BASE + MMIO_SIZE
 
 
-@dataclass
+@dataclass(slots=True)
 class MemAccess:
     """One memory reference performed by an operation."""
 
@@ -74,14 +94,14 @@ class _OpContext:
     def load(self, address: int, nbytes: int) -> int:
         self.accesses.append(
             MemAccess(True, address, nbytes, self._slot, self._op_name))
-        if MMIO_BASE <= address < MMIO_BASE + MMIO_SIZE and self._mmio_load:
+        if MMIO_BASE <= address < _MMIO_END and self._mmio_load:
             return self._mmio_load(address, nbytes)
         return self._memory.load(address, nbytes)
 
     def store(self, address: int, value: int, nbytes: int) -> None:
         self.accesses.append(
             MemAccess(False, address, nbytes, self._slot, self._op_name))
-        if MMIO_BASE <= address < MMIO_BASE + MMIO_SIZE and self._mmio_store:
+        if MMIO_BASE <= address < _MMIO_END and self._mmio_store:
             self._mmio_store(address, value, nbytes)
             return
         self._memory.store(address, value, nbytes)
@@ -102,6 +122,7 @@ class Executor:
         strict_timing: bool = True,
         mmio_store=None,
         mmio_load=None,
+        fast: bool = True,
     ) -> None:
         self.program = program
         self.memory = memory
@@ -115,6 +136,28 @@ class Executor:
         #: (instructions remaining, target index) of an in-flight jump.
         self._pending_jump: tuple[int, int] | None = None
         self._halt_address = program.nbytes
+        self.fast = fast
+        self._plan = program.plan() if fast else None
+        #: Reused by the fast path; consumers read it before the next
+        #: step.
+        self._info = StepInfo(0, 0, 0, 0, 0)
+        #: Fast-path per-FU executed-op totals, indexed like
+        #: ``plan.fu_list`` (the fast path does not fill the per-step
+        #: ``StepInfo.fu_counts`` dict — see :meth:`fu_totals`).
+        self._fu_totals = ([0] * len(self._plan.fu_list)
+                           if self._plan is not None else [])
+
+    def fu_totals(self) -> dict:
+        """Whole-run per-FU executed-op counts (fast path).
+
+        The reference path reports per-step counts in
+        ``StepInfo.fu_counts``; the fast path accumulates them here
+        (a list increment per operation instead of an enum hash) and
+        converts to the same FU-keyed dict on demand.
+        """
+        return {fu: count
+                for fu, count in zip(self._plan.fu_list, self._fu_totals)
+                if count}
 
     @property
     def halted(self) -> bool:
@@ -127,6 +170,12 @@ class Executor:
 
     def step(self) -> StepInfo | None:
         """Execute one VLIW instruction; returns None when halted."""
+        if self.fast:
+            return self._step_fast()
+        return self._step_reference()
+
+    def _step_reference(self) -> StepInfo | None:
+        """The dynamic interpreter — the executable specification."""
         if self.halted:
             return None
         now = self.issue_count
@@ -136,10 +185,7 @@ class Executor:
         info = StepInfo(
             index=self.pc,
             address=self.program.addresses[self.pc],
-            nbytes=(self.program.addresses[self.pc + 1]
-                    - self.program.addresses[self.pc])
-            if self.pc + 1 < len(self.program.addresses)
-            else self.program.nbytes - self.program.addresses[self.pc],
+            nbytes=self.program.instruction_sizes[self.pc],
             issued_ops=len(instr.ops),
             executed_ops=0,
         )
@@ -192,15 +238,156 @@ class Executor:
             self.pc += 1
         return info
 
+    def _step_fast(self) -> StepInfo | None:
+        """Tight loop over the pre-decoded plan.
+
+        Semantically identical to :meth:`_step_reference` — the staged
+        read phase collapses into per-op reads because operand values
+        (``regfile._values``) only change in ``commit_until``, never
+        during an instruction's own execution (all writes land at least
+        one issue slot later).
+        """
+        plan = self._plan
+        pc = self.pc
+        if pc >= plan.count:
+            return None
+        now = self.issue_count
+        regfile = self.regfile
+        heap = regfile._due_heap
+        if heap and heap[0][0] <= now:
+            regfile.commit_until(now)
+        values = regfile._values
+        pending = regfile._pending
+        # A timing violation needs a write *issued before* now still in
+        # flight; after the commit those are exactly the entries left
+        # in the heap (writes this step issues have issued == now and
+        # can never violate), so when the heap is empty every hazard
+        # scan this step is skipped wholesale.
+        hazard = regfile.strict and bool(heap)
+        ctx = self._ctx
+        accesses = ctx.accesses
+        accesses.clear()
+
+        info = self._info
+        info.index = pc
+        info.address = plan.addresses[pc]
+        info.nbytes = plan.sizes[pc]
+        info.jump_taken = False
+        info.jump_target = None
+        fu_totals = self._fu_totals
+
+        ops = plan.ops[pc]
+        info.issued_ops = len(ops)
+        executed = 0
+        reads = 0
+        writes = 0
+
+        for op in ops:
+            guard = op[1]
+            if guard != 1:  # TRUE_GUARD: r1 is constant, never pending
+                if hazard and guard in pending:
+                    for due, issued, _value in pending[guard]:
+                        if issued < now < due:
+                            raise TimingViolation(
+                                f"guard r{guard} read at t={now} while "
+                                f"write issued at t={issued} lands at "
+                                f"t={due}")
+                if not values[guard] & 1:
+                    continue
+            executed += 1
+            fu_totals[op[6]] += 1
+            srcs = op[2]
+            nsrc = len(srcs)
+            reads += nsrc
+            if hazard:
+                for reg in srcs:
+                    if reg in pending:
+                        for due, issued, _value in pending[reg]:
+                            if issued < now < due:
+                                raise TimingViolation(
+                                    f"r{reg} read at t={now} while write "
+                                    f"issued at t={issued} lands at "
+                                    f"t={due}")
+            if nsrc == 2:
+                operands = (values[srcs[0]], values[srcs[1]])
+            elif nsrc == 1:
+                operands = (values[srcs[0]],)
+            elif nsrc == 0:
+                operands = ()
+            else:
+                operands = tuple(values[reg] for reg in srcs)
+            if op[8]:  # is_mem: MemAccess records need slot/op name
+                ctx._slot = op[9]
+                ctx._op_name = op[10]
+            imm = op[4]
+            results = op[0](ctx, operands, imm)
+            if op[7]:  # is_jump
+                outcome = results[0]
+                if not isinstance(outcome, JumpOutcome):
+                    raise TypeError(f"{op[10]} did not return JumpOutcome")
+                if outcome.taken:
+                    info.jump_taken = True
+                    info.jump_target = outcome.target
+                    target_index = (op[11] if outcome.target == imm
+                                    else self._resolve_target(outcome.target))
+                    self._pending_jump = (plan.jump_delay_slots, target_index)
+                continue
+            due = now + op[5]
+            dsts = op[3]
+            if len(dsts) == 1:
+                reg = dsts[0]
+                writes += 1
+                entry = (due, now, results[0] & MASK32)
+                queue = pending.get(reg)
+                if queue is None:
+                    pending[reg] = [entry]
+                elif entry >= queue[-1]:
+                    queue.append(entry)
+                else:
+                    insort(queue, entry)
+                heappush(heap, (due, reg))
+            else:
+                for reg, value in zip(dsts, results):
+                    writes += 1
+                    entry = (due, now, value & MASK32)
+                    queue = pending.get(reg)
+                    if queue is None:
+                        pending[reg] = [entry]
+                    elif entry >= queue[-1]:
+                        queue.append(entry)
+                    else:
+                        insort(queue, entry)
+                    heappush(heap, (due, reg))
+
+        info.executed_ops = executed
+        info.mem_accesses = accesses
+        regfile.guard_reads += len(ops)
+        regfile.reads += reads
+        regfile.writes += writes
+
+        self.issue_count = now + 1
+        pending_jump = self._pending_jump
+        if pending_jump is not None:
+            remaining, target_index = pending_jump
+            if remaining == 0:
+                self.pc = target_index
+                self._pending_jump = None
+            else:
+                self._pending_jump = (remaining - 1, target_index)
+                self.pc = pc + 1
+        else:
+            self.pc = pc + 1
+        return info
+
     def run(self, max_instructions: int = 50_000_000):
         """Run to completion; yields nothing, collects nothing.
 
         Use :meth:`step` (or :class:`repro.core.processor.Processor`)
         when per-instruction information is needed.
         """
+        step = self._step_fast if self.fast else self._step_reference
         budget = max_instructions
-        while not self.halted:
-            self.step()
+        while step() is not None:
             budget -= 1
             if budget <= 0:
                 raise ExecutionError(

@@ -1,0 +1,192 @@
+"""Pre-decoded execution plans: the interpreter's static/dynamic split.
+
+Everything about a VLIW instruction that does not depend on machine
+state is known the moment a :class:`~repro.asm.link.LinkedProgram`
+exists: which semantic callable each operation binds to, its result
+latency on the program's target, guard/source/destination register
+indices, functional-unit class, whether it is a jump and where that
+jump lands, the instruction's encoded byte size, and which 32-byte
+fetch chunks the front end consumes for it.  The dynamic interpreter
+re-derived all of it on every step — a ``REGISTRY.semantic(name)``
+dict lookup per operation, an ``OpSpec`` property chain, a
+``latency_of`` call, address arithmetic for sizes and chunks.
+
+:class:`ExecutionPlan` hoists that work to program-load time.  Each
+instruction compiles into a flat tuple of per-operation tuples (plain
+tuples, not objects — index access is the cheapest attribute model
+Python has) plus parallel arrays of sizes and chunk ranges, so
+``Executor._step_fast`` and ``Processor.run`` execute over
+pre-resolved data with zero per-step name lookups.
+
+Plans are immutable and cached on the program
+(:func:`plan_for` / :meth:`LinkedProgram.plan`); one program shared by
+many executors compiles its plan once.
+"""
+
+from __future__ import annotations
+
+from repro.core.regfile import NUM_REGS
+from repro.isa.encoding import TRUE_GUARD, EncodedInstruction
+from repro.isa.operations import REGISTRY
+from repro.mem.icache import FETCH_CHUNK_BYTES
+
+#: Indices into one per-operation plan tuple (kept in one place so the
+#: executor's unpacking and the builder below cannot drift apart).
+OP_SEMANTIC = 0    # bound semantic callable
+OP_GUARD = 1       # guard register index (TRUE_GUARD = unguarded)
+OP_SRCS = 2        # tuple of source register indices
+OP_DSTS = 3        # tuple of destination register indices
+OP_IMM = 4         # raw immediate (None when absent)
+OP_LATENCY = 5     # result latency on this program's target
+OP_FU = 6          # functional-unit index into ``plan.fu_list``
+OP_IS_JUMP = 7     # bool
+OP_IS_MEM = 8      # bool: may call ctx.load/ctx.store
+OP_SLOT = 9        # anchor issue slot (MemAccess bookkeeping)
+OP_NAME = 10       # mnemonic (MemAccess bookkeeping, diagnostics)
+OP_JUMP_INDEX = 11 # pre-resolved target instruction index (jumps only)
+
+_CHUNK_MASK = ~(FETCH_CHUNK_BYTES - 1)
+
+
+class ExecutionPlan:
+    """Flat, pre-resolved form of one linked program.
+
+    Parallel arrays indexed by instruction index:
+
+    ``ops``
+        tuple of per-operation tuples (see the ``OP_*`` indices).
+    ``addresses`` / ``sizes``
+        byte address and encoded byte size of each instruction.
+    ``chunk_first`` / ``chunk_last``
+        program-relative addresses of the first and last 32-byte fetch
+        chunks the instruction occupies (the front end's consumption
+        range; ``chunk_first[i] == chunk_last[i]`` for most
+        instructions, which is what makes the fetch fast path a single
+        comparison).
+    ``nops`` / ``static_executed`` / ``static_fu_items``
+        issued-operation count, the count of *unguarded* operations
+        (always executed), and their per-FU counts — the pieces of
+        per-step accounting that do not depend on guard values.
+    ``all_unguarded``
+        True when every operation of the instruction is unguarded, so
+        its entire execution profile is static.
+    """
+
+    __slots__ = (
+        "program", "count", "ops", "addresses", "sizes",
+        "chunk_first", "chunk_last", "nops", "static_executed",
+        "static_fu_items", "all_unguarded", "jump_delay_slots",
+        "fu_list", "_abs_chunks", "_abs_chunks_base",
+    )
+
+    def __init__(self, program) -> None:
+        target = program.target
+        instructions: list[EncodedInstruction] = program.instructions
+        halt_index = len(instructions)
+
+        def resolve(address: int) -> int:
+            # Mirrors Executor._resolve_target: jumping at or past the
+            # image end halts.
+            if address >= program.nbytes:
+                return halt_index
+            return program.index_of_address(address)
+
+        self.program = program
+        self.count = halt_index
+        self.jump_delay_slots = target.jump_delay_slots
+        self.addresses = list(program.addresses)
+        self.sizes = list(program.instruction_sizes)
+        self.ops = []
+        self.chunk_first = []
+        self.chunk_last = []
+        self.nops = []
+        self.static_executed = []
+        self.static_fu_items = []
+        self.all_unguarded = []
+        #: FU enums used by this program; op tuples carry the *index*
+        #: so the executor counts per-FU work with a list increment
+        #: instead of hashing an enum member per operation.
+        self.fu_list = []
+        fu_index: dict = {}
+
+        for index, instr in enumerate(instructions):
+            address = self.addresses[index]
+            nbytes = self.sizes[index]
+            self.chunk_first.append(address & _CHUNK_MASK)
+            self.chunk_last.append(
+                (address + max(nbytes - 1, 0)) & _CHUNK_MASK)
+
+            planned = []
+            static_fu: dict = {}
+            static_executed = 0
+            for op in instr.ops:
+                spec = op.spec
+                for reg in op.dsts:
+                    # Destination validity is static — checking here
+                    # lets the fast path skip schedule_write's
+                    # per-write validation.
+                    if reg in (0, 1):
+                        raise ValueError(
+                            f"{op.name}: write to constant register "
+                            f"r{reg}")
+                    if not 0 <= reg < NUM_REGS:
+                        raise ValueError(
+                            f"{op.name}: register r{reg} out of range")
+                jump_index = None
+                if spec.is_jump and op.imm is not None:
+                    jump_index = resolve(op.imm)
+                if op.guard == TRUE_GUARD:
+                    static_executed += 1
+                    static_fu[spec.fu] = static_fu.get(spec.fu, 0) + 1
+                fu = spec.fu
+                index_of_fu = fu_index.get(fu)
+                if index_of_fu is None:
+                    index_of_fu = fu_index[fu] = len(self.fu_list)
+                    self.fu_list.append(fu)
+                planned.append((
+                    REGISTRY.semantic(op.name),
+                    op.guard,
+                    op.srcs,
+                    op.dsts,
+                    op.imm,
+                    target.latency_of(spec),
+                    index_of_fu,
+                    spec.is_jump,
+                    spec.is_mem,
+                    op.slot,
+                    op.name,
+                    jump_index,
+                ))
+            self.ops.append(tuple(planned))
+            self.nops.append(len(instr.ops))
+            self.static_executed.append(static_executed)
+            self.static_fu_items.append(tuple(static_fu.items()))
+            self.all_unguarded.append(static_executed == len(instr.ops))
+
+        self._abs_chunks = None
+        self._abs_chunks_base = None
+
+    def code_chunks(self, code_base: int) -> tuple[list[int], list[int]]:
+        """Absolute first/last fetch-chunk addresses per instruction.
+
+        The processor lays code out at a fixed base; translating the
+        program-relative chunk ranges once (and caching the result)
+        makes the front end's have-I-fetched-this-chunk test a pair of
+        list indexings per instruction.
+        """
+        if self._abs_chunks_base != code_base:
+            self._abs_chunks = (
+                [code_base + chunk for chunk in self.chunk_first],
+                [code_base + chunk for chunk in self.chunk_last],
+            )
+            self._abs_chunks_base = code_base
+        return self._abs_chunks
+
+
+def plan_for(program) -> ExecutionPlan:
+    """The (cached) :class:`ExecutionPlan` of ``program``."""
+    plan = getattr(program, "_plan", None)
+    if plan is None:
+        plan = ExecutionPlan(program)
+        program._plan = plan
+    return plan

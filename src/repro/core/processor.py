@@ -87,7 +87,7 @@ class Processor:
 
     def run(self, program: LinkedProgram, args: dict[int, int] | None = None,
             max_instructions: int = 50_000_000,
-            warm_code: bool = True) -> RunResult:
+            warm_code: bool = True, fast: bool = True) -> RunResult:
         """Execute ``program`` to completion and return the result.
 
         ``args`` maps physical registers to initial values (the kernel
@@ -95,6 +95,11 @@ class Processor:
         ``warm_code`` the instruction cache is preloaded — kernel-style
         measurement, excluding cold-code effects; pass False to include
         them.
+
+        ``fast`` selects the pre-decoded execution plan (the default);
+        ``fast=False`` runs the dynamic reference interpreter.  The two
+        produce bit-identical results and statistics — the flag only
+        trades simulation wall-clock.
         """
         if program.target.name != self.config.target.name:
             raise ValueError(
@@ -108,6 +113,7 @@ class Processor:
             args=args,
             mmio_store=self._mmio_store,
             mmio_load=self._mmio_load,
+            fast=fast,
         )
         stats = RunStats(
             config_name=self.config.name,
@@ -126,8 +132,33 @@ class Processor:
         chunk_mask = ~(FETCH_CHUNK_BYTES - 1)
         mmio_end = MMIO_BASE + MMIO_SIZE
         budget = max_instructions
+
+        # Hot-loop bindings: the loop below runs once per simulated
+        # VLIW instruction, so attribute chains are hoisted and the
+        # cheap counters accumulate in locals (flushed to ``stats``
+        # after the loop — the observable result is identical).
+        step = executor._step_fast if fast else executor._step_reference
+        if fast:
+            chunk_first, chunk_last = \
+                executor._plan.code_chunks(CODE_BASE)
+        dcache_access = self.dcache.access
+        prefetcher = self.prefetcher
+        prefetch_queue = prefetcher._queue
+        prefetch_tick = prefetcher.tick
+        observe_load = prefetcher.observe_load
+        obs = self.obs
+        instructions = 0
+        ops_issued = 0
+        ops_executed = 0
+        jumps_taken = 0
+        icache_stall_cycles = 0
+        dcache_stall_cycles = 0
+        code_bytes_fetched = 0
+        mmio_accesses = 0
+        fu_counts: dict = {}
+
         while True:
-            info = executor.step()
+            info = step()
             if info is None:
                 break
             budget -= 1
@@ -137,39 +168,49 @@ class Processor:
                     f"instructions on {self.config.name}")
             stall = 0
 
-            # Front end: fetch any newly-consumed 32-byte chunks.
-            first_chunk = (CODE_BASE + info.address) & chunk_mask
-            last_needed = (CODE_BASE + info.address
-                           + max(info.nbytes - 1, 0)) & chunk_mask
-            chunk = first_chunk
-            while chunk <= last_needed:
-                if chunk != last_chunk:
-                    stall += self.icache.fetch_chunk(chunk, cycle + stall)
-                    stats.code_bytes_fetched += FETCH_CHUNK_BYTES
-                    last_chunk = chunk
-                chunk += FETCH_CHUNK_BYTES
-            stats.icache_stall_cycles += stall
+            # Front end: fetch any newly-consumed 32-byte chunks.  The
+            # plan pre-computes each instruction's chunk range, so the
+            # common case — still inside the chunk fetched last step —
+            # is two list indexings and two comparisons.
+            if fast:
+                first_chunk = chunk_first[info.index]
+                last_needed = chunk_last[info.index]
+            else:
+                first_chunk = (CODE_BASE + info.address) & chunk_mask
+                last_needed = (CODE_BASE + info.address
+                               + max(info.nbytes - 1, 0)) & chunk_mask
+            if first_chunk != last_chunk or last_needed != last_chunk:
+                chunk = first_chunk
+                while chunk <= last_needed:
+                    if chunk != last_chunk:
+                        stall += self.icache.fetch_chunk(
+                            chunk, cycle + stall)
+                        code_bytes_fetched += FETCH_CHUNK_BYTES
+                        last_chunk = chunk
+                    chunk += FETCH_CHUNK_BYTES
+                icache_stall_cycles += stall
             fetch_stall = stall
 
             # Load/store unit.
-            for access in info.mem_accesses:
-                if MMIO_BASE <= access.address < mmio_end:
-                    stats.mmio_accesses += 1
-                    continue
-                mem_stall = self.dcache.access(
-                    access.is_load, access.address, access.nbytes,
-                    cycle + stall)
-                stall += mem_stall
-                stats.dcache_stall_cycles += mem_stall
-                if access.is_load:
-                    self.prefetcher.observe_load(
-                        access.address, cycle + stall)
-            self.prefetcher.tick(cycle + stall)
+            if info.mem_accesses:
+                for access in info.mem_accesses:
+                    address = access.address
+                    if MMIO_BASE <= address < mmio_end:
+                        mmio_accesses += 1
+                        continue
+                    mem_stall = dcache_access(
+                        access.is_load, address, access.nbytes,
+                        cycle + stall)
+                    stall += mem_stall
+                    dcache_stall_cycles += mem_stall
+                    if access.is_load:
+                        observe_load(address, cycle + stall)
+            if prefetch_queue:
+                prefetch_tick(cycle + stall)
 
-            obs = self.obs
             if obs:
                 obs.instruction(cycle, 1 + stall,
-                                index=stats.instructions,
+                                index=instructions,
                                 issued_ops=info.issued_ops,
                                 executed_ops=info.executed_ops)
                 obs.stall(cycle, "icache", fetch_stall)
@@ -179,18 +220,30 @@ class Processor:
                     for stage, start, dur in stage_spans(
                             cycle, stall=stall):
                         obs.stage(start, stage, dur,
-                                  instr=stats.instructions)
+                                  instr=instructions)
 
             cycle += 1 + stall
-            stats.instructions += 1
-            stats.ops_issued += info.issued_ops
-            stats.ops_executed += info.executed_ops
+            instructions += 1
+            ops_issued += info.issued_ops
+            ops_executed += info.executed_ops
             if info.jump_taken:
-                stats.jumps_taken += 1
-            for fu, count in info.fu_counts.items():
-                stats.fu_counts[fu] = stats.fu_counts.get(fu, 0) + count
+                jumps_taken += 1
+            if not fast:
+                for fu, count in info.fu_counts.items():
+                    fu_counts[fu] = fu_counts.get(fu, 0) + count
 
+        if fast:
+            fu_counts = executor.fu_totals()
         executor.regfile.settle()
+        stats.instructions = instructions
+        stats.ops_issued = ops_issued
+        stats.ops_executed = ops_executed
+        stats.jumps_taken = jumps_taken
+        stats.icache_stall_cycles = icache_stall_cycles
+        stats.dcache_stall_cycles = dcache_stall_cycles
+        stats.code_bytes_fetched = code_bytes_fetched
+        stats.mmio_accesses = mmio_accesses
+        stats.fu_counts = fu_counts
         stats.cycles = cycle
         stats.regfile_reads = executor.regfile.reads
         stats.regfile_writes = executor.regfile.writes
@@ -209,9 +262,10 @@ def run_kernel(program: LinkedProgram,
                memory: FlatMemory | None = None,
                memory_size: int = 1 << 20,
                max_instructions: int = 50_000_000,
-               obs: EventBus | None = None) -> RunResult:
+               obs: EventBus | None = None,
+               fast: bool = True) -> RunResult:
     """Convenience: build a fresh processor and run one kernel."""
     processor = Processor(config, memory=memory, memory_size=memory_size,
                           obs=obs)
     return processor.run(program, args=args,
-                         max_instructions=max_instructions)
+                         max_instructions=max_instructions, fast=fast)

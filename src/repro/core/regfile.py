@@ -13,9 +13,22 @@ edges legitimately produce — is permitted and returns the old value.
 Time here is measured in *issued instructions*, not wall cycles:
 when the pipeline stalls, in-flight operations stall with it
 (Section 3), so latencies elapse in issue slots.
+
+Pending writes are kept in two coordinated structures:
+
+* per-register due-ordered queues (``_pending``) — what strict-mode
+  reads scan, and what decides which value lands last;
+* one global min-heap of ``(due, reg)`` pairs (``_due_heap``) — so
+  :meth:`commit_until`, which runs once per issued instruction, is a
+  single heap-top comparison on the step where nothing lands, and on
+  a landing step touches only the registers that actually land,
+  instead of walking every in-flight register.
 """
 
 from __future__ import annotations
+
+from bisect import insort
+from heapq import heappop, heappush
 
 from repro.isa.simd import MASK32
 
@@ -34,6 +47,8 @@ class RegisterFile:
         self._values[1] = 1
         #: reg -> list of (due, issue_time, value), due-ordered.
         self._pending: dict[int, list[tuple[int, int, int]]] = {}
+        #: Min-heap of (due, reg), one entry per in-flight write.
+        self._due_heap: list[tuple[int, int]] = []
         self.strict = strict
         self.reads = 0
         self.writes = 0
@@ -69,24 +84,40 @@ class RegisterFile:
         if not 0 <= reg < NUM_REGS:
             raise ValueError(f"register r{reg} out of range")
         self.writes += 1
-        entry = (now + latency, now, value & MASK32)
-        queue = self._pending.setdefault(reg, [])
-        queue.append(entry)
-        queue.sort()
+        due = now + latency
+        entry = (due, now, value & MASK32)
+        queue = self._pending.get(reg)
+        if queue is None:
+            self._pending[reg] = [entry]
+        else:
+            insort(queue, entry)
+        heappush(self._due_heap, (due, reg))
 
     def commit_until(self, now: int) -> None:
-        """Apply every pending write due at or before ``now``."""
-        if not self._pending:
-            return
-        done = []
-        for reg, queue in self._pending.items():
-            while queue and queue[0][0] <= now:
-                _due, _issued, value = queue.pop(0)
-                self._values[reg] = value
-            if not queue:
-                done.append(reg)
-        for reg in done:
-            del self._pending[reg]
+        """Apply every pending write due at or before ``now``.
+
+        When several writes to one register land together, the last
+        due wins (due-ordered queue).  A register may appear in the
+        heap several times; pops after its queue drained are no-ops.
+        """
+        heap = self._due_heap
+        pending = self._pending
+        values = self._values
+        while heap and heap[0][0] <= now:
+            _due, reg = heappop(heap)
+            queue = pending.get(reg)
+            if queue is None:
+                continue
+            index = 0
+            end = len(queue)
+            while index < end and queue[index][0] <= now:
+                index += 1
+            if index:
+                values[reg] = queue[index - 1][2]
+                if index == end:
+                    del pending[reg]
+                else:
+                    del queue[:index]
 
     def settle(self) -> None:
         """Apply all pending writes (program end)."""

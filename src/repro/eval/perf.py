@@ -1,0 +1,240 @@
+"""Simulator throughput benchmarks: how fast the simulator simulates.
+
+Every other evaluation in this repository measures the *simulated*
+processor (cycles, CPI, hit rates).  This module measures the
+simulator itself — simulated VLIW instructions retired per wall-clock
+second — on representative media kernels, comparing the pre-decoded
+fast path (``fast=True``, :mod:`repro.core.plan`) against the dynamic
+reference interpreter (``fast=False``), which preserves the shape of
+the original per-step decode loop.
+
+Each measurement doubles as a differential test: the fast and
+reference runs of a case must produce *identical* :class:`RunStats`
+(cycle counts, stall decomposition, cache and register-file
+statistics), or :func:`measure_case` raises.  Throughput numbers are
+only reported for runs proven equivalent.
+
+Records ride on the standard ``tm3270.bench/1`` schema with one extra
+numeric section::
+
+    "sim_speed": {
+        "instructions_per_sec": ...,     # fast path
+        "wall_seconds": ...,             # fast path, best of N
+        "reference_instructions_per_sec": ...,
+        "reference_wall_seconds": ...,
+        "speedup_vs_reference": ...,
+    }
+
+``python -m repro.eval.runner --perf`` writes the suite to
+``benchmarks/results/BENCH_sim_speed.json``; ``make perf`` wraps that,
+and ``scripts/bench_compare.py`` diffs two such files in CI.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable
+
+from repro.asm.link import compile_program
+from repro.core.config import TM3270_CONFIG, ProcessorConfig
+from repro.core.processor import Processor
+from repro.core.stats import RunStats
+from repro.kernels import cabac_kernel, motion
+from repro.kernels.common import DATA_BASE, args_for
+from repro.mem.flatmem import FlatMemory
+from repro.obs.export import bench_record
+from repro.workloads.cabac_streams import generate_field
+from repro.workloads.video import synthetic_frame
+
+
+@dataclass(frozen=True)
+class PerfCase:
+    """One simulator-throughput workload."""
+
+    name: str
+    description: str
+    build: Callable
+    prepare: Callable[[FlatMemory], dict[int, int]]
+    memory_size: int = 1 << 19
+
+
+@dataclass(frozen=True)
+class PerfMeasurement:
+    """Fast vs reference wall-clock for one case (stats proven equal)."""
+
+    case_name: str
+    stats: RunStats
+    fast_seconds: float
+    reference_seconds: float
+
+    @property
+    def instructions_per_sec(self) -> float:
+        return self.stats.instructions / self.fast_seconds
+
+    @property
+    def reference_instructions_per_sec(self) -> float:
+        return self.stats.instructions / self.reference_seconds
+
+    @property
+    def speedup(self) -> float:
+        return self.reference_seconds / self.fast_seconds
+
+
+# ---------------------------------------------------------------------------
+# The perf suite
+# ---------------------------------------------------------------------------
+
+_ME_WIDTH = 64
+_ME_CUR = DATA_BASE
+_ME_REF = DATA_BASE + 0x800
+_ME_RESULT = DATA_BASE + 0x1000
+
+
+def _prepare_motion(memory: FlatMemory) -> dict[int, int]:
+    frame = synthetic_frame(_ME_WIDTH, 16, seed=77)
+    memory.write_block(_ME_CUR, frame[:8 * _ME_WIDTH])
+    memory.write_block(_ME_REF, frame[8 * _ME_WIDTH:16 * _ME_WIDTH])
+    return args_for(_ME_CUR, _ME_REF, _ME_WIDTH, _ME_RESULT)
+
+
+_CABAC_SCALE = 0.02
+_CABAC_STREAM = DATA_BASE
+_CABAC_OUT = DATA_BASE + 0x8000
+_CABAC_CTX = DATA_BASE + 0xA000
+_CABAC_TABLES = DATA_BASE + 0xB000
+
+
+@lru_cache(maxsize=4)
+def _cabac_field(scale: float = _CABAC_SCALE):
+    return generate_field("I", seed=7, scale=scale)
+
+
+def _prepare_cabac(memory: FlatMemory) -> dict[int, int]:
+    field = _cabac_field()
+    memory.write_block(_CABAC_STREAM, field.data)
+    memory.write_block(_CABAC_TABLES, cabac_kernel.prepare_tables())
+    return args_for(_CABAC_STREAM, _CABAC_OUT, _CABAC_CTX,
+                    _CABAC_TABLES, field.num_symbols)
+
+
+def _build_cabac(build):
+    def factory():
+        return build(num_contexts=_cabac_field().num_contexts)
+    return factory
+
+
+def _from_kernel(name: str) -> PerfCase:
+    """Wrap a Table 5 registry kernel as a perf case."""
+    from repro.kernels.registry import kernel_by_name
+
+    case = kernel_by_name(name)
+    return PerfCase(case.name, case.description, case.build,
+                    case.prepare, case.memory_size)
+
+
+def perf_cases() -> list[PerfCase]:
+    """The default suite: motion estimation, CABAC, and two Table 5
+    kernels for breadth (streaming memory and control-heavy code)."""
+    return [
+        PerfCase("me_frac_plain",
+                 "Motion estimation, explicit fractional interpolation.",
+                 motion.build_me_frac_plain, _prepare_motion, 1 << 15),
+        PerfCase("me_frac_ld8",
+                 "Motion estimation with collapsed LD_FRAC8 loads.",
+                 motion.build_me_frac_ld8, _prepare_motion, 1 << 15),
+        PerfCase("cabac_plain",
+                 "CABAC I-field decode, baseline operations.",
+                 _build_cabac(cabac_kernel.build_cabac_plain),
+                 _prepare_cabac, 1 << 18),
+        PerfCase("cabac_super",
+                 "CABAC I-field decode, SUPER_CABAC operations.",
+                 _build_cabac(cabac_kernel.build_cabac_super),
+                 _prepare_cabac, 1 << 18),
+        _from_kernel("memcpy"),
+        _from_kernel("mpeg2_b"),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Measurement
+# ---------------------------------------------------------------------------
+
+def _timed_run(program, case: PerfCase, config: ProcessorConfig,
+               fast: bool):
+    memory = FlatMemory(case.memory_size)
+    args = case.prepare(memory)
+    processor = Processor(config, memory=memory)
+    start = time.perf_counter()
+    result = processor.run(program, args=args, fast=fast)
+    return result, time.perf_counter() - start
+
+
+def measure_case(case: PerfCase,
+                 config: ProcessorConfig = TM3270_CONFIG,
+                 repeats: int = 3) -> PerfMeasurement:
+    """Best-of-``repeats`` wall time for both paths, stats verified equal.
+
+    Raises ``AssertionError`` if the fast path's statistics diverge
+    from the reference interpreter's — a throughput number for a run
+    that simulated something different is meaningless.
+    """
+    program = compile_program(case.build(), config.target)
+    program.plan()  # compile the plan outside the timed region
+
+    fast_result, fast_seconds = None, float("inf")
+    ref_result, ref_seconds = None, float("inf")
+    for _ in range(repeats):
+        result, seconds = _timed_run(program, case, config, fast=True)
+        if seconds < fast_seconds:
+            fast_result, fast_seconds = result, seconds
+        result, seconds = _timed_run(program, case, config, fast=False)
+        if seconds < ref_seconds:
+            ref_result, ref_seconds = result, seconds
+
+    assert fast_result.stats == ref_result.stats, (
+        f"{case.name}: fast path diverged from reference "
+        f"(differential check failed)")
+    return PerfMeasurement(
+        case_name=case.name,
+        stats=fast_result.stats,
+        fast_seconds=fast_seconds,
+        reference_seconds=ref_seconds,
+    )
+
+
+def perf_record(measurement: PerfMeasurement) -> dict:
+    """One measurement as a ``tm3270.bench/1`` record."""
+    record = bench_record(measurement.stats)
+    record["sim_speed"] = {
+        "instructions_per_sec": measurement.instructions_per_sec,
+        "wall_seconds": measurement.fast_seconds,
+        "reference_instructions_per_sec":
+            measurement.reference_instructions_per_sec,
+        "reference_wall_seconds": measurement.reference_seconds,
+        "speedup_vs_reference": measurement.speedup,
+    }
+    return record
+
+
+def run_perf(cases: list[PerfCase] | None = None,
+             config: ProcessorConfig = TM3270_CONFIG,
+             repeats: int = 3,
+             report: Callable[[str], None] | None = None) -> list[dict]:
+    """Measure the suite; returns the bench records."""
+    records = []
+    for case in cases if cases is not None else perf_cases():
+        measurement = measure_case(case, config, repeats=repeats)
+        records.append(perf_record(measurement))
+        if report:
+            report(format_measurement(measurement))
+    return records
+
+
+def format_measurement(measurement: PerfMeasurement) -> str:
+    return (f"{measurement.case_name:<16} "
+            f"{measurement.stats.instructions:>9} instr  "
+            f"fast {measurement.instructions_per_sec:>10,.0f}/s  "
+            f"ref {measurement.reference_instructions_per_sec:>10,.0f}/s  "
+            f"speedup {measurement.speedup:5.2f}x")

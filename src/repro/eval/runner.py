@@ -109,6 +109,40 @@ def run_program(program, config: ProcessorConfig, args: dict[int, int],
 # CLI: python -m repro.eval.runner --bench-out BENCH_pr1.json
 # ---------------------------------------------------------------------------
 
+def _profiled(enabled: bool, work):
+    """Run ``work()``; with ``enabled`` dump a cProfile report after."""
+    if not enabled:
+        return work()
+    import cProfile
+    import io
+    import pstats
+
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        return work()
+    finally:
+        profile.disable()
+        stream = io.StringIO()
+        pstats.Stats(profile, stream=stream) \
+            .sort_stats("cumulative").print_stats(30)
+        print(stream.getvalue())
+
+
+def _run_perf(options) -> int:
+    """``--perf``: simulator-throughput suite -> BENCH_sim_speed.json."""
+    from repro.eval.perf import run_perf
+
+    path = (pathlib.Path(options.bench_out) if options.bench_out
+            else _default_bench_path().with_name("BENCH_sim_speed.json"))
+    records = _profiled(
+        options.profile,
+        lambda: run_perf(repeats=options.repeats, report=print))
+    write_bench(path, records)
+    print(f"\nwrote {len(records)} sim-speed records to {path}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run kernels across configurations and write a bench file."""
     import argparse
@@ -134,7 +168,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--no-verify", action="store_true",
         help="skip bit-exact output verification")
+    parser.add_argument(
+        "--perf", action="store_true",
+        help="measure simulator throughput (fast vs reference path) "
+             "instead of Table 5 kernels; writes BENCH_sim_speed.json")
+    parser.add_argument(
+        "--repeats", type=int, default=3, metavar="N",
+        help="--perf: wall-clock repeats per case, best-of (default 3)")
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="dump a cProfile report of the run to stdout")
     options = parser.parse_args(argv)
+
+    if options.perf:
+        return _run_perf(options)
 
     if options.kernels:
         try:
@@ -156,12 +203,17 @@ def main(argv: list[str] | None = None) -> int:
 
     sink = BenchSink(options.bench_out) if options.bench_out \
         else BENCH_SINK
-    for case in kernels:
-        for config in configs:
-            stats = run_case(case, config,
-                             verify=not options.no_verify, bench=False)
-            sink.records.append(bench_record(stats))
-            print(stats.summary())
+
+    def work():
+        for case in kernels:
+            for config in configs:
+                stats = run_case(case, config,
+                                 verify=not options.no_verify,
+                                 bench=False)
+                sink.records.append(bench_record(stats))
+                print(stats.summary())
+
+    _profiled(options.profile, work)
     sink.flush()
     print(f"\nwrote {len(sink.records)} bench records to {sink.path}")
     return 0

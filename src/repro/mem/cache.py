@@ -60,11 +60,20 @@ class TagStore:
         self.geometry = geometry
         self._sets: list[list[Line]] = [
             [] for _ in range(geometry.num_sets)]
+        # All parameters are powers of two (CacheGeometry validates),
+        # so index/tag extraction reduces to shifts and masks — this
+        # runs on every lookup of both caches.
+        self._line_shift = geometry.line_bytes.bit_length() - 1
+        self._set_mask = geometry.num_sets - 1
+        self._tag_shift = (self._line_shift
+                           + geometry.num_sets.bit_length() - 1)
+        self._ways = geometry.ways
 
     def lookup(self, address: int) -> Line | None:
         """Find the resident line covering ``address``; updates LRU."""
-        set_list = self._sets[self.geometry.set_index(address)]
-        tag = self.geometry.tag(address)
+        set_list = self._sets[(address >> self._line_shift)
+                              & self._set_mask]
+        tag = address >> self._tag_shift
         for position, line in enumerate(set_list):
             if line.tag == tag:
                 if position:
@@ -75,8 +84,9 @@ class TagStore:
 
     def probe(self, address: int) -> Line | None:
         """Find without updating LRU (used by the prefetch unit)."""
-        set_list = self._sets[self.geometry.set_index(address)]
-        tag = self.geometry.tag(address)
+        set_list = self._sets[(address >> self._line_shift)
+                              & self._set_mask]
+        tag = address >> self._tag_shift
         for line in set_list:
             if line.tag == tag:
                 return line
@@ -88,12 +98,12 @@ class TagStore:
         Returns ``(new_line, victim)``; the victim is the evicted LRU
         line, or ``None`` when the set still had room.
         """
-        index = self.geometry.set_index(address)
-        set_list = self._sets[index]
+        set_list = self._sets[(address >> self._line_shift)
+                              & self._set_mask]
         victim = None
-        if len(set_list) >= self.geometry.ways:
+        if len(set_list) >= self._ways:
             victim = set_list.pop()
-        line = Line(tag=self.geometry.tag(address))
+        line = Line(tag=address >> self._tag_shift)
         set_list.insert(0, line)
         return line, victim
 

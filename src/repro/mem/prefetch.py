@@ -77,6 +77,15 @@ class RegionPrefetcher:
         self.obs = None
         self._queue: list[int] = []
         self._inflight: set[int] = set()
+        #: (index, region) of active regions — rebuilt on region
+        #: register writes, so the common no-prefetch kernel pays one
+        #: truth test per load instead of a scan of all four regions.
+        self._active: list[tuple[int, PrefetchRegion]] = []
+
+    def _refresh_active(self) -> None:
+        self._active = [(index, region)
+                        for index, region in enumerate(self.regions)
+                        if region.active]
 
     # -- MMIO interface ---------------------------------------------------------
 
@@ -95,6 +104,7 @@ class RegionPrefetcher:
             region.stride = value - (1 << 32) if value >> 31 else value
         else:
             raise ValueError(f"unknown prefetch register offset {offset}")
+        self._refresh_active()
 
     def mmio_load(self, offset: int) -> int:
         """Read back a region register."""
@@ -112,10 +122,10 @@ class RegionPrefetcher:
 
     def observe_load(self, address: int, now: int) -> None:
         """Region-match a demand load and enqueue a prefetch request."""
-        if not self.enabled:
+        if not self.enabled or not self._active:
             return
-        for index, region in enumerate(self.regions):
-            if not region.active or not region.covers(address):
+        for index, region in self._active:
+            if not region.covers(address):
                 continue
             self.stats.triggers += 1
             target = address + region.stride

@@ -1,0 +1,197 @@
+"""Differential tests: pre-decoded fast path vs reference interpreter.
+
+The fast path (:mod:`repro.core.plan` + ``Executor._step_fast``) is
+required to be *bit-identical* to the dynamic reference interpreter
+(``fast=False``) in everything observable: final ``RunStats`` (cycles,
+stalls, cache statistics, register-file counters, FU profile), final
+architectural registers, final memory, and — when observability is on
+— the emitted event stream.  These tests enforce that contract on
+random straight-line programs (hypothesis), on real looping kernels
+(jumps, delay slots, guards), and on the observability layer.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asm.builder import ProgramBuilder
+from repro.asm.link import compile_program
+from repro.core.config import TM3260_CONFIG, TM3270_CONFIG
+from repro.core.processor import Processor
+from repro.kernels import motion
+from repro.kernels.common import DATA_BASE, args_for
+from repro.mem.flatmem import FlatMemory
+from repro.obs.events import EventBus
+from repro.workloads.video import synthetic_frame
+
+MEMORY_SIZE = 1 << 15
+DATA = 0x2000
+RESULT = 0x3000
+
+TWO_SRC_OPS = [
+    "iadd", "isub", "imin", "imax", "bitand", "bitor", "bitxor",
+    "asl", "asr", "lsr", "imul", "quadavg", "ume8uu", "pack16lsb",
+    "igtr", "ieql", "ugtr",
+]
+ONE_SRC_OPS = ["bitinv", "ineg", "iabs", "mov", "sex16", "zex8"]
+IMM_OPS = [("iaddi", -64, 63), ("asli", 0, 31), ("asri", 0, 31)]
+
+
+def generate_program(seed: int):
+    """Random straight-line kernel with loads, stores, and guards."""
+    rng = random.Random(seed)
+    builder = ProgramBuilder(f"diff_{seed}")
+    data, result = builder.params("data", "result")
+    live = [data, result, builder.zero, builder.one]
+    for _ in range(rng.randrange(5, 50)):
+        kind = rng.random()
+        if kind < 0.15:
+            live.append(builder.emit("ld32d", srcs=(data,),
+                                     imm=4 * rng.randrange(16)))
+        elif kind < 0.3:
+            builder.emit("st32d", srcs=(data, rng.choice(live)),
+                         imm=4 * rng.randrange(16))
+        elif kind < 0.45:
+            name, lo, hi = rng.choice(IMM_OPS)
+            live.append(builder.emit(name, srcs=(rng.choice(live),),
+                                     imm=rng.randrange(lo, hi + 1)))
+        elif kind < 0.55:
+            live.append(builder.emit(rng.choice(ONE_SRC_OPS),
+                                     srcs=(rng.choice(live),)))
+        elif kind < 0.65:
+            # Predicated update so guard-false skips are exercised.
+            guard = builder.emit("igtr", srcs=(rng.choice(live),
+                                               rng.choice(live)))
+            reg = builder.emit("mov", srcs=(rng.choice(live),))
+            builder.emit_into(reg, "iadd",
+                              srcs=(rng.choice(live), rng.choice(live)),
+                              guard=guard)
+            live.extend((guard, reg))
+        else:
+            live.append(builder.emit(rng.choice(TWO_SRC_OPS),
+                                     srcs=(rng.choice(live),
+                                           rng.choice(live))))
+    for index, reg in enumerate(rng.sample(live, min(8, len(live)))):
+        builder.emit("st32d", srcs=(result, reg), imm=4 * index)
+    return builder.finish()
+
+
+def initial_memory() -> FlatMemory:
+    rng = random.Random(0xC0FFEE)
+    memory = FlatMemory(MEMORY_SIZE)
+    memory.write_block(DATA, bytes(rng.randrange(256)
+                                   for _ in range(256)))
+    return memory
+
+
+def run_one(linked, args, config, fast, memory=None, obs=None):
+    memory = memory if memory is not None else initial_memory()
+    processor = Processor(config, memory=memory, obs=obs)
+    result = processor.run(linked, args=args, fast=fast)
+    return result, memory
+
+
+def assert_identical(linked, args, config=TM3270_CONFIG,
+                     memory_factory=initial_memory):
+    """Run both paths; final stats, registers, and memory must match."""
+    fast_result, fast_memory = run_one(
+        linked, args, config, fast=True, memory=memory_factory())
+    ref_result, ref_memory = run_one(
+        linked, args, config, fast=False, memory=memory_factory())
+
+    assert fast_result.stats == ref_result.stats
+    fast_regs = [fast_result.regfile.peek(reg) for reg in range(128)]
+    ref_regs = [ref_result.regfile.peek(reg) for reg in range(128)]
+    assert fast_regs == ref_regs
+    assert fast_memory.read_block(0, MEMORY_SIZE) == \
+        ref_memory.read_block(0, MEMORY_SIZE)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 100_000))
+def test_random_programs_identical_on_both_paths(seed):
+    program = generate_program(seed)
+    for target_config in (TM3270_CONFIG, TM3260_CONFIG):
+        linked = compile_program(program, target_config.target)
+        assert_identical(linked, args_for(DATA, RESULT), target_config)
+
+
+def _motion_setup():
+    width = 64
+    frame = synthetic_frame(width, 16, seed=77)
+    cur, ref, result = DATA_BASE, DATA_BASE + 0x800, DATA_BASE + 0x1000
+
+    def memory_factory():
+        memory = FlatMemory(MEMORY_SIZE)
+        memory.write_block(cur, frame[:8 * width])
+        memory.write_block(ref, frame[8 * width:16 * width])
+        return memory
+
+    return memory_factory, args_for(cur, ref, width, result)
+
+
+def test_looping_kernel_identical_on_both_paths():
+    """Jumps, delay slots, and dcache traffic through a real kernel."""
+    memory_factory, args = _motion_setup()
+    # LD_FRAC8 is a TM3270-only operation; the plain kernel compiles
+    # for both family members.
+    cases = [(motion.build_me_frac_plain, TM3270_CONFIG),
+             (motion.build_me_frac_plain, TM3260_CONFIG),
+             (motion.build_me_frac_ld8, TM3270_CONFIG)]
+    for build, config in cases:
+        linked = compile_program(build(), config.target)
+        assert_identical(linked, args, config,
+                         memory_factory=memory_factory)
+
+
+def test_fast_path_emits_identical_event_stream():
+    """With observability on, both paths emit the same events."""
+    memory_factory, args = _motion_setup()
+    linked = compile_program(motion.build_me_frac_plain(),
+                             TM3270_CONFIG.target)
+    streams = {}
+    for fast in (True, False):
+        obs = EventBus()
+        run_one(linked, args, TM3270_CONFIG, fast,
+                memory=memory_factory(), obs=obs)
+        streams[fast] = list(obs.events)
+    assert streams[True] == streams[False]
+
+
+def test_fast_path_with_disabled_obs_emits_nothing():
+    """The zero-overhead contract: a disabled bus records no events."""
+    memory_factory, args = _motion_setup()
+    linked = compile_program(motion.build_me_frac_plain(),
+                             TM3270_CONFIG.target)
+    obs = EventBus(enabled=False)
+    run_one(linked, args, TM3270_CONFIG, fast=True,
+            memory=memory_factory(), obs=obs)
+    assert not obs.events
+    assert obs.dropped == 0
+
+
+def test_step_info_matches_reference_per_step():
+    """Per-step StepInfo fields agree (fast reuses one object)."""
+    from repro.core.executor import Executor
+
+    program = compile_program(generate_program(4242),
+                              TM3270_CONFIG.target)
+    fast = Executor(program, initial_memory(),
+                    args=args_for(DATA, RESULT), fast=True)
+    ref = Executor(program, initial_memory(),
+                   args=args_for(DATA, RESULT), fast=False)
+    while True:
+        fast_info = fast.step()
+        ref_info = ref.step()
+        assert (fast_info is None) == (ref_info is None)
+        if fast_info is None:
+            break
+        assert fast_info.index == ref_info.index
+        assert fast_info.address == ref_info.address
+        assert fast_info.nbytes == ref_info.nbytes
+        assert fast_info.issued_ops == ref_info.issued_ops
+        assert fast_info.executed_ops == ref_info.executed_ops
+        assert fast_info.jump_taken == ref_info.jump_taken
+        assert fast_info.jump_target == ref_info.jump_target
+        assert fast_info.mem_accesses == ref_info.mem_accesses

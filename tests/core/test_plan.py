@@ -1,0 +1,132 @@
+"""Unit tests for the pre-decoded execution plan (repro.core.plan)."""
+
+import pytest
+
+from repro.asm.link import LinkedProgram, compile_program
+from repro.asm.target import TM3270_TARGET
+from repro.core.plan import (
+    OP_DSTS,
+    OP_FU,
+    OP_GUARD,
+    OP_IMM,
+    OP_IS_JUMP,
+    OP_JUMP_INDEX,
+    OP_LATENCY,
+    OP_NAME,
+    OP_SEMANTIC,
+    OP_SRCS,
+    ExecutionPlan,
+    plan_for,
+)
+from repro.isa.encoding import TRUE_GUARD, EncodedInstruction, EncodedOp
+from repro.isa.operations import REGISTRY
+from repro.kernels import motion
+from repro.mem.icache import FETCH_CHUNK_BYTES
+
+
+@pytest.fixture(scope="module")
+def linked():
+    return compile_program(motion.build_me_frac_plain(), TM3270_TARGET)
+
+
+@pytest.fixture(scope="module")
+def plan(linked):
+    return plan_for(linked)
+
+
+class TestCaching:
+    def test_plan_is_cached_on_the_program(self, linked):
+        assert linked.plan() is linked.plan()
+        assert plan_for(linked) is linked.plan()
+
+    def test_code_chunks_cached_per_base(self, plan):
+        assert plan.code_chunks(0x0080_0000) is \
+            plan.code_chunks(0x0080_0000)
+        first, last = plan.code_chunks(0)
+        assert first == plan.chunk_first
+        assert last == plan.chunk_last
+
+
+class TestStaticArrays:
+    def test_sizes_match_address_deltas(self, linked, plan):
+        assert plan.sizes == linked.instruction_sizes
+        assert sum(plan.sizes) == linked.nbytes
+        for index, address in enumerate(linked.addresses):
+            assert plan.addresses[index] == address
+
+    def test_chunk_ranges_aligned_and_ordered(self, plan):
+        for first, last in zip(plan.chunk_first, plan.chunk_last):
+            assert first % FETCH_CHUNK_BYTES == 0
+            assert last % FETCH_CHUNK_BYTES == 0
+            assert first <= last
+
+    def test_chunks_cover_each_instruction(self, plan):
+        for index in range(plan.count):
+            address = plan.addresses[index]
+            end = address + plan.sizes[index] - 1
+            assert plan.chunk_first[index] <= address
+            assert plan.chunk_last[index] + FETCH_CHUNK_BYTES > end
+
+
+class TestOps:
+    def test_per_op_fields_match_encoding(self, linked, plan):
+        for instr, planned in zip(linked.instructions, plan.ops):
+            assert len(planned) == len(instr.ops)
+            for op, tup in zip(instr.ops, planned):
+                spec = op.spec
+                assert tup[OP_SEMANTIC] is REGISTRY.semantic(op.name)
+                assert tup[OP_GUARD] == op.guard
+                assert tup[OP_SRCS] == op.srcs
+                assert tup[OP_DSTS] == op.dsts
+                assert tup[OP_IMM] == op.imm
+                assert tup[OP_LATENCY] == \
+                    linked.target.latency_of(spec)
+                assert plan.fu_list[tup[OP_FU]] is spec.fu
+                assert tup[OP_IS_JUMP] == spec.is_jump
+                assert tup[OP_NAME] == op.name
+
+    def test_jump_targets_preresolved(self, linked, plan):
+        jumps = 0
+        for planned in plan.ops:
+            for tup in planned:
+                if tup[OP_IS_JUMP] and tup[OP_IMM] is not None:
+                    jumps += 1
+                    if tup[OP_IMM] >= linked.nbytes:
+                        assert tup[OP_JUMP_INDEX] == plan.count
+                    else:
+                        assert tup[OP_JUMP_INDEX] == \
+                            linked.index_of_address(tup[OP_IMM])
+        assert jumps > 0  # the kernel loops
+
+    def test_static_profile(self, linked, plan):
+        for index, instr in enumerate(linked.instructions):
+            unguarded = sum(1 for op in instr.ops
+                            if op.guard == TRUE_GUARD)
+            assert plan.nops[index] == len(instr.ops)
+            assert plan.static_executed[index] == unguarded
+            assert plan.all_unguarded[index] == \
+                (unguarded == len(instr.ops))
+
+
+def _program_with_op(op: EncodedOp) -> LinkedProgram:
+    return LinkedProgram(
+        name="synthetic", target=TM3270_TARGET,
+        instructions=[EncodedInstruction((op,), True)],
+        addresses=[0], labels={}, image=b"\x00" * 8)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("reg", [0, 1])
+    def test_write_to_constant_register_rejected(self, reg):
+        program = _program_with_op(EncodedOp(
+            name="iadd", slot=0, dsts=(reg,), srcs=(2, 3),
+            guard=TRUE_GUARD, imm=None))
+        with pytest.raises(ValueError, match="constant register"):
+            ExecutionPlan(program)
+
+    def test_out_of_range_register_rejected(self):
+        program = _program_with_op(EncodedOp(
+            name="iadd", slot=0, dsts=(128,), srcs=(2, 3),
+            guard=TRUE_GUARD, imm=None))
+        with pytest.raises(ValueError, match="out of range"):
+            ExecutionPlan(program)
