@@ -2,7 +2,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test fast slow bench benchmarks perf trace
+.PHONY: test fast slow bench benchmarks perf trace verify lint
 
 # Tier-1 verification: the whole unit/property suite.
 test:
@@ -33,3 +33,24 @@ perf:
 # Capture a Chrome trace of the quickstart kernel (chrome://tracing).
 trace:
 	$(PY) examples/quickstart.py --trace trace_quickstart.json
+
+# Static verification of every registered kernel on both targets:
+# exposed-pipeline hazards, slot/pairing legality, memory ports, jump
+# delay-slot shape, encodability, def-use.
+verify:
+	$(PY) -m repro.analysis
+
+# Style/type lint.  Uses ruff + mypy when installed; otherwise falls
+# back to the dependency-free AST linter in scripts/lint_fallback.py.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src/repro scripts tests; \
+	else \
+		echo "ruff not installed; running scripts/lint_fallback.py"; \
+		$(PY) scripts/lint_fallback.py src/repro scripts; \
+	fi
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy src/repro; \
+	else \
+		echo "mypy not installed; skipping type check"; \
+	fi

@@ -33,6 +33,54 @@ if str(SRC) not in sys.path:
 from repro.obs.export import read_bench  # noqa: E402
 
 
+def verify_sources(documents: list[dict]) -> list[str]:
+    """Statically verify every (kernel, target) the bench files cite.
+
+    Perf numbers from a program that fails the exposed-pipeline
+    verifier are numbers for a program that computes garbage, so the
+    comparison refuses to run on them (``--no-static-verify`` is the
+    escape hatch for records whose kernels have since changed).
+    Kernels the catalog does not know (e.g. simulator-throughput
+    pseudo-records) are skipped.
+    """
+    from repro.analysis.catalog import catalog
+    from repro.analysis.verifier import verify_program
+    from repro.core.config import EVALUATION_CONFIGS
+
+    target_of = {config.name: config.target.name
+                 for config in EVALUATION_CONFIGS}
+    pairs = sorted({
+        (record["kernel"], target_of[record["config"]])
+        for document in documents
+        for record in document["records"]
+        if record["config"] in target_of
+    })
+    entries = catalog()
+    failures: list[str] = []
+    checked: set[tuple] = set()
+    for kernel, target_name in pairs:
+        # Bench records carry the program name, which for variant
+        # suites is the catalog name's stem (mpeg2 -> mpeg2_a/_b/_c).
+        matches = [
+            entry for entry in entries
+            if entry.target.name == target_name
+            and (entry.name == kernel
+                 or entry.name.startswith(kernel + "_"))
+        ]
+        for entry in matches:
+            key = (entry.build, entry.target.name)
+            if key in checked:
+                continue  # variants sharing one builder verify once
+            checked.add(key)
+            report = verify_program(entry.compile())
+            if not report.ok:
+                failures.append(
+                    f"{entry.label}: fails static verification "
+                    f"({len(report.errors)} error(s); run "
+                    f"'make verify' for the full report)")
+    return failures
+
+
 def _index(document: dict) -> dict[tuple[str, str], dict]:
     return {(record["kernel"], record["config"]): record
             for record in document["records"]}
@@ -104,10 +152,24 @@ def main(argv: list[str] | None = None) -> int:
         help="also fail when simulated cycle counts grow past the "
              "threshold (off by default: cycle changes are usually "
              "deliberate model changes, not regressions)")
+    parser.add_argument(
+        "--no-static-verify", action="store_true",
+        help="compare even when a cited kernel fails the static "
+             "program verifier (default: refuse)")
     options = parser.parse_args(argv)
 
     old = read_bench(options.old)
     new = read_bench(options.new)
+    if not options.no_static_verify:
+        broken = verify_sources([old, new])
+        if broken:
+            print("refusing comparison: bench records cite programs "
+                  "that fail static verification", file=sys.stderr)
+            for failure in broken:
+                print(f"  - {failure}", file=sys.stderr)
+            print("(use --no-static-verify to override)",
+                  file=sys.stderr)
+            return 1
     print(f"comparing {options.old} -> {options.new} "
           f"(threshold {options.threshold:.0%})")
     failures = compare(old, new, options.threshold,

@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""Dependency-free lint pass used when ruff is not installed.
+
+``make lint`` prefers ruff + mypy; this AST-based fallback keeps the
+highest-value defect classes checkable in a bare container:
+
+* syntax errors (files that do not parse at all);
+* unused imports (module scope);
+* comparisons to ``None``/``True``/``False`` with ``==``/``!=``;
+* bare ``except:`` clauses;
+* mutable default arguments (list/dict/set literals);
+* f-strings without any placeholder.
+
+Exit status is the number of files with findings (0 = clean), so it
+slots into ``make lint`` like a real linter.  It deliberately checks
+less than ruff — a fallback should have zero false positives, not
+maximal coverage.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+
+def _iter_sources(roots: list[str]):
+    for root in roots:
+        path = pathlib.Path(root)
+        if path.is_file() and path.suffix == ".py":
+            yield path
+        elif path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self) -> None:
+        self.problems: list[tuple[int, str]] = []
+        #: name -> (lineno, display) of module-level imports.
+        self.imports: dict[str, tuple[int, str]] = {}
+        self.used: set[str] = set()
+
+    # -- imports ------------------------------------------------------------
+
+    def _record_import(self, node, bound: str, display: str) -> None:
+        self.imports[bound] = (node.lineno, display)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            self._record_import(node, bound, alias.name)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "__future__":
+            return
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            bound = alias.asname or alias.name
+            self._record_import(node, bound, alias.name)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self.used.add(node.id)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        self.generic_visit(node)
+
+    # -- defect classes -----------------------------------------------------
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        for operator, comparator in zip(node.ops, node.comparators):
+            if not isinstance(operator, (ast.Eq, ast.NotEq)):
+                continue
+            if (isinstance(comparator, ast.Constant)
+                    and comparator.value in (None, True, False)
+                    and isinstance(comparator.value, (bool, type(None)))):
+                self.problems.append((
+                    node.lineno,
+                    f"comparison to {comparator.value!r} with =="
+                    f"/!= (use is/is not)"))
+        self.generic_visit(node)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.problems.append((node.lineno, "bare 'except:' clause"))
+        self.generic_visit(node)
+
+    def _check_defaults(self, node) -> None:
+        for default in list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None]:
+            if isinstance(default, (ast.List, ast.Dict, ast.Set)):
+                self.problems.append((
+                    default.lineno,
+                    f"mutable default argument in {node.name}()"))
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_JoinedStr(self, node: ast.JoinedStr) -> None:
+        if not any(isinstance(part, ast.FormattedValue)
+                   for part in node.values):
+            self.problems.append(
+                (node.lineno, "f-string without placeholders"))
+        self.generic_visit(node)
+
+    def visit_FormattedValue(self, node: ast.FormattedValue) -> None:
+        # Do not descend into node.format_spec: a spec like ``:.2f``
+        # parses as a placeholder-free JoinedStr of its own.
+        self.visit(node.value)
+
+
+def _string_uses(tree: ast.Module) -> set[str]:
+    """Names referenced via ``__all__`` string entries."""
+    names: set[str] = set()
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        if not any(isinstance(t, ast.Name) and t.id == "__all__"
+                   for t in targets):
+            continue
+        for element in ast.walk(node):
+            if isinstance(element, ast.Constant) and isinstance(
+                    element.value, str):
+                names.add(element.value)
+    return names
+
+
+def lint_file(path: pathlib.Path) -> list[str]:
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        return [f"{path}:{error.lineno}: syntax error: {error.msg}"]
+    visitor = _Visitor()
+    visitor.visit(tree)
+    unused_ok = path.name == "__init__.py"  # re-export surface
+    exported = _string_uses(tree)
+    findings = [f"{path}:{line}: {message}"
+                for line, message in visitor.problems]
+    if not unused_ok:
+        for bound, (line, display) in visitor.imports.items():
+            if bound not in visitor.used and bound not in exported:
+                findings.append(
+                    f"{path}:{line}: unused import '{display}'")
+    findings.sort(key=lambda item: int(item.split(":")[1]))
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    roots = argv or ["src/repro", "scripts"]
+    bad_files = 0
+    checked = 0
+    for path in _iter_sources(roots):
+        checked += 1
+        findings = lint_file(path)
+        if findings:
+            bad_files += 1
+            print("\n".join(findings))
+    status = "clean" if not bad_files else f"{bad_files} file(s) flagged"
+    print(f"lint_fallback: {checked} files checked, {status}")
+    return 1 if bad_files else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

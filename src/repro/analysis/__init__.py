@@ -1,0 +1,75 @@
+"""Static verification of linked TM3270/TM3260 programs.
+
+The exposed pipeline makes machine code *correct by schedule*: latency
+distances, write-back timing, issue-slot assignment, delay-slot shape
+and encodability are all compiler obligations with no hardware
+backstop.  This package re-derives those obligations from the final
+:class:`~repro.asm.link.LinkedProgram` — independently of the
+scheduler and the executor — and reports violations as structured
+:class:`~repro.analysis.diagnostics.Diagnostic` records.
+
+Entry points:
+
+* :func:`~repro.analysis.verifier.verify_program` — verify one linked
+  program, returning a :class:`~repro.analysis.verifier.VerificationReport`;
+* ``python -m repro.analysis`` — CLI over the registered kernels;
+* ``link(..., verify=True)`` / ``compile_program(..., verify=True)``
+  — raise on a bad schedule straight out of the linker.
+
+:mod:`repro.analysis.catalog` (program enumeration) and
+:mod:`repro.analysis.mutate` (fault injection) import the assembler
+and kernel layers, so they are *not* imported here — the core rule
+modules must stay importable from :mod:`repro.asm` without cycles.
+The scheduler imports :mod:`repro.analysis.diagnostics` (and thereby
+this ``__init__``) while :mod:`repro.asm` is still initialising, so
+only the dependency-free diagnostics vocabulary is imported eagerly;
+the verifier — whose rule modules reach :mod:`repro.core` and back
+into :mod:`repro.asm` — is resolved lazily on first attribute access
+(PEP 562).
+"""
+
+from repro.analysis.diagnostics import (
+    RULE_DEFUSE,
+    RULE_ENCODING,
+    RULE_IDS,
+    RULE_JUMP,
+    RULE_LATENCY,
+    RULE_MEMPORT,
+    RULE_PAIRING,
+    RULE_SLOT,
+    RULE_WRITEBACK,
+    SEV_ERROR,
+    SEV_WARNING,
+    Diagnostic,
+    format_location,
+)
+
+_LAZY = ("VerificationError", "VerificationReport", "verify_program")
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from repro.analysis import verifier
+
+        return getattr(verifier, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "Diagnostic",
+    "RULE_DEFUSE",
+    "RULE_ENCODING",
+    "RULE_IDS",
+    "RULE_JUMP",
+    "RULE_LATENCY",
+    "RULE_MEMPORT",
+    "RULE_PAIRING",
+    "RULE_SLOT",
+    "RULE_WRITEBACK",
+    "SEV_ERROR",
+    "SEV_WARNING",
+    "VerificationError",
+    "VerificationReport",
+    "format_location",
+    "verify_program",
+]

@@ -1,0 +1,59 @@
+"""``python -m repro.analysis`` — verify registered kernels from the shell.
+
+Compiles every catalog entry (or a ``--kernel``/``--target`` subset),
+runs the static verifier, prints one line per program plus each
+finding, and exits non-zero when any program has errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.catalog import entries_matching, verify_all
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Statically verify linked kernels: exposed-pipeline "
+                    "latency hazards, write-back collisions, issue-slot "
+                    "and pairing legality, memory-port limits, jump "
+                    "delay-slot shape, encodability, and def-use.")
+    parser.add_argument(
+        "--kernel", action="append", default=None, metavar="NAME",
+        help="verify only this kernel (repeatable; default: all)")
+    parser.add_argument(
+        "--target", choices=("tm3260", "tm3270"), default=None,
+        help="restrict to one family member (default: both)")
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="print only programs with findings and the summary")
+    args = parser.parse_args(argv)
+
+    try:
+        entries = entries_matching(args.kernel, args.target)
+    except KeyError as error:
+        parser.error(str(error.args[0]))
+    if not entries:
+        parser.error("no catalog entries match the given filters")
+
+    failed = 0
+    for entry, report in verify_all(entries):
+        if report.ok and args.quiet:
+            continue
+        status = "ok" if report.ok else "FAIL"
+        print(f"[{status}] {entry.label}: "
+              f"{report.instruction_count} instructions, "
+              f"{len(report.errors)} error(s), "
+              f"{len(report.warnings)} warning(s)")
+        for diag in report.diagnostics:
+            print(f"    {diag.format()}")
+        failed += not report.ok
+    total = len(entries)
+    print(f"{total - failed}/{total} programs verified clean")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,107 @@
+"""Enumeration of every verifiable program the repo can build.
+
+The verifier's primary consumers — ``python -m repro.analysis``, the
+``--verify`` flag of :mod:`repro.eval.runner`, and the zero-false-
+positive regression tests — all need the same answer to "which linked
+programs exist?".  This module is that answer: the Table 5 kernel
+suite compiled for both family members, plus the TM3270-only
+optimized builders (super-operation, collapsed-load, and CABAC
+variants) that exercise the new-instruction encodings.
+
+This module imports the assembler and kernel layers, so it must never
+be imported from the analysis core (:mod:`repro.analysis.verifier`
+and friends) — only from entry points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.asm.ir import AsmProgram
+from repro.asm.link import LinkedProgram, link
+from repro.asm.target import TM3260_TARGET, TM3270_TARGET, Target
+from repro.kernels import (
+    cabac_kernel,
+    memops,
+    motion,
+    mp3proxy,
+    texture,
+)
+from repro.kernels.registry import TABLE5_KERNELS
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One (program builder, target) pair the verifier covers."""
+
+    name: str
+    target: Target
+    build: Callable[[], AsmProgram]
+
+    @property
+    def label(self) -> str:
+        return f"{self.name}@{self.target.name}"
+
+    def compile(self) -> LinkedProgram:
+        """Build, schedule, and link (without the verify post-pass)."""
+        return link(self.build(), self.target)
+
+
+#: TM3270-only builders: super-operations, collapsed loads, CABAC.
+_TM3270_EXTRAS: tuple[tuple[str, Callable[[], AsmProgram]], ...] = (
+    ("memcpy_super", memops.build_memcpy_super),
+    ("cabac_plain", cabac_kernel.build_cabac_plain),
+    ("cabac_super", cabac_kernel.build_cabac_super),
+    ("texture_plain", texture.build_texture_plain),
+    ("texture_super", texture.build_texture_super),
+    ("me_frac_plain", motion.build_me_frac_plain),
+    ("me_frac_ld8", motion.build_me_frac_ld8),
+    ("mp3proxy", mp3proxy.build_mp3proxy),
+)
+
+
+def catalog() -> list[CatalogEntry]:
+    """Every program/target pair, Table 5 suite first."""
+    entries = [
+        CatalogEntry(case.name, target, case.build)
+        for case in TABLE5_KERNELS
+        for target in (TM3260_TARGET, TM3270_TARGET)
+    ]
+    entries.extend(
+        CatalogEntry(name, TM3270_TARGET, build)
+        for name, build in _TM3270_EXTRAS
+    )
+    return entries
+
+
+def entries_matching(names: list[str] | None = None,
+                     target_name: str | None = None) -> list[CatalogEntry]:
+    """Filter the catalog by kernel name and/or target name."""
+    entries = catalog()
+    if names:
+        wanted = set(names)
+        known = {entry.name for entry in entries}
+        missing = wanted - known
+        if missing:
+            raise KeyError(
+                f"unknown kernel(s) {sorted(missing)}; "
+                f"known: {sorted(known)}")
+        entries = [entry for entry in entries if entry.name in wanted]
+    if target_name:
+        entries = [entry for entry in entries
+                   if entry.target.name == target_name]
+    return entries
+
+
+def verify_all(entries: list[CatalogEntry] | None = None, obs=None):
+    """Verify every entry; yields ``(entry, report)`` pairs.
+
+    Compilation failures are not swallowed: a builder or scheduler
+    exception means the catalog itself regressed, which the caller
+    should see as a crash, not a diagnostic.
+    """
+    from repro.analysis.verifier import verify_program
+
+    for entry in (catalog() if entries is None else entries):
+        yield entry, verify_program(entry.compile(), obs=obs)

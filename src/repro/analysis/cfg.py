@@ -1,0 +1,176 @@
+"""Control-flow reconstruction over linked VLIW programs.
+
+The verifier reasons about *issue order*: which instruction can issue
+immediately after which.  On the TriMedia that relation is linear
+except at jumps, and jumps are delayed — a jump issuing at ``pc``
+transfers control only after the target's ``jump_delay_slots``
+further instructions have issued (Section 3), so the control-flow edge
+leaves the *last shadow instruction* ``pc + delay_slots``, not the
+jump itself.  Instructions inside the shadow always execute.
+
+:func:`build_graph` reconstructs that successor relation from a
+:class:`~repro.asm.link.LinkedProgram`, resolving jump immediates back
+to instruction indices through the address map.  Structural problems
+found on the way — a jump whose shadow runs off the program end,
+a jump inside another jump's shadow, a target that is not an
+instruction boundary — are reported as :class:`Diagnostic` records
+rather than exceptions, so one pass surfaces every violation.
+
+Taken-ness is decided statically where the guard allows: ``jmpi`` and
+``jmpt`` guarded by the constant-true register always transfer,
+any jump guarded by r0 never executes; everything else contributes
+both the taken and fall-through edges (a sound over-approximation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.diagnostics import (
+    RULE_JUMP,
+    SEV_ERROR,
+    Diagnostic,
+    format_location,
+)
+from repro.isa.encoding import TRUE_GUARD, EncodedOp
+
+
+@dataclass(frozen=True)
+class JumpSite:
+    """One jump operation, resolved against the address map.
+
+    ``target_index`` is the instruction index control transfers to, or
+    ``None`` when the jump halts (target at or past the image end) or
+    could not be resolved.  ``transfer_pc`` is the shadow's last
+    instruction — the node the taken edge leaves from — or ``None``
+    when the shadow runs past the program end.
+    """
+
+    pc: int
+    op: EncodedOp
+    target_index: int | None
+    transfer_pc: int | None
+    always_taken: bool
+    never_taken: bool
+
+
+@dataclass
+class ProgramGraph:
+    """Issue-order successor relation of a linked program."""
+
+    count: int
+    succs: list[tuple[int, ...]]
+    jumps: list[JumpSite]
+    reachable: list[bool]
+
+    def jump_at(self, pc: int) -> JumpSite | None:
+        for site in self.jumps:
+            if site.pc == pc:
+                return site
+        return None
+
+
+def _classify_taken(op: EncodedOp) -> tuple[bool, bool]:
+    """Return ``(always_taken, never_taken)`` for a jump operation."""
+    if op.guard == 0:
+        # Guarded by constant r0: the operation never executes.
+        return False, True
+    if op.guard == TRUE_GUARD:
+        if op.name in ("jmpi", "jmpt"):
+            return True, False
+        if op.name == "jmpf":
+            return False, True
+    return False, False
+
+
+def build_graph(program) -> tuple[ProgramGraph, list[Diagnostic]]:
+    """Reconstruct the successor graph; returns it with diagnostics."""
+    count = len(program.instructions)
+    delay = program.target.jump_delay_slots
+    diagnostics: list[Diagnostic] = []
+    jumps: list[JumpSite] = []
+
+    # Linear successors first; jump transfer edges rewrite them below.
+    succs: list[set[int]] = [
+        {pc + 1} if pc + 1 < count else set() for pc in range(count)
+    ]
+
+    for pc, instr in enumerate(program.instructions):
+        for op in instr.ops:
+            try:
+                if not op.spec.is_jump:
+                    continue
+            except KeyError:
+                continue  # unknown mnemonic: the encoding rule reports it
+            always_taken, never_taken = _classify_taken(op)
+
+            target_index: int | None = None
+            resolved = True
+            if op.imm is None:
+                diagnostics.append(Diagnostic(
+                    RULE_JUMP, SEV_ERROR,
+                    "jump with unresolved target immediate",
+                    pc=pc, slot=op.slot, op=op.name))
+                resolved = False
+            elif op.imm >= program.nbytes:
+                target_index = None  # halts: legal program exit
+            else:
+                try:
+                    target_index = program.index_of_address(op.imm)
+                except KeyError:
+                    diagnostics.append(Diagnostic(
+                        RULE_JUMP, SEV_ERROR,
+                        f"jump target {op.imm:#x} is not an instruction "
+                        f"boundary",
+                        pc=pc, slot=op.slot, op=op.name))
+                    resolved = False
+
+            transfer_pc: int | None = pc + delay
+            if transfer_pc >= count:
+                diagnostics.append(Diagnostic(
+                    RULE_JUMP, SEV_ERROR,
+                    f"only {count - 1 - pc} of {delay} delay-slot "
+                    f"instructions before the program end; the jump "
+                    f"never completes",
+                    pc=pc, slot=op.slot, op=op.name))
+                transfer_pc = None
+
+            if not never_taken and resolved and transfer_pc is not None:
+                if always_taken:
+                    succs[transfer_pc] = set()
+                if target_index is not None:
+                    succs[transfer_pc].add(target_index)
+
+            jumps.append(JumpSite(pc, op, target_index, transfer_pc,
+                                  always_taken, never_taken))
+
+    # A jump issuing inside another jump's delay shadow silently
+    # cancels the first transfer — always a schedule bug.
+    jump_pcs = sorted({site.pc for site in jumps
+                       if not site.never_taken})
+    for earlier, later in zip(jump_pcs, jump_pcs[1:]):
+        if later <= earlier + delay:
+            diagnostics.append(Diagnostic(
+                RULE_JUMP, SEV_ERROR,
+                f"jump inside the {delay}-instruction delay shadow of "
+                f"the jump at {format_location(pc=earlier)}",
+                pc=later))
+
+    reachable = [False] * count
+    if count:
+        stack = [0]
+        reachable[0] = True
+        while stack:
+            node = stack.pop()
+            for succ in succs[node]:
+                if not reachable[succ]:
+                    reachable[succ] = True
+                    stack.append(succ)
+
+    graph = ProgramGraph(
+        count=count,
+        succs=[tuple(sorted(nodes)) for nodes in succs],
+        jumps=jumps,
+        reachable=reachable,
+    )
+    return graph, diagnostics

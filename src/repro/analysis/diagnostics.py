@@ -1,0 +1,104 @@
+"""Diagnostic records and location formatting for static verification.
+
+Every finding of the static verifier (:mod:`repro.analysis.verifier`)
+is a structured :class:`Diagnostic`: a rule identifier from the fixed
+catalog below, a severity, the program location (instruction index,
+issue slot, mnemonic), and a human-readable message.  Keeping the
+record structured — instead of raising on the first problem — lets one
+verification pass report every violation in a program, lets tests
+assert on rule families, and lets the observability layer export
+findings as events.
+
+:func:`format_location` is the one place program locations are turned
+into text; both the scheduler's :class:`SchedulingError` messages and
+the verifier's diagnostics go through it so compile-time and
+verify-time reports read the same.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Severities.  ``error`` findings make a program illegal for the
+#: exposed pipeline (it would compute wrong values or fail to decode);
+#: ``warning`` findings are suspicious but not provably wrong.
+SEV_ERROR = "error"
+SEV_WARNING = "warning"
+
+#: Rule identifiers — the catalog (DESIGN.md section 9).
+RULE_LATENCY = "latency-hazard"
+RULE_WRITEBACK = "writeback-collision"
+RULE_SLOT = "slot-legality"
+RULE_PAIRING = "superop-pairing"
+RULE_MEMPORT = "mem-port"
+RULE_JUMP = "jump-shape"
+RULE_ENCODING = "encoding"
+RULE_DEFUSE = "def-use"
+
+#: All rule identifiers, in catalog order.
+RULE_IDS = (
+    RULE_LATENCY,
+    RULE_WRITEBACK,
+    RULE_SLOT,
+    RULE_PAIRING,
+    RULE_MEMPORT,
+    RULE_JUMP,
+    RULE_ENCODING,
+    RULE_DEFUSE,
+)
+
+
+def format_location(*, block: str | None = None, row: int | None = None,
+                    pc: int | None = None, slot: int | None = None,
+                    op: str | None = None) -> str:
+    """Render a program location consistently.
+
+    ``block``/``row`` address scheduler-level locations (label plus
+    instruction row within the block); ``pc``/``slot`` address linked
+    locations (instruction index plus issue slot).  Any subset may be
+    given; parts render in that order.
+    """
+    parts = []
+    if block is not None:
+        parts.append(f"block {block!r}")
+    if row is not None:
+        parts.append(f"row {row}")
+    if pc is not None:
+        parts.append(f"pc {pc}")
+    if slot is not None:
+        parts.append(f"slot {slot}")
+    if op is not None:
+        parts.append(f"op {op!r}")
+    return ", ".join(parts) if parts else "<unknown location>"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static-verification finding.
+
+    ``pc`` is the linked instruction index the finding anchors to (the
+    consumer for hazards), ``slot`` the issue slot when one applies,
+    and ``op`` the mnemonic involved.
+    """
+
+    rule: str
+    severity: str
+    message: str
+    pc: int | None = None
+    slot: int | None = None
+    op: str | None = None
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == SEV_ERROR
+
+    def format(self) -> str:
+        """One-line rendering: ``error[rule] pc 3, slot 5: message``."""
+        location = format_location(pc=self.pc, slot=self.slot, op=self.op)
+        prefix = f"{self.severity}[{self.rule}]"
+        if location:
+            return f"{prefix} {location}: {self.message}"
+        return f"{prefix}: {self.message}"
+
+    def __str__(self) -> str:
+        return self.format()

@@ -1,0 +1,191 @@
+"""Exposed-pipeline timing verification: latency and write-back rules.
+
+The TM3270 has no hardware interlocks: a result written with latency
+``L`` lands ``L`` issued instructions after its producer, and a read
+in between silently observes the *old* value (the register file model
+in :mod:`repro.core.regfile` raises in strict mode, the hardware just
+computes garbage).  The compiler carries the proof obligation; this
+module re-checks it over the final machine code.
+
+The check is a forward may-analysis over the issue-order graph from
+:mod:`repro.analysis.cfg`.  The abstract state at an instruction is
+the set of *in-flight writes*: ``(register, remaining)`` mapped to the
+producers that scheduled them, where ``remaining`` counts instructions
+until write-back.  Crossing an edge ages every entry by one and drops
+those that land (a write with ``remaining`` 0 committed before the
+next instruction reads).  Joins union the states, so fall-through
+block boundaries and loop back-edges are covered by construction —
+exactly the places a per-block scheduler can get wrong.
+
+Two rules are evaluated against the fixpoint:
+
+* **latency hazard** — an operation reads (or is guarded by) a
+  register with an in-flight write (``remaining >= 1``).  Reading in
+  the producer's own issue slot is legal (it returns the old value;
+  the scheduler's anti-dependence edges rely on it) and naturally
+  falls outside the state, which only holds writes issued strictly
+  earlier.
+* **write-back collision** — two writes to one register retire in the
+  same cycle: either two operations of one instruction with equal
+  latency, or a new write whose due time matches an in-flight one.
+  Which value survives would depend on structural tie-breaking the
+  architecture does not define.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import ProgramGraph
+from repro.analysis.diagnostics import (
+    RULE_LATENCY,
+    RULE_WRITEBACK,
+    SEV_ERROR,
+    Diagnostic,
+    format_location,
+)
+from repro.core.regfile import NUM_REGS
+from repro.isa.encoding import TRUE_GUARD
+
+#: In-flight state: {(reg, remaining): frozenset((producer_pc, name, lat))}
+_State = dict
+
+
+def _op_rows(program):
+    """Per-instruction ``(name, reads, writes)`` tuples.
+
+    ``reads`` skips the constant registers r0/r1 (never in flight) and
+    ``writes`` carries ``(reg, latency)`` for valid destination
+    registers only — invalid ones are the register-validity rules'
+    business, not timing's.
+    """
+    target = program.target
+    rows = []
+    for instr in program.instructions:
+        ops = []
+        for op in instr.ops:
+            try:
+                spec = op.spec
+            except KeyError:
+                continue
+            reads = {reg for reg in op.srcs if 2 <= reg < NUM_REGS}
+            if op.guard != TRUE_GUARD and 2 <= op.guard < NUM_REGS:
+                reads.add(op.guard)
+            writes = ()
+            if not spec.is_jump:
+                writes = tuple(
+                    (reg, target.latency_of(spec))
+                    for reg in op.dsts if 2 <= reg < NUM_REGS)
+            ops.append((op.name, tuple(sorted(reads)), writes))
+        rows.append(tuple(ops))
+    return rows
+
+
+def _flow_out(state: _State, row) -> _State:
+    """Successor-edge state: merge this instruction's writes, age all."""
+    out: _State = {}
+    for (reg, remaining), producers in state.items():
+        if remaining > 1:
+            out[(reg, remaining - 1)] = producers
+    for pc_writes in row:
+        for reg, latency in pc_writes[2]:
+            if latency > 1:
+                key = (reg, latency - 1)
+                out[key] = out.get(key, frozenset()) | pc_writes[3]
+    return out
+
+
+def check_hazards(program, graph: ProgramGraph) -> list[Diagnostic]:
+    """Latency-hazard and write-back-collision analysis to fixpoint."""
+    count = graph.count
+    rows = _op_rows(program)
+    # Tag each op with its own producer record once, so state entries
+    # carry (pc, op name, latency) for the diagnostics.
+    tagged = []
+    for pc, row in enumerate(rows):
+        tagged.append(tuple(
+            (name, reads, writes,
+             frozenset((pc, name, latency) for _reg, latency in writes))
+            for name, reads, writes in row))
+
+    states: list[_State | None] = [None] * count
+    if count:
+        states[0] = {}
+    worklist = [0] if count else []
+    while worklist:
+        pc = worklist.pop()
+        out = _flow_out(states[pc], tagged[pc])
+        for succ in graph.succs[pc]:
+            current = states[succ]
+            if current is None:
+                states[succ] = dict(out)
+                worklist.append(succ)
+                continue
+            changed = False
+            for key, producers in out.items():
+                have = current.get(key)
+                if have is None:
+                    current[key] = producers
+                    changed = True
+                elif not producers <= have:
+                    current[key] = have | producers
+                    changed = True
+            if changed:
+                worklist.append(succ)
+
+    diagnostics: list[Diagnostic] = []
+    seen: set[tuple] = set()
+    for pc in range(count):
+        state = states[pc]
+        if state is None:
+            continue  # unreachable
+        in_flight: dict[int, list] = {}
+        for (reg, remaining), producers in state.items():
+            in_flight.setdefault(reg, []).append((remaining, producers))
+        for name, reads, writes, _tags in tagged[pc]:
+            for reg in reads:
+                for remaining, producers in in_flight.get(reg, ()):
+                    for p_pc, p_name, p_lat in sorted(producers):
+                        key = (RULE_LATENCY, pc, reg, p_pc)
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        distance = p_lat - remaining
+                        diagnostics.append(Diagnostic(
+                            RULE_LATENCY, SEV_ERROR,
+                            f"reads r{reg} {distance} instruction(s) "
+                            f"after its producer "
+                            f"({format_location(pc=p_pc, op=p_name)}), "
+                            f"which needs {p_lat}",
+                            pc=pc, op=name))
+            for reg, latency in writes:
+                for remaining, producers in in_flight.get(reg, ()):
+                    if remaining != latency:
+                        continue
+                    for p_pc, p_name, p_lat in sorted(producers):
+                        key = (RULE_WRITEBACK, pc, reg, p_pc)
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        diagnostics.append(Diagnostic(
+                            RULE_WRITEBACK, SEV_ERROR,
+                            f"write to r{reg} (latency {latency}) "
+                            f"retires in the same cycle as the write "
+                            f"from {format_location(pc=p_pc, op=p_name)} "
+                            f"(latency {p_lat})",
+                            pc=pc, op=name))
+        # Same-instruction collisions: two ops landing one register in
+        # one cycle.
+        landing: dict[tuple[int, int], list[str]] = {}
+        for name, _reads, writes, _tags in tagged[pc]:
+            for reg, latency in writes:
+                landing.setdefault((reg, latency), []).append(name)
+        for (reg, latency), names in landing.items():
+            if len(names) > 1:
+                key = (RULE_WRITEBACK, pc, reg, "same-instruction")
+                if key not in seen:
+                    seen.add(key)
+                    diagnostics.append(Diagnostic(
+                        RULE_WRITEBACK, SEV_ERROR,
+                        f"operations {names} both write r{reg} with "
+                        f"latency {latency} and retire together",
+                        pc=pc))
+    return diagnostics

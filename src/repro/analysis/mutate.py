@@ -1,0 +1,611 @@
+"""Fault injection: corrupt known-good schedules, expect diagnostics.
+
+The verifier's tests need *known-bad* programs with a ground truth —
+"this mutant violates exactly the latency rule" — and hand-writing
+them would only test the hand-writer.  Instead, this module takes a
+verified-clean :class:`~repro.asm.link.LinkedProgram` and applies
+targeted corruptions modeled on real scheduler bugs: shrinking a
+latency gap below the producer's latency, retiring two writes into one
+register in the same cycle, moving an operation to a slot its
+functional unit does not exist in, breaking a two-slot pairing,
+truncating a jump's delay shadow, jumping inside a shadow, producing
+an unencodable immediate, compressing a jump target, and reading a
+never-written register.
+
+Each corruption yields a :class:`Mutant` carrying the rebuilt program
+(:func:`relink` recomputes addresses, retranslates jump immediates
+through the index map, and re-encodes the image) and the rule family
+the verifier is expected to flag.
+
+This module imports the assembler layer, so — like
+:mod:`repro.analysis.catalog` — it must not be imported from the
+analysis core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis.diagnostics import (
+    RULE_DEFUSE,
+    RULE_ENCODING,
+    RULE_JUMP,
+    RULE_LATENCY,
+    RULE_MEMPORT,
+    RULE_PAIRING,
+    RULE_SLOT,
+    RULE_WRITEBACK,
+)
+from repro.asm.link import LinkedProgram
+from repro.core.regfile import NUM_REGS
+from repro.isa.encoding import (
+    TRUE_GUARD,
+    EncodedInstruction,
+    EncodedOp,
+    encode_program,
+    instruction_nbytes,
+)
+
+#: Fallback size for instructions the encoder refuses (28 bytes is the
+#: uncompressed maximum, so addresses stay plausible).
+MAX_INSTR_BYTES = 28
+
+#: Issue slots of the machine.
+ALL_SLOTS = (1, 2, 3, 4, 5)
+
+
+@dataclass(frozen=True)
+class Mutant:
+    """One corrupted program with its expected diagnosis."""
+
+    name: str
+    rule: str  # rule family the verifier must flag
+    description: str
+    program: LinkedProgram
+
+
+# ---------------------------------------------------------------------------
+# Relinking a mutated instruction stream
+# ---------------------------------------------------------------------------
+
+def _safe_nbytes(instr: EncodedInstruction) -> int:
+    try:
+        return instruction_nbytes(instr)
+    except ValueError:
+        return MAX_INSTR_BYTES
+
+
+def relink(program: LinkedProgram,
+           instructions: list[EncodedInstruction],
+           index_map: dict[int, int] | None = None,
+           suffix: str = "mutant") -> LinkedProgram:
+    """Rebuild a linked program around a mutated instruction stream.
+
+    ``index_map`` maps original instruction indices to their new
+    positions (omit an index to mark the instruction deleted; identity
+    when ``None``).  Jump immediates are retranslated old address →
+    old index → new index → new address, so mutations that move
+    instructions keep targeting the same code.  An image that no
+    longer encodes is recorded as empty — the verifier's business to
+    diagnose, not ours to reject.
+    """
+    if index_map is None:
+        index_map = {i: i for i in range(len(program.instructions))}
+
+    addresses: list[int] = []
+    offset = 0
+    for instr in instructions:
+        addresses.append(offset)
+        offset += _safe_nbytes(instr)
+    total = offset
+
+    def translate(imm: int) -> int:
+        if imm >= program.nbytes:
+            return total  # a halt stays a halt
+        try:
+            old_index = program.index_of_address(imm)
+        except KeyError:
+            return imm  # already corrupt: preserve the corruption
+        new_index = index_map.get(old_index)
+        if new_index is None or new_index >= len(addresses):
+            return total
+        return addresses[new_index]
+
+    rebuilt: list[EncodedInstruction] = []
+    for instr in instructions:
+        ops = []
+        for op in instr.ops:
+            try:
+                is_jump = op.spec.is_jump
+            except KeyError:
+                is_jump = False
+            if is_jump and op.imm is not None:
+                new_imm = translate(op.imm)
+                if new_imm != op.imm:
+                    op = EncodedOp(op.name, op.slot, op.dsts, op.srcs,
+                                   op.guard, new_imm)
+            ops.append(op)
+        rebuilt.append(EncodedInstruction(tuple(ops), instr.is_jump_target))
+
+    try:
+        image, _ = encode_program(rebuilt)
+    except ValueError:
+        image = b""
+
+    labels = {}
+    for label, old_index in program.labels.items():
+        new_index = index_map.get(old_index)
+        if new_index is not None:
+            labels[label] = new_index
+    return LinkedProgram(
+        name=f"{program.name}~{suffix}",
+        target=program.target,
+        instructions=rebuilt,
+        addresses=addresses,
+        labels=labels,
+        image=image,
+        register_map=dict(program.register_map),
+        entry_regs=program.entry_regs,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Shared program facts
+# ---------------------------------------------------------------------------
+
+class _Info:
+    """Per-program facts every mutator keeps re-deriving."""
+
+    def __init__(self, program: LinkedProgram) -> None:
+        self.program = program
+        self.target = program.target
+        self.count = len(program.instructions)
+        self.delay = program.target.jump_delay_slots
+        self.jump_pcs: set[int] = set()
+        self.defined: set[int] = {0, 1}
+        self.defined.update(program.entry_regs)
+        #: Per-pc: list of (op, spec) with resolvable specs.
+        self.specced: list[list] = []
+        for pc, instr in enumerate(program.instructions):
+            row = []
+            for op in instr.ops:
+                try:
+                    spec = op.spec
+                except KeyError:
+                    continue
+                row.append((op, spec))
+                if spec.is_jump:
+                    self.jump_pcs.add(pc)
+                else:
+                    self.defined.update(
+                        reg for reg in op.dsts if 2 <= reg < NUM_REGS)
+            self.specced.append(row)
+
+    def clean_window(self, lo: int, hi: int) -> bool:
+        """No jumps in ``[lo - delay, hi]`` — purely linear issue flow."""
+        return not any(pc in self.jump_pcs
+                       for pc in range(max(0, lo - self.delay), hi + 1))
+
+    def is_target(self, pc: int) -> bool:
+        return self.program.instructions[pc].is_jump_target
+
+    def occupied_slots(self, pc: int) -> set[int]:
+        slots: set[int] = set()
+        for op, spec in self.specced[pc]:
+            slots.add(op.slot)
+            if spec.two_slot:
+                slots.add(op.slot + 1)
+        return slots
+
+    def writes(self, pc: int):
+        """``(op, reg, latency)`` for each register write at ``pc``."""
+        for op, spec in self.specced[pc]:
+            if spec.is_jump:
+                continue
+            for reg in op.dsts:
+                if 2 <= reg < NUM_REGS:
+                    yield op, reg, self.target.latency_of(spec)
+
+    def reads(self, pc: int):
+        """``(op, reg)`` for each register read at ``pc``."""
+        for op, _spec in self.specced[pc]:
+            for reg in op.srcs:
+                if 2 <= reg < NUM_REGS:
+                    yield op, reg
+            if op.guard != TRUE_GUARD and 2 <= op.guard < NUM_REGS:
+                yield op, op.guard
+
+    def tight_pairs(self):
+        """``(p, c, reg, latency)`` with gap exactly ``latency`` in a
+        jump-free linear window and no intervening redefinition."""
+        for p in range(self.count):
+            for _op, reg, latency in self.writes(p):
+                c = p + latency
+                if latency < 2 or c >= self.count:
+                    continue
+                if not self.clean_window(p, c):
+                    continue
+                if any(r == reg for between in range(p + 1, c)
+                       for _o, r, _l in self.writes(between)):
+                    continue
+                if any(r == reg for _o, r in self.reads(c)):
+                    yield p, c, reg, latency
+
+    def unwritten_reg(self) -> int | None:
+        for reg in range(NUM_REGS - 1, 1, -1):
+            if reg not in self.defined:
+                return reg
+        return None
+
+    def some_defined_reg(self) -> int:
+        for reg in sorted(self.defined):
+            if reg >= 2:
+                return reg
+        return 2
+
+
+def _replace_op(program: LinkedProgram, pc: int, old: EncodedOp,
+                new: EncodedOp, suffix: str) -> LinkedProgram:
+    instructions = list(program.instructions)
+    ops = tuple(new if op is old else op
+                for op in instructions[pc].ops)
+    instructions[pc] = EncodedInstruction(
+        ops, instructions[pc].is_jump_target)
+    return relink(program, instructions, suffix=suffix)
+
+
+def _add_op(program: LinkedProgram, pc: int, extra: EncodedOp,
+            suffix: str) -> LinkedProgram:
+    instructions = list(program.instructions)
+    instructions[pc] = EncodedInstruction(
+        instructions[pc].ops + (extra,),
+        instructions[pc].is_jump_target)
+    return relink(program, instructions, suffix=suffix)
+
+
+# ---------------------------------------------------------------------------
+# Mutators — one family each; every function yields Mutant records
+# ---------------------------------------------------------------------------
+
+def mutate_shrink_latency_gap(program: LinkedProgram, limit: int):
+    """Delete a filler between a tight producer/consumer pair."""
+    info = _Info(program)
+    emitted = 0
+    for p, c, reg, latency in info.tight_pairs():
+        if emitted >= limit:
+            return
+        d = p + 1  # strictly between: latency >= 2 guarantees d < c
+        if info.is_target(d):
+            continue
+        instructions = [instr for pc, instr in
+                        enumerate(program.instructions) if pc != d]
+        index_map = {pc: pc if pc < d else pc - 1
+                     for pc in range(info.count) if pc != d}
+        yield Mutant(
+            f"shrink-gap@{p}->{c}", RULE_LATENCY,
+            f"deleted pc {d}: r{reg} now read {latency - 1} "
+            f"instruction(s) after its {latency}-latency producer",
+            relink(program, instructions, index_map, "shrink-gap"))
+        emitted += 1
+
+
+def mutate_swap_consumer(program: LinkedProgram, limit: int):
+    """Swap a consumer one instruction toward its producer."""
+    info = _Info(program)
+    emitted = 0
+    for p, c, reg, latency in info.tight_pairs():
+        if emitted >= limit:
+            return
+        if c - 1 == p or info.is_target(c) or info.is_target(c - 1):
+            continue
+        instructions = list(program.instructions)
+        instructions[c - 1], instructions[c] = \
+            instructions[c], instructions[c - 1]
+        index_map = {pc: pc for pc in range(info.count)}
+        index_map[c - 1], index_map[c] = c, c - 1
+        yield Mutant(
+            f"swap-consumer@{c}", RULE_LATENCY,
+            f"swapped pc {c - 1} and {c}: r{reg} read one instruction "
+            f"too early",
+            relink(program, instructions, index_map, "swap-consumer"))
+        emitted += 1
+
+
+def mutate_writeback_collision(program: LinkedProgram, limit: int):
+    """Insert a 1-latency write retiring with an in-flight write."""
+    info = _Info(program)
+    emitted = 0
+    for p in range(info.count):
+        if emitted >= limit:
+            return
+        for _op, reg, latency in info.writes(p):
+            if latency < 2:
+                continue
+            q = p + latency - 1  # issues at q, retires at q+1 == p+latency
+            if q > info.count or not info.clean_window(p, min(
+                    q, info.count - 1)):
+                continue
+            extra = EncodedInstruction((EncodedOp(
+                "iadd", 1, dsts=(reg,), srcs=(0, 0)),))
+            instructions = list(program.instructions)
+            instructions.insert(q, extra)
+            index_map = {pc: pc if pc < q else pc + 1
+                         for pc in range(info.count)}
+            yield Mutant(
+                f"writeback@{p}+{latency - 1}", RULE_WRITEBACK,
+                f"inserted iadd r{reg} at pc {q}, retiring in the same "
+                f"cycle as the latency-{latency} write from pc {p}",
+                relink(program, instructions, index_map, "writeback"))
+            emitted += 1
+            break
+
+
+def mutate_illegal_slot(program: LinkedProgram, limit: int):
+    """Move an operation to a slot its functional unit is absent from."""
+    info = _Info(program)
+    emitted = 0
+    for pc in range(info.count):
+        if emitted >= limit:
+            return
+        occupied = info.occupied_slots(pc)
+        for op, spec in info.specced[pc]:
+            if spec.two_slot:
+                continue
+            allowed = set(info.target.allowed_slots(spec))
+            bad = [slot for slot in ALL_SLOTS
+                   if slot not in allowed and slot not in occupied]
+            if not bad:
+                continue
+            yield Mutant(
+                f"bad-slot@{pc}.{op.slot}", RULE_SLOT,
+                f"moved {op.name} from slot {op.slot} to disallowed "
+                f"slot {bad[0]}",
+                _replace_op(program, pc, op, EncodedOp(
+                    op.name, bad[0], op.dsts, op.srcs, op.guard, op.imm),
+                    "bad-slot"))
+            emitted += 1
+            break
+
+
+def mutate_double_occupancy(program: LinkedProgram, limit: int):
+    """Issue two single-slot operations into one slot."""
+    info = _Info(program)
+    emitted = 0
+    for pc in range(info.count):
+        if emitted >= limit:
+            return
+        singles = [(op, spec) for op, spec in info.specced[pc]
+                   if not spec.two_slot]
+        if len(singles) < 2:
+            continue
+        first, second = singles[0][0], singles[1][0]
+        yield Mutant(
+            f"double-slot@{pc}", RULE_SLOT,
+            f"moved {second.name} onto slot {first.slot}, already "
+            f"holding {first.name}",
+            _replace_op(program, pc, second, EncodedOp(
+                second.name, first.slot, second.dsts, second.srcs,
+                second.guard, second.imm), "double-slot"))
+        emitted += 1
+
+
+def mutate_break_pairing(program: LinkedProgram, limit: int):
+    """Occupy a super-op's continuation slot / push it off the edge."""
+    info = _Info(program)
+    emitted = 0
+    for pc in range(info.count):
+        if emitted >= limit:
+            return
+        for op, spec in info.specced[pc]:
+            if not spec.two_slot:
+                continue
+            reg = info.some_defined_reg()
+            yield Mutant(
+                f"pair-occupied@{pc}.{op.slot}", RULE_PAIRING,
+                f"placed an iadd into slot {op.slot + 1}, the "
+                f"continuation slot of {op.name}",
+                _add_op(program, pc, EncodedOp(
+                    "iadd", op.slot + 1, dsts=(reg,), srcs=(0, 0)),
+                    "pair-occupied"))
+            emitted += 1
+            if emitted >= limit:
+                return
+            yield Mutant(
+                f"pair-offedge@{pc}.{op.slot}", RULE_PAIRING,
+                f"re-anchored {op.name} at slot 5; its continuation "
+                f"falls outside the machine",
+                _replace_op(program, pc, op, EncodedOp(
+                    op.name, 5, op.dsts, op.srcs, op.guard, op.imm),
+                    "pair-offedge"))
+            emitted += 1
+            break
+
+
+def mutate_extra_mem_op(program: LinkedProgram, limit: int):
+    """Duplicate a memory op past the target's per-instruction limit."""
+    info = _Info(program)
+    target = info.target
+    emitted = 0
+    for pc in range(info.count):
+        if emitted >= limit:
+            return
+        mems = [(op, spec) for op, spec in info.specced[pc] if spec.is_mem]
+        loads = sum(spec.is_load for _op, spec in mems)
+        stores = sum(spec.is_store for _op, spec in mems)
+        template = None
+        for op, spec in mems:
+            if spec.is_load and loads + 1 > target.max_loads_per_instr:
+                template = op
+                break
+            if spec.is_store and stores + 1 > target.max_stores_per_instr:
+                template = op
+                break
+            if len(mems) + 1 > target.max_mem_per_instr:
+                template = op
+                break
+        if template is None:
+            continue
+        occupied = info.occupied_slots(pc)
+        free = [slot for slot in ALL_SLOTS if slot not in occupied]
+        if not free:
+            continue
+        dst = tuple(info.some_defined_reg() for _ in template.dsts)
+        yield Mutant(
+            f"extra-mem@{pc}", RULE_MEMPORT,
+            f"duplicated {template.name} into slot {free[0]}, "
+            f"exceeding the target's memory-port limit",
+            _add_op(program, pc, EncodedOp(
+                template.name, free[0], dst, template.srcs,
+                template.guard, template.imm), "extra-mem"))
+        emitted += 1
+
+
+def mutate_truncate_shadow(program: LinkedProgram, limit: int):
+    """Delete trailing instructions until a jump shadow runs off."""
+    info = _Info(program)
+    live_jumps = [pc for pc in sorted(info.jump_pcs)
+                  if any(spec.is_jump and op.guard != 0
+                         for op, spec in info.specced[pc])]
+    if not live_jumps:
+        return
+    tail = max(pc + info.delay for pc in live_jumps)
+    if tail >= info.count:
+        return  # already broken; clean programs never are
+    drop = info.count - tail  # new count == tail: shadow now runs off
+    dropped = range(info.count - drop, info.count)
+    if any(pc in info.jump_pcs or info.is_target(pc) for pc in dropped):
+        return
+    if limit < 1:
+        return
+    instructions = list(program.instructions[:info.count - drop])
+    index_map = {pc: pc for pc in range(info.count - drop)}
+    yield Mutant(
+        f"truncate-shadow@{info.count - drop}", RULE_JUMP,
+        f"deleted the last {drop} instruction(s); the jump at pc "
+        f"{max(live_jumps)} loses a delay slot",
+        relink(program, instructions, index_map, "truncate-shadow"))
+
+
+def mutate_jump_in_shadow(program: LinkedProgram, limit: int):
+    """Issue a second jump inside an existing jump's delay shadow."""
+    info = _Info(program)
+    emitted = 0
+    entry_address = program.addresses[0] if info.count else 0
+    for j in sorted(info.jump_pcs):
+        if emitted >= limit:
+            return
+        for s in range(j + 1, min(j + info.delay + 1, info.count)):
+            if s in info.jump_pcs:
+                continue
+            occupied = info.occupied_slots(s)
+            free = [slot for slot in (2, 3, 4) if slot not in occupied]
+            if not free:
+                continue
+            yield Mutant(
+                f"shadow-jump@{s}", RULE_JUMP,
+                f"added a jmpi at pc {s}, inside the delay shadow of "
+                f"the jump at pc {j}",
+                _add_op(program, s, EncodedOp(
+                    "jmpi", free[0], imm=entry_address), "shadow-jump"))
+            emitted += 1
+            break
+
+
+def mutate_bad_immediate(program: LinkedProgram, limit: int):
+    """Widen a non-jump immediate past its encodable field."""
+    info = _Info(program)
+    emitted = 0
+    for pc in range(info.count):
+        if emitted >= limit:
+            return
+        for op, spec in info.specced[pc]:
+            # Jump immediates are retranslated by relink; use others.
+            if spec.is_jump or not spec.has_imm:
+                continue
+            yield Mutant(
+                f"bad-imm@{pc}.{op.slot}", RULE_ENCODING,
+                f"set the {spec.imm_bits}-bit immediate of {op.name} "
+                f"to {1 << spec.imm_bits}",
+                _replace_op(program, pc, op, EncodedOp(
+                    op.name, op.slot, op.dsts, op.srcs, op.guard,
+                    1 << spec.imm_bits), "bad-imm"))
+            emitted += 1
+            break
+
+
+def mutate_compress_jump_target(program: LinkedProgram, limit: int):
+    """Strip the uncompressed-encoding mark off a jump target."""
+    info = _Info(program)
+    emitted = 0
+    for pc in range(1, info.count):  # entry stays uncompressed
+        if emitted >= limit:
+            return
+        if not info.is_target(pc):
+            continue
+        instructions = list(program.instructions)
+        instructions[pc] = EncodedInstruction(instructions[pc].ops, False)
+        yield Mutant(
+            f"compress-target@{pc}", RULE_ENCODING,
+            f"compressed the jump target at pc {pc}; a taken jump "
+            f"cannot decode it",
+            relink(program, instructions, suffix="compress-target"))
+        emitted += 1
+
+
+def mutate_undefined_read(program: LinkedProgram, limit: int):
+    """Redirect a source operand to a never-written register."""
+    info = _Info(program)
+    ghost = info.unwritten_reg()
+    if ghost is None:
+        return
+    emitted = 0
+    for pc in range(info.count):
+        if emitted >= limit:
+            return
+        for op, spec in info.specced[pc]:
+            victims = [reg for reg in op.srcs if reg >= 2]
+            if not victims:
+                continue
+            srcs = list(op.srcs)
+            srcs[srcs.index(victims[0])] = ghost
+            yield Mutant(
+                f"undef-read@{pc}.{op.slot}", RULE_DEFUSE,
+                f"redirected a source of {op.name} to the never-"
+                f"written r{ghost}",
+                _replace_op(program, pc, op, EncodedOp(
+                    op.name, op.slot, op.dsts, tuple(srcs), op.guard,
+                    op.imm), "undef-read"))
+            emitted += 1
+            break
+
+
+#: Every mutator, in rule-family order.
+MUTATORS: tuple[Callable, ...] = (
+    mutate_shrink_latency_gap,
+    mutate_swap_consumer,
+    mutate_writeback_collision,
+    mutate_illegal_slot,
+    mutate_double_occupancy,
+    mutate_break_pairing,
+    mutate_extra_mem_op,
+    mutate_truncate_shadow,
+    mutate_jump_in_shadow,
+    mutate_bad_immediate,
+    mutate_compress_jump_target,
+    mutate_undefined_read,
+)
+
+
+def all_mutants(program: LinkedProgram,
+                per_mutator: int = 3) -> list[Mutant]:
+    """Every applicable corruption of ``program``.
+
+    Not every mutator applies to every program (a jump-free program
+    has no shadow to corrupt); inapplicable ones simply contribute
+    nothing.
+    """
+    mutants: list[Mutant] = []
+    for mutator in MUTATORS:
+        mutants.extend(mutator(program, per_mutator))
+    return mutants

@@ -1,0 +1,286 @@
+"""Structural lint rules over linked VLIW programs.
+
+Each checker walks a :class:`~repro.asm.link.LinkedProgram` and
+returns :class:`Diagnostic` records — it never raises on a bad
+program, so one pass reports every violation:
+
+* :func:`check_structure` — issue-slot/functional-unit legality,
+  two-slot super-operation neighbor pairing, per-instruction memory
+  port and jump limits (Table 6 parameterizes the limits per target);
+* :func:`check_encoding` — per-operation template-field encodability,
+  jump-target compression (targets must be uncompressed so a jump can
+  land on them cold), address-map consistency, and the whole-program
+  encode → decode → re-encode fixpoint;
+* :func:`check_defuse` — writes to the constant registers and reads
+  of registers no operation (and no entry argument) ever defines.
+
+Latency and write-back timing rules live in
+:mod:`repro.analysis.hazards`; control-flow shape rules in
+:mod:`repro.analysis.cfg`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import ProgramGraph
+from repro.analysis.diagnostics import (
+    RULE_DEFUSE,
+    RULE_ENCODING,
+    RULE_JUMP,
+    RULE_MEMPORT,
+    RULE_PAIRING,
+    RULE_SLOT,
+    SEV_ERROR,
+    Diagnostic,
+    format_location,
+)
+from repro.core.regfile import NUM_REGS
+from repro.isa.encoding import (
+    TRUE_GUARD,
+    EncodedInstruction,
+    encode_program,
+    decode_program,
+    encoding_errors,
+    instruction_nbytes,
+)
+
+#: Highest (1-based) issue slot of the machine.
+LAST_SLOT = 5
+
+
+def _spec_of(op):
+    """The operation's spec, or None for unknown mnemonics."""
+    try:
+        return op.spec
+    except KeyError:
+        return None
+
+
+def check_structure(program) -> list[Diagnostic]:
+    """Slot, functional-unit, pairing, and port legality per instruction."""
+    target = program.target
+    diagnostics: list[Diagnostic] = []
+    for pc, instr in enumerate(program.instructions):
+        occupancy: dict[int, object] = {}
+        loads = stores = jumps = 0
+        for op in instr.ops:
+            spec = _spec_of(op)
+            if spec is None:
+                continue  # reported by check_encoding
+            if not target.supports(spec):
+                diagnostics.append(Diagnostic(
+                    RULE_SLOT, SEV_ERROR,
+                    f"operation not implemented on target "
+                    f"{target.name!r}",
+                    pc=pc, slot=op.slot, op=op.name))
+                continue
+            allowed = target.allowed_slots(spec)
+            if op.slot not in allowed:
+                kind = "anchor slot" if spec.two_slot else "slot"
+                diagnostics.append(Diagnostic(
+                    RULE_SLOT, SEV_ERROR,
+                    f"{kind} {op.slot} not among allowed slots "
+                    f"{list(allowed)} for functional unit "
+                    f"{spec.fu.value}",
+                    pc=pc, slot=op.slot, op=op.name))
+            footprint = (op.slot, op.slot + 1) if spec.two_slot \
+                else (op.slot,)
+            for slot in footprint:
+                if not 1 <= slot <= LAST_SLOT:
+                    rule = RULE_PAIRING if spec.two_slot else RULE_SLOT
+                    diagnostics.append(Diagnostic(
+                        rule, SEV_ERROR,
+                        f"occupies slot {slot}, outside issue slots "
+                        f"1..{LAST_SLOT}",
+                        pc=pc, slot=op.slot, op=op.name))
+                    continue
+                other = occupancy.get(slot)
+                if other is None:
+                    occupancy[slot] = op
+                    continue
+                other_spec = _spec_of(other)
+                two_slot_involved = spec.two_slot or (
+                    other_spec is not None and other_spec.two_slot)
+                rule = RULE_PAIRING if two_slot_involved else RULE_SLOT
+                diagnostics.append(Diagnostic(
+                    rule, SEV_ERROR,
+                    f"slot {slot} doubly occupied with "
+                    f"{format_location(slot=other.slot, op=other.name)}",
+                    pc=pc, slot=op.slot, op=op.name))
+            loads += spec.is_load
+            stores += spec.is_store
+            jumps += spec.is_jump
+        if loads > target.max_loads_per_instr:
+            diagnostics.append(Diagnostic(
+                RULE_MEMPORT, SEV_ERROR,
+                f"{loads} loads issued, target {target.name!r} allows "
+                f"{target.max_loads_per_instr} per instruction",
+                pc=pc))
+        if stores > target.max_stores_per_instr:
+            diagnostics.append(Diagnostic(
+                RULE_MEMPORT, SEV_ERROR,
+                f"{stores} stores issued, target {target.name!r} allows "
+                f"{target.max_stores_per_instr} per instruction",
+                pc=pc))
+        if loads + stores > target.max_mem_per_instr:
+            diagnostics.append(Diagnostic(
+                RULE_MEMPORT, SEV_ERROR,
+                f"{loads + stores} memory operations issued, target "
+                f"{target.name!r} allows {target.max_mem_per_instr} "
+                f"per instruction",
+                pc=pc))
+        if jumps > 1:
+            diagnostics.append(Diagnostic(
+                RULE_JUMP, SEV_ERROR,
+                f"{jumps} jump operations in one instruction",
+                pc=pc))
+    return diagnostics
+
+
+def _ops_key(instr: EncodedInstruction):
+    """Slot-ordered comparable form of an instruction's operations."""
+    return tuple(sorted(
+        (op.slot, op.name, op.dsts, op.srcs, op.guard, op.imm)
+        for op in instr.ops if op.name != "nop"))
+
+
+def check_encoding(program, graph: ProgramGraph) -> list[Diagnostic]:
+    """Encodability, jump-target compression, and roundtrip fixpoint."""
+    diagnostics: list[Diagnostic] = []
+    op_level_clean = True
+    for pc, instr in enumerate(program.instructions):
+        for op in instr.ops:
+            for reason in encoding_errors(op):
+                op_level_clean = False
+                diagnostics.append(Diagnostic(
+                    RULE_ENCODING, SEV_ERROR, reason,
+                    pc=pc, slot=op.slot, op=op.name))
+
+    count = len(program.instructions)
+    if count and not program.instructions[0].is_jump_target:
+        diagnostics.append(Diagnostic(
+            RULE_ENCODING, SEV_ERROR,
+            "entry instruction is compressed (must be encoded as a "
+            "jump target to decode cold)", pc=0))
+
+    # Jumps can only land on uncompressed instructions: the template
+    # describing a compressed instruction lives in its predecessor,
+    # which a taken jump never fetches.
+    for site in graph.jumps:
+        if site.target_index is None or site.never_taken:
+            continue
+        if not program.instructions[site.target_index].is_jump_target:
+            diagnostics.append(Diagnostic(
+                RULE_ENCODING, SEV_ERROR,
+                f"jump target at {format_location(pc=site.target_index)} "
+                f"is compressed; targets must be encoded uncompressed",
+                pc=site.pc, slot=site.op.slot, op=site.op.name))
+
+    if not op_level_clean:
+        return diagnostics  # sizes/roundtrip would raise; already reported
+
+    # Address-map consistency: declared addresses/sizes must match
+    # what the encoder produces for each instruction.  The size
+    # computation itself can refuse a corrupt instruction (doubly
+    # occupied or out-of-range slots); that refusal is a finding, not
+    # a crash.
+    sizes = program.instruction_sizes
+    for pc, instr in enumerate(program.instructions):
+        try:
+            nbytes = instruction_nbytes(instr)
+        except ValueError as error:
+            diagnostics.append(Diagnostic(
+                RULE_ENCODING, SEV_ERROR,
+                f"instruction cannot be laid out: {error}", pc=pc))
+            continue
+        if nbytes != sizes[pc]:
+            diagnostics.append(Diagnostic(
+                RULE_ENCODING, SEV_ERROR,
+                f"declared size {sizes[pc]} bytes, encoder produces "
+                f"{nbytes}", pc=pc))
+
+    if any(diag.is_error for diag in diagnostics):
+        return diagnostics
+
+    # Whole-program fixpoint: encode -> decode -> re-encode must
+    # reproduce both the operation stream and the exact image bytes.
+    try:
+        image, addresses = encode_program(list(program.instructions))
+    except ValueError as error:
+        return diagnostics + [Diagnostic(
+            RULE_ENCODING, SEV_ERROR,
+            f"program image cannot be encoded: {error}")]
+    if image != program.image:
+        diagnostics.append(Diagnostic(
+            RULE_ENCODING, SEV_ERROR,
+            "re-encoding the instruction stream does not reproduce the "
+            "linked image"))
+        return diagnostics
+    if addresses != list(program.addresses):
+        diagnostics.append(Diagnostic(
+            RULE_ENCODING, SEV_ERROR,
+            "address map disagrees with the encoder's layout"))
+        return diagnostics
+    try:
+        decoded = decode_program(program.image)
+    except (ValueError, KeyError, IndexError) as error:
+        return diagnostics + [Diagnostic(
+            RULE_ENCODING, SEV_ERROR,
+            f"image does not decode: {error}")]
+    if len(decoded) != count:
+        diagnostics.append(Diagnostic(
+            RULE_ENCODING, SEV_ERROR,
+            f"image decodes to {len(decoded)} instructions, "
+            f"expected {count}"))
+        return diagnostics
+    for pc, (original, roundtrip) in enumerate(
+            zip(program.instructions, decoded)):
+        if _ops_key(original) != _ops_key(roundtrip):
+            diagnostics.append(Diagnostic(
+                RULE_ENCODING, SEV_ERROR,
+                "decoded operations differ from the linked "
+                "instruction", pc=pc))
+    if not diagnostics:
+        restored = [
+            EncodedInstruction(rt.ops, orig.is_jump_target)
+            for orig, rt in zip(program.instructions, decoded)
+        ]
+        image2, _ = encode_program(restored)
+        if image2 != program.image:
+            diagnostics.append(Diagnostic(
+                RULE_ENCODING, SEV_ERROR,
+                "decode -> re-encode is not a fixpoint: image bytes "
+                "differ"))
+    return diagnostics
+
+
+def check_defuse(program) -> list[Diagnostic]:
+    """Constant-register writes and reads of never-written registers."""
+    diagnostics: list[Diagnostic] = []
+    defined = {0, 1}
+    defined.update(getattr(program, "entry_regs", ()) or ())
+    for instr in program.instructions:
+        for op in instr.ops:
+            for reg in op.dsts:
+                if 2 <= reg < NUM_REGS:
+                    defined.add(reg)
+    for pc, instr in enumerate(program.instructions):
+        for op in instr.ops:
+            for reg in op.dsts:
+                if reg in (0, 1):
+                    diagnostics.append(Diagnostic(
+                        RULE_DEFUSE, SEV_ERROR,
+                        f"writes constant register r{reg}",
+                        pc=pc, slot=op.slot, op=op.name))
+            reads = op.srcs
+            if op.guard != TRUE_GUARD:
+                reads = reads + (op.guard,)
+            for reg in sorted(set(reads)):
+                if not 0 <= reg < NUM_REGS:
+                    continue  # out-of-range: reported by check_encoding
+                if reg not in defined:
+                    diagnostics.append(Diagnostic(
+                        RULE_DEFUSE, SEV_ERROR,
+                        f"reads r{reg}, which no operation or entry "
+                        f"argument ever writes",
+                        pc=pc, slot=op.slot, op=op.name))
+    return diagnostics

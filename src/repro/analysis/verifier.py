@@ -1,0 +1,146 @@
+"""The static program verifier: orchestration and reporting.
+
+:func:`verify_program` runs every rule family over a linked program
+and returns a :class:`VerificationReport` — the machine-checked
+correctness gate for the exposed pipeline (the scheduler and register
+allocator *intend* to satisfy these rules; the verifier re-derives
+them from the final machine code, trusting neither).
+
+The report can be rendered, asserted on (:meth:`raise_for_errors`
+raises :class:`VerificationError`), or exported through the
+observability event bus: pass an :class:`~repro.obs.events.EventBus`
+and each diagnostic is emitted as a ``verify`` category event stamped
+with its instruction index, alongside one summary event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cfg import build_graph
+from repro.analysis.diagnostics import (
+    RULE_DEFUSE,
+    RULE_ENCODING,
+    SEV_ERROR,
+    Diagnostic,
+)
+from repro.analysis.hazards import check_hazards
+from repro.analysis.rules import check_defuse, check_encoding, check_structure
+
+
+class VerificationError(Exception):
+    """A program failed static verification; carries the report."""
+
+    def __init__(self, report: "VerificationReport") -> None:
+        self.report = report
+        super().__init__(report.format())
+
+
+@dataclass
+class VerificationReport:
+    """All findings of one verification pass over one program."""
+
+    program_name: str
+    target_name: str
+    instruction_count: int
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [diag for diag in self.diagnostics if diag.is_error]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [diag for diag in self.diagnostics if not diag.is_error]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def rules_flagged(self) -> set[str]:
+        """Rule identifiers with at least one error finding."""
+        return {diag.rule for diag in self.errors}
+
+    def format(self) -> str:
+        """Multi-line human-readable report."""
+        head = (f"{self.program_name} on {self.target_name}: "
+                f"{self.instruction_count} instructions, ")
+        if not self.diagnostics:
+            return head + "verification clean"
+        head += (f"{len(self.errors)} error(s), "
+                 f"{len(self.warnings)} warning(s)")
+        lines = [head]
+        lines.extend(f"  {diag.format()}" for diag in self.diagnostics)
+        return "\n".join(lines)
+
+    def raise_for_errors(self) -> None:
+        """Raise :class:`VerificationError` when any error was found."""
+        if not self.ok:
+            raise VerificationError(self)
+
+
+def _plan_crosscheck(program, have_errors: bool) -> list[Diagnostic]:
+    """Validate the cached execution plan against the linked program.
+
+    The plan is what the fast interpreter actually executes, so its
+    address/size tables must agree with the link-time ones.  When the
+    plan itself refuses to build and no other rule explained why,
+    surface its complaint rather than silently passing.
+    """
+    try:
+        plan = program.plan()
+    except (ValueError, KeyError) as error:
+        if have_errors:
+            return []  # the cause was already diagnosed by a rule
+        return [Diagnostic(
+            RULE_DEFUSE, SEV_ERROR,
+            f"execution plan rejected the program: {error}")]
+    diagnostics = []
+    if list(plan.addresses) != list(program.addresses):
+        diagnostics.append(Diagnostic(
+            RULE_ENCODING, SEV_ERROR,
+            "execution plan address table disagrees with the link-time "
+            "address map"))
+    if list(plan.sizes) != list(program.instruction_sizes):
+        diagnostics.append(Diagnostic(
+            RULE_ENCODING, SEV_ERROR,
+            "execution plan size table disagrees with the link-time "
+            "instruction sizes"))
+    return diagnostics
+
+
+def verify_program(program, obs=None) -> VerificationReport:
+    """Statically verify one linked program; returns the full report.
+
+    ``obs`` is an optional :class:`~repro.obs.events.EventBus`; every
+    diagnostic is emitted on it (category ``verify``), followed by a
+    summary event.
+    """
+    graph, diagnostics = build_graph(program)
+    diagnostics += check_structure(program)
+    diagnostics += check_encoding(program, graph)
+    diagnostics += check_defuse(program)
+    diagnostics += check_hazards(program, graph)
+    diagnostics += _plan_crosscheck(
+        program, any(diag.is_error for diag in diagnostics))
+    diagnostics.sort(
+        key=lambda diag: (diag.pc if diag.pc is not None else -1,
+                          diag.rule, diag.message))
+    report = VerificationReport(
+        program_name=program.name,
+        target_name=program.target.name,
+        instruction_count=len(program.instructions),
+        diagnostics=diagnostics,
+    )
+    if obs:
+        for diag in diagnostics:
+            obs.diagnostic(
+                diag.pc if diag.pc is not None else 0,
+                rule=diag.rule, severity=diag.severity,
+                slot=diag.slot, op=diag.op, message=diag.message,
+                program=program.name)
+        obs.emit(0, "verify", "summary", track="verify",
+                 program=program.name, target=program.target.name,
+                 errors=len(report.errors),
+                 warnings=len(report.warnings))
+    return report

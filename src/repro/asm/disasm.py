@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from repro.asm.link import LinkedProgram
 from repro.isa.encoding import (
-    SLOT_UNUSED,
     TRUE_GUARD,
     EncodedInstruction,
     EncodedOp,

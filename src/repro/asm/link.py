@@ -40,6 +40,9 @@ class LinkedProgram:
     labels: dict[str, int]
     image: bytes = b""
     register_map: dict[int, int] = field(default_factory=dict)
+    #: Physical registers defined at entry (pinned parameters); the
+    #: static verifier's def-use analysis treats them as written.
+    entry_regs: tuple[int, ...] = ()
 
     @property
     def nbytes(self) -> int:
@@ -109,8 +112,16 @@ def _row_to_instruction(row, jump_targets, regmap, label: str,
 
 
 def link(program: AsmProgram, target: Target,
-         scheduled: ScheduledProgram | None = None) -> LinkedProgram:
-    """Schedule (if needed), allocate registers, and link ``program``."""
+         scheduled: ScheduledProgram | None = None,
+         verify: bool = False) -> LinkedProgram:
+    """Schedule (if needed), allocate registers, and link ``program``.
+
+    With ``verify=True`` the linked result is post-passed through the
+    static verifier (:mod:`repro.analysis`) and a
+    :class:`~repro.analysis.verifier.VerificationError` is raised when
+    any rule finds an error — the belt-and-braces gate for freshly
+    scheduled code.
+    """
     if scheduled is None:
         scheduled = schedule_program(program, target)
     regmap = allocate_registers_scheduled(
@@ -162,7 +173,7 @@ def link(program: AsmProgram, target: Target,
     if encoded_addresses != addresses:
         raise AssertionError(
             f"{program.name}: address assignment mismatch during linking")
-    return LinkedProgram(
+    linked = LinkedProgram(
         name=program.name,
         target=target,
         instructions=instructions,
@@ -170,9 +181,16 @@ def link(program: AsmProgram, target: Target,
         labels=labels,
         image=image,
         register_map=regmap.as_flat_dict(),
+        entry_regs=tuple(sorted(set(program.pinned.values()))),
     )
+    if verify:
+        from repro.analysis.verifier import verify_program
+
+        verify_program(linked).raise_for_errors()
+    return linked
 
 
-def compile_program(program: AsmProgram, target: Target) -> LinkedProgram:
+def compile_program(program: AsmProgram, target: Target,
+                    verify: bool = False) -> LinkedProgram:
     """One-step compile: schedule + allocate + link for ``target``."""
-    return link(program, target)
+    return link(program, target, verify=verify)

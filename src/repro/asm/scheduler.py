@@ -28,9 +28,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.analysis.diagnostics import format_location
 from repro.asm.ir import AsmProgram, Block, VOp
 from repro.asm.target import Target
-from repro.isa.operations import FU
 
 #: Slot preference per functional-unit role: keep slots 4/5 free for
 #: memory operations and 2/3/4 for branches when alternatives exist.
@@ -39,7 +39,13 @@ _BRANCH_SLOT_PREFERENCE = {3: 0, 2: 1, 4: 2}
 
 
 class SchedulingError(Exception):
-    """Raised when a block cannot be scheduled for the target."""
+    """Raised when a block cannot be scheduled for the target.
+
+    Messages locate the failure with the same
+    :func:`~repro.analysis.diagnostics.format_location` vocabulary the
+    static verifier's diagnostics use (block label, row index, op
+    name), so scheduler errors and verifier findings read alike.
+    """
 
 
 @dataclass
@@ -244,14 +250,14 @@ def schedule_block(block: Block, target: Target,
     """
     ops = list(block.ops)
     for op in ops + ([block.jump] if block.jump else []):
+        where = format_location(block=block.label, op=op.name)
         if not target.supports(op.spec):
             raise SchedulingError(
-                f"{block.label}: operation {op.name!r} not supported on "
-                f"target {target.name!r}")
+                f"{where}: operation not supported on target "
+                f"{target.name!r}")
         if not target.allowed_slots(op.spec):
             raise SchedulingError(
-                f"{block.label}: no issue slot for {op.name!r} on "
-                f"{target.name!r}")
+                f"{where}: no issue slot on target {target.name!r}")
     all_ops = ops + ([block.jump] if block.jump else [])
     preds = _dependence_edges(all_ops, target)
     heights = _critical_heights(all_ops, preds, target)
@@ -296,8 +302,11 @@ def schedule_block(block: Block, target: Target,
                 continue
         cycle += 1
         if cycle > 10 * n + 64:
+            stuck = min(unscheduled)
             raise SchedulingError(
-                f"{block.label}: scheduler failed to converge")
+                f"{format_location(block=block.label, row=cycle, op=all_ops[stuck].name)}: "
+                f"scheduler failed to converge with "
+                f"{len(unscheduled)} operation(s) unplaced")
 
     makespan = 1 + max((c for c in cycle_of if c >= 0), default=-1)
     # Values visible outside the block must have written back by the end.

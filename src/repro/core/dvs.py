@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.power import NOMINAL_VOLTAGE
 from repro.core.stats import RunStats
 
 #: Guaranteed operating points from Section 5.2: 350 MHz at 1.2 V

@@ -27,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.asm.target import TM3270_TARGET, Target
-from repro.isa.operations import FU, OpSpec
+from repro.isa.operations import OpSpec
 
 FRONT_END_STAGES = ("I1", "I2", "I3", "P")
 DECODE_STAGE = "D"

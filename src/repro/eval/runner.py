@@ -129,6 +129,22 @@ def _profiled(enabled: bool, work):
         print(stream.getvalue())
 
 
+def _run_verify() -> int:
+    """``--verify``: static verification over the full kernel catalog."""
+    from repro.analysis.catalog import verify_all
+
+    failed = total = 0
+    for entry, report in verify_all():
+        total += 1
+        if report.ok:
+            print(f"[ok] {entry.label}")
+            continue
+        failed += 1
+        print(report.format())
+    print(f"{total - failed}/{total} programs verified clean")
+    return 1 if failed else 0
+
+
 def _run_perf(options) -> int:
     """``--perf``: simulator-throughput suite -> BENCH_sim_speed.json."""
     from repro.eval.perf import run_perf
@@ -169,6 +185,10 @@ def main(argv: list[str] | None = None) -> int:
         "--no-verify", action="store_true",
         help="skip bit-exact output verification")
     parser.add_argument(
+        "--verify", action="store_true",
+        help="statically verify every registered kernel (no execution) "
+             "and exit non-zero on any finding")
+    parser.add_argument(
         "--perf", action="store_true",
         help="measure simulator throughput (fast vs reference path) "
              "instead of Table 5 kernels; writes BENCH_sim_speed.json")
@@ -180,6 +200,8 @@ def main(argv: list[str] | None = None) -> int:
         help="dump a cProfile report of the run to stdout")
     options = parser.parse_args(argv)
 
+    if options.verify:
+        return _run_verify()
     if options.perf:
         return _run_perf(options)
 

@@ -174,6 +174,41 @@ def chunk_sizes(op: EncodedOp) -> tuple[int, ...]:
     return tuple(sizes)
 
 
+def encoding_errors(op: EncodedOp) -> list[str]:
+    """Reasons ``op`` cannot be encoded; empty when fully encodable.
+
+    The non-raising face of the encoder's own validation, shared with
+    the static verifier: register fields must fit their 7-bit slots,
+    the immediate its declared width, and every chunk the 42-bit
+    template maximum.
+    """
+    try:
+        spec = op.spec
+    except KeyError:
+        return [f"unknown operation {op.name!r}"]
+    errors = []
+    fields = (("guard", op.guard),)
+    fields += tuple((f"dst r{reg}", reg) for reg in op.dsts)
+    fields += tuple((f"src r{reg}", reg) for reg in op.srcs)
+    for label, reg in fields:
+        if not 0 <= reg < (1 << 7):
+            errors.append(
+                f"{label} register {reg} does not fit the 7-bit field")
+    if spec.has_imm:
+        try:
+            _imm_field(op)
+        except ValueError as error:
+            errors.append(str(error))
+    try:
+        for bits in chunk_bits(op):
+            if bits > MAX_CHUNK_BITS:
+                errors.append(
+                    f"chunk needs {bits} bits, exceeds {MAX_CHUNK_BITS}")
+    except KeyError:
+        pass  # unknown operation, reported above
+    return errors
+
+
 @dataclass
 class EncodedInstruction:
     """One VLIW instruction: up to five operations bound to slots."""

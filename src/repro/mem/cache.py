@@ -8,7 +8,7 @@ byte-validity, write policies, and the write buffer on top
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

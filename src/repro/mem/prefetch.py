@@ -18,7 +18,7 @@ them with ordinary store operations (see
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.mem.bus import BusInterfaceUnit
 from repro.mem.dcache import DataCache

@@ -24,9 +24,10 @@ CAT_DCACHE = "dcache"
 CAT_ICACHE = "icache"
 CAT_PREFETCH = "prefetch"
 CAT_CABAC = "cabac"
+CAT_VERIFY = "verify"
 
 CATEGORIES = (CAT_PIPELINE, CAT_DCACHE, CAT_ICACHE, CAT_PREFETCH,
-              CAT_CABAC)
+              CAT_CABAC, CAT_VERIFY)
 
 
 @dataclass(frozen=True)
@@ -130,6 +131,12 @@ class EventBus:
     def cabac(self, ts: int, kind: str, **extra) -> None:
         """CABAC engine event (ts = symbol index)."""
         self.emit(ts, CAT_CABAC, kind, track="cabac", **extra)
+
+    def diagnostic(self, ts: int, *, rule: str, severity: str,
+                   **extra) -> None:
+        """Static-verifier finding (ts = instruction index)."""
+        self.emit(ts, CAT_VERIFY, rule, track="verify",
+                  severity=severity, **extra)
 
     # -- inspection ---------------------------------------------------------
 

@@ -1,0 +1,182 @@
+"""Fault-injection and differential tests for the static verifier.
+
+The harness corrupts known-good schedules with the mutators in
+:mod:`repro.analysis.mutate` — each targeting one rule family — and
+asserts the verifier flags every mutant with the expected rule.  A
+differential check then ties the *latency-hazard* rule to executable
+reality: mutants it flags must actually misbehave on the exposed
+pipeline (strict timing raises, and hazard-respecting vs naive
+register-file semantics disagree on final machine state), while the
+unmutated programs behave identically under both semantics.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+from repro.analysis import RULE_LATENCY, verify_program
+from repro.analysis.catalog import catalog, entries_matching
+from repro.analysis.mutate import all_mutants, relink
+from repro.core.executor import Executor
+from repro.core.regfile import NUM_REGS, RegisterFile, TimingViolation
+from repro.kernels.registry import kernel_by_name
+from repro.mem.flatmem import FlatMemory
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is baked in
+    HAVE_HYPOTHESIS = False
+
+CATALOG = catalog()
+CATALOG_LABELS = [entry.label for entry in CATALOG]
+
+#: Representative cross-section for the tier-1 (fast) sweep: both
+#: targets, plain and super-op code, loops and straight-line blocks.
+FAST_SWEEP = ("memset@tm3260", "memcpy@tm3270", "rgb2yuv@tm3260",
+              "cabac_super@tm3270", "texture_super@tm3270")
+
+
+@functools.lru_cache(maxsize=None)
+def _compiled(label: str):
+    name, _, target_name = label.partition("@")
+    (entry,) = entries_matching([name], target_name)
+    return entry.compile()
+
+
+def _sweep(labels) -> tuple[int, int, int]:
+    """(mutants, caught with expected rule, caught with any error)."""
+    total = expected = any_error = 0
+    for label in labels:
+        program = _compiled(label)
+        for mutant in all_mutants(program):
+            report = verify_program(mutant.program)
+            total += 1
+            expected += mutant.rule in report.rules_flagged()
+            any_error += not report.ok
+    return total, expected, any_error
+
+
+# ---------------------------------------------------------------------------
+# Fault-injection sweeps
+# ---------------------------------------------------------------------------
+
+def test_fast_sweep_catches_every_mutant():
+    total, expected, any_error = _sweep(FAST_SWEEP)
+    assert total >= 100, "sweep too small to mean anything"
+    assert any_error == total
+    assert expected == total
+
+
+@pytest.mark.slow
+def test_full_catalog_sweep_meets_acceptance_bar():
+    """Every corruption of every catalog program is caught.
+
+    The acceptance bar is >= 95% caught *with the expected rule*; the
+    suite currently achieves 100%, so any slip is a regression worth
+    reading about in the diff of this assertion.
+    """
+    total, expected, any_error = _sweep(CATALOG_LABELS)
+    assert total >= 500
+    assert any_error == total, f"{total - any_error} mutants undetected"
+    assert expected / total >= 0.95, (
+        f"only {expected}/{total} mutants flagged their expected rule")
+
+
+def test_relink_identity_preserves_verification():
+    """relink() itself must not introduce findings (mutator soundness:
+    a 'mutant' that only round-trips through relink is not corrupt)."""
+    for label in ("memcpy@tm3270", "cabac_super@tm3270"):
+        program = _compiled(label)
+        twin = relink(program, list(program.instructions),
+                      suffix="identity")
+        report = verify_program(twin)
+        assert report.ok, report.format()
+        assert twin.instruction_sizes == program.instruction_sizes
+
+
+if HAVE_HYPOTHESIS:
+
+    @pytest.mark.slow
+    @settings(max_examples=25, deadline=None)
+    @given(label=st.sampled_from(CATALOG_LABELS), data=st.data())
+    def test_random_mutant_is_flagged(label, data):
+        """Property: any mutator applied anywhere is caught."""
+        mutants = all_mutants(_compiled(label))
+        if not mutants:
+            return
+        mutant = data.draw(st.sampled_from(mutants))
+        report = verify_program(mutant.program)
+        assert not report.ok, (label, mutant.name)
+        assert mutant.rule in report.rules_flagged(), (
+            label, mutant.name, report.format())
+
+
+# ---------------------------------------------------------------------------
+# Differential: static latency findings correspond to dynamic divergence
+# ---------------------------------------------------------------------------
+
+class _ZeroLatencyRegisterFile(RegisterFile):
+    """Naive semantics: every write is visible to the next instruction
+    (as if the pipeline had full bypassing and no exposed latency)."""
+
+    def schedule_write(self, reg: int, value: int, now: int,
+                       latency: int) -> None:
+        super().schedule_write(reg, value, now, 1)
+
+
+def _machine_state(label: str, program, *, naive: bool = False,
+                   strict: bool = False):
+    """Final (memory, registers) after a reference-interpreter run."""
+    case = kernel_by_name(label.partition("@")[0])
+    memory = FlatMemory(case.memory_size)
+    args = case.prepare(memory)
+    executor = Executor(program, memory, strict_timing=strict,
+                        fast=False)
+    if naive:
+        executor.regfile = _ZeroLatencyRegisterFile(strict=False)
+    for reg, value in args.items():
+        executor.regfile.poke(reg, value)
+    executor.run(max_instructions=1_000_000)
+    registers = tuple(executor.regfile.peek(reg)
+                      for reg in range(2, NUM_REGS))
+    return memory.read_block(0, 1 << 16), registers
+
+
+def _assert_latency_mutants_diverge(label: str) -> None:
+    program = _compiled(label)
+
+    # The clean schedule is latency-safe: strict timing accepts it and
+    # naive semantics cannot change its answer.
+    exposed = _machine_state(label, program)
+    assert _machine_state(label, program, strict=True) == exposed
+    assert _machine_state(label, program, naive=True) == exposed
+
+    mutants = [mutant for mutant in all_mutants(program)
+               if mutant.rule == RULE_LATENCY]
+    assert mutants, f"{label} produced no latency mutants"
+    for mutant in mutants:
+        # Hazard-respecting hardware with interlock checking refuses
+        # the schedule outright...
+        with pytest.raises(TimingViolation):
+            _machine_state(label, mutant.program, strict=True)
+        # ...and without checking, the exposed pipeline computes a
+        # different answer than naive (zero-latency) semantics would,
+        # which is exactly what the static rule claims.
+        mutant_exposed = _machine_state(label, mutant.program)
+        mutant_naive = _machine_state(label, mutant.program, naive=True)
+        assert mutant_exposed != mutant_naive, mutant.name
+
+
+def test_latency_mutants_diverge_rgb2yuv():
+    _assert_latency_mutants_diverge("rgb2yuv@tm3270")
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("label", ["filter@tm3260", "filmdet@tm3270",
+                                   "majority_sel@tm3270"])
+def test_latency_mutants_diverge_slow(label):
+    _assert_latency_mutants_diverge(label)

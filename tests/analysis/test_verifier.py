@@ -1,0 +1,238 @@
+"""Unit tests for the static program verifier.
+
+Two properties anchor the suite:
+
+* **zero false positives** — every program the scheduler emits for a
+  registered kernel, on both targets, verifies clean;
+* **rule independence** — each rule family can be triggered on its
+  own, so a finding names the actual defect rather than a side effect
+  of another rule.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import (
+    RULE_DEFUSE,
+    RULE_ENCODING,
+    RULE_IDS,
+    RULE_JUMP,
+    RULE_LATENCY,
+    RULE_MEMPORT,
+    RULE_SLOT,
+    RULE_WRITEBACK,
+    SEV_ERROR,
+    Diagnostic,
+    VerificationError,
+    format_location,
+    verify_program,
+)
+from repro.analysis.catalog import catalog, entries_matching
+from repro.analysis.mutate import MUTATORS, all_mutants
+from repro.analysis.__main__ import main as analysis_main
+from repro.asm import compile_program
+from repro.asm.link import link
+from repro.asm.target import TM3260_TARGET, TM3270_TARGET
+from repro.kernels.registry import TABLE5_KERNELS
+from repro.obs.events import CAT_VERIFY, EventBus
+
+CATALOG = catalog()
+
+
+def _compiled(name: str, target_name: str):
+    (entry,) = entries_matching([name], target_name)
+    return entry.compile()
+
+
+# ---------------------------------------------------------------------------
+# Zero false positives
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("entry", CATALOG,
+                         ids=[entry.label for entry in CATALOG])
+def test_catalog_program_verifies_clean(entry):
+    report = verify_program(entry.compile())
+    assert report.ok, report.format()
+    # Clean runs should not even warn: warnings on known-good
+    # schedules would train users to ignore the verifier.
+    assert not report.warnings, report.format()
+
+
+def test_catalog_covers_both_targets_and_extras():
+    labels = {entry.label for entry in CATALOG}
+    for case in TABLE5_KERNELS:
+        assert f"{case.name}@tm3260" in labels
+        assert f"{case.name}@tm3270" in labels
+    # The TM3270-only optimized variants ride along.
+    assert any(label.startswith("cabac_super@") for label in labels)
+
+
+def test_link_verify_flag_runs_the_verifier():
+    (entry,) = entries_matching(["memset"], "tm3270")
+    program = entry.build()
+    linked = link(program, entry.target, verify=True)
+    assert linked.instructions
+    assert compile_program(entry.build(), entry.target,
+                           verify=True).instructions
+
+
+def test_raise_for_errors_carries_the_report():
+    program = _compiled("memcpy", "tm3270")
+    mutant = next(m for m in all_mutants(program)
+                  if m.rule == RULE_LATENCY)
+    report = verify_program(mutant.program)
+    with pytest.raises(VerificationError) as excinfo:
+        report.raise_for_errors()
+    assert excinfo.value.report is report
+    assert RULE_LATENCY in str(excinfo.value)
+
+
+# ---------------------------------------------------------------------------
+# Rule independence
+# ---------------------------------------------------------------------------
+
+def test_memport_rule_fires_without_slot_violation():
+    """Port limits are checked directly, not only via slot legality.
+
+    On the real targets every port overflow also lands on an illegal
+    slot, so this doctors a target whose slot table *allows* the
+    placement while its port budget forbids it.
+    """
+    program = _compiled("memcpy", "tm3260")
+    dual_load_pcs = [
+        pc for pc, instr in enumerate(program.instructions)
+        if sum(op.spec.is_load for op in instr.ops) >= 2
+    ]
+    assert dual_load_pcs, "TM3260 memcpy should dual-issue loads"
+
+    doctored_target = dataclasses.replace(
+        TM3260_TARGET, name="tm3260-1port", max_loads_per_instr=1)
+    doctored = dataclasses.replace(program, target=doctored_target)
+    report = verify_program(doctored)
+    assert report.rules_flagged() == {RULE_MEMPORT}
+    assert {diag.pc for diag in report.errors} == set(dual_load_pcs)
+
+
+def test_mutant_families_trigger_isolated_rules():
+    """Representative mutants flag exactly their own rule family."""
+    program = _compiled("memcpy", "tm3270")
+    isolated = {RULE_LATENCY, RULE_WRITEBACK, RULE_SLOT, RULE_DEFUSE}
+    seen: set[str] = set()
+    for mutant in all_mutants(program):
+        if mutant.rule not in isolated:
+            continue
+        report = verify_program(mutant.program)
+        flagged = report.rules_flagged()
+        assert mutant.rule in flagged, (mutant.name, report.format())
+        # Two couplings are genuine, not verifier noise: deleting an
+        # instruction (shrink-gap) may also delete the only writer of
+        # a register read later (def-use), and a doubly-occupied slot
+        # is by construction also unencodable (encoding).  Every
+        # other family here must flag exactly its own rule.
+        allowed = {mutant.rule}
+        if mutant.name.startswith("shrink-gap"):
+            allowed.add(RULE_DEFUSE)
+        if mutant.name.startswith("double-slot"):
+            allowed.add(RULE_ENCODING)
+        assert flagged <= allowed, (mutant.name, report.format())
+        seen.add(mutant.rule)
+    assert seen == isolated
+
+
+def test_jump_and_encoding_rules_fire():
+    program = _compiled("memcpy", "tm3270")
+    by_rule: dict[str, set[str]] = {}
+    for mutant in all_mutants(program):
+        if mutant.rule in (RULE_JUMP, RULE_ENCODING):
+            report = verify_program(mutant.program)
+            assert mutant.rule in report.rules_flagged(), (
+                mutant.name, report.format())
+            by_rule.setdefault(mutant.rule, set()).add(mutant.name)
+    assert RULE_JUMP in by_rule and RULE_ENCODING in by_rule
+
+
+# ---------------------------------------------------------------------------
+# Diagnostics plumbing
+# ---------------------------------------------------------------------------
+
+def test_format_location_renders_present_fields_only():
+    assert format_location(block="loop", row=3) == "block 'loop', row 3"
+    assert format_location(pc=7, slot=5, op="ld32d") \
+        == "pc 7, slot 5, op 'ld32d'"
+    assert format_location() == "<unknown location>"
+
+
+def test_diagnostic_format_is_stable():
+    diag = Diagnostic(rule=RULE_SLOT, severity=SEV_ERROR,
+                      message="bad placement", pc=3, slot=5, op="iadd")
+    assert diag.format() \
+        == "error[slot-legality] pc 3, slot 5, op 'iadd': bad placement"
+    assert diag.is_error
+
+
+def test_all_rule_ids_are_distinct():
+    assert len(RULE_IDS) == 8
+    assert len(set(RULE_IDS)) == len(RULE_IDS)
+
+
+def test_verifier_emits_obs_events():
+    program = _compiled("memcpy", "tm3270")
+    mutant = next(m for m in all_mutants(program)
+                  if m.rule == RULE_LATENCY)
+
+    bus = EventBus()
+    report = verify_program(mutant.program, obs=bus)
+    findings = [event for event in bus.by_category(CAT_VERIFY)
+                if event.name != "summary"]
+    assert len(findings) == len(report.diagnostics)
+    assert any(event.name == RULE_LATENCY for event in findings)
+    summary = [event for event in bus.by_category(CAT_VERIFY)
+               if event.name == "summary"]
+    assert len(summary) == 1
+    assert summary[0].args["errors"] == len(report.errors)
+
+    clean_bus = EventBus()
+    clean = verify_program(program, obs=clean_bus)
+    assert clean.ok
+    names = [e.name for e in clean_bus.by_category(CAT_VERIFY)]
+    assert names == ["summary"]
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+
+def test_cli_clean_kernel(capsys):
+    status = analysis_main(["--kernel", "memset"])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "[ok] memset@tm3260" in out
+    assert "[ok] memset@tm3270" in out
+    assert "2/2 programs verified clean" in out
+
+
+def test_cli_rejects_unknown_kernel(capsys):
+    with pytest.raises(SystemExit):
+        analysis_main(["--kernel", "definitely-not-a-kernel"])
+
+
+def test_cli_target_filter(capsys):
+    status = analysis_main(["--target", "tm3260", "--quiet"])
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "@tm3270" not in out
+
+
+def test_mutators_cover_every_rule_family():
+    """Between a plain and a super-op program, each of the eight rule
+    families has at least one corruption exercising it."""
+    rules = {
+        mutant.rule
+        for name in ("memcpy", "cabac_super")
+        for mutant in all_mutants(_compiled(name, "tm3270"))
+    }
+    assert rules == set(RULE_IDS)
+    assert len(MUTATORS) >= 12
