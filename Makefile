@@ -2,7 +2,15 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test fast slow bench benchmarks perf trace verify lint
+# Worker processes for the sharded evaluation targets: `make eval
+# JOBS=8`, `make perf JOBS=8`.  Unset = the engine's default
+# (os.cpu_count()); 1 = in-process serial.  Merged output is
+# byte-identical for every value (see tests/golden/).
+JOBS ?=
+JOBSFLAG := $(if $(JOBS),--jobs $(JOBS),)
+
+.PHONY: test fast slow bench benchmarks eval perf trace verify lint \
+	golden conformance ci
 
 # Tier-1 verification: the whole unit/property suite.
 test:
@@ -18,17 +26,22 @@ slow:
 
 # Regenerate the machine-readable perf trajectory (BENCH_*.json).
 bench:
-	$(PY) -m repro.eval.runner --bench-out benchmarks/results/BENCH_pr1.json
+	$(PY) -m repro.eval.runner --bench-out benchmarks/results/BENCH_pr1.json $(JOBSFLAG)
 
 # Regenerate every paper table/figure artifact (slow).
 benchmarks:
 	$(PY) -m pytest -x -q benchmarks
 
+# The full standard evaluation job graph (kernels x configs,
+# ablations, figure panels, throughput) through the sharded engine.
+eval:
+	$(PY) -m repro.eval.parallel $(JOBSFLAG)
+
 # Simulator throughput: fast path vs reference interpreter
 # (writes benchmarks/results/BENCH_sim_speed.json).  Guard against
 # regressions with: scripts/bench_compare.py OLD.json NEW.json
 perf:
-	$(PY) -m repro.eval.runner --perf
+	$(PY) -m repro.eval.runner --perf $(JOBSFLAG)
 
 # Capture a Chrome trace of the quickstart kernel (chrome://tracing).
 trace:
@@ -54,3 +67,19 @@ lint:
 	else \
 		echo "mypy not installed; skipping type check"; \
 	fi
+
+# Regenerate the golden-trace conformance digests after a deliberate
+# change to simulated behaviour or to the corpus itself.
+golden:
+	$(PY) -m repro.eval.parallel --write-golden tests/golden/conformance.json
+
+# Run the golden corpus sharded and check it against the digests.
+conformance:
+	$(PY) -m repro.eval.parallel --conformance --jobs 2
+
+# The full local CI gauntlet: lint, static kernel verification, the
+# tier-1 suite under a pinned hash seed, then a sharded golden
+# conformance run proving parallelism changes nothing.
+ci: lint verify
+	PYTHONHASHSEED=0 $(PY) -m pytest -x -q
+	$(PY) -m repro.eval.parallel --conformance --jobs 2

@@ -7,27 +7,35 @@ cache capacity — and measures the MPEG2 decoder kernel at each step,
 plus area and power of the endpoints.  This is the Figure 7 / Table 4
 machinery exposed as an interactive what-if tool.
 
-Run:  python examples/design_space.py
+Each step is an independent simulation, so the sweep is emitted as
+self-describing jobs and sharded by the parallel evaluation engine
+(:mod:`repro.eval.parallel`); the printed table is reassembled from
+the merged records in step order, so the output is identical for any
+``--jobs`` value.
+
+Run:  python examples/design_space.py [--jobs N]
 """
+
+import argparse
 
 from repro.core import TM3260_CONFIG, TM3270_CONFIG
 from repro.core.area import area_breakdown
 from repro.core.power import PowerModel
+from repro.eval.jobs import Job, JobOutput
 from repro.eval.mp3 import run_mp3_proxy
+from repro.eval.parallel import run_jobs
 from repro.eval.runner import run_case
 from repro.kernels.registry import kernel_by_name
 from repro.mem.cache import CacheGeometry
 from repro.mem.dcache import WriteMissPolicy
 
+KERNEL = "mpeg2_a"
 
-def main():
-    case = kernel_by_name("mpeg2_a")
-    print("Morphing the TM3260 into the TM3270, one decision at a "
-          "time\nworkload: mpeg2_a (highly disruptive motion field)\n")
 
+def design_steps():
+    """The morph sequence: (label, config), each layering one decision."""
     steps = [("TM3260 baseline (config A)", TM3260_CONFIG)]
     step = TM3260_CONFIG
-    # Each step layers one TM3270 decision on top of the previous.
     step = step.with_overrides(
         name="+ TM3270 core", target=TM3270_CONFIG.target,
         dcache=CacheGeometry(16 * 1024, 64, 8))
@@ -45,18 +53,60 @@ def main():
         name="TM3270 (config D)",
         dcache=CacheGeometry(128 * 1024, 128, 4))
     steps.append(("+ 128 KB data cache  (= TM3270)", step))
+    return steps
+
+
+def run_step_job(index: int) -> JobOutput:
+    """Job runner: measure one morph step (configs rebuilt by index so
+    the job stays a picklable, JSON-parameterized description)."""
+    from repro.obs.export import bench_record
+
+    label, config = design_steps()[index]
+    stats = run_case(kernel_by_name(KERNEL), config, verify=False,
+                     bench=False)
+    record = bench_record(stats)
+    record["step_index"] = index
+    return JobOutput(records=[record], summaries=[label])
+
+
+def step_jobs() -> list[Job]:
+    return [
+        Job(job_id=f"design_space/{index}", kind="design_space",
+            runner="design_space:run_step_job",
+            params={"index": index}, description=label)
+        for index, (label, _) in enumerate(design_steps())
+    ]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the sweep (default: os.cpu_count(); "
+             "1 = in-process)")
+    options = parser.parse_args()
+
+    print("Morphing the TM3260 into the TM3270, one decision at a "
+          f"time\nworkload: {KERNEL} (highly disruptive motion field)\n")
+    merged = run_jobs(step_jobs(), workers=options.jobs)
+    if not merged.ok:
+        for failure in merged.failures:
+            print(f"[{failure.status}] {failure.job.job_id}")
+        raise SystemExit(1)
 
     baseline_seconds = None
     print(f"{'configuration':<42} {'cycles':>9} {'CPI':>6} "
           f"{'us':>8} {'vs A':>6}")
     print("-" * 76)
-    for label, config in steps:
-        stats = run_case(case, config, verify=False)
+    for result in merged.results:
+        record = result.output.records[0]
+        label = result.output.summaries[0]
         if baseline_seconds is None:
-            baseline_seconds = stats.seconds
-        print(f"{label:<42} {stats.cycles:>9} {stats.cpi:>6.2f} "
-              f"{1e6 * stats.seconds:>8.1f} "
-              f"{baseline_seconds / stats.seconds:>6.2f}")
+            baseline_seconds = record["seconds"]
+        print(f"{label:<42} {record['cycles']:>9} "
+              f"{record['cpi']:>6.2f} "
+              f"{1e6 * record['seconds']:>8.1f} "
+              f"{baseline_seconds / record['seconds']:>6.2f}")
 
     print("\nEndpoint silicon cost (area model, 90 nm):")
     for config in (TM3260_CONFIG, TM3270_CONFIG):

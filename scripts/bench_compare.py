@@ -5,12 +5,19 @@ Usage::
 
     python scripts/bench_compare.py OLD.json NEW.json [--threshold 0.20]
 
-Records are matched by ``(kernel, config)``.  Two kinds of drift are
-checked:
+Records are matched by ``(kernel, config)`` — plus the ``job_id`` tag
+for merged files written by the parallel engine, so a merged sweep
+that legitimately carries several records per kernel/config point
+(e.g. a kernel job *and* an ablation citing the same kernel) compares
+per job rather than silently collapsing.  A tagged NEW record still
+matches an untagged OLD baseline.  Two kinds of drift are checked:
 
 * **simulator throughput** — for records carrying a ``sim_speed``
-  section (written by ``make perf``), ``instructions_per_sec`` in NEW
-  must not fall more than ``--threshold`` (default 20%) below OLD;
+  section (written by ``make perf``), the **median**
+  instructions-per-second in NEW must not fall more than
+  ``--threshold`` (default 20%) below OLD (the median, not the mean
+  or best-of, so one descheduled repeat under a loaded pool cannot
+  fail the gate; pre-median files fall back to the best-of field);
 * **simulated cycles** — for every matched pair, a change in
   ``cycles`` is reported (informational unless ``--strict-cycles``,
   which treats any cycle-count growth beyond the threshold as a
@@ -81,9 +88,33 @@ def verify_sources(documents: list[dict]) -> list[str]:
     return failures
 
 
-def _index(document: dict) -> dict[tuple[str, str], dict]:
-    return {(record["kernel"], record["config"]): record
-            for record in document["records"]}
+def _index(document: dict) -> dict[tuple[str, str, str], dict]:
+    """Index records by (kernel, config, job_id-or-"")."""
+    out: dict[tuple[str, str, str], dict] = {}
+    for record in document["records"]:
+        key = (record["kernel"], record["config"],
+               record.get("job_id", ""))
+        if key in out:
+            print(f"  warning: duplicate record for {key}, "
+                  "keeping the first", file=sys.stderr)
+            continue
+        out[key] = record
+    return out
+
+
+def _lookup(index: dict, key: tuple[str, str, str]) -> dict | None:
+    """Exact key, else the untagged (kernel, config) baseline."""
+    record = index.get(key)
+    if record is None and key[2]:
+        record = index.get((key[0], key[1], ""))
+    return record
+
+
+def _gate_rate(record: dict) -> float:
+    """The throughput the gate runs on: median when recorded."""
+    speed = record["sim_speed"]
+    return speed.get("median_instructions_per_sec",
+                     speed["instructions_per_sec"])
 
 
 def _fmt_rate(value: float) -> str:
@@ -96,14 +127,19 @@ def compare(old: dict, new: dict, threshold: float,
     failures: list[str] = []
     old_index, new_index = _index(old), _index(new)
 
-    for key in sorted(old_index.keys() - new_index.keys()):
+    matched_old = {
+        key for key in old_index
+        if any(_lookup(old_index, new_key) is old_index[key]
+               for new_key in new_index)
+    }
+    for key in sorted(old_index.keys() - matched_old):
         failures.append(f"{key[0]}/{key[1]}: missing from NEW file")
 
     for key in sorted(new_index):
-        kernel, config = key
-        name = f"{kernel}/{config}"
+        kernel, config, job_id = key
+        name = f"{kernel}/{config}" + (f" [{job_id}]" if job_id else "")
         new_record = new_index[key]
-        old_record = old_index.get(key)
+        old_record = _lookup(old_index, key)
         if old_record is None:
             print(f"  {name}: new record (no baseline)")
             continue
@@ -111,8 +147,8 @@ def compare(old: dict, new: dict, threshold: float,
         old_speed = old_record.get("sim_speed")
         new_speed = new_record.get("sim_speed")
         if old_speed and new_speed:
-            old_rate = old_speed["instructions_per_sec"]
-            new_rate = new_speed["instructions_per_sec"]
+            old_rate = _gate_rate(old_record)
+            new_rate = _gate_rate(new_record)
             change = new_rate / old_rate - 1.0
             line = (f"  {name}: {_fmt_rate(old_rate)} -> "
                     f"{_fmt_rate(new_rate)}  ({change:+.1%})")

@@ -60,8 +60,8 @@ def write_policy_ablation(kernel: str = "memcpy") -> Comparison:
     fetch = TM3270_CONFIG.with_overrides(
         name="TM3270-fetchwm", write_miss_policy=WriteMissPolicy.FETCH)
     return Comparison(
-        "fetch-on-write-miss", run_case(case, fetch),
-        "allocate-on-write-miss", run_case(case, allocate))
+        "fetch-on-write-miss", run_case(case, fetch, bench=False),
+        "allocate-on-write-miss", run_case(case, allocate, bench=False))
 
 
 def line_size_ablation(kernel: str = "mpeg2_a",
@@ -75,8 +75,10 @@ def line_size_ablation(kernel: str = "mpeg2_a",
         name="16K/128B", freq_mhz=240.0,
         dcache=CacheGeometry(capacity, 128, 4))
     return Comparison(
-        "128-byte lines", run_case(case, lines128, verify=False),
-        "64-byte lines", run_case(case, lines64, verify=False))
+        "128-byte lines", run_case(case, lines128, verify=False,
+                                   bench=False),
+        "64-byte lines", run_case(case, lines64, verify=False,
+                                  bench=False))
 
 
 def icache_mode_ablation(kernel: str = "filter") -> Comparison:
@@ -181,3 +183,16 @@ def prefetch_stride_sweep(width: int = 256, height: int = 64,
             stride, result.stats.dcache_stall_cycles,
             result.stats.cycles))
     return points
+
+
+#: Named registry of the pairwise ablations, so each can be emitted as
+#: a self-describing :class:`~repro.eval.jobs.Job` ("ablation/<name>")
+#: and sharded by the parallel engine.  Entries must be deterministic
+#: zero-argument callables returning a :class:`Comparison`.
+ABLATIONS: dict[str, object] = {
+    "write_policy": write_policy_ablation,
+    "line_size": line_size_ablation,
+    "icache_mode": icache_mode_ablation,
+    "two_slot": two_slot_ablation,
+    "collapsed_load": collapsed_load_ablation,
+}

@@ -1,0 +1,306 @@
+"""Self-describing evaluation jobs: the unit of sharded evaluation.
+
+Every evaluation artifact in this repository — a Table 5 kernel x
+configuration point, a simulator-throughput measurement, an ablation
+comparison, a figure panel — can be expressed as a :class:`Job`: a
+picklable, JSON-parameterized description of one unit of work.  The
+parallel engine (:mod:`repro.eval.parallel`) shards jobs across a
+worker pool; because a job carries only a dotted-path runner name and
+plain-data parameters, it crosses a ``multiprocessing`` boundary
+without dragging closures, compiled programs, or processor state along.
+
+A runner is any module-level function returning a :class:`JobOutput`:
+the run's bench records (``tm3270.bench/1`` dicts), its obs event
+stream (:class:`~repro.obs.events.Event` list, raw per-run cycle
+stamps — the merge step re-timestamps), and human-readable summary
+lines.  Runners must be *deterministic* for the conformance corpus:
+given the same parameters they produce byte-identical records, events,
+and summaries in any process (``tests/eval/test_parallel_conformance``
+holds the engine to that).
+
+Later PRs get sharding for free: define a runner, emit ``Job``s.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+
+#: Default per-job wall-clock budget (generous: workers time-share
+#: cores, so a loaded host can legitimately run several times slower
+#: than an idle serial sweep).
+DEFAULT_TIMEOUT = 300.0
+
+#: Default extra attempts after a first failure/timeout/crash.
+DEFAULT_RETRIES = 1
+
+
+@dataclass(frozen=True)
+class Job:
+    """One self-contained, picklable unit of evaluation work.
+
+    ``runner`` is a ``"package.module:function"`` dotted path resolved
+    in the worker process; ``params`` are its keyword arguments and
+    must stay JSON-serializable so the job remains self-describing
+    (:meth:`describe` round-trips through ``json``).
+    """
+
+    job_id: str
+    kind: str
+    runner: str
+    params: dict = field(default_factory=dict)
+    timeout: float = DEFAULT_TIMEOUT
+    retries: int = DEFAULT_RETRIES
+    description: str = ""
+
+    def describe(self) -> dict:
+        """JSON-safe description (raises if ``params`` are not)."""
+        payload = {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "runner": self.runner,
+            "params": self.params,
+            "timeout": self.timeout,
+            "retries": self.retries,
+            "description": self.description,
+        }
+        return json.loads(json.dumps(payload))
+
+
+@dataclass
+class JobOutput:
+    """What a runner returns: records, raw events, summary lines."""
+
+    records: list = field(default_factory=list)
+    events: list = field(default_factory=list)
+    summaries: list = field(default_factory=list)
+
+
+def resolve_runner(spec: str):
+    """``"module:function"`` -> the callable (importing the module)."""
+    module_name, sep, func_name = spec.partition(":")
+    if not sep or not module_name or not func_name:
+        raise ValueError(f"runner spec {spec!r} is not 'module:function'")
+    module = importlib.import_module(module_name)
+    try:
+        return getattr(module, func_name)
+    except AttributeError as error:
+        raise ValueError(
+            f"runner {spec!r}: module {module_name!r} has no "
+            f"attribute {func_name!r}") from error
+
+
+def execute_job(job: Job) -> JobOutput:
+    """Resolve and invoke one job's runner (in whatever process)."""
+    runner = resolve_runner(job.runner)
+    output = runner(**job.params)
+    if not isinstance(output, JobOutput):
+        raise TypeError(
+            f"job {job.job_id}: runner {job.runner} returned "
+            f"{type(output).__name__}, expected JobOutput")
+    return output
+
+
+# ---------------------------------------------------------------------------
+# Runners
+# ---------------------------------------------------------------------------
+
+def run_kernel_job(kernel: str, config: str, verify: bool = True,
+                   trace: bool = False) -> JobOutput:
+    """One Table 5 kernel on one evaluation configuration.
+
+    With ``trace`` the run captures its obs event stream (cycle
+    stamps are per-run; the merge step rebases them).
+    """
+    from repro.asm.link import compile_program
+    from repro.core.config import EVALUATION_CONFIGS
+    from repro.core.processor import run_kernel
+    from repro.kernels.registry import kernel_by_name
+    from repro.mem.flatmem import FlatMemory
+    from repro.obs.events import EventBus
+    from repro.obs.export import bench_record
+
+    case = kernel_by_name(kernel)
+    by_name = {cfg.name: cfg for cfg in EVALUATION_CONFIGS}
+    cfg = by_name[config]
+    linked = compile_program(case.build(), cfg.target)
+    memory = FlatMemory(case.memory_size)
+    args = case.prepare(memory)
+    bus = EventBus() if trace else None
+    result = run_kernel(linked, cfg, args=args, memory=memory, obs=bus)
+    if verify:
+        case.verify(memory, result)
+    return JobOutput(records=[bench_record(result.stats)],
+                     events=list(bus.events) if bus else [],
+                     summaries=[result.stats.summary()])
+
+
+def run_perf_job(case: str, repeats: int = 3) -> JobOutput:
+    """One simulator-throughput measurement (fast vs reference path).
+
+    Wall-clock fields are inherently nondeterministic; the simulated
+    statistics inside the record stay deterministic.
+    """
+    from repro.eval.perf import (
+        format_measurement,
+        measure_case,
+        perf_cases,
+        perf_record,
+    )
+
+    by_name = {candidate.name: candidate for candidate in perf_cases()}
+    measurement = measure_case(by_name[case], repeats=repeats)
+    return JobOutput(records=[perf_record(measurement)],
+                     summaries=[format_measurement(measurement)])
+
+
+def run_ablation_job(name: str) -> JobOutput:
+    """One named ablation comparison (see ``eval/ablations.ABLATIONS``)."""
+    from repro.eval.ablations import ABLATIONS
+    from repro.obs.export import bench_record
+
+    comparison = ABLATIONS[name]()
+    records = [bench_record(comparison.stats_a),
+               bench_record(comparison.stats_b)]
+    summary = (f"ablation {name}: {comparison.label_a} -> "
+               f"{comparison.label_b}  speedup {comparison.speedup:.2f}x")
+    return JobOutput(records=records, summaries=[summary])
+
+
+def run_fig1_job() -> JobOutput:
+    """Figure 1 panel: compressed-encoding size rows (deterministic)."""
+    from repro.eval import fig1
+
+    rows = fig1.run_fig1()
+    summaries = [fig1.format_fig1(rows)]
+    for row in rows:
+        assert row.roundtrip_ok, row
+    return JobOutput(summaries=summaries)
+
+
+def run_fault_job(mode: str = "ok", seconds: float = 0.0,
+                  scratch: str = "") -> JobOutput:
+    """Test-support runner that misbehaves on demand.
+
+    Exists so the fault-injection suite
+    (``tests/eval/test_parallel_faults.py``) can exercise the pool's
+    retry/quarantine machinery with jobs that are still ordinary,
+    picklable :class:`Job` instances:
+
+    * ``ok`` — succeed immediately;
+    * ``raise`` — raise from inside the runner;
+    * ``hang`` — sleep ``seconds`` (drive the per-job timeout);
+    * ``exit`` — kill the worker process outright (``os._exit``);
+    * ``flaky`` — fail on the first attempt, succeed on the next
+      (``scratch`` names a marker file recording the first attempt).
+    """
+    if mode == "raise":
+        raise RuntimeError("injected failure (run_fault_job)")
+    if mode == "hang":
+        time.sleep(seconds)
+    elif mode == "exit":
+        os._exit(3)
+    elif mode == "flaky":
+        if not os.path.exists(scratch):
+            with open(scratch, "w", encoding="utf-8") as handle:
+                handle.write("first attempt\n")
+            raise RuntimeError("injected flaky failure (first attempt)")
+    elif mode != "ok":
+        raise ValueError(f"unknown fault mode {mode!r}")
+    return JobOutput(summaries=[f"fault:{mode} completed"])
+
+
+# ---------------------------------------------------------------------------
+# Enumeration: the standard job graphs
+# ---------------------------------------------------------------------------
+
+def kernel_jobs(kernels: list[str] | None = None,
+                configs: list[str] | None = None,
+                verify: bool = True,
+                trace: bool = False) -> list[Job]:
+    """Kernel x configuration grid, in the serial sweep's order."""
+    from repro.core.config import EVALUATION_CONFIGS
+    from repro.kernels.registry import TABLE5_KERNELS
+
+    kernels = kernels or [case.name for case in TABLE5_KERNELS]
+    configs = configs or [config.name for config in EVALUATION_CONFIGS
+                          if config.name in ("A", "D")]
+    return [
+        Job(job_id=f"kernel/{kernel}/{config}", kind="kernel",
+            runner="repro.eval.jobs:run_kernel_job",
+            params={"kernel": kernel, "config": config,
+                    "verify": verify, "trace": trace},
+            description=f"Table 5 kernel {kernel} on config {config}")
+        for kernel in kernels
+        for config in configs
+    ]
+
+
+def perf_jobs(cases: list[str] | None = None,
+              repeats: int = 3) -> list[Job]:
+    """Simulator-throughput measurements, one job per perf case."""
+    from repro.eval.perf import perf_cases
+
+    names = cases or [case.name for case in perf_cases()]
+    return [
+        Job(job_id=f"perf/{name}", kind="perf",
+            runner="repro.eval.jobs:run_perf_job",
+            params={"case": name, "repeats": repeats},
+            description=f"simulator throughput, {name}")
+        for name in names
+    ]
+
+
+def ablation_jobs(names: list[str] | None = None) -> list[Job]:
+    """The named ablation comparisons as jobs."""
+    from repro.eval.ablations import ABLATIONS
+
+    return [
+        Job(job_id=f"ablation/{name}", kind="ablation",
+            runner="repro.eval.jobs:run_ablation_job",
+            params={"name": name},
+            description=f"ablation study: {name}")
+        for name in (names or sorted(ABLATIONS))
+    ]
+
+
+def figure_jobs() -> list[Job]:
+    """Deterministic figure/table panels currently expressed as jobs."""
+    return [
+        Job(job_id="fig1/encoding", kind="figure",
+            runner="repro.eval.jobs:run_fig1_job", params={},
+            description="Figure 1: compressed VLIW encoding sizes"),
+    ]
+
+
+def enumerate_jobs() -> list[Job]:
+    """The full standard evaluation graph, in deterministic order."""
+    return (kernel_jobs() + ablation_jobs() + figure_jobs()
+            + perf_jobs(repeats=1))
+
+
+def conformance_jobs() -> list[Job]:
+    """The golden-trace corpus: a fixed, fast, *deterministic* job set.
+
+    Chosen so a full run stays in the low seconds while covering every
+    deterministic runner family and both traced and untraced kernels
+    (perf jobs carry wall-clock timings and are deliberately absent).
+    The set, its order, and its parameters are part of the golden
+    contract — changing any of them requires ``make golden``.
+    """
+    jobs = kernel_jobs(
+        kernels=["memset", "memcpy", "filter", "filmdet",
+                 "majority_sel", "rgb2cmyk"],
+        configs=["A", "D"])
+    traced = kernel_jobs(kernels=["memset", "filmdet"], configs=["D"],
+                         trace=True)
+    for index, job in enumerate(traced):
+        traced[index] = Job(
+            job_id=job.job_id + "/trace", kind=job.kind,
+            runner=job.runner, params=job.params,
+            timeout=job.timeout, retries=job.retries,
+            description=job.description + " (traced)")
+    return jobs + traced + ablation_jobs(["two_slot"]) + figure_jobs()

@@ -1,0 +1,678 @@
+"""Parallel sharded evaluation engine with deterministic merge.
+
+The single biggest wall-clock cost in this repository is evaluation:
+figure panels, table rows, ablation sweeps, and kernel x configuration
+grids are embarrassingly parallel across independent simulator
+instances, yet the drivers ran them strictly sequentially.  This
+module runs any list of :class:`~repro.eval.jobs.Job` across a
+``multiprocessing`` worker pool and merges the results so the output
+is **byte-identical to a serial run**:
+
+* **deterministic sharding** — shard ``i`` of ``N`` owns
+  ``jobs[i::N]`` (round-robin by enumeration index; no dependence on
+  completion order, hash seeds, or scheduler timing);
+* **isolation** — each shard runs in its own worker process; a worker
+  that raises, hangs past its job's timeout, or dies outright fails
+  *that job* (bounded retry, then quarantine), never the sweep;
+* **deterministic merge** — results are reassembled in original job
+  order.  Bench records are tagged with ``job_id``; obs event streams
+  are re-timestamped onto one monotone timeline by rebasing each job's
+  cycle stamps on the cumulative span of all *earlier jobs in job
+  order* (per-job, not per-shard, so the merged stream is invariant
+  under the worker count).
+
+``--jobs 1`` executes in-process and is the reference semantics; the
+golden-trace conformance corpus (``tests/golden/``) pins ``--jobs N``
+to it byte for byte.  Engine telemetry (dispatch/retry/timeout events,
+per-worker utilization) lives in the ``parallel`` obs group and is
+kept out of the merged stream: wall-clock is honest telemetry, and
+honest wall-clock is not deterministic.
+
+CLI::
+
+    python -m repro.eval.parallel [--jobs N] [--bench-out PATH]
+    python -m repro.eval.parallel --conformance [--jobs N]
+    python -m repro.eval.parallel --write-golden PATH
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import threading
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.eval.jobs import Job, JobOutput, execute_job
+from repro.obs.events import Event, EventBus
+
+#: Seconds allowed for a worker process to come up and report its
+#: first ``start`` message (on top of the first job's own timeout).
+SPAWN_GRACE = 60.0
+
+#: Statuses a finished job can end in.
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"          # runner raised, retries exhausted
+STATUS_TIMEOUT = "timeout"        # exceeded Job.timeout, retries exhausted
+STATUS_CRASHED = "crashed"        # worker process died, retries exhausted
+
+
+def _context():
+    """Fork when available (cheap, inherits warm caches); else default."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def default_jobs() -> int:
+    """The default worker count: every core the host offers."""
+    return os.cpu_count() or 1
+
+
+def shard(jobs: list[Job], num_shards: int) -> list[list[Job]]:
+    """Round-robin by enumeration index: shard ``i`` owns ``jobs[i::N]``.
+
+    Purely positional, so the assignment is reproducible across runs,
+    hosts, and hash seeds.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    return [jobs[index::num_shards] for index in range(num_shards)]
+
+
+# ---------------------------------------------------------------------------
+# Results
+# ---------------------------------------------------------------------------
+
+@dataclass
+class JobResult:
+    """Outcome of one job (successful or quarantined)."""
+
+    job: Job
+    status: str
+    output: JobOutput | None = None
+    error: str = ""
+    attempts: int = 1
+    wall_seconds: float = 0.0
+    worker: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+
+@dataclass
+class PoolStats:
+    """Engine telemetry: what the pool did and how busy workers were."""
+
+    num_workers: int = 0
+    dispatched: int = 0
+    completed: int = 0
+    retried: int = 0
+    timed_out: int = 0
+    crashed: int = 0
+    failed: int = 0
+    wall_seconds: float = 0.0
+    worker_busy_seconds: dict = field(default_factory=dict)
+
+    @property
+    def busy_seconds(self) -> float:
+        return sum(self.worker_busy_seconds.values())
+
+    @property
+    def speedup_vs_serial(self) -> float:
+        """Aggregate job seconds / engine wall seconds (an estimate of
+        the wall-clock win over running the same jobs back to back)."""
+        if not self.wall_seconds:
+            return 0.0
+        return self.busy_seconds / self.wall_seconds
+
+    def utilization(self, worker: int) -> float:
+        if not self.wall_seconds:
+            return 0.0
+        return self.worker_busy_seconds.get(worker, 0.0) / self.wall_seconds
+
+    def metrics(self, registry=None):
+        """Project into the unified registry (``parallel`` group)."""
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = registry or MetricsRegistry()
+        jobs = registry.counter(
+            "parallel_jobs_total",
+            "parallel-engine job dispositions", ("event",))
+        jobs.labels("dispatched").inc(self.dispatched)
+        jobs.labels("completed").inc(self.completed)
+        jobs.labels("retried").inc(self.retried)
+        jobs.labels("timed_out").inc(self.timed_out)
+        jobs.labels("crashed").inc(self.crashed)
+        jobs.labels("failed").inc(self.failed)
+        registry.gauge("parallel_workers", "worker pool size"
+                       ).set(self.num_workers)
+        registry.gauge("parallel_wall_seconds",
+                       "engine wall-clock for the sweep"
+                       ).set(self.wall_seconds)
+        registry.gauge("parallel_speedup_vs_serial",
+                       "aggregate job seconds / engine wall seconds"
+                       ).set(self.speedup_vs_serial)
+        busy = registry.gauge(
+            "parallel_worker_busy_seconds",
+            "seconds each worker spent executing jobs", ("worker",))
+        util = registry.gauge(
+            "parallel_worker_utilization",
+            "busy fraction of the engine wall per worker", ("worker",))
+        for worker in sorted(self.worker_busy_seconds):
+            busy.labels(str(worker)).set(self.worker_busy_seconds[worker])
+            util.labels(str(worker)).set(self.utilization(worker))
+        return registry
+
+    def summary(self) -> str:
+        return (f"parallel: {self.completed}/{self.dispatched} jobs ok "
+                f"on {self.num_workers} worker(s) in "
+                f"{self.wall_seconds:.2f}s (retried {self.retried}, "
+                f"timed out {self.timed_out}, crashed {self.crashed}, "
+                f"failed {self.failed}; "
+                f"{self.speedup_vs_serial:.2f}x vs back-to-back)")
+
+
+@dataclass
+class MergedRun:
+    """The deterministic merge of a sweep, in original job order."""
+
+    results: list[JobResult]
+    pool: PoolStats
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    @property
+    def failures(self) -> list[JobResult]:
+        return [result for result in self.results if not result.ok]
+
+    @property
+    def records(self) -> list[dict]:
+        """Bench records in job order, each tagged with its job_id."""
+        out: list[dict] = []
+        for result in self.results:
+            if result.output is None:
+                continue
+            for record in result.output.records:
+                out.append({**record, "job_id": result.job.job_id})
+        return out
+
+    @property
+    def summaries(self) -> list[str]:
+        out: list[str] = []
+        for result in self.results:
+            if result.output is not None:
+                out.extend(result.output.summaries)
+        return out
+
+    @property
+    def events(self) -> list[Event]:
+        """One monotone merged stream: each job's events rebased on the
+        cumulative span of earlier jobs (job order, so the stream is
+        identical for any worker count) and tagged with ``job_id``."""
+        merged: list[Event] = []
+        base = 0
+        for result in self.results:
+            if result.output is None or not result.output.events:
+                continue
+            span = 0
+            for event in result.output.events:
+                merged.append(Event(
+                    base + event.ts, event.cat, event.name, event.dur,
+                    event.track,
+                    {**event.args, "job_id": result.job.job_id}))
+                span = max(span, event.ts + event.dur)
+            base += span + 1
+        return merged
+
+    def digests(self) -> dict:
+        """Stable SHA-256 digests of the three merged output surfaces."""
+        records = json.dumps(self.records, sort_keys=True,
+                             separators=(",", ":"))
+        stats = "\n".join(self.summaries)
+        events = json.dumps(
+            [[event.ts, event.cat, event.name, event.dur, event.track,
+              sorted(event.args.items())] for event in self.events],
+            sort_keys=True, separators=(",", ":"), default=str)
+        return {
+            "records": hashlib.sha256(records.encode()).hexdigest(),
+            "stats": hashlib.sha256(stats.encode()).hexdigest(),
+            "events": hashlib.sha256(events.encode()).hexdigest(),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+def _worker_main(jobs: list[Job], conn) -> None:
+    """Run a shard's jobs in order, reporting over ``conn``.
+
+    Protocol (all messages are tuples):
+      ``("start", job_id)`` then ``("done", job_id, output, seconds)``
+      or ``("error", job_id, traceback, seconds)`` per job.  Exceptions
+      are contained per job; only a hard process death (os._exit,
+      signal) ends the stream early.
+    """
+    for job in jobs:
+        conn.send(("start", job.job_id))
+        began = time.perf_counter()
+        try:
+            output = execute_job(job)
+        except BaseException:
+            conn.send(("error", job.job_id, traceback.format_exc(),
+                       time.perf_counter() - began))
+        else:
+            conn.send(("done", job.job_id, output,
+                       time.perf_counter() - began))
+    conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Supervisor side
+# ---------------------------------------------------------------------------
+
+class _ShardSupervisor:
+    """Owns one shard: spawns workers, enforces timeouts, retries."""
+
+    def __init__(self, shard_index: int, jobs: list[Job], ctx,
+                 obs: EventBus | None) -> None:
+        self.shard_index = shard_index
+        self.ctx = ctx
+        self.obs = obs
+        #: (job, attempts_remaining); attempts = 1 + retries.
+        self.pending = deque((job, 1 + job.retries) for job in jobs)
+        self.results: dict[str, JobResult] = {}
+        self.busy_seconds = 0.0
+        self.retried = 0
+        self.t0 = time.perf_counter()
+
+    def _emit(self, kind: str, job: Job, **extra) -> None:
+        if self.obs:
+            ts = int((time.perf_counter() - self.t0) * 1e6)
+            self.obs.parallel(ts, kind, job_id=job.job_id,
+                              worker=self.shard_index, **extra)
+
+    def _finish(self, job: Job, attempts_used: int, status: str,
+                output: JobOutput | None = None, error: str = "",
+                seconds: float = 0.0) -> None:
+        self.results[job.job_id] = JobResult(
+            job=job, status=status, output=output, error=error,
+            attempts=attempts_used, wall_seconds=seconds,
+            worker=self.shard_index)
+        self.busy_seconds += seconds
+
+    def _spawn(self):
+        payload = [job for job, _ in self.pending]
+        parent_conn, child_conn = self.ctx.Pipe(duplex=False)
+        process = self.ctx.Process(
+            target=_worker_main, args=(payload, child_conn), daemon=True)
+        process.start()
+        child_conn.close()
+        return process, parent_conn, payload
+
+    def _reap(self, process) -> None:
+        process.terminate()
+        process.join(5.0)
+        if process.is_alive():  # pragma: no cover - stuck in kernel
+            process.kill()
+            process.join(5.0)
+
+    def _charge_failure(self, status: str, seconds: float,
+                        error: str) -> None:
+        """The in-flight job died or timed out: retry or quarantine."""
+        job, attempts = self.pending.popleft()
+        self.busy_seconds += min(seconds, job.timeout)
+        self._emit(status, job)
+        if attempts > 1:
+            self.retried += 1
+            self.pending.appendleft((job, attempts - 1))
+        else:
+            self._finish(job, 1 + job.retries, status, error=error)
+
+    def _attempt_number(self, job: Job, attempts_remaining: int) -> int:
+        return (1 + job.retries) - attempts_remaining + 1
+
+    def run(self) -> None:
+        """Drive the shard to completion (including retries).
+
+        Each worker session walks the current ``pending`` snapshot in
+        order; runner exceptions are contained worker-side (the worker
+        keeps going, the job is deferred for retry), while timeouts and
+        process deaths end the session and a fresh worker resumes the
+        rest of the shard.
+        """
+        sessions_without_progress = 0
+        while self.pending:
+            process, conn, payload = self._spawn()
+            deferred: deque = deque()  # retryable runner errors
+            current: Job | None = None
+            progressed = False
+            started = time.perf_counter()
+            deadline = started + SPAWN_GRACE + payload[0].timeout
+            while self.pending:
+                remaining = deadline - time.perf_counter()
+                try:
+                    ready = remaining > 0 and conn.poll(remaining)
+                except (EOFError, OSError):  # pragma: no cover
+                    ready, remaining = False, 1.0  # treat as a death
+                if not ready:
+                    if remaining > 0 and process.is_alive():
+                        continue  # spurious wakeup
+                    self._reap(process)
+                    if current is not None:
+                        status = (STATUS_TIMEOUT if remaining <= 0
+                                  else STATUS_CRASHED)
+                        seconds = time.perf_counter() - started
+                        self._charge_failure(
+                            status, seconds,
+                            f"job {status} after {seconds:.1f}s "
+                            f"(timeout {current.timeout:.0f}s)")
+                        progressed = True
+                    break
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    # Pipe closed: clean end of the payload, or a death
+                    # (e.g. os._exit) mid-job.
+                    if current is not None:
+                        self._reap(process)
+                        self._charge_failure(
+                            STATUS_CRASHED,
+                            time.perf_counter() - started,
+                            "worker process died mid-job")
+                        progressed = True
+                    break
+                kind = message[0]
+                if kind == "start":
+                    current = self.pending[0][0]
+                    assert message[1] == current.job_id, message
+                    started = time.perf_counter()
+                    deadline = started + current.timeout
+                    self._emit("dispatch", current)
+                    continue
+                job, attempts = self.pending.popleft()
+                assert message[1] == job.job_id, message
+                progressed = True
+                current = None
+                if kind == "done":
+                    _, _, output, seconds = message
+                    self._finish(job, self._attempt_number(job, attempts),
+                                 STATUS_OK, output=output,
+                                 seconds=seconds)
+                    self._emit("complete", job, seconds=seconds)
+                elif kind == "error":
+                    _, _, error_text, seconds = message
+                    self.busy_seconds += seconds
+                    self._emit("error", job)
+                    if attempts > 1:
+                        self.retried += 1
+                        deferred.append((job, attempts - 1))
+                    else:
+                        self._finish(job, 1 + job.retries, STATUS_FAILED,
+                                     error=error_text, seconds=seconds)
+                else:  # pragma: no cover - protocol error
+                    raise RuntimeError(f"unknown message {message!r}")
+                deadline = (time.perf_counter() + SPAWN_GRACE
+                            + (self.pending[0][0].timeout
+                               if self.pending else 0.0))
+            self.pending.extend(deferred)
+            if process.is_alive():
+                process.join(0.2)
+                if process.is_alive():
+                    self._reap(process)
+            conn.close()
+            # A worker that keeps dying before making any progress must
+            # not respawn forever: quarantine the whole remainder.
+            sessions_without_progress = \
+                0 if progressed else sessions_without_progress + 1
+            if sessions_without_progress >= 3 and self.pending:
+                while self.pending:
+                    job, _ = self.pending.popleft()
+                    self._finish(job, 1 + job.retries, STATUS_CRASHED,
+                                 error="worker died repeatedly before "
+                                 "reaching this job")
+                break
+
+
+def _run_serial(jobs: list[Job], obs: EventBus | None) -> MergedRun:
+    """``--jobs 1``: in-process execution, the reference semantics.
+
+    Exceptions still quarantine the job (no retry: a deterministic
+    runner fails identically on every in-process attempt); timeouts
+    and crash containment need process isolation and only apply to
+    the multiprocess path.
+    """
+    t0 = time.perf_counter()
+    results: list[JobResult] = []
+    stats = PoolStats(num_workers=1, dispatched=len(jobs))
+    for job in jobs:
+        if obs:
+            obs.parallel(int((time.perf_counter() - t0) * 1e6),
+                         "dispatch", job_id=job.job_id, worker=0)
+        began = time.perf_counter()
+        try:
+            output = execute_job(job)
+        except Exception:
+            seconds = time.perf_counter() - began
+            results.append(JobResult(
+                job=job, status=STATUS_FAILED,
+                error=traceback.format_exc(), wall_seconds=seconds))
+            stats.failed += 1
+        else:
+            seconds = time.perf_counter() - began
+            results.append(JobResult(
+                job=job, status=STATUS_OK, output=output,
+                wall_seconds=seconds))
+            stats.completed += 1
+        stats.worker_busy_seconds[0] = \
+            stats.worker_busy_seconds.get(0, 0.0) + seconds
+    stats.wall_seconds = time.perf_counter() - t0
+    return MergedRun(results=results, pool=stats)
+
+
+def run_jobs(jobs: list[Job], workers: int | None = None,
+             obs: EventBus | None = None) -> MergedRun:
+    """Run ``jobs`` over ``workers`` processes; merge deterministically.
+
+    ``workers=None`` uses every core (:func:`default_jobs`);
+    ``workers=1`` runs in-process (the reference path).  The merged
+    records/summaries/events are byte-identical for every worker
+    count; only :class:`PoolStats` (telemetry) differs.
+    """
+    jobs = list(jobs)
+    workers = workers or default_jobs()
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    ids = [job.job_id for job in jobs]
+    if len(set(ids)) != len(ids):
+        raise ValueError("job_ids must be unique within a sweep")
+    if workers == 1 or len(jobs) <= 1:
+        return _run_serial(jobs, obs)
+
+    t0 = time.perf_counter()
+    ctx = _context()
+    shards = [candidate for candidate in shard(jobs, workers)
+              if candidate]
+    supervisors = [
+        _ShardSupervisor(index, shard_jobs, ctx, obs)
+        for index, shard_jobs in enumerate(shards)
+    ]
+    threads = [threading.Thread(target=supervisor.run, daemon=True)
+               for supervisor in supervisors]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    stats = PoolStats(num_workers=len(shards), dispatched=len(jobs))
+    stats.wall_seconds = time.perf_counter() - t0
+    by_id: dict[str, JobResult] = {}
+    for supervisor in supervisors:
+        by_id.update(supervisor.results)
+        stats.retried += supervisor.retried
+        stats.worker_busy_seconds[supervisor.shard_index] = \
+            supervisor.busy_seconds
+    results = [by_id[job.job_id] for job in jobs]
+    for result in results:
+        if result.status == STATUS_OK:
+            stats.completed += 1
+        elif result.status == STATUS_TIMEOUT:
+            stats.timed_out += 1
+        elif result.status == STATUS_CRASHED:
+            stats.crashed += 1
+        else:
+            stats.failed += 1
+    return MergedRun(results=results, pool=stats)
+
+
+# ---------------------------------------------------------------------------
+# Golden digests
+# ---------------------------------------------------------------------------
+
+GOLDEN_SCHEMA = "tm3270.golden/1"
+
+
+def golden_document(merged: MergedRun, jobs: list[Job]) -> dict:
+    return {
+        "schema": GOLDEN_SCHEMA,
+        "jobs": [job.job_id for job in jobs],
+        "digests": merged.digests(),
+    }
+
+
+def default_golden_path():
+    import pathlib
+
+    root = pathlib.Path(__file__).resolve().parents[3]
+    return root / "tests" / "golden" / "conformance.json"
+
+
+def check_conformance(merged: MergedRun, jobs: list[Job],
+                      golden_path=None) -> list[str]:
+    """Compare a merged run against the stored golden digests."""
+    path = golden_path or default_golden_path()
+    with open(path, "r", encoding="utf-8") as handle:
+        golden = json.load(handle)
+    problems = []
+    if golden.get("schema") != GOLDEN_SCHEMA:
+        problems.append(f"golden schema is {golden.get('schema')!r}, "
+                        f"expected {GOLDEN_SCHEMA!r}")
+        return problems
+    expected_ids = [job.job_id for job in jobs]
+    if golden.get("jobs") != expected_ids:
+        problems.append(
+            "golden job list differs from the corpus (regenerate with "
+            "'make golden' if the corpus changed deliberately)")
+    digests = merged.digests()
+    for surface, value in golden.get("digests", {}).items():
+        if digests.get(surface) != value:
+            problems.append(
+                f"{surface} digest mismatch: got "
+                f"{digests.get(surface)}, golden {value}")
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    from repro.eval.jobs import conformance_jobs, enumerate_jobs
+    from repro.obs.export import write_bench
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval.parallel",
+        description="Sharded evaluation engine: run the standard job "
+                    "graph, or check/regenerate the golden-trace "
+                    "conformance corpus.")
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (default: os.cpu_count(); 1 = run "
+             "in-process)")
+    parser.add_argument(
+        "--bench-out", default=None, metavar="PATH",
+        help="write the merged bench records here")
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write the merged (re-timestamped) event stream as a "
+             "Chrome trace")
+    parser.add_argument(
+        "--conformance", action="store_true",
+        help="run the golden corpus and verify digests against "
+             "tests/golden/conformance.json")
+    parser.add_argument(
+        "--write-golden", default=None, metavar="PATH",
+        help="run the golden corpus and (re)write the digest file")
+    options = parser.parse_args(argv)
+
+    if options.conformance or options.write_golden:
+        jobs = conformance_jobs()
+    else:
+        jobs = enumerate_jobs()
+    merged = run_jobs(jobs, workers=options.jobs)
+
+    for line in merged.summaries:
+        print(line)
+    print(merged.pool.summary())
+    for failure in merged.failures:
+        print(f"[{failure.status}] {failure.job.job_id} "
+              f"(attempts={failure.attempts})")
+        if failure.error:
+            print("    " + failure.error.strip().splitlines()[-1])
+
+    if options.bench_out:
+        write_bench(options.bench_out, merged.records)
+        print(f"wrote {len(merged.records)} merged bench records to "
+              f"{options.bench_out}")
+    if options.trace:
+        from repro.obs.export import write_chrome_trace
+
+        write_chrome_trace(options.trace, merged.events)
+        print(f"wrote {len(merged.events)} merged events to "
+              f"{options.trace}")
+
+    if options.write_golden:
+        if not merged.ok:
+            print("refusing to write golden digests from a failing run")
+            return 1
+        document = golden_document(merged, jobs)
+        os.makedirs(os.path.dirname(options.write_golden) or ".",
+                    exist_ok=True)
+        with open(options.write_golden, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=1)
+            handle.write("\n")
+        print(f"wrote golden digests to {options.write_golden}")
+        return 0
+    if options.conformance:
+        problems = check_conformance(merged, jobs)
+        if not merged.ok:
+            problems.append(f"{len(merged.failures)} corpus job(s) "
+                            "failed")
+        if problems:
+            print("conformance FAILED:")
+            for problem in problems:
+                print(f"  - {problem}")
+            return 1
+        print("conformance OK: merged output matches the golden "
+              "digests")
+        return 0
+    return merged.exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

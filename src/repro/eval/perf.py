@@ -14,15 +14,26 @@ reference runs of a case must produce *identical* :class:`RunStats`
 statistics), or :func:`measure_case` raises.  Throughput numbers are
 only reported for runs proven equivalent.
 
+Measurement is pinned to ``time.perf_counter_ns`` (the monotonic
+high-resolution clock; float ``perf_counter`` loses resolution on long
+uptimes) and every repeat's raw sample is recorded, so noise under
+load — e.g. when the parallel engine co-schedules measurements — is
+visible in the record instead of silently folded into a best-of.
+``scripts/bench_compare.py`` gates on the **median**, which a single
+descheduled repeat cannot move.
+
 Records ride on the standard ``tm3270.bench/1`` schema with one extra
-numeric section::
+section::
 
     "sim_speed": {
-        "instructions_per_sec": ...,     # fast path
+        "instructions_per_sec": ...,     # fast path, best repeat
         "wall_seconds": ...,             # fast path, best of N
+        "median_instructions_per_sec": ...,  # fast path, median repeat
+        "median_wall_seconds": ...,
         "reference_instructions_per_sec": ...,
         "reference_wall_seconds": ...,
-        "speedup_vs_reference": ...,
+        "speedup_vs_reference": ...,     # of the medians
+        "samples_ns": {"fast": [...], "reference": [...]},
     }
 
 ``python -m repro.eval.runner --perf`` writes the suite to
@@ -32,6 +43,7 @@ and ``scripts/bench_compare.py`` diffs two such files in CI.
 
 from __future__ import annotations
 
+import statistics
 import time
 from dataclasses import dataclass
 from functools import lru_cache
@@ -62,16 +74,41 @@ class PerfCase:
 
 @dataclass(frozen=True)
 class PerfMeasurement:
-    """Fast vs reference wall-clock for one case (stats proven equal)."""
+    """Fast vs reference wall-clock for one case (stats proven equal).
+
+    Raw per-repeat samples (``*_samples_ns``) are kept alongside the
+    best-of aggregates; the median properties are the noise-robust
+    view the regression gate consumes.
+    """
 
     case_name: str
     stats: RunStats
-    fast_seconds: float
-    reference_seconds: float
+    fast_samples_ns: tuple[int, ...]
+    reference_samples_ns: tuple[int, ...]
+
+    @property
+    def fast_seconds(self) -> float:
+        return min(self.fast_samples_ns) / 1e9
+
+    @property
+    def reference_seconds(self) -> float:
+        return min(self.reference_samples_ns) / 1e9
+
+    @property
+    def median_fast_seconds(self) -> float:
+        return statistics.median(self.fast_samples_ns) / 1e9
+
+    @property
+    def median_reference_seconds(self) -> float:
+        return statistics.median(self.reference_samples_ns) / 1e9
 
     @property
     def instructions_per_sec(self) -> float:
         return self.stats.instructions / self.fast_seconds
+
+    @property
+    def median_instructions_per_sec(self) -> float:
+        return self.stats.instructions / self.median_fast_seconds
 
     @property
     def reference_instructions_per_sec(self) -> float:
@@ -79,7 +116,8 @@ class PerfMeasurement:
 
     @property
     def speedup(self) -> float:
-        return self.reference_seconds / self.fast_seconds
+        """Median-over-median: robust to one descheduled repeat."""
+        return self.median_reference_seconds / self.median_fast_seconds
 
 
 # ---------------------------------------------------------------------------
@@ -163,18 +201,20 @@ def perf_cases() -> list[PerfCase]:
 
 def _timed_run(program, case: PerfCase, config: ProcessorConfig,
                fast: bool):
+    """One run under ``time.perf_counter_ns`` (monotonic, integer ns)."""
     memory = FlatMemory(case.memory_size)
     args = case.prepare(memory)
     processor = Processor(config, memory=memory)
-    start = time.perf_counter()
+    start = time.perf_counter_ns()
     result = processor.run(program, args=args, fast=fast)
-    return result, time.perf_counter() - start
+    return result, time.perf_counter_ns() - start
 
 
 def measure_case(case: PerfCase,
                  config: ProcessorConfig = TM3270_CONFIG,
                  repeats: int = 3) -> PerfMeasurement:
-    """Best-of-``repeats`` wall time for both paths, stats verified equal.
+    """``repeats`` interleaved wall-time samples for both paths, stats
+    verified equal.
 
     Raises ``AssertionError`` if the fast path's statistics diverge
     from the reference interpreter's — a throughput number for a run
@@ -183,15 +223,14 @@ def measure_case(case: PerfCase,
     program = compile_program(case.build(), config.target)
     program.plan()  # compile the plan outside the timed region
 
-    fast_result, fast_seconds = None, float("inf")
-    ref_result, ref_seconds = None, float("inf")
+    fast_result, ref_result = None, None
+    fast_samples: list[int] = []
+    ref_samples: list[int] = []
     for _ in range(repeats):
-        result, seconds = _timed_run(program, case, config, fast=True)
-        if seconds < fast_seconds:
-            fast_result, fast_seconds = result, seconds
-        result, seconds = _timed_run(program, case, config, fast=False)
-        if seconds < ref_seconds:
-            ref_result, ref_seconds = result, seconds
+        fast_result, nanos = _timed_run(program, case, config, fast=True)
+        fast_samples.append(nanos)
+        ref_result, nanos = _timed_run(program, case, config, fast=False)
+        ref_samples.append(nanos)
 
     assert fast_result.stats == ref_result.stats, (
         f"{case.name}: fast path diverged from reference "
@@ -199,8 +238,8 @@ def measure_case(case: PerfCase,
     return PerfMeasurement(
         case_name=case.name,
         stats=fast_result.stats,
-        fast_seconds=fast_seconds,
-        reference_seconds=ref_seconds,
+        fast_samples_ns=tuple(fast_samples),
+        reference_samples_ns=tuple(ref_samples),
     )
 
 
@@ -210,10 +249,17 @@ def perf_record(measurement: PerfMeasurement) -> dict:
     record["sim_speed"] = {
         "instructions_per_sec": measurement.instructions_per_sec,
         "wall_seconds": measurement.fast_seconds,
+        "median_instructions_per_sec":
+            measurement.median_instructions_per_sec,
+        "median_wall_seconds": measurement.median_fast_seconds,
         "reference_instructions_per_sec":
             measurement.reference_instructions_per_sec,
         "reference_wall_seconds": measurement.reference_seconds,
         "speedup_vs_reference": measurement.speedup,
+        "samples_ns": {
+            "fast": list(measurement.fast_samples_ns),
+            "reference": list(measurement.reference_samples_ns),
+        },
     }
     return record
 

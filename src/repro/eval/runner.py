@@ -10,7 +10,11 @@ with the ``REPRO_BENCH_OUT`` environment variable or
 :meth:`BenchSink.set_path`.
 
 Run ``python -m repro.eval.runner --bench-out BENCH_pr1.json`` to
-regenerate the trajectory mechanically (see :func:`main`).
+regenerate the trajectory mechanically (see :func:`main`).  Sweeps
+and ``--perf`` benchmarks execute through the sharded job engine
+(:mod:`repro.eval.parallel`); ``--jobs N`` picks the worker count
+(default ``os.cpu_count()``) and the merged output is byte-identical
+for every value.
 """
 
 from __future__ import annotations
@@ -146,17 +150,46 @@ def _run_verify() -> int:
 
 
 def _run_perf(options) -> int:
-    """``--perf``: simulator-throughput suite -> BENCH_sim_speed.json."""
-    from repro.eval.perf import run_perf
+    """``--perf``: simulator-throughput suite -> BENCH_sim_speed.json.
 
+    Cases are sharded across the worker pool (``--jobs``); note that
+    co-scheduled measurement adds wall-clock noise, which is why the
+    records carry per-repeat raw samples and the regression gate
+    (``scripts/bench_compare.py``) works on the median.
+    """
+    from repro.eval.jobs import perf_jobs
+    from repro.eval.parallel import run_jobs
+    from repro.eval.perf import perf_cases
+
+    names = None
+    if options.kernels:
+        known = {case.name for case in perf_cases()}
+        names = [name.strip() for name in options.kernels.split(",")]
+        unknown = [name for name in names if name not in known]
+        if unknown:
+            raise SystemExit(f"unknown perf case(s) {unknown} "
+                             f"(choose from {sorted(known)})")
     path = (pathlib.Path(options.bench_out) if options.bench_out
             else _default_bench_path().with_name("BENCH_sim_speed.json"))
-    records = _profiled(
+    jobs = perf_jobs(cases=names, repeats=options.repeats)
+    merged = _profiled(
         options.profile,
-        lambda: run_perf(repeats=options.repeats, report=print))
-    write_bench(path, records)
-    print(f"\nwrote {len(records)} sim-speed records to {path}")
-    return 0
+        lambda: run_jobs(jobs, workers=options.jobs))
+    for line in merged.summaries:
+        print(line)
+    _report_failures(merged)
+    write_bench(path, merged.records)
+    print(f"\n{merged.pool.summary()}")
+    print(f"wrote {len(merged.records)} sim-speed records to {path}")
+    return merged.exit_code
+
+
+def _report_failures(merged) -> None:
+    for failure in merged.failures:
+        print(f"[{failure.status}] {failure.job.job_id} "
+              f"(attempts={failure.attempts})")
+        if failure.error:
+            print("    " + failure.error.strip().splitlines()[-1])
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -196,6 +229,15 @@ def main(argv: list[str] | None = None) -> int:
         "--repeats", type=int, default=3, metavar="N",
         help="--perf: wall-clock repeats per case, best-of (default 3)")
     parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the sweep (default: os.cpu_count(); "
+             "1 = in-process). Merged output is byte-identical for "
+             "every worker count.")
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="capture each run's obs events and write the merged "
+             "(re-timestamped, job_id-tagged) Chrome trace here")
+    parser.add_argument(
         "--profile", action="store_true",
         help="dump a cProfile report of the run to stdout")
     options = parser.parse_args(argv)
@@ -226,19 +268,31 @@ def main(argv: list[str] | None = None) -> int:
     sink = BenchSink(options.bench_out) if options.bench_out \
         else BENCH_SINK
 
-    def work():
-        for case in kernels:
-            for config in configs:
-                stats = run_case(case, config,
-                                 verify=not options.no_verify,
-                                 bench=False)
-                sink.records.append(bench_record(stats))
-                print(stats.summary())
+    from repro.eval.jobs import kernel_jobs
+    from repro.eval.parallel import run_jobs
 
-    _profiled(options.profile, work)
+    jobs = kernel_jobs(
+        kernels=[case.name for case in kernels],
+        configs=[config.name for config in configs],
+        verify=not options.no_verify,
+        trace=bool(options.trace))
+    merged = _profiled(
+        options.profile,
+        lambda: run_jobs(jobs, workers=options.jobs))
+    for line in merged.summaries:
+        print(line)
+    _report_failures(merged)
+    sink.records.extend(merged.records)
     sink.flush()
-    print(f"\nwrote {len(sink.records)} bench records to {sink.path}")
-    return 0
+    if options.trace:
+        from repro.obs.export import write_chrome_trace
+
+        write_chrome_trace(options.trace, merged.events)
+        print(f"wrote {len(merged.events)} merged events to "
+              f"{options.trace}")
+    print(f"\n{merged.pool.summary()}")
+    print(f"wrote {len(sink.records)} bench records to {sink.path}")
+    return merged.exit_code
 
 
 if __name__ == "__main__":

@@ -25,9 +25,10 @@ CAT_ICACHE = "icache"
 CAT_PREFETCH = "prefetch"
 CAT_CABAC = "cabac"
 CAT_VERIFY = "verify"
+CAT_PARALLEL = "parallel"
 
 CATEGORIES = (CAT_PIPELINE, CAT_DCACHE, CAT_ICACHE, CAT_PREFETCH,
-              CAT_CABAC, CAT_VERIFY)
+              CAT_CABAC, CAT_VERIFY, CAT_PARALLEL)
 
 
 @dataclass(frozen=True)
@@ -137,6 +138,14 @@ class EventBus:
         """Static-verifier finding (ts = instruction index)."""
         self.emit(ts, CAT_VERIFY, rule, track="verify",
                   severity=severity, **extra)
+
+    def parallel(self, ts: int, kind: str, *, job_id: str,
+                 worker: int, **extra) -> None:
+        """Parallel-engine lifecycle event (ts = engine microseconds;
+        telemetry only — never part of the deterministic merged
+        stream)."""
+        self.emit(ts, CAT_PARALLEL, kind, track=f"worker:{worker}",
+                  job_id=job_id, worker=worker, **extra)
 
     # -- inspection ---------------------------------------------------------
 

@@ -1,0 +1,178 @@
+"""Unit tests for the job model and the engine's deterministic merge.
+
+The conformance corpus (`test_parallel_conformance`) proves the whole
+pipeline end to end; these tests pin the individual contracts — job
+picklability and self-description, positional sharding, job-order
+merge, per-job event re-timestamping, digest stability, and the
+``parallel`` metrics group — so a failure localizes.
+"""
+
+import json
+import pickle
+
+from repro.eval.jobs import (
+    Job,
+    JobOutput,
+    conformance_jobs,
+    execute_job,
+    kernel_jobs,
+    resolve_runner,
+    run_fault_job,
+)
+from repro.eval.parallel import (
+    JobResult,
+    MergedRun,
+    PoolStats,
+    run_jobs,
+    shard,
+)
+from repro.obs.events import CAT_PARALLEL, Event, EventBus
+
+
+def _fault(job_id, **params):
+    return Job(job_id=job_id, kind="fault",
+               runner="repro.eval.jobs:run_fault_job", params=params)
+
+
+class TestJobModel:
+    def test_job_pickles(self):
+        job = kernel_jobs(["memset"], ["A"])[0]
+        clone = pickle.loads(pickle.dumps(job))
+        assert clone == job
+
+    def test_describe_is_json_round_trippable(self):
+        for job in conformance_jobs():
+            description = job.describe()
+            assert description == json.loads(json.dumps(description))
+            assert description["runner"].count(":") == 1
+
+    def test_resolve_runner(self):
+        assert resolve_runner(
+            "repro.eval.jobs:run_fault_job") is run_fault_job
+
+    def test_resolve_runner_rejects_bad_specs(self):
+        for spec in ("no_colon", "repro.eval.jobs:missing_fn", ":x"):
+            try:
+                resolve_runner(spec)
+            except ValueError:
+                continue
+            raise AssertionError(f"{spec!r} should not resolve")
+
+    def test_execute_job_runs_the_runner(self):
+        output = execute_job(_fault("f", mode="ok"))
+        assert isinstance(output, JobOutput)
+        assert output.summaries == ["fault:ok completed"]
+
+    def test_kernel_jobs_preserve_serial_sweep_order(self):
+        jobs = kernel_jobs(["memset", "memcpy"], ["A", "D"])
+        assert [job.job_id for job in jobs] == [
+            "kernel/memset/A", "kernel/memset/D",
+            "kernel/memcpy/A", "kernel/memcpy/D"]
+
+
+class TestSharding:
+    def test_round_robin_by_index(self):
+        jobs = [_fault(f"j{i}", mode="ok") for i in range(7)]
+        shards = shard(jobs, 3)
+        assert [job.job_id for job in shards[0]] == ["j0", "j3", "j6"]
+        assert [job.job_id for job in shards[1]] == ["j1", "j4"]
+        assert [job.job_id for job in shards[2]] == ["j2", "j5"]
+
+    def test_covers_every_job_exactly_once(self):
+        jobs = [_fault(f"j{i}", mode="ok") for i in range(11)]
+        for workers in (1, 2, 3, 4, 16):
+            flat = [job for part in shard(jobs, workers) for job in part]
+            assert sorted(job.job_id for job in flat) == \
+                sorted(job.job_id for job in jobs)
+
+    def test_more_shards_than_jobs(self):
+        jobs = [_fault("only", mode="ok")]
+        shards = shard(jobs, 4)
+        assert shards[0] == jobs
+        assert all(not part for part in shards[1:])
+
+
+def _result(job_id, events=(), records=(), summaries=()):
+    return JobResult(
+        job=_fault(job_id, mode="ok"), status="ok",
+        output=JobOutput(records=list(records), events=list(events),
+                         summaries=list(summaries)))
+
+
+class TestMerge:
+    def test_records_in_job_order_and_tagged(self):
+        merged = MergedRun(results=[
+            _result("a", records=[{"kernel": "k1"}]),
+            _result("b", records=[{"kernel": "k2"}, {"kernel": "k3"}]),
+        ], pool=PoolStats())
+        assert [record["job_id"] for record in merged.records] == \
+            ["a", "b", "b"]
+        assert [record["kernel"] for record in merged.records] == \
+            ["k1", "k2", "k3"]
+
+    def test_events_rebased_per_job(self):
+        first = [Event(0, "dcache", "hit"), Event(9, "dcache", "miss",
+                                                  dur=3)]
+        second = [Event(0, "dcache", "hit"), Event(5, "dcache", "hit")]
+        merged = MergedRun(results=[
+            _result("a", events=first), _result("b", events=second),
+        ], pool=PoolStats())
+        stamps = [(event.ts, event.args["job_id"])
+                  for event in merged.events]
+        # Job a spans [0, 12]; job b rebases to 13.
+        assert stamps == [(0, "a"), (9, "a"), (13, "b"), (18, "b")]
+
+    def test_merged_events_invariant_under_grouping(self):
+        # The same per-job streams merged in job order must not depend
+        # on which worker produced them — only the job list matters.
+        events = [Event(i, "pipeline", "instr") for i in range(4)]
+        runs = [
+            MergedRun(results=[_result("a", events=events),
+                               _result("b", events=events)],
+                      pool=PoolStats(num_workers=n))
+            for n in (1, 2, 7)
+        ]
+        digests = {run.digests()["events"] for run in runs}
+        assert len(digests) == 1
+
+    def test_digests_are_stable_and_sensitive(self):
+        base = MergedRun(results=[_result("a", summaries=["s"])],
+                         pool=PoolStats())
+        same = MergedRun(results=[_result("a", summaries=["s"])],
+                         pool=PoolStats(num_workers=9, wall_seconds=4.2))
+        other = MergedRun(results=[_result("a", summaries=["t"])],
+                          pool=PoolStats())
+        assert base.digests() == same.digests()  # telemetry excluded
+        assert base.digests()["stats"] != other.digests()["stats"]
+
+
+class TestEngineBasics:
+    def test_duplicate_job_ids_rejected(self):
+        jobs = [_fault("dup", mode="ok"), _fault("dup", mode="ok")]
+        try:
+            run_jobs(jobs, workers=1)
+        except ValueError as error:
+            assert "unique" in str(error)
+        else:
+            raise AssertionError("duplicate job_ids must be rejected")
+
+    def test_serial_engine_emits_parallel_telemetry(self):
+        bus = EventBus()
+        merged = run_jobs([_fault("a", mode="ok")], workers=1, obs=bus)
+        assert merged.ok
+        kinds = [event.name for event in bus.by_category(CAT_PARALLEL)]
+        assert "dispatch" in kinds
+
+    def test_pool_metrics_group(self):
+        stats = PoolStats(num_workers=2, dispatched=5, completed=4,
+                          retried=1, failed=1, wall_seconds=2.0,
+                          worker_busy_seconds={0: 1.0, 1: 2.0})
+        registry = stats.metrics()
+        assert registry.value("parallel_jobs_total",
+                              event="completed") == 4
+        assert registry.value("parallel_jobs_total", event="retried") == 1
+        assert registry.value("parallel_workers") == 2
+        assert registry.value("parallel_worker_utilization",
+                              worker="0") == 0.5
+        assert registry.value("parallel_speedup_vs_serial") == 1.5
+        assert stats.utilization(1) == 1.0

@@ -1,0 +1,116 @@
+"""Golden-trace conformance: parallelism may never change results.
+
+The contract of :mod:`repro.eval.parallel` is that a sharded sweep is
+*byte-identical* to a serial one: same bench records, same stats
+summaries, same merged (re-timestamped, ``job_id``-tagged) event
+stream.  This suite runs the fixed corpus
+(:func:`repro.eval.jobs.conformance_jobs`) at ``--jobs 1`` and
+``--jobs 4`` and pins both against each other **and** against the
+checked-in digests in ``tests/golden/conformance.json``.
+
+The stored digests additionally pin simulated behaviour over time: a
+PR that changes cycle counts, event emission, or record contents shows
+up here even if it is self-consistent across worker counts.  After a
+*deliberate* behaviour or corpus change, regenerate with
+``make golden`` and commit the new file.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.eval.jobs import conformance_jobs
+from repro.eval.parallel import (
+    GOLDEN_SCHEMA,
+    check_conformance,
+    default_golden_path,
+    golden_document,
+    run_jobs,
+)
+
+GOLDEN_PATH = pathlib.Path(__file__).resolve().parents[2] \
+    / "tests" / "golden" / "conformance.json"
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return conformance_jobs()
+
+
+@pytest.fixture(scope="module")
+def serial(corpus):
+    merged = run_jobs(corpus, workers=1)
+    assert merged.ok, [(f.job.job_id, f.error) for f in merged.failures]
+    return merged
+
+
+@pytest.fixture(scope="module")
+def sharded(corpus):
+    merged = run_jobs(corpus, workers=4)
+    assert merged.ok, [(f.job.job_id, f.error) for f in merged.failures]
+    return merged
+
+
+class TestParallelEqualsSerial:
+    def test_records_identical(self, serial, sharded):
+        assert serial.records == sharded.records
+
+    def test_summaries_identical(self, serial, sharded):
+        assert serial.summaries == sharded.summaries
+
+    def test_event_streams_identical(self, serial, sharded):
+        assert serial.events == sharded.events
+
+    def test_digests_identical(self, serial, sharded):
+        assert serial.digests() == sharded.digests()
+
+    def test_sharded_run_used_multiple_workers(self, sharded):
+        assert sharded.pool.num_workers == 4
+        busy_workers = [worker for worker, seconds
+                        in sharded.pool.worker_busy_seconds.items()
+                        if seconds > 0]
+        assert len(busy_workers) == 4
+
+    def test_event_stream_is_monotone_and_tagged(self, serial, corpus):
+        stamps = [event.ts for event in serial.events]
+        assert stamps == sorted(stamps)
+        ids = {event.args["job_id"] for event in serial.events}
+        traced = {job.job_id for job in corpus
+                  if job.params.get("trace")}
+        assert ids == traced
+
+
+class TestGoldenDigests:
+    def test_golden_file_checked_in(self):
+        assert GOLDEN_PATH.is_file(), \
+            "tests/golden/conformance.json missing (run 'make golden')"
+        assert default_golden_path() == GOLDEN_PATH
+
+    def test_golden_schema(self):
+        document = json.loads(GOLDEN_PATH.read_text())
+        assert document["schema"] == GOLDEN_SCHEMA
+        assert set(document["digests"]) == {"records", "stats", "events"}
+
+    def test_serial_matches_golden(self, serial, corpus):
+        problems = check_conformance(serial, corpus, GOLDEN_PATH)
+        assert not problems, "\n".join(
+            problems + ["(after a deliberate simulator/corpus change, "
+                        "regenerate with 'make golden')"])
+
+    def test_sharded_matches_golden(self, sharded, corpus):
+        assert not check_conformance(sharded, corpus, GOLDEN_PATH)
+
+    def test_corpus_job_list_matches_golden(self, corpus):
+        document = json.loads(GOLDEN_PATH.read_text())
+        assert document["jobs"] == [job.job_id for job in corpus]
+
+    def test_check_conformance_detects_drift(self, serial, corpus,
+                                             tmp_path):
+        document = golden_document(serial, corpus)
+        document["digests"]["records"] = "0" * 64
+        doctored = tmp_path / "doctored.json"
+        doctored.write_text(json.dumps(document))
+        problems = check_conformance(serial, corpus, doctored)
+        assert any("records digest mismatch" in problem
+                   for problem in problems)

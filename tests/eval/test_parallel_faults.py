@@ -1,0 +1,132 @@
+"""Fault injection against the worker pool.
+
+A production sweep dispatches hundreds of jobs; the engine's promise
+is that one misbehaving job costs *that job*, never the sweep.  These
+tests drive the three failure modes through real worker processes —
+a runner that raises, a runner that hangs past its timeout, and a
+worker killed outright with ``os._exit`` — and assert the bounded
+retry, quarantine, exit-code, and survivor guarantees.
+"""
+
+import time
+
+from repro.eval.jobs import Job
+from repro.eval.parallel import (
+    STATUS_CRASHED,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    run_jobs,
+)
+
+RUNNER = "repro.eval.jobs:run_fault_job"
+
+
+def _job(job_id, mode, retries=0, timeout=60.0, **params):
+    return Job(job_id=job_id, kind="fault", runner=RUNNER,
+               params={"mode": mode, **params},
+               timeout=timeout, retries=retries)
+
+
+def _ok_jobs(count):
+    return [_job(f"ok/{index}", "ok") for index in range(count)]
+
+
+def _by_id(merged):
+    return {result.job.job_id: result for result in merged.results}
+
+
+class TestRaisingWorker:
+    def test_raise_quarantined_survivors_complete(self):
+        jobs = [_job("boom", "raise")] + _ok_jobs(3)
+        merged = run_jobs(jobs, workers=2)
+        results = _by_id(merged)
+        assert results["boom"].status == STATUS_FAILED
+        assert "injected failure" in results["boom"].error
+        for index in range(3):
+            assert results[f"ok/{index}"].status == STATUS_OK
+        assert merged.exit_code == 1
+        assert merged.pool.failed == 1
+        assert merged.pool.completed == 3
+
+    def test_failed_job_contributes_no_output(self):
+        merged = run_jobs([_job("boom", "raise")] + _ok_jobs(1),
+                          workers=2)
+        assert _by_id(merged)["boom"].output is None
+        assert merged.records == []  # fault jobs emit no bench records
+
+    def test_deterministic_failure_retries_then_fails(self):
+        merged = run_jobs([_job("boom", "raise", retries=2)]
+                          + _ok_jobs(1), workers=2)
+        result = _by_id(merged)["boom"]
+        assert result.status == STATUS_FAILED
+        assert result.attempts == 3
+        assert merged.pool.retried == 2
+
+    def test_flaky_job_succeeds_on_retry(self, tmp_path):
+        scratch = tmp_path / "first-attempt.marker"
+        jobs = [_job("flaky", "flaky", retries=1,
+                     scratch=str(scratch))] + _ok_jobs(1)
+        merged = run_jobs(jobs, workers=2)
+        result = _by_id(merged)["flaky"]
+        assert result.status == STATUS_OK
+        assert result.attempts == 2
+        assert merged.pool.retried == 1
+        assert merged.exit_code == 0
+
+
+class TestHangingWorker:
+    def test_hang_times_out_and_survivors_complete(self):
+        jobs = [_job("hang", "hang", seconds=60.0, timeout=1.0)] \
+            + _ok_jobs(2)
+        began = time.perf_counter()
+        merged = run_jobs(jobs, workers=2)
+        elapsed = time.perf_counter() - began
+        results = _by_id(merged)
+        assert results["hang"].status == STATUS_TIMEOUT
+        assert results["ok/0"].status == STATUS_OK
+        assert results["ok/1"].status == STATUS_OK
+        assert merged.exit_code == 1
+        assert merged.pool.timed_out == 1
+        # The 60s sleep must have been killed, not waited out.
+        assert elapsed < 30.0
+
+    def test_timeout_retry_consumes_attempts(self):
+        jobs = [_job("hang", "hang", seconds=60.0, timeout=0.5,
+                     retries=1)] + _ok_jobs(1)
+        merged = run_jobs(jobs, workers=2)
+        result = _by_id(merged)["hang"]
+        assert result.status == STATUS_TIMEOUT
+        assert result.attempts == 2
+        assert merged.pool.retried == 1
+
+
+class TestDyingWorker:
+    def test_os_exit_is_contained(self):
+        jobs = [_job("die", "exit")] + _ok_jobs(2)
+        merged = run_jobs(jobs, workers=2)
+        results = _by_id(merged)
+        assert results["die"].status == STATUS_CRASHED
+        assert results["ok/0"].status == STATUS_OK
+        assert results["ok/1"].status == STATUS_OK
+        assert merged.exit_code == 1
+        assert merged.pool.crashed == 1
+
+    def test_crash_retry_then_quarantine(self):
+        jobs = [_job("die", "exit", retries=1)] + _ok_jobs(1)
+        merged = run_jobs(jobs, workers=2)
+        result = _by_id(merged)["die"]
+        assert result.status == STATUS_CRASHED
+        assert result.attempts == 2
+        assert merged.pool.retried == 1
+
+    def test_jobs_behind_the_crash_still_run(self):
+        # Shard 0 owns die, ok/1, ok/3 (round-robin): the jobs queued
+        # *behind* the crash on the same shard must still complete on
+        # the respawned worker.
+        jobs = [_job("die", "exit")] + _ok_jobs(4)
+        merged = run_jobs(jobs, workers=2)
+        results = _by_id(merged)
+        assert results["die"].status == STATUS_CRASHED
+        for index in range(4):
+            assert results[f"ok/{index}"].status == STATUS_OK, index

@@ -1,0 +1,119 @@
+"""Subprocess smoke tests for the ``repro.eval.runner`` CLI.
+
+Each documented flag combination is exercised end to end through a
+real ``python -m repro.eval.runner`` invocation, asserting the exit
+status and that the promised artifact files appear where the help text
+says they do (bench files validate against the ``tm3270.bench/1``
+schema; traces parse as Chrome ``trace_event`` JSON).
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+from repro.obs.export import read_bench
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def _run(*argv, check=True):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro.eval.runner", *argv],
+        capture_output=True, text=True, env=env, cwd=ROOT, timeout=600)
+    if check:
+        assert completed.returncode == 0, completed.stderr
+    return completed
+
+
+class TestSweepFlags:
+    def test_kernels_configs_jobs_bench_out_trace(self, tmp_path):
+        bench = tmp_path / "bench.json"
+        trace = tmp_path / "trace.json"
+        completed = _run(
+            "--kernels", "memset,filmdet", "--configs", "A,D",
+            "--jobs", "2", "--bench-out", str(bench),
+            "--trace", str(trace))
+        document = read_bench(bench)  # validates the schema
+        assert [record["job_id"] for record in document["records"]] == [
+            "kernel/memset/A", "kernel/memset/D",
+            "kernel/filmdet/A", "kernel/filmdet/D"]
+        assert "memset on A:" in completed.stdout
+        assert "parallel:" in completed.stdout
+        payload = json.loads(trace.read_text())
+        assert payload["traceEvents"], "trace must not be empty"
+        tagged = [event for event in payload["traceEvents"]
+                  if event.get("args", {}).get("job_id")]
+        assert tagged, "merged trace events must carry job_id tags"
+
+    def test_serial_and_sharded_bench_files_identical(self, tmp_path):
+        serial, sharded = tmp_path / "s1.json", tmp_path / "s4.json"
+        _run("--kernels", "memset,memcpy", "--configs", "D",
+             "--jobs", "1", "--bench-out", str(serial))
+        _run("--kernels", "memset,memcpy", "--configs", "D",
+             "--jobs", "4", "--bench-out", str(sharded))
+        assert serial.read_text() == sharded.read_text()
+
+    def test_no_verify_flag(self, tmp_path):
+        bench = tmp_path / "bench.json"
+        _run("--kernels", "memset", "--configs", "A", "--no-verify",
+             "--jobs", "1", "--bench-out", str(bench))
+        assert read_bench(bench)["records"]
+
+    def test_unknown_kernel_is_a_usage_error(self, tmp_path):
+        completed = _run("--kernels", "nosuchkernel",
+                         "--bench-out", str(tmp_path / "x.json"),
+                         check=False)
+        assert completed.returncode == 2
+        assert "unknown kernel" in completed.stderr
+
+
+class TestVerifyFlag:
+    def test_verify_runs_static_analysis(self):
+        completed = _run("--verify")
+        assert "programs verified clean" in completed.stdout
+        # --verify takes precedence over a sweep: no bench line.
+        assert "bench records" not in completed.stdout
+
+
+class TestPerfFlags:
+    def test_perf_writes_sim_speed_records(self, tmp_path):
+        bench = tmp_path / "BENCH_sim_speed.json"
+        completed = _run("--perf", "--kernels", "memcpy",
+                         "--repeats", "2", "--jobs", "1",
+                         "--bench-out", str(bench))
+        document = read_bench(bench)
+        (record,) = document["records"]
+        assert record["job_id"] == "perf/memcpy"
+        speed = record["sim_speed"]
+        assert len(speed["samples_ns"]["fast"]) == 2
+        assert len(speed["samples_ns"]["reference"]) == 2
+        assert speed["median_instructions_per_sec"] > 0
+        assert "speedup" in completed.stdout
+
+    def test_perf_unknown_case_fails(self, tmp_path):
+        completed = _run("--perf", "--kernels", "nosuchcase",
+                         "--bench-out", str(tmp_path / "x.json"),
+                         check=False)
+        assert completed.returncode != 0
+        assert "unknown perf case" in completed.stderr
+
+
+class TestParallelCli:
+    def test_conformance_entry_point(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH") else "")
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.eval.parallel",
+             "--conformance", "--jobs", "2"],
+            capture_output=True, text=True, env=env, cwd=ROOT,
+            timeout=600)
+        assert completed.returncode == 0, \
+            completed.stdout + completed.stderr
+        assert "conformance OK" in completed.stdout
