@@ -10,7 +10,7 @@ JOBS ?=
 JOBSFLAG := $(if $(JOBS),--jobs $(JOBS),)
 
 .PHONY: test fast slow bench benchmarks eval perf trace verify lint \
-	golden conformance ci
+	golden conformance inject inject-golden ci
 
 # Tier-1 verification: the whole unit/property suite.
 test:
@@ -77,9 +77,23 @@ golden:
 conformance:
 	$(PY) -m repro.eval.parallel --conformance --jobs 2
 
+# Seeded soft-error smoke campaign through the sharded engine,
+# digest-pinned like the golden corpus: the merged records/events must
+# match tests/golden/fault_campaign.json at any JOBS level.  Also
+# refreshes benchmarks/results/BENCH_fault_tolerance.json.
+inject:
+	$(PY) -m repro.resilience --check --jobs 2
+
+# Regenerate the pinned fault-campaign digests after a deliberate
+# change to the resilience layer, the campaign shape, or timing.
+inject-golden:
+	$(PY) -m repro.resilience --write-golden
+
 # The full local CI gauntlet: lint, static kernel verification, the
-# tier-1 suite under a pinned hash seed, then a sharded golden
-# conformance run proving parallelism changes nothing.
+# tier-1 suite under a pinned hash seed, then sharded golden
+# conformance + fault-campaign runs proving parallelism changes
+# nothing.
 ci: lint verify
 	PYTHONHASHSEED=0 $(PY) -m pytest -x -q
 	$(PY) -m repro.eval.parallel --conformance --jobs 2
+	$(PY) -m repro.resilience --check --jobs 2

@@ -21,7 +21,15 @@ matches an untagged OLD baseline.  Two kinds of drift are checked:
 * **simulated cycles** — for every matched pair, a change in
   ``cycles`` is reported (informational unless ``--strict-cycles``,
   which treats any cycle-count growth beyond the threshold as a
-  failure too).
+  failure too);
+* **fault tolerance** — for records carrying a ``fault_tolerance``
+  section (written by ``make inject`` /
+  ``BENCH_fault_tolerance.json``), any growth in the silent-data-
+  corruption count for the same campaign cell is a failure, as is a
+  drop in the detection rate — a protection model that stops
+  detecting the faults it used to detect has regressed, whatever the
+  throughput numbers say.  Recovery-overhead drift is reported
+  informationally.
 
 Exit status is 0 when nothing regressed, 1 otherwise — wire it into CI
 after ``make perf`` to keep the fast path fast.
@@ -121,6 +129,36 @@ def _fmt_rate(value: float) -> str:
     return f"{value / 1e3:8.1f}k instr/s"
 
 
+def _compare_faults(name: str, old_faults: dict,
+                    new_faults: dict) -> list[str]:
+    """Gate one campaign cell's fault-tolerance section.
+
+    SDC growth and detection-rate drops fail unconditionally (no
+    threshold: a single new silent corruption is a real regression in
+    a deterministic seeded campaign); recovery-overhead drift is
+    informational, since the checkpoint cadence is a tuning knob.
+    """
+    failures: list[str] = []
+    old_sdc, new_sdc = old_faults["sdc"], new_faults["sdc"]
+    old_det = old_faults["detection_rate"]
+    new_det = new_faults["detection_rate"]
+    if new_sdc > old_sdc:
+        failures.append(
+            f"{name}: silent data corruptions grew "
+            f"{old_sdc} -> {new_sdc}")
+    if new_det < old_det:
+        failures.append(
+            f"{name}: fault detection rate fell "
+            f"{old_det:.1%} -> {new_det:.1%}")
+    old_ovh = old_faults["recovery_overhead"]
+    new_ovh = new_faults["recovery_overhead"]
+    if (new_sdc, new_det, new_ovh) != (old_sdc, old_det, old_ovh):
+        print(f"  {name}: sdc {old_sdc} -> {new_sdc}, "
+              f"detection {old_det:.1%} -> {new_det:.1%}, "
+              f"recovery overhead {old_ovh:.1%} -> {new_ovh:.1%}")
+    return failures
+
+
 def compare(old: dict, new: dict, threshold: float,
             strict_cycles: bool = False) -> list[str]:
     """Return a list of failure messages (empty = no regressions)."""
@@ -159,6 +197,12 @@ def compare(old: dict, new: dict, threshold: float,
                     f"threshold is {threshold:.0%}")
                 line += "  REGRESSION"
             print(line)
+
+        old_faults = old_record.get("fault_tolerance")
+        new_faults = new_record.get("fault_tolerance")
+        if old_faults and new_faults:
+            failures.extend(
+                _compare_faults(name, old_faults, new_faults))
 
         old_cycles = old_record["cycles"]
         new_cycles = new_record["cycles"]

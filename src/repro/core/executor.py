@@ -159,6 +159,23 @@ class Executor:
                 for fu, count in zip(self._plan.fu_list, self._fu_totals)
                 if count}
 
+    def snapshot_state(self) -> tuple:
+        """Capture architectural + sequencing state (resilience layer).
+
+        ``_pending_jump`` is an immutable tuple (or ``None``); the FU
+        totals list and the register file need real copies.
+        """
+        return (self.pc, self.issue_count, self._pending_jump,
+                self._fu_totals[:], self.regfile.snapshot_state())
+
+    def restore_state(self, state: tuple) -> None:
+        pc, issue_count, pending_jump, fu_totals, regfile = state
+        self.pc = pc
+        self.issue_count = issue_count
+        self._pending_jump = pending_jump
+        self._fu_totals = fu_totals[:]
+        self.regfile.restore_state(regfile)
+
     @property
     def halted(self) -> bool:
         return self.pc >= len(self.program.instructions)

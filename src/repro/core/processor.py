@@ -16,6 +16,18 @@ implementation-side timing of Sections 3 and 4:
 Because the TriMedia pipeline stalls as a whole (no out-of-order
 machinery), cycle accounting is simply ``instructions + stall cycles``
 — the structure the paper itself uses when it reasons about CPI.
+
+Execution is structured as a *session*: :meth:`Processor.begin` sets a
+run up, :meth:`Processor.step_block` advances it by any number of
+instructions, and :meth:`Processor.result` finalizes the statistics.
+:meth:`Processor.run` is the one-shot composition of the three and
+remains the API virtually every caller uses.  The split exists for the
+resilience layer (:mod:`repro.resilience`): between blocks the machine
+is at an instruction boundary, where :meth:`Processor.snapshot` /
+:meth:`Processor.restore` can capture or roll back the *complete*
+machine state — registers (including in-flight writes), both caches'
+tags/validity/dirtiness, prefetch regions and queue, bus and SDRAM
+occupancy, flat memory, and every statistics counter.
 """
 
 from __future__ import annotations
@@ -38,6 +50,30 @@ from repro.obs.events import EventBus
 #: data addresses never alias in the caches.
 CODE_BASE = 0x0080_0000
 
+#: ``max_cycles=None`` sentinel: far beyond any simulated run.
+_NO_WATCHDOG = 1 << 62
+
+
+class WatchdogTimeout(RuntimeError):
+    """A run exceeded its ``max_cycles`` budget (hang detector).
+
+    Structured so the resilience layer's outcome classifier (and any
+    other caller) can read the run's vital signs off the exception
+    instead of parsing the message.
+    """
+
+    def __init__(self, program_name: str, config_name: str,
+                 cycles: int, instructions: int, max_cycles: int) -> None:
+        super().__init__(
+            f"{program_name}: watchdog fired at cycle {cycles} "
+            f"(limit {max_cycles}, {instructions} instructions "
+            f"retired) on {config_name}")
+        self.program_name = program_name
+        self.config_name = config_name
+        self.cycles = cycles
+        self.instructions = instructions
+        self.max_cycles = max_cycles
+
 
 @dataclass
 class RunResult:
@@ -50,6 +86,38 @@ class RunResult:
     def reg(self, preg: int) -> int:
         """Final committed value of a physical register."""
         return self.regfile.peek(preg)
+
+
+@dataclass
+class MachineSnapshot:
+    """Opaque capture of the complete machine state at an instruction
+    boundary (produced by :meth:`Processor.snapshot`).
+
+    Component payloads are whatever each component's
+    ``snapshot_state()`` returns; only the matching ``restore_state()``
+    should interpret them.
+    """
+
+    session: tuple
+    executor: tuple
+    memory: bytes
+    dcache: tuple
+    icache: tuple
+    prefetch: tuple
+    biu: tuple
+
+
+class _RunSession:
+    """Mutable loop state of one in-progress run (between blocks)."""
+
+    __slots__ = (
+        "program", "executor", "stats", "fast", "step",
+        "chunk_first", "chunk_last", "budget", "max_instructions",
+        "watchdog_limit", "max_cycles", "cycle", "last_chunk",
+        "instructions", "ops_issued", "ops_executed", "jumps_taken",
+        "icache_stall_cycles", "dcache_stall_cycles",
+        "code_bytes_fetched", "mmio_accesses", "fu_counts", "halted",
+    )
 
 
 class Processor:
@@ -74,6 +142,7 @@ class Processor:
         self.icache.obs = obs
         self.dcache.obs = obs
         self.prefetcher.obs = obs
+        self._session: _RunSession | None = None
 
     # -- MMIO ---------------------------------------------------------------
 
@@ -83,24 +152,21 @@ class Processor:
     def _mmio_load(self, address: int, nbytes: int) -> int:
         return self.prefetcher.mmio_load(address - MMIO_BASE)
 
-    # -- execution -------------------------------------------------------------
+    # -- execution ----------------------------------------------------------
 
-    def run(self, program: LinkedProgram, args: dict[int, int] | None = None,
-            max_instructions: int = 50_000_000,
-            warm_code: bool = True, fast: bool = True) -> RunResult:
-        """Execute ``program`` to completion and return the result.
+    def begin(self, program: LinkedProgram,
+              args: dict[int, int] | None = None,
+              max_instructions: int = 50_000_000,
+              warm_code: bool = True, fast: bool = True,
+              max_cycles: int | None = None) -> None:
+        """Set up a run without executing anything yet.
 
-        ``args`` maps physical registers to initial values (the kernel
-        calling convention pins parameters to r10, r11, ...).  With
-        ``warm_code`` the instruction cache is preloaded — kernel-style
-        measurement, excluding cold-code effects; pass False to include
-        them.
-
-        ``fast`` selects the pre-decoded execution plan (the default);
-        ``fast=False`` runs the dynamic reference interpreter.  The two
-        produce bit-identical results and statistics — the flag only
-        trades simulation wall-clock.
+        See :meth:`run` for the parameter contract.  After ``begin``,
+        drive the run with :meth:`step_block` and finish it with
+        :meth:`result`.
         """
+        if self._session is not None:
+            raise RuntimeError("a run is already in progress")
         if program.target.name != self.config.target.name:
             raise ValueError(
                 f"program compiled for {program.target.name!r} cannot run "
@@ -115,11 +181,6 @@ class Processor:
             mmio_load=self._mmio_load,
             fast=fast,
         )
-        stats = RunStats(
-            config_name=self.config.name,
-            program_name=program.name,
-            freq_mhz=self.config.freq_mhz,
-        )
         if warm_code:
             line_bytes = self.config.icache.line_bytes
             for offset in range(0, max(program.nbytes, 1), line_bytes):
@@ -127,124 +188,222 @@ class Processor:
                 line = self.icache.tags.lookup(CODE_BASE + offset)
                 line.valid_mask = (1 << line_bytes) - 1
 
-        cycle = 0
-        last_chunk = -1
+        session = _RunSession()
+        session.program = program
+        session.executor = executor
+        session.stats = RunStats(
+            config_name=self.config.name,
+            program_name=program.name,
+            freq_mhz=self.config.freq_mhz,
+        )
+        session.fast = fast
+        session.step = (executor._step_fast if fast
+                        else executor._step_reference)
+        if fast:
+            session.chunk_first, session.chunk_last = \
+                executor._plan.code_chunks(CODE_BASE)
+        else:
+            session.chunk_first = session.chunk_last = None
+        session.budget = max_instructions
+        session.max_instructions = max_instructions
+        session.max_cycles = max_cycles
+        session.watchdog_limit = (_NO_WATCHDOG if max_cycles is None
+                                  else max_cycles)
+        session.cycle = 0
+        session.last_chunk = -1
+        session.instructions = 0
+        session.ops_issued = 0
+        session.ops_executed = 0
+        session.jumps_taken = 0
+        session.icache_stall_cycles = 0
+        session.dcache_stall_cycles = 0
+        session.code_bytes_fetched = 0
+        session.mmio_accesses = 0
+        session.fu_counts = {}
+        session.halted = False
+        self._session = session
+
+    def step_block(self, limit: int | None = None,
+                   monitor=None) -> bool:
+        """Execute up to ``limit`` instructions (all remaining when
+        ``None``); returns True once the program has halted.
+
+        ``monitor(info, cycle)`` — when given — is called after each
+        retired instruction with the executor's :class:`StepInfo` and
+        the cycle count *including* that instruction; returning a
+        truthy value pauses the block (the caller regains control at an
+        instruction boundary).  The fault-injection harness uses this
+        as its detection hook.
+
+        The loop body is the simulator's hot path: locals are loaded
+        once per block and flushed back to the session afterwards, so a
+        single whole-program block (what :meth:`run` issues) costs the
+        same per instruction as the pre-session implementation.
+        """
+        session = self._session
+        if session is None:
+            raise RuntimeError("no active run; call begin() first")
+        if session.halted:
+            return True
+
+        program = session.program
+        fast = session.fast
+        step = session.step
+        chunk_first = session.chunk_first
+        chunk_last = session.chunk_last
         chunk_mask = ~(FETCH_CHUNK_BYTES - 1)
         mmio_end = MMIO_BASE + MMIO_SIZE
-        budget = max_instructions
-
-        # Hot-loop bindings: the loop below runs once per simulated
-        # VLIW instruction, so attribute chains are hoisted and the
-        # cheap counters accumulate in locals (flushed to ``stats``
-        # after the loop — the observable result is identical).
-        step = executor._step_fast if fast else executor._step_reference
-        if fast:
-            chunk_first, chunk_last = \
-                executor._plan.code_chunks(CODE_BASE)
+        icache_fetch = self.icache.fetch_chunk
         dcache_access = self.dcache.access
         prefetcher = self.prefetcher
         prefetch_queue = prefetcher._queue
         prefetch_tick = prefetcher.tick
         observe_load = prefetcher.observe_load
         obs = self.obs
-        instructions = 0
-        ops_issued = 0
-        ops_executed = 0
-        jumps_taken = 0
-        icache_stall_cycles = 0
-        dcache_stall_cycles = 0
-        code_bytes_fetched = 0
-        mmio_accesses = 0
-        fu_counts: dict = {}
 
-        while True:
-            info = step()
-            if info is None:
-                break
-            budget -= 1
-            if budget < 0:
-                raise RuntimeError(
-                    f"{program.name}: exceeded {max_instructions} "
-                    f"instructions on {self.config.name}")
-            stall = 0
+        cycle = session.cycle
+        last_chunk = session.last_chunk
+        budget = session.budget
+        watchdog_limit = session.watchdog_limit
+        instructions = session.instructions
+        ops_issued = session.ops_issued
+        ops_executed = session.ops_executed
+        jumps_taken = session.jumps_taken
+        icache_stall_cycles = session.icache_stall_cycles
+        dcache_stall_cycles = session.dcache_stall_cycles
+        code_bytes_fetched = session.code_bytes_fetched
+        mmio_accesses = session.mmio_accesses
+        fu_counts = session.fu_counts
+        remaining = limit if limit is not None else (1 << 62)
+        halted = False
 
-            # Front end: fetch any newly-consumed 32-byte chunks.  The
-            # plan pre-computes each instruction's chunk range, so the
-            # common case — still inside the chunk fetched last step —
-            # is two list indexings and two comparisons.
-            if fast:
-                first_chunk = chunk_first[info.index]
-                last_needed = chunk_last[info.index]
-            else:
-                first_chunk = (CODE_BASE + info.address) & chunk_mask
-                last_needed = (CODE_BASE + info.address
-                               + max(info.nbytes - 1, 0)) & chunk_mask
-            if first_chunk != last_chunk or last_needed != last_chunk:
-                chunk = first_chunk
-                while chunk <= last_needed:
-                    if chunk != last_chunk:
-                        stall += self.icache.fetch_chunk(
-                            chunk, cycle + stall)
-                        code_bytes_fetched += FETCH_CHUNK_BYTES
-                        last_chunk = chunk
-                    chunk += FETCH_CHUNK_BYTES
-                icache_stall_cycles += stall
-            fetch_stall = stall
+        try:
+            while True:
+                info = step()
+                if info is None:
+                    halted = True
+                    break
+                budget -= 1
+                if budget < 0:
+                    raise RuntimeError(
+                        f"{program.name}: exceeded "
+                        f"{session.max_instructions} "
+                        f"instructions on {self.config.name}")
+                stall = 0
 
-            # Load/store unit.
-            if info.mem_accesses:
-                for access in info.mem_accesses:
-                    address = access.address
-                    if MMIO_BASE <= address < mmio_end:
-                        mmio_accesses += 1
-                        continue
-                    mem_stall = dcache_access(
-                        access.is_load, address, access.nbytes,
-                        cycle + stall)
-                    stall += mem_stall
-                    dcache_stall_cycles += mem_stall
-                    if access.is_load:
-                        observe_load(address, cycle + stall)
-            if prefetch_queue:
-                prefetch_tick(cycle + stall)
+                # Front end: fetch any newly-consumed 32-byte chunks.
+                # The plan pre-computes each instruction's chunk range,
+                # so the common case — still inside the chunk fetched
+                # last step — is two list indexings and two
+                # comparisons.
+                if fast:
+                    first_chunk = chunk_first[info.index]
+                    last_needed = chunk_last[info.index]
+                else:
+                    first_chunk = (CODE_BASE + info.address) & chunk_mask
+                    last_needed = (CODE_BASE + info.address
+                                   + max(info.nbytes - 1, 0)) & chunk_mask
+                if first_chunk != last_chunk or last_needed != last_chunk:
+                    chunk = first_chunk
+                    while chunk <= last_needed:
+                        if chunk != last_chunk:
+                            stall += icache_fetch(chunk, cycle + stall)
+                            code_bytes_fetched += FETCH_CHUNK_BYTES
+                            last_chunk = chunk
+                        chunk += FETCH_CHUNK_BYTES
+                    icache_stall_cycles += stall
+                fetch_stall = stall
 
-            if obs:
-                obs.instruction(cycle, 1 + stall,
-                                index=instructions,
-                                issued_ops=info.issued_ops,
-                                executed_ops=info.executed_ops)
-                obs.stall(cycle, "icache", fetch_stall)
-                obs.stall(cycle + fetch_stall, "dcache",
-                          stall - fetch_stall)
-                if obs.stage_detail:
-                    for stage, start, dur in stage_spans(
-                            cycle, stall=stall):
-                        obs.stage(start, stage, dur,
-                                  instr=instructions)
+                # Load/store unit.
+                if info.mem_accesses:
+                    for access in info.mem_accesses:
+                        address = access.address
+                        if MMIO_BASE <= address < mmio_end:
+                            mmio_accesses += 1
+                            continue
+                        mem_stall = dcache_access(
+                            access.is_load, address, access.nbytes,
+                            cycle + stall)
+                        stall += mem_stall
+                        dcache_stall_cycles += mem_stall
+                        if access.is_load:
+                            observe_load(address, cycle + stall)
+                if prefetch_queue:
+                    prefetch_tick(cycle + stall)
 
-            cycle += 1 + stall
-            instructions += 1
-            ops_issued += info.issued_ops
-            ops_executed += info.executed_ops
-            if info.jump_taken:
-                jumps_taken += 1
-            if not fast:
-                for fu, count in info.fu_counts.items():
-                    fu_counts[fu] = fu_counts.get(fu, 0) + count
+                if obs:
+                    obs.instruction(cycle, 1 + stall,
+                                    index=instructions,
+                                    issued_ops=info.issued_ops,
+                                    executed_ops=info.executed_ops)
+                    obs.stall(cycle, "icache", fetch_stall)
+                    obs.stall(cycle + fetch_stall, "dcache",
+                              stall - fetch_stall)
+                    if obs.stage_detail:
+                        for stage, start, dur in stage_spans(
+                                cycle, stall=stall):
+                            obs.stage(start, stage, dur,
+                                      instr=instructions)
 
-        if fast:
-            fu_counts = executor.fu_totals()
+                cycle += 1 + stall
+                instructions += 1
+                ops_issued += info.issued_ops
+                ops_executed += info.executed_ops
+                if info.jump_taken:
+                    jumps_taken += 1
+                if not fast:
+                    for fu, count in info.fu_counts.items():
+                        fu_counts[fu] = fu_counts.get(fu, 0) + count
+
+                if cycle > watchdog_limit:
+                    raise WatchdogTimeout(
+                        program.name, self.config.name, cycle,
+                        instructions, session.max_cycles)
+                if monitor is not None and monitor(info, cycle):
+                    break
+                remaining -= 1
+                if not remaining:
+                    break
+        finally:
+            # Flush locals back even when a step raises (timing
+            # violation, watchdog, memory fault, ...) so the session —
+            # and any snapshot/rollback decision — sees a consistent
+            # boundary state.
+            session.cycle = cycle
+            session.last_chunk = last_chunk
+            session.budget = budget
+            session.instructions = instructions
+            session.ops_issued = ops_issued
+            session.ops_executed = ops_executed
+            session.jumps_taken = jumps_taken
+            session.icache_stall_cycles = icache_stall_cycles
+            session.dcache_stall_cycles = dcache_stall_cycles
+            session.code_bytes_fetched = code_bytes_fetched
+            session.mmio_accesses = mmio_accesses
+            session.halted = halted
+        return halted
+
+    def result(self) -> RunResult:
+        """Finalize the active run: settle registers, flush counters
+        into :class:`RunStats`, and clear the session."""
+        session = self._session
+        if session is None:
+            raise RuntimeError("no active run; call begin() first")
+        executor = session.executor
+        fu_counts = (executor.fu_totals() if session.fast
+                     else session.fu_counts)
         executor.regfile.settle()
-        stats.instructions = instructions
-        stats.ops_issued = ops_issued
-        stats.ops_executed = ops_executed
-        stats.jumps_taken = jumps_taken
-        stats.icache_stall_cycles = icache_stall_cycles
-        stats.dcache_stall_cycles = dcache_stall_cycles
-        stats.code_bytes_fetched = code_bytes_fetched
-        stats.mmio_accesses = mmio_accesses
+        stats = session.stats
+        stats.instructions = session.instructions
+        stats.ops_issued = session.ops_issued
+        stats.ops_executed = session.ops_executed
+        stats.jumps_taken = session.jumps_taken
+        stats.icache_stall_cycles = session.icache_stall_cycles
+        stats.dcache_stall_cycles = session.dcache_stall_cycles
+        stats.code_bytes_fetched = session.code_bytes_fetched
+        stats.mmio_accesses = session.mmio_accesses
         stats.fu_counts = fu_counts
-        stats.cycles = cycle
+        stats.cycles = session.cycle
         stats.regfile_reads = executor.regfile.reads
         stats.regfile_writes = executor.regfile.writes
         stats.guard_reads = executor.regfile.guard_reads
@@ -253,7 +412,94 @@ class Processor:
         stats.biu = self.biu.stats
         stats.sdram = self.biu.sdram.stats
         stats.prefetch = self.prefetcher.stats
+        self._session = None
         return RunResult(stats, executor.regfile, self.memory)
+
+    def run(self, program: LinkedProgram, args: dict[int, int] | None = None,
+            max_instructions: int = 50_000_000,
+            warm_code: bool = True, fast: bool = True,
+            max_cycles: int | None = None) -> RunResult:
+        """Execute ``program`` to completion and return the result.
+
+        ``args`` maps physical registers to initial values (the kernel
+        calling convention pins parameters to r10, r11, ...).  With
+        ``warm_code`` the instruction cache is preloaded — kernel-style
+        measurement, excluding cold-code effects; pass False to include
+        them.
+
+        ``fast`` selects the pre-decoded execution plan (the default);
+        ``fast=False`` runs the dynamic reference interpreter.  The two
+        produce bit-identical results and statistics — the flag only
+        trades simulation wall-clock.
+
+        ``max_cycles`` arms a watchdog: the run raises
+        :class:`WatchdogTimeout` as soon as the cycle count exceeds it
+        (the resilience layer's hang detector; ``None`` disables it).
+        """
+        self.begin(program, args=args, max_instructions=max_instructions,
+                   warm_code=warm_code, fast=fast, max_cycles=max_cycles)
+        self.step_block()
+        return self.result()
+
+    # -- checkpoint/restore --------------------------------------------------
+
+    @property
+    def session(self) -> _RunSession | None:
+        """The in-progress run session, if any (resilience layer)."""
+        return self._session
+
+    def snapshot(self) -> MachineSnapshot:
+        """Capture the complete machine state at the current
+        instruction boundary.
+
+        Legal only between :meth:`step_block` calls of an active run
+        (that is the only time the hot loop's state is flushed into the
+        session).  The capture is deep: restoring it any number of
+        times replays from the same point.
+        """
+        session = self._session
+        if session is None:
+            raise RuntimeError(
+                "snapshot() requires an active run (begin(); snapshots "
+                "are taken between step_block() calls)")
+        return MachineSnapshot(
+            session=(session.cycle, session.last_chunk, session.budget,
+                     session.instructions, session.ops_issued,
+                     session.ops_executed, session.jumps_taken,
+                     session.icache_stall_cycles,
+                     session.dcache_stall_cycles,
+                     session.code_bytes_fetched, session.mmio_accesses,
+                     dict(session.fu_counts), session.halted),
+            executor=session.executor.snapshot_state(),
+            memory=self.memory.snapshot_state(),
+            dcache=self.dcache.snapshot_state(),
+            icache=self.icache.snapshot_state(),
+            prefetch=self.prefetcher.snapshot_state(),
+            biu=self.biu.snapshot_state(),
+        )
+
+    def restore(self, snap: MachineSnapshot) -> None:
+        """Roll the active run back to a :meth:`snapshot` capture.
+
+        Everything observable — architectural state, cache contents,
+        statistics, and the subsequent event stream — continues exactly
+        as it did the first time the machine left this state.
+        """
+        session = self._session
+        if session is None:
+            raise RuntimeError("restore() requires an active run")
+        (session.cycle, session.last_chunk, session.budget,
+         session.instructions, session.ops_issued, session.ops_executed,
+         session.jumps_taken, session.icache_stall_cycles,
+         session.dcache_stall_cycles, session.code_bytes_fetched,
+         session.mmio_accesses, fu_counts, session.halted) = snap.session
+        session.fu_counts = dict(fu_counts)
+        session.executor.restore_state(snap.executor)
+        self.memory.restore_state(snap.memory)
+        self.dcache.restore_state(snap.dcache)
+        self.icache.restore_state(snap.icache)
+        self.prefetcher.restore_state(snap.prefetch)
+        self.biu.restore_state(snap.biu)
 
 
 def run_kernel(program: LinkedProgram,
@@ -263,9 +509,11 @@ def run_kernel(program: LinkedProgram,
                memory_size: int = 1 << 20,
                max_instructions: int = 50_000_000,
                obs: EventBus | None = None,
-               fast: bool = True) -> RunResult:
+               fast: bool = True,
+               max_cycles: int | None = None) -> RunResult:
     """Convenience: build a fresh processor and run one kernel."""
     processor = Processor(config, memory=memory, memory_size=memory_size,
                           obs=obs)
     return processor.run(program, args=args,
-                         max_instructions=max_instructions, fast=fast)
+                         max_instructions=max_instructions, fast=fast,
+                         max_cycles=max_cycles)

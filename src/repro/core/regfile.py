@@ -123,6 +123,28 @@ class RegisterFile:
         """Apply all pending writes (program end)."""
         self.commit_until(1 << 62)
 
+    def snapshot_state(self) -> tuple:
+        """Capture the full register-file state (resilience layer).
+
+        Pending-write queues and the due-heap are copied, so the
+        snapshot stays valid while execution continues.
+        """
+        return (self._values[:],
+                {reg: queue[:] for reg, queue in self._pending.items()},
+                self._due_heap[:],
+                self.reads, self.writes, self.guard_reads)
+
+    def restore_state(self, state: tuple) -> None:
+        """Restore a :meth:`snapshot_state` capture (copies again, so
+        one snapshot can be restored repeatedly)."""
+        values, pending, heap, reads, writes, guard_reads = state
+        self._values[:] = values
+        self._pending = {reg: queue[:] for reg, queue in pending.items()}
+        self._due_heap = heap[:]
+        self.reads = reads
+        self.writes = writes
+        self.guard_reads = guard_reads
+
     def peek(self, reg: int) -> int:
         """Read the committed value without timing checks or stats."""
         return self._values[reg]

@@ -282,6 +282,31 @@ def enumerate_jobs() -> list[Job]:
             + perf_jobs(repeats=1))
 
 
+def injection_jobs(kernels: list[str] | None = None,
+                   configs: list[str] | None = None,
+                   structures: list[str] | None = None,
+                   protections: list[str] | None = None,
+                   count: int | None = None,
+                   base_seed: int | None = None) -> list[Job]:
+    """Fault-injection campaign cells as jobs (resilience layer).
+
+    Thin facade over
+    :func:`repro.resilience.campaign.campaign_jobs` so the standard
+    job-graph entry point lives beside the other enumerators.
+    """
+    from repro.resilience.campaign import (
+        DEFAULT_BASE_SEED,
+        DEFAULT_COUNT,
+        campaign_jobs,
+    )
+
+    return campaign_jobs(
+        kernels=kernels, configs=configs, structures=structures,
+        protections=protections,
+        count=DEFAULT_COUNT if count is None else count,
+        base_seed=DEFAULT_BASE_SEED if base_seed is None else base_seed)
+
+
 def conformance_jobs() -> list[Job]:
     """The golden-trace corpus: a fixed, fast, *deterministic* job set.
 

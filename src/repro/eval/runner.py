@@ -184,6 +184,39 @@ def _run_perf(options) -> int:
     return merged.exit_code
 
 
+def _run_inject(options) -> int:
+    """``--inject``: fault-injection campaign ->
+    BENCH_fault_tolerance.json.
+
+    Runs the resilience layer's campaign cells (kernel x config x
+    structure x protection, ``--repeats`` unused) through the worker
+    pool; the merged record/summary/event surfaces are byte-identical
+    at every ``--jobs`` level.
+    """
+    from repro.eval.jobs import injection_jobs
+    from repro.eval.parallel import run_jobs
+
+    kernels = ([name.strip() for name in options.kernels.split(",")]
+               if options.kernels else None)
+    configs = ([name.strip() for name in options.configs.split(",")]
+               if options.configs and options.configs != "A,D" else None)
+    path = (pathlib.Path(options.bench_out) if options.bench_out
+            else _default_bench_path()
+            .with_name("BENCH_fault_tolerance.json"))
+    jobs = injection_jobs(kernels=kernels, configs=configs)
+    merged = _profiled(
+        options.profile,
+        lambda: run_jobs(jobs, workers=options.jobs))
+    for line in merged.summaries:
+        print(line)
+    _report_failures(merged)
+    write_bench(path, merged.records)
+    print(f"\n{merged.pool.summary()}")
+    print(f"wrote {len(merged.records)} fault-tolerance records "
+          f"to {path}")
+    return merged.exit_code
+
+
 def _report_failures(merged) -> None:
     for failure in merged.failures:
         print(f"[{failure.status}] {failure.job.job_id} "
@@ -226,6 +259,11 @@ def main(argv: list[str] | None = None) -> int:
         help="measure simulator throughput (fast vs reference path) "
              "instead of Table 5 kernels; writes BENCH_sim_speed.json")
     parser.add_argument(
+        "--inject", action="store_true",
+        help="run the fault-injection smoke campaign (seeded soft "
+             "errors under none/parity protection) instead of plain "
+             "kernel runs; writes BENCH_fault_tolerance.json")
+    parser.add_argument(
         "--repeats", type=int, default=3, metavar="N",
         help="--perf: wall-clock repeats per case, best-of (default 3)")
     parser.add_argument(
@@ -246,6 +284,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_verify()
     if options.perf:
         return _run_perf(options)
+    if options.inject:
+        return _run_inject(options)
 
     if options.kernels:
         try:

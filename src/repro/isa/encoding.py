@@ -54,6 +54,55 @@ CONTINUATION_OPCODE = (1 << 9) - 1
 TRUE_GUARD = 1
 
 
+class DecodeError(ValueError):
+    """A malformed instruction stream failed to decode.
+
+    Every decode-path failure — truncation, an unknown opcode, a
+    continuation chunk without its anchor, a two-slot operation cut
+    off from its continuation — raises this (and only this), carrying
+    the position and chunk context so corrupt images fail diagnosably:
+
+    * ``bit_offset`` / ``byte_offset`` — stream position of the
+      offending chunk (or read), when known;
+    * ``instruction`` — index of the VLIW instruction being decoded;
+    * ``slot`` — 1-based issue slot of the offending chunk.
+
+    Subclasses :class:`ValueError` so pre-existing callers that caught
+    the old bare ``ValueError`` keep working.
+    """
+
+    def __init__(self, reason: str, *, bit_offset: int | None = None,
+                 instruction: int | None = None,
+                 slot: int | None = None) -> None:
+        self.reason = reason
+        self.bit_offset = bit_offset
+        self.byte_offset = None if bit_offset is None else bit_offset // 8
+        self.instruction = instruction
+        self.slot = slot
+        super().__init__(self._format())
+
+    def _format(self) -> str:
+        context = []
+        if self.instruction is not None:
+            context.append(f"instruction {self.instruction}")
+        if self.slot is not None:
+            context.append(f"slot {self.slot}")
+        if self.byte_offset is not None:
+            context.append(f"byte offset {self.byte_offset:#x}")
+        if context:
+            return f"{self.reason} ({', '.join(context)})"
+        return self.reason
+
+    def with_context(self, *, instruction: int | None = None,
+                     slot: int | None = None) -> DecodeError:
+        """A copy with missing context fields filled in."""
+        return DecodeError(
+            self.reason, bit_offset=self.bit_offset,
+            instruction=(self.instruction if self.instruction is not None
+                         else instruction),
+            slot=self.slot if self.slot is not None else slot)
+
+
 @dataclass
 class EncodedOp:
     """One operation as placed in an instruction, ready to encode.
@@ -107,6 +156,10 @@ class _BitUnpacker:
         self.pos = bit_offset
 
     def get(self, nbits: int) -> int:
+        if self.pos + nbits > 8 * len(self._data):
+            raise DecodeError(
+                f"truncated stream: needed {nbits} bits of "
+                f"{8 * len(self._data)}", bit_offset=self.pos)
         value = 0
         for _ in range(nbits):
             byte = self._data[self.pos >> 3]
@@ -346,7 +399,9 @@ def _decode_chunk(unpacker: _BitUnpacker, size: int,
     opcode = unpacker.get(9)
     if opcode == CONTINUATION_OPCODE:
         if pending is None:
-            raise ValueError("continuation chunk with no pending super-op")
+            raise DecodeError(
+                "continuation chunk with no pending super-op",
+                bit_offset=start, slot=slot)
         spec = pending.spec
         srcs = list(pending.srcs)
         for _ in range(spec.nsrc - len(srcs)):
@@ -359,7 +414,11 @@ def _decode_chunk(unpacker: _BitUnpacker, size: int,
         done = EncodedOp(pending.name, pending.slot, pending.dsts,
                          tuple(srcs), pending.guard, imm)
         return done, None
-    spec = REGISTRY.spec_by_opcode(opcode)
+    try:
+        spec = REGISTRY.spec_by_opcode(opcode)
+    except KeyError:
+        raise DecodeError(f"unknown opcode {opcode}", bit_offset=start,
+                          slot=slot) from None
     guard = TRUE_GUARD
     if unpacker.get(1):
         guard = unpacker.get(7)
@@ -394,18 +453,27 @@ def decode_program(image: bytes) -> list[EncodedInstruction]:
     total_bits = 8 * len(image)
     first = True
     while bit < total_bits:
+        index = len(instructions)
         unpacker = _BitUnpacker(image, bit)
-        next_template = tuple(unpacker.get(2) for _ in range(5))
-        ops: list[EncodedOp] = []
-        pending: EncodedOp | None = None
-        for slot in range(1, 6):
-            code = template[slot - 1]
-            if code == SLOT_UNUSED:
-                continue
-            done, pending = _decode_chunk(
-                unpacker, CHUNK_SIZES[code], pending, slot)
-            if done is not None and done.name != "nop":
-                ops.append(done)
+        try:
+            next_template = tuple(unpacker.get(2) for _ in range(5))
+            ops: list[EncodedOp] = []
+            pending: EncodedOp | None = None
+            for slot in range(1, 6):
+                code = template[slot - 1]
+                if code == SLOT_UNUSED:
+                    continue
+                done, pending = _decode_chunk(
+                    unpacker, CHUNK_SIZES[code], pending, slot)
+                if done is not None and done.name != "nop":
+                    ops.append(done)
+            if pending is not None:
+                raise DecodeError(
+                    f"two-slot operation {pending.name!r} missing its "
+                    "continuation chunk", bit_offset=unpacker.pos,
+                    slot=pending.slot)
+        except DecodeError as error:
+            raise error.with_context(instruction=index) from None
         instructions.append(EncodedInstruction(tuple(ops), first))
         bit += 8 * ((unpacker.pos - bit + 7) // 8)
         template = next_template

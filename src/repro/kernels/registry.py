@@ -37,6 +37,21 @@ class KernelCase:
     verify: Callable[[FlatMemory, RunResult], None]
     memory_size: int = 1 << 19
     work_units: int = 1  # bytes/pixels processed, for rate reporting
+    #: ``(address, nbytes)`` regions holding the kernel's *output* —
+    #: the bytes whose corruption is observable to a consumer.  The
+    #: resilience layer digests exactly these regions to decide
+    #: silent-data-corruption vs masked outcomes, so corrupted inputs
+    #: or scratch space that nothing reads again never count as SDC.
+    outputs: tuple[tuple[int, int], ...] = ()
+
+    def output_digest(self, memory: FlatMemory) -> str:
+        """SHA-256 over the declared output regions, in order."""
+        import hashlib
+
+        digest = hashlib.sha256()
+        for address, nbytes in self.outputs:
+            digest.update(memory.read_block(address, nbytes))
+        return digest.hexdigest()
 
 
 # ---------------------------------------------------------------------------
@@ -252,51 +267,60 @@ def _verify_majority(memory: FlatMemory, result: RunResult) -> None:
 # The suite
 # ---------------------------------------------------------------------------
 
+#: Output planes of the three-plane color conversions.
+_PLANE_OUTPUTS = tuple((_plane(i), PIXELS) for i in range(3, 6))
+_CMYK_OUTPUTS = tuple((_plane(i), PIXELS) for i in range(3, 7))
+
 TABLE5_KERNELS: tuple[KernelCase, ...] = (
     KernelCase(
         "memset", "Sets a 32 Kbyte region to a pre-defined value "
         "(paper: 64 Kbyte).", memops.build_memset,
-        _prepare_memset, _verify_memset, work_units=MEM_REGION),
+        _prepare_memset, _verify_memset, work_units=MEM_REGION,
+        outputs=((DATA_BASE, MEM_REGION),)),
     KernelCase(
         "memcpy", "Copies a 32 Kbyte region (paper: 64 Kbyte).",
         memops.build_memcpy, _prepare_memcpy, _verify_memcpy,
-        work_units=MEM_REGION),
+        work_units=MEM_REGION, outputs=((MEMCPY_DST, MEM_REGION),)),
     KernelCase(
         "filter", "EEMBC consumer: 3-tap high-pass grey-scale filter.",
         eembc.build_filter, _prepare_filter, _verify_filter,
-        work_units=FILTER_W * FILTER_H),
+        work_units=FILTER_W * FILTER_H,
+        outputs=((FILTER_DST, FILTER_W * FILTER_H),)),
     KernelCase(
         "rgb2yuv", "EEMBC consumer: RGB to YUV color conversion.",
         eembc.build_rgb2yuv, _prepare_rgb, _verify_color("yuv"),
-        work_units=PIXELS),
+        work_units=PIXELS, outputs=_PLANE_OUTPUTS),
     KernelCase(
         "rgb2cmyk", "EEMBC consumer: RGB to CMYK color conversion.",
         eembc.build_rgb2cmyk, _prepare_cmyk, _verify_cmyk,
-        work_units=PIXELS),
+        work_units=PIXELS, outputs=_CMYK_OUTPUTS),
     KernelCase(
         "rgb2yiq", "EEMBC consumer: RGB to YIQ color conversion.",
         eembc.build_rgb2yiq, _prepare_rgb, _verify_color("yiq"),
-        work_units=PIXELS),
+        work_units=PIXELS, outputs=_PLANE_OUTPUTS),
     KernelCase(
         "mpeg2_a", "MPEG2 decoder, highly disruptive motion vector field.",
         mpeg2.build_mpeg2, _prepare_mpeg2("mpeg2_a"), _verify_mpeg2,
-        work_units=MPEG2_W * MPEG2_H),
+        work_units=MPEG2_W * MPEG2_H,
+        outputs=((MPEG2_CUR, MPEG2_W * MPEG2_H),)),
     KernelCase(
         "mpeg2_b", "MPEG2 decoder, moderate motion vector field.",
         mpeg2.build_mpeg2, _prepare_mpeg2("mpeg2_b"), _verify_mpeg2,
-        work_units=MPEG2_W * MPEG2_H),
+        work_units=MPEG2_W * MPEG2_H,
+        outputs=((MPEG2_CUR, MPEG2_W * MPEG2_H),)),
     KernelCase(
         "mpeg2_c", "MPEG2 decoder, smooth motion vector field.",
         mpeg2.build_mpeg2, _prepare_mpeg2("mpeg2_c"), _verify_mpeg2,
-        work_units=MPEG2_W * MPEG2_H),
+        work_units=MPEG2_W * MPEG2_H,
+        outputs=((MPEG2_CUR, MPEG2_W * MPEG2_H),)),
     KernelCase(
         "filmdet", "Film detection algorithm, as used in TV sets.",
         tv.build_filmdet, _prepare_filmdet, _verify_filmdet,
-        work_units=TV_W * TV_H),
+        work_units=TV_W * TV_H, outputs=((FILMDET_RESULT, 8),)),
     KernelCase(
         "majority_sel", "De-interlacer algorithm, as used in TV sets.",
         tv.build_majority_sel, _prepare_majority, _verify_majority,
-        work_units=TV_W * TV_H),
+        work_units=TV_W * TV_H, outputs=((MAJ_OUT, TV_W * TV_H),)),
 )
 
 

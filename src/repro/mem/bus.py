@@ -15,7 +15,7 @@ allocate-on-write-miss policy with its lower traffic, Section 6).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.mem.sdram import Sdram, SdramConfig
 
@@ -49,6 +49,17 @@ class BusInterfaceUnit:
         self.sdram = Sdram(sdram_config)
         self._busy_until_ns = 0.0
         self.stats = BiuStats()
+
+    def snapshot_state(self) -> tuple:
+        """Capture bus occupancy + stats + SDRAM state (resilience)."""
+        return (self._busy_until_ns, replace(self.stats),
+                self.sdram.snapshot_state())
+
+    def restore_state(self, state: tuple) -> None:
+        busy_until_ns, stats, sdram = state
+        self._busy_until_ns = busy_until_ns
+        self.stats = replace(stats)
+        self.sdram.restore_state(sdram)
 
     # -- time conversion ----------------------------------------------------
 

@@ -116,6 +116,31 @@ class TagStore:
         """Number of lines currently resident (tests/introspection)."""
         return sum(len(s) for s in self._sets)
 
+    def entries(self):
+        """Yield ``(set_index, line)`` for every resident line.
+
+        Order is structural (set index, then recency position), so two
+        identically-exercised caches enumerate identically — the
+        deterministic target space of the fault-injection engine.
+        """
+        for index, set_list in enumerate(self._sets):
+            for line in set_list:
+                yield index, line
+
+    def snapshot_state(self) -> list:
+        """Capture tags/validity/dirtiness/recency (resilience layer)."""
+        return [[(line.tag, line.valid_mask, line.dirty_mask,
+                  line.ready_at) for line in set_list]
+                for set_list in self._sets]
+
+    def restore_state(self, state: list) -> None:
+        """Restore a :meth:`snapshot_state` capture (fresh Lines, so
+        the snapshot survives further mutation and re-restores)."""
+        self._sets = [
+            [Line(tag=tag, valid_mask=valid, dirty_mask=dirty,
+                  ready_at=ready) for tag, valid, dirty, ready in set_list]
+            for set_list in state]
+
     def flush(self) -> list[tuple[int, Line]]:
         """Drop everything; returns (address, line) of dirty lines."""
         dirty = []

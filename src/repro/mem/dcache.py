@@ -24,7 +24,7 @@ Implements the policies the paper describes:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.mem.bus import BusInterfaceUnit
 from repro.mem.cache import CacheGeometry, Line, TagStore
@@ -303,6 +303,15 @@ class DataCache:
     def contains(self, address: int) -> bool:
         """Residency probe (no LRU update)."""
         return self.tags.probe(address) is not None
+
+    def snapshot_state(self) -> tuple:
+        """Capture tag array + statistics (resilience layer)."""
+        return (self.tags.snapshot_state(), replace(self.stats))
+
+    def restore_state(self, state: tuple) -> None:
+        tags, stats = state
+        self.tags.restore_state(tags)
+        self.stats = replace(stats)
 
     def flush(self, now: int) -> int:
         """Write back all dirty data; returns bytes copied back."""

@@ -34,6 +34,18 @@ class FlatMemory:
         self._check(address, nbytes)
         self._bytes[address:address + nbytes] = value.to_bytes(nbytes, "big")
 
+    def snapshot_state(self) -> bytes:
+        """Immutable copy of the whole memory (resilience layer)."""
+        return bytes(self._bytes)
+
+    def restore_state(self, state: bytes) -> None:
+        """Restore a :meth:`snapshot_state` capture in place."""
+        if len(state) != self.size:
+            raise ValueError(
+                f"snapshot of {len(state):#x} bytes does not match "
+                f"memory of {self.size:#x} bytes")
+        self._bytes[:] = state
+
     def write_block(self, address: int, data: bytes) -> None:
         """Bulk write (workload setup)."""
         self._check(address, len(data))

@@ -15,7 +15,7 @@ per newly-consumed chunk.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.mem.bus import BusInterfaceUnit
 from repro.mem.cache import CacheGeometry, TagStore
@@ -99,3 +99,12 @@ class InstructionCache:
             self.obs.cache(now, "icache", "chunk-miss", chunk_address,
                            stall=stall)
         return stall
+
+    def snapshot_state(self) -> tuple:
+        """Capture tag array + statistics (resilience layer)."""
+        return (self.tags.snapshot_state(), replace(self.stats))
+
+    def restore_state(self, state: tuple) -> None:
+        tags, stats = state
+        self.tags.restore_state(tags)
+        self.stats = replace(stats)

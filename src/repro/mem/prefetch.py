@@ -18,7 +18,7 @@ them with ordinary store operations (see
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.mem.bus import BusInterfaceUnit
 from repro.mem.dcache import DataCache
@@ -86,6 +86,19 @@ class RegionPrefetcher:
         self._active = [(index, region)
                         for index, region in enumerate(self.regions)
                         if region.active]
+
+    def snapshot_state(self) -> tuple:
+        """Capture region registers, queue, and stats (resilience)."""
+        return ([replace(region) for region in self.regions],
+                self._queue[:], set(self._inflight), replace(self.stats))
+
+    def restore_state(self, state: tuple) -> None:
+        regions, queue, inflight, stats = state
+        self.regions = [replace(region) for region in regions]
+        self._queue = queue[:]
+        self._inflight = set(inflight)
+        self.stats = replace(stats)
+        self._refresh_active()
 
     # -- MMIO interface ---------------------------------------------------------
 

@@ -15,7 +15,7 @@ Timing structure per transaction:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 
 @dataclass(frozen=True)
@@ -53,6 +53,15 @@ class Sdram:
         self.config = config or SdramConfig()
         self._open_rows: dict[int, int] = {}
         self.stats = SdramStats()
+
+    def snapshot_state(self) -> tuple:
+        """Capture open-row state + statistics (resilience layer)."""
+        return (dict(self._open_rows), replace(self.stats))
+
+    def restore_state(self, state: tuple) -> None:
+        open_rows, stats = state
+        self._open_rows = dict(open_rows)
+        self.stats = replace(stats)
 
     def _bank_and_row(self, address: int) -> tuple[int, int]:
         row = address // self.config.row_bytes

@@ -26,9 +26,10 @@ CAT_PREFETCH = "prefetch"
 CAT_CABAC = "cabac"
 CAT_VERIFY = "verify"
 CAT_PARALLEL = "parallel"
+CAT_FAULT = "fault"
 
 CATEGORIES = (CAT_PIPELINE, CAT_DCACHE, CAT_ICACHE, CAT_PREFETCH,
-              CAT_CABAC, CAT_VERIFY, CAT_PARALLEL)
+              CAT_CABAC, CAT_VERIFY, CAT_PARALLEL, CAT_FAULT)
 
 
 @dataclass(frozen=True)
@@ -138,6 +139,13 @@ class EventBus:
         """Static-verifier finding (ts = instruction index)."""
         self.emit(ts, CAT_VERIFY, rule, track="verify",
                   severity=severity, **extra)
+
+    def fault(self, ts: int, kind: str, *, structure: str,
+              **extra) -> None:
+        """Fault-injection lifecycle event (ts = processor cycle):
+        inject/detect/rollback/correct/vanish/outcome."""
+        self.emit(ts, CAT_FAULT, kind, track="fault",
+                  structure=structure, **extra)
 
     def parallel(self, ts: int, kind: str, *, job_id: str,
                  worker: int, **extra) -> None:

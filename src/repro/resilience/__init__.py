@@ -1,0 +1,46 @@
+"""Soft-error resilience: fault injection, detection, and recovery.
+
+The TM3270 is a consumer-silicon media processor; its SRAM arrays
+(register file, cache data and tag arrays, instruction buffer) are the
+structures soft errors actually strike.  This package measures what a
+particle strike *does* to a Table 5 kernel under each protection
+choice:
+
+* :mod:`repro.resilience.faults` — deterministic, seeded single-bit
+  fault models for each storage structure;
+* :mod:`repro.resilience.harness` — runs one kernel with one injected
+  fault under a protection model (none / parity-detect / SEC-DED ECC),
+  using :meth:`~repro.core.processor.Processor.snapshot` checkpoints
+  and rollback for parity recovery, and classifies the outcome;
+* :mod:`repro.resilience.campaign` — whole injection campaigns as
+  :class:`~repro.eval.jobs.Job` sweeps through the parallel engine,
+  with ``faults`` metrics, ``CAT_FAULT`` events, and
+  ``BENCH_fault_tolerance.json`` aggregation.
+
+``python -m repro.resilience`` runs the smoke campaign.
+"""
+
+from repro.resilience.faults import (
+    PROTECTIONS,
+    STRUCTURES,
+    make_fault,
+)
+from repro.resilience.harness import (
+    OUTCOMES,
+    GoldenRun,
+    InjectionResult,
+    golden_run,
+    run_injection,
+)
+from repro.resilience.campaign import (
+    campaign_jobs,
+    fault_metrics,
+    run_injection_job,
+)
+
+__all__ = [
+    "PROTECTIONS", "STRUCTURES", "make_fault",
+    "OUTCOMES", "GoldenRun", "InjectionResult", "golden_run",
+    "run_injection",
+    "campaign_jobs", "fault_metrics", "run_injection_job",
+]

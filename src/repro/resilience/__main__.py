@@ -1,0 +1,129 @@
+"""CLI: run an injection campaign, optionally against golden digests.
+
+``python -m repro.resilience`` runs the default smoke campaign through
+the parallel engine and writes ``BENCH_fault_tolerance.json``;
+``--check`` compares the merged sweep's digests against the pinned
+golden document (``tests/golden/fault_campaign.json``), and
+``--write-golden`` regenerates it (``make inject-golden``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.eval.parallel import (
+    check_conformance,
+    golden_document,
+    run_jobs,
+)
+from repro.obs.export import write_bench
+from repro.resilience.campaign import (
+    DEFAULT_BASE_SEED,
+    DEFAULT_COUNT,
+    campaign_jobs,
+    fault_metrics,
+)
+from repro.resilience.faults import PROTECTIONS, STRUCTURES
+
+
+def default_golden_path() -> pathlib.Path:
+    root = pathlib.Path(__file__).resolve().parents[3]
+    return root / "tests" / "golden" / "fault_campaign.json"
+
+
+def default_bench_path() -> pathlib.Path:
+    root = pathlib.Path(__file__).resolve().parents[3]
+    return root / "benchmarks" / "results" / "BENCH_fault_tolerance.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.resilience",
+        description="Soft-error fault-injection campaigns: seeded bit "
+                    "flips in regfile/dcache/ibuf under none/parity/ecc "
+                    "protection, with checkpoint-rollback recovery and "
+                    "SDC classification.")
+    parser.add_argument("--kernels", default=None,
+                        help="comma-separated kernel names "
+                             "(default: smoke set)")
+    parser.add_argument("--configs", default=None,
+                        help="comma-separated config names (default: D)")
+    parser.add_argument("--structures", default=None,
+                        help=f"comma-separated from {STRUCTURES}")
+    parser.add_argument("--protections", default=None,
+                        help=f"comma-separated from {PROTECTIONS}")
+    parser.add_argument("--count", type=int, default=DEFAULT_COUNT,
+                        help="injections per campaign cell")
+    parser.add_argument("--seed", type=int, default=DEFAULT_BASE_SEED,
+                        help="campaign base seed")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (merge is identical "
+                             "at any level)")
+    parser.add_argument("--bench-out", default=None,
+                        help="bench document path (default: "
+                             "benchmarks/results/BENCH_fault_tolerance"
+                             ".json)")
+    parser.add_argument("--check", action="store_true",
+                        help="compare digests against the pinned golden")
+    parser.add_argument("--write-golden", action="store_true",
+                        help="regenerate the pinned golden digests")
+    parser.add_argument("--golden-path", default=None,
+                        help="override the golden document path")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the faults metric group")
+    args = parser.parse_args(argv)
+
+    def split(value):
+        return value.split(",") if value else None
+
+    jobs = campaign_jobs(
+        kernels=split(args.kernels), configs=split(args.configs),
+        structures=split(args.structures),
+        protections=split(args.protections),
+        count=args.count, base_seed=args.seed)
+    merged = run_jobs(jobs, workers=args.jobs)
+    for line in merged.summaries:
+        print(line)
+    if not merged.ok:
+        for failure in merged.failures:
+            print(f"FAILED {failure.job.job_id}: {failure.error}",
+                  file=sys.stderr)
+        return 1
+
+    golden_path = (pathlib.Path(args.golden_path) if args.golden_path
+                   else default_golden_path())
+    if args.write_golden:
+        document = golden_document(merged, jobs)
+        golden_path.parent.mkdir(parents=True, exist_ok=True)
+        with open(golden_path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote golden digests to {golden_path}")
+    if args.check:
+        problems = check_conformance(merged, jobs,
+                                     golden_path=golden_path)
+        if problems:
+            for problem in problems:
+                print(f"GOLDEN MISMATCH: {problem}", file=sys.stderr)
+            return 1
+        print(f"golden digests match ({golden_path.name})")
+
+    bench_path = (pathlib.Path(args.bench_out) if args.bench_out
+                  else default_bench_path())
+    write_bench(bench_path, merged.records)
+    print(f"wrote {len(merged.records)} records to {bench_path}")
+
+    if args.metrics:
+        registry = fault_metrics(merged.records)
+        for sample in registry.collect():
+            labels = ",".join(f"{key}={value}" for key, value
+                              in sorted(sample.labels.items()))
+            print(f"{sample.name}{{{labels}}} {sample.value}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

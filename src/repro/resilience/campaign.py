@@ -1,0 +1,188 @@
+"""Injection campaigns: fault sweeps as parallel-engine job graphs.
+
+A campaign point is one ``kernel x config x structure x protection``
+cell; each cell runs ``count`` seeded injections (plus the shared
+golden run) inside one picklable :class:`~repro.eval.jobs.Job`, so the
+sweep shards across the PR 4 worker pool and merges byte-identically
+at any ``--jobs`` level.
+
+Per-run seeds are derived by hashing everything *except* the
+protection model, so the same physical faults replay across the
+``none``/``parity``/``ecc`` columns — the per-seed outcome tables in
+``BENCH_fault_tolerance.json`` therefore show directly which SDC and
+crash runs a protection choice converts into detected-recovered or
+detected-corrected ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.eval.jobs import Job, JobOutput
+from repro.obs.events import EventBus
+from repro.obs.export import bench_record
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience.faults import STRUCTURES
+from repro.resilience.harness import (
+    OUTCOMES,
+    WATCHDOG_FACTOR,
+    WATCHDOG_SLACK,
+    golden_run,
+    run_injection,
+)
+
+#: Default campaign shape (the smoke campaign `make inject` runs):
+#: two kernels with very different memory behaviour, the paper's
+#: full TM3270 configuration, every structure, bare vs parity.
+DEFAULT_KERNELS = ("memset", "filmdet")
+DEFAULT_CONFIGS = ("D",)
+DEFAULT_PROTECTIONS = ("none", "parity")
+DEFAULT_COUNT = 6
+DEFAULT_BASE_SEED = 1234
+
+
+def derive_seed(base_seed: int, kernel: str, config: str,
+                structure: str, index: int) -> int:
+    """Per-run seed, protection-independent (see module docstring)."""
+    text = f"{base_seed}/{kernel}/{config}/{structure}/{index}"
+    digest = hashlib.sha256(text.encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def run_injection_job(kernel: str, config: str, structure: str,
+                      protection: str, count: int = DEFAULT_COUNT,
+                      base_seed: int = DEFAULT_BASE_SEED,
+                      checkpoint_every: int | None = None,
+                      trace: bool = True) -> JobOutput:
+    """One campaign cell: ``count`` seeded injections, aggregated.
+
+    Returns a single bench record: the golden run's statistics plus a
+    ``fault_tolerance`` section (outcome counts and rates) and a
+    ``fault_runs`` list (per-seed outcomes, the raw material of the
+    protection-conversion evidence).  With ``trace`` the ``CAT_FAULT``
+    lifecycle events of every run ride along, each run offset past the
+    previous one's watchdog horizon so stamps never collide.
+    """
+    golden = golden_run(kernel, config)
+    bus = EventBus() if trace else None
+    span = golden.cycles * WATCHDOG_FACTOR + WATCHDOG_SLACK + 1
+
+    runs = []
+    for index in range(count):
+        seed = derive_seed(base_seed, kernel, config, structure, index)
+        runs.append(run_injection(
+            kernel, config, structure, protection, seed,
+            checkpoint_every=checkpoint_every, obs=bus,
+            ts_base=index * span))
+
+    counts = {outcome: 0 for outcome in OUTCOMES}
+    for run in runs:
+        counts[run.outcome] += 1
+    detected = (counts["detected-corrected"]
+                + counts["detected-recovered"])
+    recovery_total = sum(run.recovery_cycles for run in runs)
+
+    # The golden stats make the record schema-complete; the fault
+    # section carries the campaign's own numbers.
+    record = bench_record(golden.stats)
+    record["structure"] = structure
+    record["protection"] = protection
+    record["fault_tolerance"] = {
+        "injections": count,
+        **{outcome.replace("-", "_"): counts[outcome]
+           for outcome in OUTCOMES},
+        "sdc_rate": counts["sdc"] / count if count else 0.0,
+        "detection_rate": detected / count if count else 0.0,
+        "recovery_cycles_total": recovery_total,
+        "recovery_overhead": (recovery_total
+                              / (count * golden.cycles)
+                              if count and golden.cycles else 0.0),
+    }
+    record["fault_runs"] = [run.as_record() for run in runs]
+
+    summary = (
+        f"fault {kernel}/{config} {structure}/{protection}: "
+        f"{count} runs — masked {counts['masked']}, "
+        f"corrected {counts['detected-corrected']}, "
+        f"recovered {counts['detected-recovered']}, "
+        f"sdc {counts['sdc']}, crash {counts['crash']}, "
+        f"hang {counts['hang']}; "
+        f"recovery overhead "
+        f"{record['fault_tolerance']['recovery_overhead']:.1%}")
+    return JobOutput(records=[record],
+                     events=list(bus.events) if bus else [],
+                     summaries=[summary])
+
+
+def campaign_jobs(kernels=None, configs=None, structures=None,
+                  protections=None, count: int = DEFAULT_COUNT,
+                  base_seed: int = DEFAULT_BASE_SEED,
+                  checkpoint_every: int | None = None,
+                  trace: bool = True) -> list[Job]:
+    """Enumerate a campaign as jobs, in deterministic sweep order."""
+    kernels = list(kernels or DEFAULT_KERNELS)
+    configs = list(configs or DEFAULT_CONFIGS)
+    structures = list(structures or STRUCTURES)
+    protections = list(protections or DEFAULT_PROTECTIONS)
+    jobs = []
+    for kernel in kernels:
+        for config in configs:
+            for structure in structures:
+                for protection in protections:
+                    jobs.append(Job(
+                        job_id=(f"inject/{kernel}/{config}/"
+                                f"{structure}/{protection}"),
+                        kind="inject",
+                        runner=("repro.resilience.campaign:"
+                                "run_injection_job"),
+                        params={
+                            "kernel": kernel, "config": config,
+                            "structure": structure,
+                            "protection": protection,
+                            "count": count, "base_seed": base_seed,
+                            "checkpoint_every": checkpoint_every,
+                            "trace": trace,
+                        },
+                        description=(f"fault injection: {kernel}/{config} "
+                                     f"{structure} under {protection}")))
+    return jobs
+
+
+def fault_metrics(records: list[dict],
+                  registry: MetricsRegistry | None = None,
+                  ) -> MetricsRegistry:
+    """Project campaign bench records into the ``faults`` metric group.
+
+    Mirrors :func:`repro.obs.metrics.from_run_stats` for the
+    resilience layer: stable names, labelled by structure/protection,
+    so exports and tests read one namespace.
+    """
+    registry = registry or MetricsRegistry()
+    injections = registry.counter(
+        "fault_injections_total", "injected fault runs",
+        ("structure", "protection"))
+    outcomes = registry.counter(
+        "fault_outcomes_total", "injection outcomes",
+        ("structure", "protection", "outcome"))
+    recovery = registry.counter(
+        "fault_recovery_cycles_total",
+        "cycles of work discarded by rollback recovery",
+        ("structure", "protection"))
+    sdc_rate = registry.gauge(
+        "fault_sdc_rate", "silent-data-corruption rate",
+        ("structure", "protection"))
+    for record in records:
+        section = record.get("fault_tolerance")
+        if section is None:
+            continue
+        structure = record["structure"]
+        protection = record["protection"]
+        injections.labels(structure, protection).inc(
+            section["injections"])
+        for outcome in OUTCOMES:
+            outcomes.labels(structure, protection, outcome).inc(
+                section[outcome.replace("-", "_")])
+        recovery.labels(structure, protection).inc(
+            section["recovery_cycles_total"])
+        sdc_rate.labels(structure, protection).set(section["sdc_rate"])
+    return registry

@@ -1,0 +1,464 @@
+"""Single-bit fault models for the TM3270's vulnerable SRAM arrays.
+
+Each model arms one transient bit flip in a storage structure and then
+watches the machine step-by-step, reporting when the corrupt bit is
+*consumed* (the moment parity or SEC-DED logic on that array would
+fire), *overwritten* (a write refreshes the check bits — the fault is
+gone), or *vanishes* (a clean cache line is discarded — the flipped
+copy never escapes the array).
+
+The models exploit this simulator's architecture/timing split: the
+data and instruction caches are timing-only and architectural data
+lives in :class:`~repro.mem.flatmem.FlatMemory`, so
+
+* a **data-array** fault flips the memory byte *while the line is
+  resident* and undoes the flip if the clean line is discarded — the
+  memory image then matches what a copy-back hierarchy would hold;
+* a **tag-array** fault flips a tag bit and eagerly emulates the
+  misdirected write-back: the line's validated dirty bytes land at the
+  aliased address the corrupt tag now names;
+* an **instruction-buffer** fault re-decodes the flipped program image
+  (the template-compressed encoding means one flipped bit can garble a
+  chunk, an operation, or desynchronize the stream — the latter is a
+  crash).
+
+All target selection is driven by one :class:`random.Random` whose
+seed excludes the protection model, so the *same physical fault*
+replays under none / parity / ECC — the property the campaign's
+SDC-to-recovered conversion evidence rests on.
+"""
+
+from __future__ import annotations
+
+from repro.core.plan import OP_GUARD, OP_SRCS
+
+#: Structures a fault can strike (the target spaces of Section 4's
+#: SRAM arrays as this model represents them).
+STRUCTURES = ("regfile", "dcache-data", "dcache-tag", "ibuf")
+
+#: Protection models per structure: bare SRAM, parity (detect-only —
+#: recovery is rollback to the last clean checkpoint), SEC-DED ECC
+#: (detect and correct in place).
+PROTECTIONS = ("none", "parity", "ecc")
+
+#: ``after_step``/``pre_step_hit`` verdicts.
+READ = "read"            # corrupt bit consumed: detection point
+DISARMED = "disarmed"    # overwritten with fresh data + check bits
+VANISHED = "vanished"    # clean line discarded; corruption never escaped
+
+
+class Fault:
+    """One armed transient fault (base class).
+
+    Lifecycle: :meth:`inject` flips the bit (returns False when the
+    structure offers no target — e.g. an empty cache — which is a
+    trivially masked run).  While armed, the harness single-steps and
+    consults :meth:`pre_step_hit` before and :meth:`after_step` after
+    every instruction.  :meth:`repair` implements the ECC correction;
+    :meth:`at_halt` settles faults still armed when the program ends.
+    """
+
+    #: Human-readable target, filled by :meth:`inject`.
+    target = ""
+    #: Set when the corruption has irreversibly reached architectural
+    #: state under ``none`` (informational).
+    propagated = False
+    #: Whether the harness must keep single-stepping under ``none``.
+    #: Only the data-array model needs it (to keep the flat-memory
+    #: image faithful to copy-back physics when the clean line is
+    #: discarded); the other faults evolve natively once injected.
+    monitor_under_none = False
+
+    def inject(self, processor, rng) -> bool:
+        raise NotImplementedError
+
+    def pre_step_hit(self, processor) -> bool:
+        """Will the *next* instruction consume the corrupt bit?"""
+        return False
+
+    def after_step(self, processor, info) -> str | None:
+        """Post-step verdict: READ / DISARMED / VANISHED / None."""
+        return None
+
+    def repair(self, processor) -> None:
+        """SEC-DED correction: put the original bit back."""
+        raise NotImplementedError
+
+    def at_halt(self, processor, protection: str) -> str | None:
+        """Settle a fault still armed at program end.
+
+        Returns READ when the end-of-run cache flush would consume the
+        corrupt bit (parity detects during the sweep, ECC corrects),
+        VANISHED when the corruption is discarded with a clean line,
+        or None when it simply never mattered (masked).
+        """
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Register file
+# ---------------------------------------------------------------------------
+
+class RegfileFault(Fault):
+    """Bit flip in one 32-bit register-file word.
+
+    Detection (parity/ECC on the read port): the flip is consumed when
+    an instruction reads the register — as a guard or as a guard-true
+    operation's source.  A committed write to the register refreshes
+    the check bits and disarms the fault.  r0/r1 are hard-wired
+    constants, not SRAM cells, and are excluded from the target space.
+    """
+
+    def inject(self, processor, rng) -> bool:
+        regfile = processor.session.executor.regfile
+        self.reg = rng.randrange(2, len(regfile._values))
+        self.bit = rng.randrange(32)
+        self.old = regfile._values[self.reg]
+        self.new = self.old ^ (1 << self.bit)
+        regfile._values[self.reg] = self.new
+        self.target = f"r{self.reg} bit {self.bit}"
+        return True
+
+    def _corrupt(self, processor) -> bool:
+        regfile = processor.session.executor.regfile
+        return regfile._values[self.reg] == self.new
+
+    def pre_step_hit(self, processor) -> bool:
+        executor = processor.session.executor
+        # Commit pending writes due now so guard truth — and a
+        # possible overwrite of the corrupt word — is exact before the
+        # read-port check (the executor's own step would commit the
+        # same set first).
+        executor.regfile.commit_until(executor.issue_count)
+        if not self._corrupt(processor):
+            return False
+        pc = executor.pc
+        plan = executor._plan
+        if pc >= plan.count:
+            return False
+        values = executor.regfile._values
+        for op in plan.ops[pc]:
+            guard = op[OP_GUARD]
+            if guard == self.reg:
+                return True
+            if guard != 1 and not values[guard] & 1:
+                continue
+            if self.reg in op[OP_SRCS]:
+                return True
+        return False
+
+    def after_step(self, processor, info) -> str | None:
+        if not self._corrupt(processor):
+            return DISARMED
+        return None
+
+    def repair(self, processor) -> None:
+        regfile = processor.session.executor.regfile
+        if regfile._values[self.reg] == self.new:
+            regfile._values[self.reg] = self.old
+
+
+# ---------------------------------------------------------------------------
+# Data cache — data array
+# ---------------------------------------------------------------------------
+
+class DCacheDataFault(Fault):
+    """Bit flip in one valid byte of the data cache's data array.
+
+    Architectural data lives in flat memory, so the model flips the
+    backing byte while the line is resident and keeps the memory image
+    consistent with copy-back physics: if the clean line is discarded
+    (eviction or end-of-run) the flip is undone — the corrupt copy
+    never left the array.  A dirty line carries the corruption out via
+    write-back, which is also where parity/ECC on the data array
+    consumes it; so does any load of the byte.
+    """
+
+    monitor_under_none = True
+
+    def inject(self, processor, rng) -> bool:
+        dcache = processor.dcache
+        memory = processor.memory
+        lines = [(index, line) for index, line in dcache.tags.entries()
+                 if line.valid_mask]
+        if not lines:
+            return False
+        set_index, line = lines[rng.randrange(len(lines))]
+        offsets = [offset for offset
+                   in range(dcache.geometry.line_bytes)
+                   if line.valid_mask >> offset & 1]
+        offset = offsets[rng.randrange(len(offsets))]
+        line_address = dcache.tags.victim_address(set_index, line)
+        address = line_address + offset
+        if address >= memory.size:
+            return False
+        self.line_address = line_address
+        self.tag = line.tag
+        self.offset = offset
+        self.address = address
+        self.bit = rng.randrange(8)
+        self.old = memory.load(address, 1)
+        self.new = self.old ^ (1 << self.bit)
+        self.dirty = bool(line.dirty_mask >> offset & 1)
+        memory.store(address, self.new, 1)
+        self.target = (f"dcache data @0x{address:06x} "
+                       f"bit {self.bit}")
+        return True
+
+    def _line(self, processor):
+        line = processor.dcache.tags.probe(self.line_address)
+        if line is not None and line.tag == self.tag:
+            return line
+        return None
+
+    def after_step(self, processor, info) -> str | None:
+        memory = processor.memory
+        if info is not None and info.mem_accesses:
+            for access in info.mem_accesses:
+                if (access.is_load
+                        and access.address <= self.address
+                        < access.address + access.nbytes):
+                    return READ
+        if memory.load(self.address, 1) != self.new:
+            return DISARMED
+        line = self._line(processor)
+        if line is None:
+            # Evicted this step.  A dirty byte rode the write-back out
+            # through the array's check logic; a clean line was simply
+            # discarded, taking the corruption with it.
+            if self.dirty:
+                self.propagated = True
+                return READ
+            memory.store(self.address, self.old, 1)
+            return VANISHED
+        self.dirty = bool(line.dirty_mask >> self.offset & 1)
+        return None
+
+    def repair(self, processor) -> None:
+        if processor.memory.load(self.address, 1) == self.new:
+            processor.memory.store(self.address, self.old, 1)
+
+    def at_halt(self, processor, protection: str) -> str | None:
+        if processor.memory.load(self.address, 1) != self.new:
+            return DISARMED
+        line = self._line(processor)
+        dirty = (line is not None
+                 and bool(line.dirty_mask >> self.offset & 1))
+        if dirty:
+            # The end-of-run flush writes the byte back through the
+            # data array's check logic.
+            return READ
+        # Clean (or already-gone) line: discarded, never written back.
+        processor.memory.store(self.address, self.old, 1)
+        return VANISHED
+
+
+# ---------------------------------------------------------------------------
+# Data cache — tag array
+# ---------------------------------------------------------------------------
+
+class DCacheTagFault(Fault):
+    """Bit flip in one data-cache tag.
+
+    The line now claims to hold the *aliased* address the corrupt tag
+    names.  The architectural consequence — its validated dirty bytes
+    will be written back to the wrong place — is emulated eagerly at
+    injection time (saving the clobbered bytes for ECC undo).  Tag
+    parity/ECC is read on every lookup of the set, so the fault is
+    consumed by the first subsequent access mapping to that set — an
+    eviction of the line implies such an access and is covered by the
+    same check.
+    """
+
+    def inject(self, processor, rng) -> bool:
+        dcache = processor.dcache
+        memory = processor.memory
+        lines = list(dcache.tags.entries())
+        if not lines:
+            return False
+        set_index, line = lines[rng.randrange(len(lines))]
+        geometry = dcache.geometry
+        tag_shift = (geometry.line_bytes.bit_length() - 1
+                     + geometry.num_sets.bit_length() - 1)
+        flippable = memory.size.bit_length() - 1 - tag_shift
+        if flippable <= 0:
+            return False
+        self.set_index = set_index
+        self.old_tag = line.tag
+        self.bit = rng.randrange(flippable)
+        self.new_tag = line.tag ^ (1 << self.bit)
+        self.orig_address = dcache.tags.victim_address(set_index, line)
+        line.tag = self.new_tag
+        self.alias_address = dcache.tags.victim_address(set_index, line)
+        self.target = (f"dcache tag set {set_index} "
+                       f"@0x{self.orig_address:06x} bit {self.bit}")
+        # Misdirected write-back: validated dirty bytes land at the
+        # aliased address (remember what they clobber for ECC undo).
+        self.clobbered: list[tuple[int, int]] = []
+        writeback = line.dirty_mask & line.valid_mask
+        if writeback and self.alias_address + geometry.line_bytes \
+                <= memory.size:
+            for offset in range(geometry.line_bytes):
+                if writeback >> offset & 1:
+                    source = memory.load(self.orig_address + offset, 1)
+                    dest = self.alias_address + offset
+                    self.clobbered.append((dest, memory.load(dest, 1)))
+                    memory.store(dest, source, 1)
+            if self.clobbered:
+                self.propagated = True
+        return True
+
+    def _line(self, processor):
+        line = processor.dcache.tags.probe(self.alias_address)
+        if line is not None and line.tag == self.new_tag:
+            return line
+        return None
+
+    def after_step(self, processor, info) -> str | None:
+        if info is None or not info.mem_accesses:
+            return None
+        geometry = processor.dcache.geometry
+        for access in info.mem_accesses:
+            address = access.address
+            if address >= processor.memory.size:
+                continue  # MMIO: never reaches the cache
+            if geometry.set_index(address) == self.set_index:
+                return READ
+        return None
+
+    def repair(self, processor) -> None:
+        line = self._line(processor)
+        if line is not None:
+            line.tag = self.old_tag
+        for address, value in reversed(self.clobbered):
+            processor.memory.store(address, value, 1)
+        self.clobbered = []
+
+    def at_halt(self, processor, protection: str) -> str | None:
+        if protection == "none":
+            # No check logic; the misdirected write-back was emulated
+            # eagerly and post-injection stores went to the aliased
+            # addresses natively — memory already tells the truth.
+            return None
+        if self._line(processor) is None and not self.clobbered:
+            return DISARMED
+        # The end-of-run flush reads every resident tag.
+        return READ
+
+
+# ---------------------------------------------------------------------------
+# Instruction buffer
+# ---------------------------------------------------------------------------
+
+class IBufFault(Fault):
+    """Bit flip in one instruction's bytes in the instruction buffer.
+
+    The target space is the encoded byte range of one VLIW instruction
+    ``t``.  Under ``none`` the flipped image is re-decoded and the
+    running execution plan is swapped for the corrupt one — the
+    template-compressed encoding (Section 2.1) means the flip can
+    garble operations silently, decode to a different instruction
+    count (stream desynchronization → crash), or produce an invalid
+    program.  Under parity/ECC nothing is mutated: the check bits
+    travel with the buffered chunk and fire when instruction ``t`` is
+    fetched — parity triggers rollback (the refetch after recovery
+    reloads clean bytes), ECC corrects at fetch.
+    """
+
+    #: The harness only needs to single-step while a fault can still
+    #: change state; a swapped-in corrupt plan under ``none`` runs
+    #: free.
+    def inject(self, processor, rng) -> bool:
+        session = processor.session
+        program = session.program
+        if not program.instructions:
+            return False
+        self.index = rng.randrange(len(program.instructions))
+        start = program.addresses[self.index]
+        nbytes = program.instruction_sizes[self.index]
+        self.bit = rng.randrange(max(nbytes, 1) * 8)
+        byte_offset = start + self.bit // 8
+        self.target = (f"ibuf instr {self.index} "
+                       f"byte 0x{byte_offset:04x} bit {self.bit % 8}")
+        self.mutate = False
+        return True
+
+    def arm_none(self, processor) -> None:
+        """Swap the corrupt decode into the running session (``none``).
+
+        Raises on decode failure or stream desynchronization — the
+        harness classifies that as a crash (the corrupt chunk reaches
+        the decoder and the machine leaves the rails).
+        """
+        from repro.asm.link import LinkedProgram
+        from repro.core.plan import ExecutionPlan
+        from repro.core.processor import CODE_BASE
+        from repro.isa.encoding import decode_program
+
+        session = processor.session
+        program = session.program
+        start = program.addresses[self.index]
+        image = bytearray(program.image)
+        image[start + self.bit // 8] ^= 1 << (7 - self.bit % 8)
+        decoded = decode_program(bytes(image))
+        if len(decoded) != len(program.instructions):
+            raise RuntimeError(
+                f"instruction stream desynchronized: decoded "
+                f"{len(decoded)} instructions, expected "
+                f"{len(program.instructions)}")
+        mutant = LinkedProgram(
+            name=program.name,
+            target=program.target,
+            instructions=decoded,
+            addresses=list(program.addresses),
+            labels=dict(program.labels),
+            image=bytes(image),
+            register_map=dict(program.register_map),
+            entry_regs=program.entry_regs,
+        )
+        plan = ExecutionPlan(mutant)
+        mutant._plan = plan
+        executor = session.executor
+        old_plan = executor._plan
+        totals = dict(zip(old_plan.fu_list, executor._fu_totals))
+        executor._fu_totals = [totals.get(fu, 0)
+                               for fu in plan.fu_list]
+        executor._plan = plan
+        executor.program = mutant
+        session.program = mutant
+        session.chunk_first, session.chunk_last = \
+            plan.code_chunks(CODE_BASE)
+        self.mutate = True
+
+    def pre_step_hit(self, processor) -> bool:
+        # Parity/ECC travels with the buffered bytes and is checked at
+        # fetch: the fault is consumed when pc reaches the flipped
+        # instruction.
+        return processor.session.executor.pc == self.index
+
+    def repair(self, processor) -> None:
+        # ECC corrected the buffered bytes at fetch; nothing was ever
+        # mutated.
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Factory
+# ---------------------------------------------------------------------------
+
+_FAULT_CLASSES = {
+    "regfile": RegfileFault,
+    "dcache-data": DCacheDataFault,
+    "dcache-tag": DCacheTagFault,
+    "ibuf": IBufFault,
+}
+
+
+def make_fault(structure: str) -> Fault:
+    """Instantiate the (unarmed) fault model for ``structure``."""
+    try:
+        return _FAULT_CLASSES[structure]()
+    except KeyError:
+        raise ValueError(
+            f"unknown fault structure {structure!r}; "
+            f"expected one of {STRUCTURES}") from None

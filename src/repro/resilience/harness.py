@@ -1,0 +1,334 @@
+"""Run one kernel with one injected fault; classify the outcome.
+
+The harness is the recovery protocol of the subsystem:
+
+* it periodically checkpoints the complete machine state with
+  :meth:`~repro.core.processor.Processor.snapshot` — but only while no
+  fault is armed, so the latest checkpoint is always *clean*;
+* under **parity** protection, the step the corrupt bit would be
+  consumed (read port, cache lookup, write-back, instruction fetch)
+  raises a detection instead: the machine rolls back to the last
+  checkpoint and re-executes.  The fault is transient, so the replay
+  is clean — and, because snapshots capture timing state too, the
+  replay is *bit-identical* to an uninjected run from that point;
+* under **ECC** the consuming access corrects the bit in place and
+  execution continues;
+* under **none** the fault simply evolves: it may be overwritten
+  (masked), discarded with a clean cache line (masked), or reach the
+  kernel's output (silent data corruption), derail the program
+  (crash), or never terminate (hang — a watchdog scaled from the
+  golden run's cycle count catches it).
+
+Every run lands in exactly one outcome class::
+
+    masked               completed, output digest matches the golden run
+    detected-corrected   ECC fixed the bit; output matches
+    detected-recovered   parity + rollback; output matches
+    sdc                  completed but the output digest differs
+    crash                the simulated machine raised
+    hang                 the watchdog fired
+
+SDC is judged on the kernel's *declared output regions*
+(:attr:`~repro.kernels.registry.KernelCase.outputs`) — corrupt bytes
+in inputs or scratch that no consumer reads again are not silent data
+corruption.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.asm.link import compile_program
+from repro.core.config import EVALUATION_CONFIGS, TM3270_CONFIG
+from repro.core.processor import Processor, WatchdogTimeout
+from repro.kernels.registry import kernel_by_name
+from repro.mem.flatmem import FlatMemory
+from repro.resilience.faults import (
+    DISARMED,
+    READ,
+    VANISHED,
+    PROTECTIONS,
+    make_fault,
+)
+
+#: The six outcome classes, in severity order.
+OUTCOMES = ("masked", "detected-corrected", "detected-recovered",
+            "sdc", "crash", "hang")
+
+#: Watchdog budget: a recovering run replays at most the window since
+#: its last checkpoint, so the golden cycle count times this factor
+#: (plus slack for tiny kernels) separates "slow" from "never".
+WATCHDOG_FACTOR = 4
+WATCHDOG_SLACK = 10_000
+
+
+@dataclass(frozen=True)
+class GoldenRun:
+    """The uninjected reference run of one kernel x configuration."""
+
+    kernel: str
+    config: str
+    program: object
+    case: object
+    cfg: object
+    instructions: int
+    cycles: int
+    digest: str
+    stats: object
+
+
+_GOLDEN_CACHE: dict[tuple[str, str], GoldenRun] = {}
+
+
+def golden_run(kernel: str, config: str) -> GoldenRun:
+    """Reference run (cached per process): counts + output digest."""
+    key = (kernel, config)
+    cached = _GOLDEN_CACHE.get(key)
+    if cached is not None:
+        return cached
+    case = kernel_by_name(kernel)
+    by_name = {cfg.name: cfg for cfg in EVALUATION_CONFIGS}
+    by_name.setdefault(TM3270_CONFIG.name, TM3270_CONFIG)
+    cfg = by_name[config]
+    program = compile_program(case.build(), cfg.target)
+    memory = FlatMemory(case.memory_size)
+    args = case.prepare(memory)
+    processor = Processor(cfg, memory=memory)
+    result = processor.run(program, args=args)
+    case.verify(memory, result)
+    if not case.outputs:
+        raise ValueError(
+            f"kernel {kernel!r} declares no output regions; the "
+            "resilience layer cannot classify SDC without them")
+    golden = GoldenRun(
+        kernel=kernel, config=config, program=program, case=case,
+        cfg=cfg, instructions=result.stats.instructions,
+        cycles=result.stats.cycles,
+        digest=case.output_digest(memory), stats=result.stats)
+    _GOLDEN_CACHE[key] = golden
+    return golden
+
+
+@dataclass
+class InjectionResult:
+    """One injected run, fully classified."""
+
+    kernel: str
+    config: str
+    structure: str
+    protection: str
+    seed: int
+    outcome: str
+    target: str = ""
+    injected: bool = False
+    inject_instruction: int = 0
+    detect_cycle: int | None = None
+    rollbacks: int = 0
+    #: Cycles of work discarded by rollbacks (the recovery overhead:
+    #: wall time = final_cycles + recovery_cycles).
+    recovery_cycles: int = 0
+    checkpoints: int = 0
+    final_cycles: int | None = None
+    golden_cycles: int = 0
+    error: str | None = None
+    propagated: bool = False
+
+    def as_record(self) -> dict:
+        """JSON-safe per-run record for the bench document."""
+        return {
+            "seed": self.seed,
+            "outcome": self.outcome,
+            "target": self.target,
+            "inject_instruction": self.inject_instruction,
+            "detect_cycle": self.detect_cycle,
+            "rollbacks": self.rollbacks,
+            "recovery_cycles": self.recovery_cycles,
+            "final_cycles": self.final_cycles,
+            "error": self.error,
+        }
+
+
+def run_injection(kernel: str, config: str, structure: str,
+                  protection: str, seed: int, *,
+                  checkpoint_every: int | None = None,
+                  obs=None, ts_base: int = 0) -> InjectionResult:
+    """Inject one seeded fault into one kernel run and classify it.
+
+    The ``seed`` fully determines the fault (injection point, target
+    bit) *independently of the protection model*, so a sweep over
+    protections replays the identical physical fault — the basis for
+    the SDC-to-recovered conversion evidence.  ``obs`` (optional)
+    receives ``CAT_FAULT`` lifecycle events stamped at
+    ``ts_base + cycle``.
+    """
+    if protection not in PROTECTIONS:
+        raise ValueError(f"unknown protection {protection!r}; "
+                         f"expected one of {PROTECTIONS}")
+    golden = golden_run(kernel, config)
+    rng = random.Random(seed)
+    inject_at = rng.randrange(1, max(golden.instructions, 2))
+    fault = make_fault(structure)
+    watchdog = golden.cycles * WATCHDOG_FACTOR + WATCHDOG_SLACK
+    interval = checkpoint_every or max(256, golden.instructions // 8)
+
+    result = InjectionResult(
+        kernel=kernel, config=config, structure=structure,
+        protection=protection, seed=seed, outcome="masked",
+        inject_instruction=inject_at, golden_cycles=golden.cycles)
+
+    def emit(kind: str, ts: int, **extra) -> None:
+        if obs:
+            obs.fault(ts_base + ts, kind, structure=structure,
+                      protection=protection, seed=seed, **extra)
+
+    memory = FlatMemory(golden.case.memory_size)
+    args = golden.case.prepare(memory)
+    processor = Processor(golden.cfg, memory=memory)
+
+    armed = False
+    corrected = recovered = False
+    hung = False
+    error: str | None = None
+    last_info = None
+    session = None
+
+    def capture(info, cycle) -> bool:
+        nonlocal last_info
+        last_info = info
+        return False
+
+    def detect_parity(session, checkpoint, checkpoint_cycle) -> None:
+        nonlocal recovered, armed
+        recovered = True
+        armed = False
+        result.detect_cycle = session.cycle
+        result.rollbacks += 1
+        result.recovery_cycles += session.cycle - checkpoint_cycle
+        emit("detect", session.cycle, target=fault.target)
+        processor.restore(checkpoint)
+        emit("rollback", session.cycle, to_cycle=checkpoint_cycle,
+             wasted_cycles=result.recovery_cycles)
+
+    def detect_ecc(session) -> None:
+        nonlocal corrected, armed
+        corrected = True
+        armed = False
+        result.detect_cycle = session.cycle
+        fault.repair(processor)
+        emit("correct", session.cycle, target=fault.target)
+
+    try:
+        processor.begin(golden.program, args=args, max_cycles=watchdog)
+        session = processor.session
+        checkpoint = processor.snapshot()
+        checkpoint_cycle = 0
+        checkpoint_instructions = 0
+        result.checkpoints = 1
+        halted = False
+
+        while not halted:
+            if armed and (protection != "none"
+                          or fault.monitor_under_none):
+                # Single-step with the fault under observation.
+                if protection != "none" and fault.pre_step_hit(processor):
+                    # The next instruction would consume the corrupt
+                    # bit; the array's check logic fires first.
+                    if protection == "parity":
+                        detect_parity(session, checkpoint,
+                                      checkpoint_cycle)
+                    else:
+                        detect_ecc(session)
+                    continue
+                halted = processor.step_block(limit=1, monitor=capture)
+                if armed:
+                    verdict = fault.after_step(processor, last_info)
+                    if verdict == READ:
+                        if protection == "parity":
+                            halted = False
+                            detect_parity(session, checkpoint,
+                                          checkpoint_cycle)
+                        elif protection == "ecc":
+                            detect_ecc(session)
+                        # none: the corruption propagated; keep
+                        # watching so copy-back physics stay faithful.
+                    elif verdict in (DISARMED, VANISHED):
+                        armed = False
+                        emit("vanish", session.cycle, verdict=verdict,
+                             target=fault.target)
+            else:
+                boundaries = []
+                if not result.injected:
+                    boundaries.append(inject_at)
+                if not armed:
+                    boundaries.append(checkpoint_instructions + interval)
+                limit = (min(boundaries) - session.instructions
+                         if boundaries else None)
+                if limit is not None and limit <= 0:
+                    limit = 1
+                halted = processor.step_block(limit=limit)
+
+            instructions = session.instructions
+            if (not result.injected and not halted
+                    and instructions >= inject_at):
+                result.injected = True
+                armed = fault.inject(processor, rng)
+                result.target = fault.target
+                emit("inject", session.cycle,
+                     target=fault.target or "(no viable target)",
+                     instruction=instructions, armed=armed)
+                if armed and structure == "ibuf" and protection == "none":
+                    # May raise: a flip that desynchronizes the
+                    # template-compressed stream is a crash.
+                    fault.arm_none(processor)
+            if (not armed and not halted
+                    and instructions >= checkpoint_instructions + interval):
+                checkpoint = processor.snapshot()
+                checkpoint_cycle = session.cycle
+                checkpoint_instructions = instructions
+                result.checkpoints += 1
+
+            if halted and armed:
+                verdict = fault.at_halt(processor, protection)
+                if verdict == READ and protection == "parity":
+                    # The end-of-run flush consumed the corrupt bit:
+                    # detect, roll back, and re-run to completion.
+                    halted = False
+                    detect_parity(session, checkpoint, checkpoint_cycle)
+                elif verdict == READ and protection == "ecc":
+                    detect_ecc(session)
+                elif verdict in (DISARMED, VANISHED):
+                    armed = False
+                    emit("vanish", session.cycle, verdict=verdict,
+                         target=fault.target)
+                else:
+                    armed = False
+    except WatchdogTimeout as caught:
+        hung = True
+        error = str(caught)
+    except Exception as caught:  # noqa: BLE001 — the machine derailed
+        error = f"{type(caught).__name__}: {caught}"
+
+    if hung:
+        result.outcome = "hang"
+        result.error = error
+    elif error is not None:
+        result.outcome = "crash"
+        result.error = error
+    else:
+        run = processor.result()
+        result.final_cycles = run.stats.cycles
+        digest = golden.case.output_digest(memory)
+        if digest != golden.digest:
+            result.outcome = "sdc"
+        elif corrected:
+            result.outcome = "detected-corrected"
+        elif recovered:
+            result.outcome = "detected-recovered"
+        else:
+            result.outcome = "masked"
+    result.propagated = fault.propagated
+    assert result.outcome in OUTCOMES
+    emit("outcome", session.cycle if session is not None else 0,
+         outcome=result.outcome, target=fault.target)
+    return result

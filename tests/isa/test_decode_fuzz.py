@@ -1,0 +1,93 @@
+"""Decoder fuzz: corrupt images fail with ``DecodeError``, not chaos.
+
+The resilience layer's ibuf fault model mutates a compiled program
+image and re-decodes it, classifying a decode failure as a *crash* —
+which only works if the decoder's sole failure mode on malformed input
+is the structured :class:`~repro.isa.encoding.DecodeError`.  Hypothesis
+drives three corruption families against that contract: arbitrary byte
+streams, truncations of a real kernel image, and single bit flips of a
+real kernel image (exactly the soft errors the fault injector plants).
+``IndexError``/``KeyError``/silent garbage are all failures here.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asm.link import compile_program
+from repro.core.config import TM3270_CONFIG
+from repro.isa.encoding import DecodeError, decode_program
+from repro.kernels.registry import kernel_by_name
+
+pytestmark = pytest.mark.slow
+
+
+def _kernel_image() -> bytes:
+    case = kernel_by_name("memset")
+    linked = compile_program(case.build(), TM3270_CONFIG.target)
+    return bytes(linked.image)
+
+
+#: A real template-compressed image, decoded once as a sanity anchor.
+IMAGE = _kernel_image()
+
+
+def _check_error(error: DecodeError, image: bytes) -> None:
+    """The structured-diagnostic contract every DecodeError honours."""
+    assert isinstance(error, ValueError)  # compat with old callers
+    assert error.reason
+    assert str(error)
+    # The offset may point just past the stream end: a chunk's declared
+    # size skips the unpacker forward before the next read fails.
+    if error.bit_offset is not None:
+        assert error.bit_offset >= 0
+        assert error.byte_offset == error.bit_offset // 8
+    if error.instruction is not None:
+        assert error.instruction >= 0
+    if error.slot is not None:
+        assert 1 <= error.slot <= 5
+
+
+def _decode_or_diagnose(image: bytes):
+    """Decode; anything but success or DecodeError fails the test."""
+    try:
+        return decode_program(image)
+    except DecodeError as error:
+        _check_error(error, image)
+        return None
+
+
+def test_kernel_image_decodes():
+    instructions = decode_program(IMAGE)
+    assert instructions
+    assert instructions[0].is_jump_target  # entry is uncompressed
+
+
+@settings(max_examples=300, deadline=None)
+@given(data=st.binary(max_size=256))
+def test_arbitrary_streams(data):
+    _decode_or_diagnose(data)
+
+
+@settings(max_examples=200, deadline=None)
+@given(length=st.integers(0, len(IMAGE)))
+def test_truncated_images(length):
+    _decode_or_diagnose(IMAGE[:length])
+
+
+@settings(max_examples=400, deadline=None)
+@given(bit=st.integers(0, 8 * len(IMAGE) - 1))
+def test_bit_flipped_images(bit):
+    image = bytearray(IMAGE)
+    image[bit // 8] ^= 1 << (7 - (bit % 8))
+    _decode_or_diagnose(bytes(image))
+
+
+@settings(max_examples=100, deadline=None)
+@given(bits=st.lists(st.integers(0, 8 * len(IMAGE) - 1),
+                     min_size=2, max_size=8, unique=True))
+def test_multi_bit_flipped_images(bits):
+    image = bytearray(IMAGE)
+    for bit in bits:
+        image[bit // 8] ^= 1 << (7 - (bit % 8))
+    _decode_or_diagnose(bytes(image))

@@ -1,0 +1,106 @@
+"""Campaign cells as jobs: determinism, records, metrics, golden flow.
+
+The campaign layer's contract with the parallel engine (PR 4) is the
+same one the conformance corpus holds kernel jobs to: byte-identical
+merged records, events, and summaries at every worker count — which is
+what lets ``make inject`` pin the whole fault campaign behind three
+sha256 digests.
+"""
+
+import json
+
+from repro.eval.jobs import injection_jobs
+from repro.eval.parallel import (
+    check_conformance,
+    golden_document,
+    run_jobs,
+)
+from repro.obs.export import validate_bench_record
+from repro.resilience.campaign import campaign_jobs, fault_metrics
+from repro.resilience.harness import OUTCOMES
+
+#: Small but representative: one kernel, every structure, both default
+#: protections, two seeds per cell (16 injected runs).
+SMALL = dict(kernels=["memset"], count=2)
+
+
+def _merged(workers):
+    return run_jobs(campaign_jobs(**SMALL), workers=workers)
+
+
+def test_merge_is_identical_at_any_worker_count():
+    serial = _merged(workers=1)
+    sharded = _merged(workers=3)
+    assert serial.ok and sharded.ok
+    assert serial.digests() == sharded.digests()
+    assert serial.summaries == sharded.summaries
+    assert serial.records == sharded.records
+
+
+def test_records_are_schema_valid_and_internally_consistent():
+    merged = _merged(workers=1)
+    assert len(merged.records) == len(campaign_jobs(**SMALL))
+    for record in merged.records:
+        validate_bench_record(record)  # tm3270.bench/1 + fault extras
+        section = record["fault_tolerance"]
+        total = sum(section[outcome.replace("-", "_")]
+                    for outcome in OUTCOMES)
+        assert total == section["injections"] == len(record["fault_runs"])
+        for run in record["fault_runs"]:
+            assert run["outcome"] in OUTCOMES
+        assert 0.0 <= section["sdc_rate"] <= 1.0
+        assert 0.0 <= section["detection_rate"] <= 1.0
+        json.dumps(record)  # JSON-safe end to end
+
+
+def test_fault_events_ride_along():
+    merged = _merged(workers=1)
+    fault_events = [event for event in merged.events
+                    if event.cat == "fault"]
+    injects = [event for event in fault_events
+               if event.name == "inject"]
+    outcomes = [event for event in fault_events
+                if event.name == "outcome"]
+    assert len(injects) == 16  # one per injected run
+    assert len(outcomes) == 16
+    for event in fault_events:
+        assert event.args["structure"] in ("regfile", "dcache-data",
+                                           "dcache-tag", "ibuf")
+
+
+def test_fault_metrics_projection():
+    merged = _merged(workers=1)
+    registry = fault_metrics(merged.records)
+    samples = {(sample.name, tuple(sorted(sample.labels.items())))
+               for sample in registry.collect()}
+    assert any(name == "fault_injections_total"
+               for name, _ in samples)
+    total = sum(sample.value for sample in registry.collect()
+                if sample.name == "fault_injections_total")
+    assert total == 16
+    outcome_total = sum(sample.value for sample in registry.collect()
+                        if sample.name == "fault_outcomes_total")
+    assert outcome_total == 16
+
+
+def test_golden_document_round_trip(tmp_path):
+    jobs = campaign_jobs(**SMALL)
+    merged = run_jobs(jobs, workers=2)
+    golden_path = tmp_path / "fault_campaign.json"
+    golden_path.write_text(json.dumps(golden_document(merged, jobs)))
+    assert check_conformance(merged, jobs, golden_path=golden_path) == []
+    # A single flipped digest character is caught.
+    document = json.loads(golden_path.read_text())
+    digest = document["digests"]["records"]
+    document["digests"]["records"] = \
+        ("0" if digest[0] != "0" else "1") + digest[1:]
+    golden_path.write_text(json.dumps(document))
+    problems = check_conformance(merged, jobs, golden_path=golden_path)
+    assert problems
+
+
+def test_injection_jobs_facade_matches_campaign_jobs():
+    direct = campaign_jobs(kernels=["memset"], count=3, base_seed=7)
+    facade = injection_jobs(kernels=["memset"], count=3, base_seed=7)
+    assert [job.describe() for job in facade] \
+        == [job.describe() for job in direct]

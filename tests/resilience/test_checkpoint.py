@@ -1,0 +1,114 @@
+"""Checkpoint/rollback contract: restore replays *bit-identically*.
+
+:meth:`Processor.snapshot` / :meth:`Processor.restore` are the
+foundation the parity-rollback recovery protocol stands on: after a
+restore, everything observable — architectural registers, memory,
+cycle counts, and the subsequent event stream — must continue exactly
+as it did the first time the machine left that state.  These tests run
+a real kernel to completion twice from one mid-run snapshot and compare
+every observable surface, plus the watchdog that bounds a recovering
+run.
+"""
+
+import pytest
+
+from repro.asm.link import compile_program
+from repro.core.config import EVALUATION_CONFIGS
+from repro.core.processor import Processor, WatchdogTimeout, run_kernel
+from repro.kernels.registry import kernel_by_name
+from repro.mem.flatmem import FlatMemory
+from repro.obs.events import EventBus
+
+
+def _setup(kernel="memset", config="D"):
+    case = kernel_by_name(kernel)
+    cfg = {c.name: c for c in EVALUATION_CONFIGS}[config]
+    program = compile_program(case.build(), cfg.target)
+    memory = FlatMemory(case.memory_size)
+    args = case.prepare(memory)
+    return case, cfg, program, memory, args
+
+
+def _run_to_halt(processor, limit=2048):
+    while not processor.step_block(limit=limit):
+        pass
+
+
+def _observables(processor, memory):
+    session = processor.session
+    regs = [session.executor.regfile.peek(reg) for reg in range(128)]
+    return {
+        "cycle": session.cycle,
+        "instructions": session.instructions,
+        "ops_executed": session.ops_executed,
+        "dcache_stalls": session.dcache_stall_cycles,
+        "registers": regs,
+        "memory": memory.snapshot_state(),
+    }
+
+
+@pytest.mark.parametrize("kernel", ["memset", "filmdet"])
+def test_restore_replays_bit_identically(kernel):
+    case, cfg, program, memory, args = _setup(kernel)
+    bus = EventBus()
+    processor = Processor(cfg, memory=memory, obs=bus)
+    processor.begin(program, args=args)
+    processor.step_block(limit=700)
+    snap = processor.snapshot()
+    mark = len(bus.events)
+
+    _run_to_halt(processor)
+    first = _observables(processor, memory)
+    first_events = list(bus.events[mark:])
+
+    processor.restore(snap)
+    mark = len(bus.events)
+    _run_to_halt(processor)
+    second = _observables(processor, memory)
+    second_events = list(bus.events[mark:])
+
+    assert first == second
+    assert first_events == second_events
+    result = processor.result()
+    case.verify(memory, result)  # the replayed run is still correct
+
+
+def test_restore_is_reusable():
+    """One snapshot supports any number of rollbacks (multi-detect)."""
+    _case, cfg, program, memory, args = _setup()
+    processor = Processor(cfg, memory=memory)
+    processor.begin(program, args=args)
+    processor.step_block(limit=500)
+    snap = processor.snapshot()
+    baselines = []
+    for _ in range(3):
+        processor.step_block(limit=400)
+        baselines.append(_observables(processor, memory))
+        processor.restore(snap)
+    _run_to_halt(processor)
+    assert baselines[0] == baselines[1] == baselines[2]
+
+
+def test_watchdog_reports_vital_signs():
+    _case, cfg, program, memory, args = _setup()
+    processor = Processor(cfg, memory=memory)
+    with pytest.raises(WatchdogTimeout) as caught:
+        processor.run(program, args=args, max_cycles=100)
+    error = caught.value
+    assert error.program_name == program.name
+    assert error.config_name == cfg.name
+    assert error.max_cycles == 100
+    assert error.cycles > 100
+    assert error.instructions >= 0
+    assert str(error.max_cycles) in str(error)
+
+
+def test_run_kernel_passes_watchdog_through():
+    case, cfg, program, memory, args = _setup()
+    with pytest.raises(WatchdogTimeout):
+        run_kernel(program, cfg, args=args, memory=memory, max_cycles=50)
+    # Without a budget the same kernel completes and verifies.
+    memory = FlatMemory(case.memory_size)
+    args = case.prepare(memory)
+    result = run_kernel(program, cfg, args=args, memory=memory)
+    case.verify(memory, result)
