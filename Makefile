@@ -10,7 +10,7 @@ JOBS ?=
 JOBSFLAG := $(if $(JOBS),--jobs $(JOBS),)
 
 .PHONY: test fast slow bench benchmarks eval perf trace verify lint \
-	golden conformance inject inject-golden ci
+	golden conformance lockstep lockstep-smoke inject inject-golden ci
 
 # Tier-1 verification: the whole unit/property suite.
 test:
@@ -77,6 +77,14 @@ golden:
 conformance:
 	$(PY) -m repro.eval.parallel --conformance --jobs 2
 
+# Three-way lockstep conformance (interp vs plan vs trace) over the
+# full 30-program catalog; `lockstep-smoke` runs the 5-case subset.
+lockstep:
+	$(PY) -m repro.eval.lockstep
+
+lockstep-smoke:
+	$(PY) -m repro.eval.lockstep --smoke
+
 # Seeded soft-error smoke campaign through the sharded engine,
 # digest-pinned like the golden corpus: the merged records/events must
 # match tests/golden/fault_campaign.json at any JOBS level.  Also
@@ -90,10 +98,12 @@ inject-golden:
 	$(PY) -m repro.resilience --write-golden
 
 # The full local CI gauntlet: lint, static kernel verification, the
-# tier-1 suite under a pinned hash seed, then sharded golden
-# conformance + fault-campaign runs proving parallelism changes
-# nothing.
+# tier-1 suite under a pinned hash seed, the three-engine lockstep
+# smoke subset, then sharded golden conformance + fault-campaign runs
+# proving parallelism changes nothing.  (The full 30-program lockstep
+# catalog is the `make lockstep` / `-m slow` sweep.)
 ci: lint verify
 	PYTHONHASHSEED=0 $(PY) -m pytest -x -q
+	$(PY) -m repro.eval.lockstep --smoke
 	$(PY) -m repro.eval.parallel --conformance --jobs 2
 	$(PY) -m repro.resilience --check --jobs 2

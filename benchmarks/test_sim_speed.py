@@ -1,11 +1,14 @@
-"""Simulator throughput: pre-decoded fast path vs reference interpreter.
+"""Simulator throughput: interp vs plan vs trace execution tiers.
 
 Unlike every other benchmark in this directory, the measured quantity
 is *simulator* performance — simulated VLIW instructions per wall
-second — not simulated-processor cycles.  Records land in
+second — not simulated-processor cycles.  Every case is timed on all
+three engines (the reference interpreter, the pre-decoded plan path,
+and the trace-compiled tier); records land in
 ``benchmarks/results/BENCH_sim_speed.json`` (schema ``tm3270.bench/1``
-with a ``sim_speed`` section); ``scripts/bench_compare.py`` guards
-against throughput regressions between two such files.
+with a ``sim_speed`` section carrying per-engine medians);
+``scripts/bench_compare.py`` gates each engine's throughput
+independently between two such files.
 """
 
 import pathlib
@@ -45,6 +48,15 @@ def test_sim_speed(benchmark):
     assert by_name["cabac_plain"].speedup >= 2.0
     assert by_name["cabac_super"].speedup >= 1.8
     assert by_name["me_frac_ld8"].speedup >= 1.8
+
+    # The trace tier's claim: compiled hot regions beat the plan
+    # interpreter by >= 1.5x on the Table 5 loop kernels (measured
+    # ~2.0x/~1.8x; the slack absorbs CI noise and first-repeat
+    # compilation).  Short programs (me_frac_ld8) amortize less and
+    # are deliberately not gated.
+    assert by_name["memcpy"].trace_speedup_vs_plan >= 1.5
+    assert by_name["mpeg2_b"].trace_speedup_vs_plan >= 1.4
+    assert by_name["cabac_plain"].trace_speedup_vs_plan >= 1.5
 
     # Absolute sanity: the fast path simulates at a usable rate.
     for name in ("me_frac_plain", "cabac_plain"):

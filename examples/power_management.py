@@ -18,7 +18,7 @@ Run:  python examples/power_management.py
 from repro.core import TM3270_CONFIG
 from repro.core.dvs import DvsGovernor, energy_saving
 from repro.core.power import PowerModel
-from repro.core.trace import utilization
+from repro.core.profiling import utilization
 from repro.eval.mp3 import DEFAULT_FRAMES, run_mp3_proxy
 
 

@@ -18,7 +18,7 @@ Run:  python examples/video_pipeline.py
 
 from repro.asm import compile_program
 from repro.core import TM3270_CONFIG, Processor
-from repro.core.trace import format_profile
+from repro.core.profiling import format_profile
 from repro.kernels import eembc, mpeg2, tv
 from repro.kernels.common import args_for
 from repro.mem.flatmem import FlatMemory

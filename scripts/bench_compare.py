@@ -17,7 +17,12 @@ matches an untagged OLD baseline.  Two kinds of drift are checked:
   instructions-per-second in NEW must not fall more than
   ``--threshold`` (default 20%) below OLD (the median, not the mean
   or best-of, so one descheduled repeat under a loaded pool cannot
-  fail the gate; pre-median files fall back to the best-of field);
+  fail the gate; pre-median files fall back to the best-of field).
+  When both records carry the per-engine ``engines`` section, every
+  engine present in both (interp / plan / trace) is gated
+  *independently* — a trace-tier regression fails even if the plan
+  path got faster, and vice versa; records lacking the section fall
+  back to the single legacy gate;
 * **simulated cycles** — for every matched pair, a change in
   ``cycles`` is reported (informational unless ``--strict-cycles``,
   which treats any cycle-count growth beyond the threshold as a
@@ -185,18 +190,42 @@ def compare(old: dict, new: dict, threshold: float,
         old_speed = old_record.get("sim_speed")
         new_speed = new_record.get("sim_speed")
         if old_speed and new_speed:
-            old_rate = _gate_rate(old_record)
-            new_rate = _gate_rate(new_record)
-            change = new_rate / old_rate - 1.0
-            line = (f"  {name}: {_fmt_rate(old_rate)} -> "
-                    f"{_fmt_rate(new_rate)}  ({change:+.1%})")
-            if change < -threshold:
-                failures.append(
-                    f"{name}: throughput fell {-change:.1%} "
-                    f"({old_rate:.0f} -> {new_rate:.0f} instr/s), "
-                    f"threshold is {threshold:.0%}")
-                line += "  REGRESSION"
-            print(line)
+            old_engines = old_speed.get("engines") or {}
+            new_engines = new_speed.get("engines") or {}
+            shared = sorted(old_engines.keys() & new_engines.keys())
+            if shared:
+                # Per-engine gate: each engine's median must hold on
+                # its own.
+                for engine in shared:
+                    old_rate = old_engines[engine][
+                        "median_instructions_per_sec"]
+                    new_rate = new_engines[engine][
+                        "median_instructions_per_sec"]
+                    change = new_rate / old_rate - 1.0
+                    line = (f"  {name} [{engine}]: "
+                            f"{_fmt_rate(old_rate)} -> "
+                            f"{_fmt_rate(new_rate)}  ({change:+.1%})")
+                    if change < -threshold:
+                        failures.append(
+                            f"{name} [{engine}]: throughput fell "
+                            f"{-change:.1%} ({old_rate:.0f} -> "
+                            f"{new_rate:.0f} instr/s), threshold is "
+                            f"{threshold:.0%}")
+                        line += "  REGRESSION"
+                    print(line)
+            else:
+                old_rate = _gate_rate(old_record)
+                new_rate = _gate_rate(new_record)
+                change = new_rate / old_rate - 1.0
+                line = (f"  {name}: {_fmt_rate(old_rate)} -> "
+                        f"{_fmt_rate(new_rate)}  ({change:+.1%})")
+                if change < -threshold:
+                    failures.append(
+                        f"{name}: throughput fell {-change:.1%} "
+                        f"({old_rate:.0f} -> {new_rate:.0f} instr/s), "
+                        f"threshold is {threshold:.0%}")
+                    line += "  REGRESSION"
+                print(line)
 
         old_faults = old_record.get("fault_tolerance")
         new_faults = new_record.get("fault_tolerance")

@@ -15,7 +15,7 @@ from repro.core.dvs import DvsGovernor
 from repro.core.power import PowerModel
 from repro.core.processor import Processor, RunResult, run_kernel
 from repro.core.stats import RunStats
-from repro.core.trace import format_profile, profile_program, utilization
+from repro.core.profiling import format_profile, profile_program, utilization
 
 __all__ = [
     "CONFIG_A", "CONFIG_B", "CONFIG_C", "CONFIG_D", "EVALUATION_CONFIGS",

@@ -24,6 +24,14 @@ Two step implementations share that contract:
   architectural state and statistics (the differential suite in
   ``tests/core/test_fast_path_differential.py`` enforces this).
 
+A third tier exists above both: the trace engine
+(:mod:`repro.core.trace`, ``engine="trace"`` on the processor) runs
+this fast path between compiled hot regions.  It shares the executor's
+state verbatim — region functions operate directly on the register
+file's pending-write machinery and this object's ``pc``/
+``issue_count`` — so control can transfer between tiers at any
+instruction boundary.
+
 Because the fast path reuses one ``StepInfo`` object, callers must
 consume a returned info before the next ``step()`` call (the processor
 model and all in-tree consumers do); hold a copy if you need history.

@@ -77,6 +77,7 @@ class ExecutionPlan:
         "chunk_first", "chunk_last", "nops", "static_executed",
         "static_fu_items", "all_unguarded", "jump_delay_slots",
         "fu_list", "_abs_chunks", "_abs_chunks_base",
+        "_trace_regions", "_trace_code",
     )
 
     def __init__(self, program) -> None:
@@ -165,6 +166,12 @@ class ExecutionPlan:
 
         self._abs_chunks = None
         self._abs_chunks_base = None
+        #: Trace-tier caches (see :mod:`repro.core.trace`): detected
+        #: region specs and compiled region functions.  Both are pure
+        #: functions of the plan, so they live here and survive
+        #: runtime invalidations (re-warming is a cache hit).
+        self._trace_regions = None
+        self._trace_code = {}
 
     def code_chunks(self, code_base: int) -> tuple[list[int], list[int]]:
         """Absolute first/last fetch-chunk addresses per instruction.

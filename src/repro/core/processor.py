@@ -75,6 +75,12 @@ class WatchdogTimeout(RuntimeError):
         self.max_cycles = max_cycles
 
 
+#: Execution-engine tiers, slowest to fastest.  All three are required
+#: to be bit-identical in architectural state, statistics, and the
+#: machine event stream (``tests/core/test_trace_differential.py``).
+ENGINES = ("interp", "plan", "trace")
+
+
 @dataclass
 class RunResult:
     """Execution outcome: stats plus final architectural state."""
@@ -82,6 +88,9 @@ class RunResult:
     stats: RunStats
     regfile: object
     memory: FlatMemory
+    #: Trace-tier meta-statistics (``engine="trace"`` only) — about
+    #: the simulator, never about the simulated machine.
+    trace: object | None = None
 
     def reg(self, preg: int) -> int:
         """Final committed value of a physical register."""
@@ -111,7 +120,8 @@ class _RunSession:
     """Mutable loop state of one in-progress run (between blocks)."""
 
     __slots__ = (
-        "program", "executor", "stats", "fast", "step",
+        "program", "executor", "stats", "fast", "step", "engine",
+        "trace_runtime",
         "chunk_first", "chunk_last", "budget", "max_instructions",
         "watchdog_limit", "max_cycles", "cycle", "last_chunk",
         "instructions", "ops_issued", "ops_executed", "jumps_taken",
@@ -158,7 +168,9 @@ class Processor:
               args: dict[int, int] | None = None,
               max_instructions: int = 50_000_000,
               warm_code: bool = True, fast: bool = True,
-              max_cycles: int | None = None) -> None:
+              max_cycles: int | None = None,
+              engine: str | None = None,
+              trace_config=None) -> None:
         """Set up a run without executing anything yet.
 
         See :meth:`run` for the parameter contract.  After ``begin``,
@@ -167,6 +179,13 @@ class Processor:
         """
         if self._session is not None:
             raise RuntimeError("a run is already in progress")
+        if engine is None:
+            engine = "plan" if fast else "interp"
+        elif engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}")
+        else:
+            fast = engine != "interp"
         if program.target.name != self.config.target.name:
             raise ValueError(
                 f"program compiled for {program.target.name!r} cannot run "
@@ -197,6 +216,14 @@ class Processor:
             freq_mhz=self.config.freq_mhz,
         )
         session.fast = fast
+        session.engine = engine
+        if engine == "trace":
+            from repro.core.trace import TraceRuntime
+            session.trace_runtime = TraceRuntime(
+                executor._plan, config=trace_config,
+                strict=executor.regfile.strict, obs=self.obs)
+        else:
+            session.trace_runtime = None
         session.step = (executor._step_fast if fast
                         else executor._step_reference)
         if fast:
@@ -245,6 +272,13 @@ class Processor:
             raise RuntimeError("no active run; call begin() first")
         if session.halted:
             return True
+        if session.engine == "trace":
+            if monitor is None:
+                return self._step_block_trace(limit)
+            # A monitor needs per-instruction control; compiled
+            # regions retire many instructions per call, so monitored
+            # blocks run on the plan interpreter (bit-identical).
+            session.trace_runtime.stats.monitor_blocks += 1
 
         program = session.program
         fast = session.fast
@@ -383,6 +417,231 @@ class Processor:
             session.halted = halted
         return halted
 
+    def _step_block_trace(self, limit: int | None = None) -> bool:
+        """Trace-tier block loop (``engine="trace"``, no monitor).
+
+        The interpreter leg is :meth:`step_block`'s fast path verbatim;
+        at every instruction boundary with no jump in flight, a single
+        ``dispatch.get(pc)`` probes for a compiled region.  A hit warms
+        (and at threshold compiles) the region; once compiled, the
+        region function retires its whole instruction window in one
+        call and returns the counter deltas this loop folds back in.
+
+        Deoptimization is structural: a region is *entered* only when
+        the remaining block and instruction budgets cover it whole, so
+        partial progress exists only on the exception path — and there
+        the generated function spills its locals through
+        ``runtime.spill`` before re-raising, putting the session at
+        exactly the state the plan interpreter would have left
+        (retired-step granularity; see trace.py's module docstring).
+        """
+        session = self._session
+        program = session.program
+        executor = session.executor
+        runtime = session.trace_runtime
+        runtime.ensure(executor._plan, session.cycle)
+        plan = executor._plan
+        plan_count = plan.count
+        dispatch_get = runtime.dispatch.get
+        warm = runtime.warm
+        tstats = runtime.stats
+        spill = runtime.spill
+        step = executor._step_fast
+        chunk_first, chunk_last = plan.code_chunks(CODE_BASE)
+        mmio_end = MMIO_BASE + MMIO_SIZE
+        icache_fetch = self.icache.fetch_chunk
+        dcache_access = self.dcache.access
+        prefetcher = self.prefetcher
+        prefetch_queue = prefetcher._queue
+        prefetch_tick = prefetcher.tick
+        observe_load = prefetcher.observe_load
+        obs = self.obs
+        regfile = executor.regfile
+        values = regfile._values
+        pending = regfile._pending
+        heap = regfile._due_heap
+        commit_until = regfile.commit_until
+        ctx = executor._ctx
+        mem_load = executor.memory.load
+        mem_store = executor.memory.store
+        mmio_load = ctx._mmio_load
+        mmio_store = ctx._mmio_store
+        fu_totals = executor._fu_totals
+        program_name = program.name
+        config_name = self.config.name
+        max_cycles = session.max_cycles
+
+        cycle = session.cycle
+        last_chunk = session.last_chunk
+        budget = session.budget
+        watchdog_limit = session.watchdog_limit
+        instructions = session.instructions
+        ops_issued = session.ops_issued
+        ops_executed = session.ops_executed
+        jumps_taken = session.jumps_taken
+        icache_stall_cycles = session.icache_stall_cycles
+        dcache_stall_cycles = session.dcache_stall_cycles
+        code_bytes_fetched = session.code_bytes_fetched
+        mmio_accesses = session.mmio_accesses
+        remaining = limit if limit is not None else (1 << 62)
+        halted = False
+
+        try:
+            while True:
+                if executor._pending_jump is None:
+                    rec = dispatch_get(executor.pc)
+                    if rec is not None:
+                        fn = rec.fn
+                        if fn is None:
+                            fn = warm(rec, cycle)
+                        rlen = rec.length
+                        if (fn is not None and remaining >= rlen
+                                and budget >= rlen):
+                            try:
+                                ret = fn(
+                                    values, pending, heap, commit_until,
+                                    ctx, mem_load, mem_store, mmio_load,
+                                    mmio_store, icache_fetch,
+                                    dcache_access, observe_load,
+                                    prefetch_queue, prefetch_tick, obs,
+                                    fu_totals, executor.issue_count,
+                                    cycle, last_chunk, instructions,
+                                    watchdog_limit, program_name,
+                                    config_name, max_cycles, spill)
+                            except BaseException:
+                                # Fold the spilled partial progress in,
+                                # then let the shared finally flush it.
+                                retired = spill[0]
+                                cycle = spill[1]
+                                icache_stall_cycles += spill[2]
+                                dcache_stall_cycles += spill[3]
+                                code_bytes_fetched += spill[4]
+                                mmio_accesses += spill[5]
+                                ops_executed += spill[6]
+                                jumps_taken += spill[7]
+                                regfile.reads += spill[8]
+                                regfile.writes += spill[9]
+                                regfile.guard_reads += spill[10]
+                                instructions += retired
+                                budget -= retired
+                                ops_issued += rec.issued_prefix[retired]
+                                executor.issue_count += retired
+                                spill[0] = None
+                                raise
+                            tstats.enters += 1
+                            tstats.compiled_instructions += rlen
+                            cycle = ret[1]
+                            last_chunk = ret[2]
+                            ops_executed += ret[3]
+                            jumps_taken += ret[4]
+                            icache_stall_cycles += ret[5]
+                            dcache_stall_cycles += ret[6]
+                            mmio_accesses += ret[7]
+                            regfile.reads += ret[8]
+                            regfile.writes += ret[9]
+                            code_bytes_fetched += ret[10]
+                            regfile.guard_reads += rec.static_guard_reads
+                            ops_issued += rec.static_issued
+                            instructions += rlen
+                            budget -= rlen
+                            executor.issue_count += rlen
+                            next_pc = ret[0]
+                            executor.pc = next_pc
+                            if next_pc >= plan_count:
+                                halted = True
+                                break
+                            remaining -= rlen
+                            if not remaining:
+                                break
+                            continue
+                        if fn is not None:
+                            tstats.entry_blocked += 1
+
+                # Interpreter leg — step_block's fast path, verbatim.
+                info = step()
+                if info is None:
+                    halted = True
+                    break
+                budget -= 1
+                if budget < 0:
+                    raise RuntimeError(
+                        f"{program.name}: exceeded "
+                        f"{session.max_instructions} "
+                        f"instructions on {self.config.name}")
+                stall = 0
+
+                first_chunk = chunk_first[info.index]
+                last_needed = chunk_last[info.index]
+                if first_chunk != last_chunk or last_needed != last_chunk:
+                    chunk = first_chunk
+                    while chunk <= last_needed:
+                        if chunk != last_chunk:
+                            stall += icache_fetch(chunk, cycle + stall)
+                            code_bytes_fetched += FETCH_CHUNK_BYTES
+                            last_chunk = chunk
+                        chunk += FETCH_CHUNK_BYTES
+                    icache_stall_cycles += stall
+                fetch_stall = stall
+
+                if info.mem_accesses:
+                    for access in info.mem_accesses:
+                        address = access.address
+                        if MMIO_BASE <= address < mmio_end:
+                            mmio_accesses += 1
+                            continue
+                        mem_stall = dcache_access(
+                            access.is_load, address, access.nbytes,
+                            cycle + stall)
+                        stall += mem_stall
+                        dcache_stall_cycles += mem_stall
+                        if access.is_load:
+                            observe_load(address, cycle + stall)
+                if prefetch_queue:
+                    prefetch_tick(cycle + stall)
+
+                if obs:
+                    obs.instruction(cycle, 1 + stall,
+                                    index=instructions,
+                                    issued_ops=info.issued_ops,
+                                    executed_ops=info.executed_ops)
+                    obs.stall(cycle, "icache", fetch_stall)
+                    obs.stall(cycle + fetch_stall, "dcache",
+                              stall - fetch_stall)
+                    if obs.stage_detail:
+                        for stage, start, dur in stage_spans(
+                                cycle, stall=stall):
+                            obs.stage(start, stage, dur,
+                                      instr=instructions)
+
+                cycle += 1 + stall
+                instructions += 1
+                ops_issued += info.issued_ops
+                ops_executed += info.executed_ops
+                if info.jump_taken:
+                    jumps_taken += 1
+
+                if cycle > watchdog_limit:
+                    raise WatchdogTimeout(
+                        program.name, self.config.name, cycle,
+                        instructions, session.max_cycles)
+                remaining -= 1
+                if not remaining:
+                    break
+        finally:
+            session.cycle = cycle
+            session.last_chunk = last_chunk
+            session.budget = budget
+            session.instructions = instructions
+            session.ops_issued = ops_issued
+            session.ops_executed = ops_executed
+            session.jumps_taken = jumps_taken
+            session.icache_stall_cycles = icache_stall_cycles
+            session.dcache_stall_cycles = dcache_stall_cycles
+            session.code_bytes_fetched = code_bytes_fetched
+            session.mmio_accesses = mmio_accesses
+            session.halted = halted
+        return halted
+
     def result(self) -> RunResult:
         """Finalize the active run: settle registers, flush counters
         into :class:`RunStats`, and clear the session."""
@@ -412,13 +671,17 @@ class Processor:
         stats.biu = self.biu.stats
         stats.sdram = self.biu.sdram.stats
         stats.prefetch = self.prefetcher.stats
+        runtime = session.trace_runtime
         self._session = None
-        return RunResult(stats, executor.regfile, self.memory)
+        return RunResult(stats, executor.regfile, self.memory,
+                         trace=runtime.stats if runtime else None)
 
     def run(self, program: LinkedProgram, args: dict[int, int] | None = None,
             max_instructions: int = 50_000_000,
             warm_code: bool = True, fast: bool = True,
-            max_cycles: int | None = None) -> RunResult:
+            max_cycles: int | None = None,
+            engine: str | None = None,
+            trace_config=None) -> RunResult:
         """Execute ``program`` to completion and return the result.
 
         ``args`` maps physical registers to initial values (the kernel
@@ -428,16 +691,22 @@ class Processor:
         them.
 
         ``fast`` selects the pre-decoded execution plan (the default);
-        ``fast=False`` runs the dynamic reference interpreter.  The two
-        produce bit-identical results and statistics — the flag only
-        trades simulation wall-clock.
+        ``fast=False`` runs the dynamic reference interpreter.
+        ``engine`` names the tier explicitly — ``"interp"`` (reference
+        interpreter), ``"plan"`` (pre-decoded fast path), or
+        ``"trace"`` (plan path plus compiled hot regions, see
+        :mod:`repro.core.trace`) — and overrides ``fast`` when given.
+        All tiers produce bit-identical results and statistics — the
+        choice only trades simulation wall-clock.  ``trace_config``
+        optionally tunes the trace tier's region detector/threshold.
 
         ``max_cycles`` arms a watchdog: the run raises
         :class:`WatchdogTimeout` as soon as the cycle count exceeds it
         (the resilience layer's hang detector; ``None`` disables it).
         """
         self.begin(program, args=args, max_instructions=max_instructions,
-                   warm_code=warm_code, fast=fast, max_cycles=max_cycles)
+                   warm_code=warm_code, fast=fast, max_cycles=max_cycles,
+                   engine=engine, trace_config=trace_config)
         self.step_block()
         return self.result()
 
@@ -500,6 +769,14 @@ class Processor:
         self.icache.restore_state(snap.icache)
         self.prefetcher.restore_state(snap.prefetch)
         self.biu.restore_state(snap.biu)
+        if session.trace_runtime is not None:
+            # Compiled code may have been specialized against state the
+            # rollback just discarded (e.g. a plan swapped in by fault
+            # injection after the snapshot); heat restarts from zero
+            # and re-warming hits the plan-level code cache.
+            session.trace_runtime.invalidate("restore", session.cycle)
+            session.trace_runtime.ensure(session.executor._plan,
+                                         session.cycle)
 
 
 def run_kernel(program: LinkedProgram,
@@ -510,10 +787,13 @@ def run_kernel(program: LinkedProgram,
                max_instructions: int = 50_000_000,
                obs: EventBus | None = None,
                fast: bool = True,
-               max_cycles: int | None = None) -> RunResult:
+               max_cycles: int | None = None,
+               engine: str | None = None,
+               trace_config=None) -> RunResult:
     """Convenience: build a fresh processor and run one kernel."""
     processor = Processor(config, memory=memory, memory_size=memory_size,
                           obs=obs)
     return processor.run(program, args=args,
                          max_instructions=max_instructions, fast=fast,
-                         max_cycles=max_cycles)
+                         max_cycles=max_cycles, engine=engine,
+                         trace_config=trace_config)

@@ -1,0 +1,163 @@
+"""Execution introspection: slot utilization, FU occupancy, stalls.
+
+The paper reasons about performance in terms of OPI (how full the five
+issue slots are) and CPI (how many cycles each instruction really
+costs).  This module computes those views from a compiled program and
+a run — the profiler a TriMedia performance engineer would reach for:
+
+* static **slot-occupancy histogram** — how many operations each
+  instruction of the binary issues, and which slots they occupy;
+* static **functional-unit pressure** — operations per FU class,
+  against the number of available instances;
+* dynamic **utilization report** — issued vs executed operations,
+  guard-nullification rate, stall decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asm.link import LinkedProgram
+from repro.core.stats import RunStats
+from repro.isa.operations import FU, FU_SLOTS
+
+
+@dataclass
+class SlotProfile:
+    """Static issue-slot statistics of one linked program."""
+
+    instructions: int = 0
+    #: histogram[k] = number of instructions issuing k operations.
+    width_histogram: dict = field(default_factory=dict)
+    #: per-slot occupancy counts (slot -> instructions using it).
+    slot_counts: dict = field(default_factory=dict)
+    #: per-FU-class operation counts.
+    fu_counts: dict = field(default_factory=dict)
+
+    @property
+    def mean_width(self) -> float:
+        if not self.instructions:
+            return 0.0
+        total = sum(width * count
+                    for width, count in self.width_histogram.items())
+        return total / self.instructions
+
+    def slot_utilization(self, slot: int) -> float:
+        """Fraction of instructions with an operation in ``slot``."""
+        if not self.instructions:
+            return 0.0
+        return self.slot_counts.get(slot, 0) / self.instructions
+
+    def fu_pressure(self, fu: FU) -> float:
+        """Mean per-instruction demand per instance of FU class."""
+        if not self.instructions:
+            return 0.0
+        instances = len(FU_SLOTS[fu])
+        return self.fu_counts.get(fu, 0) / self.instructions / instances
+
+
+def profile_program(program: LinkedProgram) -> SlotProfile:
+    """Static slot/FU profile of a linked program."""
+    profile = SlotProfile(instructions=len(program.instructions))
+    for instr in program.instructions:
+        width = len(instr.ops)
+        profile.width_histogram[width] = \
+            profile.width_histogram.get(width, 0) + 1
+        for op in instr.ops:
+            spec = op.spec
+            slots = (op.slot, op.slot + 1) if spec.two_slot else (op.slot,)
+            for slot in slots:
+                profile.slot_counts[slot] = \
+                    profile.slot_counts.get(slot, 0) + 1
+            profile.fu_counts[spec.fu] = \
+                profile.fu_counts.get(spec.fu, 0) + 1
+    return profile
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    """Dynamic execution summary derived from run statistics."""
+
+    instructions: int
+    cycles: int
+    opi: float
+    cpi: float
+    issue_rate: float          # issued ops per cycle
+    nullification_rate: float  # guard-false fraction of issued ops
+    stall_fraction: float
+    dcache_stall_share: float  # of all stall cycles
+    icache_stall_share: float
+
+
+def utilization(stats: RunStats) -> UtilizationReport:
+    """Compute the dynamic utilization report for one run."""
+    issued = max(stats.ops_issued, 1)
+    stalls = max(stats.stall_cycles, 1)
+    return UtilizationReport(
+        instructions=stats.instructions,
+        cycles=stats.cycles,
+        opi=stats.opi,
+        cpi=stats.cpi,
+        issue_rate=stats.ops_issued / max(stats.cycles, 1),
+        nullification_rate=1.0 - stats.ops_executed / issued,
+        stall_fraction=stats.stall_fraction,
+        dcache_stall_share=(stats.dcache_stall_cycles / stalls
+                            if stats.stall_cycles else 0.0),
+        icache_stall_share=(stats.icache_stall_cycles / stalls
+                            if stats.stall_cycles else 0.0),
+    )
+
+
+def register_utilization(stats: RunStats, registry) -> None:
+    """Export the dynamic utilization view as gauges on ``registry``.
+
+    Complements :func:`repro.obs.metrics.from_run_stats` (raw
+    counters) with the derived pipeline-occupancy ratios this module
+    computes, under one metric family.
+    """
+    report = utilization(stats)
+    gauge = registry.gauge(
+        "pipeline_utilization",
+        "derived pipeline occupancy ratios", ("metric",))
+    gauge.labels("issue_rate").set(report.issue_rate)
+    gauge.labels("nullification_rate").set(report.nullification_rate)
+    gauge.labels("dcache_stall_share").set(report.dcache_stall_share)
+    gauge.labels("icache_stall_share").set(report.icache_stall_share)
+
+
+def format_profile(program: LinkedProgram,
+                   stats: RunStats | None = None) -> str:
+    """Human-readable profile report."""
+    profile = profile_program(program)
+    lines = [f"profile of {program.name} ({program.target.name}):"]
+    lines.append(f"  instructions        : {profile.instructions}")
+    lines.append(f"  mean issue width    : {profile.mean_width:.2f} "
+                 "ops/instruction (static)")
+    widths = " ".join(
+        f"{width}:{profile.width_histogram.get(width, 0)}"
+        for width in range(6))
+    lines.append(f"  width histogram     : {widths}")
+    slots = " ".join(
+        f"s{slot}:{100 * profile.slot_utilization(slot):.0f}%"
+        for slot in range(1, 6))
+    lines.append(f"  slot utilization    : {slots}")
+    busiest = sorted(profile.fu_counts, key=profile.fu_pressure,
+                     reverse=True)[:3]
+    pressure = " ".join(
+        f"{fu.value}:{profile.fu_pressure(fu):.2f}" for fu in busiest)
+    lines.append(f"  hottest FU classes  : {pressure} (demand/instance)")
+    if stats is not None:
+        report = utilization(stats)
+        lines.append(f"  dynamic OPI / CPI   : {report.opi:.2f} / "
+                     f"{report.cpi:.2f}")
+        lines.append(f"  issue rate          : {report.issue_rate:.2f} "
+                     "ops/cycle")
+        lines.append(
+            f"  guard nullification : "
+            f"{100 * report.nullification_rate:.1f}% of issued ops")
+        lines.append(
+            f"  stall cycles        : "
+            f"{100 * report.stall_fraction:.1f}% "
+            f"(D$ {100 * report.dcache_stall_share:.0f}%, "
+            f"I$ {100 * report.icache_stall_share:.0f}%)")
+    return "\n".join(lines)

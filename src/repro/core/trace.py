@@ -1,163 +1,908 @@
-"""Execution introspection: slot utilization, FU occupancy, stalls.
+"""Trace compilation: hot plan regions specialized into Python functions.
 
-The paper reasons about performance in terms of OPI (how full the five
-issue slots are) and CPI (how many cycles each instruction really
-costs).  This module computes those views from a compiled program and
-a run — the profiler a TriMedia performance engineer would reach for:
+The :class:`~repro.core.plan.ExecutionPlan` fast path still pays one
+Python loop iteration — operand tuple building, semantic dispatch,
+``StepInfo`` bookkeeping, processor-side timing — per VLIW instruction.
+This module adds the third execution tier (``engine="trace"``): a
+counter-triggered region detector finds hot straight-line runs and
+loop bodies in the plan, a codegen pass emits one specialized Python
+function per region via source generation + :func:`compile`, and the
+processor's trace dispatcher enters those functions from the fast
+path, deoptimizing back to the plan interpreter at region exits.
 
-* static **slot-occupancy histogram** — how many operations each
-  instruction of the binary issues, and which slots they occupy;
-* static **functional-unit pressure** — operations per FU class,
-  against the number of available instances;
-* dynamic **utilization report** — issued vs executed operations,
-  guard-nullification rate, stall decomposition.
+The codegen contract (enforced by the three-way lockstep suite in
+``tests/core/test_trace_differential.py``) is *bit identity* with the
+reference interpreter: every architectural effect, every statistics
+counter, every obs event, and every exception — text included — must
+be indistinguishable.  The generated code therefore does not model a
+simplified machine; it is the plan interpreter and the processor's
+hot loop *unrolled and constant-folded* for one region:
+
+* per-operation plan tuples become straight-line statements with
+  register indices, immediates, latencies, and FU indices baked in as
+  literals; the registry semantic of every foldable operation is
+  inlined as a masked integer expression (anything else calls the
+  bound semantic exactly as the plan path would);
+* the dynamic pending-write machinery (``regfile._pending`` /
+  ``_due_heap``) is preserved verbatim — any entry machine state is
+  correct, at the cost of the push/commit protocol per write;
+* front-end fetches are constant-folded: after instruction ``i`` of a
+  sequential run the last-fetched chunk is provably
+  ``chunk_last[i]``, so only the first instruction of a region needs
+  the dynamic chunk walk and every later instruction fetches a
+  statically known (usually empty) chunk list;
+* strict-timing hazard scans, watchdog checks, and obs emission are
+  generated with the exact expressions, orderings, and f-string
+  messages of the interpreter, so exceptions raise at the same
+  operation with the same text.
+
+Regions end at jumps.  A region may *contain* exactly one terminating
+``jmpi``/``jmpt``/``jmpf`` with a resolved immediate target when its
+full delay-slot window fits inside the region; the jump's outcome is
+then a compile-time constant or a single flag (guards are the only
+dynamic input — ``ctx.guard_value`` is invariantly 1 in both
+interpreters, so an *executed* ``jmpi``/``jmpt`` is always taken and
+an executed ``jmpf`` never is).  Loop bodies ending in a backward
+jump therefore compile to one function per iteration with the
+next-pc pre-resolved.
+
+Deoptimization is structural, not exceptional: compiled code runs
+only between instruction boundaries, entered only when no jump is in
+flight and the remaining instruction/step budget covers the whole
+region, so snapshot/restore and the fault-injection monitor always
+observe interpreter-equivalent boundary state.  Traces are invalidated
+on :meth:`Processor.restore` and on instruction-buffer mutation (the
+resilience layer swaps ``executor._plan`` wholesale, which
+:meth:`TraceRuntime.ensure` detects by identity).  If a region raises
+mid-flight (timing violation, memory fault, watchdog), the generated
+``except`` block spills the partial progress counters so the
+dispatcher leaves the session exactly where the plan interpreter
+would have.
+
+Compiled functions are pure functions of ``(plan, strict)`` — all
+run-varying state arrives through parameters — and are cached on the
+plan (:attr:`ExecutionPlan._trace_code`), so repeated runs of one
+program (the perf harness, conformance sweeps) compile each region
+once per process.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from bisect import insort
+from dataclasses import dataclass
+from heapq import heappush
 
-from repro.asm.link import LinkedProgram
-from repro.core.stats import RunStats
-from repro.isa.operations import FU, FU_SLOTS
+from repro.core.pipeline import stage_spans
+from repro.core.plan import (
+    OP_DSTS,
+    OP_FU,
+    OP_GUARD,
+    OP_IMM,
+    OP_IS_JUMP,
+    OP_IS_MEM,
+    OP_JUMP_INDEX,
+    OP_LATENCY,
+    OP_NAME,
+    OP_SEMANTIC,
+    OP_SLOT,
+    OP_SRCS,
+)
+from repro.core.regfile import TimingViolation
+from repro.mem.icache import FETCH_CHUNK_BYTES
+
+#: Masks and the MMIO window, baked into generated source as literals.
+_M32 = "4294967295"
+_MMIO_LO = 0x1000_0000
+_MMIO_HI = 0x1000_1000
+
+#: The only jump mnemonics a region may terminate with: their taken
+#: target is the immediate, so the pre-resolved ``OP_JUMP_INDEX`` is
+#: the complete dynamic outcome (modulo the guard bit).
+_JUMP_NAMES = ("jmpi", "jmpt", "jmpf")
 
 
 @dataclass
-class SlotProfile:
-    """Static issue-slot statistics of one linked program."""
+class TraceConfig:
+    """Tuning knobs of the trace tier (defaults favour loop kernels)."""
 
-    instructions: int = 0
-    #: histogram[k] = number of instructions issuing k operations.
-    width_histogram: dict = field(default_factory=dict)
-    #: per-slot occupancy counts (slot -> instructions using it).
-    slot_counts: dict = field(default_factory=dict)
-    #: per-FU-class operation counts.
-    fu_counts: dict = field(default_factory=dict)
-
-    @property
-    def mean_width(self) -> float:
-        if not self.instructions:
-            return 0.0
-        total = sum(width * count
-                    for width, count in self.width_histogram.items())
-        return total / self.instructions
-
-    def slot_utilization(self, slot: int) -> float:
-        """Fraction of instructions with an operation in ``slot``."""
-        if not self.instructions:
-            return 0.0
-        return self.slot_counts.get(slot, 0) / self.instructions
-
-    def fu_pressure(self, fu: FU) -> float:
-        """Mean per-instruction demand per instance of FU class."""
-        if not self.instructions:
-            return 0.0
-        instances = len(FU_SLOTS[fu])
-        return self.fu_counts.get(fu, 0) / self.instructions / instances
+    #: Head entries observed before a region is compiled.
+    threshold: int = 8
+    #: Regions shorter than this are not worth the dispatch overhead.
+    min_length: int = 2
+    #: Unrolled-source cap: one VLIW instruction generates roughly
+    #: 10-60 source lines, so this bounds compile time and code size.
+    max_length: int = 128
 
 
-def profile_program(program: LinkedProgram) -> SlotProfile:
-    """Static slot/FU profile of a linked program."""
-    profile = SlotProfile(instructions=len(program.instructions))
-    for instr in program.instructions:
-        width = len(instr.ops)
-        profile.width_histogram[width] = \
-            profile.width_histogram.get(width, 0) + 1
-        for op in instr.ops:
-            spec = op.spec
-            slots = (op.slot, op.slot + 1) if spec.two_slot else (op.slot,)
-            for slot in slots:
-                profile.slot_counts[slot] = \
-                    profile.slot_counts.get(slot, 0) + 1
-            profile.fu_counts[spec.fu] = \
-                profile.fu_counts.get(spec.fu, 0) + 1
-    return profile
+@dataclass
+class TraceStats:
+    """Trace-tier telemetry (simulator meta-state, never RunStats)."""
+
+    detected: int = 0
+    compiled: int = 0
+    activations: int = 0
+    enters: int = 0
+    compiled_instructions: int = 0
+    entry_blocked: int = 0
+    monitor_blocks: int = 0
+    invalidations: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "detected": self.detected,
+            "compiled": self.compiled,
+            "activations": self.activations,
+            "enters": self.enters,
+            "compiled_instructions": self.compiled_instructions,
+            "entry_blocked": self.entry_blocked,
+            "monitor_blocks": self.monitor_blocks,
+            "invalidations": self.invalidations,
+        }
 
 
 @dataclass(frozen=True)
-class UtilizationReport:
-    """Dynamic execution summary derived from run statistics."""
+class RegionSpec:
+    """One detected region: ``length`` instructions from ``head``.
 
-    instructions: int
-    cycles: int
-    opi: float
-    cpi: float
-    issue_rate: float          # issued ops per cycle
-    nullification_rate: float  # guard-false fraction of issued ops
-    stall_fraction: float
-    dcache_stall_share: float  # of all stall cycles
-    icache_stall_share: float
-
-
-def utilization(stats: RunStats) -> UtilizationReport:
-    """Compute the dynamic utilization report for one run."""
-    issued = max(stats.ops_issued, 1)
-    stalls = max(stats.stall_cycles, 1)
-    return UtilizationReport(
-        instructions=stats.instructions,
-        cycles=stats.cycles,
-        opi=stats.opi,
-        cpi=stats.cpi,
-        issue_rate=stats.ops_issued / max(stats.cycles, 1),
-        nullification_rate=1.0 - stats.ops_executed / issued,
-        stall_fraction=stats.stall_fraction,
-        dcache_stall_share=(stats.dcache_stall_cycles / stalls
-                            if stats.stall_cycles else 0.0),
-        icache_stall_share=(stats.icache_stall_cycles / stalls
-                            if stats.stall_cycles else 0.0),
-    )
-
-
-def register_utilization(stats: RunStats, registry) -> None:
-    """Export the dynamic utilization view as gauges on ``registry``.
-
-    Complements :func:`repro.obs.metrics.from_run_stats` (raw
-    counters) with the derived pipeline-occupancy ratios this module
-    computes, under one metric family.
+    ``jump_pos`` (absolute instruction index) and ``jump_op`` (the
+    plan op tuple) identify the optional terminating jump; its delay
+    window is always the region's tail.
     """
-    report = utilization(stats)
-    gauge = registry.gauge(
-        "pipeline_utilization",
-        "derived pipeline occupancy ratios", ("metric",))
-    gauge.labels("issue_rate").set(report.issue_rate)
-    gauge.labels("nullification_rate").set(report.nullification_rate)
-    gauge.labels("dcache_stall_share").set(report.dcache_stall_share)
-    gauge.labels("icache_stall_share").set(report.icache_stall_share)
+
+    head: int
+    length: int
+    jump_pos: int | None
+    jump_op: tuple | None
 
 
-def format_profile(program: LinkedProgram,
-                   stats: RunStats | None = None) -> str:
-    """Human-readable profile report."""
-    profile = profile_program(program)
-    lines = [f"profile of {program.name} ({program.target.name}):"]
-    lines.append(f"  instructions        : {profile.instructions}")
-    lines.append(f"  mean issue width    : {profile.mean_width:.2f} "
-                 "ops/instruction (static)")
-    widths = " ".join(
-        f"{width}:{profile.width_histogram.get(width, 0)}"
-        for width in range(6))
-    lines.append(f"  width histogram     : {widths}")
-    slots = " ".join(
-        f"s{slot}:{100 * profile.slot_utilization(slot):.0f}%"
-        for slot in range(1, 6))
-    lines.append(f"  slot utilization    : {slots}")
-    busiest = sorted(profile.fu_counts, key=profile.fu_pressure,
-                     reverse=True)[:3]
-    pressure = " ".join(
-        f"{fu.value}:{profile.fu_pressure(fu):.2f}" for fu in busiest)
-    lines.append(f"  hottest FU classes  : {pressure} (demand/instance)")
-    if stats is not None:
-        report = utilization(stats)
-        lines.append(f"  dynamic OPI / CPI   : {report.opi:.2f} / "
-                     f"{report.cpi:.2f}")
-        lines.append(f"  issue rate          : {report.issue_rate:.2f} "
-                     "ops/cycle")
-        lines.append(
-            f"  guard nullification : "
-            f"{100 * report.nullification_rate:.1f}% of issued ops")
-        lines.append(
-            f"  stall cycles        : "
-            f"{100 * report.stall_fraction:.1f}% "
-            f"(D$ {100 * report.dcache_stall_share:.0f}%, "
-            f"I$ {100 * report.icache_stall_share:.0f}%)")
-    return "\n".join(lines)
+def _classify_jumps(plan) -> list:
+    """Per-instruction jump classification.
+
+    ``None`` — no jump ops; a plan op tuple — exactly one supported
+    terminator-candidate jump; ``False`` — jump(s) a region cannot
+    contain (multiple jumps, register-target jumps, or unresolved
+    immediates).
+    """
+    table = []
+    for ops in plan.ops:
+        jumps = [op for op in ops if op[OP_IS_JUMP]]
+        if not jumps:
+            table.append(None)
+        elif (len(jumps) == 1 and jumps[0][OP_NAME] in _JUMP_NAMES
+                and jumps[0][OP_IMM] is not None
+                and jumps[0][OP_JUMP_INDEX] is not None):
+            table.append(jumps[0])
+        else:
+            table.append(False)
+    return table
+
+
+def detect_regions(plan, config: TraceConfig) -> dict[int, RegionSpec]:
+    """Find every compilable region of ``plan``.
+
+    Leaders — the only places sequential control flow can (re)enter —
+    are instruction 0, every resolved jump target, and the first
+    instruction after every jump's delay window.  From each leader a
+    region extends over straight-line instructions and may close over
+    one supported jump plus its complete delay window; it ends before
+    any other jump, at the program end, or at ``max_length``.
+    Overlapping regions are fine: each one only assumes sequential
+    execution from its own head, which region entry guarantees.
+    """
+    delay = plan.jump_delay_slots
+    count = plan.count
+    jump_at = _classify_jumps(plan)
+
+    leaders = {0}
+    for index in range(count):
+        entry = jump_at[index]
+        if entry is None:
+            continue
+        leaders.add(min(index + delay + 1, count))
+        if entry is not False:
+            leaders.add(entry[OP_JUMP_INDEX])
+
+    regions: dict[int, RegionSpec] = {}
+    for head in sorted(leaders):
+        if head >= count:
+            continue
+        end = min(count, head + config.max_length)
+        index = head
+        jump_pos = jump_op = None
+        while index < end:
+            entry = jump_at[index]
+            if entry is None:
+                index += 1
+                continue
+            window_end = index + delay + 1
+            if (entry is not False and window_end <= count
+                    and window_end <= head + config.max_length
+                    and all(jump_at[k] is None
+                            for k in range(index + 1, window_end))):
+                jump_pos, jump_op = index, entry
+                index = window_end
+            break
+        length = index - head
+        if length >= config.min_length:
+            regions[head] = RegionSpec(head, length, jump_pos, jump_op)
+    return regions
+
+
+class Region:
+    """Dispatch-table record: heat counter, compiled entry point, and
+    the static per-region counter totals the dispatcher flushes."""
+
+    __slots__ = ("spec", "head", "length", "heat", "fn", "source",
+                 "static_issued", "static_guard_reads", "issued_prefix")
+
+    def __init__(self, spec: RegionSpec, plan) -> None:
+        self.spec = spec
+        self.head = spec.head
+        self.length = spec.length
+        self.heat = 0
+        self.fn = None
+        self.source = None
+        prefix = [0]
+        for index in range(spec.head, spec.head + spec.length):
+            prefix.append(prefix[-1] + plan.nops[index])
+        #: ``issued_prefix[k]`` = ops issued by the first ``k``
+        #: instructions (exception-spill accounting).
+        self.issued_prefix = tuple(prefix)
+        # Per step the interpreter issues len(ops) ops and charges
+        # len(ops) guard reads: the two totals coincide.
+        self.static_issued = prefix[-1]
+        self.static_guard_reads = prefix[-1]
+
+
+# ---------------------------------------------------------------------------
+# Inline semantics.  Each template reproduces one registry semantic as a
+# masked integer expression over committed register values; anything not
+# listed (DSP lanes, floats, custom ops, rotates) calls the bound
+# semantic exactly as ``_step_fast`` would.  The template-vs-registry
+# differential test in tests/core/test_trace_units.py pins every entry.
+# ---------------------------------------------------------------------------
+
+_SIGNED_CMP = {"igtr": ">", "igeq": ">=", "iles": "<", "ileq": "<="}
+_RAW_CMP = {"ieql": "==", "ineq": "!=", "ugtr": ">", "ugeq": ">="}
+
+#: name -> (nbytes, shaping, nsrcs); shaping resigns the loaded value.
+_LOADS = {
+    "ld32": (4, None, 2),
+    "ld32d": (4, None, 1),
+    "uld16d": (2, None, 1),
+    "ild16d": (2, "s16", 1),
+    "uld8d": (1, None, 1),
+    "ild8d": (1, "s8", 1),
+}
+
+#: name -> (nbytes, value-mask suffix applied to the stored register).
+_STORES = {"st32d": (4, ""), "st16d": (2, " & 65535"), "st8d": (1, " & 255")}
+
+_ASR_FILL = "18446744069414584320"  # 0xFFFFFFFF00000000: sign-fill bits
+
+
+def _pure_template(name, srcs, imm):
+    """``(prelude_lines, masked_expr)`` for an inlinable pure op, or
+    ``None``.  ``srcs`` are expression strings over committed register
+    values (already 32-bit masked, the register-file invariant)."""
+    a = srcs[0] if len(srcs) > 0 else None
+    b = srcs[1] if len(srcs) > 1 else None
+    if name == "iadd":
+        return [], f"({a} + {b}) & {_M32}"
+    if name == "isub":
+        return [], f"({a} - {b}) & {_M32}"
+    if name in ("imin", "imax"):
+        # Signed compare via sign-bit bias: s32(x) <= s32(y) iff
+        # (x ^ 0x80000000) <= (y ^ 0x80000000) on the masked words.
+        relation = "<=" if name == "imin" else ">="
+        return ([f"_a = {a}", f"_b = {b}"],
+                f"(_a if (_a ^ 2147483648) {relation} "
+                "(_b ^ 2147483648) else _b)")
+    if name == "bitand":
+        return [], f"({a} & {b})"
+    if name == "bitor":
+        return [], f"({a} | {b})"
+    if name == "bitxor":
+        return [], f"({a} ^ {b})"
+    if name == "bitandinv":
+        return [], f"({a} & ({b} ^ {_M32}))"
+    if name == "bitinv":
+        return [], f"({a} ^ {_M32})"
+    if name == "ineg":
+        # u32(-s32(x)) == (-x) mod 2**32 because s32(x) == x (mod 2**32).
+        return [], f"(-{a}) & {_M32}"
+    if name == "iabs":
+        # clip_s32(abs(s32(x))): only x == 0x80000000 clips.
+        return ([f"_a = {a}"],
+                "(_a if _a < 2147483648 else (2147483647 "
+                f"if _a == 2147483648 else (-_a) & {_M32}))")
+    if name == "mov":
+        return [], a
+    if name == "sex16":
+        return [], f"((({a} & 65535) ^ 32768) - 32768) & {_M32}"
+    if name == "zex16":
+        return [], f"({a} & 65535)"
+    if name == "sex8":
+        return [], f"((({a} & 255) ^ 128) - 128) & {_M32}"
+    if name == "zex8":
+        return [], f"({a} & 255)"
+    if name == "iaddi" and imm is not None:
+        return [], f"({a} + {imm}) & {_M32}"
+    if name == "uimm" and imm is not None:
+        return [], str(imm & 0xFFFF)
+    if name == "himm" and imm is not None:
+        return [], f"({a} | {(imm & 0xFFFF) << 16})"
+    if name in _SIGNED_CMP:
+        relation = _SIGNED_CMP[name]
+        return [], (f"(1 if ({a} ^ 2147483648) {relation} "
+                    f"({b} ^ 2147483648) else 0)")
+    if name in _RAW_CMP:
+        return [], f"(1 if {a} {_RAW_CMP[name]} {b} else 0)"
+    if name == "igtri" and imm is not None and -(1 << 31) <= imm < (1 << 31):
+        return [], f"(1 if ({a} ^ 2147483648) > {imm + (1 << 31)} else 0)"
+    if (name in ("ieqli", "ineqi") and imm is not None
+            and -(1 << 31) <= imm < (1 << 31)):
+        relation = "==" if name == "ieqli" else "!="
+        return [], f"(1 if {a} {relation} {imm & 0xFFFFFFFF} else 0)"
+    if name == "asl":
+        return [f"_s = {b} & 31"], f"({a} << _s) & {_M32}"
+    if name == "asr":
+        # Sign-filled arithmetic shift: widen negatives with high ones
+        # so a plain Python >> produces the filled bits, then re-mask.
+        return ([f"_a = {a}", f"_s = {b} & 31"],
+                f"(((_a | {_ASR_FILL}) >> _s) & {_M32} "
+                "if _a & 2147483648 else _a >> _s)")
+    if name == "lsr":
+        return [], f"({a} >> ({b} & 31))"
+    if name == "asli" and imm is not None:
+        shift = imm & 31
+        return [], (f"({a} << {shift}) & {_M32}" if shift else a)
+    if name == "asri" and imm is not None:
+        shift = imm & 31
+        if shift == 0:
+            return [], a
+        return ([f"_a = {a}"],
+                f"(((_a | {_ASR_FILL}) >> {shift}) & {_M32} "
+                f"if _a & 2147483648 else _a >> {shift})")
+    if name == "lsri" and imm is not None:
+        shift = imm & 31
+        return [], (f"({a} >> {shift})" if shift else a)
+    if name == "imul":
+        # s32(a) * s32(b) is congruent to a * b mod 2**32.
+        return [], f"({a} * {b}) & {_M32}"
+    if name == "pack16lsb":
+        return [], f"((({a} & 65535) << 16) | ({b} & 65535))"
+    if name == "pack16msb":
+        return [], f"((({a} >> 16) << 16) | ({b} >> 16))"
+    if name == "packbytes":
+        return [], f"((({a} & 255) << 8) | ({b} & 255))"
+    if name == "quadavg":
+        # Per-lane rounding average; lanes cannot carry (max 255).
+        return ([f"_a = {a}", f"_b = {b}"],
+                "(((((_a >> 24) + (_b >> 24) + 1) >> 1) << 24)"
+                " | (((((_a >> 16) & 255) + ((_b >> 16) & 255) + 1) >> 1)"
+                " << 16)"
+                " | (((((_a >> 8) & 255) + ((_b >> 8) & 255) + 1) >> 1)"
+                " << 8)"
+                " | (((_a & 255) + (_b & 255) + 1) >> 1))")
+    if name == "ume8uu":
+        return ([f"_a = {a}", f"_b = {b}"],
+                "(abs((_a >> 24) - (_b >> 24))"
+                " + abs(((_a >> 16) & 255) - ((_b >> 16) & 255))"
+                " + abs(((_a >> 8) & 255) - ((_b >> 8) & 255))"
+                " + abs((_a & 255) - (_b & 255)))")
+    return None
+
+
+def _mem_inlinable(op) -> bool:
+    """Can this memory op's address, access, and timing be generated
+    statically?  (One non-template mem op routes the whole step's
+    memory traffic through the generic ctx path instead.)"""
+    name = op[OP_NAME]
+    srcs = op[OP_SRCS]
+    if name in _LOADS:
+        nbytes, _shape, nsrcs = _LOADS[name]
+        if len(srcs) != nsrcs or len(op[OP_DSTS]) != 1:
+            return False
+        return name == "ld32" or op[OP_IMM] is not None
+    if name in _STORES:
+        return len(srcs) == 2 and op[OP_IMM] is not None
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Code generation
+# ---------------------------------------------------------------------------
+
+#: Everything run-varying arrives through parameters: the compiled
+#: function is a pure function of (plan, strict) and safely cached on
+#: the plan across sessions.
+_ARGS = ("values, pending, heap, commit_until, ctx, mem_load, mem_store, "
+         "mmio_load, mmio_store, icache_fetch, dcache_access, "
+         "observe_load, prefetch_queue, prefetch_tick, obs, fu_totals, "
+         "now0, cycle, last_chunk, instr0, watchdog_limit, program_name, "
+         "config_name, max_cycles, spill")
+
+
+def _generate(plan, spec: RegionSpec, strict: bool):
+    """Source + semantic bindings of one region's specialized function.
+
+    The emitted body is ``_step_fast`` plus the processor hot loop,
+    unrolled per instruction with all static operands folded.  See the
+    module docstring for the fidelity contract; every block below
+    cites the interpreter code it clones.
+    """
+    from repro.core.processor import CODE_BASE
+
+    head, rlen = spec.head, spec.length
+    abs_first, abs_last = plan.code_chunks(CODE_BASE)
+    chunk = FETCH_CHUNK_BYTES
+    sems: dict = {}
+    out: list[str] = []
+    w = out.append
+
+    jump_op = spec.jump_op
+    dyn_jump = (jump_op is not None and jump_op[OP_GUARD] != 1
+                and jump_op[OP_NAME] in ("jmpi", "jmpt"))
+    static_taken = (jump_op is not None and jump_op[OP_GUARD] == 1
+                    and jump_op[OP_NAME] in ("jmpi", "jmpt"))
+
+    def emit_scan(ind, reg, kind):
+        # Strict-mode hazard scan, message-identical to RegisterFile.
+        w(f"{ind}if hz and {reg} in pending:")
+        w(f"{ind}    for _due, _iss, _val in pending[{reg}]:")
+        w(f"{ind}        if _iss < now < _due:")
+        w(f"{ind}            raise TimingViolation(")
+        w(f'{ind}                f"{kind}r{reg} read at t={{now}} "')
+        w(f'{ind}                f"while write issued at t={{_iss}} "')
+        w(f'{ind}                f"lands at t={{_due}}")')
+
+    def emit_push(ind, reg, lat, expr):
+        # The _step_fast pending-write push, register/latency baked.
+        w(f"{ind}_e = (now + {lat}, now, {expr})")
+        w(f"{ind}_q = pending.get({reg})")
+        w(f"{ind}if _q is None:")
+        w(f"{ind}    pending[{reg}] = [_e]")
+        w(f"{ind}elif _e >= _q[-1]:")
+        w(f"{ind}    _q.append(_e)")
+        w(f"{ind}else:")
+        w(f"{ind}    insort(_q, _e)")
+        w(f"{ind}heappush(heap, (now + {lat}, {reg}))")
+
+    def emit_push_dyn(ind, lat):
+        # Same, for a zip-driven multi-destination semantic result.
+        w(f"{ind}_e = (now + {lat}, now, _val & {_M32})")
+        w(f"{ind}_q = pending.get(_dreg)")
+        w(f"{ind}if _q is None:")
+        w(f"{ind}    pending[_dreg] = [_e]")
+        w(f"{ind}elif _e >= _q[-1]:")
+        w(f"{ind}    _q.append(_e)")
+        w(f"{ind}else:")
+        w(f"{ind}    insort(_q, _e)")
+        w(f"{ind}heappush(heap, (now + {lat}, _dreg))")
+
+    def emit_op(ind, op, mem_generic, ad_name):
+        guard = op[OP_GUARD]
+        name = op[OP_NAME]
+        srcs = op[OP_SRCS]
+        dsts = op[OP_DSTS]
+        imm = op[OP_IMM]
+        lat = op[OP_LATENCY]
+        inline_mem = op[OP_IS_MEM] and not mem_generic
+        if inline_mem and guard != 1:
+            w(f"{ind}{ad_name} = None")
+        if guard != 1:
+            if strict:
+                emit_scan(ind, guard, "guard ")
+            w(f"{ind}if values[{guard}] & 1:")
+            body = ind + "    "
+            w(f"{body}_exd += 1")
+            w(f"{body}fu_totals[{op[OP_FU]}] += 1")
+            if srcs:
+                w(f"{body}_rd += {len(srcs)}")
+        else:
+            body = ind
+        if strict:
+            for reg in srcs:
+                if reg not in (0, 1):
+                    emit_scan(body, reg, "")
+        if op[OP_IS_JUMP]:
+            # Region terminator (detection guarantees this).  An
+            # executed jmpi/jmpt is always taken (ctx.guard_value is
+            # invariantly 1); an executed jmpf never is.
+            if name != "jmpf" and guard != 1:
+                w(f"{body}_tk = True")
+                w(f"{body}_jt += 1")
+            return
+        if name == "nop":
+            return
+        if inline_mem and name in _STORES:
+            nbytes, mask = _STORES[name]
+            w(f"{body}{ad_name} = (values[{srcs[0]}] + {imm}) & {_M32}")
+            w(f"{body}if {_MMIO_LO} <= {ad_name} < {_MMIO_HI} "
+              "and mmio_store:")
+            w(f"{body}    mmio_store({ad_name}, "
+              f"values[{srcs[1]}]{mask}, {nbytes})")
+            w(f"{body}else:")
+            w(f"{body}    mem_store({ad_name}, "
+              f"values[{srcs[1]}]{mask}, {nbytes})")
+            return
+        if inline_mem:
+            nbytes, shape, _nsrcs = _LOADS[name]
+            if name == "ld32":
+                addr = f"(values[{srcs[0]}] + values[{srcs[1]}]) & {_M32}"
+            else:
+                addr = f"(values[{srcs[0]}] + {imm}) & {_M32}"
+            w(f"{body}{ad_name} = {addr}")
+            w(f"{body}if {_MMIO_LO} <= {ad_name} < {_MMIO_HI} "
+              "and mmio_load:")
+            w(f"{body}    _v = mmio_load({ad_name}, {nbytes})")
+            w(f"{body}else:")
+            w(f"{body}    _v = mem_load({ad_name}, {nbytes})")
+            if shape == "s16":
+                w(f"{body}_v = (((_v & 65535) ^ 32768) - 32768) & {_M32}")
+                value = "_v"
+            elif shape == "s8":
+                w(f"{body}_v = (((_v & 255) ^ 128) - 128) & {_M32}")
+                value = "_v"
+            else:
+                value = f"_v & {_M32}"
+            if guard != 1:
+                w(f"{body}_wr += 1")
+            emit_push(body, dsts[0], lat, value)
+            return
+        src_exprs = [f"values[{reg}]" for reg in srcs]
+        template = (None if op[OP_IS_MEM] or len(dsts) != 1
+                    else _pure_template(name, src_exprs, imm))
+        if template is not None:
+            pre, expr = template
+            for line in pre:
+                w(f"{body}{line}")
+            if guard != 1:
+                w(f"{body}_wr += 1")
+            emit_push(body, dsts[0], lat, expr)
+            return
+        # Generic fallback: the bound registry semantic, like the plan
+        # interpreter (mem ops get slot/name for MemAccess records).
+        if op[OP_IS_MEM]:
+            w(f"{body}ctx._slot = {op[OP_SLOT]}")
+            w(f"{body}ctx._op_name = {name!r}")
+        sem = f"_sem_{name}"
+        sems[sem] = op[OP_SEMANTIC]
+        joined = ", ".join(src_exprs)
+        operands = f"({joined},)" if len(srcs) == 1 else f"({joined})"
+        w(f"{body}_r = {sem}(ctx, {operands}, {imm!r})")
+        if len(dsts) == 1:
+            if guard != 1:
+                w(f"{body}_wr += 1")
+            emit_push(body, dsts[0], lat, f"_r[0] & {_M32}")
+        elif len(dsts) > 1:
+            w(f"{body}for _dreg, _val in zip({dsts!r}, _r):")
+            w(f"{body}    _wr += 1")
+            emit_push_dyn(body + "    ", lat)
+
+    w(f"def _region({_ARGS}):")
+    w("    _ex = 0; _jt = 0; _ic = 0; _dc = 0; _mm = 0")
+    w("    _rd = 0; _wr = 0; _gr = 0; _cbf = 0; _t = 0")
+    if dyn_jump:
+        w("    _tk = False")
+    w("    try:")
+    ind = "        "
+    for t in range(rlen):
+        i = head + t
+        ops = plan.ops[i]
+        w(f"{ind}# -- instr {i} --")
+        w(f"{ind}now = now0" if t == 0 else f"{ind}now += 1")
+        w(f"{ind}if heap and heap[0][0] <= now:")
+        w(f"{ind}    commit_until(now)")
+        has_guard = any(op[OP_GUARD] != 1 for op in ops)
+        scan_needed = strict and (has_guard or any(
+            any(reg not in (0, 1) for reg in op[OP_SRCS]) for op in ops))
+        if scan_needed:
+            w(f"{ind}hz = bool(heap)")
+        mem_ops = [op for op in ops if op[OP_IS_MEM]]
+        mem_generic = bool(mem_ops) and not all(
+            _mem_inlinable(op) for op in mem_ops)
+        if mem_generic:
+            w(f"{ind}_acc = ctx.accesses")
+            w(f"{ind}_acc.clear()")
+        if has_guard:
+            w(f"{ind}_exd = 0")
+        inline_mem = []
+        for op in ops:
+            ad_name = None
+            if op[OP_IS_MEM] and not mem_generic:
+                ad_name = f"_ad{len(inline_mem)}"
+                is_load = op[OP_NAME] in _LOADS
+                nbytes = (_LOADS[op[OP_NAME]][0] if is_load
+                          else _STORES[op[OP_NAME]][0])
+                inline_mem.append(
+                    (ad_name, is_load, nbytes, op[OP_GUARD] != 1))
+            emit_op(ind, op, mem_generic, ad_name)
+        # Per-step counter folds (the plan path flushes at step end,
+        # before the processor's timing phase).
+        static_exec = sum(1 for op in ops if op[OP_GUARD] == 1)
+        static_reads = sum(len(op[OP_SRCS]) for op in ops
+                           if op[OP_GUARD] == 1)
+        static_writes = sum(1 for op in ops
+                            if op[OP_GUARD] == 1 and not op[OP_IS_JUMP]
+                            and len(op[OP_DSTS]) == 1)
+        if has_guard:
+            w(f"{ind}_ex += {static_exec} + _exd" if static_exec
+              else f"{ind}_ex += _exd")
+        elif static_exec:
+            w(f"{ind}_ex += {static_exec}")
+        if static_reads:
+            w(f"{ind}_rd += {static_reads}")
+        if static_writes:
+            w(f"{ind}_wr += {static_writes}")
+        if ops:
+            w(f"{ind}_gr += {len(ops)}")
+        fu_static: dict = {}
+        for op in ops:
+            if op[OP_GUARD] == 1:
+                fu_static[op[OP_FU]] = fu_static.get(op[OP_FU], 0) + 1
+        for fu, count in sorted(fu_static.items()):
+            w(f"{ind}fu_totals[{fu}] += {count}")
+        if static_taken and i == spec.jump_pos:
+            w(f"{ind}_jt += 1")
+
+        # Front end.  Step 0 clones the processor's dynamic chunk walk
+        # (entry last_chunk is unknown); afterwards last_chunk is
+        # provably chunk_last[i - 1], so the fetch list is static.
+        if t == 0:
+            fetches = None
+        else:
+            prev_last = abs_last[i - 1]
+            fetches = [c for c in range(abs_first[i],
+                                        abs_last[i] + chunk, chunk)
+                       if c != prev_last]
+        has_fetch = t == 0 or bool(fetches)
+        has_mem = bool(mem_ops)
+        has_stall = has_fetch or has_mem
+        if has_stall:
+            w(f"{ind}_stall = 0")
+        if t == 0:
+            first, last = abs_first[i], abs_last[i]
+            if first == last:
+                w(f"{ind}if last_chunk != {first}:")
+                w(f"{ind}    _stall += icache_fetch({first}, cycle)")
+                w(f"{ind}    _cbf += {chunk}")
+                w(f"{ind}    last_chunk = {first}")
+                w(f"{ind}    _ic += _stall")
+            else:
+                w(f"{ind}if last_chunk != {first} "
+                  f"or last_chunk != {last}:")
+                w(f"{ind}    _ch = {first}")
+                w(f"{ind}    while _ch <= {last}:")
+                w(f"{ind}        if _ch != last_chunk:")
+                w(f"{ind}            _stall += icache_fetch(_ch, "
+                  "cycle + _stall)")
+                w(f"{ind}            _cbf += {chunk}")
+                w(f"{ind}            last_chunk = _ch")
+                w(f"{ind}        _ch += {chunk}")
+                w(f"{ind}    _ic += _stall")
+        elif fetches:
+            for index, c in enumerate(fetches):
+                tail = " + _stall" if index else ""
+                w(f"{ind}_stall += icache_fetch({c}, cycle{tail})")
+            w(f"{ind}_cbf += {chunk * len(fetches)}")
+            w(f"{ind}_ic += _stall")
+        if has_fetch and has_mem:
+            w(f"{ind}_fs = _stall")
+
+        # Load/store unit, in access order.
+        if mem_generic:
+            w(f"{ind}for _ma in _acc:")
+            w(f"{ind}    _addr = _ma.address")
+            w(f"{ind}    if {_MMIO_LO} <= _addr < {_MMIO_HI}:")
+            w(f"{ind}        _mm += 1")
+            w(f"{ind}        continue")
+            w(f"{ind}    _ms = dcache_access(_ma.is_load, _addr, "
+              "_ma.nbytes, cycle + _stall)")
+            w(f"{ind}    _stall += _ms")
+            w(f"{ind}    _dc += _ms")
+            w(f"{ind}    if _ma.is_load:")
+            w(f"{ind}        observe_load(_addr, cycle + _stall)")
+        else:
+            for ad_name, is_load, nbytes, guarded in inline_mem:
+                base = ind
+                if guarded:
+                    w(f"{ind}if {ad_name} is not None:")
+                    base = ind + "    "
+                w(f"{base}if {_MMIO_LO} <= {ad_name} < {_MMIO_HI}:")
+                w(f"{base}    _mm += 1")
+                w(f"{base}else:")
+                w(f"{base}    _ms = dcache_access({is_load}, {ad_name}, "
+                  f"{nbytes}, cycle + _stall)")
+                w(f"{base}    _stall += _ms")
+                w(f"{base}    _dc += _ms")
+                if is_load:
+                    w(f"{base}    observe_load({ad_name}, "
+                      "cycle + _stall)")
+        stall_term = " + _stall" if has_stall else ""
+        w(f"{ind}if prefetch_queue:")
+        w(f"{ind}    prefetch_tick(cycle{stall_term})")
+
+        exec_expr = (f"{static_exec} + _exd" if has_guard
+                     else str(static_exec))
+        dur = "1 + _stall" if has_stall else "1"
+        w(f"{ind}if obs:")
+        w(f"{ind}    obs.instruction(cycle, {dur}, index=instr0 + {t},")
+        w(f"{ind}                    issued_ops={len(ops)}, "
+          f"executed_ops={exec_expr})")
+        if has_fetch:
+            amount = "_fs" if has_mem else "_stall"
+            w(f'{ind}    obs.stall(cycle, "icache", {amount})')
+        if has_mem:
+            if has_fetch:
+                w(f'{ind}    obs.stall(cycle + _fs, "dcache", '
+                  "_stall - _fs)")
+            else:
+                w(f'{ind}    obs.stall(cycle, "dcache", _stall)')
+        w(f"{ind}    if obs.stage_detail:")
+        span_args = "cycle, stall=_stall" if has_stall else "cycle"
+        w(f"{ind}        for _sn, _ss, _sd in "
+          f"stage_spans({span_args}):")
+        w(f"{ind}            obs.stage(_ss, _sn, _sd, "
+          f"instr=instr0 + {t})")
+        w(f"{ind}cycle += {'1 + _stall' if has_stall else '1'}")
+        w(f"{ind}_t = {t + 1}")
+        w(f"{ind}if cycle > watchdog_limit:")
+        w(f"{ind}    raise WatchdogTimeout(program_name, config_name, "
+          "cycle,")
+        w(f"{ind}                          instr0 + {t + 1}, max_cycles)")
+
+    if static_taken:
+        next_expr = str(jump_op[OP_JUMP_INDEX])
+    elif dyn_jump:
+        next_expr = (f"({jump_op[OP_JUMP_INDEX]} if _tk "
+                     f"else {head + rlen})")
+    else:
+        next_expr = str(head + rlen)
+    final_chunk = abs_last[head + rlen - 1]
+    w(f"{ind}return ({next_expr}, cycle, {final_chunk}, _ex, _jt, _ic,")
+    w(f"{ind}        _dc, _mm, _rd, _wr, _cbf)")
+    w("    except BaseException:")
+    w("        spill[0] = _t; spill[1] = cycle; spill[2] = _ic")
+    w("        spill[3] = _dc; spill[4] = _cbf; spill[5] = _mm")
+    w("        spill[6] = _ex; spill[7] = _jt; spill[8] = _rd")
+    w("        spill[9] = _wr; spill[10] = _gr")
+    w("        raise")
+    return "\n".join(out) + "\n", sems
+
+
+# ---------------------------------------------------------------------------
+# Compilation + runtime
+# ---------------------------------------------------------------------------
+
+def compile_region(plan, spec: RegionSpec, strict: bool = True):
+    """Compile one region, caching ``(fn, source)`` on the plan.
+
+    The cache key includes ``strict`` because hazard scans are baked
+    into the source.  Caching on the *plan* (not the runtime) means an
+    invalidated-then-rewarmed region, or a second session over the
+    same program, is a pure dict hit.
+    """
+    key = (spec.head, spec.length, strict)
+    cached = plan._trace_code.get(key)
+    if cached is not None:
+        return cached
+    from repro.core.processor import WatchdogTimeout
+
+    source, sems = _generate(plan, spec, strict)
+    namespace = {
+        "insort": insort,
+        "heappush": heappush,
+        "TimingViolation": TimingViolation,
+        "WatchdogTimeout": WatchdogTimeout,
+        "stage_spans": stage_spans,
+    }
+    namespace.update(sems)
+    code = compile(source, f"<trace:{plan.program.name}+{spec.head}>",
+                   "exec")
+    exec(code, namespace)
+    fn = namespace["_region"]
+    plan._trace_code[key] = (fn, source)
+    return fn, source
+
+
+def regions_for(plan, config: TraceConfig) -> dict[int, RegionSpec]:
+    """Detected regions for ``plan``, cached on the plan."""
+    cache_key = (config.min_length, config.max_length)
+    cached = plan._trace_regions
+    if cached is not None and cached[0] == cache_key:
+        return cached[1]
+    regions = detect_regions(plan, config)
+    plan._trace_regions = (cache_key, regions)
+    return regions
+
+
+class TraceRuntime:
+    """Per-session trace-tier state: dispatch table, heat, stats.
+
+    One runtime lives on a run session (``engine="trace"``).  It maps
+    region head indices to mutable :class:`Region` records; the
+    processor's trace block loop probes ``dispatch.get(pc)`` once per
+    retired instruction and asks :meth:`warm` / runs ``rec.fn``.
+
+    ``spill`` is the exception side-channel shared with every
+    generated function (see the module docstring).
+    """
+
+    __slots__ = ("config", "stats", "obs", "strict", "spill", "dispatch",
+                 "_plan")
+
+    def __init__(self, plan, config: TraceConfig | None = None,
+                 strict: bool = True, obs=None) -> None:
+        self.config = config if config is not None else TraceConfig()
+        self.stats = TraceStats()
+        self.obs = obs
+        self.strict = strict
+        self.spill: list = [None] * 11
+        self.dispatch: dict[int, Region] = {}
+        self._plan = None
+        self._bind(plan)
+
+    def _bind(self, plan) -> None:
+        self._plan = plan
+        self.dispatch = {
+            head: Region(spec, plan)
+            for head, spec in regions_for(plan, self.config).items()
+        }
+        self.stats.detected += len(self.dispatch)
+
+    def ensure(self, plan, cycle: int) -> None:
+        """Rebind after an ibuf mutation swapped the execution plan.
+
+        :class:`repro.resilience.faults.IBufFault` replaces the
+        executor's plan wholesale with one decoded from the corrupted
+        image; compiled code specialized against the old plan must
+        never run against the new one.  Plan identity is the trigger.
+        """
+        if plan is self._plan:
+            return
+        self.invalidate("ibuf-swap", cycle)
+        self._bind(plan)
+
+    def invalidate(self, reason: str, cycle: int) -> None:
+        """Drop every activated region (heat resets; code cache kept).
+
+        Called on ``restore()`` and on plan swaps.  ``plan._trace_code``
+        survives so re-warming a region whose plan is unchanged is a
+        compile-cache hit, not a recompilation.
+        """
+        for rec in self.dispatch.values():
+            if rec.fn is not None:
+                rec.fn = None
+                rec.source = None
+                self.stats.invalidations += 1
+        if self.obs:
+            self.obs.trace_tier(cycle, "invalidate", head=-1,
+                                reason=reason)
+
+    def warm(self, rec: Region, cycle: int):
+        """Bump a region's heat; compile when it crosses threshold."""
+        rec.heat += 1
+        if rec.heat < self.config.threshold:
+            return None
+        key = (rec.head, rec.length, self.strict)
+        cached = key in self._plan._trace_code
+        fn, source = compile_region(self._plan, rec.spec, self.strict)
+        rec.fn = fn
+        rec.source = source
+        self.stats.activations += 1
+        if not cached:
+            self.stats.compiled += 1
+        if self.obs:
+            self.obs.trace_tier(cycle, "compile", head=rec.head,
+                                length=rec.length, cached=cached)
+        return fn
+
+
+def compile_all(plan, config: TraceConfig | None = None,
+                strict: bool = True) -> dict[int, tuple]:
+    """Eagerly compile every detected region (test/debug helper)."""
+    config = config if config is not None else TraceConfig()
+    return {head: compile_region(plan, spec, strict)
+            for head, spec in regions_for(plan, config).items()}

@@ -109,11 +109,17 @@ def execute_job(job: Job) -> JobOutput:
 # ---------------------------------------------------------------------------
 
 def run_kernel_job(kernel: str, config: str, verify: bool = True,
-                   trace: bool = False) -> JobOutput:
+                   trace: bool = False,
+                   engine: str = "plan") -> JobOutput:
     """One Table 5 kernel on one evaluation configuration.
 
     With ``trace`` the run captures its obs event stream (cycle
-    stamps are per-run; the merge step rebases them).
+    stamps are per-run; the merge step rebases them).  ``engine``
+    selects the execution tier (``interp`` / ``plan`` / ``trace`` —
+    note the unfortunate collision: the ``trace`` *flag* means "record
+    events", the ``trace`` *engine* means "compile hot regions"); all
+    three must produce byte-identical records, which is exactly what
+    the engine-pinned conformance jobs hold them to.
     """
     from repro.asm.link import compile_program
     from repro.core.config import EVALUATION_CONFIGS
@@ -130,7 +136,8 @@ def run_kernel_job(kernel: str, config: str, verify: bool = True,
     memory = FlatMemory(case.memory_size)
     args = case.prepare(memory)
     bus = EventBus() if trace else None
-    result = run_kernel(linked, cfg, args=args, memory=memory, obs=bus)
+    result = run_kernel(linked, cfg, args=args, memory=memory, obs=bus,
+                        engine=engine)
     if verify:
         case.verify(memory, result)
     return JobOutput(records=[bench_record(result.stats)],
@@ -220,20 +227,30 @@ def run_fault_job(mode: str = "ok", seconds: float = 0.0,
 def kernel_jobs(kernels: list[str] | None = None,
                 configs: list[str] | None = None,
                 verify: bool = True,
-                trace: bool = False) -> list[Job]:
-    """Kernel x configuration grid, in the serial sweep's order."""
+                trace: bool = False,
+                engine: str = "plan") -> list[Job]:
+    """Kernel x configuration grid, in the serial sweep's order.
+
+    Non-default engines get a ``/<engine>`` job-id suffix so an
+    engine-pinned job and its plan-engine twin coexist in one merged
+    sweep without colliding in ``bench_compare``'s index.
+    """
     from repro.core.config import EVALUATION_CONFIGS
     from repro.kernels.registry import TABLE5_KERNELS
 
     kernels = kernels or [case.name for case in TABLE5_KERNELS]
     configs = configs or [config.name for config in EVALUATION_CONFIGS
                           if config.name in ("A", "D")]
+    suffix = "" if engine == "plan" else f"/{engine}"
+    note = "" if engine == "plan" else f" ({engine} engine)"
     return [
-        Job(job_id=f"kernel/{kernel}/{config}", kind="kernel",
+        Job(job_id=f"kernel/{kernel}/{config}{suffix}", kind="kernel",
             runner="repro.eval.jobs:run_kernel_job",
             params={"kernel": kernel, "config": config,
-                    "verify": verify, "trace": trace},
-            description=f"Table 5 kernel {kernel} on config {config}")
+                    "verify": verify, "trace": trace,
+                    "engine": engine},
+            description=(f"Table 5 kernel {kernel} on config "
+                         f"{config}{note}"))
         for kernel in kernels
         for config in configs
     ]
@@ -311,10 +328,15 @@ def conformance_jobs() -> list[Job]:
     """The golden-trace corpus: a fixed, fast, *deterministic* job set.
 
     Chosen so a full run stays in the low seconds while covering every
-    deterministic runner family and both traced and untraced kernels
-    (perf jobs carry wall-clock timings and are deliberately absent).
-    The set, its order, and its parameters are part of the golden
-    contract — changing any of them requires ``make golden``.
+    deterministic runner family, both traced and untraced kernels, and
+    *all three execution engines* (perf jobs carry wall-clock timings
+    and are deliberately absent).  The engine-pinned jobs are the
+    corpus's lockstep anchor: the interp / plan / trace tiers must
+    produce byte-identical golden records at every worker count, so a
+    codegen bug in the trace tier breaks ``make conformance``, not
+    just the dedicated differential suite.  The set, its order, and
+    its parameters are part of the golden contract — changing any of
+    them requires ``make golden``.
     """
     jobs = kernel_jobs(
         kernels=["memset", "memcpy", "filter", "filmdet",
@@ -328,4 +350,11 @@ def conformance_jobs() -> list[Job]:
             runner=job.runner, params=job.params,
             timeout=job.timeout, retries=job.retries,
             description=job.description + " (traced)")
-    return jobs + traced + ablation_jobs(["two_slot"]) + figure_jobs()
+    engine_pinned = [
+        job
+        for engine in ("interp", "trace")
+        for job in kernel_jobs(kernels=["memcpy", "filter"],
+                               configs=["A"], engine=engine)
+    ]
+    return (jobs + traced + engine_pinned
+            + ablation_jobs(["two_slot"]) + figure_jobs())

@@ -1,0 +1,390 @@
+"""Three-way lockstep conformance: interp vs plan vs trace.
+
+The trace engine (:mod:`repro.core.trace`) is correct *by test*, not
+by construction: its codegen aggressively constant-folds the plan
+interpreter and the processor hot loop, so the repository pins it with
+a differential surface instead of a proof.  This module is that
+surface's engine-room: a catalog of thirty real programs (the full
+Table 5 suite on both TriMedia family members, plus the TM3270-only
+companion kernels) and a driver that runs all three execution engines
+in *lockstep* — block by block, comparing machine state at every
+instruction boundary, not just at the end.
+
+Lockstep matters because end-of-run equality can mask compensating
+errors (a cycle lost here, regained there).  The driver steps the
+trace engine first — compiled regions are entered only when they fit
+the block, so a block retires exactly its limit until halt — then
+advances the other two engines by the *same retired count* and
+compares program counters, issue counts, every session counter, and
+the committed register file.  At halt it additionally compares final
+:class:`RunStats`, memory images, and the obs event streams (with
+:data:`~repro.obs.events.CAT_TRACE` filtered out: compile/invalidate
+events describe the simulator's own tiering, not the simulated
+machine, and legitimately differ across engines).
+
+``tests/core/test_trace_differential.py`` runs a five-program smoke
+subset in tier 1 (and under ``make ci``); the full catalog is the
+``@slow`` sweep.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.asm.link import compile_program
+from repro.core.config import (
+    TM3260_CONFIG,
+    TM3270_CONFIG,
+    ProcessorConfig,
+)
+from repro.core.processor import ENGINES, Processor
+from repro.kernels import motion, texture
+from repro.kernels.common import DATA_BASE, args_for
+from repro.mem.flatmem import FlatMemory
+from repro.obs.events import CAT_TRACE, EventBus
+from repro.workloads.video import synthetic_frame
+
+#: Register-file width compared at every boundary.
+_NUM_REGS = 128
+
+
+@dataclass(frozen=True)
+class LockstepCase:
+    """One program x configuration point of the conformance catalog."""
+
+    name: str
+    config: ProcessorConfig
+    build: Callable
+    prepare: Callable[[FlatMemory], dict[int, int]]
+    memory_size: int = 1 << 19
+
+
+@dataclass
+class LockstepReport:
+    """What one lockstep run proved (returned on success)."""
+
+    case_name: str
+    config_name: str
+    instructions: int
+    boundaries_compared: int
+    trace_enters: int
+    trace_compiled: int
+
+
+# ---------------------------------------------------------------------------
+# Catalog: 30 programs
+# ---------------------------------------------------------------------------
+
+_TEX_SRC = DATA_BASE
+_TEX_DST = DATA_BASE + 0x4000
+_TEX_QUANT = DATA_BASE + 0x8000
+_TEX_COEFF = DATA_BASE + 0x8100
+_TEX_NBLOCKS = 6
+
+
+def _prepare_texture(memory: FlatMemory) -> dict[int, int]:
+    rng = random.Random(41)
+    src = [rng.randrange(-256, 256) for _ in range(_TEX_NBLOCKS * 64)]
+    quant = [rng.randrange(1, 32) for _ in range(8)]
+    coeff_w = [rng.randrange(-64, 64) for _ in range(8)]
+    coeff_v = [rng.randrange(-64, 64) for _ in range(8)]
+    for index, value in enumerate(src):
+        memory.store(_TEX_SRC + 2 * index, value & 0xFFFF, 2)
+    for index, value in enumerate(quant):
+        memory.store(_TEX_QUANT + 2 * index, value & 0xFFFF, 2)
+    for index, value in enumerate(coeff_w):
+        memory.store(_TEX_COEFF + 2 * index, value & 0xFFFF, 2)
+    for index, value in enumerate(coeff_v):
+        memory.store(_TEX_COEFF + 16 + 2 * index, value & 0xFFFF, 2)
+    return args_for(_TEX_SRC, _TEX_DST, _TEX_QUANT, _TEX_COEFF,
+                    _TEX_NBLOCKS)
+
+
+_ME_WIDTH = 64
+_ME_CUR = DATA_BASE
+_ME_REF = DATA_BASE + 0x800
+_ME_RESULT = DATA_BASE + 0x1000
+
+
+def _prepare_motion(memory: FlatMemory) -> dict[int, int]:
+    frame = synthetic_frame(_ME_WIDTH, 16, seed=77)
+    memory.write_block(_ME_CUR, frame[:8 * _ME_WIDTH])
+    memory.write_block(_ME_REF, frame[8 * _ME_WIDTH:16 * _ME_WIDTH])
+    return args_for(_ME_CUR, _ME_REF, _ME_WIDTH, _ME_RESULT)
+
+
+def _prepare_mp3(memory: FlatMemory) -> dict[int, int]:
+    from repro.eval.mp3 import (
+        COEFFS_ADDR,
+        DEFAULT_FRAMES,
+        OUT_ADDR,
+        SAMPLES_ADDR,
+        mp3_workload,
+    )
+
+    samples, coeff_pairs = mp3_workload(99)
+    for index, value in enumerate(samples):
+        memory.store(SAMPLES_ADDR + 2 * index, value & 0xFFFF, 2)
+    for index, (hi, lo) in enumerate(coeff_pairs):
+        memory.store(COEFFS_ADDR + 4 * index,
+                     ((hi & 0xFFFF) << 16) | (lo & 0xFFFF), 4)
+    return args_for(SAMPLES_ADDR, COEFFS_ADDR, OUT_ADDR, DEFAULT_FRAMES)
+
+
+def _build_mp3():
+    from repro.kernels import mp3proxy
+
+    return mp3proxy.build_mp3proxy()
+
+
+def _extra_cases() -> list[LockstepCase]:
+    """TM3270-only companions: new-operation kernels and the MP3 proxy
+    (these use TM3270 custom ops, so they cannot recompile for the
+    TM3260 the way the Table 5 suite does)."""
+    from repro.eval.perf import _build_cabac, _prepare_cabac
+    from repro.kernels import cabac_kernel, memops
+
+    return [
+        LockstepCase("memcpy_super", TM3270_CONFIG,
+                     memops.build_memcpy_super,
+                     _table5("memcpy").prepare,
+                     _table5("memcpy").memory_size),
+        LockstepCase("cabac_plain", TM3270_CONFIG,
+                     _build_cabac(cabac_kernel.build_cabac_plain),
+                     _prepare_cabac, 1 << 18),
+        LockstepCase("cabac_super", TM3270_CONFIG,
+                     _build_cabac(cabac_kernel.build_cabac_super),
+                     _prepare_cabac, 1 << 18),
+        LockstepCase("texture_plain", TM3270_CONFIG,
+                     texture.build_texture_plain, _prepare_texture,
+                     1 << 17),
+        LockstepCase("texture_super", TM3270_CONFIG,
+                     texture.build_texture_super, _prepare_texture,
+                     1 << 17),
+        LockstepCase("me_frac_plain", TM3270_CONFIG,
+                     motion.build_me_frac_plain, _prepare_motion,
+                     1 << 15),
+        LockstepCase("me_frac_ld8", TM3270_CONFIG,
+                     motion.build_me_frac_ld8, _prepare_motion,
+                     1 << 15),
+        LockstepCase("mp3proxy", TM3270_CONFIG, _build_mp3,
+                     _prepare_mp3, 1 << 17),
+    ]
+
+
+def _table5(name: str):
+    from repro.kernels.registry import kernel_by_name
+
+    return kernel_by_name(name)
+
+
+def lockstep_catalog() -> list[LockstepCase]:
+    """All 30 conformance programs, in deterministic order.
+
+    The Table 5 suite (11 kernels) runs on both family members — 22
+    points exercising both jump-delay depths (TM3260: 3 slots,
+    TM3270: 5) — plus the 8 TM3270-only companion kernels.
+    """
+    from repro.kernels.registry import TABLE5_KERNELS
+
+    cases = [
+        LockstepCase(case.name, config, case.build, case.prepare,
+                     case.memory_size)
+        for case in TABLE5_KERNELS
+        for config in (TM3270_CONFIG, TM3260_CONFIG)
+    ]
+    return cases + _extra_cases()
+
+
+#: Tier-1 / ``make ci`` smoke subset: five fast points spanning both
+#: configs, straight-line and looping code, custom ops, and
+#: generic-semantic regions (CABAC).
+SMOKE_NAMES = (
+    ("memset", "TM3270"),
+    ("filter", "TM3260"),
+    ("me_frac_ld8", "TM3270"),
+    ("texture_super", "TM3270"),
+    ("mp3proxy", "TM3270"),
+)
+
+
+def smoke_catalog() -> list[LockstepCase]:
+    wanted = set(SMOKE_NAMES)
+    picked = [case for case in lockstep_catalog()
+              if (case.name, case.config.name) in wanted]
+    assert len(picked) == len(SMOKE_NAMES), \
+        "smoke subset out of sync with catalog"
+    return picked
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+class LockstepMismatch(AssertionError):
+    """Raised when an engine diverges; message pinpoints the boundary."""
+
+
+def _machine_state(processor: Processor) -> dict:
+    """Comparable machine state at an instruction boundary."""
+    session = processor.session
+    executor = session.executor
+    return {
+        "pc": executor.pc,
+        "issue_count": executor.issue_count,
+        "pending_jump": executor._pending_jump,
+        "cycle": session.cycle,
+        "instructions": session.instructions,
+        "ops_issued": session.ops_issued,
+        "ops_executed": session.ops_executed,
+        "jumps_taken": session.jumps_taken,
+        "icache_stall_cycles": session.icache_stall_cycles,
+        "dcache_stall_cycles": session.dcache_stall_cycles,
+        "code_bytes_fetched": session.code_bytes_fetched,
+        "mmio_accesses": session.mmio_accesses,
+        "values": list(executor.regfile._values),
+    }
+
+
+def _diff(kind: str, case: LockstepCase, boundary: int,
+          states: dict) -> None:
+    baseline_name, baseline = next(iter(states.items()))
+    for engine, state in states.items():
+        if state == baseline:
+            continue
+        detail = ""
+        if isinstance(state, dict):
+            for key in baseline:
+                if state[key] != baseline[key]:
+                    detail = (f" (first differing field: {key}: "
+                              f"{baseline_name}={baseline[key]!r} "
+                              f"{engine}={state[key]!r})")
+                    break
+        raise LockstepMismatch(
+            f"{case.name}@{case.config.name}: {kind} diverged between "
+            f"{baseline_name} and {engine} at boundary "
+            f"{boundary}{detail}")
+
+
+def run_lockstep(case: LockstepCase, block: int = 64,
+                 max_instructions: int = 50_000_000,
+                 trace_config=None) -> LockstepReport:
+    """Run one case on all three engines in lockstep; raise on any
+    divergence, return a report on success."""
+    linked = compile_program(case.build(), case.config.target)
+
+    processors: dict[str, Processor] = {}
+    buses: dict[str, EventBus] = {}
+    for engine in ENGINES:
+        memory = FlatMemory(case.memory_size)
+        args = case.prepare(memory)
+        bus = EventBus()
+        processor = Processor(case.config, memory=memory, obs=bus)
+        processor.begin(linked, args=args,
+                        max_instructions=max_instructions,
+                        engine=engine, trace_config=trace_config)
+        processors[engine] = processor
+        buses[engine] = bus
+
+    trace_proc = processors["trace"]
+    boundaries = 0
+    while True:
+        before = trace_proc.session.instructions
+        trace_halted = trace_proc.step_block(limit=block)
+        retired = trace_proc.session.instructions - before
+        boundaries += 1
+        if retired == 0 and not trace_halted:
+            raise LockstepMismatch(
+                f"{case.name}@{case.config.name}: no progress "
+                f"(boundary {boundaries})")
+        halted = {"trace": trace_halted}
+        for engine in ("interp", "plan"):
+            flag = processors[engine].step_block(limit=retired or 1)
+            if trace_halted and not flag:
+                # The interpreter reports halt lazily when the limit
+                # runs out exactly at the final instruction; the trace
+                # engine's region exit reports it eagerly.  Probe one
+                # more step: at a true end it retires nothing and
+                # flips halted; a genuine divergence retires an extra
+                # instruction the state comparison below will catch.
+                flag = processors[engine].step_block(limit=1)
+            halted[engine] = flag
+        _diff("halt state", case, boundaries,
+              {engine: flag for engine, flag in halted.items()})
+        _diff("machine state", case, boundaries,
+              {engine: _machine_state(processor)
+               for engine, processor in processors.items()})
+        if trace_halted:
+            break
+
+    results = {engine: processor.result()
+               for engine, processor in processors.items()}
+    _diff("final RunStats", case, boundaries,
+          {engine: result.stats for engine, result in results.items()})
+    _diff("final registers", case, boundaries,
+          {engine: [result.regfile.peek(reg)
+                    for reg in range(_NUM_REGS)]
+           for engine, result in results.items()})
+    _diff("final memory", case, boundaries,
+          {engine: result.memory.read_block(0, case.memory_size)
+           for engine, result in results.items()})
+    _diff("event stream", case, boundaries,
+          {engine: [event for event in bus.events
+                    if event.cat != CAT_TRACE]
+           for engine, bus in buses.items()})
+
+    trace_stats = results["trace"].trace
+    return LockstepReport(
+        case_name=case.name,
+        config_name=case.config.name,
+        instructions=results["trace"].stats.instructions,
+        boundaries_compared=boundaries,
+        trace_enters=trace_stats.enters,
+        trace_compiled=trace_stats.compiled,
+    )
+
+
+def run_catalog(cases: list[LockstepCase] | None = None,
+                block: int = 64,
+                report: Callable[[str], None] | None = None
+                ) -> list[LockstepReport]:
+    """Run a case list (default: all 30); return the reports."""
+    reports = []
+    for case in cases if cases is not None else lockstep_catalog():
+        outcome = run_lockstep(case, block=block)
+        reports.append(outcome)
+        if report:
+            report(f"{outcome.case_name:<16} {outcome.config_name:<8} "
+                   f"{outcome.instructions:>9} instr  "
+                   f"{outcome.boundaries_compared:>6} boundaries  "
+                   f"{outcome.trace_enters:>6} region enters")
+    return reports
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: ``python -m repro.eval.lockstep [--smoke] [--block N]``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Run the three-way lockstep conformance catalog "
+                    "(interp vs plan vs trace; any divergence raises).")
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run the 5-case smoke subset instead of all 30 programs")
+    parser.add_argument(
+        "--block", type=int, default=64, metavar="N",
+        help="instructions per lockstep boundary (default 64)")
+    options = parser.parse_args(argv)
+
+    cases = smoke_catalog() if options.smoke else lockstep_catalog()
+    reports = run_catalog(cases, block=options.block, report=print)
+    total = sum(outcome.instructions for outcome in reports)
+    print(f"lockstep OK: {len(reports)} case(s), {total} instructions, "
+          "three engines bit-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -272,6 +272,14 @@ def main(argv: list[str] | None = None) -> int:
              "1 = in-process). Merged output is byte-identical for "
              "every worker count.")
     parser.add_argument(
+        "--engine", default="plan", metavar="NAME",
+        choices=("interp", "plan", "trace"),
+        help="execution tier for kernel runs: interp (reference "
+             "interpreter), plan (pre-decoded fast path, default), or "
+             "trace (plan + compiled hot regions). All tiers are "
+             "bit-identical; the choice only trades simulation "
+             "wall-clock.")
+    parser.add_argument(
         "--trace", default=None, metavar="PATH",
         help="capture each run's obs events and write the merged "
              "(re-timestamped, job_id-tagged) Chrome trace here")
@@ -315,7 +323,8 @@ def main(argv: list[str] | None = None) -> int:
         kernels=[case.name for case in kernels],
         configs=[config.name for config in configs],
         verify=not options.no_verify,
-        trace=bool(options.trace))
+        trace=bool(options.trace),
+        engine=options.engine)
     merged = _profiled(
         options.profile,
         lambda: run_jobs(jobs, workers=options.jobs))

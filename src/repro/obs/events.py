@@ -27,9 +27,11 @@ CAT_CABAC = "cabac"
 CAT_VERIFY = "verify"
 CAT_PARALLEL = "parallel"
 CAT_FAULT = "fault"
+CAT_TRACE = "trace"
 
 CATEGORIES = (CAT_PIPELINE, CAT_DCACHE, CAT_ICACHE, CAT_PREFETCH,
-              CAT_CABAC, CAT_VERIFY, CAT_PARALLEL, CAT_FAULT)
+              CAT_CABAC, CAT_VERIFY, CAT_PARALLEL, CAT_FAULT,
+              CAT_TRACE)
 
 
 @dataclass(frozen=True)
@@ -146,6 +148,14 @@ class EventBus:
         inject/detect/rollback/correct/vanish/outcome."""
         self.emit(ts, CAT_FAULT, kind, track="fault",
                   structure=structure, **extra)
+
+    def trace_tier(self, ts: int, kind: str, *, head: int,
+                   **extra) -> None:
+        """Trace-engine lifecycle event (ts = processor cycle):
+        compile/invalidate.  Meta-telemetry about the simulator's own
+        compilation tier — never part of the machine event stream, so
+        lockstep comparisons filter on :data:`CAT_TRACE`."""
+        self.emit(ts, CAT_TRACE, kind, track="trace", head=head, **extra)
 
     def parallel(self, ts: int, kind: str, *, job_id: str,
                  worker: int, **extra) -> None:

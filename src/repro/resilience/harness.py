@@ -152,7 +152,8 @@ class InjectionResult:
 def run_injection(kernel: str, config: str, structure: str,
                   protection: str, seed: int, *,
                   checkpoint_every: int | None = None,
-                  obs=None, ts_base: int = 0) -> InjectionResult:
+                  obs=None, ts_base: int = 0,
+                  engine: str | None = None) -> InjectionResult:
     """Inject one seeded fault into one kernel run and classify it.
 
     The ``seed`` fully determines the fault (injection point, target
@@ -161,6 +162,13 @@ def run_injection(kernel: str, config: str, structure: str,
     the SDC-to-recovered conversion evidence.  ``obs`` (optional)
     receives ``CAT_FAULT`` lifecycle events stamped at
     ``ts_base + cycle``.
+
+    ``engine`` picks the execution tier (default: the processor's
+    plan path).  Outcome classification must be engine-invariant:
+    armed phases single-step under a monitor (where the trace tier
+    deliberately defers to the plan loop), and an ibuf plan swap under
+    ``none`` rebinds the trace runtime — compiled regions of the
+    clean program can never run the corrupt one.
     """
     if protection not in PROTECTIONS:
         raise ValueError(f"unknown protection {protection!r}; "
@@ -219,7 +227,8 @@ def run_injection(kernel: str, config: str, structure: str,
         emit("correct", session.cycle, target=fault.target)
 
     try:
-        processor.begin(golden.program, args=args, max_cycles=watchdog)
+        processor.begin(golden.program, args=args, max_cycles=watchdog,
+                        engine=engine)
         session = processor.session
         checkpoint = processor.snapshot()
         checkpoint_cycle = 0

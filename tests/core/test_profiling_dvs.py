@@ -4,7 +4,7 @@ import pytest
 
 from repro.asm.builder import ProgramBuilder
 from repro.asm.link import compile_program
-from repro.core import dvs, trace
+from repro.core import dvs, profiling
 from repro.core.config import TM3270_CONFIG
 from repro.core.processor import run_kernel
 from repro.isa.operations import FU
@@ -32,25 +32,25 @@ def compiled_run():
 class TestSlotProfile:
     def test_widths_sum_to_instructions(self, compiled_run):
         linked, _stats = compiled_run
-        profile = trace.profile_program(linked)
+        profile = profiling.profile_program(linked)
         assert sum(profile.width_histogram.values()) == \
             profile.instructions
 
     def test_mean_width_matches_ops(self, compiled_run):
         linked, _stats = compiled_run
-        profile = trace.profile_program(linked)
+        profile = profiling.profile_program(linked)
         assert profile.mean_width == pytest.approx(
             linked.operation_count / linked.instruction_count)
 
     def test_slot_utilization_bounded(self, compiled_run):
         linked, _stats = compiled_run
-        profile = trace.profile_program(linked)
+        profile = profiling.profile_program(linked)
         for slot in range(1, 6):
             assert 0.0 <= profile.slot_utilization(slot) <= 1.0
 
     def test_store_slots_used(self, compiled_run):
         linked, _stats = compiled_run
-        profile = trace.profile_program(linked)
+        profile = profiling.profile_program(linked)
         assert (profile.slot_counts.get(4, 0)
                 + profile.slot_counts.get(5, 0)) > 0
 
@@ -59,20 +59,20 @@ class TestSlotProfile:
         (base,) = builder.params("base")
         builder.emit("super_ld32r", srcs=(base, builder.zero))
         linked = compile_program(builder.finish(), TM3270_CONFIG.target)
-        profile = trace.profile_program(linked)
+        profile = profiling.profile_program(linked)
         assert profile.slot_counts.get(4, 0) == 1
         assert profile.slot_counts.get(5, 0) == 1
 
     def test_fu_pressure(self, compiled_run):
         linked, _stats = compiled_run
-        profile = trace.profile_program(linked)
+        profile = profiling.profile_program(linked)
         assert profile.fu_pressure(FU.LOADSTORE) > 0
 
 
 class TestUtilization:
     def test_report_fields(self, compiled_run):
         _linked, stats = compiled_run
-        report = trace.utilization(stats)
+        report = profiling.utilization(stats)
         assert report.cpi >= 1.0
         assert 0 <= report.nullification_rate < 1
         assert report.issue_rate <= 5.0
@@ -82,7 +82,7 @@ class TestUtilization:
 
     def test_format_contains_key_lines(self, compiled_run):
         linked, stats = compiled_run
-        text = trace.format_profile(linked, stats)
+        text = profiling.format_profile(linked, stats)
         assert "slot utilization" in text
         assert "dynamic OPI / CPI" in text
         assert "stall cycles" in text

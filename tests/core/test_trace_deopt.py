@@ -1,0 +1,189 @@
+"""Deoptimization paths of the trace tier.
+
+Compiled regions only ever run between instruction boundaries, so
+every way of leaving the compiled world — snapshot/restore rollback,
+instruction-buffer mutation, a watchdog or timing exception raised
+mid-region — must land the session on interpreter-equivalent state.
+These tests drive each deopt edge explicitly; the happy path is pinned
+by ``test_trace_differential``.
+
+One deliberate asymmetry: after a *mid-step* exception the engines may
+disagree on partial-step register-file read counters (the plan loop
+loses the whole step's reads, the spill path keeps the guarded reads
+already performed).  That state is unobservable — the harness only
+reads cycle counts after a crash, and stats are only exported via
+``result()`` on clean completion — so exception tests compare outcome
+class, message, and cycle, never the partial counters.
+"""
+
+import pytest
+
+from repro.asm.link import compile_program
+from repro.core.config import TM3270_CONFIG
+from repro.core.processor import Processor, WatchdogTimeout
+from repro.core.trace import TraceConfig
+from repro.kernels import motion
+from repro.resilience.harness import run_injection
+
+from tests.core.test_fast_path_differential import _motion_setup
+
+MEMORY_SIZE = 1 << 15
+
+
+def _begin_trace(memory_factory, args, threshold=1):
+    linked = compile_program(motion.build_me_frac_plain(),
+                             TM3270_CONFIG.target)
+    memory = memory_factory()
+    processor = Processor(TM3270_CONFIG, memory=memory)
+    processor.begin(linked, args=args, engine="trace",
+                    trace_config=TraceConfig(threshold=threshold))
+    return processor, memory
+
+
+def _finish(processor, memory):
+    processor.step_block()
+    result = processor.result()
+    return (result.stats,
+            [result.regfile.peek(reg) for reg in range(128)],
+            memory.read_block(0, MEMORY_SIZE))
+
+
+class TestSnapshotRestore:
+    def test_restore_replay_bit_identical(self):
+        """Roll back over compiled-region progress and replay: the
+        second playthrough must be indistinguishable from the first."""
+        memory_factory, args = _motion_setup()
+
+        processor, memory = _begin_trace(memory_factory, args)
+        # Warm up into compiled code, then checkpoint mid-run.
+        processor.step_block(limit=200)
+        assert processor.session.trace_runtime.stats.enters > 0
+        checkpoint = processor.snapshot()
+        first = _finish(processor, memory)
+
+        processor2, memory2 = _begin_trace(memory_factory, args)
+        processor2.step_block(limit=200)
+        processor2.snapshot()
+        processor2.step_block(limit=150)  # progress to be discarded
+        processor2.restore(checkpoint)
+        second = _finish(processor2, memory2)
+
+        assert first == second
+
+    def test_restore_invalidates_traces(self):
+        memory_factory, args = _motion_setup()
+        processor, _memory = _begin_trace(memory_factory, args)
+        processor.step_block(limit=200)
+        runtime = processor.session.trace_runtime
+        assert runtime.stats.invalidations == 0
+        checkpoint = processor.snapshot()
+        processor.restore(checkpoint)
+        # One count per dropped activated region.
+        assert runtime.stats.invalidations > 0
+        # Re-warming hits the plan-level code cache: the run completes
+        # and compiled regions are entered again.
+        enters_before = runtime.stats.enters
+        processor.step_block()
+        assert runtime.stats.enters > enters_before
+
+    def test_trace_final_state_matches_plan(self):
+        """The restored-and-replayed trace run equals a plain plan
+        run of the same program (no snapshot games)."""
+        memory_factory, args = _motion_setup()
+        processor, memory = _begin_trace(memory_factory, args)
+        processor.step_block(limit=100)
+        checkpoint = processor.snapshot()
+        processor.step_block(limit=100)
+        processor.restore(checkpoint)
+        traced = _finish(processor, memory)
+
+        linked = compile_program(motion.build_me_frac_plain(),
+                                 TM3270_CONFIG.target)
+        memory_p = memory_factory()
+        plain = Processor(TM3270_CONFIG, memory=memory_p)
+        result = plain.run(linked, args=args, engine="plan")
+        assert traced == (result.stats,
+                          [result.regfile.peek(reg) for reg in range(128)],
+                          memory_p.read_block(0, MEMORY_SIZE))
+
+
+class TestPlanSwapInvalidation:
+    def test_ibuf_swap_rebinds_runtime(self):
+        """Swapping ``executor._plan`` wholesale (the ibuf fault's
+        ``arm_none`` mechanism) must rebind the dispatch table: regions
+        compiled against the old plan can never run the new one."""
+        from repro.core.plan import ExecutionPlan
+
+        memory_factory, args = _motion_setup()
+        processor, memory = _begin_trace(memory_factory, args)
+        processor.step_block(limit=200)
+        session = processor.session
+        runtime = session.trace_runtime
+        old_plan = session.executor._plan
+        assert runtime._plan is old_plan
+
+        # Identical program, fresh plan object — an identity change
+        # with unchanged semantics isolates the rebind itself.
+        fresh = ExecutionPlan(session.program)
+        session.executor._plan = fresh
+        final = _finish(processor, memory)
+        assert runtime._plan is fresh
+
+        control, control_memory = _begin_trace(memory_factory, args)
+        assert _finish(control, control_memory) == final
+
+
+class TestInjectionOutcomeParity:
+    """Fault classification is engine-invariant: the trace tier must
+    report the same outcome, detection cycle, and recovery accounting
+    as the plan path for the identical seeded physical fault."""
+
+    @pytest.mark.parametrize("structure,protection", [
+        ("ibuf", "none"),
+        ("ibuf", "parity"),
+        ("regfile", "none"),
+        ("dcache-data", "ecc"),
+    ])
+    def test_outcomes_match_plan_engine(self, structure, protection):
+        for seed in (7, 23):
+            base = run_injection("memcpy", "D", structure, protection,
+                                 seed)
+            traced = run_injection("memcpy", "D", structure, protection,
+                                   seed, engine="trace")
+            assert base.as_record() == traced.as_record(), \
+                (structure, protection, seed)
+
+
+class TestWatchdogMidRegion:
+    def test_watchdog_fires_identically_on_all_engines(self):
+        """A cycle budget that expires inside a compiled region must
+        raise the same exception text at the same cycle as both
+        interpreters (the generated code checks per step, exactly)."""
+        memory_factory, args = _motion_setup()
+        linked = compile_program(motion.build_me_frac_plain(),
+                                 TM3270_CONFIG.target)
+        outcomes = {}
+        for engine in ("interp", "plan", "trace"):
+            processor = Processor(TM3270_CONFIG,
+                                  memory=memory_factory())
+            with pytest.raises(WatchdogTimeout) as info:
+                processor.run(linked, args=args, max_cycles=300,
+                              engine=engine,
+                              trace_config=TraceConfig(threshold=1))
+            outcomes[engine] = (str(info.value),
+                                processor.session.cycle)
+        assert outcomes["trace"] == outcomes["plan"] == \
+            outcomes["interp"]
+
+    def test_trace_watchdog_fired_from_compiled_code(self):
+        """The equivalence above is only meaningful if the trace run
+        actually reached compiled code before the budget expired."""
+        memory_factory, args = _motion_setup()
+        linked = compile_program(motion.build_me_frac_plain(),
+                                 TM3270_CONFIG.target)
+        processor = Processor(TM3270_CONFIG, memory=memory_factory())
+        with pytest.raises(WatchdogTimeout):
+            processor.run(linked, args=args, max_cycles=300,
+                          engine="trace",
+                          trace_config=TraceConfig(threshold=1))
+        assert processor.session.trace_runtime.stats.enters > 0

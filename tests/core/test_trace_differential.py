@@ -1,0 +1,114 @@
+"""Three-way lockstep differential: interp vs plan vs trace.
+
+The trace tier (:mod:`repro.core.trace`) is required to be
+*bit-identical* to both the plan interpreter and the dynamic reference
+interpreter in everything observable — machine state at every block
+boundary, final :class:`RunStats`, architectural registers, memory, and
+the (CAT_TRACE-filtered) obs event stream.  The lockstep driver in
+:mod:`repro.eval.lockstep` enforces all of that per case; this suite
+runs its 5-case smoke subset in tier 1 and the full 30-program catalog
+plus a hypothesis random-program sweep under ``-m slow``.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asm.link import compile_program
+from repro.core.config import TM3260_CONFIG, TM3270_CONFIG
+from repro.core.processor import ENGINES, Processor
+from repro.core.trace import TraceConfig
+from repro.eval.lockstep import (
+    lockstep_catalog,
+    run_catalog,
+    run_lockstep,
+    smoke_catalog,
+)
+from repro.kernels.common import args_for
+
+from tests.core.test_fast_path_differential import (
+    DATA,
+    MEMORY_SIZE,
+    RESULT,
+    generate_program,
+    initial_memory,
+)
+
+
+class TestLockstepSmoke:
+    """Tier-1 anchor: five catalog points covering both family
+    members, loops, super-ops, and the custom-op kernels."""
+
+    def test_smoke_subset_bit_identical(self):
+        reports = run_catalog(smoke_catalog())
+        assert len(reports) == 5
+        # The subset must actually exercise compiled regions — a
+        # detector regression that compiles nothing would make the
+        # comparison vacuous.
+        assert all(report.trace_compiled > 0 for report in reports)
+        assert all(report.trace_enters > 0 for report in reports)
+
+    def test_catalog_covers_both_targets(self):
+        configs = {case.config.name for case in lockstep_catalog()}
+        assert configs == {"TM3270", "TM3260"}
+
+    def test_catalog_size(self):
+        assert len(lockstep_catalog()) == 30
+
+
+@pytest.mark.slow
+class TestLockstepFullCatalog:
+    def test_all_thirty_programs_bit_identical(self):
+        reports = run_catalog()
+        assert len(reports) == 30
+        assert sum(report.trace_enters for report in reports) > 0
+
+
+@pytest.mark.slow
+class TestRandomProgramsLockstep:
+    """Straight-line hypothesis programs through the lockstep driver.
+
+    Random programs run each region exactly once, so the compile
+    threshold is dropped to 1 — every detected region compiles on
+    first sight and the whole program executes as compiled code.
+    """
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_random_programs_identical_on_all_engines(self, seed):
+        program = generate_program(seed)
+        eager = TraceConfig(threshold=1, min_length=1)
+        for config in (TM3270_CONFIG, TM3260_CONFIG):
+            linked = compile_program(program, config.target)
+            outputs = {}
+            for engine in ENGINES:
+                memory = initial_memory()
+                processor = Processor(config, memory=memory)
+                result = processor.run(
+                    linked, args=args_for(DATA, RESULT), engine=engine,
+                    trace_config=eager)
+                outputs[engine] = (
+                    result.stats,
+                    [result.regfile.peek(reg) for reg in range(128)],
+                    memory.read_block(0, MEMORY_SIZE),
+                )
+                if engine == "trace":
+                    assert result.trace.enters > 0, \
+                        f"seed {seed}: no region entered"
+            assert outputs["trace"] == outputs["plan"] == \
+                outputs["interp"]
+
+
+class TestBlockGranularity:
+    """Boundary sizes that slice regions awkwardly must not diverge
+    (entry requires the remaining block budget to cover the region)."""
+
+    @pytest.mark.parametrize("block", [1, 3, 64, 1000])
+    def test_odd_block_sizes(self, block):
+        case = smoke_catalog()[0]
+        report = run_lockstep(case, block=block)
+        assert report.instructions > 0
+        if block == 1:
+            # A 1-step budget can never cover a multi-instruction
+            # region: everything must fall back to the plan loop.
+            assert report.trace_enters == 0

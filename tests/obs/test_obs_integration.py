@@ -11,7 +11,7 @@ import pytest
 from repro.asm import ProgramBuilder, compile_program
 from repro.core import TM3270_CONFIG, run_kernel
 from repro.core.pipeline import stage_spans
-from repro.core.trace import register_utilization
+from repro.core.profiling import register_utilization
 from repro.eval import runner
 from repro.kernels.common import args_for
 from repro.kernels.registry import kernel_by_name

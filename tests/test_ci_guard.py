@@ -27,6 +27,25 @@ for jobs in (conformance_jobs(), enumerate_jobs()):
 """
 
 
+TRACE_ENGINE_SNIPPET = """\
+from repro.core.config import TM3270_CONFIG
+from repro.core.processor import Processor
+from repro.kernels.registry import kernel_by_name
+from repro.asm.link import compile_program
+from repro.mem.flatmem import FlatMemory
+for name in ("memcpy", "filter"):
+    case = kernel_by_name(name)
+    linked = compile_program(case.build(), TM3270_CONFIG.target)
+    memory = FlatMemory(case.memory_size)
+    args = case.prepare(memory)
+    processor = Processor(TM3270_CONFIG, memory=memory)
+    result = processor.run(linked, args=args, engine="trace")
+    print(name, result.stats.summary())
+    print(name, sorted(result.trace.as_dict().items()))
+    print(name, [result.regfile.peek(reg) for reg in range(128)])
+"""
+
+
 def _env(hash_seed):
     env = dict(os.environ)
     env["PYTHONPATH"] = str(ROOT / "src") + (
@@ -46,6 +65,25 @@ def test_job_enumeration_is_hash_seed_invariant():
         outputs[hash_seed] = completed.stdout
     assert outputs[0] == outputs[1] == outputs[31337], \
         "job enumeration / sharding must not depend on PYTHONHASHSEED"
+
+
+def test_trace_engine_is_hash_seed_invariant():
+    # The trace tier generates Python source by iterating plan and
+    # region structures; if any of that iteration ran over an
+    # unordered container, the emitted code — and with it the machine
+    # behaviour — could vary with the interpreter's hash seed.  Same
+    # stats, same trace telemetry, same registers, or the tier is
+    # nondeterministic.
+    outputs = {}
+    for hash_seed in (0, 1, 31337):
+        completed = subprocess.run(
+            [sys.executable, "-c", TRACE_ENGINE_SNIPPET],
+            capture_output=True, text=True, env=_env(hash_seed),
+            cwd=ROOT, timeout=300)
+        assert completed.returncode == 0, completed.stderr
+        outputs[hash_seed] = completed.stdout
+    assert outputs[0] == outputs[1] == outputs[31337], \
+        "engine='trace' must not depend on PYTHONHASHSEED"
 
 
 def test_suite_subset_passes_under_pinned_hash_seed():
