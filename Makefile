@@ -9,8 +9,9 @@ PY := PYTHONPATH=src python
 JOBS ?=
 JOBSFLAG := $(if $(JOBS),--jobs $(JOBS),)
 
-.PHONY: test fast slow bench benchmarks eval perf trace verify lint \
-	golden conformance lockstep lockstep-smoke inject inject-golden ci
+.PHONY: test fast slow bench benchmarks eval perf perf-quick trace \
+	verify lint golden conformance lockstep lockstep-smoke inject \
+	inject-golden ci
 
 # Tier-1 verification: the whole unit/property suite.
 test:
@@ -42,6 +43,12 @@ eval:
 # regressions with: scripts/bench_compare.py OLD.json NEW.json
 perf:
 	$(PY) -m repro.eval.runner --perf $(JOBSFLAG)
+
+# Quick throughput check over just the gated kernels — seconds, not
+# minutes.  Override the set with `make perf-quick PERF_QUICK=memcpy`.
+PERF_QUICK ?= memcpy,mpeg2_b,cabac_plain
+perf-quick:
+	$(PY) -m repro.eval.runner --perf --kernels $(PERF_QUICK) $(JOBSFLAG)
 
 # Capture a Chrome trace of the quickstart kernel (chrome://tracing).
 trace:
@@ -99,11 +106,20 @@ inject-golden:
 
 # The full local CI gauntlet: lint, static kernel verification, the
 # tier-1 suite under a pinned hash seed, the three-engine lockstep
-# smoke subset, then sharded golden conformance + fault-campaign runs
-# proving parallelism changes nothing.  (The full 30-program lockstep
-# catalog is the `make lockstep` / `-m slow` sweep.)
+# smoke subset, sharded golden conformance + fault-campaign runs
+# proving parallelism changes nothing, then a quick throughput gate
+# against the committed baseline (generous threshold: CI machines are
+# noisy; benchmarks/test_sim_speed.py holds the tight ratios).  (The
+# full 30-program lockstep catalog is the `make lockstep` / `-m slow`
+# sweep.)
 ci: lint verify
 	PYTHONHASHSEED=0 $(PY) -m pytest -x -q
 	$(PY) -m repro.eval.lockstep --smoke
 	$(PY) -m repro.eval.parallel --conformance --jobs 2
 	$(PY) -m repro.resilience --check --jobs 2
+	$(PY) -m repro.eval.runner --perf --kernels $(PERF_QUICK) \
+		--bench-out benchmarks/results/BENCH_ci_perf.json
+	$(PY) scripts/bench_compare.py \
+		benchmarks/baselines/BENCH_sim_speed.json \
+		benchmarks/results/BENCH_ci_perf.json \
+		--only $(PERF_QUICK) --threshold 0.5

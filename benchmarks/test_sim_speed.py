@@ -49,14 +49,15 @@ def test_sim_speed(benchmark):
     assert by_name["cabac_super"].speedup >= 1.8
     assert by_name["me_frac_ld8"].speedup >= 1.8
 
-    # The trace tier's claim: compiled hot regions beat the plan
-    # interpreter by >= 1.5x on the Table 5 loop kernels (measured
-    # ~2.0x/~1.8x; the slack absorbs CI noise and first-repeat
-    # compilation).  Short programs (me_frac_ld8) amortize less and
-    # are deliberately not gated.
-    assert by_name["memcpy"].trace_speedup_vs_plan >= 1.5
-    assert by_name["mpeg2_b"].trace_speedup_vs_plan >= 1.4
-    assert by_name["cabac_plain"].trace_speedup_vs_plan >= 1.5
+    # The trace tier's claim: with statically scheduled commits and
+    # batched SIMD lane templates, compiled hot regions beat the plan
+    # interpreter well past the old 1.5x floor on the Table 5 loop
+    # kernels (measured ~2.6x/~1.8x/~4.6x; the slack absorbs CI noise
+    # and first-repeat compilation).  Short programs (me_frac_ld8)
+    # amortize less and are deliberately not gated.
+    assert by_name["memcpy"].trace_speedup_vs_plan >= 2.2
+    assert by_name["mpeg2_b"].trace_speedup_vs_plan >= 1.7
+    assert by_name["cabac_plain"].trace_speedup_vs_plan >= 1.9
 
     # Absolute sanity: the fast path simulates at a usable rate.
     for name in ("me_frac_plain", "cabac_plain"):

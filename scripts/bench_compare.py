@@ -265,10 +265,22 @@ def main(argv: list[str] | None = None) -> int:
         "--no-static-verify", action="store_true",
         help="compare even when a cited kernel fails the static "
              "program verifier (default: refuse)")
+    parser.add_argument(
+        "--only", default=None, metavar="NAME[,NAME...]",
+        help="restrict the comparison to these kernel names; lets a "
+             "quick subset run (make perf-quick) gate against a full "
+             "committed baseline without tripping the missing-record "
+             "check")
     options = parser.parse_args(argv)
 
     old = read_bench(options.old)
     new = read_bench(options.new)
+    if options.only:
+        keep = {name.strip() for name in options.only.split(",")}
+        for document in (old, new):
+            document["records"] = [
+                record for record in document["records"]
+                if record["kernel"] in keep]
     if not options.no_static_verify:
         broken = verify_sources([old, new])
         if broken:

@@ -526,10 +526,15 @@ class Processor:
                                 budget -= retired
                                 ops_issued += rec.issued_prefix[retired]
                                 executor.issue_count += retired
+                                # Sequencing state the interpreter
+                                # would show at this raise point.
+                                executor.pc = spill[11]
+                                executor._pending_jump = spill[12]
                                 spill[0] = None
                                 raise
                             tstats.enters += 1
                             tstats.compiled_instructions += rlen
+                            rec.enters += 1
                             cycle = ret[1]
                             last_chunk = ret[2]
                             ops_executed += ret[3]
@@ -672,6 +677,8 @@ class Processor:
         stats.sdram = self.biu.sdram.stats
         stats.prefetch = self.prefetcher.stats
         runtime = session.trace_runtime
+        if runtime is not None:
+            runtime.finalize()
         self._session = None
         return RunResult(stats, executor.regfile, self.memory,
                          trace=runtime.stats if runtime else None)

@@ -23,6 +23,21 @@ Pending writes are kept in two coordinated structures:
   single heap-top comparison on the step where nothing lands, and on
   a landing step touches only the registers that actually land,
   instead of walking every in-flight register.
+
+**Trace-tier contract** (``core/trace.py``, DESIGN.md §13): compiled
+regions bypass :meth:`schedule_write` for writes whose landing step is
+statically known, committing them as direct ``_values`` assignments.
+The protocol they must uphold at every region boundary — normal exit,
+deopt, or exception spill — is that ``_pending`` and ``_due_heap``
+contain exactly the entries the interpreter would have: any write
+still in flight (``due > now``) is *materialized* here as its
+``(due, issue_time, value)`` entry plus a ``(due, reg)`` heap push.
+Queue contents must match entry-for-entry (queues are insort-sorted,
+so equal multisets imply equal lists); the heap's *array layout* may
+differ between engines — heap order is not observable: commits drain
+every entry due ``<= now`` and the per-register queue decides the
+landing value — so cross-engine comparisons use :meth:`in_flight`'s
+sorted view (``eval/lockstep.py``).
 """
 
 from __future__ import annotations
@@ -144,6 +159,15 @@ class RegisterFile:
         self.reads = reads
         self.writes = writes
         self.guard_reads = guard_reads
+
+    def in_flight(self) -> tuple[list, list]:
+        """Canonical engine-comparable view of the pending-write state:
+        ``(sorted (reg, queue-tuple) pairs, sorted due-heap multiset)``.
+        See the module docstring for why the raw heap array is not
+        directly comparable across execution engines."""
+        return (sorted((reg, tuple(queue))
+                       for reg, queue in self._pending.items() if queue),
+                sorted(self._due_heap))
 
     def peek(self, reg: int) -> int:
         """Read the committed value without timing checks or stats."""

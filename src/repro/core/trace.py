@@ -23,9 +23,21 @@ hot loop *unrolled and constant-folded* for one region:
   literals; the registry semantic of every foldable operation is
   inlined as a masked integer expression (anything else calls the
   bound semantic exactly as the plan path would);
-* the dynamic pending-write machinery (``regfile._pending`` /
-  ``_due_heap``) is preserved verbatim — any entry machine state is
-  correct, at the cost of the push/commit protocol per write;
+* register commits are *statically scheduled*: the plan resolves every
+  write latency, so a write issued on region step ``t_w`` with latency
+  ``lat`` lands on step ``t_w + lat`` — a compile-time constant.  The
+  codegen holds the value in a local (``_w<k>``) and emits a direct
+  ``values[reg] = _w<k>`` at the top of the landing step, after the
+  dynamic ``commit_until`` check (same-due dynamic entries were issued
+  earlier, so the static assignment correctly wins).  The
+  ``pending``/``_due_heap`` push protocol is kept only for writes the
+  analysis *demotes* (multi-destination results, strict-mode writes a
+  later in-flight read could observe, and same-``(reg, due)``
+  collisions) — those stay bit-identical to the interpreter's hazard
+  scans; writes whose due-cycle escapes the region are *materialized*
+  into ``pending``/``_due_heap`` at every region exit and in the
+  BaseException spill path, so boundary machine state is
+  indistinguishable from the interpreter's (DESIGN.md §13);
 * front-end fetches are constant-folded: after instruction ``i`` of a
   sequential run the last-fetched chunk is provably
   ``chunk_last[i]``, so only the first instruction of a region needs
@@ -55,8 +67,10 @@ on :meth:`Processor.restore` and on instruction-buffer mutation (the
 resilience layer swaps ``executor._plan`` wholesale, which
 :meth:`TraceRuntime.ensure` detects by identity).  If a region raises
 mid-flight (timing violation, memory fault, watchdog), the generated
-``except`` block spills the partial progress counters so the
-dispatcher leaves the session exactly where the plan interpreter
+``except`` block spills the partial progress counters, the faulting
+``pc``, and the reconstructed ``_pending_jump`` — plus any in-flight
+static writes, materialized back into ``pending``/``_due_heap`` — so
+the dispatcher leaves the session exactly where the plan interpreter
 would have.
 
 Compiled functions are pure functions of ``(plan, strict)`` — all
@@ -69,8 +83,9 @@ once per process.
 from __future__ import annotations
 
 from bisect import insort
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from heapq import heappush
+from time import perf_counter_ns
 
 from repro.core.pipeline import stage_spans
 from repro.core.plan import (
@@ -126,6 +141,17 @@ class TraceStats:
     entry_blocked: int = 0
     monitor_blocks: int = 0
     invalidations: int = 0
+    #: Commit-scheduling totals over freshly *compiled* regions (cache
+    #: hits re-activate code without re-counting its writes).
+    static_commits: int = 0
+    escaped_commits: int = 0
+    dynamic_writes: int = 0
+    #: Wall time spent in ``_generate`` + ``compile`` (cache misses
+    #: only) — simulator meta-cost, never simulated time.
+    compile_ns: int = 0
+    #: One dict per activation: head, length, cached, compile_ns, and
+    #: the three commit-scheduling counts (``RunResult.trace.regions``).
+    regions: list = field(default_factory=list)
 
     def as_dict(self) -> dict:
         return {
@@ -137,6 +163,11 @@ class TraceStats:
             "entry_blocked": self.entry_blocked,
             "monitor_blocks": self.monitor_blocks,
             "invalidations": self.invalidations,
+            "static_commits": self.static_commits,
+            "escaped_commits": self.escaped_commits,
+            "dynamic_writes": self.dynamic_writes,
+            "compile_ns": self.compile_ns,
+            "regions": [dict(entry) for entry in self.regions],
         }
 
 
@@ -233,7 +264,9 @@ class Region:
     the static per-region counter totals the dispatcher flushes."""
 
     __slots__ = ("spec", "head", "length", "heat", "fn", "source",
-                 "static_issued", "static_guard_reads", "issued_prefix")
+                 "static_issued", "static_guard_reads", "issued_prefix",
+                 "enters", "compile_ns", "static_commits",
+                 "escaped_commits", "dynamic_writes")
 
     def __init__(self, spec: RegionSpec, plan) -> None:
         self.spec = spec
@@ -242,6 +275,13 @@ class Region:
         self.heat = 0
         self.fn = None
         self.source = None
+        # Per-region telemetry, filled by TraceRuntime.warm / the
+        # dispatcher (enters) — exported via TraceStats.regions.
+        self.enters = 0
+        self.compile_ns = 0
+        self.static_commits = 0
+        self.escaped_commits = 0
+        self.dynamic_writes = 0
         prefix = [0]
         for index in range(spec.head, spec.head + spec.length):
             prefix.append(prefix[-1] + plan.nops[index])
@@ -311,7 +351,7 @@ def _pure_template(name, srcs, imm):
     if name == "ineg":
         # u32(-s32(x)) == (-x) mod 2**32 because s32(x) == x (mod 2**32).
         return [], f"(-{a}) & {_M32}"
-    if name == "iabs":
+    if name in ("iabs", "dspiabs"):
         # clip_s32(abs(s32(x))): only x == 0x80000000 clips.
         return ([f"_a = {a}"],
                 "(_a if _a < 2147483648 else (2147483647 "
@@ -377,20 +417,153 @@ def _pure_template(name, srcs, imm):
     if name == "packbytes":
         return [], f"((({a} & 255) << 8) | ({b} & 255))"
     if name == "quadavg":
-        # Per-lane rounding average; lanes cannot carry (max 255).
+        # Carry-free SWAR identity on whole words (isa.simd.quad_avg_u8):
+        # (x + y + 1) >> 1  ==  (x | y) - ((x ^ y) >> 1)  per u8 lane.
         return ([f"_a = {a}", f"_b = {b}"],
-                "(((((_a >> 24) + (_b >> 24) + 1) >> 1) << 24)"
-                " | (((((_a >> 16) & 255) + ((_b >> 16) & 255) + 1) >> 1)"
-                " << 16)"
-                " | (((((_a >> 8) & 255) + ((_b >> 8) & 255) + 1) >> 1)"
-                " << 8)"
-                " | (((_a & 255) + (_b & 255) + 1) >> 1))")
+                "((_a | _b) - (((_a ^ _b) >> 1) & 2139062143))")
     if name == "ume8uu":
+        # SWAR |a-b| per lane (isa.simd.quad_abs_diff_sum_u8): widen to
+        # 16-bit fields, borrow-guard compare selects the positive
+        # difference, then a horizontal field sum (max 4*255 < 1024).
+        return ([f"_a = {a}", f"_b = {b}",
+                 "_aw = ((_a & 4278190080) << 24) | ((_a & 16711680) << 16)"
+                 " | ((_a & 65280) << 8) | (_a & 255)",
+                 "_bw = ((_b & 4278190080) << 24) | ((_b & 16711680) << 16)"
+                 " | ((_b & 65280) << 8) | (_b & 255)",
+                 "_dab = (_aw | 72058693566333184) - _bw",
+                 "_dba = (_bw | 72058693566333184) - _aw",
+                 "_sel = ((_dab >> 8) & 281479271743489) * 511",
+                 "_d = ((_dab & _sel) | (_dba & (_sel ^ "
+                 "143835907860922879))) - 72058693566333184"],
+                "((_d + (_d >> 16) + (_d >> 32) + (_d >> 48)) & 1023)")
+    if name in ("dspidualadd", "dspidualsub"):
+        # Batched dual s16 saturating add/sub (isa.simd.dual_add_sat_s16
+        # / dual_sub_sat_s16): bias both halfwords to unsigned, widen to
+        # 32-bit fields, classify overflow per field from bits 15/16.
+        op_tail = ("+" if name == "dspidualadd" else "+ 281474976776192 -")
+        return ([f"_a = {a} ^ 2147516416",
+                 f"_b = {b} ^ 2147516416",
+                 "_u = (((_a & 4294901760) << 16) | (_a & 65535)) "
+                 f"{op_tail} (((_b & 4294901760) << 16) | (_b & 65535))",
+                 "_hi = (_u >> 15) & (_u >> 16) & 4294967297",
+                 "_lo = (((_u >> 15) | (_u >> 16)) & 4294967297)"
+                 " ^ 4294967297",
+                 "_v = (_u & ((4294967297 ^ _hi ^ _lo) * 65535))"
+                 " | (_hi * 32767) | (_lo * 32768)"],
+                "(((_v >> 16) & 4294901760) | (_v & 65535))")
+    if name == "dspidualmul":
+        # Dual s16 saturating multiply: cross terms defeat 64-bit SWAR,
+        # so the two lane products stay scalar with conditional clips.
+        return ([f"_a = {a}", f"_b = {b}",
+                 "_ph = (((_a >> 16) ^ 32768) - 32768) * "
+                 "(((_b >> 16) ^ 32768) - 32768)",
+                 "_pl = (((_a & 65535) ^ 32768) - 32768) * "
+                 "(((_b & 65535) ^ 32768) - 32768)",
+                 "_ph = 32767 if _ph > 32767 else "
+                 "(-32768 if _ph < -32768 else _ph)",
+                 "_pl = 32767 if _pl > 32767 else "
+                 "(-32768 if _pl < -32768 else _pl)"],
+                "(((_ph & 65535) << 16) | (_pl & 65535))")
+    if name == "dspuquadaddui":
+        # Batched u8 + s8 with unsigned saturation (simd.quad_add_u8s):
+        # bias the signed operand by +0x80 per lane, widen, add a field
+        # bias of 0x80, classify per-field bits 8/9.
+        return ([f"_a = {a}",
+                 f"_b = {b} ^ 2155905152",
+                 "_u = (((_a & 4278190080) << 24) | ((_a & 16711680) << 16)"
+                 " | ((_a & 65280) << 8) | (_a & 255))"
+                 " + (((_b & 4278190080) << 24) | ((_b & 16711680) << 16)"
+                 " | ((_b & 65280) << 8) | (_b & 255))"
+                 " + 36029346783166592",
+                 "_hi = (_u >> 9) & 281479271743489",
+                 "_ok = ((_u >> 8) & 281479271743489) & "
+                 "(_hi ^ 281479271743489)",
+                 "_v = (_u & (_ok * 255)) | (_hi * 255)"],
+                "(((_v >> 24) & 4278190080) | ((_v >> 16) & 16711680)"
+                " | ((_v >> 8) & 65280) | (_v & 255))")
+    if name in ("quadumax", "quadumin"):
+        # Batched u8 max/min (simd.quad_max_u8 / quad_min_u8): per-field
+        # borrow-guard compare produces a 0xFF/0x00 select mask.
+        pick, other = (("_aw", "_bw") if name == "quadumax"
+                       else ("_bw", "_aw"))
+        return ([f"_a = {a}", f"_b = {b}",
+                 "_aw = ((_a & 4278190080) << 24) | ((_a & 16711680) << 16)"
+                 " | ((_a & 65280) << 8) | (_a & 255)",
+                 "_bw = ((_b & 4278190080) << 24) | ((_b & 16711680) << 16)"
+                 " | ((_b & 65280) << 8) | (_b & 255)",
+                 "_ge = ((((_aw | 72058693566333184) - _bw) >> 8) & "
+                 "281479271743489) * 255",
+                 f"_v = ({pick} & _ge) | ({other} & "
+                 "(_ge ^ 71777214294589695))"],
+                "(((_v >> 24) & 4278190080) | ((_v >> 16) & 16711680)"
+                " | ((_v >> 8) & 65280) | (_v & 255))")
+    if name == "quadumulmsb":
         return ([f"_a = {a}", f"_b = {b}"],
-                "(abs((_a >> 24) - (_b >> 24))"
-                " + abs(((_a >> 16) & 255) - ((_b >> 16) & 255))"
-                " + abs(((_a >> 8) & 255) - ((_b >> 8) & 255))"
-                " + abs((_a & 255) - (_b & 255)))")
+                "((((_a >> 24) * (_b >> 24) >> 8) << 24)"
+                " | ((((_a >> 16) & 255) * ((_b >> 16) & 255) >> 8) << 16)"
+                " | ((((_a >> 8) & 255) * ((_b >> 8) & 255) >> 8) << 8)"
+                " | ((_a & 255) * (_b & 255) >> 8))")
+    if name == "ifir16":
+        # Dual s16 dot product; the sum reaches ±2**31 (0x8000 * 0x8000
+        # twice), so the clip is live.
+        return ([f"_a = {a}", f"_b = {b}",
+                 "_p = (((_a >> 16) ^ 32768) - 32768) * "
+                 "(((_b >> 16) ^ 32768) - 32768) + "
+                 "(((_a & 65535) ^ 32768) - 32768) * "
+                 "(((_b & 65535) ^ 32768) - 32768)"],
+                "((2147483647 if _p > 2147483647 else (-2147483648 "
+                f"if _p < -2147483648 else _p)) & {_M32})")
+    if name == "ufir16":
+        return ([f"_a = {a}", f"_b = {b}"],
+                "(((_a >> 16) * (_b >> 16) + (_a & 65535) * (_b & 65535))"
+                f" & {_M32})")
+    if name == "ifir8ui":
+        # Quad u8 * s8 dot product: |sum| <= 4 * 255 * 128, the clip in
+        # the registry semantic can never fire, so only the final mask
+        # (two's-complement of a possibly negative sum) remains.
+        return ([f"_a = {a}", f"_b = {b}",
+                 "_p = ((_a >> 24) * (((_b >> 24) ^ 128) - 128)"
+                 " + ((_a >> 16) & 255) * ((((_b >> 16) & 255) ^ 128) - 128)"
+                 " + ((_a >> 8) & 255) * ((((_b >> 8) & 255) ^ 128) - 128)"
+                 " + (_a & 255) * (((_b & 255) ^ 128) - 128))"],
+                f"(_p & {_M32})")
+    if name == "mergelsb":
+        return [], (f"((({a} & 65280) << 16) | (({b} & 65280) << 8)"
+                    f" | (({a} & 255) << 8) | ({b} & 255))")
+    if name == "mergemsb":
+        return [], (f"(({a} & 4278190080) | (({b} >> 8) & 16711680)"
+                    f" | (({a} >> 8) & 65280) | (({b} >> 16) & 255))")
+    if name == "ubytesel":
+        return [], f"(({a} >> (({b} & 3) << 3)) & 255)"
+    if name == "imulm":
+        # s32 * s32 high word; Python's arithmetic >> on a negative
+        # product matches the reference's sign-extended behaviour.
+        return ([f"_p = (({a} ^ 2147483648) - 2147483648) * "
+                 f"(({b} ^ 2147483648) - 2147483648)"],
+                f"((_p >> 32) & {_M32})")
+    if name == "umulm":
+        return [], f"(({a} * {b}) >> 32)"
+    if name == "rol":
+        # _s == 0 still works: a >> 32 is 0 for a masked word.
+        return ([f"_a = {a}", f"_s = {b} & 31"],
+                f"(((_a << _s) | (_a >> (32 - _s))) & {_M32})")
+    if name == "roli" and imm is not None:
+        shift = imm & 31
+        if shift == 0:
+            return [], a
+        return ([f"_a = {a}"],
+                f"(((_a << {shift}) | (_a >> {32 - shift})) & {_M32})")
+    if name == "iclipi" and imm is not None:
+        bound = 1 << (imm & 31)
+        return ([f"_a = ({a} ^ 2147483648) - 2147483648"],
+                f"(({-bound} if _a < {-bound} else "
+                f"({bound - 1} if _a > {bound - 1} else _a)) & {_M32})")
+    if name == "uclipi" and imm is not None:
+        # clip(s32(a), 0, 2**n - 1): always non-negative, no mask.
+        bound = 1 << (imm & 31)
+        return ([f"_a = ({a} ^ 2147483648) - 2147483648"],
+                f"(0 if _a < 0 else ({bound - 1} if _a > {bound - 1} "
+                "else _a))")
     return None
 
 
@@ -413,6 +586,27 @@ def _mem_inlinable(op) -> bool:
 # ---------------------------------------------------------------------------
 # Code generation
 # ---------------------------------------------------------------------------
+
+class _WriteRec:
+    """One register write of a region, in issue order.
+
+    Analysis record for static commit scheduling: ``k`` names the
+    generated local (``_w<k>``), ``t_w``/``t_c`` are the region-relative
+    issue and landing steps, and ``dynamic`` marks demotion back to the
+    interpreter's pending/heap push protocol.
+    """
+
+    __slots__ = ("k", "reg", "t_w", "t_c", "guarded", "dynamic")
+
+    def __init__(self, k: int, reg: int, t_w: int, t_c: int,
+                 guarded: bool, dynamic: bool) -> None:
+        self.k = k
+        self.reg = reg
+        self.t_w = t_w
+        self.t_c = t_c
+        self.guarded = guarded
+        self.dynamic = dynamic
+
 
 #: Everything run-varying arrives through parameters: the compiled
 #: function is a pure function of (plan, strict) and safely cached on
@@ -446,6 +640,74 @@ def _generate(plan, spec: RegionSpec, strict: bool):
                 and jump_op[OP_NAME] in ("jmpi", "jmpt"))
     static_taken = (jump_op is not None and jump_op[OP_GUARD] == 1
                     and jump_op[OP_NAME] in ("jmpi", "jmpt"))
+
+    # ---- static commit scheduling analysis (DESIGN.md §13) ----------
+    # One record per destination register, in issue order, mirroring
+    # emit_op's write sites exactly.  A record stays *static* when its
+    # commit can be a direct ``values[reg] = _w<k>`` at its landing
+    # step; demotion keeps the interpreter's push protocol for it.
+    op_recs: dict[tuple[int, int], list] = {}
+    all_recs: list[_WriteRec] = []
+    for t in range(rlen):
+        for j, op in enumerate(plan.ops[head + t]):
+            if op[OP_IS_JUMP] or op[OP_NAME] == "nop" or not op[OP_DSTS]:
+                continue
+            # (a) multi-destination results keep the zip-driven pushes.
+            multi = len(op[OP_DSTS]) > 1
+            recs = []
+            for reg in op[OP_DSTS]:
+                rec = _WriteRec(len(all_recs), reg, t,
+                                t + op[OP_LATENCY], op[OP_GUARD] != 1,
+                                multi)
+                recs.append(rec)
+                all_recs.append(rec)
+            op_recs[(t, j)] = recs
+    if strict:
+        # (b) a strict-mode read between issue and landing must find
+        # the write in ``pending`` for the emitted hazard scan to raise
+        # the interpreter's TimingViolation.
+        reads_by_reg: dict[int, list[int]] = {}
+        for t in range(rlen):
+            for op in plan.ops[head + t]:
+                if op[OP_GUARD] != 1:
+                    reads_by_reg.setdefault(op[OP_GUARD], []).append(t)
+                for reg in op[OP_SRCS]:
+                    if reg not in (0, 1):
+                        reads_by_reg.setdefault(reg, []).append(t)
+        for rec in all_recs:
+            if not rec.dynamic:
+                for t_r in reads_by_reg.get(rec.reg, ()):
+                    if rec.t_w < t_r < rec.t_c:
+                        rec.dynamic = True
+                        break
+    # (c) same-(reg, due) collisions: the interpreter's queue commits
+    # the last-issued entry; a static/dynamic mix (or a same-step tie)
+    # would invert that order, so such groups demote as a whole.
+    due_groups: dict[tuple[int, int], list] = {}
+    for rec in all_recs:
+        due_groups.setdefault((rec.reg, rec.t_c), []).append(rec)
+    for group in due_groups.values():
+        if (len(group) > 1
+                and (len({rec.t_w for rec in group}) != len(group)
+                     or any(rec.dynamic for rec in group))):
+            for rec in group:
+                rec.dynamic = True
+
+    static_recs = [rec for rec in all_recs if not rec.dynamic]
+    commits_at: dict[int, list] = {}
+    escaped: list = []
+    for rec in static_recs:
+        if rec.t_c < rlen:
+            commits_at.setdefault(rec.t_c, []).append(rec)
+        else:
+            escaped.append(rec)
+    for group in commits_at.values():
+        group.sort(key=lambda rec: rec.t_w)
+    info = {
+        "static_commits": sum(len(g) for g in commits_at.values()),
+        "escaped_commits": len(escaped),
+        "dynamic_writes": len(all_recs) - len(static_recs),
+    }
 
     def emit_scan(ind, reg, kind):
         # Strict-mode hazard scan, message-identical to RegisterFile.
@@ -481,7 +743,29 @@ def _generate(plan, spec: RegionSpec, strict: bool):
         w(f"{ind}    insort(_q, _e)")
         w(f"{ind}heappush(heap, (now + {lat}, _dreg))")
 
-    def emit_op(ind, op, mem_generic, ad_name):
+    def emit_write(ind, rec, lat, expr):
+        # Statically scheduled write: hold the value in a local until
+        # the direct commit emitted at its landing step.  Demoted
+        # records keep the interpreter's push protocol verbatim.
+        if rec.dynamic:
+            emit_push(ind, rec.reg, lat, expr)
+        else:
+            w(f"{ind}_w{rec.k} = {expr}")
+
+    def emit_materialize(ind, rec):
+        # Recreate exactly the pending/heap entry schedule_write would
+        # have left for a write still in flight (region exit + spill).
+        w(f"{ind}_e = (now0 + {rec.t_c}, now0 + {rec.t_w}, _w{rec.k})")
+        w(f"{ind}_q = pending.get({rec.reg})")
+        w(f"{ind}if _q is None:")
+        w(f"{ind}    pending[{rec.reg}] = [_e]")
+        w(f"{ind}elif _e >= _q[-1]:")
+        w(f"{ind}    _q.append(_e)")
+        w(f"{ind}else:")
+        w(f"{ind}    insort(_q, _e)")
+        w(f"{ind}heappush(heap, (now0 + {rec.t_c}, {rec.reg}))")
+
+    def emit_op(ind, op, mem_generic, ad_name, recs):
         guard = op[OP_GUARD]
         name = op[OP_NAME]
         srcs = op[OP_SRCS]
@@ -509,10 +793,16 @@ def _generate(plan, spec: RegionSpec, strict: bool):
         if op[OP_IS_JUMP]:
             # Region terminator (detection guarantees this).  An
             # executed jmpi/jmpt is always taken (ctx.guard_value is
-            # invariantly 1); an executed jmpf never is.
+            # invariantly 1); an executed jmpf never is.  ``_tk`` flips
+            # at the jump's exact issue-order position so the spill
+            # path can tell whether the interpreter would already have
+            # armed ``_pending_jump`` when a later op of the same step
+            # raises.
             if name != "jmpf" and guard != 1:
                 w(f"{body}_tk = True")
                 w(f"{body}_jt += 1")
+            elif name != "jmpf":
+                w(f"{body}_tk = True")
             return
         if name == "nop":
             return
@@ -549,7 +839,7 @@ def _generate(plan, spec: RegionSpec, strict: bool):
                 value = f"_v & {_M32}"
             if guard != 1:
                 w(f"{body}_wr += 1")
-            emit_push(body, dsts[0], lat, value)
+            emit_write(body, recs[0], lat, value)
             return
         src_exprs = [f"values[{reg}]" for reg in srcs]
         template = (None if op[OP_IS_MEM] or len(dsts) != 1
@@ -560,7 +850,7 @@ def _generate(plan, spec: RegionSpec, strict: bool):
                 w(f"{body}{line}")
             if guard != 1:
                 w(f"{body}_wr += 1")
-            emit_push(body, dsts[0], lat, expr)
+            emit_write(body, recs[0], lat, expr)
             return
         # Generic fallback: the bound registry semantic, like the plan
         # interpreter (mem ops get slot/name for MemAccess records).
@@ -575,7 +865,7 @@ def _generate(plan, spec: RegionSpec, strict: bool):
         if len(dsts) == 1:
             if guard != 1:
                 w(f"{body}_wr += 1")
-            emit_push(body, dsts[0], lat, f"_r[0] & {_M32}")
+            emit_write(body, recs[0], lat, f"_r[0] & {_M32}")
         elif len(dsts) > 1:
             w(f"{body}for _dreg, _val in zip({dsts!r}, _r):")
             w(f"{body}    _wr += 1")
@@ -584,17 +874,38 @@ def _generate(plan, spec: RegionSpec, strict: bool):
     w(f"def _region({_ARGS}):")
     w("    _ex = 0; _jt = 0; _ic = 0; _dc = 0; _mm = 0")
     w("    _rd = 0; _wr = 0; _gr = 0; _cbf = 0; _t = 0")
-    if dyn_jump:
+    if dyn_jump or static_taken:
         w("    _tk = False")
+    # None marks "not issued" (guard off / not reached yet): committed
+    # values are always ints, so the sentinel is unambiguous, and
+    # initializing before the try keeps the except-path materialization
+    # total.
+    if static_recs:
+        names = [f"_w{rec.k}" for rec in static_recs]
+        for start in range(0, len(names), 12):
+            w("    " + " = ".join(names[start:start + 12]) + " = None")
+    w("    now = now0")
     w("    try:")
     ind = "        "
     for t in range(rlen):
         i = head + t
         ops = plan.ops[i]
         w(f"{ind}# -- instr {i} --")
-        w(f"{ind}now = now0" if t == 0 else f"{ind}now += 1")
+        if t:
+            w(f"{ind}now += 1")
         w(f"{ind}if heap and heap[0][0] <= now:")
         w(f"{ind}    commit_until(now)")
+        # Static commits landing this step.  Emitted *after* the
+        # dynamic commit check: a dynamic entry with the same due was
+        # issued earlier, so the direct assignment correctly wins, and
+        # a dynamic entry due later correctly overwrites on its own
+        # step.  Same-step static pairs are ordered by issue step.
+        for rec in commits_at.get(t, ()):
+            if rec.guarded:
+                w(f"{ind}if _w{rec.k} is not None:")
+                w(f"{ind}    values[{rec.reg}] = _w{rec.k}")
+            else:
+                w(f"{ind}values[{rec.reg}] = _w{rec.k}")
         has_guard = any(op[OP_GUARD] != 1 for op in ops)
         scan_needed = strict and (has_guard or any(
             any(reg not in (0, 1) for reg in op[OP_SRCS]) for op in ops))
@@ -609,7 +920,7 @@ def _generate(plan, spec: RegionSpec, strict: bool):
         if has_guard:
             w(f"{ind}_exd = 0")
         inline_mem = []
-        for op in ops:
+        for j, op in enumerate(ops):
             ad_name = None
             if op[OP_IS_MEM] and not mem_generic:
                 ad_name = f"_ad{len(inline_mem)}"
@@ -618,7 +929,7 @@ def _generate(plan, spec: RegionSpec, strict: bool):
                           else _STORES[op[OP_NAME]][0])
                 inline_mem.append(
                     (ad_name, is_load, nbytes, op[OP_GUARD] != 1))
-            emit_op(ind, op, mem_generic, ad_name)
+            emit_op(ind, op, mem_generic, ad_name, op_recs.get((t, j)))
         # Per-step counter folds (the plan path flushes at step end,
         # before the processor's timing phase).
         static_exec = sum(1 for op in ops if op[OP_GUARD] == 1)
@@ -760,16 +1071,49 @@ def _generate(plan, spec: RegionSpec, strict: bool):
                      f"else {head + rlen})")
     else:
         next_expr = str(head + rlen)
+    if escaped:
+        w(f"{ind}# Boundary materialization: writes whose due-cycle")
+        w(f"{ind}# escapes the region re-enter pending/heap so exit")
+        w(f"{ind}# state matches the interpreter's bit for bit.")
+        for rec in escaped:
+            if rec.guarded:
+                w(f"{ind}if _w{rec.k} is not None:")
+                emit_materialize(ind + "    ", rec)
+            else:
+                emit_materialize(ind, rec)
     final_chunk = abs_last[head + rlen - 1]
     w(f"{ind}return ({next_expr}, cycle, {final_chunk}, _ex, _jt, _ic,")
     w(f"{ind}        _dc, _mm, _rd, _wr, _cbf)")
     w("    except BaseException:")
+    # A static write is still in flight at the raise point iff it was
+    # issued (non-None) and its due cycle lies beyond the current one
+    # — exactly the entries the interpreter would have in pending.
+    for rec in static_recs:
+        w(f"        if _w{rec.k} is not None and now < now0 + {rec.t_c}:")
+        emit_materialize("            ", rec)
     w("        spill[0] = _t; spill[1] = cycle; spill[2] = _ic")
     w("        spill[3] = _dc; spill[4] = _cbf; spill[5] = _mm")
     w("        spill[6] = _ex; spill[7] = _jt; spill[8] = _rd")
     w("        spill[9] = _wr; spill[10] = _gr")
+    # Sequencing state at the raise point.  The interpreter leaves
+    # ``pc`` on the instruction whose step raised, and decrements
+    # ``_pending_jump`` once per retired step after the jump armed it
+    # at ``(delay_slots, target)`` — both are pure functions of the
+    # retired count ``_t`` and the statically known jump geometry, so
+    # the hot path pays nothing for them.
+    if static_taken or dyn_jump:
+        jp = spec.jump_pos - head
+        delay = plan.jump_delay_slots
+        target = jump_op[OP_JUMP_INDEX]
+        w(f"        spill[11] = ({target} if _tk and _t == {rlen} "
+          f"else {head} + _t)")
+        w(f"        spill[12] = (({delay} - (_t - {jp}), {target}) "
+          f"if _tk and _t < {rlen} else None)")
+    else:
+        w(f"        spill[11] = {head} + _t")
+        w("        spill[12] = None")
     w("        raise")
-    return "\n".join(out) + "\n", sems
+    return "\n".join(out) + "\n", sems, info
 
 
 # ---------------------------------------------------------------------------
@@ -777,10 +1121,13 @@ def _generate(plan, spec: RegionSpec, strict: bool):
 # ---------------------------------------------------------------------------
 
 def compile_region(plan, spec: RegionSpec, strict: bool = True):
-    """Compile one region, caching ``(fn, source)`` on the plan.
+    """Compile one region, caching ``(fn, source, info)`` on the plan.
 
-    The cache key includes ``strict`` because hazard scans are baked
-    into the source.  Caching on the *plan* (not the runtime) means an
+    ``info`` carries the codegen telemetry: the three commit-scheduling
+    counts from :func:`_generate` plus ``compile_ns``, the wall time of
+    generation + :func:`compile` (zero cost on cache hits).  The cache
+    key includes ``strict`` because hazard scans are baked into the
+    source.  Caching on the *plan* (not the runtime) means an
     invalidated-then-rewarmed region, or a second session over the
     same program, is a pure dict hit.
     """
@@ -790,7 +1137,8 @@ def compile_region(plan, spec: RegionSpec, strict: bool = True):
         return cached
     from repro.core.processor import WatchdogTimeout
 
-    source, sems = _generate(plan, spec, strict)
+    start = perf_counter_ns()
+    source, sems, info = _generate(plan, spec, strict)
     namespace = {
         "insort": insort,
         "heappush": heappush,
@@ -803,8 +1151,10 @@ def compile_region(plan, spec: RegionSpec, strict: bool = True):
                    "exec")
     exec(code, namespace)
     fn = namespace["_region"]
-    plan._trace_code[key] = (fn, source)
-    return fn, source
+    info["compile_ns"] = perf_counter_ns() - start
+    entry = (fn, source, info)
+    plan._trace_code[key] = entry
+    return entry
 
 
 def regions_for(plan, config: TraceConfig) -> dict[int, RegionSpec]:
@@ -839,7 +1189,7 @@ class TraceRuntime:
         self.stats = TraceStats()
         self.obs = obs
         self.strict = strict
-        self.spill: list = [None] * 11
+        self.spill: list = [None] * 13
         self.dispatch: dict[int, Region] = {}
         self._plan = None
         self._bind(plan)
@@ -872,6 +1222,7 @@ class TraceRuntime:
         survives so re-warming a region whose plan is unchanged is a
         compile-cache hit, not a recompilation.
         """
+        self.finalize()
         for rec in self.dispatch.values():
             if rec.fn is not None:
                 rec.fn = None
@@ -888,21 +1239,59 @@ class TraceRuntime:
             return None
         key = (rec.head, rec.length, self.strict)
         cached = key in self._plan._trace_code
-        fn, source = compile_region(self._plan, rec.spec, self.strict)
+        fn, source, info = compile_region(self._plan, rec.spec,
+                                          self.strict)
         rec.fn = fn
         rec.source = source
-        self.stats.activations += 1
+        rec.static_commits = info["static_commits"]
+        rec.escaped_commits = info["escaped_commits"]
+        rec.dynamic_writes = info["dynamic_writes"]
+        rec.compile_ns = 0 if cached else info["compile_ns"]
+        stats = self.stats
+        stats.activations += 1
         if not cached:
-            self.stats.compiled += 1
+            stats.compiled += 1
+            stats.compile_ns += info["compile_ns"]
+            stats.static_commits += info["static_commits"]
+            stats.escaped_commits += info["escaped_commits"]
+            stats.dynamic_writes += info["dynamic_writes"]
+        stats.regions.append({
+            "head": rec.head,
+            "length": rec.length,
+            "cached": cached,
+            "compile_ns": rec.compile_ns,
+            "static_commits": info["static_commits"],
+            "escaped_commits": info["escaped_commits"],
+            "dynamic_writes": info["dynamic_writes"],
+            "enters": 0,
+        })
         if self.obs:
+            # compile_ns deliberately stays out of the event payload:
+            # event streams must be deterministic (golden digests).
             self.obs.trace_tier(cycle, "compile", head=rec.head,
-                                length=rec.length, cached=cached)
+                                length=rec.length, cached=cached,
+                                static_commits=info["static_commits"],
+                                escaped_commits=info["escaped_commits"],
+                                dynamic_writes=info["dynamic_writes"])
         return fn
+
+    def finalize(self) -> None:
+        """Fold per-region enter counts into ``stats.regions`` (called
+        when a session ends; the hot loop only bumps ``rec.enters``).
+        ``max`` keeps counts monotone across plan swaps, which rebuild
+        the dispatch table with fresh zero-count Region records.
+        """
+        dispatch = self.dispatch
+        for entry in self.stats.regions:
+            rec = dispatch.get(entry["head"])
+            if rec is not None:
+                entry["enters"] = max(entry["enters"], rec.enters)
 
 
 def compile_all(plan, config: TraceConfig | None = None,
                 strict: bool = True) -> dict[int, tuple]:
-    """Eagerly compile every detected region (test/debug helper)."""
+    """Eagerly compile every detected region (test/debug helper);
+    maps head -> ``(fn, source, info)``."""
     config = config if config is not None else TraceConfig()
     return {head: compile_region(plan, spec, strict)
             for head, spec in regions_for(plan, config).items()}

@@ -245,6 +245,10 @@ def _machine_state(processor: Processor) -> dict:
         "code_bytes_fetched": session.code_bytes_fetched,
         "mmio_accesses": session.mmio_accesses,
         "values": list(executor.regfile._values),
+        # In-flight write state (the trace tier's static commit
+        # scheduling must materialize escaped writes back into
+        # pending/heap at every boundary — RegisterFile docstring).
+        "in_flight": executor.regfile.in_flight(),
     }
 
 

@@ -93,6 +93,12 @@ class PerfMeasurement:
     view the regression gate consumes.  ``fast_samples_ns`` times the
     plan engine and ``reference_samples_ns`` the interp engine (the
     pre-trace field names, kept for record compatibility).
+
+    ``trace_stats`` is the trace tier's codegen telemetry from the
+    last repeat (``TraceStats.as_dict()``: region count, static vs
+    escaped vs dynamic commit splits, compile wall time) — wall-clock
+    nondeterminism is fine here because perf records are measurements,
+    not conformance artifacts.
     """
 
     case_name: str
@@ -100,6 +106,7 @@ class PerfMeasurement:
     fast_samples_ns: tuple[int, ...]
     reference_samples_ns: tuple[int, ...]
     trace_samples_ns: tuple[int, ...] = ()
+    trace_stats: dict | None = None
 
     def samples_ns(self, engine: str) -> tuple[int, ...]:
         return {"interp": self.reference_samples_ns,
@@ -274,12 +281,15 @@ def measure_case(case: PerfCase,
         assert results[engine].stats == results["interp"].stats, (
             f"{case.name}: {engine} engine diverged from reference "
             f"(differential check failed)")
+    trace_result = results["trace"]
     return PerfMeasurement(
         case_name=case.name,
         stats=results["plan"].stats,
         fast_samples_ns=tuple(samples["plan"]),
         reference_samples_ns=tuple(samples["interp"]),
         trace_samples_ns=tuple(samples["trace"]),
+        trace_stats=(trace_result.trace.as_dict()
+                     if trace_result.trace is not None else None),
     )
 
 
@@ -316,6 +326,8 @@ def perf_record(measurement: PerfMeasurement) -> dict:
     if measurement.trace_samples_ns:
         record["sim_speed"]["trace_speedup_vs_plan"] = \
             measurement.trace_speedup_vs_plan
+    if measurement.trace_stats is not None:
+        record["sim_speed"]["trace_tier"] = measurement.trace_stats
     return record
 
 

@@ -325,48 +325,50 @@ def _dspiabs(ctx, srcs, imm):
     return (simd.u32(simd.clip_s32(abs(simd.s32(srcs[0])))),)
 
 
+# The 16/8-bit lane semantics run on the batched SWAR helpers — all
+# lanes in one pass of masked integer arithmetic.  The scalar lane
+# helpers (map16/map8/unpack*) remain in repro.isa.simd as the pinned
+# reference; tests/isa/test_simd_batched.py holds the two forms equal
+# on full-range edge words.
+
 @semantic("dspidualadd")
 def _dspidualadd(ctx, srcs, imm):
-    return (simd.map16(simd.add_sat_s16, srcs[0], srcs[1]),)
+    return (simd.dual_add_sat_s16(srcs[0], srcs[1]),)
 
 
 @semantic("dspidualsub")
 def _dspidualsub(ctx, srcs, imm):
-    return (simd.map16(simd.sub_sat_s16, srcs[0], srcs[1]),)
+    return (simd.dual_sub_sat_s16(srcs[0], srcs[1]),)
 
 
 @semantic("dspidualmul")
 def _dspidualmul(ctx, srcs, imm):
-    return (simd.map16(lambda a, b: simd.clip_s16(a * b), srcs[0], srcs[1]),)
+    return (simd.dual_mul_sat_s16(srcs[0], srcs[1]),)
 
 
 @semantic("dspuquadaddui")
 def _dspuquadaddui(ctx, srcs, imm):
-    a = simd.unpack8(srcs[0])
-    b = simd.unpack8s(srcs[1])
-    return (simd.pack8(*(simd.clip_u8(x + y) for x, y in zip(a, b))),)
+    return (simd.quad_add_u8s(srcs[0], srcs[1]),)
 
 
 @semantic("quadavg")
 def _quadavg(ctx, srcs, imm):
-    return (simd.map8(simd.avg_round_u8, srcs[0], srcs[1]),)
+    return (simd.quad_avg_u8(srcs[0], srcs[1]),)
 
 
 @semantic("quadumax")
 def _quadumax(ctx, srcs, imm):
-    return (simd.map8(max, srcs[0], srcs[1]),)
+    return (simd.quad_max_u8(srcs[0], srcs[1]),)
 
 
 @semantic("quadumin")
 def _quadumin(ctx, srcs, imm):
-    return (simd.map8(min, srcs[0], srcs[1]),)
+    return (simd.quad_min_u8(srcs[0], srcs[1]),)
 
 
 @semantic("ume8uu")
 def _ume8uu(ctx, srcs, imm):
-    a = simd.unpack8(srcs[0])
-    b = simd.unpack8(srcs[1])
-    return (sum(simd.abs_diff_u8(x, y) for x, y in zip(a, b)),)
+    return (simd.quad_abs_diff_sum_u8(srcs[0], srcs[1]),)
 
 
 @semantic("iclipi")

@@ -224,3 +224,168 @@ def rotate_left32(value: int, amount: int) -> int:
     amount &= 31
     value &= MASK32
     return ((value << amount) | (value >> (32 - amount))) & MASK32
+
+
+# ---------------------------------------------------------------------------
+# Batched lane arithmetic (SWAR over one Python int)
+#
+# The scalar helpers above split a word into lanes, apply a per-lane
+# function, and repack — one Python-level call per lane.  The batched
+# forms below compute *all* lanes in a single pass of masked 64-bit
+# integer arithmetic: each 8-bit lane is widened into its own 16-bit
+# field (and each 16-bit lane into a 32-bit field) of one Python int,
+# so per-lane carries cannot cross fields, saturation is decided by
+# per-field mask bits, and the whole vector narrows back with four
+# shifts.  Pure int only — no numpy dependency — which keeps every
+# engine (and the trace codegen templates that inline these formulas)
+# bit-identical to the scalar reference retained above.  The
+# differential suite in ``tests/isa/test_simd_batched.py`` pins each
+# batched helper against its scalar composition on full-range edge
+# words.
+# ---------------------------------------------------------------------------
+
+#: Per-field constants for four 8-bit lanes widened to 16-bit fields.
+F8_ONE = 0x0001_0001_0001_0001    # 1 in each field
+F8_LOW = 0x00FF_00FF_00FF_00FF    # low byte of each field
+F8_BIT8 = 0x0100_0100_0100_0100   # bit 8 of each field (borrow guard)
+F8_LOW9 = 0x01FF_01FF_01FF_01FF   # low 9 bits of each field
+F8_BIAS = 0x0080_0080_0080_0080   # +0x80 in each field
+
+#: Per-field constants for two 16-bit lanes widened to 32-bit fields.
+F16_ONE = 0x00000001_00000001     # 1 in each field
+F16_BIAS = 0x00010000_00010000    # +0x10000 in each field
+
+
+def spread8(word: int) -> int:
+    """Widen four 8-bit lanes into the 16-bit fields of one int."""
+    return (((word & 0xFF000000) << 24) | ((word & 0x00FF0000) << 16)
+            | ((word & 0x0000FF00) << 8) | (word & 0xFF))
+
+
+def squeeze8(fields: int) -> int:
+    """Narrow the low byte of each 16-bit field back into a word."""
+    return (((fields >> 24) & 0xFF000000) | ((fields >> 16) & 0x00FF0000)
+            | ((fields >> 8) & 0x0000FF00) | (fields & 0xFF))
+
+
+def spread16(word: int) -> int:
+    """Widen two 16-bit lanes into the 32-bit fields of one int."""
+    return ((word & 0xFFFF0000) << 16) | (word & 0xFFFF)
+
+
+def squeeze16(fields: int) -> int:
+    """Narrow the low half of each 32-bit field back into a word."""
+    return ((fields >> 16) & 0xFFFF0000) | (fields & 0xFFFF)
+
+
+def _dual_sat_s16(u: int) -> int:
+    """Shared tail of the biased dual signed-saturating add/subtract.
+
+    ``u`` holds, per 32-bit field, the lane result biased by
+    ``+0x10000`` (range ``[0, 0x1FFFF]``); the true lane value is
+    ``u - 0x10000``.  Bits 15 and 16 of each field classify it: both
+    set means ``>= 0x8000`` after unbiasing (saturate positive), both
+    clear means ``< -0x8000`` (saturate negative), anything else is
+    in range and truncates to the low 16 bits.
+    """
+    hi = (u >> 15) & (u >> 16) & F16_ONE
+    lo = (((u >> 15) | (u >> 16)) & F16_ONE) ^ F16_ONE
+    ok = F16_ONE ^ hi ^ lo
+    return squeeze16((u & (ok * 0xFFFF)) | (hi * 0x7FFF) | (lo * 0x8000))
+
+
+def dual_add_sat_s16(a: int, b: int) -> int:
+    """Both 16-bit lanes of ``map16(add_sat_s16, a, b)`` at once.
+
+    Lanes are biased by ``^ 0x8000`` so each widened field holds
+    ``lane + 0x8000 >= 0`` and the field sum carries the bias twice.
+    """
+    return _dual_sat_s16(spread16((a & MASK32) ^ 0x80008000)
+                         + spread16((b & MASK32) ^ 0x80008000))
+
+
+def dual_sub_sat_s16(a: int, b: int) -> int:
+    """Both 16-bit lanes of ``map16(sub_sat_s16, a, b)`` at once.
+
+    The per-field ``+0x10000`` keeps every field non-negative (minimum
+    ``(0 + 0x10000) - 0xFFFF = 1``), so the single big-int subtraction
+    never borrows across fields.
+    """
+    return _dual_sat_s16(spread16((a & MASK32) ^ 0x80008000) + F16_BIAS
+                         - spread16((b & MASK32) ^ 0x80008000))
+
+
+def dual_mul_sat_s16(a: int, b: int) -> int:
+    """Both lanes of ``map16(lambda x, y: clip_s16(x * y), a, b)``.
+
+    Products need 31 bits per lane, which two 32-bit fields of one int
+    cannot hold without cross-terms, so the multiplies stay per-lane;
+    only the unpack/clip/pack plumbing is flattened.
+    """
+    ph = (((a >> 16) & 0xFFFF ^ 0x8000) - 0x8000) * \
+        (((b >> 16) & 0xFFFF ^ 0x8000) - 0x8000)
+    pl = ((a & 0xFFFF ^ 0x8000) - 0x8000) * ((b & 0xFFFF ^ 0x8000) - 0x8000)
+    ph = 0x7FFF if ph > 0x7FFF else (-0x8000 if ph < -0x8000 else ph)
+    pl = 0x7FFF if pl > 0x7FFF else (-0x8000 if pl < -0x8000 else pl)
+    return ((ph & 0xFFFF) << 16) | (pl & 0xFFFF)
+
+
+def quad_avg_u8(a: int, b: int) -> int:
+    """All four lanes of ``map8(avg_round_u8, a, b)`` at once.
+
+    Uses the carry-free identity ``(x + y + 1) >> 1 ==
+    (x | y) - ((x ^ y) >> 1)``: per byte the subtrahend never exceeds
+    the minuend, so no borrow can cross a lane boundary and the word
+    never needs widening at all.
+    """
+    a &= MASK32
+    b &= MASK32
+    return (a | b) - (((a ^ b) >> 1) & 0x7F7F7F7F)
+
+
+def quad_max_u8(a: int, b: int) -> int:
+    """All four lanes of ``map8(max, a, b)`` at once."""
+    aw = spread8(a & MASK32)
+    bw = spread8(b & MASK32)
+    ge = ((((aw | F8_BIT8) - bw) >> 8) & F8_ONE) * 0xFF
+    return squeeze8((aw & ge) | (bw & (ge ^ F8_LOW)))
+
+
+def quad_min_u8(a: int, b: int) -> int:
+    """All four lanes of ``map8(min, a, b)`` at once."""
+    aw = spread8(a & MASK32)
+    bw = spread8(b & MASK32)
+    ge = ((((aw | F8_BIT8) - bw) >> 8) & F8_ONE) * 0xFF
+    return squeeze8((bw & ge) | (aw & (ge ^ F8_LOW)))
+
+
+def quad_add_u8s(a: int, b: int) -> int:
+    """Unsigned bytes of ``a`` plus *signed* bytes of ``b``, each lane
+    clipped to ``[0, 255]`` (the ``dspuquadaddui`` semantic).
+
+    Fields hold ``a + s8(b) + 0x100`` (range ``[0x80, 0x27E]``): bit 9
+    set means the true sum overflowed 255, bit 8 clear means it went
+    negative, and only the bit-8-set/bit-9-clear band passes through.
+    """
+    u = (spread8(a & MASK32) + spread8((b & MASK32) ^ 0x80808080)
+         + F8_BIAS)
+    hi = (u >> 9) & F8_ONE
+    ok = ((u >> 8) & F8_ONE) & (hi ^ F8_ONE)
+    return squeeze8((u & (ok * 0xFF)) | (hi * 0xFF))
+
+
+def quad_abs_diff_sum_u8(a: int, b: int) -> int:
+    """Sum over lanes of ``abs_diff_u8`` (the ``ume8uu`` semantic).
+
+    Computes both borrow-guarded differences ``0x100 + a - b`` and
+    ``0x100 + b - a`` per field, selects the non-negative one with the
+    bit-8 compare mask, and folds the four fields with shifts (the sum
+    is at most ``4 * 255 = 1020``, well inside one field).
+    """
+    aw = spread8(a & MASK32)
+    bw = spread8(b & MASK32)
+    dab = (aw | F8_BIT8) - bw
+    dba = (bw | F8_BIT8) - aw
+    sel = ((dab >> 8) & F8_ONE) * 0x1FF
+    d = ((dab & sel) | (dba & (sel ^ F8_LOW9))) - F8_BIT8
+    return (d + (d >> 16) + (d >> 32) + (d >> 48)) & 0x3FF

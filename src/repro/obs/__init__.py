@@ -38,6 +38,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     from_run_stats,
+    trace_metrics,
 )
 
 __all__ = [
@@ -58,6 +59,7 @@ __all__ = [
     "chrome_trace",
     "from_run_stats",
     "read_bench",
+    "trace_metrics",
     "validate_bench_file",
     "validate_bench_record",
     "write_bench",

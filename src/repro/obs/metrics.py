@@ -380,3 +380,56 @@ def from_run_stats(stats, registry: MetricsRegistry | None = None,
         pf.labels("queue_overflow").inc(prefetch.queue_overflows)
 
     return registry
+
+
+def trace_metrics(trace, registry: MetricsRegistry | None = None,
+                  ) -> MetricsRegistry:
+    """Project trace-tier telemetry (``RunResult.trace``, a
+    ``core.trace.TraceStats``) into a registry under the ``trace_``
+    prefix.
+
+    Duck-typed like :func:`from_run_stats` so :mod:`repro.obs` stays
+    import-free of the core models.  Per-region detail (the
+    ``regions`` list filled by ``TraceRuntime.warm``/``finalize``)
+    feeds a region-length histogram and the compile-time counter;
+    aggregate counters come straight off the stats object.
+    """
+    registry = registry or MetricsRegistry()
+
+    events = registry.counter(
+        "trace_events_total", "trace-tier lifecycle counters",
+        ("event",))
+    events.labels("detected").inc(trace.detected)
+    events.labels("compiled").inc(trace.compiled)
+    events.labels("activations").inc(trace.activations)
+    events.labels("enters").inc(trace.enters)
+    events.labels("entry_blocked").inc(trace.entry_blocked)
+    events.labels("monitor_blocks").inc(trace.monitor_blocks)
+    events.labels("invalidations").inc(trace.invalidations)
+    registry.counter(
+        "trace_compiled_instructions_total",
+        "instructions retired inside compiled regions"
+        ).inc(trace.compiled_instructions)
+
+    commits = registry.counter(
+        "trace_region_writes_total",
+        "region writes by commit-scheduling disposition", ("kind",))
+    commits.labels("static").inc(trace.static_commits)
+    commits.labels("escaped").inc(trace.escaped_commits)
+    commits.labels("dynamic").inc(trace.dynamic_writes)
+
+    registry.counter(
+        "trace_compile_seconds_total",
+        "wall time spent generating + compiling region code"
+        ).inc(trace.compile_ns / 1e9)
+
+    regions = getattr(trace, "regions", None)
+    if regions:
+        lengths = registry.histogram(
+            "trace_region_length_instructions",
+            "compiled-region lengths at activation",
+            buckets=(2, 4, 8, 16, 32, 64, 128))
+        for entry in regions:
+            lengths.observe(entry["length"])
+
+    return registry

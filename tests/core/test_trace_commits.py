@@ -1,0 +1,245 @@
+"""Static commit scheduling in compiled trace regions.
+
+The trace tier statically schedules register commits: writes whose
+commit cycle is known at codegen time become local-variable
+assignments, and only writes that cannot be scheduled (multiple
+destinations, same-cycle commit collisions, strict-mode hazards) fall
+back to the interpreter's heap protocol.  Writes still in flight when
+a region exits — normally or via an exception — must be materialized
+back into ``pending``/``_due_heap`` so the machine state at every
+instruction boundary stays bit-identical with the other engines.
+
+These tests pin the classifier (which writes go static / escaped /
+dynamic) and the materialization protocol on both exit paths.
+"""
+
+import pytest
+
+from repro.asm.builder import ProgramBuilder
+from repro.asm.link import compile_program
+from repro.core.config import TM3270_CONFIG
+from repro.core.plan import ExecutionPlan
+from repro.core.processor import Processor
+from repro.core.trace import TraceConfig, compile_region, detect_regions
+from repro.eval.lockstep import ENGINES, _machine_state
+from repro.kernels.common import args_for
+from repro.mem.flatmem import FlatMemory
+
+
+def _plan_for(program):
+    return ExecutionPlan(compile_program(program, TM3270_CONFIG.target))
+
+
+def _region_info(program, strict=False):
+    plan = _plan_for(program)
+    spec = detect_regions(plan, TraceConfig())[0]
+    _, source, info = compile_region(plan, spec, strict=strict)
+    return source, info
+
+
+# ---------------------------------------------------------------------------
+# Classifier: static vs escaped vs dynamic
+# ---------------------------------------------------------------------------
+
+class TestCommitClassifier:
+    def test_tail_writes_escape_the_region(self):
+        """A long-latency op near the region end commits after the
+        region's last cycle: it must be counted as escaped, and the
+        generated code must push it through the heap protocol."""
+        builder = ProgramBuilder("tail_mul")
+        (value,) = builder.params("value")
+        for _ in range(6):
+            value = builder.emit("iaddi", srcs=(value,), imm=1)
+        builder.emit("imul", srcs=(value, value))  # 3-cycle latency
+        source, info = _region_info(builder.finish())
+        assert info["escaped_commits"] >= 1
+        assert info["dynamic_writes"] == 0
+        # Escaped writes materialize via the insort + heappush protocol.
+        assert "insort" in source and "heappush" in source
+
+    def test_fully_static_region_has_no_heap_traffic(self):
+        """When every commit lands inside the region, the generated
+        body contains no per-write heap pushes at all — only the
+        region-entry drain of inherited state."""
+        builder = ProgramBuilder("static_only")
+        (value,) = builder.params("value")
+        regs = [builder.emit("iaddi", srcs=(value,), imm=k)
+                for k in range(8)]
+        # Long tail of reads so every earlier write commits in-region.
+        acc = regs[0]
+        for reg in regs[1:]:
+            acc = builder.emit("iadd", srcs=(acc, reg))
+        source, info = _region_info(builder.finish())
+        assert info["dynamic_writes"] == 0
+        assert info["static_commits"] > 0
+        # Static commits appear as direct local assignments.
+        assert "_w0 =" in source
+
+    def test_multi_destination_ops_stay_dynamic(self):
+        """Two-slot super-ops write two registers from one issue; the
+        classifier must leave both writes on the heap protocol."""
+        builder = ProgramBuilder("two_slot")
+        a, b = builder.params("a", "b")
+        builder.emit("super_dualimix", srcs=(a, b, b, a))
+        for _ in range(8):
+            a = builder.emit("iaddi", srcs=(a,), imm=1)
+        _, info = _region_info(builder.finish())
+        assert info["dynamic_writes"] >= 2
+
+    def test_strict_mode_demotes_exposed_latency_reads(self):
+        """A read between a write's issue and landing cycles must find
+        the write in ``pending`` for strict mode's hazard scan to
+        raise, so the classifier demotes such writes.  The VLIW
+        scheduler never emits this pattern, so synthesize it: hoist
+        the dependent ``iadd`` to the instruction right after the
+        ``imul`` (the mutated plan is classified, never executed)."""
+        def fresh_plan():
+            builder = ProgramBuilder("hazard_read")
+            a, b = builder.params("a", "b")
+            product = builder.emit("imul", srcs=(a, b))  # lands at t+3
+            builder.emit("iadd", srcs=(product, b))
+            for _ in range(6):
+                b = builder.emit("iaddi", srcs=(b,), imm=1)
+            return _plan_for(builder.finish())
+
+        def hoist_read(plan):
+            from repro.core.plan import OP_NAME
+            mul_t = read_t = read_op = None
+            for t in range(plan.count):
+                for op in plan.ops[t]:
+                    if op[OP_NAME] == "imul":
+                        mul_t = t
+                    elif op[OP_NAME] == "iadd":
+                        read_t, read_op = t, op
+            assert mul_t is not None and read_t > mul_t + 1
+            plan.ops[read_t] = tuple(
+                op for op in plan.ops[read_t] if op is not read_op)
+            plan.ops[mul_t + 1] = plan.ops[mul_t + 1] + (read_op,)
+            return plan
+
+        def classify(plan, strict):
+            spec = detect_regions(plan, TraceConfig())[0]
+            return compile_region(plan, spec, strict=strict)[2]
+
+        assert classify(hoist_read(fresh_plan()), False)[
+            "dynamic_writes"] == 0
+        assert classify(hoist_read(fresh_plan()), True)[
+            "dynamic_writes"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# Materialization at normal region exit
+# ---------------------------------------------------------------------------
+
+def _capped_region_loop():
+    """Loop whose body is longer than the region cap used below: the
+    region cut falls mid-straight-line, so multiplies issued near the
+    cut are still in flight at every region exit and must be
+    materialized back into the pending queues."""
+    builder = ProgramBuilder("capped_region_loop")
+    counter, seed = builder.params("counter", "seed")
+    builder.label("top")
+    builder.emit_into(counter, "iaddi", srcs=(counter,), imm=-1)
+    value = seed
+    for k in range(10):
+        value = builder.emit("iaddi", srcs=(value,), imm=k)
+        if k % 3 == 2:
+            value = builder.emit("imul", srcs=(value, value))
+    builder.emit_into(seed, "iadd", srcs=(seed, value))
+    taken = builder.emit("igtri", srcs=(counter,), imm=0)
+    builder.jump_if_true(taken, "top")
+    return builder.finish()
+
+
+class TestExitMaterialization:
+    def test_in_flight_state_matches_interpreter_every_boundary(self):
+        """Step all three engines in small-block lockstep over a loop
+        with escaped writes; the full machine state — including
+        ``regfile.in_flight()`` — must match at every boundary.  The
+        odd block size lands boundaries at varying offsets from the
+        region exits, so materialized state is observed both freshly
+        spilled and partially re-committed."""
+        linked = compile_program(_capped_region_loop(),
+                                 TM3270_CONFIG.target)
+        cfg = TraceConfig(max_length=8)
+        procs = {}
+        for engine in ENGINES:
+            proc = Processor(TM3270_CONFIG, memory=FlatMemory(1 << 12))
+            proc.begin(linked, args=args_for(60, 3), engine=engine,
+                       trace_config=cfg)
+            procs[engine] = proc
+        done = False
+        boundaries = 0
+        while not done:
+            states = {}
+            for engine, proc in procs.items():
+                done = proc.step_block(13)
+                states[engine] = _machine_state(proc)
+            assert states["trace"] == states["interp"], boundaries
+            assert states["plan"] == states["interp"], boundaries
+            boundaries += 1
+        trace_result = procs["trace"].result()
+        assert trace_result.trace.enters > 0
+        assert trace_result.trace.escaped_commits > 0
+        assert trace_result.trace.static_commits > 0
+
+
+# ---------------------------------------------------------------------------
+# Materialization on the exception path
+# ---------------------------------------------------------------------------
+
+def _faulting_loop():
+    """Loop that marches a load address out of memory: iteration ~15
+    faults inside the compiled region (threshold is 8), with static
+    writes from the same step still in flight."""
+    builder = ProgramBuilder("oob_walk")
+    offset, stride, acc = builder.params("offset", "stride", "acc")
+    builder.label("top")
+    builder.emit_into(offset, "iadd", srcs=(offset, stride))
+    builder.emit_into(acc, "imul", srcs=(acc, stride))
+    word = builder.emit("ld32", srcs=(offset, builder.zero))
+    builder.emit_into(acc, "iadd", srcs=(acc, word))
+    builder.jump_if_true(builder.one, "top")
+    return builder.finish()
+
+
+def _run_to_raise(linked, engine, max_cycles=None):
+    proc = Processor(TM3270_CONFIG, memory=FlatMemory(1 << 12))
+    proc.begin(linked, args=args_for(0, 256, 1), engine=engine,
+               max_cycles=max_cycles)
+    try:
+        proc.step_block()
+        return ("halted", "", _machine_state(proc))
+    except (IndexError, RuntimeError) as exc:
+        return (type(exc).__name__, str(exc), _machine_state(proc))
+
+
+class TestExceptionMaterialization:
+    def test_fault_inside_region_leaves_identical_state(self):
+        """An out-of-bounds load raising mid-region must leave exactly
+        the interpreter's machine state: same exception text, same
+        faulting pc, same committed registers, same in-flight write
+        queues."""
+        linked = compile_program(_faulting_loop(), TM3270_CONFIG.target)
+        outcomes = {engine: _run_to_raise(linked, engine)
+                    for engine in ENGINES}
+        assert outcomes["interp"][0] == "IndexError"
+        assert outcomes["trace"] == outcomes["interp"]
+        assert outcomes["plan"] == outcomes["interp"]
+        # The fault really happened inside compiled code, not before
+        # the region warmed up.
+        state = outcomes["trace"][2]
+        assert state["instructions"] > TraceConfig().threshold
+
+    def test_watchdog_sweep_covers_every_raise_offset(self):
+        """Tightening ``max_cycles`` one cycle at a time marches the
+        raise point through every region offset — including the delay
+        slots after the back-edge jump, where ``_pending_jump`` must
+        be reconstructed from the spill."""
+        linked = compile_program(_faulting_loop(), TM3270_CONFIG.target)
+        for max_cycles in range(100, 150):
+            outcomes = {
+                engine: _run_to_raise(linked, engine, max_cycles)
+                for engine in ENGINES}
+            assert outcomes["trace"] == outcomes["interp"], max_cycles
+            assert outcomes["plan"] == outcomes["interp"], max_cycles
