@@ -10,8 +10,8 @@ JOBS ?=
 JOBSFLAG := $(if $(JOBS),--jobs $(JOBS),)
 
 .PHONY: test fast slow bench benchmarks eval perf perf-quick trace \
-	verify lint golden conformance lockstep lockstep-smoke inject \
-	inject-golden ci
+	verify validate lint golden conformance lockstep lockstep-smoke \
+	inject inject-golden ci
 
 # Tier-1 verification: the whole unit/property suite.
 test:
@@ -60,6 +60,14 @@ trace:
 verify:
 	$(PY) -m repro.analysis
 
+# Trace-region translation validation: every compiled region of every
+# lockstep-catalog program re-checked against its ExecutionPlan (both
+# hazard modes), plus the doctored-codegen mutant sweep proving the
+# validator rejects broken codegen with the expected rule.
+validate:
+	$(PY) -m repro.analysis --trace-regions --quiet
+	$(PY) -m repro.analysis --trace-mutants
+
 # Style/type lint.  Uses ruff + mypy when installed; otherwise falls
 # back to the dependency-free AST linter in scripts/lint_fallback.py.
 lint:
@@ -105,7 +113,8 @@ inject-golden:
 	$(PY) -m repro.resilience --write-golden
 
 # The full local CI gauntlet: lint, static kernel verification, the
-# tier-1 suite under a pinned hash seed, the three-engine lockstep
+# tier-1 suite under a pinned hash seed, a translation-validation
+# smoke pass over the trace tier, the three-engine lockstep
 # smoke subset, sharded golden conformance + fault-campaign runs
 # proving parallelism changes nothing, then a quick throughput gate
 # against the committed baseline (generous threshold: CI machines are
@@ -114,6 +123,7 @@ inject-golden:
 # sweep.)
 ci: lint verify
 	PYTHONHASHSEED=0 $(PY) -m pytest -x -q
+	$(PY) -m repro.analysis --trace-regions --smoke --quiet
 	$(PY) -m repro.eval.lockstep --smoke
 	$(PY) -m repro.eval.parallel --conformance --jobs 2
 	$(PY) -m repro.resilience --check --jobs 2

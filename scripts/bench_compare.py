@@ -36,6 +36,12 @@ matches an untagged OLD baseline.  Two kinds of drift are checked:
   throughput numbers say.  Recovery-overhead drift is reported
   informationally.
 
+Before comparing, the script refuses records whose cited programs
+fail the static verifier (``--no-static-verify`` overrides) and
+trace-engine records whose compiled regions fail the translation
+validator (``--no-trace-validate`` overrides) — perf numbers for code
+that computes the wrong thing gate nothing.
+
 Exit status is 0 when nothing regressed, 1 otherwise — wire it into CI
 after ``make perf`` to keep the fast path fast.
 """
@@ -98,6 +104,62 @@ def verify_sources(documents: list[dict]) -> list[str]:
                     f"{entry.label}: fails static verification "
                     f"({len(report.errors)} error(s); run "
                     f"'make verify' for the full report)")
+    return failures
+
+
+def validate_trace_regions(documents: list[dict]) -> list[str]:
+    """Translation-validate the trace tier behind trace perf records.
+
+    A record whose ``sim_speed.engines`` section carries a ``trace``
+    entry was produced by compiled region code; if that codegen no
+    longer passes the translation validator, its throughput numbers
+    are numbers for code that diverges from the ExecutionPlan, so the
+    comparison refuses to run (``--no-trace-validate`` is the escape
+    hatch, mirroring ``--no-static-verify``).  Both hazard modes are
+    checked; kernels unknown to the catalog are skipped.
+    """
+    from repro.analysis.catalog import catalog
+    from repro.analysis.transval import validate_plan
+    from repro.core.config import EVALUATION_CONFIGS
+    from repro.core.plan import plan_for
+
+    target_of = {config.name: config.target.name
+                 for config in EVALUATION_CONFIGS}
+    pairs = sorted({
+        (record["kernel"], target_of[record["config"]])
+        for document in documents
+        for record in document["records"]
+        if record["config"] in target_of
+        and "trace" in (record.get("sim_speed", {})
+                        .get("engines") or {})
+    })
+    entries = catalog()
+    failures: list[str] = []
+    checked: set[tuple] = set()
+    for kernel, target_name in pairs:
+        matches = [
+            entry for entry in entries
+            if entry.target.name == target_name
+            and (entry.name == kernel
+                 or entry.name.startswith(kernel + "_"))
+        ]
+        for entry in matches:
+            key = (entry.build, entry.target.name)
+            if key in checked:
+                continue
+            checked.add(key)
+            plan = plan_for(entry.compile())
+            for strict in (False, True):
+                bad = [validation
+                       for validation in
+                       validate_plan(plan, strict=strict).values()
+                       if not validation.ok]
+                for validation in bad:
+                    failures.append(
+                        f"{entry.label}: trace region fails "
+                        f"translation validation — "
+                        f"{validation.format().splitlines()[0]} (run "
+                        f"'make validate' for the full report)")
     return failures
 
 
@@ -266,6 +328,10 @@ def main(argv: list[str] | None = None) -> int:
         help="compare even when a cited kernel fails the static "
              "program verifier (default: refuse)")
     parser.add_argument(
+        "--no-trace-validate", action="store_true",
+        help="compare trace-engine records even when their compiled "
+             "regions fail translation validation (default: refuse)")
+    parser.add_argument(
         "--only", default=None, metavar="NAME[,NAME...]",
         help="restrict the comparison to these kernel names; lets a "
              "quick subset run (make perf-quick) gate against a full "
@@ -289,6 +355,17 @@ def main(argv: list[str] | None = None) -> int:
             for failure in broken:
                 print(f"  - {failure}", file=sys.stderr)
             print("(use --no-static-verify to override)",
+                  file=sys.stderr)
+            return 1
+    if not options.no_trace_validate:
+        broken = validate_trace_regions([old, new])
+        if broken:
+            print("refusing comparison: trace-engine records cite "
+                  "regions that fail translation validation",
+                  file=sys.stderr)
+            for failure in broken:
+                print(f"  - {failure}", file=sys.stderr)
+            print("(use --no-trace-validate to override)",
                   file=sys.stderr)
             return 1
     print(f"comparing {options.old} -> {options.new} "

@@ -11,6 +11,13 @@ highest-value defect classes checkable in a bare container:
 * mutable default arguments (list/dict/set literals);
 * f-strings without any placeholder.
 
+Files under the strict paths (the static-analysis package and the
+trace codegen — the modules pyproject.toml holds to the strict mypy
+profile) additionally require ``from __future__ import annotations``,
+a module docstring, and a return annotation on every public top-level
+function, mirroring the intent of the stricter configured toolchain
+when ruff/mypy are unavailable.
+
 Exit status is the number of files with findings (0 = clean), so it
 slots into ``make lint`` like a real linter.  It deliberately checks
 less than ruff — a fallback should have zero false positives, not
@@ -22,6 +29,40 @@ from __future__ import annotations
 import ast
 import pathlib
 import sys
+
+
+#: Paths held to the strict profile (kept in sync with the
+#: ``[[tool.mypy.overrides]]`` block in pyproject.toml).
+STRICT_PATHS = ("src/repro/analysis", "src/repro/core/trace.py")
+
+
+def _is_strict(path: pathlib.Path) -> bool:
+    text = path.as_posix()
+    return any(text.endswith(strict) or f"{strict}/" in text
+               or text == strict for strict in STRICT_PATHS)
+
+
+def _strict_findings(path: pathlib.Path, tree: ast.Module) -> list[str]:
+    findings: list[str] = []
+    if ast.get_docstring(tree) is None:
+        findings.append(f"{path}:1: strict module lacks a docstring")
+    has_future = any(
+        isinstance(node, ast.ImportFrom)
+        and node.module == "__future__"
+        and any(alias.name == "annotations" for alias in node.names)
+        for node in tree.body)
+    if not has_future:
+        findings.append(
+            f"{path}:1: strict module lacks "
+            f"'from __future__ import annotations'")
+    for node in tree.body:
+        if (isinstance(node, ast.FunctionDef)
+                and not node.name.startswith("_")
+                and node.returns is None):
+            findings.append(
+                f"{path}:{node.lineno}: public function "
+                f"'{node.name}' lacks a return annotation")
+    return findings
 
 
 def _iter_sources(roots: list[str]):
@@ -147,6 +188,8 @@ def lint_file(path: pathlib.Path) -> list[str]:
     exported = _string_uses(tree)
     findings = [f"{path}:{line}: {message}"
                 for line, message in visitor.problems]
+    if _is_strict(path):
+        findings.extend(_strict_findings(path, tree))
     if not unused_ok:
         for bound, (line, display) in visitor.imports.items():
             if bound not in visitor.used and bound not in exported:

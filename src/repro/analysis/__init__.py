@@ -28,7 +28,10 @@ into :mod:`repro.asm` — is resolved lazily on first attribute access
 (PEP 562).
 """
 
+from __future__ import annotations
+
 from repro.analysis.diagnostics import (
+    REGION_RULE_IDS,
     RULE_DEFUSE,
     RULE_ENCODING,
     RULE_IDS,
@@ -36,6 +39,10 @@ from repro.analysis.diagnostics import (
     RULE_LATENCY,
     RULE_MEMPORT,
     RULE_PAIRING,
+    RULE_REGION_COMMIT,
+    RULE_REGION_EFFECT,
+    RULE_REGION_EXIT,
+    RULE_REGION_STRUCT,
     RULE_SLOT,
     RULE_WRITEBACK,
     SEV_ERROR,
@@ -44,19 +51,32 @@ from repro.analysis.diagnostics import (
     format_location,
 )
 
-_LAZY = ("VerificationError", "VerificationReport", "verify_program")
+#: Lazily resolved exports (PEP 562): the verifier plus the trace-region
+#: translation validator, whose probing machinery reaches repro.core.
+_LAZY = {
+    "VerificationError": "repro.analysis.verifier",
+    "VerificationReport": "repro.analysis.verifier",
+    "verify_program": "repro.analysis.verifier",
+    "RegionValidation": "repro.analysis.transval",
+    "TranslationValidationError": "repro.analysis.transval",
+    "validate_region": "repro.analysis.transval",
+    "validate_plan": "repro.analysis.transval",
+    "validate_catalog": "repro.analysis.transval",
+}
 
 
 def __getattr__(name: str):
-    if name in _LAZY:
-        from repro.analysis import verifier
+    module = _LAZY.get(name)
+    if module is not None:
+        import importlib
 
-        return getattr(verifier, name)
+        return getattr(importlib.import_module(module), name)
     raise AttributeError(
         f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "Diagnostic",
+    "REGION_RULE_IDS",
     "RULE_DEFUSE",
     "RULE_ENCODING",
     "RULE_IDS",
@@ -64,12 +84,21 @@ __all__ = [
     "RULE_LATENCY",
     "RULE_MEMPORT",
     "RULE_PAIRING",
+    "RULE_REGION_COMMIT",
+    "RULE_REGION_EFFECT",
+    "RULE_REGION_EXIT",
+    "RULE_REGION_STRUCT",
     "RULE_SLOT",
     "RULE_WRITEBACK",
+    "RegionValidation",
     "SEV_ERROR",
     "SEV_WARNING",
+    "TranslationValidationError",
     "VerificationError",
     "VerificationReport",
     "format_location",
+    "validate_catalog",
+    "validate_plan",
+    "validate_region",
     "verify_program",
 ]

@@ -3,6 +3,12 @@
 Compiles every catalog entry (or a ``--kernel``/``--target`` subset),
 runs the static verifier, prints one line per program plus each
 finding, and exits non-zero when any program has errors.
+
+``--trace-regions`` switches to the trace-tier translation validator:
+every compiled region of every lockstep-catalog program is checked
+against its ExecutionPlan in both hazard modes.  ``--trace-mutants``
+additionally proves the validator's teeth by sweeping doctored-codegen
+mutants that must all be rejected with their expected rule.
 """
 
 from __future__ import annotations
@@ -11,6 +17,29 @@ import argparse
 import sys
 
 from repro.analysis.catalog import entries_matching, verify_all
+
+
+def _run_trace_regions(smoke: bool, quiet: bool) -> int:
+    from repro.analysis.transval import validate_catalog
+
+    results = validate_catalog(smoke=smoke)
+    failed = 0
+    for validation in results:
+        if validation.ok and quiet:
+            continue
+        print(validation.format())
+        failed += not validation.ok
+    total = len(results)
+    print(f"{total - failed}/{total} region validations clean")
+    return 1 if failed else 0
+
+
+def _run_trace_mutants() -> int:
+    from repro.analysis.codegen_mutate import run_harness
+
+    report = run_harness(min_mutants=100)
+    print(report.format())
+    return 0 if report.caught == report.total else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -29,7 +58,26 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--quiet", action="store_true",
         help="print only programs with findings and the summary")
+    parser.add_argument(
+        "--trace-regions", action="store_true",
+        help="run the trace-region translation validator over the "
+             "lockstep catalog instead of the kernel verifier")
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="with --trace-regions: validate the smoke catalog only")
+    parser.add_argument(
+        "--trace-mutants", action="store_true",
+        help="sweep doctored-codegen mutants through the translation "
+             "validator; every mutant must be caught")
     args = parser.parse_args(argv)
+
+    if args.trace_regions or args.trace_mutants:
+        status = 0
+        if args.trace_regions:
+            status |= _run_trace_regions(args.smoke, args.quiet)
+        if args.trace_mutants:
+            status |= _run_trace_mutants()
+        return status
 
     try:
         entries = entries_matching(args.kernel, args.target)

@@ -1,0 +1,646 @@
+"""Abstract-interpretation substrate for the trace translation validator.
+
+The translation validator (:mod:`repro.analysis.transval`) must judge
+generated trace-region source *without* trusting the code generator
+that produced it.  This module supplies the three independent pieces
+it builds on:
+
+* :class:`Interp` — a closed-world evaluator for the restricted Python
+  subset the region codegen is allowed to emit (straight-line
+  statements, ``if``/``for``/``while``, masked integer expressions).
+  Running fragments of the parsed AST under controlled *probe*
+  environments is how the validator observes what the generated code
+  actually does, rather than what its text looks like.
+* probe environments — deterministic register files, memory stubs, and
+  a recording :class:`ProbeCtx` that mirrors the executor's operation
+  context, so a generated operation body and the plan's bound registry
+  semantic can be run on identical abstract inputs and compared
+  effect-for-effect (:func:`reference_effects`).
+* :func:`derive_schedule` / :func:`derive_geometry` /
+  :func:`derive_fetch_plan` — a from-scratch re-derivation, straight
+  from the :class:`~repro.core.plan.ExecutionPlan`, of the obligations
+  the codegen must have satisfied: the static/escaped/dynamic write
+  partition with issue and landing steps (DESIGN.md section 13), the
+  jump geometry that spill slots must be a pure function of, and the
+  constant-folded front-end fetch lists.
+
+Nothing here imports or calls ``repro.core.trace._generate``; the
+whole point is that this derivation and the codegen can only agree by
+both being right.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.core.plan import (
+    OP_DSTS,
+    OP_GUARD,
+    OP_IMM,
+    OP_IS_JUMP,
+    OP_JUMP_INDEX,
+    OP_LATENCY,
+    OP_NAME,
+    OP_SEMANTIC,
+    OP_SRCS,
+)
+
+M32 = 0xFFFFFFFF
+NUM_REGS = 128
+
+#: MMIO window bounds; must match the executor's routing exactly.
+MMIO_LO = 0x1000_0000
+MMIO_HI = 0x1000_1000
+
+
+class EvalError(Exception):
+    """The source used a construct outside the validated subset."""
+
+
+class _ReturnSignal(Exception):
+    """Internal control flow: a ``return`` statement executed."""
+
+    def __init__(self, value: object) -> None:
+        self.value = value
+
+
+class _RaiseSignal(Exception):
+    """Internal control flow: a ``raise`` statement executed."""
+
+
+_BIN_OPS = {
+    ast.Add: lambda a, b: a + b,
+    ast.Sub: lambda a, b: a - b,
+    ast.Mult: lambda a, b: a * b,
+    ast.FloorDiv: lambda a, b: a // b,
+    ast.Mod: lambda a, b: a % b,
+    ast.LShift: lambda a, b: a << b,
+    ast.RShift: lambda a, b: a >> b,
+    ast.BitAnd: lambda a, b: a & b,
+    ast.BitOr: lambda a, b: a | b,
+    ast.BitXor: lambda a, b: a ^ b,
+}
+
+_CMP_OPS = {
+    ast.Lt: lambda a, b: a < b,
+    ast.LtE: lambda a, b: a <= b,
+    ast.Gt: lambda a, b: a > b,
+    ast.GtE: lambda a, b: a >= b,
+    ast.Eq: lambda a, b: a == b,
+    ast.NotEq: lambda a, b: a != b,
+    ast.Is: lambda a, b: a is b,
+    ast.IsNot: lambda a, b: a is not b,
+    ast.In: lambda a, b: a in b,
+    ast.NotIn: lambda a, b: a not in b,
+}
+
+_UNARY_OPS = {
+    ast.USub: lambda a: -a,
+    ast.UAdd: lambda a: +a,
+    ast.Invert: lambda a: ~a,
+    ast.Not: lambda a: not a,
+}
+
+#: Backstop against runaway loops in doctored sources.
+_LOOP_LIMIT = 65536
+
+
+class Interp:
+    """Evaluate the restricted AST subset over a dict environment.
+
+    The environment is the single namespace (the generated function
+    body has no nested scopes).  Unknown names, unsupported node
+    types, and unbounded loops raise :class:`EvalError` — a validator
+    diagnostic, never a crash.
+    """
+
+    __slots__ = ("env",)
+
+    def __init__(self, env: dict) -> None:
+        self.env = env
+
+    # -- statements --------------------------------------------------
+
+    def run(self, stmts) -> object:
+        """Run statements; returns the ``return`` value if one fired,
+        the string ``"raise"`` if a ``raise`` fired, else ``None``."""
+        try:
+            for stmt in stmts:
+                self.stmt(stmt)
+        except _ReturnSignal as sig:
+            return sig.value
+        except _RaiseSignal:
+            return "raise"
+        return None
+
+    def stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.Assign):
+            value = self.expr(node.value)
+            for target in node.targets:
+                self.assign(target, value)
+        elif isinstance(node, ast.AugAssign):
+            self._aug_assign(node)
+        elif isinstance(node, ast.If):
+            body = node.body if self.expr(node.test) else node.orelse
+            for stmt in body:
+                self.stmt(stmt)
+        elif isinstance(node, ast.While):
+            count = 0
+            while self.expr(node.test):
+                count += 1
+                if count > _LOOP_LIMIT:
+                    raise EvalError("while loop exceeded iteration bound")
+                for stmt in node.body:
+                    self.stmt(stmt)
+        elif isinstance(node, ast.For):
+            iterable = self.expr(node.iter)
+            count = 0
+            for item in iterable:
+                count += 1
+                if count > _LOOP_LIMIT:
+                    raise EvalError("for loop exceeded iteration bound")
+                self.assign(node.target, item)
+                for stmt in node.body:
+                    self.stmt(stmt)
+        elif isinstance(node, ast.Expr):
+            self.expr(node.value)
+        elif isinstance(node, ast.Return):
+            raise _ReturnSignal(
+                self.expr(node.value) if node.value is not None else None)
+        elif isinstance(node, ast.Raise):
+            raise _RaiseSignal()
+        elif isinstance(node, ast.Pass):
+            pass
+        elif isinstance(node, ast.Continue):
+            raise EvalError("continue outside supported loop form")
+        else:
+            raise EvalError(
+                f"unsupported statement {type(node).__name__}")
+
+    def _aug_assign(self, node: ast.AugAssign) -> None:
+        op = _BIN_OPS.get(type(node.op))
+        if op is None:
+            raise EvalError(
+                f"unsupported augmented op {type(node.op).__name__}")
+        target = node.target
+        if isinstance(target, ast.Name):
+            self.env[target.id] = op(self.lookup(target.id),
+                                     self.expr(node.value))
+        elif isinstance(target, ast.Subscript):
+            obj = self.expr(target.value)
+            index = self.expr(target.slice)
+            obj[index] = op(obj[index], self.expr(node.value))
+        else:
+            raise EvalError("unsupported augmented-assignment target")
+
+    def assign(self, target: ast.expr, value: object) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = value
+        elif isinstance(target, ast.Subscript):
+            obj = self.expr(target.value)
+            obj[self.expr(target.slice)] = value
+        elif isinstance(target, ast.Attribute):
+            setattr(self.expr(target.value), target.attr, value)
+        elif isinstance(target, ast.Tuple):
+            items = tuple(value)  # type: ignore[arg-type]
+            if len(items) != len(target.elts):
+                raise EvalError("tuple unpack arity mismatch")
+            for elt, item in zip(target.elts, items):
+                self.assign(elt, item)
+        else:
+            raise EvalError(
+                f"unsupported assignment target {type(target).__name__}")
+
+    def lookup(self, name: str) -> object:
+        try:
+            return self.env[name]
+        except KeyError:
+            raise EvalError(f"unknown name {name!r}") from None
+
+    # -- expressions -------------------------------------------------
+
+    def expr(self, node: ast.expr) -> object:
+        if isinstance(node, ast.Constant):
+            return node.value
+        if isinstance(node, ast.Name):
+            return self.lookup(node.id)
+        if isinstance(node, ast.BinOp):
+            op = _BIN_OPS.get(type(node.op))
+            if op is None:
+                raise EvalError(
+                    f"unsupported operator {type(node.op).__name__}")
+            return op(self.expr(node.left), self.expr(node.right))
+        if isinstance(node, ast.BoolOp):
+            if isinstance(node.op, ast.And):
+                result: object = True
+                for value in node.values:
+                    result = self.expr(value)
+                    if not result:
+                        return result
+                return result
+            result = False
+            for value in node.values:
+                result = self.expr(value)
+                if result:
+                    return result
+            return result
+        if isinstance(node, ast.UnaryOp):
+            op = _UNARY_OPS.get(type(node.op))
+            if op is None:
+                raise EvalError(
+                    f"unsupported unary {type(node.op).__name__}")
+            return op(self.expr(node.operand))
+        if isinstance(node, ast.Compare):
+            left = self.expr(node.left)
+            for cmp_op, comparator in zip(node.ops, node.comparators):
+                fn = _CMP_OPS.get(type(cmp_op))
+                if fn is None:
+                    raise EvalError(
+                        f"unsupported comparison {type(cmp_op).__name__}")
+                right = self.expr(comparator)
+                if not fn(left, right):
+                    return False
+                left = right
+            return True
+        if isinstance(node, ast.IfExp):
+            branch = node.body if self.expr(node.test) else node.orelse
+            return self.expr(branch)
+        if isinstance(node, ast.Subscript):
+            obj = self.expr(node.value)
+            return obj[self.expr(node.slice)]  # type: ignore[index]
+        if isinstance(node, ast.Tuple):
+            return tuple(self.expr(elt) for elt in node.elts)
+        if isinstance(node, ast.List):
+            return [self.expr(elt) for elt in node.elts]
+        if isinstance(node, ast.Call):
+            fn = self.expr(node.func)
+            if not callable(fn):
+                raise EvalError("call target is not callable")
+            args = [self.expr(arg) for arg in node.args]
+            kwargs = {kw.arg: self.expr(kw.value)
+                      for kw in node.keywords if kw.arg is not None}
+            return fn(*args, **kwargs)
+        if isinstance(node, ast.Attribute):
+            return getattr(self.expr(node.value), node.attr)
+        raise EvalError(f"unsupported expression {type(node).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Probe environments
+# ---------------------------------------------------------------------------
+
+def probe_value(reg: int, salt: int) -> int:
+    """Deterministic 32-bit probe word for register ``reg``; the
+    register-file invariants r0 == 0 and r1 == 1 always hold."""
+    if reg == 0:
+        return 0
+    if reg == 1:
+        return 1
+    return (reg * 2654435761 + salt * 40503 + (salt << 17)) & M32
+
+#: Edge patterns cycled through the probe register files; sign bits,
+#: all-ones, lane boundaries, and odd/even guard parities all occur.
+_EDGE_WORDS = (0, 0xFFFFFFFF, 0x80000000, 0x7FFFFFFF, 0x00010001,
+               0xAAAA5555, 0x000000FF, 0x80008000)
+
+
+def probe_regfiles(count: int = 6) -> list[list[int]]:
+    """Deterministic probe register files (salted mixes + edge words)."""
+    files: list[list[int]] = []
+    for salt in range(count):
+        values = [probe_value(reg, salt) for reg in range(NUM_REGS)]
+        for offset, word in enumerate(_EDGE_WORDS):
+            reg = 2 + ((salt * 11 + offset * 7) % (NUM_REGS - 2))
+            values[reg] = word
+        values[0] = 0
+        values[1] = 1
+        files.append(values)
+    return files
+
+
+def probe_mem_load(address: int, nbytes: int) -> int:
+    """Deterministic flat-memory stub shared by both evaluation sides."""
+    word = (address * 0x9E3779B1 + nbytes * 0x85EBCA77 + 0x165667B1) & M32
+    return word & ((1 << (8 * nbytes)) - 1)
+
+
+def probe_mmio_load(address: int, nbytes: int) -> int:
+    """Deterministic MMIO stub, distinct from flat memory."""
+    word = (address * 0xC2B2AE35 + nbytes * 0x27D4EB2F + 0x9E3779B9) & M32
+    return word & ((1 << (8 * nbytes)) - 1)
+
+
+class MemRecorder:
+    """Shared access log + stub callables for a probe evaluation.
+
+    One recorder backs either side of a differential run: the
+    generated code's ``mem_load``/``mmio_load``/``mem_store``/
+    ``mmio_store`` parameters, or a :class:`ProbeCtx`.  The resulting
+    ``events`` lists are directly comparable.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: list[tuple] = []
+
+    def mem_load(self, address: int, nbytes: int) -> int:
+        self.events.append(("load", address, nbytes))
+        return probe_mem_load(address, nbytes)
+
+    def mmio_load(self, address: int, nbytes: int) -> int:
+        self.events.append(("mmio-load", address, nbytes))
+        return probe_mmio_load(address, nbytes)
+
+    def mem_store(self, address: int, value: int, nbytes: int) -> None:
+        self.events.append(("store", address, value, nbytes))
+
+    def mmio_store(self, address: int, value: int, nbytes: int) -> None:
+        self.events.append(("mmio-store", address, value, nbytes))
+
+
+class _ProbeMemory:
+    """Duck-typed FlatMemory stand-in routing through a recorder."""
+
+    __slots__ = ("_recorder",)
+
+    def __init__(self, recorder: MemRecorder) -> None:
+        self._recorder = recorder
+
+    def load(self, address: int, nbytes: int) -> int:
+        return self._recorder.mem_load(address, nbytes)
+
+    def store(self, address: int, value: int, nbytes: int) -> None:
+        self._recorder.mem_store(address, value, nbytes)
+
+
+class ProbeCtx:
+    """Mirror of the executor's ``_OpContext`` over probe stubs.
+
+    Routing (MMIO window check before flat memory) replicates
+    ``repro.core.executor._OpContext`` so a registry semantic run
+    against this context produces the same access stream and values a
+    generated inline block must produce against the raw stubs.
+    """
+
+    __slots__ = ("_recorder", "accesses", "guard_value", "_slot",
+                 "_op_name")
+
+    def __init__(self, recorder: MemRecorder) -> None:
+        self._recorder = recorder
+        self.accesses: list = []
+        self.guard_value = 1
+        self._slot = 0
+        self._op_name = ""
+
+    def load(self, address: int, nbytes: int) -> int:
+        if MMIO_LO <= address < MMIO_HI:
+            return self._recorder.mmio_load(address, nbytes)
+        return self._recorder.mem_load(address, nbytes)
+
+    def store(self, address: int, value: int, nbytes: int) -> None:
+        if MMIO_LO <= address < MMIO_HI:
+            self._recorder.mmio_store(address, value, nbytes)
+            return
+        self._recorder.mem_store(address, value, nbytes)
+
+
+def reference_effects(op: tuple, values: list[int],
+                      ) -> tuple[bool, tuple, list]:
+    """Ground-truth effects of one plan op on a probe register file.
+
+    Runs the *plan-bound* registry semantic (``op[OP_SEMANTIC]``) under
+    a recording probe context — mirroring the interpreter's guard
+    handling — and returns ``(executed, results, events)`` where
+    ``results`` are the 32-bit-masked destination values in
+    ``op[OP_DSTS]`` order and ``events`` is the memory access stream.
+    """
+    guard = op[OP_GUARD]
+    if guard != 1 and not (values[guard] & 1):
+        return False, (), []
+    recorder = MemRecorder()
+    ctx = ProbeCtx(recorder)
+    srcs = tuple(values[reg] for reg in op[OP_SRCS])
+    results = op[OP_SEMANTIC](ctx, srcs, op[OP_IMM])
+    masked = tuple(value & M32 for value in results)
+    return True, masked, recorder.events
+
+
+# ---------------------------------------------------------------------------
+# Independent obligation derivation (write schedule, jump geometry,
+# fetch plan).  Everything below reads only the ExecutionPlan.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class WriteObligation:
+    """One architectural register write a region must perform.
+
+    ``t_w``/``t_c`` are region-relative issue and landing steps;
+    ``dynamic`` means the write must go through the interpreter's
+    pending/heap push protocol, otherwise it must be held in a local
+    and committed at step ``t_c`` (or materialized at region exits
+    when ``t_c`` falls outside the region).
+    """
+
+    index: int          # issue-order position among all region writes
+    step: int           # region-relative issue step (== t_w)
+    slot: int           # position of the op within its instruction
+    reg: int
+    t_w: int
+    t_c: int
+    latency: int
+    guarded: bool
+    dynamic: bool
+
+
+@dataclass
+class Schedule:
+    """Derived write obligations of one region."""
+
+    obligations: list[WriteObligation]
+    by_site: dict[tuple[int, int], list[WriteObligation]]
+    commits_at: dict[int, list[WriteObligation]]
+    escaped: list[WriteObligation]
+
+    @property
+    def static_obligations(self) -> list[WriteObligation]:
+        return [ob for ob in self.obligations if not ob.dynamic]
+
+
+def derive_schedule(plan, head: int, length: int,
+                    strict: bool) -> Schedule:
+    """Re-derive the static/escaped/dynamic write partition from the
+    plan alone (DESIGN.md section 13, independent implementation).
+
+    A write may commit statically (direct ``values[reg] =`` at its
+    landing step) unless any demotion applies:
+
+    * the op produces multiple destinations (zip-driven push order);
+    * under strict timing, some read of the register falls strictly
+      between issue and landing — the interpreter's hazard scan must
+      find the write in ``pending`` to raise;
+    * two writes share ``(reg, landing step)`` and either tie on the
+      issue step or mix with a demoted write — the interpreter's
+      queue order could not be reproduced by direct assignment.
+    """
+    obligations: list[WriteObligation] = []
+    by_site: dict[tuple[int, int], list[WriteObligation]] = {}
+    for t in range(length):
+        for j, op in enumerate(plan.ops[head + t]):
+            if op[OP_IS_JUMP] or op[OP_NAME] == "nop" or not op[OP_DSTS]:
+                continue
+            multi = len(op[OP_DSTS]) > 1
+            site: list[WriteObligation] = []
+            for reg in op[OP_DSTS]:
+                ob = WriteObligation(
+                    index=len(obligations), step=t, slot=j, reg=reg,
+                    t_w=t, t_c=t + op[OP_LATENCY],
+                    latency=op[OP_LATENCY],
+                    guarded=op[OP_GUARD] != 1, dynamic=multi)
+                site.append(ob)
+                obligations.append(ob)
+            by_site[(t, j)] = site
+
+    if strict:
+        read_steps: dict[int, set[int]] = {}
+        for t in range(length):
+            for op in plan.ops[head + t]:
+                guard = op[OP_GUARD]
+                if guard != 1:
+                    read_steps.setdefault(guard, set()).add(t)
+                for reg in op[OP_SRCS]:
+                    if reg not in (0, 1):
+                        read_steps.setdefault(reg, set()).add(t)
+        for ob in obligations:
+            if ob.dynamic:
+                continue
+            if any(ob.t_w < t_r < ob.t_c
+                   for t_r in read_steps.get(ob.reg, ())):
+                ob.dynamic = True
+
+    groups: dict[tuple[int, int], list[WriteObligation]] = {}
+    for ob in obligations:
+        groups.setdefault((ob.reg, ob.t_c), []).append(ob)
+    for group in groups.values():
+        if len(group) < 2:
+            continue
+        issue_steps = {ob.t_w for ob in group}
+        if len(issue_steps) != len(group) or any(ob.dynamic
+                                                 for ob in group):
+            for ob in group:
+                ob.dynamic = True
+
+    commits_at: dict[int, list[WriteObligation]] = {}
+    escaped: list[WriteObligation] = []
+    for ob in obligations:
+        if ob.dynamic:
+            continue
+        if ob.t_c < length:
+            commits_at.setdefault(ob.t_c, []).append(ob)
+        else:
+            escaped.append(ob)
+    for group in commits_at.values():
+        group.sort(key=lambda ob: ob.t_w)
+    return Schedule(obligations=obligations, by_site=by_site,
+                    commits_at=commits_at, escaped=escaped)
+
+
+@dataclass(frozen=True)
+class Geometry:
+    """Static jump geometry of a region, derived from the plan."""
+
+    head: int
+    length: int
+    jump_pos: int | None       # absolute instruction index, or None
+    jump_name: str | None
+    target: int | None         # resolved taken target (jump index)
+    delay: int
+    #: "static-taken" | "dynamic" | "fallthrough" | "none"
+    kind: str
+
+    def expected_pc(self, retired: int, taken: bool) -> int:
+        """Interpreter ``pc`` after ``retired`` steps when the raise
+        interrupted the region (spill slot 11)."""
+        if taken and retired == self.length and self.target is not None:
+            return self.target
+        return self.head + retired
+
+    def expected_pending_jump(self, retired: int, taken: bool):
+        """Interpreter ``_pending_jump`` after ``retired`` steps
+        (spill slot 12): armed at ``(delay, target)`` on the jump's
+        step and counted down once per later retired step."""
+        if not taken or self.target is None or retired >= self.length:
+            return None
+        rel = self.jump_pos - self.head  # type: ignore[operator]
+        return (self.delay - (retired - rel), self.target)
+
+    def expected_next_pc(self, taken: bool) -> int:
+        """Region exit pc for a completed run (return element 0)."""
+        if taken and self.target is not None:
+            return self.target
+        return self.head + self.length
+
+
+def derive_geometry(plan, head: int, length: int) -> Geometry:
+    """Jump geometry from the plan: at most one supported jump, whose
+    delay window the region must fully enclose."""
+    jump_pos = jump_name = target = None
+    kind = "none"
+    for t in range(length):
+        index = head + t
+        for op in plan.ops[index]:
+            if not op[OP_IS_JUMP]:
+                continue
+            if jump_pos is not None:
+                raise ValueError(
+                    f"region {head}+{length} contains a second jump "
+                    f"at instruction {index}")
+            jump_pos = index
+            jump_name = op[OP_NAME]
+            target = op[OP_JUMP_INDEX]
+            if op[OP_NAME] == "jmpf":
+                kind = "fallthrough"
+                target = None
+            elif op[OP_GUARD] == 1:
+                kind = "static-taken"
+            else:
+                kind = "dynamic"
+    return Geometry(head=head, length=length, jump_pos=jump_pos,
+                    jump_name=jump_name, target=target,
+                    delay=plan.jump_delay_slots, kind=kind)
+
+
+@dataclass(frozen=True)
+class FetchPlan:
+    """Constant-folded front-end obligations of one region."""
+
+    #: Step 0's chunk range (the dynamic walk's bounds).
+    head_first: int
+    head_last: int
+    #: Per later step: the statically known fetch address list.
+    fetches: tuple[tuple[int, ...], ...]
+    #: Chunk provably last-fetched when the region exits normally.
+    final_chunk: int
+
+
+def derive_fetch_plan(plan, head: int, length: int) -> FetchPlan:
+    """Re-derive the static fetch lists: after instruction ``i`` of a
+    sequential run the last-fetched chunk is ``chunk_last[i]``, so
+    each later step fetches exactly the chunks of its own span that
+    differ from it."""
+    from repro.core.processor import CODE_BASE
+    from repro.mem.icache import FETCH_CHUNK_BYTES
+
+    abs_first, abs_last = plan.code_chunks(CODE_BASE)
+    chunk = FETCH_CHUNK_BYTES
+    later: list[tuple[int, ...]] = []
+    for t in range(1, length):
+        i = head + t
+        prev_last = abs_last[i - 1]
+        later.append(tuple(
+            c for c in range(abs_first[i], abs_last[i] + chunk, chunk)
+            if c != prev_last))
+    return FetchPlan(head_first=abs_first[head], head_last=abs_last[head],
+                     fetches=tuple(later),
+                     final_chunk=abs_last[head + length - 1])

@@ -16,7 +16,10 @@ and friends) — only from entry points.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable, Iterator
+
+if TYPE_CHECKING:
+    from repro.analysis.verifier import VerificationReport
 
 from repro.asm.ir import AsmProgram
 from repro.asm.link import LinkedProgram, link
@@ -94,7 +97,8 @@ def entries_matching(names: list[str] | None = None,
     return entries
 
 
-def verify_all(entries: list[CatalogEntry] | None = None, obs=None):
+def verify_all(entries: list[CatalogEntry] | None = None, obs=None,
+               ) -> Iterator[tuple[CatalogEntry, VerificationReport]]:
     """Verify every entry; yields ``(entry, report)`` pairs.
 
     Compilation failures are not swallowed: a builder or scheduler

@@ -1,0 +1,550 @@
+"""Doctored-codegen mutation harness for the translation validator.
+
+The PR 3 pattern, aimed at generated *region code* instead of linked
+programs: take the real source ``_generate`` emits for a region,
+apply a rule-targeted AST mutation (drop a commit, shift its cycle,
+skip an exit materialization, swap spill slots, corrupt a mask, ...),
+re-render with :func:`ast.unparse`, and demand that
+:func:`repro.analysis.transval.validate_region` rejects the mutant
+with the expected rule identifier.  A mutator that survives validation
+is a hole in the validator, not a feature of the codegen.
+
+Mutators share the validator's AST matchers deliberately: harness and
+validator agreeing on *where* a commit sits is fine — the independence
+that matters is between the validator and ``_generate``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.analysis.diagnostics import (
+    RULE_REGION_COMMIT,
+    RULE_REGION_EFFECT,
+    RULE_REGION_EXIT,
+    RULE_REGION_STRUCT,
+)
+from repro.analysis.transval import (
+    RegionValidation,
+    _is_name,
+    _is_watchdog,
+    _match_commit,
+    _match_scan,
+    _match_tk_true,
+    generate_source,
+    validate_region,
+)
+
+@dataclass(frozen=True)
+class SourceMutant:
+    """One doctored region source and the rule that must catch it."""
+
+    name: str
+    rule: str
+    description: str
+    source: str
+
+
+@dataclass
+class MutantOutcome:
+    """Validation verdict for one mutant."""
+
+    program: str
+    head: int
+    strict: bool
+    mutant: SourceMutant
+    validation: RegionValidation
+
+    @property
+    def caught(self) -> bool:
+        return (not self.validation.ok
+                and any(d.rule == self.mutant.rule
+                        for d in self.validation.diagnostics))
+
+
+@dataclass
+class HarnessReport:
+    """Aggregate result of a mutation sweep."""
+
+    outcomes: list[MutantOutcome] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def caught(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.caught)
+
+    @property
+    def missed(self) -> list[MutantOutcome]:
+        return [outcome for outcome in self.outcomes
+                if not outcome.caught]
+
+    def format(self) -> str:
+        lines = [f"{self.caught}/{self.total} mutants caught with the "
+                 "expected rule"]
+        for outcome in self.missed:
+            mutant = outcome.mutant
+            verdict = ("validated clean" if outcome.validation.ok else
+                       "caught with rules " + ", ".join(sorted(
+                           {d.rule
+                            for d in outcome.validation.diagnostics})))
+            lines.append(
+                f"  MISSED {mutant.name} expecting {mutant.rule} on "
+                f"{outcome.program!r} head {outcome.head} "
+                f"strict={outcome.strict}: {verdict} "
+                f"({mutant.description})")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Tree navigation
+# ---------------------------------------------------------------------------
+
+def _function(tree: ast.Module) -> ast.FunctionDef:
+    fn = tree.body[0]
+    assert isinstance(fn, ast.FunctionDef)
+    return fn
+
+
+def _spine(tree: ast.Module) -> ast.Try:
+    for stmt in _function(tree).body:
+        if isinstance(stmt, ast.Try):
+            return stmt
+    raise AssertionError("generated source lost its try spine")
+
+
+def _step_stmts(tree: ast.Module) -> list[ast.stmt]:
+    """Try-body statements up to and including the last watchdog.
+
+    A slice copy — mutators iterating it must edit *inner* nodes of
+    the shared statements, never replace list elements.
+    """
+    body = _spine(tree).body
+    last = max((i for i, stmt in enumerate(body) if _is_watchdog(stmt)),
+               default=-1)
+    return body[:last + 1]
+
+
+def _exit_range(tree: ast.Module) -> tuple[list[ast.stmt], int, int]:
+    """(try body, first exit index, return index)."""
+    body = _spine(tree).body
+    last = max((i for i, stmt in enumerate(body) if _is_watchdog(stmt)),
+               default=-1)
+    return body, last + 1, len(body) - 1
+
+
+def _perturb_first_const(node: ast.AST,
+                         predicate=None) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Constant) and type(child.value) is int:
+            if predicate is None or predicate(child.value):
+                child.value += 1
+                return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Mutators.  Each takes a freshly parsed tree and a 0-based occurrence
+# index; returns True when it found and mutated that occurrence.
+# ---------------------------------------------------------------------------
+
+def _commit_sites(tree) -> list[tuple[list, int]]:
+    body = _spine(tree).body
+    return [(body, i) for i, stmt in enumerate(body)
+            if _match_commit(stmt) is not None]
+
+
+def _mut_drop_commit(tree, n: int) -> bool:
+    sites = _commit_sites(tree)
+    if n >= len(sites):
+        return False
+    body, i = sites[n]
+    body[i] = ast.Pass()
+    return True
+
+
+def _mut_shift_commit(tree, n: int) -> bool:
+    """Move a static commit one step later (off-by-one commit cycle)."""
+    sites = _commit_sites(tree)
+    if n >= len(sites):
+        return False
+    body, i = sites[n]
+    nxt = next((k for k in range(i + 1, len(body))
+                if _is_watchdog(body[k])), None)
+    if nxt is None or nxt + 1 >= len(body) \
+            or not any(_is_watchdog(body[k])
+                       for k in range(nxt + 1, len(body))):
+        return False            # would land in the exit tail
+    stmt = body.pop(i)
+    body.insert(nxt, stmt)      # nxt shifted down by the pop: lands
+    return True                 # just after the next step's start
+
+def _mut_commit_wrong_reg(tree, n: int) -> bool:
+    sites = _commit_sites(tree)
+    if n >= len(sites):
+        return False
+    body, i = sites[n]
+    stmt = body[i]
+    while isinstance(stmt, ast.If):
+        stmt = stmt.body[0]
+    assert isinstance(stmt, ast.Assign)
+    target = stmt.targets[0]
+    assert isinstance(target, ast.Subscript)
+    assert isinstance(target.slice, ast.Constant)
+    target.slice.value += 1
+    return True
+
+
+def _hold_assigns(tree) -> list[ast.Assign]:
+    import re
+    hold = re.compile(r"_w\d+\Z")
+    out = []
+    for stmt in ast.walk(_spine(tree)):
+        if (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and hold.match(stmt.targets[0].id)
+                and not (isinstance(stmt.value, ast.Constant)
+                         and stmt.value.value is None)):
+            out.append(stmt)
+    return out
+
+
+def _mut_drop_hold(tree, n: int) -> bool:
+    holds = _hold_assigns(tree)
+    if n >= len(holds):
+        return False
+    stmt = holds[n]
+    stmt.targets = [ast.Name(id="_mutated_sink", ctx=ast.Store())]
+    return True
+
+
+def _mut_wrong_mask(tree, n: int) -> bool:
+    """Shrink a width mask as a wrong-width template would.
+
+    Always below the narrowest load width (8 bits) so the mutant can
+    never be equivalent — e.g. ``& M32`` over a byte load.
+    """
+    narrower = dict.fromkeys((4294967295, 65535, 255), 15)
+    seen = 0
+    for stmt in _step_stmts(tree):
+        for node in ast.walk(stmt):
+            if (isinstance(node, ast.BinOp)
+                    and isinstance(node.op, ast.BitAnd)
+                    and isinstance(node.right, ast.Constant)
+                    and node.right.value in narrower):
+                if seen == n:
+                    node.right.value = narrower[node.right.value]
+                    return True
+                seen += 1
+    return False
+
+
+def _mut_skip_exit_materialize(tree, n: int) -> bool:
+    if n:
+        return False
+    body, start, ret = _exit_range(tree)
+    if start >= ret:
+        return False            # nothing escapes this region
+    del body[start:ret]
+    return True
+
+
+def _mut_drop_spill_materialize(tree, n: int) -> bool:
+    handler = _spine(tree).handlers[0].body
+    seen = 0
+    for i, stmt in enumerate(handler):
+        if (isinstance(stmt, ast.If)
+                and isinstance(stmt.test, ast.BoolOp)
+                and isinstance(stmt.test.op, ast.And)):
+            if seen == n:
+                handler[i] = ast.Pass()
+                return True
+            seen += 1
+    return False
+
+
+def _spill_assigns(tree) -> dict[int, ast.Assign]:
+    out: dict[int, ast.Assign] = {}
+    for stmt in ast.walk(_spine(tree).handlers[0]):
+        if (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Subscript)
+                and _is_name(stmt.targets[0].value, "spill")
+                and isinstance(stmt.targets[0].slice, ast.Constant)):
+            out[stmt.targets[0].slice.value] = stmt
+    return out
+
+
+def _mut_swap_spill_slots(tree, n: int) -> bool:
+    if n:
+        return False
+    spills = _spill_assigns(tree)
+    if 11 not in spills or 12 not in spills:
+        return False
+    spills[11].targets[0].slice.value = 12
+    spills[12].targets[0].slice.value = 11
+    return True
+
+
+def _mut_spill_pc_off_by_one(tree, n: int) -> bool:
+    if n:
+        return False
+    spills = _spill_assigns(tree)
+    if 11 not in spills:
+        return False
+    return _perturb_first_const(spills[11].value)
+
+
+def _mut_materialize_due(tree, n: int) -> bool:
+    """Corrupt a materialization's due cycle (``now0 + t_c``)."""
+    seen = 0
+    for stmt in ast.walk(_spine(tree)):
+        if (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                and _is_name(stmt.targets[0], "_e")
+                and isinstance(stmt.value, ast.Tuple)
+                and len(stmt.value.elts) == 3):
+            due = stmt.value.elts[0]
+            if (isinstance(due, ast.BinOp)
+                    and _is_name(due.left, "now0")
+                    and isinstance(due.right, ast.Constant)):
+                if seen == n:
+                    due.right.value += 1
+                    return True
+                seen += 1
+    return False
+
+
+def _mut_push_latency(tree, n: int) -> bool:
+    seen = 0
+    for stmt in _step_stmts(tree):
+        for node in ast.walk(stmt):
+            if (isinstance(node, ast.Call)
+                    and _is_name(node.func, "heappush")
+                    and len(node.args) == 2
+                    and isinstance(node.args[1], ast.Tuple)):
+                due = node.args[1].elts[0]
+                if (isinstance(due, ast.BinOp)
+                        and _is_name(due.left, "now")
+                        and isinstance(due.right, ast.Constant)):
+                    if seen == n:
+                        due.right.value += 1
+                        return True
+                    seen += 1
+    return False
+
+
+def _mut_push_wrong_reg(tree, n: int) -> bool:
+    seen = 0
+    for stmt in _step_stmts(tree):
+        for node in ast.walk(stmt):
+            if (isinstance(node, ast.Call)
+                    and _is_name(node.func, "heappush")
+                    and len(node.args) == 2
+                    and isinstance(node.args[1], ast.Tuple)
+                    and isinstance(node.args[1].elts[1], ast.Constant)):
+                if seen == n:
+                    node.args[1].elts[1].value += 1
+                    return True
+                seen += 1
+    return False
+
+
+def _mut_drop_scan(tree, n: int) -> bool:
+    seen = 0
+
+    def visit(stmts) -> bool:
+        nonlocal seen
+        for i, stmt in enumerate(stmts):
+            if _match_scan(stmt) is not None:
+                if seen == n:
+                    stmts[i] = ast.Pass()
+                    return True
+                seen += 1
+                continue
+            for attr in ("body", "orelse"):
+                children = getattr(stmt, attr, None)
+                if children and visit(children):
+                    return True
+        return False
+
+    return visit(_spine(tree).body)
+
+
+def _mut_drop_commit_check(tree, n: int) -> bool:
+    body = _spine(tree).body
+    seen = 0
+    for i, stmt in enumerate(body):
+        if (isinstance(stmt, ast.If)
+                and isinstance(stmt.test, ast.BoolOp)
+                and isinstance(stmt.test.op, ast.And)
+                and _is_name(stmt.test.values[0], "heap")):
+            if seen == n:
+                body[i] = ast.Pass()
+                return True
+            seen += 1
+    return False
+
+
+def _mut_wrong_return_pc(tree, n: int) -> bool:
+    if n:
+        return False
+    body = _spine(tree).body
+    ret = body[-1]
+    if not isinstance(ret, ast.Return) \
+            or not isinstance(ret.value, ast.Tuple):
+        return False
+    return _perturb_first_const(ret.value.elts[0])
+
+
+def _mut_wrong_fetch(tree, n: int) -> bool:
+    seen = 0
+    for stmt in _step_stmts(tree):
+        for node in ast.walk(stmt):
+            if (isinstance(node, ast.Call)
+                    and _is_name(node.func, "icache_fetch")
+                    and node.args
+                    and isinstance(node.args[0], ast.Constant)):
+                if seen == n:
+                    node.args[0].value += 64
+                    return True
+                seen += 1
+    return False
+
+
+def _mut_drop_tk(tree, n: int) -> bool:
+    seen = 0
+
+    def visit(stmts) -> bool:
+        nonlocal seen
+        for i, stmt in enumerate(stmts):
+            if _match_tk_true(stmt):
+                if seen == n:
+                    stmts[i] = ast.Pass()
+                    return True
+                seen += 1
+            for attr in ("body", "orelse"):
+                children = getattr(stmt, attr, None)
+                if children and visit(children):
+                    return True
+        return False
+
+    return visit(_spine(tree).body)
+
+
+def _mut_swallow_raise(tree, n: int) -> bool:
+    if n:
+        return False
+    handler = _spine(tree).handlers[0].body
+    if handler and isinstance(handler[-1], ast.Raise) \
+            and handler[-1].exc is None:
+        handler[-1] = ast.Pass()
+        return True
+    return False
+
+
+#: (name, expected rule, description, mutator, max occurrences/region).
+MUTATORS: tuple[tuple[str, str, str, Callable, int], ...] = (
+    ("drop-commit", RULE_REGION_COMMIT,
+     "static commit removed from its landing step", _mut_drop_commit, 2),
+    ("commit-off-by-one", RULE_REGION_COMMIT,
+     "static commit shifted one step late", _mut_shift_commit, 2),
+    ("commit-wrong-reg", RULE_REGION_COMMIT,
+     "static commit retargeted to the wrong register",
+     _mut_commit_wrong_reg, 2),
+    ("drop-hold", RULE_REGION_COMMIT,
+     "write-site hold assignment dropped", _mut_drop_hold, 2),
+    ("wrong-mask", RULE_REGION_EFFECT,
+     "result/store/address mask corrupted", _mut_wrong_mask, 3),
+    ("push-wrong-reg", RULE_REGION_EFFECT,
+     "pending push heap entry retargeted", _mut_push_wrong_reg, 2),
+    ("push-latency-off-by-one", RULE_REGION_COMMIT,
+     "pending push due cycle off by one", _mut_push_latency, 2),
+    ("drop-scan", RULE_REGION_COMMIT,
+     "strict-mode hazard scan removed", _mut_drop_scan, 2),
+    ("drop-commit-check", RULE_REGION_COMMIT,
+     "per-step dynamic commit check removed", _mut_drop_commit_check, 2),
+    ("skip-exit-materialize", RULE_REGION_EXIT,
+     "escaped writes never re-enter pending on the normal exit",
+     _mut_skip_exit_materialize, 1),
+    ("drop-spill-materialize", RULE_REGION_EXIT,
+     "in-flight write dropped from the BaseException spill",
+     _mut_drop_spill_materialize, 2),
+    ("swap-spill-slots", RULE_REGION_EXIT,
+     "spill pc and pending-jump slots swapped", _mut_swap_spill_slots,
+     1),
+    ("spill-pc-off-by-one", RULE_REGION_EXIT,
+     "spilled pc off by one", _mut_spill_pc_off_by_one, 1),
+    ("materialize-due-off-by-one", RULE_REGION_EXIT,
+     "materialized pending entry lands a cycle late",
+     _mut_materialize_due, 2),
+    ("swallow-raise", RULE_REGION_EXIT,
+     "spill handler swallows the exception", _mut_swallow_raise, 1),
+    ("wrong-return-pc", RULE_REGION_STRUCT,
+     "region exit pc corrupted", _mut_wrong_return_pc, 1),
+    ("wrong-fetch-addr", RULE_REGION_STRUCT,
+     "constant-folded fetch address corrupted", _mut_wrong_fetch, 2),
+    ("drop-tk", RULE_REGION_STRUCT,
+     "taken-jump flag flip removed", _mut_drop_tk, 1),
+)
+
+
+def mutants_for(plan, spec, strict: bool,
+                source: str | None = None) -> list[SourceMutant]:
+    """All applicable mutants of one region's generated source."""
+    if source is None:
+        source = generate_source(plan, spec, strict)
+    mutants: list[SourceMutant] = []
+    for name, rule, description, mutator, limit in MUTATORS:
+        for occurrence in range(limit):
+            tree = ast.parse(source)
+            if not mutator(tree, occurrence):
+                break
+            mutants.append(SourceMutant(
+                name=f"{name}#{occurrence}", rule=rule,
+                description=description,
+                source=ast.unparse(ast.fix_missing_locations(tree))))
+    return mutants
+
+
+def run_harness(case_names: tuple[str, ...] | None = None,
+                strict_modes: tuple[bool, ...] = (False, True),
+                min_mutants: int = 0) -> HarnessReport:
+    """Sweep mutants over catalog regions and validate each.
+
+    ``case_names`` selects catalog programs (None = a representative
+    default mix covering plain, guarded, memory, multi-destination,
+    and jump-free shapes).
+    """
+    from repro.asm.link import compile_program
+    from repro.core.plan import plan_for
+    from repro.core.trace import TraceConfig, regions_for
+    from repro.eval.lockstep import lockstep_catalog
+
+    if case_names is None:
+        case_names = ("memset", "memcpy", "filter", "memcpy_super",
+                      "cabac_plain")
+    catalog = {case.name: case for case in lockstep_catalog()}
+    report = HarnessReport()
+    for name in case_names:
+        case = catalog[name]
+        linked = compile_program(case.build(), case.config.target)
+        plan = plan_for(linked)
+        regions = regions_for(plan, TraceConfig())
+        for head, spec in sorted(regions.items()):
+            for strict in strict_modes:
+                source = generate_source(plan, spec, strict)
+                for mutant in mutants_for(plan, spec, strict,
+                                          source=source):
+                    validation = validate_region(
+                        plan, spec, strict, source=mutant.source)
+                    report.outcomes.append(MutantOutcome(
+                        program=name, head=head, strict=strict,
+                        mutant=mutant, validation=validation))
+    if min_mutants and report.total < min_mutants:
+        raise AssertionError(
+            f"harness produced {report.total} mutants, "
+            f"needs >= {min_mutants}")
+    return report

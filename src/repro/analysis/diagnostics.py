@@ -47,6 +47,23 @@ RULE_IDS = (
     RULE_DEFUSE,
 )
 
+#: Rule identifiers of the trace-region translation validator
+#: (:mod:`repro.analysis.transval`, DESIGN.md section 14).  They form
+#: a separate family: these judge *generated region code* against the
+#: ExecutionPlan, not linked programs against the ISA contract.
+RULE_REGION_EFFECT = "region-effect"
+RULE_REGION_COMMIT = "region-commit"
+RULE_REGION_EXIT = "region-exit"
+RULE_REGION_STRUCT = "region-structure"
+
+#: Translation-validator rule identifiers, in catalog order.
+REGION_RULE_IDS = (
+    RULE_REGION_EFFECT,
+    RULE_REGION_COMMIT,
+    RULE_REGION_EXIT,
+    RULE_REGION_STRUCT,
+)
+
 
 def format_location(*, block: str | None = None, row: int | None = None,
                     pc: int | None = None, slot: int | None = None,

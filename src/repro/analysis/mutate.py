@@ -25,7 +25,7 @@ analysis core.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Iterator
 
 from repro.analysis.diagnostics import (
     RULE_DEFUSE,
@@ -268,7 +268,7 @@ def _add_op(program: LinkedProgram, pc: int, extra: EncodedOp,
 # Mutators — one family each; every function yields Mutant records
 # ---------------------------------------------------------------------------
 
-def mutate_shrink_latency_gap(program: LinkedProgram, limit: int):
+def mutate_shrink_latency_gap(program: LinkedProgram, limit: int) -> Iterator[Mutant]:
     """Delete a filler between a tight producer/consumer pair."""
     info = _Info(program)
     emitted = 0
@@ -290,7 +290,7 @@ def mutate_shrink_latency_gap(program: LinkedProgram, limit: int):
         emitted += 1
 
 
-def mutate_swap_consumer(program: LinkedProgram, limit: int):
+def mutate_swap_consumer(program: LinkedProgram, limit: int) -> Iterator[Mutant]:
     """Swap a consumer one instruction toward its producer."""
     info = _Info(program)
     emitted = 0
@@ -312,7 +312,7 @@ def mutate_swap_consumer(program: LinkedProgram, limit: int):
         emitted += 1
 
 
-def mutate_writeback_collision(program: LinkedProgram, limit: int):
+def mutate_writeback_collision(program: LinkedProgram, limit: int) -> Iterator[Mutant]:
     """Insert a 1-latency write retiring with an in-flight write."""
     info = _Info(program)
     emitted = 0
@@ -341,7 +341,7 @@ def mutate_writeback_collision(program: LinkedProgram, limit: int):
             break
 
 
-def mutate_illegal_slot(program: LinkedProgram, limit: int):
+def mutate_illegal_slot(program: LinkedProgram, limit: int) -> Iterator[Mutant]:
     """Move an operation to a slot its functional unit is absent from."""
     info = _Info(program)
     emitted = 0
@@ -368,7 +368,7 @@ def mutate_illegal_slot(program: LinkedProgram, limit: int):
             break
 
 
-def mutate_double_occupancy(program: LinkedProgram, limit: int):
+def mutate_double_occupancy(program: LinkedProgram, limit: int) -> Iterator[Mutant]:
     """Issue two single-slot operations into one slot."""
     info = _Info(program)
     emitted = 0
@@ -390,7 +390,7 @@ def mutate_double_occupancy(program: LinkedProgram, limit: int):
         emitted += 1
 
 
-def mutate_break_pairing(program: LinkedProgram, limit: int):
+def mutate_break_pairing(program: LinkedProgram, limit: int) -> Iterator[Mutant]:
     """Occupy a super-op's continuation slot / push it off the edge."""
     info = _Info(program)
     emitted = 0
@@ -422,7 +422,7 @@ def mutate_break_pairing(program: LinkedProgram, limit: int):
             break
 
 
-def mutate_extra_mem_op(program: LinkedProgram, limit: int):
+def mutate_extra_mem_op(program: LinkedProgram, limit: int) -> Iterator[Mutant]:
     """Duplicate a memory op past the target's per-instruction limit."""
     info = _Info(program)
     target = info.target
@@ -461,7 +461,7 @@ def mutate_extra_mem_op(program: LinkedProgram, limit: int):
         emitted += 1
 
 
-def mutate_truncate_shadow(program: LinkedProgram, limit: int):
+def mutate_truncate_shadow(program: LinkedProgram, limit: int) -> Iterator[Mutant]:
     """Delete trailing instructions until a jump shadow runs off."""
     info = _Info(program)
     live_jumps = [pc for pc in sorted(info.jump_pcs)
@@ -487,7 +487,7 @@ def mutate_truncate_shadow(program: LinkedProgram, limit: int):
         relink(program, instructions, index_map, "truncate-shadow"))
 
 
-def mutate_jump_in_shadow(program: LinkedProgram, limit: int):
+def mutate_jump_in_shadow(program: LinkedProgram, limit: int) -> Iterator[Mutant]:
     """Issue a second jump inside an existing jump's delay shadow."""
     info = _Info(program)
     emitted = 0
@@ -512,7 +512,7 @@ def mutate_jump_in_shadow(program: LinkedProgram, limit: int):
             break
 
 
-def mutate_bad_immediate(program: LinkedProgram, limit: int):
+def mutate_bad_immediate(program: LinkedProgram, limit: int) -> Iterator[Mutant]:
     """Widen a non-jump immediate past its encodable field."""
     info = _Info(program)
     emitted = 0
@@ -534,7 +534,7 @@ def mutate_bad_immediate(program: LinkedProgram, limit: int):
             break
 
 
-def mutate_compress_jump_target(program: LinkedProgram, limit: int):
+def mutate_compress_jump_target(program: LinkedProgram, limit: int) -> Iterator[Mutant]:
     """Strip the uncompressed-encoding mark off a jump target."""
     info = _Info(program)
     emitted = 0
@@ -553,7 +553,7 @@ def mutate_compress_jump_target(program: LinkedProgram, limit: int):
         emitted += 1
 
 
-def mutate_undefined_read(program: LinkedProgram, limit: int):
+def mutate_undefined_read(program: LinkedProgram, limit: int) -> Iterator[Mutant]:
     """Redirect a source operand to a never-written register."""
     info = _Info(program)
     ghost = info.unwritten_reg()

@@ -1,0 +1,1261 @@
+"""Translation validator for trace-region codegen.
+
+``repro.core.trace._generate`` emits a specialized Python function per
+hot region.  This module re-checks every such function *without
+trusting the generator*: the source is parsed to an AST, obligations
+are re-derived straight from the :class:`~repro.core.plan.ExecutionPlan`
+(:mod:`repro.analysis.absint`), and the generated code is judged by a
+mix of structural matching and abstract interpretation under probe
+environments (DESIGN.md section 14).  Four obligation families map to
+the four ``region-*`` rule identifiers:
+
+* **effect completeness** (``region-effect``) — every plan op produces
+  exactly its registry write-set; values, masks, immediates, memory
+  access streams, and architectural counters are compared against the
+  plan-bound registry semantic run on identical probe inputs.
+* **commit-cycle legality** (``region-commit``) — the static/escaped/
+  dynamic write partition is re-derived from scratch and diffed
+  against the generated holds/pushes; every static hold commits at
+  exactly its landing step, after the dynamic commit check, never
+  before a strict-mode hazard scan it could race.
+* **exit/spill completeness** (``region-exit``) — escaped writes are
+  materialized into pending/heap on the normal exit path and the
+  BaseException spill; spill slots are pure functions of retired
+  count + static jump geometry (checked by executing both paths under
+  sentinel environments).
+* **jump-shape/delay-window structure** (``region-structure``) — one
+  resolved jump, delay window enclosed, step-0 dynamic chunk walk,
+  constant-folded fetches afterwards, the fixed return-tuple shape.
+
+Failures are :class:`~repro.analysis.diagnostics.Diagnostic` records
+sharing the PR 3 location vocabulary.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from bisect import insort
+from dataclasses import dataclass, field
+from heapq import heappush
+from typing import Callable
+
+from repro.analysis.absint import (
+    M32,
+    MMIO_LO,
+    EvalError,
+    FetchPlan,
+    Geometry,
+    Interp,
+    MemRecorder,
+    ProbeCtx,
+    Schedule,
+    derive_fetch_plan,
+    derive_geometry,
+    derive_schedule,
+    probe_regfiles,
+    reference_effects,
+)
+from repro.analysis.diagnostics import (
+    RULE_REGION_COMMIT,
+    RULE_REGION_EFFECT,
+    RULE_REGION_EXIT,
+    RULE_REGION_STRUCT,
+    SEV_ERROR,
+    Diagnostic,
+    format_location,
+)
+from repro.core.plan import (
+    OP_DSTS,
+    OP_FU,
+    OP_GUARD,
+    OP_IMM,
+    OP_IS_JUMP,
+    OP_IS_MEM,
+    OP_LATENCY,
+    OP_NAME,
+    OP_SEMANTIC,
+    OP_SRCS,
+)
+
+#: Probe time base: far from any region-relative step offset.
+_NOW0 = 1 << 20
+
+#: Base probe register files per step (plus crafted guard/mem files).
+PROBE_FILES = 4
+
+_HOLD_RE = re.compile(r"_w\d+\Z")
+
+#: Memory-op byte widths, re-derived from the ISA contract (not the
+#: codegen's tables) so a doctored width is a real finding.
+_LOAD_BYTES = {"ld32": 4, "ld32d": 4, "uld16d": 2, "ild16d": 2,
+               "uld8d": 1, "ild8d": 1}
+_STORE_BYTES = {"st32d": 4, "st16d": 2, "st8d": 1}
+
+#: The generated function's fixed parameter list — the ABI shared with
+#: the processor's trace block loop.
+_ARG_NAMES = (
+    "values", "pending", "heap", "commit_until", "ctx", "mem_load",
+    "mem_store", "mmio_load", "mmio_store", "icache_fetch",
+    "dcache_access", "observe_load", "prefetch_queue", "prefetch_tick",
+    "obs", "fu_totals", "now0", "cycle", "last_chunk", "instr0",
+    "watchdog_limit", "program_name", "config_name", "max_cycles",
+    "spill",
+)
+
+#: Return-tuple tail: names of elements 3..10.
+_RETURN_NAMES = ("_ex", "_jt", "_ic", "_dc", "_mm", "_rd", "_wr", "_cbf")
+
+#: Spill protocol: slot index -> local spilled there (slots 11/12 are
+#: the computed pc / pending-jump expressions, checked separately).
+_SPILL_NAMES = ("_t", "cycle", "_ic", "_dc", "_cbf", "_mm", "_ex", "_jt",
+                "_rd", "_wr", "_gr")
+
+#: Architectural counters that must leave the prologue at zero.
+_ZERO_COUNTERS = ("_ex", "_jt", "_ic", "_dc", "_mm", "_rd", "_wr",
+                  "_gr", "_cbf", "_t")
+
+
+# ---------------------------------------------------------------------------
+# AST pattern matchers
+# ---------------------------------------------------------------------------
+
+def _is_name(node: ast.AST, name: str) -> bool:
+    return isinstance(node, ast.Name) and node.id == name
+
+
+def _const_int(node: ast.AST) -> int | None:
+    if isinstance(node, ast.Constant) and type(node.value) is int:
+        return node.value
+    return None
+
+
+def _is_watchdog(stmt: ast.stmt) -> bool:
+    """``if cycle > watchdog_limit:`` — the per-step terminator."""
+    if not isinstance(stmt, ast.If) or not isinstance(stmt.test, ast.Compare):
+        return False
+    test = stmt.test
+    return (_is_name(test.left, "cycle") and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Gt)
+            and _is_name(test.comparators[0], "watchdog_limit"))
+
+
+def _match_commit(stmt: ast.stmt) -> tuple[int, str, bool] | None:
+    """Match a static commit: ``values[reg] = _wk`` or its guarded
+    ``if _wk is not None:`` form.  Returns ``(reg, hold, guarded)``."""
+    if isinstance(stmt, ast.If) and len(stmt.body) == 1 and not stmt.orelse:
+        test = stmt.test
+        if (isinstance(test, ast.Compare) and len(test.ops) == 1
+                and isinstance(test.ops[0], ast.IsNot)
+                and isinstance(test.left, ast.Name)
+                and _HOLD_RE.match(test.left.id)
+                and isinstance(test.comparators[0], ast.Constant)
+                and test.comparators[0].value is None):
+            inner = _match_commit(stmt.body[0])
+            if inner is not None and not inner[2] and inner[1] == test.left.id:
+                return (inner[0], inner[1], True)
+        return None
+    if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+        target = stmt.targets[0]
+        if (isinstance(target, ast.Subscript)
+                and _is_name(target.value, "values")
+                and isinstance(stmt.value, ast.Name)
+                and _HOLD_RE.match(stmt.value.id)):
+            reg = _const_int(target.slice)
+            if reg is not None:
+                return (reg, stmt.value.id, False)
+    return None
+
+
+def _match_scan(stmt: ast.stmt) -> int | None:
+    """Match a strict-mode hazard scan header; returns the scanned reg."""
+    if not isinstance(stmt, ast.If):
+        return None
+    test = stmt.test
+    if (isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And)
+            and len(test.values) == 2 and _is_name(test.values[0], "hz")
+            and isinstance(test.values[1], ast.Compare)):
+        cmp = test.values[1]
+        if (len(cmp.ops) == 1 and isinstance(cmp.ops[0], ast.In)
+                and _is_name(cmp.comparators[0], "pending")):
+            return _const_int(cmp.left)
+    return None
+
+
+def _match_tk_true(stmt: ast.stmt) -> bool:
+    return (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+            and _is_name(stmt.targets[0], "_tk")
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is True)
+
+
+def _parse_heappush(call: ast.Call):
+    """Parse ``heappush(heap, (now + lat, reg))``; reg may be a
+    constant (single-dst push) or ``_dreg`` (zip-driven push)."""
+    if len(call.args) != 2 or not _is_name(call.args[0], "heap"):
+        return None
+    entry = call.args[1]
+    if not isinstance(entry, ast.Tuple) or len(entry.elts) != 2:
+        return None
+    due = entry.elts[0]
+    if not (isinstance(due, ast.BinOp) and isinstance(due.op, ast.Add)
+            and _is_name(due.left, "now")):
+        return None
+    lat = _const_int(due.right)
+    if lat is None:
+        return None
+    reg = _const_int(entry.elts[1])
+    if reg is not None:
+        return ("push", reg, lat)
+    if _is_name(entry.elts[1], "_dreg"):
+        return ("dynpush", None, lat)
+    return None
+
+
+def _collect(stmts, match: Callable, out=None) -> list:
+    """In-order recursive collection; a matched statement's own body
+    is not descended into (guarded commits would double-count)."""
+    if out is None:
+        out = []
+    for stmt in stmts:
+        found = match(stmt)
+        if found is not None and found is not False:
+            out.append(found)
+            continue
+        for attr in ("body", "orelse"):
+            children = getattr(stmt, attr, None)
+            if children:
+                _collect(children, match, out)
+    return out
+
+
+def _collect_terminals(stmts) -> list[tuple]:
+    """In-order write terminals of a step's op segment: ``("hold",
+    name)``, ``("push", reg, lat)``, or ``("zip", dsts, lat)``."""
+    out: list[tuple] = []
+    for stmt in stmts:
+        if (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and _HOLD_RE.match(stmt.targets[0].id)):
+            out.append(("hold", stmt.targets[0].id))
+        elif (isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call)
+                and _is_name(stmt.value.func, "heappush")):
+            push = _parse_heappush(stmt.value)
+            if push is not None:
+                out.append(push)
+        elif isinstance(stmt, ast.For):
+            it = stmt.iter
+            if isinstance(it, ast.Call) and _is_name(it.func, "zip"):
+                dsts: tuple | None = None
+                if it.args and isinstance(it.args[0], ast.Tuple):
+                    elts = [_const_int(e) for e in it.args[0].elts]
+                    if all(e is not None for e in elts):
+                        dsts = tuple(elts)
+                inner = _collect_terminals(stmt.body)
+                lat = next((p[2] for p in inner if p[0] == "dynpush"),
+                           None)
+                out.append(("zip", dsts, lat))
+            else:
+                # e.g. a hazard scan's pending walk — not a write site.
+                out.extend(_collect_terminals(stmt.body))
+        elif isinstance(stmt, (ast.If, ast.While)):
+            out.extend(_collect_terminals(stmt.body))
+            out.extend(_collect_terminals(stmt.orelse))
+    return out
+
+
+def _calls_to(stmts, name: str) -> list[ast.Call]:
+    """All calls to ``name`` under ``stmts``, in statement order."""
+    out: list[ast.Call] = []
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if (isinstance(node, ast.Call) and _is_name(node.func, name)):
+                out.append(node)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Results
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RegionValidation:
+    """Validation outcome of one compiled region."""
+
+    program: str
+    head: int
+    length: int
+    strict: bool
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not any(d.is_error for d in self.diagnostics)
+
+    def format(self) -> str:
+        where = format_location(pc=self.head)
+        mode = "strict" if self.strict else "lenient"
+        header = (f"region {where} +{self.length} of {self.program!r} "
+                  f"({mode})")
+        if self.ok:
+            return f"{header}: ok"
+        lines = [f"{header}: {len(self.diagnostics)} finding(s)"]
+        lines.extend(f"  {diag.format()}" for diag in self.diagnostics)
+        return "\n".join(lines)
+
+
+class TranslationValidationError(Exception):
+    """A compiled region failed translation validation."""
+
+    def __init__(self, validation: RegionValidation) -> None:
+        self.validation = validation
+        super().__init__(validation.format())
+
+
+# ---------------------------------------------------------------------------
+# The checker
+# ---------------------------------------------------------------------------
+
+class _RegionChecker:
+    """One region's validation pass.  Collects diagnostics; never
+    raises on bad generated code (an unparseable or structurally alien
+    source is itself a ``region-structure`` finding)."""
+
+    def __init__(self, plan, head: int, length: int, strict: bool,
+                 source: str, program_name: str) -> None:
+        self.plan = plan
+        self.head = head
+        self.length = length
+        self.strict = strict
+        self.source = source
+        self.program = program_name
+        self.diags: list[Diagnostic] = []
+        self.declared_holds: set[str] = set()
+        self.hold_names: dict[int, str] = {}   # obligation index -> local
+        self.schedule: Schedule | None = None
+        self.geometry: Geometry | None = None
+        self.fetch: FetchPlan | None = None
+
+    # -- bookkeeping --------------------------------------------------
+
+    def error(self, rule: str, message: str, *, step: int | None = None,
+              slot: int | None = None, op: str | None = None) -> None:
+        pc = None if step is None else self.head + step
+        self.diags.append(Diagnostic(rule, SEV_ERROR, message,
+                                     pc=pc, slot=slot, op=op))
+
+    def _has_jump_flag(self) -> bool:
+        return self.geometry is not None and self.geometry.kind in (
+            "static-taken", "dynamic")
+
+    # -- entry point --------------------------------------------------
+
+    def check(self) -> list[Diagnostic]:
+        try:
+            self.geometry = derive_geometry(self.plan, self.head,
+                                            self.length)
+        except ValueError as exc:
+            self.error(RULE_REGION_STRUCT, str(exc))
+            return self.diags
+        geo = self.geometry
+        if geo.jump_pos is not None:
+            enclosed = geo.jump_pos - self.head + geo.delay + 1
+            if enclosed != self.length:
+                self.error(
+                    RULE_REGION_STRUCT,
+                    f"delay window not enclosed: jump at "
+                    f"{format_location(pc=geo.jump_pos)} + {geo.delay} "
+                    f"delay slots needs length {enclosed}, region has "
+                    f"{self.length}")
+        self.schedule = derive_schedule(self.plan, self.head, self.length,
+                                        self.strict)
+        self.fetch = derive_fetch_plan(self.plan, self.head, self.length)
+
+        try:
+            tree = ast.parse(self.source)
+        except SyntaxError as exc:
+            self.error(RULE_REGION_STRUCT,
+                       f"generated source does not parse: {exc}")
+            return self.diags
+        if (len(tree.body) != 1
+                or not isinstance(tree.body[0], ast.FunctionDef)
+                or tree.body[0].name != "_region"):
+            self.error(RULE_REGION_STRUCT,
+                       "source must define exactly one function _region")
+            return self.diags
+        fn = tree.body[0]
+        params = tuple(arg.arg for arg in fn.args.args)
+        if params != _ARG_NAMES:
+            self.error(RULE_REGION_STRUCT,
+                       f"parameter list {params} differs from the "
+                       "processor ABI")
+            return self.diags
+
+        try_idx = next((i for i, stmt in enumerate(fn.body)
+                        if isinstance(stmt, ast.Try)), None)
+        if try_idx is None:
+            self.error(RULE_REGION_STRUCT, "missing try/except spine")
+            return self.diags
+        self._check_prologue(fn.body[:try_idx])
+        spine = fn.body[try_idx]
+        if fn.body[try_idx + 1:]:
+            self.error(RULE_REGION_STRUCT,
+                       "statements after the try/except spine")
+        if (len(spine.handlers) != 1 or spine.orelse or spine.finalbody
+                or spine.handlers[0].type is None
+                or not _is_name(spine.handlers[0].type, "BaseException")):
+            self.error(RULE_REGION_EXIT,
+                       "spine must have exactly one BaseException "
+                       "handler and no else/finally")
+            return self.diags
+
+        steps: list[list[ast.stmt]] = []
+        current: list[ast.stmt] = []
+        for stmt in spine.body:
+            current.append(stmt)
+            if _is_watchdog(stmt):
+                steps.append(current)
+                current = []
+        if len(steps) != self.length:
+            self.error(RULE_REGION_STRUCT,
+                       f"found {len(steps)} watchdog-terminated steps, "
+                       f"plan region has {self.length} instructions")
+            return self.diags
+        for t, seg in enumerate(steps):
+            self._check_step(t, seg)
+        self._check_exit(current)
+        self._check_handler(spine.handlers[0].body)
+        return self.diags
+
+    # -- prologue -----------------------------------------------------
+
+    def _check_prologue(self, stmts) -> None:
+        env: dict = {"now0": _NOW0}
+        try:
+            Interp(env).run(stmts)
+        except EvalError as exc:
+            self.error(RULE_REGION_STRUCT, f"prologue not evaluable: {exc}")
+            return
+        self.declared_holds = {name for name in env
+                               if _HOLD_RE.match(name)}
+        for name in sorted(self.declared_holds):
+            if env[name] is not None:
+                self.error(RULE_REGION_EXIT,
+                           f"hold {name} must initialize to None for "
+                           "except-path totality")
+        for counter in _ZERO_COUNTERS:
+            if env.get(counter) != 0:
+                self.error(RULE_REGION_EFFECT,
+                           f"counter {counter} must leave the prologue "
+                           f"at 0, is {env.get(counter)!r}")
+        if env.get("now") != _NOW0:
+            self.error(RULE_REGION_COMMIT,
+                       "prologue must initialize now = now0")
+        if self._has_jump_flag():
+            if env.get("_tk") is not False:
+                self.error(RULE_REGION_STRUCT,
+                           "region with a resolvable jump must "
+                           "initialize _tk = False")
+        elif "_tk" in env:
+            self.error(RULE_REGION_STRUCT,
+                       "_tk initialized in a region with no taken jump")
+
+    # -- per step -----------------------------------------------------
+
+    def _step_ops(self, t: int):
+        return self.plan.ops[self.head + t]
+
+    def _site_list(self, t: int):
+        assert self.schedule is not None
+        sites = [(slot, obs) for (tw, slot), obs
+                 in self.schedule.by_site.items() if tw == t]
+        sites.sort(key=lambda item: item[0])
+        return sites
+
+    def _check_step(self, t: int, seg: list[ast.stmt]) -> None:
+        ops = self._step_ops(t)
+        idx = 0
+        if t:
+            ok = (idx < len(seg) and isinstance(seg[idx], ast.AugAssign)
+                  and isinstance(seg[idx].op, ast.Add)
+                  and _is_name(seg[idx].target, "now")
+                  and _const_int(seg[idx].value) == 1)
+            if ok:
+                idx += 1
+            else:
+                self.error(RULE_REGION_COMMIT,
+                           "step must advance now by exactly 1", step=t)
+        commit_ok = (idx < len(seg) and isinstance(seg[idx], ast.If)
+                     and bool(_calls_to(seg[idx].body, "commit_until")))
+        if commit_ok:
+            idx += 1
+        else:
+            self.error(RULE_REGION_COMMIT,
+                       "step missing the dynamic commit check "
+                       "(heap head vs now)", step=t)
+
+        # Static commits landing this step, immediately after the
+        # dynamic commit check, ordered by issue step.
+        assert self.schedule is not None
+        expected_commits = self.schedule.commits_at.get(t, [])
+        observed: list[tuple[int, str, bool]] = []
+        while idx < len(seg):
+            found = _match_commit(seg[idx])
+            if found is None:
+                break
+            observed.append(found)
+            idx += 1
+        for pos in range(max(len(expected_commits), len(observed))):
+            ob = expected_commits[pos] if pos < len(expected_commits) else None
+            got = observed[pos] if pos < len(observed) else None
+            if ob is None and got is not None:
+                self.error(RULE_REGION_COMMIT,
+                           f"unexpected static commit of r{got[0]} "
+                           f"(no derived write lands here)", step=t)
+                continue
+            if ob is not None and got is None:
+                self.error(RULE_REGION_COMMIT,
+                           f"missing static commit of r{ob.reg} "
+                           f"(write issued at step {ob.t_w} lands here)",
+                           step=t, slot=ob.slot)
+                continue
+            assert ob is not None and got is not None
+            reg, hold, guarded = got
+            if reg != ob.reg:
+                self.error(RULE_REGION_COMMIT,
+                           f"commit targets r{reg}, derived landing "
+                           f"write is r{ob.reg}", step=t, slot=ob.slot)
+            want = self.hold_names.get(ob.index)
+            if want is not None and hold != want:
+                self.error(RULE_REGION_COMMIT,
+                           f"commit of r{ob.reg} reads {hold}, its "
+                           f"write site holds {want}", step=t,
+                           slot=ob.slot)
+            if guarded != ob.guarded:
+                self.error(RULE_REGION_COMMIT,
+                           f"commit of r{ob.reg} must{'' if ob.guarded else ' not'} "
+                           "be None-guarded", step=t, slot=ob.slot)
+
+        boundary = next(
+            (i for i in range(idx, len(seg))
+             if (isinstance(seg[i], ast.Assign)
+                 and len(seg[i].targets) == 1
+                 and _is_name(seg[i].targets[0], "_stall")
+                 and _const_int(seg[i].value) == 0)
+             or (isinstance(seg[i], ast.If)
+                 and _is_name(seg[i].test, "prefetch_queue"))),
+            None)
+        if boundary is None:
+            self.error(RULE_REGION_STRUCT,
+                       "step missing its timing phase", step=t)
+            boundary = len(seg) - 1
+
+        strays = _collect(seg[idx:boundary], _match_commit)
+        for reg, _hold, _guarded in strays:
+            self.error(RULE_REGION_COMMIT,
+                       f"commit of r{reg} outside the landing slot "
+                       "(must follow the dynamic commit check)", step=t)
+
+        self._check_sites(t, seg[idx:boundary], ops)
+        self._check_scans(t, seg[idx:boundary], ops)
+        self._check_tk(t, seg, ops)
+        self._probe_step(t, seg[:boundary], ops)
+        self._check_timing(t, seg[boundary:-1], ops)
+
+    def _check_sites(self, t: int, stmts, ops) -> None:
+        terminals = _collect_terminals(stmts)
+        cursor = 0
+        for slot, site in self._site_list(t):
+            op = ops[slot]
+            name = op[OP_NAME]
+            terminal = terminals[cursor] if cursor < len(terminals) else None
+            if len(site) > 1:
+                if terminal is None or terminal[0] != "zip":
+                    self.error(RULE_REGION_EFFECT,
+                               f"multi-destination {name} lost its "
+                               "zip-driven push", step=t, slot=slot,
+                               op=name)
+                    continue
+                cursor += 1
+                dsts, lat = terminal[1], terminal[2]
+                if dsts != tuple(op[OP_DSTS]):
+                    self.error(RULE_REGION_EFFECT,
+                               f"{name} routes results to {dsts}, plan "
+                               f"write-set is {tuple(op[OP_DSTS])}",
+                               step=t, slot=slot, op=name)
+                if lat != op[OP_LATENCY]:
+                    self.error(RULE_REGION_COMMIT,
+                               f"{name} pushes with latency {lat}, plan "
+                               f"says {op[OP_LATENCY]}", step=t,
+                               slot=slot, op=name)
+                continue
+            ob = site[0]
+            if ob.dynamic:
+                if terminal is None or terminal[0] != "push":
+                    self.error(RULE_REGION_COMMIT,
+                               f"write of r{ob.reg} derived dynamic "
+                               "(demoted) but not generated as a "
+                               "pending push", step=t, slot=slot, op=name)
+                    continue
+                cursor += 1
+                if terminal[1] != ob.reg:
+                    self.error(RULE_REGION_EFFECT,
+                               f"{name} pushes to r{terminal[1]}, plan "
+                               f"destination is r{ob.reg}", step=t,
+                               slot=slot, op=name)
+                if terminal[2] != ob.latency:
+                    self.error(RULE_REGION_COMMIT,
+                               f"{name} pushes r{ob.reg} with latency "
+                               f"{terminal[2]}, plan says {ob.latency}",
+                               step=t, slot=slot, op=name)
+                continue
+            if terminal is None or terminal[0] != "hold":
+                self.error(RULE_REGION_COMMIT,
+                           f"write of r{ob.reg} derived static but not "
+                           "held in a commit local", step=t, slot=slot,
+                           op=name)
+                continue
+            cursor += 1
+            hold = terminal[1]
+            if hold not in self.declared_holds:
+                self.error(RULE_REGION_EXIT,
+                           f"hold {hold} not None-initialized in the "
+                           "prologue (except path is not total)",
+                           step=t, slot=slot, op=name)
+            if hold in self.hold_names.values():
+                self.error(RULE_REGION_COMMIT,
+                           f"hold {hold} reused by a second write site",
+                           step=t, slot=slot, op=name)
+            self.hold_names[ob.index] = hold
+        for extra in terminals[cursor:]:
+            self.error(RULE_REGION_EFFECT,
+                       f"write terminal {extra[:2]} has no deriving "
+                       "plan op", step=t)
+
+    def _check_scans(self, t: int, stmts, ops) -> None:
+        observed = _collect(stmts, _match_scan)
+        expected: list[int] = []
+        if self.strict:
+            for op in ops:
+                if op[OP_GUARD] != 1:
+                    expected.append(op[OP_GUARD])
+                expected.extend(reg for reg in op[OP_SRCS]
+                                if reg not in (0, 1))
+        if observed != expected:
+            self.error(RULE_REGION_COMMIT,
+                       f"hazard scans cover {observed}, derived "
+                       f"obligation is {expected}", step=t)
+
+    def _check_tk(self, t: int, seg, ops) -> None:
+        flips = _collect(seg, lambda s: True if _match_tk_true(s) else None)
+        geo = self.geometry
+        assert geo is not None
+        expect = (1 if self._has_jump_flag()
+                  and geo.jump_pos == self.head + t else 0)
+        if len(flips) != expect:
+            self.error(RULE_REGION_STRUCT,
+                       f"{len(flips)} _tk flips at this step, jump "
+                       f"geometry requires {expect}", step=t)
+
+    # -- differential probing -----------------------------------------
+
+    def _probe_step(self, t: int, stmts, ops) -> None:
+        guards = sorted({op[OP_GUARD] for op in ops
+                         if op[OP_GUARD] not in (0, 1)})
+        base = probe_regfiles(PROBE_FILES)
+        variants = [list(values) for values in base]
+        for guard in guards:
+            odd = list(base[0])
+            odd[guard] |= 1
+            even = list(base[1 % len(base)])
+            even[guard] &= ~1 & M32
+            variants.extend((odd, even))
+        for op in ops:
+            if not op[OP_IS_MEM] or op[OP_NAME] not in (
+                    *_LOAD_BYTES, *_STORE_BYTES):
+                continue
+            srcs = op[OP_SRCS]
+            if not srcs or srcs[0] in (0, 1):
+                continue
+            imm = op[OP_IMM] or 0
+            for addr in (MMIO_LO + 0x40, 0xFFFFFFF0):
+                crafted = list(base[2 % len(base)])
+                if op[OP_NAME] == "ld32" and len(srcs) == 2:
+                    offset = crafted[srcs[1]] if srcs[1] != srcs[0] else 0
+                    crafted[srcs[0]] = (addr - offset) & M32
+                else:
+                    crafted[srcs[0]] = (addr - imm) & M32
+                for guard in guards:
+                    crafted[guard] |= 1
+                variants.append(crafted)
+        for values in variants:
+            before = len(self.diags)
+            self._probe_once(t, stmts, ops, values)
+            if len(self.diags) > before:
+                break   # one probe's findings are enough per step
+
+    def _probe_once(self, t: int, stmts, ops, values) -> None:
+        assert self.schedule is not None
+        recorder = MemRecorder()
+        ctx = ProbeCtx(recorder)
+        env: dict = {
+            "values": list(values),
+            "pending": {}, "heap": [],
+            "now": _NOW0 + (t - 1 if t else 0), "now0": _NOW0,
+            "cycle": 31337,
+            "commit_until": lambda limit: None,
+            "ctx": ctx,
+            "mem_load": recorder.mem_load,
+            "mem_store": recorder.mem_store,
+            "mmio_load": recorder.mmio_load,
+            "mmio_store": recorder.mmio_store,
+            "insort": insort, "heappush": heappush, "zip": zip,
+            "bool": bool,
+            "fu_totals": [0] * 64,
+        }
+        for counter in _ZERO_COUNTERS:
+            env[counter] = 0
+        for name in self.declared_holds:
+            env[name] = None
+        sentinels: dict[int, int] = {}
+        commits = self.schedule.commits_at.get(t, [])
+        for ob in commits:
+            hold = self.hold_names.get(ob.index)
+            if hold is None:
+                continue
+            sentinels[ob.index] = (0x5EED0000 + ob.index) & M32
+            env[hold] = sentinels[ob.index]
+        if self._has_jump_flag():
+            env["_tk"] = False
+        for name, sem in self._step_sems(ops).items():
+            env[name] = sem
+
+        # Reference state: commits land before any op issues.
+        ref_values = list(values)
+        for ob in commits:
+            if ob.index in sentinels:
+                ref_values[ob.reg] = sentinels[ob.index]
+        refs: list = []
+        expected_events: list[tuple] = []
+        for op in ops:
+            if op[OP_IS_JUMP] or op[OP_NAME] == "nop":
+                refs.append(None)
+                continue
+            try:
+                executed, results, events = reference_effects(op,
+                                                              ref_values)
+            except Exception:
+                # Partial-domain semantic (e.g. CABAC table lookups):
+                # this probe file is outside the op's domain, and the
+                # generated code would raise identically.  Skip the
+                # variant; structural checks still bind this step.
+                return
+            refs.append((executed, results))
+            expected_events.extend(events)
+
+        try:
+            outcome = Interp(env).run(stmts)
+        except EvalError as exc:
+            self.error(RULE_REGION_EFFECT,
+                       f"step not evaluable under probe: {exc}", step=t)
+            return
+        except Exception as exc:
+            # The reference semantics ran clean on this probe file, so
+            # a raise here is the generated code diverging (e.g. a
+            # dropped hold feeding None into arithmetic).
+            self.error(RULE_REGION_EFFECT,
+                       f"step raised {type(exc).__name__} under a probe "
+                       f"the registry semantics accept: {exc}", step=t)
+            return
+        if outcome is not None:
+            self.error(RULE_REGION_EFFECT,
+                       f"step left its straight line (outcome "
+                       f"{outcome!r}) under probe", step=t)
+            return
+
+        if recorder.events != expected_events:
+            self.error(RULE_REGION_EFFECT,
+                       f"memory access stream {recorder.events} differs "
+                       f"from registry semantics {expected_events}",
+                       step=t)
+        now = _NOW0 + t
+        for slot, site in self._site_list(t):
+            op = ops[slot]
+            ref = refs[slot]
+            if ref is None:
+                continue
+            executed, results = ref
+            for pos, ob in enumerate(site):
+                value = results[pos] if executed and pos < len(results) \
+                    else None
+                if ob.dynamic:
+                    entries = [e for e in env["pending"].get(ob.reg, [])
+                               if e[1] == now]
+                    want = [(now + ob.latency, now, value)] if executed \
+                        else []
+                    if executed and (now + ob.latency, ob.reg) \
+                            not in env["heap"]:
+                        self.error(RULE_REGION_COMMIT,
+                                   f"pending push of r{ob.reg} missing "
+                                   "its heap entry", step=t, slot=slot,
+                                   op=op[OP_NAME])
+                    if sorted(entries) != sorted(want):
+                        self.error(RULE_REGION_EFFECT,
+                                   f"{op[OP_NAME]} pending entries for "
+                                   f"r{ob.reg} are {entries}, registry "
+                                   f"semantics require {want}", step=t,
+                                   slot=slot, op=op[OP_NAME])
+                    continue
+                hold = self.hold_names.get(ob.index)
+                if hold is None:
+                    continue
+                if env.get(hold) != value:
+                    self.error(RULE_REGION_EFFECT,
+                               f"{op[OP_NAME]} holds {env.get(hold)!r} "
+                               f"for r{ob.reg}, registry semantics give "
+                               f"{value!r} (value/mask/immediate "
+                               "mismatch)", step=t, slot=slot,
+                               op=op[OP_NAME])
+        for ob in commits:
+            if ob.index in sentinels \
+                    and env["values"][ob.reg] != sentinels[ob.index]:
+                self.error(RULE_REGION_COMMIT,
+                           f"static commit did not store the r{ob.reg} "
+                           "hold into the register file", step=t,
+                           slot=ob.slot)
+        for reg in range(len(values)):
+            if env["values"][reg] != ref_values[reg]:
+                self.error(RULE_REGION_EFFECT,
+                           f"stray register-file write to r{reg} "
+                           "(in-step writes must go through holds or "
+                           "pending)", step=t)
+                break
+        self._check_counters(t, env, ops, ref_values)
+
+    def _step_sems(self, ops) -> dict:
+        sems: dict = {}
+        for op in ops:
+            sems[f"_sem_{op[OP_NAME]}"] = op[OP_SEMANTIC]
+        return sems
+
+    def _check_counters(self, t: int, env, ops, ref_values) -> None:
+        def runs(op) -> bool:
+            guard = op[OP_GUARD]
+            return guard == 1 or bool(ref_values[guard] & 1)
+
+        executed = [op for op in ops if runs(op)]
+        expect = {
+            "_ex": len(executed),
+            "_gr": len(ops),
+            "_rd": sum(len(op[OP_SRCS]) for op in executed),
+            "_wr": sum(0 if op[OP_IS_JUMP] or op[OP_NAME] == "nop"
+                       or not op[OP_DSTS]
+                       else (1 if len(op[OP_DSTS]) == 1
+                             else len(op[OP_DSTS]))
+                       for op in executed),
+        }
+        geo = self.geometry
+        assert geo is not None
+        jump_taken = any(op[OP_IS_JUMP] and op[OP_NAME] != "jmpf"
+                         for op in executed)
+        expect["_jt"] = 1 if jump_taken else 0
+        for counter, want in expect.items():
+            if env.get(counter) != want:
+                self.error(RULE_REGION_EFFECT,
+                           f"counter {counter} is {env.get(counter)!r} "
+                           f"after the step, interpreter counts {want}",
+                           step=t)
+        fu_want = [0] * 64
+        for op in executed:
+            fu_want[op[OP_FU]] += 1
+        if env.get("fu_totals") != fu_want:
+            self.error(RULE_REGION_EFFECT,
+                       "fu_totals distribution differs from the plan's "
+                       "executed ops", step=t)
+        if self._has_jump_flag():
+            if env.get("_tk") != jump_taken:
+                self.error(RULE_REGION_STRUCT,
+                           f"_tk is {env.get('_tk')!r} after the step, "
+                           f"jump geometry says {jump_taken}", step=t)
+
+    # -- timing phase -------------------------------------------------
+
+    def _check_timing(self, t: int, stmts, ops) -> None:
+        assert self.fetch is not None
+        fetch_calls = _calls_to(stmts, "icache_fetch")
+        if t == 0:
+            self._check_head_fetch(stmts, fetch_calls)
+        else:
+            expected = list(self.fetch.fetches[t - 1])
+            observed = [_const_int(call.args[0]) if call.args else None
+                        for call in fetch_calls]
+            if observed != expected:
+                self.error(RULE_REGION_STRUCT,
+                           f"constant-folded fetches {observed} differ "
+                           f"from derived chunk list {expected}", step=t)
+            if any(isinstance(stmt, ast.While) for stmt in stmts):
+                self.error(RULE_REGION_STRUCT,
+                           "dynamic chunk walk after the region head",
+                           step=t)
+
+        mem_ops = [op for op in ops if op[OP_IS_MEM]]
+        generic = any(isinstance(stmt, ast.For) and _is_name(
+            getattr(stmt, "iter", None), "_acc") for stmt in stmts)
+        dcache_calls = _calls_to(stmts, "dcache_access")
+        if not mem_ops:
+            if generic or dcache_calls:
+                self.error(RULE_REGION_STRUCT,
+                           "load/store unit emitted for a step with no "
+                           "memory ops", step=t)
+        elif not generic:
+            expected_mem = []
+            for op in mem_ops:
+                name = op[OP_NAME]
+                if name in _LOAD_BYTES:
+                    expected_mem.append((True, _LOAD_BYTES[name]))
+                elif name in _STORE_BYTES:
+                    expected_mem.append((False, _STORE_BYTES[name]))
+            observed_mem = []
+            for call in dcache_calls:
+                if len(call.args) < 3:
+                    observed_mem.append(None)
+                    continue
+                is_load = (call.args[0].value
+                           if isinstance(call.args[0], ast.Constant)
+                           else None)
+                observed_mem.append((is_load, _const_int(call.args[2])))
+            if observed_mem != expected_mem:
+                self.error(RULE_REGION_STRUCT,
+                           f"dcache accesses {observed_mem} differ from "
+                           f"the plan's memory ops {expected_mem}",
+                           step=t)
+            loads = sum(1 for is_load, _n in expected_mem if is_load)
+            if len(_calls_to(stmts, "observe_load")) != loads:
+                self.error(RULE_REGION_STRUCT,
+                           "prefetch observe_load count differs from "
+                           "the step's loads", step=t)
+            guarded = sum(1 for op in mem_ops if op[OP_GUARD] != 1)
+            wrappers = sum(
+                1 for stmt in stmts for node in ast.walk(stmt)
+                if isinstance(node, ast.If)
+                and isinstance(node.test, ast.Compare)
+                and len(node.test.ops) == 1
+                and isinstance(node.test.ops[0], ast.IsNot)
+                and isinstance(node.test.left, ast.Name)
+                and node.test.left.id.startswith("_ad"))
+            if wrappers != guarded:
+                self.error(RULE_REGION_STRUCT,
+                           f"{wrappers} guarded-address wrappers for "
+                           f"{guarded} guarded memory ops", step=t)
+
+        if not any(isinstance(stmt, ast.If)
+                   and _is_name(stmt.test, "prefetch_queue")
+                   for stmt in stmts):
+            self.error(RULE_REGION_STRUCT,
+                       "step missing the prefetch tick", step=t)
+        retired = next(
+            (_const_int(stmt.value) for stmt in stmts
+             if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+             and _is_name(stmt.targets[0], "_t")), None)
+        if retired != t + 1:
+            self.error(RULE_REGION_EXIT,
+                       f"retired count updates to {retired!r}, must be "
+                       f"{t + 1} for the spill protocol", step=t)
+        if not any(isinstance(stmt, ast.AugAssign)
+                   and _is_name(stmt.target, "cycle")
+                   for stmt in stmts):
+            self.error(RULE_REGION_STRUCT,
+                       "step never advances cycle", step=t)
+
+    def _check_head_fetch(self, stmts, fetch_calls) -> None:
+        assert self.fetch is not None
+        first, last = self.fetch.head_first, self.fetch.head_last
+        if len(fetch_calls) != 1:
+            self.error(RULE_REGION_STRUCT,
+                       f"step 0 must fetch through exactly one icache "
+                       f"call, found {len(fetch_calls)}", step=0)
+            return
+        call = fetch_calls[0]
+        if first == last:
+            if _const_int(call.args[0]) != first:
+                self.error(RULE_REGION_STRUCT,
+                           f"step 0 fetches chunk "
+                           f"{_const_int(call.args[0])!r}, region head "
+                           f"spans chunk {first}", step=0)
+        else:
+            if not _is_name(call.args[0], "_ch"):
+                self.error(RULE_REGION_STRUCT,
+                           "multi-chunk head must walk _ch dynamically",
+                           step=0)
+            starts = [
+                _const_int(node.value)
+                for stmt in stmts for node in ast.walk(stmt)
+                if isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and _is_name(node.targets[0], "_ch")]
+            bounds = [
+                _const_int(node.comparators[0])
+                for stmt in stmts for node in ast.walk(stmt)
+                if isinstance(node, ast.Compare)
+                and _is_name(node.left, "_ch")
+                and len(node.ops) == 1
+                and isinstance(node.ops[0], ast.LtE)]
+            if first not in starts or last not in bounds:
+                self.error(RULE_REGION_STRUCT,
+                           f"head chunk walk bounds {starts}..{bounds} "
+                           f"differ from derived span {first}..{last}",
+                           step=0)
+
+    # -- exit path ----------------------------------------------------
+
+    def _hold_sentinels(self) -> dict[str, int]:
+        assert self.schedule is not None
+        sentinels = {}
+        for ob in self.schedule.static_obligations:
+            hold = self.hold_names.get(ob.index)
+            if hold is not None:
+                sentinels[hold] = (0x6E5D0000 + ob.index) & M32
+        return sentinels
+
+    def _materialize_env(self, holds: dict[str, int | None],
+                         now: int | None = None) -> dict:
+        env: dict = {"pending": {}, "heap": [], "now0": _NOW0,
+                     "insort": insort, "heappush": heappush}
+        if now is not None:
+            env["now"] = now
+        for name in self.declared_holds:
+            env[name] = None
+        env.update(holds)
+        return env
+
+    def _expect_pending(self, env, obligations, sentinels,
+                        label: str, *, step: int | None = None) -> None:
+        """Compare pending/heap against the derived materialization
+        set: one ``(now0+t_c, now0+t_w, hold)`` entry per obligation."""
+        want_pending: dict[int, list[tuple]] = {}
+        want_heap: list[tuple[int, int]] = []
+        for ob in obligations:
+            hold = self.hold_names.get(ob.index)
+            value = sentinels.get(hold) if hold is not None else None
+            want_pending.setdefault(ob.reg, []).append(
+                (_NOW0 + ob.t_c, _NOW0 + ob.t_w, value))
+            want_heap.append((_NOW0 + ob.t_c, ob.reg))
+        got = {reg: sorted(entries)
+               for reg, entries in env["pending"].items() if entries}
+        want = {reg: sorted(entries)
+                for reg, entries in want_pending.items()}
+        if got != want:
+            self.error(RULE_REGION_EXIT,
+                       f"{label}: pending materialization {got} differs "
+                       f"from derived in-flight writes {want}",
+                       step=step)
+        if sorted(env["heap"]) != sorted(want_heap):
+            self.error(RULE_REGION_EXIT,
+                       f"{label}: heap entries {sorted(env['heap'])} "
+                       f"differ from derived {sorted(want_heap)}",
+                       step=step)
+
+    def _check_exit(self, tail: list[ast.stmt]) -> None:
+        assert self.schedule is not None and self.geometry is not None
+        assert self.fetch is not None
+        if not tail or not isinstance(tail[-1], ast.Return) \
+                or tail[-1].value is None:
+            self.error(RULE_REGION_EXIT,
+                       "region must end in a single return")
+            return
+        materialize, ret = tail[:-1], tail[-1]
+
+        escaped = self.schedule.escaped
+        sentinels = self._hold_sentinels()
+        env = self._materialize_env(dict(sentinels))
+        try:
+            Interp(env).run(materialize)
+        except EvalError as exc:
+            self.error(RULE_REGION_EXIT,
+                       f"exit materialization not evaluable: {exc}")
+            return
+        self._expect_pending(env, escaped, sentinels,
+                             "normal exit (all writes issued)")
+        env = self._materialize_env({})
+        Interp(env).run(materialize)
+        unguarded = [ob for ob in escaped if not ob.guarded]
+        self._expect_pending(env, unguarded, {},
+                             "normal exit (no writes issued)")
+
+        value = ret.value
+        if not isinstance(value, ast.Tuple) or len(value.elts) != 11:
+            self.error(RULE_REGION_EXIT,
+                       "return value must be the 11-element telemetry "
+                       "tuple")
+            return
+        geo = self.geometry
+        takens = [True] if geo.kind == "static-taken" else (
+            [False, True] if geo.kind == "dynamic" else [False])
+        for taken in takens:
+            try:
+                got = Interp({"_tk": taken}).expr(value.elts[0])
+            except EvalError as exc:
+                self.error(RULE_REGION_STRUCT,
+                           f"exit pc not evaluable: {exc}")
+                break
+            want = geo.expected_next_pc(taken)
+            if got != want:
+                self.error(RULE_REGION_STRUCT,
+                           f"exit pc is {got!r} with _tk={taken}, jump "
+                           f"geometry requires {want}")
+        if not _is_name(value.elts[1], "cycle"):
+            self.error(RULE_REGION_EXIT,
+                       "return element 1 must be the cycle counter")
+        if _const_int(value.elts[2]) != self.fetch.final_chunk:
+            self.error(RULE_REGION_STRUCT,
+                       f"return element 2 is "
+                       f"{_const_int(value.elts[2])!r}, derived final "
+                       f"chunk is {self.fetch.final_chunk}")
+        for pos, name in enumerate(_RETURN_NAMES):
+            if not _is_name(value.elts[3 + pos], name):
+                self.error(RULE_REGION_EXIT,
+                           f"return element {3 + pos} must be {name}")
+
+    # -- BaseException spill ------------------------------------------
+
+    def _check_handler(self, body: list[ast.stmt]) -> None:
+        assert self.schedule is not None and self.geometry is not None
+        if not body or not isinstance(body[-1], ast.Raise) \
+                or body[-1].exc is not None:
+            self.error(RULE_REGION_EXIT,
+                       "spill handler must end in a bare re-raise")
+            return
+        geo = self.geometry
+        static_obs = self.schedule.static_obligations
+        sentinels = self._hold_sentinels()
+        jump_rel = (geo.jump_pos - self.head
+                    if geo.jump_pos is not None else None)
+        counters = {"cycle": 1000003, "_ic": 1009, "_dc": 1013,
+                    "_cbf": 1019, "_mm": 1021, "_ex": 1031, "_jt": 1033,
+                    "_rd": 1039, "_wr": 1049, "_gr": 1051}
+        sweeps: list[tuple[int, bool]] = []
+        for retired in range(self.length + 1):
+            sweeps.append((retired, False))
+            if (self._has_jump_flag() and jump_rel is not None
+                    and retired >= jump_rel):
+                sweeps.append((retired, True))
+        for retired, taken in sweeps:
+            s_now = min(retired, self.length - 1)
+            env = self._materialize_env(dict(sentinels),
+                                        now=_NOW0 + s_now)
+            env.update(counters)
+            env["_t"] = retired
+            env["spill"] = [None] * 13
+            if self._has_jump_flag():
+                env["_tk"] = taken
+            try:
+                outcome = Interp(env).run(body)
+            except EvalError as exc:
+                self.error(RULE_REGION_EXIT,
+                           f"spill handler not evaluable: {exc}")
+                return
+            if outcome != "raise":
+                self.error(RULE_REGION_EXIT,
+                           "spill handler swallowed the exception")
+                return
+            in_flight = [ob for ob in static_obs if ob.t_c > s_now]
+            label = f"spill at retired={retired}, taken={taken}"
+            before = len(self.diags)
+            self._expect_pending(env, in_flight, sentinels, label)
+            spill = env["spill"]
+            for slot, name in enumerate(_SPILL_NAMES):
+                want = retired if name == "_t" else counters[name]
+                if spill[slot] != want:
+                    self.error(RULE_REGION_EXIT,
+                               f"{label}: spill[{slot}] is "
+                               f"{spill[slot]!r}, interpreter state "
+                               f"{name} is {want}")
+            want_pc = geo.expected_pc(retired, taken)
+            if spill[11] != want_pc:
+                self.error(RULE_REGION_EXIT,
+                           f"{label}: spill[11] (pc) is {spill[11]!r}, "
+                           f"jump geometry requires {want_pc}")
+            want_pj = geo.expected_pending_jump(retired, taken)
+            if spill[12] != want_pj:
+                self.error(RULE_REGION_EXIT,
+                           f"{label}: spill[12] (_pending_jump) is "
+                           f"{spill[12]!r}, jump geometry requires "
+                           f"{want_pj!r}")
+            if len(self.diags) > before:
+                return      # one spill sweep's findings are enough
+        env = self._materialize_env({}, now=_NOW0)
+        env.update(counters)
+        env["_t"] = 0
+        env["spill"] = [None] * 13
+        if self._has_jump_flag():
+            env["_tk"] = False
+        Interp(env).run(body)
+        self._expect_pending(env, [], {},
+                             "spill with no writes issued")
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+def generate_source(plan, spec, strict: bool) -> str:
+    """The region source the codegen would compile (cache-aware)."""
+    cached = plan._trace_code.get((spec.head, spec.length, strict))
+    if cached is not None:
+        return cached[1]
+    from repro.core.trace import _generate
+    return _generate(plan, spec, strict)[0]
+
+
+def validate_region(plan, spec, strict: bool = True, *,
+                    source: str | None = None,
+                    program_name: str | None = None) -> RegionValidation:
+    """Validate one region's generated source against the plan."""
+    if source is None:
+        source = generate_source(plan, spec, strict)
+    if program_name is None:
+        program_name = plan.program.name
+    checker = _RegionChecker(plan, spec.head, spec.length, strict,
+                             source, program_name)
+    try:
+        diagnostics = checker.check()
+    except Exception as exc:  # malformed source must still be a verdict
+        diagnostics = [Diagnostic(
+            rule=RULE_REGION_STRUCT, severity=SEV_ERROR,
+            message=(f"validator could not analyze the region "
+                     f"({type(exc).__name__}: {exc}); source does not "
+                     f"follow the codegen grammar"))]
+    return RegionValidation(program=program_name, head=spec.head,
+                            length=spec.length, strict=strict,
+                            diagnostics=diagnostics)
+
+
+def validate_plan(plan, config=None, strict: bool = True,
+                  ) -> dict[int, RegionValidation]:
+    """Validate every detected region of a plan; head -> result."""
+    from repro.core.trace import TraceConfig, regions_for
+    config = config if config is not None else TraceConfig()
+    return {head: validate_region(plan, spec, strict)
+            for head, spec in sorted(regions_for(plan, config).items())}
+
+
+def validate_catalog(smoke: bool = False,
+                     strict_modes: tuple[bool, ...] = (False, True),
+                     ) -> list[RegionValidation]:
+    """Validate every region of every catalog program (both strict
+    modes by default) — the CLI / CI surface."""
+    from repro.asm.link import compile_program
+    from repro.core.plan import plan_for
+    from repro.eval.lockstep import lockstep_catalog, smoke_catalog
+
+    cases = smoke_catalog() if smoke else lockstep_catalog()
+    results: list[RegionValidation] = []
+    for case in cases:
+        linked = compile_program(case.build(), case.config.target)
+        plan = plan_for(linked)
+        for strict in strict_modes:
+            results.extend(validate_plan(plan, strict=strict).values())
+    return results
+
+
+

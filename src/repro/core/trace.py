@@ -87,6 +87,7 @@ from dataclasses import dataclass, field
 from heapq import heappush
 from time import perf_counter_ns
 
+from repro.analysis.diagnostics import format_location
 from repro.core.pipeline import stage_spans
 from repro.core.plan import (
     OP_DSTS,
@@ -116,6 +117,22 @@ _MMIO_HI = 0x1000_1000
 _JUMP_NAMES = ("jmpi", "jmpt", "jmpf")
 
 
+def region_location(program_name: str, head: int,
+                    length: int | None = None) -> str:
+    """Render a region's identity in the shared diagnostics vocabulary.
+
+    Trace-tier messages (compile filenames, validation reports) and
+    the static verifier address code the same way —
+    :func:`repro.analysis.diagnostics.format_location` — so a region
+    failure and a schedule failure over the same instruction read
+    identically.
+    """
+    where = format_location(pc=head)
+    if length is not None:
+        where += f" +{length}"
+    return f"{program_name!r} {where}"
+
+
 @dataclass
 class TraceConfig:
     """Tuning knobs of the trace tier (defaults favour loop kernels)."""
@@ -127,6 +144,12 @@ class TraceConfig:
     #: Unrolled-source cap: one VLIW instruction generates roughly
     #: 10-60 source lines, so this bounds compile time and code size.
     max_length: int = 128
+    #: Run the translation validator (:mod:`repro.analysis.transval`)
+    #: over every freshly generated region before caching it; a
+    #: failing region raises ``TranslationValidationError`` instead of
+    #: executing.  Cache hits never re-validate, so steady-state
+    #: dispatch is unaffected.  Opt out for raw-compile benchmarks.
+    validate: bool = True
 
 
 @dataclass
@@ -1120,16 +1143,22 @@ def _generate(plan, spec: RegionSpec, strict: bool):
 # Compilation + runtime
 # ---------------------------------------------------------------------------
 
-def compile_region(plan, spec: RegionSpec, strict: bool = True):
+def compile_region(plan, spec: RegionSpec, strict: bool = True,
+                   validate: bool = True) -> tuple:
     """Compile one region, caching ``(fn, source, info)`` on the plan.
 
     ``info`` carries the codegen telemetry: the three commit-scheduling
     counts from :func:`_generate` plus ``compile_ns``, the wall time of
-    generation + :func:`compile` (zero cost on cache hits).  The cache
-    key includes ``strict`` because hazard scans are baked into the
-    source.  Caching on the *plan* (not the runtime) means an
-    invalidated-then-rewarmed region, or a second session over the
-    same program, is a pure dict hit.
+    generation + :func:`compile` + translation validation (zero cost on
+    cache hits).  The cache key includes ``strict`` because hazard
+    scans are baked into the source.  Caching on the *plan* (not the
+    runtime) means an invalidated-then-rewarmed region, or a second
+    session over the same program, is a pure dict hit.
+
+    With ``validate`` (the default), the freshly generated source must
+    pass the translation validator before it is cached or returned;
+    a failing region raises :class:`TranslationValidationError` from
+    :mod:`repro.analysis.transval` rather than ever executing.
     """
     key = (spec.head, spec.length, strict)
     cached = plan._trace_code.get(key)
@@ -1139,6 +1168,14 @@ def compile_region(plan, spec: RegionSpec, strict: bool = True):
 
     start = perf_counter_ns()
     source, sems, info = _generate(plan, spec, strict)
+    if validate:
+        from repro.analysis.transval import (
+            TranslationValidationError,
+            validate_region,
+        )
+        validation = validate_region(plan, spec, strict, source=source)
+        if not validation.ok:
+            raise TranslationValidationError(validation)
     namespace = {
         "insort": insort,
         "heappush": heappush,
@@ -1147,8 +1184,10 @@ def compile_region(plan, spec: RegionSpec, strict: bool = True):
         "stage_spans": stage_spans,
     }
     namespace.update(sems)
-    code = compile(source, f"<trace:{plan.program.name}+{spec.head}>",
-                   "exec")
+    code = compile(
+        source,
+        f"<trace:{region_location(plan.program.name, spec.head, spec.length)}>",
+        "exec")
     exec(code, namespace)
     fn = namespace["_region"]
     info["compile_ns"] = perf_counter_ns() - start
@@ -1240,7 +1279,8 @@ class TraceRuntime:
         key = (rec.head, rec.length, self.strict)
         cached = key in self._plan._trace_code
         fn, source, info = compile_region(self._plan, rec.spec,
-                                          self.strict)
+                                          self.strict,
+                                          self.config.validate)
         rec.fn = fn
         rec.source = source
         rec.static_commits = info["static_commits"]
@@ -1293,5 +1333,5 @@ def compile_all(plan, config: TraceConfig | None = None,
     """Eagerly compile every detected region (test/debug helper);
     maps head -> ``(fn, source, info)``."""
     config = config if config is not None else TraceConfig()
-    return {head: compile_region(plan, spec, strict)
+    return {head: compile_region(plan, spec, strict, config.validate)
             for head, spec in regions_for(plan, config).items()}

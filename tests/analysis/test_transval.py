@@ -1,0 +1,175 @@
+"""Translation validator for trace-region codegen.
+
+Two obligations, both load-bearing: the validator must accept every
+region the real codegen emits (zero false positives — otherwise
+validate-on-compile would brick the trace tier), and it must reject
+doctored codegen with the *expected* rule (otherwise it is a rubber
+stamp).  The full 30-program sweep is ``make validate``; these tests
+pin the same properties on tier-1-sized subsets plus the compile-time
+wiring (``TraceConfig.validate``).
+"""
+
+import ast
+
+import pytest
+
+from repro.analysis.codegen_mutate import MUTATORS, mutants_for, run_harness
+from repro.analysis.diagnostics import (
+    REGION_RULE_IDS,
+    RULE_REGION_COMMIT,
+    RULE_REGION_STRUCT,
+)
+from repro.analysis.transval import (
+    TranslationValidationError,
+    generate_source,
+    validate_catalog,
+    validate_plan,
+    validate_region,
+)
+from repro.asm.builder import ProgramBuilder
+from repro.asm.link import compile_program
+from repro.core.config import TM3270_CONFIG
+from repro.core.plan import ExecutionPlan, plan_for
+from repro.core.trace import TraceConfig, compile_all, regions_for
+from repro.eval.lockstep import lockstep_catalog
+
+
+def _case(name):
+    return {case.name: case for case in lockstep_catalog()}[name]
+
+
+def _plan(name):
+    case = _case(name)
+    return plan_for(compile_program(case.build(), case.config.target))
+
+
+# ---------------------------------------------------------------------------
+# Zero false positives
+# ---------------------------------------------------------------------------
+
+class TestCleanCodegen:
+    def test_smoke_catalog_validates_clean(self):
+        results = validate_catalog(smoke=True)
+        bad = [v.format() for v in results if not v.ok]
+        assert not bad, "\n".join(bad)
+        assert results, "smoke catalog produced no regions"
+
+    @pytest.mark.slow
+    def test_full_catalog_validates_clean(self):
+        results = validate_catalog()
+        bad = [v.format() for v in results if not v.ok]
+        assert not bad, "\n".join(bad)
+
+    @pytest.mark.parametrize("strict", (False, True))
+    def test_every_memcpy_region_both_modes(self, strict):
+        plan = _plan("memcpy")
+        for head, validation in validate_plan(plan,
+                                              strict=strict).items():
+            assert validation.ok, validation.format()
+            assert validation.head == head
+
+
+# ---------------------------------------------------------------------------
+# Teeth: doctored codegen must be rejected with the expected rule
+# ---------------------------------------------------------------------------
+
+class TestMutants:
+    def test_memset_mutant_sweep_fully_caught(self):
+        """Every applicable mutator, every region, both modes."""
+        report = run_harness(case_names=("memset",), min_mutants=100)
+        assert report.caught == report.total, report.format()
+
+    def test_mutator_catalog_covers_all_rules(self):
+        rules = {rule for _, rule, _, _, _ in MUTATORS}
+        assert rules == set(REGION_RULE_IDS)
+
+    def test_expected_rule_is_reported_not_just_any(self):
+        """A shifted commit must land as region-commit specifically."""
+        plan = _plan("memset")
+        head, spec = sorted(regions_for(plan, TraceConfig()).items())[0]
+        mutants = [m for m in mutants_for(plan, spec, False)
+                   if m.name == "commit-off-by-one#0"]
+        assert mutants
+        validation = validate_region(plan, spec, False,
+                                     source=mutants[0].source)
+        assert not validation.ok
+        assert any(d.rule == RULE_REGION_COMMIT
+                   for d in validation.diagnostics)
+
+    def test_malformed_source_is_a_verdict_not_a_crash(self):
+        plan = _plan("memset")
+        head, spec = sorted(regions_for(plan, TraceConfig()).items())[0]
+        validation = validate_region(plan, spec, False,
+                                     source="def _region(): pass")
+        assert not validation.ok
+        assert any(d.rule == RULE_REGION_STRUCT
+                   for d in validation.diagnostics)
+
+    def test_mutants_parse_and_differ_from_original(self):
+        plan = _plan("memset")
+        head, spec = sorted(regions_for(plan, TraceConfig()).items())[0]
+        source = generate_source(plan, spec, True)
+        normalized = ast.unparse(ast.parse(source))
+        mutants = mutants_for(plan, spec, True, source=source)
+        assert mutants
+        for mutant in mutants:
+            assert ast.unparse(ast.parse(mutant.source)) != normalized, (
+                f"{mutant.name} is a no-op mutation")
+
+
+# ---------------------------------------------------------------------------
+# Validate-on-compile wiring
+# ---------------------------------------------------------------------------
+
+def _doctor(source):
+    """Perturb the first operand read — valid syntax, wrong value."""
+    doctored = source.replace("(values[", "(1 + values[", 1)
+    assert doctored != source
+    return doctored
+
+
+class TestCompileTimeValidation:
+    def _plan_and_config(self, validate=True):
+        builder = ProgramBuilder("tv_wiring")
+        (value,) = builder.params("value")
+        for _ in range(4):
+            value = builder.emit("iaddi", srcs=(value,), imm=1)
+        linked = compile_program(builder.finish(), TM3270_CONFIG.target)
+        return ExecutionPlan(linked), TraceConfig(validate=validate)
+
+    def test_clean_codegen_compiles_with_validation_on(self):
+        plan, config = self._plan_and_config()
+        entries = compile_all(plan, config)
+        assert entries
+        for _, _, info in entries.values():
+            assert info["compile_ns"] > 0
+
+    def test_doctored_codegen_raises(self, monkeypatch):
+        from repro.core import trace as trace_mod
+
+        original = trace_mod._generate
+
+        def doctored(plan, spec, strict):
+            source, sems, info = original(plan, spec, strict)
+            return _doctor(source), sems, info
+
+        monkeypatch.setattr(trace_mod, "_generate", doctored)
+        plan, config = self._plan_and_config()
+        with pytest.raises(TranslationValidationError) as excinfo:
+            compile_all(plan, config)
+        assert excinfo.value.validation.diagnostics
+        # A failed region must never enter the compile cache.
+        assert not plan._trace_code
+
+    def test_validate_false_skips_the_check(self, monkeypatch):
+        from repro.core import trace as trace_mod
+
+        original = trace_mod._generate
+
+        def doctored(plan, spec, strict):
+            source, sems, info = original(plan, spec, strict)
+            return _doctor(source), sems, info
+
+        monkeypatch.setattr(trace_mod, "_generate", doctored)
+        plan, config = self._plan_and_config(validate=False)
+        assert compile_all(plan, config)

@@ -1,0 +1,105 @@
+"""Golden pin of the trace-tier telemetry schema.
+
+``TraceStats.as_dict()`` feeds the perf exporter
+(``BENCH_sim_speed.json``'s ``trace_tier`` section) and
+``RunResult.trace`` is the programmatic surface; a silently renamed or
+dropped key corrupts every downstream consumer without failing a
+functional test.  These tests pin the exact key sets — including the
+per-region static/escaped/dynamic commit counters — so schema drift is
+a deliberate, reviewed change.
+"""
+
+from repro.asm.link import compile_program
+from repro.core.processor import Processor
+from repro.core.trace import TraceConfig, TraceStats
+from repro.eval.lockstep import lockstep_catalog
+from repro.mem.flatmem import FlatMemory
+
+#: The pinned schema.  Extending it is fine (update the pin in the
+#: same change as the exporter); renaming or dropping keys is not.
+TOP_LEVEL_KEYS = (
+    "detected",
+    "compiled",
+    "activations",
+    "enters",
+    "compiled_instructions",
+    "entry_blocked",
+    "monitor_blocks",
+    "invalidations",
+    "static_commits",
+    "escaped_commits",
+    "dynamic_writes",
+    "compile_ns",
+    "regions",
+)
+
+REGION_KEYS = (
+    "head",
+    "length",
+    "cached",
+    "compile_ns",
+    "static_commits",
+    "escaped_commits",
+    "dynamic_writes",
+    "enters",
+)
+
+
+def _trace_result(name="memset"):
+    case = {c.name: c for c in lockstep_catalog()}[name]
+    linked = compile_program(case.build(), case.config.target)
+    memory = FlatMemory(case.memory_size)
+    args = case.prepare(memory)
+    processor = Processor(case.config, memory=memory)
+    processor.begin(linked, args=args, engine="trace",
+                    trace_config=TraceConfig(threshold=1))
+    processor.step_block()
+    return processor.result()
+
+
+class TestTraceStatsSchema:
+    def test_empty_stats_schema(self):
+        exported = TraceStats().as_dict()
+        assert tuple(exported) == TOP_LEVEL_KEYS
+        assert exported["regions"] == []
+
+    def test_run_result_trace_schema(self):
+        result = _trace_result()
+        assert result.trace is not None
+        exported = result.trace.as_dict()
+        assert tuple(exported) == TOP_LEVEL_KEYS
+
+        assert exported["regions"], "run activated no regions"
+        for entry in exported["regions"]:
+            assert tuple(entry) == REGION_KEYS
+
+        for key in TOP_LEVEL_KEYS[:-1]:
+            assert isinstance(exported[key], int), key
+
+    def test_region_commit_counters_fold_into_totals(self):
+        """Per-region static/escaped/dynamic counts must sum to the
+        compiled totals (cache hits excluded on both sides)."""
+        exported = _trace_result().trace.as_dict()
+        fresh = [entry for entry in exported["regions"]
+                 if not entry["cached"]]
+        for counter in ("static_commits", "escaped_commits",
+                        "dynamic_writes"):
+            assert exported[counter] == sum(
+                entry[counter] for entry in fresh)
+
+    def test_as_dict_copies_region_entries(self):
+        """Exported region dicts must be snapshots, not aliases."""
+        result = _trace_result()
+        exported = result.trace.as_dict()
+        exported["regions"][0]["enters"] = -1
+        assert result.trace.regions[0]["enters"] != -1
+
+    def test_interp_engine_has_no_trace_section(self):
+        case = {c.name: c for c in lockstep_catalog()}["memset"]
+        linked = compile_program(case.build(), case.config.target)
+        memory = FlatMemory(case.memory_size)
+        args = case.prepare(memory)
+        processor = Processor(case.config, memory=memory)
+        processor.begin(linked, args=args, engine="interp")
+        processor.step_block()
+        assert processor.result().trace is None

@@ -54,6 +54,20 @@ for name in ("memcpy", "filter"):
 """
 
 
+VALIDATOR_SNIPPET = """\
+from repro.analysis.codegen_mutate import run_harness
+from repro.analysis.transval import validate_catalog
+for validation in validate_catalog(smoke=True):
+    print(validation.format())
+report = run_harness(case_names=("memset",))
+for outcome in report.outcomes:
+    print(outcome.program, outcome.head, outcome.strict,
+          outcome.mutant.name, outcome.mutant.rule, outcome.caught,
+          [d.rule for d in outcome.validation.diagnostics])
+print(report.format())
+"""
+
+
 def _env(hash_seed):
     env = dict(os.environ)
     env["PYTHONPATH"] = str(ROOT / "src") + (
@@ -92,6 +106,27 @@ def test_trace_engine_is_hash_seed_invariant():
         outputs[hash_seed] = completed.stdout
     assert outputs[0] == outputs[1] == outputs[31337], \
         "engine='trace' must not depend on PYTHONHASHSEED"
+
+
+def test_translation_validator_is_hash_seed_invariant():
+    # The validator's verdicts feed `make validate` and the compile
+    # gate; the mutation harness pins its teeth.  Both walk ASTs and
+    # probe environments — if any walk ran over an unordered container,
+    # verdict text or mutant-catch *ordering* could vary with the hash
+    # seed and the CI gate would flake.  Same region verdicts, same
+    # outcome sequence (program, region, mode, mutant, rule, caught),
+    # same per-rule tallies, for every seed.
+    outputs = {}
+    for hash_seed in (0, 1, 31337):
+        completed = subprocess.run(
+            [sys.executable, "-c", VALIDATOR_SNIPPET],
+            capture_output=True, text=True, env=_env(hash_seed),
+            cwd=ROOT, timeout=540)
+        assert completed.returncode == 0, completed.stderr
+        outputs[hash_seed] = completed.stdout
+    assert outputs[0] == outputs[1] == outputs[31337], \
+        "validator output / mutant ordering must not depend on " \
+        "PYTHONHASHSEED"
 
 
 def test_suite_subset_passes_under_pinned_hash_seed():
