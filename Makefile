@@ -11,7 +11,7 @@ JOBSFLAG := $(if $(JOBS),--jobs $(JOBS),)
 
 .PHONY: test fast slow bench benchmarks eval perf perf-quick trace \
 	verify validate lint golden conformance lockstep lockstep-smoke \
-	inject inject-golden ci
+	inject inject-golden serve-smoke serve-bench serve-golden ci
 
 # Tier-1 verification: the whole unit/property suite.
 test:
@@ -112,6 +112,31 @@ inject:
 inject-golden:
 	$(PY) -m repro.resilience --write-golden
 
+# Serving-layer smoke: the conformance + chaos suite (served results
+# byte-identical to the serial runner at workers 1/2/4, under forced
+# preemption, and across crash/hang/malformed-frame churn), then a
+# short verified loadgen run through a real server.
+serve-smoke:
+	$(PY) -m pytest -x -q tests/serve -m "not slow"
+	$(PY) -m repro.serve.loadgen --smoke --workers 2
+
+# The serving benchmark: a seeded load run (deterministic session
+# schedule) through a real server; writes BENCH_serve.json and gates
+# p99 session latency and sessions/sec against the committed baseline
+# (generous threshold: latency on shared CI machines is noisy; the
+# digests inside the record are exact).
+serve-bench:
+	$(PY) -m repro.serve.loadgen --sessions 120 --workers 4 \
+		--out benchmarks/results/BENCH_serve.json
+	$(PY) scripts/bench_compare.py \
+		benchmarks/baselines/BENCH_serve.json \
+		benchmarks/results/BENCH_serve.json --threshold 1.0
+
+# Regenerate the pinned mixed-workload serve digests after a
+# deliberate change to simulated behaviour or to the workload itself.
+serve-golden:
+	$(PY) -m repro.serve.loadgen --write-golden tests/golden/serve_sessions.json
+
 # The full local CI gauntlet: lint, static kernel verification, the
 # tier-1 suite under a pinned hash seed, a translation-validation
 # smoke pass over the trace tier, the three-engine lockstep
@@ -127,6 +152,7 @@ ci: lint verify
 	$(PY) -m repro.eval.lockstep --smoke
 	$(PY) -m repro.eval.parallel --conformance --jobs 2
 	$(PY) -m repro.resilience --check --jobs 2
+	$(MAKE) serve-smoke
 	$(PY) -m repro.eval.runner --perf --kernels $(PERF_QUICK) \
 		--bench-out benchmarks/results/BENCH_ci_perf.json
 	$(PY) scripts/bench_compare.py \

@@ -185,11 +185,48 @@ def _lookup(index: dict, key: tuple[str, str, str]) -> dict | None:
     return record
 
 
-def _gate_rate(record: dict) -> float:
+class SchemaDriftError(ValueError):
+    """A bench record predates (or postdates) the gate's schema.
+
+    Raised instead of letting a bare ``KeyError`` escape when a
+    ``sim_speed`` / ``serve`` section lacks the fields the gate reads
+    — old ``BENCH_runs.json`` files written before the ``engines`` /
+    ``samples_ns`` split are the common case.  The message names the
+    record, the missing field, and the fix; ``main`` turns it into a
+    clean one-line failure (exit 1), and
+    ``tests/serve/test_bench_compare.py`` pins the wording.
+    """
+
+
+def _drift(name: str, section: str, field: str, present: dict) -> SchemaDriftError:
+    return SchemaDriftError(
+        f"{name}: perf record schema drift: {section!r} section has "
+        f"no {field!r} field (found: {sorted(present) or 'nothing'}); "
+        f"regenerate the file with 'make perf', or pick a baseline "
+        f"from the same schema generation")
+
+
+def _gate_rate(name: str, record: dict) -> float:
     """The throughput the gate runs on: median when recorded."""
     speed = record["sim_speed"]
-    return speed.get("median_instructions_per_sec",
-                     speed["instructions_per_sec"])
+    rate = speed.get("median_instructions_per_sec",
+                     speed.get("instructions_per_sec"))
+    if rate is None:
+        raise _drift(
+            name, "sim_speed",
+            "median_instructions_per_sec' or 'instructions_per_sec",
+            speed)
+    return rate
+
+
+def _engine_rate(name: str, engine: str, engines: dict) -> float:
+    """One engine's gated median, with a schema-drift diagnostic."""
+    entry = engines[engine]
+    rate = entry.get("median_instructions_per_sec")
+    if rate is None:
+        raise _drift(f"{name} [{engine}]", "sim_speed.engines",
+                     "median_instructions_per_sec", entry)
+    return rate
 
 
 def _fmt_rate(value: float) -> str:
@@ -226,6 +263,50 @@ def _compare_faults(name: str, old_faults: dict,
     return failures
 
 
+def _serve_value(name: str, serve: dict, field: str) -> float:
+    value = serve.get(field)
+    if not isinstance(value, (int, float)):
+        raise _drift(name, "serve", field, serve)
+    return value
+
+
+def _compare_serve(name: str, old_serve: dict, new_serve: dict,
+                   threshold: float) -> list[str]:
+    """Gate one serving-benchmark record's SLO section.
+
+    Two thresholds, both against the committed baseline: sessions/sec
+    must not fall more than ``threshold`` and p99 session latency must
+    not grow more than ``threshold``.  A run with failed sessions
+    gates unconditionally — throughput of a server that drops work is
+    not throughput.
+    """
+    failures: list[str] = []
+    if new_serve.get("failed", 0):
+        failures.append(
+            f"{name}: {new_serve['failed']} session(s) failed in the "
+            "candidate run")
+    old_rate = _serve_value(name, old_serve, "server_sessions_per_sec")
+    new_rate = _serve_value(name, new_serve, "server_sessions_per_sec")
+    rate_change = new_rate / old_rate - 1.0 if old_rate else 0.0
+    old_p99 = _serve_value(name, old_serve, "server_latency_p99_ms")
+    new_p99 = _serve_value(name, new_serve, "server_latency_p99_ms")
+    p99_change = new_p99 / old_p99 - 1.0 if old_p99 else 0.0
+    print(f"  {name}: {old_rate:.1f} -> {new_rate:.1f} sessions/s "
+          f"({rate_change:+.1%}), p99 {old_p99:.0f} -> "
+          f"{new_p99:.0f} ms ({p99_change:+.1%})")
+    if rate_change < -threshold:
+        failures.append(
+            f"{name}: sessions/sec fell {-rate_change:.1%} "
+            f"({old_rate:.1f} -> {new_rate:.1f}), threshold is "
+            f"{threshold:.0%}")
+    if p99_change > threshold:
+        failures.append(
+            f"{name}: p99 session latency grew {p99_change:.1%} "
+            f"({old_p99:.0f} -> {new_p99:.0f} ms), threshold is "
+            f"{threshold:.0%}")
+    return failures
+
+
 def compare(old: dict, new: dict, threshold: float,
             strict_cycles: bool = False) -> list[str]:
     """Return a list of failure messages (empty = no regressions)."""
@@ -259,10 +340,8 @@ def compare(old: dict, new: dict, threshold: float,
                 # Per-engine gate: each engine's median must hold on
                 # its own.
                 for engine in shared:
-                    old_rate = old_engines[engine][
-                        "median_instructions_per_sec"]
-                    new_rate = new_engines[engine][
-                        "median_instructions_per_sec"]
+                    old_rate = _engine_rate(name, engine, old_engines)
+                    new_rate = _engine_rate(name, engine, new_engines)
                     change = new_rate / old_rate - 1.0
                     line = (f"  {name} [{engine}]: "
                             f"{_fmt_rate(old_rate)} -> "
@@ -276,8 +355,8 @@ def compare(old: dict, new: dict, threshold: float,
                         line += "  REGRESSION"
                     print(line)
             else:
-                old_rate = _gate_rate(old_record)
-                new_rate = _gate_rate(new_record)
+                old_rate = _gate_rate(name, old_record)
+                new_rate = _gate_rate(name, new_record)
                 change = new_rate / old_rate - 1.0
                 line = (f"  {name}: {_fmt_rate(old_rate)} -> "
                         f"{_fmt_rate(new_rate)}  ({change:+.1%})")
@@ -294,6 +373,12 @@ def compare(old: dict, new: dict, threshold: float,
         if old_faults and new_faults:
             failures.extend(
                 _compare_faults(name, old_faults, new_faults))
+
+        old_serve = old_record.get("serve")
+        new_serve = new_record.get("serve")
+        if old_serve and new_serve:
+            failures.extend(
+                _compare_serve(name, old_serve, new_serve, threshold))
 
         old_cycles = old_record["cycles"]
         new_cycles = new_record["cycles"]
@@ -370,8 +455,12 @@ def main(argv: list[str] | None = None) -> int:
             return 1
     print(f"comparing {options.old} -> {options.new} "
           f"(threshold {options.threshold:.0%})")
-    failures = compare(old, new, options.threshold,
-                       strict_cycles=options.strict_cycles)
+    try:
+        failures = compare(old, new, options.threshold,
+                           strict_cycles=options.strict_cycles)
+    except SchemaDriftError as drift:
+        print(f"\n{drift}", file=sys.stderr)
+        return 1
     if failures:
         print(f"\n{len(failures)} regression(s):", file=sys.stderr)
         for failure in failures:

@@ -1,0 +1,44 @@
+"""Multi-session streaming decode service (the serving front-end).
+
+The TM3270 is a media-processor: its reason to exist is *sustained
+concurrent real-time streams*, not one kernel at a time.  This package
+is the serving layer over the simulator — an asyncio front-end that
+accepts many concurrent decode sessions (CABAC bitstreams, motion-
+estimation refinements, video-pipeline kernels), multiplexes them over
+a pool of persistent simulator worker processes, and streams results
+back incrementally over a length-prefixed JSON protocol:
+
+* :mod:`repro.serve.protocol` — the wire frame codec (typed
+  :class:`~repro.serve.protocol.ProtocolError`, never chaos, on
+  malformed bytes);
+* :mod:`repro.serve.sessions` — what a session *is*: a picklable
+  JSON-parameterized :class:`~repro.serve.sessions.SessionSpec`, its
+  deterministic execution in preemptible ``step_block`` slices with
+  ``Processor.snapshot()`` checkpoints, and the serial reference
+  runner the served results are pinned against;
+* :mod:`repro.serve.pool` — persistent fork worker processes that
+  round-robin slices across their active sessions (time-slicing long
+  decodes) and stream progress over a Pipe;
+* :mod:`repro.serve.server` — the asyncio front-end: admission
+  control (bounded backlog, reject + retry-after), dispatch, crash /
+  hang containment, and SLO metrics (p50/p99 session latency,
+  sessions/sec, preemptions, rejects) in the ``serve`` obs group;
+* :mod:`repro.serve.loadgen` — the seeded deterministic load
+  generator behind ``make serve-bench`` / ``make serve-smoke``,
+  writing ``BENCH_serve.json``.
+
+The conformance contract (``tests/serve/``): results served through
+any worker count, any preemption slice budget, and under fault churn
+are byte-identical to :func:`~repro.serve.sessions.run_sessions_serial`.
+"""
+
+from repro.serve.protocol import ProtocolError  # noqa: F401
+from repro.serve.server import ServeConfig, ServeServer  # noqa: F401
+from repro.serve.sessions import (  # noqa: F401
+    SessionResult,
+    SessionSpec,
+    execute_session,
+    mixed_workload,
+    run_sessions_serial,
+    workload_digest,
+)

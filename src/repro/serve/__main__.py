@@ -1,0 +1,56 @@
+"""``python -m repro.serve`` — run the streaming decode server.
+
+Binds the asyncio front-end on ``--host``/``--port`` and serves until
+interrupted.  Drive it with the load generator::
+
+    python -m repro.serve --port 4270 --workers 4 &
+    python -m repro.serve.loadgen --connect 127.0.0.1:4270 --sessions 200
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro.serve.server import ServeConfig, ServeServer
+
+
+async def _serve(config: ServeConfig) -> None:
+    server = ServeServer(config)
+    await server.start()
+    print(f"repro.serve: listening on {config.host}:{server.port} "
+          f"({config.workers} worker(s), backlog {config.backlog})",
+          flush=True)
+    try:
+        await asyncio.Event().wait()   # until cancelled
+    finally:
+        await server.stop()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="multi-session streaming decode server")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=4270)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--backlog", type=int, default=32)
+    parser.add_argument("--slice-budget", type=int, default=None)
+    parser.add_argument("--checkpoint-every", type=int, default=None)
+    parser.add_argument("--watchdog", type=float, default=10.0)
+    args = parser.parse_args(argv)
+    config = ServeConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        backlog=args.backlog, slice_budget=args.slice_budget,
+        checkpoint_every=args.checkpoint_every,
+        watchdog_seconds=args.watchdog)
+    try:
+        asyncio.run(_serve(config))
+    except KeyboardInterrupt:
+        print("repro.serve: shutting down", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,406 @@
+"""Seeded deterministic load generator for the serve front-end.
+
+Two halves, split so determinism is testable in isolation:
+
+* :func:`session_schedule` — a pure function ``(seed, count) → specs``
+  built on ``random.Random`` (hash-seed invariant by construction;
+  ``tests/test_ci_guard.py`` pins it across ``PYTHONHASHSEED``
+  values).  The mix leans on cheap motion-estimation sessions with a
+  band of CABAC decodes and occasional heavier pipeline kernels, so
+  thousands of sessions stay minutes, not hours, of simulated work.
+* :func:`run_load` — asyncio clients (``connections`` parallel TCP
+  connections, each walking its round-robin shard of the schedule
+  sequentially) driving a server through the public wire protocol:
+  submit, honour ``rejected``+``retry_after`` backpressure, consume
+  ``progress`` streams, collect ``result``/``error`` terminals.
+
+:func:`run_bench` wires them to an in-process
+:class:`~repro.serve.server.ServeServer` (or an external one via
+``--connect``), optionally cross-checks every served digest against
+:func:`~repro.serve.sessions.run_sessions_serial`, and writes
+``BENCH_serve.json`` — a standard bench-schema record whose ``serve``
+section carries the SLO snapshot (p50/p99 latency, sessions/sec,
+rejects, preemptions) that ``scripts/bench_compare.py`` gates.
+
+CLI::
+
+    python -m repro.serve.loadgen --sessions 120 --workers 4
+    python -m repro.serve.loadgen --smoke          # CI serve-smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import hashlib
+import json
+import random
+import sys
+import time
+
+from repro.serve.protocol import read_frame, write_frame
+from repro.serve.server import ServeConfig, ServeServer
+from repro.serve.sessions import (
+    mixed_workload,
+    run_sessions_serial,
+    spec_from_document,
+    workload_digest,
+)
+
+GOLDEN_SCHEMA = "tm3270.serve-golden/1"
+
+
+def golden_document() -> dict:
+    """The pinned conformance digests for the 12-session mixed
+    workload, computed by the serial reference runner.  Written to
+    ``tests/golden/serve_sessions.json`` by ``make serve-golden``;
+    every served schedule must reproduce it byte-for-byte."""
+    serial = run_sessions_serial(mixed_workload())
+    return {
+        "schema": GOLDEN_SCHEMA,
+        "workload_digest": workload_digest(serial),
+        "sessions": {result.session_id: result.digest
+                     for result in serial},
+    }
+
+#: Weighted session mix: (kind, weight, parameter sampler).  Motion
+#: estimation dominates because one refinement is ~1.6k instructions —
+#: the "many small real-time streams" regime the TM3270 serves —
+#: with CABAC fields an order of magnitude heavier and the film-mode
+#: detector standing in for occasional full-kernel requests.
+_MIX = (
+    ("me", 11, lambda rng: {
+        "variant": rng.choice(("plain", "ld8")),
+        "seed": rng.randrange(1, 1 << 16)}),
+    ("cabac", 5, lambda rng: {
+        "field_type": rng.choice(("I", "P", "B")),
+        "variant": rng.choice(("plain", "super")),
+        "seed": rng.randrange(1, 1 << 16)}),
+    ("kernel", 2, lambda rng: {
+        "kernel": rng.choice(("filmdet", "majority_sel")),
+        "config": rng.choice(("A", "D"))}),
+)
+
+
+def session_schedule(seed: int, count: int) -> list[dict]:
+    """The deterministic session list for one load run.
+
+    Returns spec documents (wire form).  Depends only on ``seed`` and
+    ``count``: ``random.Random`` is explicitly seeded and the mix
+    table is static, so the schedule — ids, kinds, parameters, order —
+    is identical on every interpreter and every ``PYTHONHASHSEED``.
+    """
+    rng = random.Random(seed)
+    kinds = [kind for kind, weight, _ in _MIX for _ in range(weight)]
+    samplers = {kind: sampler for kind, _, sampler in _MIX}
+    documents = []
+    for index in range(count):
+        kind = rng.choice(kinds)
+        params = samplers[kind](rng)
+        documents.append({
+            "session_id": f"lg{seed}-{index:05d}-{kind}",
+            "kind": kind,
+            "params": params,
+        })
+    return documents
+
+
+def schedule_digest(documents: list[dict]) -> str:
+    """SHA-256 over the canonical JSON of a schedule."""
+    canonical = json.dumps(documents, sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class LoadReport:
+    """Everything one load run observed, client side."""
+
+    def __init__(self) -> None:
+        self.results: dict[str, dict] = {}     # sid -> result document
+        self.errors: dict[str, dict] = {}      # sid -> error frame
+        self.latencies: dict[str, float] = {}  # sid -> seconds
+        self.rejects = 0
+        self.progress_frames = 0
+        self.server_stats: dict = {}
+
+    @property
+    def completed(self) -> int:
+        return len(self.results)
+
+    @property
+    def failed(self) -> int:
+        return len(self.errors)
+
+    def result_digests(self) -> dict[str, str]:
+        return {sid: document["digest"]
+                for sid, document in sorted(self.results.items())}
+
+    def served_workload_digest(self) -> str:
+        """Order-invariant digest over (session_id, digest) pairs —
+        directly comparable to
+        :func:`~repro.serve.sessions.workload_digest` of a serial run
+        over the same specs."""
+        pairs = sorted(self.result_digests().items())
+        canonical = json.dumps([list(pair) for pair in pairs],
+                               sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+async def _drive_connection(host: str, port: int, documents: list[dict],
+                            report: LoadReport,
+                            slice_budget: int | None,
+                            max_retries: int = 200) -> None:
+    """One client connection running its sessions sequentially."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        for document in documents:
+            sid = document["session_id"]
+            submit = {"type": "submit", "spec": document}
+            if slice_budget is not None:
+                submit["slice_budget"] = slice_budget
+            retries = 0
+            started = time.monotonic()
+            await write_frame(writer, submit)
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    report.errors[sid] = {
+                        "type": "error", "session_id": sid,
+                        "error_type": "crashed",
+                        "message": "server closed the connection"}
+                    return
+                kind = frame["type"]
+                if kind == "rejected":
+                    report.rejects += 1
+                    retries += 1
+                    if retries > max_retries:
+                        report.errors[sid] = {
+                            "type": "error", "session_id": sid,
+                            "error_type": "failed",
+                            "message": "rejected too many times"}
+                        break
+                    await asyncio.sleep(
+                        float(frame.get("retry_after", 0.05)))
+                    await write_frame(writer, submit)
+                elif kind == "accepted":
+                    continue
+                elif kind == "progress":
+                    report.progress_frames += 1
+                elif kind == "result":
+                    report.results[sid] = frame["result"]
+                    report.latencies[sid] = time.monotonic() - started
+                    break
+                elif kind == "error":
+                    report.errors[sid] = frame
+                    report.latencies[sid] = time.monotonic() - started
+                    break
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def _fetch_stats(host: str, port: int) -> dict:
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        await write_frame(writer, {"type": "stats"})
+        frame = await read_frame(reader)
+        return frame or {}
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def run_load(host: str, port: int, documents: list[dict],
+                   connections: int = 8,
+                   slice_budget: int | None = None) -> LoadReport:
+    """Drive ``documents`` through a running server; gather a report."""
+    report = LoadReport()
+    shards = [documents[index::connections]
+              for index in range(connections)]
+    await asyncio.gather(*(
+        _drive_connection(host, port, shard, report, slice_budget)
+        for shard in shards if shard))
+    report.server_stats = await _fetch_stats(host, port)
+    return report
+
+
+def _bench_records(report: LoadReport, *, seed: int, workers: int,
+                   connections: int, backlog: int,
+                   seconds: float) -> list[dict]:
+    """One bench-schema record summarizing the run.
+
+    The scalar counters (instructions, cycles, ops) are sums over the
+    deterministic per-session results, so they are schedule-invariant;
+    only ``seconds`` and the latency/throughput figures inside the
+    ``serve`` section are wall-clock measurements.
+    """
+    cores = [document for document in report.results.values()]
+    instructions = sum(d["instructions"] for d in cores)
+    cycles = sum(d["cycles"] for d in cores)
+    ops_issued = sum(d["ops_issued"] for d in cores)
+    ops_executed = sum(d["ops_executed"] for d in cores)
+    metrics = report.server_stats.get("metrics", {})
+    record = {
+        "kernel": "serve_loadgen",
+        "config": "SERVE",
+        "freq_mhz": 240.0,
+        "instructions": instructions,
+        "cycles": cycles,
+        "ops_issued": ops_issued,
+        "ops_executed": ops_executed,
+        "opi": (ops_executed / instructions) if instructions else 0.0,
+        "cpi": (cycles / instructions) if instructions else 0.0,
+        "seconds": seconds,
+        "stall_cycles": {
+            "dcache": sum(d["dcache_stall_cycles"] for d in cores),
+            "icache": sum(d["icache_stall_cycles"] for d in cores),
+        },
+        "hit_rates": {},
+        "serve": {
+            "seed": seed,
+            "sessions": len(report.results) + len(report.errors),
+            "workers": workers,
+            "connections": connections,
+            "backlog": backlog,
+            "completed": report.completed,
+            "failed": report.failed,
+            "client_rejects": report.rejects,
+            "progress_frames": report.progress_frames,
+            "workload_digest": report.served_workload_digest(),
+            **{f"server_{key}": value
+               for key, value in sorted(metrics.items())},
+        },
+    }
+    return [record]
+
+
+async def run_bench(*, sessions: int, seed: int, workers: int,
+                    connections: int, backlog: int,
+                    slice_budget: int | None,
+                    checkpoint_every: int | None,
+                    connect: str | None = None,
+                    verify: bool = False) -> tuple[LoadReport, list[dict]]:
+    """One full load run; returns the report and its bench records.
+
+    Raises ``RuntimeError`` when ``verify`` finds a digest mismatch
+    against the serial reference runner, or when any session fails.
+    """
+    documents = session_schedule(seed, sessions)
+    started = time.monotonic()
+    if connect is not None:
+        host, _, port_text = connect.rpartition(":")
+        report = await run_load(host or "127.0.0.1", int(port_text),
+                                documents, connections, slice_budget)
+    else:
+        config = ServeConfig(workers=workers, backlog=backlog,
+                             slice_budget=slice_budget,
+                             checkpoint_every=checkpoint_every)
+        async with ServeServer(config) as server:
+            report = await run_load("127.0.0.1", server.port,
+                                    documents, connections,
+                                    slice_budget)
+    seconds = time.monotonic() - started
+
+    if report.errors:
+        first = next(iter(sorted(report.errors)))
+        raise RuntimeError(
+            f"{report.failed} session(s) failed; first: {first}: "
+            f"{report.errors[first].get('message')}")
+    if report.completed != len(documents):
+        raise RuntimeError(
+            f"served {report.completed}/{len(documents)} sessions")
+    if verify:
+        serial = run_sessions_serial(
+            [spec_from_document(document) for document in documents])
+        want = workload_digest(serial)
+        got = report.served_workload_digest()
+        if got != want:
+            raise RuntimeError(
+                f"served workload digest {got} != serial reference "
+                f"{want}")
+    records = _bench_records(
+        report, seed=seed, workers=workers, connections=connections,
+        backlog=backlog, seconds=seconds)
+    return report, records
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.loadgen",
+        description="seeded deterministic load generator for the "
+                    "serve front-end")
+    parser.add_argument("--sessions", type=int, default=120)
+    parser.add_argument("--seed", type=int, default=2026)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--connections", type=int, default=8)
+    parser.add_argument("--backlog", type=int, default=32)
+    parser.add_argument("--slice-budget", type=int, default=None)
+    parser.add_argument("--checkpoint-every", type=int, default=None)
+    parser.add_argument("--connect", metavar="HOST:PORT", default=None,
+                        help="drive an already-running server instead "
+                             "of starting one in-process")
+    parser.add_argument("--verify", action="store_true",
+                        help="cross-check every served digest against "
+                             "the serial reference runner")
+    parser.add_argument("--out", default=None,
+                        help="write a BENCH_serve.json document here")
+    parser.add_argument("--smoke", action="store_true",
+                        help="short verified run (CI serve-smoke "
+                             "defaults: 24 sessions, forced "
+                             "preemption)")
+    parser.add_argument("--write-golden", metavar="PATH", default=None,
+                        help="regenerate the pinned mixed-workload "
+                             "conformance digests and exit")
+    args = parser.parse_args(argv)
+
+    if args.write_golden:
+        document = golden_document()
+        with open(args.write_golden, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"loadgen: wrote {args.write_golden} "
+              f"(workload {document['workload_digest'][:16]}…)")
+        return 0
+
+    if args.smoke:
+        args.sessions = min(args.sessions, 24)
+        args.verify = True
+        if args.slice_budget is None:
+            args.slice_budget = 777   # force mid-session preemption
+    try:
+        report, records = asyncio.run(run_bench(
+            sessions=args.sessions, seed=args.seed,
+            workers=args.workers, connections=args.connections,
+            backlog=args.backlog, slice_budget=args.slice_budget,
+            checkpoint_every=args.checkpoint_every,
+            connect=args.connect, verify=args.verify))
+    except RuntimeError as error:
+        print(f"loadgen: FAIL: {error}", file=sys.stderr)
+        return 1
+    if args.out:
+        from repro.obs.export import write_bench
+        write_bench(args.out, records)
+        print(f"loadgen: wrote {args.out}")
+    serve = records[0]["serve"]
+    print(json.dumps({
+        "sessions": serve["sessions"],
+        "completed": serve["completed"],
+        "rejects": serve["client_rejects"],
+        "preemptions": serve["progress_frames"],
+        "p50_ms": serve.get("server_latency_p50_ms"),
+        "p99_ms": serve.get("server_latency_p99_ms"),
+        "sessions_per_sec": serve.get("server_sessions_per_sec"),
+        "workload_digest": serve["workload_digest"],
+        "verified": bool(args.verify),
+    }, indent=1))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

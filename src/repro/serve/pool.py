@@ -1,0 +1,185 @@
+"""Persistent simulator worker processes for the serve front-end.
+
+The PR 4 evaluation engine spawns a worker per *shard* and lets it
+walk a fixed job list; a serving pool cannot know its work up front,
+so these workers are persistent: each runs :func:`worker_main`, a loop
+that accepts session commands over a duplex Pipe for the life of the
+server and *interleaves* preemption slices across its active sessions
+round-robin.  A long MPEG2 decode therefore cannot convoy short CABAC
+sessions dispatched to the same worker — after every
+``slice_budget``-instruction slice the worker switches sessions,
+streaming a ``progress`` message at each preemption boundary.
+
+Isolation mirrors the PR 4 supervisor contract: a session that raises
+fails *that session* (typed ``error`` message, worker keeps serving);
+only a hard process death (``os._exit``, kill) or a wall-clock
+watchdog ends the worker, and the server respawns it.
+
+Wire protocol over the Pipe (tuples, like
+:mod:`repro.eval.parallel`):
+
+* parent → worker: ``("run", spec_document, options)`` and
+  ``("stop",)``;
+* worker → parent: ``("progress", sid, instructions, cycles,
+  slices)``, ``("result", sid, result_document)``, or ``("error",
+  sid, error_type, message, vitals)``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections import deque
+
+from repro.serve.protocol import ERROR_FAILED, ERROR_INVALID
+from repro.serve.sessions import (
+    DEFAULT_CHECKPOINT_EVERY,
+    DEFAULT_SLICE_BUDGET,
+    InvalidSessionError,
+    SessionExecutionError,
+    SessionRun,
+    spec_from_document,
+)
+
+
+def _context():
+    """Fork when available (cheap, inherits warm caches); else default."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def worker_main(conn, defaults: dict | None = None) -> None:
+    """Serve sessions over ``conn`` until ``("stop",)`` or EOF.
+
+    The scheduling loop: drain every queued command (blocking only
+    when no session is active), then retire one slice of the
+    longest-waiting active session and rotate it to the back.  All
+    observable session state lives in per-session
+    :class:`~repro.serve.sessions.SessionRun` machines, so the
+    interleaving order cannot change any result — only latency.
+    """
+    defaults = defaults or {}
+    active: deque[SessionRun] = deque()
+
+    def start_session(spec_document: dict, options: dict) -> None:
+        session_id = "?"
+        if isinstance(spec_document, dict):
+            raw = spec_document.get("session_id")
+            if isinstance(raw, str) and raw:
+                session_id = raw
+        try:
+            spec = spec_from_document(spec_document)
+            run = SessionRun(
+                spec,
+                slice_budget=options.get(
+                    "slice_budget",
+                    defaults.get("slice_budget", DEFAULT_SLICE_BUDGET)),
+                checkpoint_every=options.get(
+                    "checkpoint_every",
+                    defaults.get("checkpoint_every",
+                                 DEFAULT_CHECKPOINT_EVERY)))
+        except InvalidSessionError as error:
+            conn.send(("error", session_id, ERROR_INVALID, str(error),
+                       {}))
+            return
+        except SessionExecutionError as error:
+            conn.send(("error", session_id, error.error_type,
+                       str(error), {"instructions": error.instructions,
+                                    "cycles": error.cycles}))
+            return
+        except Exception as error:  # session build blew up
+            conn.send(("error", session_id, ERROR_FAILED,
+                       f"{type(error).__name__}: {error}", {}))
+            return
+        active.append(run)
+
+    while True:
+        # Drain commands; block only when there is nothing to run.
+        while active and conn.poll(0) or not active:
+            try:
+                message = conn.recv()
+            except EOFError:
+                return
+            if message[0] == "stop":
+                return
+            assert message[0] == "run", message
+            start_session(message[1], message[2])
+
+        run = active.popleft()
+        session_id = run.spec.session_id
+        try:
+            result = run.advance()
+        except SessionExecutionError as error:
+            conn.send(("error", session_id, error.error_type,
+                       str(error), {"instructions": error.instructions,
+                                    "cycles": error.cycles}))
+            continue
+        except Exception as error:  # pragma: no cover - defensive
+            conn.send(("error", session_id, ERROR_FAILED,
+                       f"{type(error).__name__}: {error}", {}))
+            continue
+        if result is None:
+            instructions, cycles, slices = run.progress
+            conn.send(("progress", session_id, instructions, cycles,
+                       slices))
+            active.append(run)
+        else:
+            conn.send(("result", session_id, result.describe()))
+
+
+class WorkerHandle:
+    """One persistent worker process and its command Pipe."""
+
+    def __init__(self, index: int, defaults: dict | None = None,
+                 ctx=None) -> None:
+        self.index = index
+        self.defaults = dict(defaults or {})
+        self.ctx = ctx or _context()
+        self.process = None
+        self.conn = None
+        self.respawns = -1  # first spawn() brings it to 0
+        self.spawn()
+
+    def spawn(self) -> None:
+        """(Re)start the worker process with a fresh Pipe."""
+        parent_conn, child_conn = self.ctx.Pipe(duplex=True)
+        self.process = self.ctx.Process(
+            target=worker_main, args=(child_conn, self.defaults),
+            daemon=True, name=f"serve-worker-{self.index}")
+        self.process.start()
+        child_conn.close()
+        self.conn = parent_conn
+        self.respawns += 1
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    def submit(self, spec_document: dict,
+               options: dict | None = None) -> None:
+        self.conn.send(("run", spec_document, options or {}))
+
+    def kill(self) -> None:
+        """Hard-stop the process (watchdog / shutdown path)."""
+        if self.process is None:
+            return
+        self.process.terminate()
+        self.process.join(5.0)
+        if self.process.is_alive():  # pragma: no cover - stuck in kernel
+            self.process.kill()
+            self.process.join(5.0)
+        if self.conn is not None:
+            self.conn.close()
+            self.conn = None
+
+    def stop(self) -> None:
+        """Ask the worker to exit cleanly; escalate if it will not."""
+        try:
+            if self.conn is not None:
+                self.conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+        if self.process is not None:
+            self.process.join(2.0)
+        self.kill()

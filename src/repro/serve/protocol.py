@@ -1,0 +1,222 @@
+"""Length-prefixed JSON wire protocol for the serve front-end.
+
+A frame is a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON encoding one object with a ``"type"`` field.  The
+codec's failure contract mirrors the instruction decoder's
+(:mod:`repro.isa.encoding` / ``tests/isa/test_decode_fuzz.py``): the
+*only* exception malformed bytes may raise is the typed
+:class:`ProtocolError` — truncated frames, oversized lengths, invalid
+UTF-8, non-JSON payloads, and JSON that is not a typed object all
+produce a structured diagnostic, never ``KeyError``/``UnicodeError``
+chaos and never silent garbage.  ``tests/serve/test_protocol.py``
+fuzzes exactly that contract.
+
+Frame vocabulary (the ``"type"`` field):
+
+==============  ======  ==================================================
+type            sender  meaning
+==============  ======  ==================================================
+``submit``      client  open a session (``spec``: a SessionSpec document)
+``stats``       client  request a server metrics snapshot
+``accepted``    server  session admitted (``session_id``)
+``rejected``    server  backlog full (``retry_after`` seconds)
+``progress``    server  one preemption slice retired (incremental)
+``result``      server  final deterministic session result
+``error``       server  typed failure (``error_type``: invalid / failed /
+                        timeout / crashed / protocol)
+``stats``       server  metrics snapshot reply
+==============  ======  ==================================================
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+#: Frames above this payload size are refused outright — a corrupt
+#: length prefix must not make the reader try to buffer gigabytes.
+MAX_FRAME_BYTES = 1 << 24
+
+#: Length-prefix layout: one unsigned 32-bit big-endian integer.
+_PREFIX = struct.Struct(">I")
+PREFIX_BYTES = _PREFIX.size
+
+#: Error frame ``error_type`` vocabulary.
+ERROR_INVALID = "invalid"      # malformed/unknown session spec
+ERROR_FAILED = "failed"        # session runner raised
+ERROR_TIMEOUT = "timeout"      # session exceeded its wall budget
+ERROR_CRASHED = "crashed"      # worker process died mid-session
+ERROR_PROTOCOL = "protocol"    # unparseable client frame
+ERROR_TYPES = (ERROR_INVALID, ERROR_FAILED, ERROR_TIMEOUT,
+               ERROR_CRASHED, ERROR_PROTOCOL)
+
+
+class ProtocolError(ValueError):
+    """A wire frame violated the protocol (the codec's only failure).
+
+    Carries the byte offset of the violation within the frame when it
+    is known, so a server log line can say *where* a stream went bad.
+    """
+
+    def __init__(self, reason: str, *, offset: int | None = None) -> None:
+        at = f" at byte {offset}" if offset is not None else ""
+        super().__init__(f"protocol error{at}: {reason}")
+        self.reason = reason
+        self.offset = offset
+
+
+def encode_frame(message: dict) -> bytes:
+    """Serialize one message as a length-prefixed frame.
+
+    ``message`` must be a JSON-serializable object carrying a string
+    ``"type"``; the encoder enforces the same shape the decoder does so
+    an encode→decode round trip is the identity
+    (``tests/serve/test_protocol.py`` pins it with hypothesis).
+    """
+    if not isinstance(message, dict):
+        raise ProtocolError("frame payload must be a JSON object")
+    kind = message.get("type")
+    if not isinstance(kind, str) or not kind:
+        raise ProtocolError("frame object must carry a string 'type'")
+    payload = json.dumps(message, sort_keys=True,
+                         separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit")
+    return _PREFIX.pack(len(payload)) + payload
+
+
+def _decode_payload(payload: bytes) -> dict:
+    try:
+        text = payload.decode("utf-8")
+    except UnicodeDecodeError as error:
+        raise ProtocolError(
+            f"frame payload is not valid UTF-8 ({error.reason})",
+            offset=PREFIX_BYTES + error.start) from error
+    try:
+        message = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(
+            f"frame payload is not valid JSON ({error.msg})",
+            offset=PREFIX_BYTES + error.pos) from error
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got "
+            f"{type(message).__name__}", offset=PREFIX_BYTES)
+    kind = message.get("type")
+    if not isinstance(kind, str) or not kind:
+        raise ProtocolError(
+            "frame object must carry a string 'type'",
+            offset=PREFIX_BYTES)
+    return message
+
+
+def decode_frame(data: bytes) -> tuple[dict, int]:
+    """Decode one frame from the head of ``data``.
+
+    Returns ``(message, bytes_consumed)``.  Raises
+    :class:`ProtocolError` when the prefix or payload is malformed, and
+    a ``ProtocolError`` with reason ``"truncated frame"`` when ``data``
+    ends before the declared payload does (an incremental reader treats
+    that one as "wait for more bytes"; see :class:`FrameDecoder`).
+    """
+    if len(data) < PREFIX_BYTES:
+        raise ProtocolError(
+            f"truncated frame: {len(data)} byte(s) of a "
+            f"{PREFIX_BYTES}-byte length prefix", offset=len(data))
+    (length,) = _PREFIX.unpack_from(data)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"declared payload of {length} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit", offset=0)
+    end = PREFIX_BYTES + length
+    if len(data) < end:
+        raise ProtocolError(
+            f"truncated frame: payload declares {length} bytes, "
+            f"{len(data) - PREFIX_BYTES} present", offset=len(data))
+    return _decode_payload(bytes(data[PREFIX_BYTES:end])), end
+
+
+def is_truncation(error: ProtocolError) -> bool:
+    """True when ``error`` means "the stream ended mid-frame"."""
+    return error.reason.startswith("truncated frame")
+
+
+class FrameDecoder:
+    """Incremental frame decoder over an arbitrary byte-chunk stream.
+
+    Feed it whatever the transport delivers; it yields complete
+    messages and retains the tail.  A malformed frame poisons the
+    decoder (the stream has lost sync — there is no reliable way to
+    resynchronize a length-prefixed stream after a bad prefix).
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._poisoned: ProtocolError | None = None
+
+    def feed(self, data: bytes) -> list[dict]:
+        """Absorb ``data``; return every newly-completed message."""
+        if self._poisoned is not None:
+            raise self._poisoned
+        self._buffer.extend(data)
+        messages: list[dict] = []
+        while True:
+            try:
+                message, consumed = decode_frame(self._buffer)
+            except ProtocolError as error:
+                if is_truncation(error):
+                    break  # wait for more bytes
+                self._poisoned = error
+                raise
+            del self._buffer[:consumed]
+            messages.append(message)
+        return messages
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+
+# ---------------------------------------------------------------------------
+# asyncio transport helpers
+# ---------------------------------------------------------------------------
+
+async def read_frame(reader) -> dict | None:
+    """Read one frame from an ``asyncio.StreamReader``.
+
+    Returns ``None`` on a clean EOF at a frame boundary; raises
+    :class:`ProtocolError` on a mid-frame EOF or a malformed frame.
+    """
+    prefix = await reader.read(PREFIX_BYTES)
+    if not prefix:
+        return None
+    while len(prefix) < PREFIX_BYTES:
+        more = await reader.read(PREFIX_BYTES - len(prefix))
+        if not more:
+            raise ProtocolError(
+                f"truncated frame: stream ended after {len(prefix)} "
+                f"prefix byte(s)", offset=len(prefix))
+        prefix += more
+    (length,) = _PREFIX.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"declared payload of {length} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit", offset=0)
+    payload = b""
+    while len(payload) < length:
+        chunk = await reader.read(length - len(payload))
+        if not chunk:
+            raise ProtocolError(
+                f"truncated frame: payload declares {length} bytes, "
+                f"stream ended after {len(payload)}",
+                offset=PREFIX_BYTES + len(payload))
+        payload += chunk
+    return _decode_payload(payload)
+
+
+async def write_frame(writer, message: dict) -> None:
+    """Encode and send one frame over an ``asyncio.StreamWriter``."""
+    writer.write(encode_frame(message))
+    await writer.drain()

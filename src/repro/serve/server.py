@@ -1,0 +1,451 @@
+"""Asyncio serving front-end over the persistent worker pool.
+
+One :class:`ServeServer` owns a pool of
+:class:`~repro.serve.pool.WorkerHandle` processes and a TCP listener
+speaking the :mod:`repro.serve.protocol` frame codec.  The design
+splits responsibilities the same way the PR 4 shard supervisor does,
+but for an open-ended session stream instead of a fixed job list:
+
+* **Admission control** — at most ``backlog`` sessions may be in
+  flight; a ``submit`` beyond that is answered with a ``rejected``
+  frame carrying ``retry_after`` (seconds) and is *not* queued, so a
+  load spike degrades into fast rejects instead of unbounded memory
+  growth and collapsing latency.
+* **Dispatch** — an admitted session goes to the worker with the
+  fewest active sessions (lowest index on ties), which time-slices it
+  against its other sessions (:mod:`repro.serve.pool`).
+* **Containment** — a dead worker Pipe (crash, ``os._exit``) or a
+  watchdog expiry (no message from a busy worker for
+  ``watchdog_seconds``) kills and respawns that worker; every session
+  it carried is answered with a typed ``error`` frame (``crashed`` /
+  ``timeout``) and the server keeps serving.  A malformed client
+  frame earns a typed ``protocol`` error frame and closes *that*
+  connection only.
+* **SLO metrics** — counters live in an obs
+  :class:`~repro.obs.metrics.MetricsRegistry` under ``serve_*`` names;
+  :meth:`ServeMetrics.snapshot` derives p50/p99 session latency and
+  sessions/sec for ``stats`` frames and ``BENCH_serve.json``.
+
+Determinism: the server adds no state of its own to results — a
+``result`` frame relays the worker's
+:meth:`~repro.serve.sessions.SessionResult.describe` document
+verbatim, so served digests are byte-identical to
+:func:`~repro.serve.sessions.run_sessions_serial` regardless of
+worker count, dispatch order, or preemption schedule
+(``tests/serve/test_conformance.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.pool import WorkerHandle
+from repro.serve.protocol import (
+    ERROR_CRASHED,
+    ERROR_INVALID,
+    ERROR_PROTOCOL,
+    ERROR_TIMEOUT,
+    ProtocolError,
+    read_frame,
+    write_frame,
+)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs for one server instance (defaults suit the test suite)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                    # 0 = ephemeral, read ServeServer.port
+    workers: int = 2
+    backlog: int = 32                # max in-flight sessions (admission)
+    retry_after: float = 0.05        # advertised in rejected frames
+    slice_budget: int | None = None  # default preemption slice (instrs)
+    checkpoint_every: int | None = None
+    watchdog_seconds: float = 10.0   # hung-worker detector
+    poll_seconds: float = 0.05       # worker Pipe poll granularity
+
+
+def _percentile(values: list[float], quantile: float) -> float:
+    """Nearest-rank percentile of an unsorted sample (0.0 if empty)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(quantile * len(ordered)))
+    return ordered[rank - 1]
+
+
+class ServeMetrics:
+    """SLO accounting, backed by the obs metrics registry."""
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry or MetricsRegistry()
+        self._submitted = self.registry.counter(
+            "serve_sessions_submitted", "submit frames received")
+        self._accepted = self.registry.counter(
+            "serve_sessions_accepted", "sessions admitted")
+        self._rejected = self.registry.counter(
+            "serve_sessions_rejected", "submits refused by admission")
+        self._completed = self.registry.counter(
+            "serve_sessions_completed", "sessions finished with a result")
+        self._failed = self.registry.counter(
+            "serve_sessions_failed", "sessions finished with an error")
+        self._preemptions = self.registry.counter(
+            "serve_preemptions", "preemption slices retired")
+        self._respawns = self.registry.counter(
+            "serve_worker_respawns", "workers killed and restarted")
+        self._protocol_errors = self.registry.counter(
+            "serve_protocol_errors", "malformed client frames")
+        self.latencies: list[float] = []   # seconds, submit -> result
+        self._first_accept: float | None = None
+        self._last_done: float | None = None
+
+    def submitted(self) -> None:
+        self._submitted.inc()
+
+    def rejected(self) -> None:
+        self._rejected.inc()
+
+    def accepted(self) -> None:
+        self._accepted.inc()
+        if self._first_accept is None:
+            self._first_accept = time.monotonic()
+
+    def completed(self, latency: float) -> None:
+        self._completed.inc()
+        self.latencies.append(latency)
+        self._last_done = time.monotonic()
+
+    def failed(self) -> None:
+        self._failed.inc()
+        self._last_done = time.monotonic()
+
+    def preempted(self) -> None:
+        self._preemptions.inc()
+
+    def respawned(self) -> None:
+        self._respawns.inc()
+
+    def protocol_error(self) -> None:
+        self._protocol_errors.inc()
+
+    def snapshot(self) -> dict:
+        """Counter values plus the derived SLO figures."""
+        completed = self._completed.value
+        elapsed = 0.0
+        if self._first_accept is not None and self._last_done is not None:
+            elapsed = max(0.0, self._last_done - self._first_accept)
+        return {
+            "sessions_submitted": self._submitted.value,
+            "sessions_accepted": self._accepted.value,
+            "sessions_rejected": self._rejected.value,
+            "sessions_completed": completed,
+            "sessions_failed": self._failed.value,
+            "preemptions": self._preemptions.value,
+            "worker_respawns": self._respawns.value,
+            "protocol_errors": self._protocol_errors.value,
+            "latency_p50_ms": round(
+                _percentile(self.latencies, 0.50) * 1e3, 3),
+            "latency_p99_ms": round(
+                _percentile(self.latencies, 0.99) * 1e3, 3),
+            "sessions_per_sec": round(completed / elapsed, 3)
+            if elapsed > 0 else 0.0,
+        }
+
+
+class _Client:
+    """One connected client; serializes its outbound frames."""
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.lock = asyncio.Lock()
+        self.closed = False
+
+    async def send(self, frame: dict) -> bool:
+        if self.closed:
+            return False
+        try:
+            async with self.lock:
+                await write_frame(self.writer, frame)
+            return True
+        except (ConnectionError, RuntimeError, OSError):
+            self.closed = True
+            return False
+
+
+@dataclass
+class _Session:
+    """One in-flight session's server-side record."""
+
+    session_id: str
+    client: _Client
+    submitted_at: float
+    slices: int = 0
+
+
+@dataclass
+class _WorkerSlot:
+    """A pool worker plus the sessions currently dispatched to it."""
+
+    handle: WorkerHandle
+    active: dict[str, _Session] = field(default_factory=dict)
+    last_heard: float = field(default_factory=time.monotonic)
+
+
+class ServeServer:
+    """The serving front-end.  ``start()`` → use → ``stop()``."""
+
+    def __init__(self, config: ServeConfig | None = None,
+                 registry: MetricsRegistry | None = None) -> None:
+        self.config = config or ServeConfig()
+        self.metrics = ServeMetrics(registry)
+        self._slots: list[_WorkerSlot] = []
+        self._sessions: dict[str, _Session] = {}   # in-flight, by id
+        self._managers: list[asyncio.Task] = []
+        self._server: asyncio.base_events.Server | None = None
+        self._running = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (after ``start()``)."""
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        defaults = {}
+        if self.config.slice_budget is not None:
+            defaults["slice_budget"] = self.config.slice_budget
+        if self.config.checkpoint_every is not None:
+            defaults["checkpoint_every"] = self.config.checkpoint_every
+        self._running = True
+        for index in range(self.config.workers):
+            slot = _WorkerSlot(WorkerHandle(index, defaults))
+            self._slots.append(slot)
+            self._managers.append(
+                asyncio.create_task(self._manage_worker(slot)))
+        self._server = await asyncio.start_server(
+            self._handle_client, self.config.host, self.config.port)
+
+    async def stop(self) -> None:
+        self._running = False
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for manager in self._managers:
+            manager.cancel()
+        await asyncio.gather(*self._managers, return_exceptions=True)
+        for slot in self._slots:
+            await asyncio.to_thread(slot.handle.stop)
+        self._slots.clear()
+        self._sessions.clear()
+
+    async def __aenter__(self) -> "ServeServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # -- client side -------------------------------------------------------
+
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        client = _Client(writer)
+        try:
+            while True:
+                try:
+                    message = await read_frame(reader)
+                except ProtocolError as error:
+                    # Malformed bytes: answer with a typed error frame
+                    # and drop this connection; sessions it already
+                    # submitted keep running and their frames are
+                    # dropped at _Client.send.
+                    self.metrics.protocol_error()
+                    await client.send({
+                        "type": "error", "session_id": None,
+                        "error_type": ERROR_PROTOCOL,
+                        "message": str(error)})
+                    break
+                if message is None:
+                    break
+                await self._handle_message(client, message)
+        finally:
+            client.closed = True
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_message(self, client: _Client,
+                              message: dict) -> None:
+        kind = message["type"]
+        if kind == "submit":
+            await self._handle_submit(client, message)
+        elif kind == "stats":
+            await client.send({"type": "stats",
+                               "metrics": self.metrics.snapshot(),
+                               "workers": self.config.workers,
+                               "backlog": self.config.backlog,
+                               "in_flight": len(self._sessions)})
+        else:
+            await client.send({
+                "type": "error", "session_id": None,
+                "error_type": ERROR_INVALID,
+                "message": f"unknown frame type {kind!r}"})
+
+    async def _handle_submit(self, client: _Client,
+                             message: dict) -> None:
+        self.metrics.submitted()
+        spec = message.get("spec")
+        session_id = None
+        if isinstance(spec, dict):
+            raw = spec.get("session_id")
+            if isinstance(raw, str) and raw:
+                session_id = raw
+        if session_id is None:
+            await client.send({
+                "type": "error", "session_id": None,
+                "error_type": ERROR_INVALID,
+                "message": "submit frame needs a 'spec' object with a "
+                           "non-empty string 'session_id'"})
+            return
+        if session_id in self._sessions:
+            await client.send({
+                "type": "error", "session_id": session_id,
+                "error_type": ERROR_INVALID,
+                "message": f"session {session_id!r} is already in "
+                           "flight"})
+            return
+        options = {}
+        for knob in ("slice_budget", "checkpoint_every"):
+            if knob in message:
+                value = message[knob]
+                if not isinstance(value, int) or value < 1:
+                    await client.send({
+                        "type": "error", "session_id": session_id,
+                        "error_type": ERROR_INVALID,
+                        "message": f"{knob} must be a positive "
+                                   "integer"})
+                    return
+                options[knob] = value
+        if len(self._sessions) >= self.config.backlog:
+            self.metrics.rejected()
+            await client.send({
+                "type": "rejected", "session_id": session_id,
+                "retry_after": self.config.retry_after,
+                "in_flight": len(self._sessions),
+                "backlog": self.config.backlog})
+            return
+
+        slot = min(self._slots,
+                   key=lambda s: (len(s.active), s.handle.index))
+        session = _Session(session_id, client, time.monotonic())
+        self._sessions[session_id] = session
+        slot.active[session_id] = session
+        slot.last_heard = time.monotonic()
+        self.metrics.accepted()
+        try:
+            await asyncio.to_thread(slot.handle.submit, spec, options)
+        except (BrokenPipeError, OSError):
+            # The manager task will notice the dead pipe and answer
+            # with a crashed frame; nothing more to do here.
+            pass
+        await client.send({"type": "accepted",
+                           "session_id": session_id,
+                           "worker": slot.handle.index})
+
+    # -- worker side -------------------------------------------------------
+
+    @staticmethod
+    def _poll_recv(handle: WorkerHandle, timeout: float):
+        """Blocking poll+recv, run in a thread.  ``None`` = no message."""
+        conn = handle.conn
+        if conn is None:
+            raise EOFError("worker connection closed")
+        if conn.poll(timeout):
+            return conn.recv()
+        return None
+
+    async def _manage_worker(self, slot: _WorkerSlot) -> None:
+        while self._running:
+            handle = slot.handle
+            try:
+                message = await asyncio.to_thread(
+                    self._poll_recv, handle, self.config.poll_seconds)
+            except (EOFError, OSError):
+                if not self._running:
+                    return
+                await self._replace_worker(
+                    slot, ERROR_CRASHED,
+                    "worker process died mid-session")
+                continue
+            if message is None:
+                stale = time.monotonic() - slot.last_heard
+                if slot.active and stale > self.config.watchdog_seconds:
+                    await self._replace_worker(
+                        slot, ERROR_TIMEOUT,
+                        f"watchdog: worker silent for "
+                        f"{stale:.1f}s with "
+                        f"{len(slot.active)} active session(s)")
+                continue
+            slot.last_heard = time.monotonic()
+            await self._dispatch_worker_message(slot, message)
+
+    async def _dispatch_worker_message(self, slot: _WorkerSlot,
+                                       message: tuple) -> None:
+        kind = message[0]
+        session = self._sessions.get(message[1])
+        if session is None or message[1] not in slot.active:
+            return  # session already failed over; stale message
+        if kind == "progress":
+            _, session_id, instructions, cycles, slices = message
+            session.slices = slices
+            self.metrics.preempted()
+            await session.client.send({
+                "type": "progress", "session_id": session_id,
+                "instructions": instructions, "cycles": cycles,
+                "slices": slices})
+        elif kind == "result":
+            _, session_id, document = message
+            self._finish(slot, session_id)
+            self.metrics.completed(
+                time.monotonic() - session.submitted_at)
+            await session.client.send({
+                "type": "result", "session_id": session_id,
+                "result": document})
+        elif kind == "error":
+            _, session_id, error_type, text, vitals = message
+            self._finish(slot, session_id)
+            self.metrics.failed()
+            await session.client.send({
+                "type": "error", "session_id": session_id,
+                "error_type": error_type, "message": text,
+                "vitals": vitals})
+
+    def _finish(self, slot: _WorkerSlot, session_id: str) -> None:
+        slot.active.pop(session_id, None)
+        self._sessions.pop(session_id, None)
+
+    async def _replace_worker(self, slot: _WorkerSlot,
+                              error_type: str, reason: str) -> None:
+        """Kill + respawn a worker; fail everything it carried."""
+        casualties = list(slot.active.values())
+        slot.active.clear()
+        await asyncio.to_thread(slot.handle.kill)
+        slot.handle.spawn()
+        slot.last_heard = time.monotonic()
+        self.metrics.respawned()
+        for session in casualties:
+            self._sessions.pop(session.session_id, None)
+            self.metrics.failed()
+            await session.client.send({
+                "type": "error", "session_id": session.session_id,
+                "error_type": error_type, "message": reason,
+                "vitals": {"slices": session.slices}})

@@ -1,0 +1,568 @@
+"""Decode sessions: the serving layer's unit of work.
+
+A session is a self-describing, JSON-parameterized decode request —
+a CABAC bitstream to entropy-decode, a motion-estimation refinement,
+or a video-pipeline kernel over a synthetic workload — executed on a
+*fresh* simulated processor.  Every session is deterministic: the same
+:class:`SessionSpec` produces byte-identical architectural state,
+statistics, and therefore the same :meth:`SessionResult.digest`, in
+any process, at any preemption slice budget, on any worker.  That is
+the property the whole serving conformance suite rests on: the server
+may schedule, slice, and shard however it likes, because no schedule
+can change what a session computes.
+
+Execution is preemptible: :func:`execute_session` drives the run in
+``Processor.step_block`` slices so a worker can time-slice long
+decodes across its active sessions, and takes a
+``Processor.snapshot()`` checkpoint at each preemption boundary.  The
+checkpoint is the fault story, mirroring the PR 5 recovery protocol:
+when a slice raises mid-flight (simulated watchdog, workload bug), the
+session is rolled back to the last clean instruction boundary before
+the failure is reported, so error frames carry consistent
+machine-state vitals instead of mid-slice garbage.
+
+``kind="fault"`` is test support (the serve twin of
+``repro.eval.jobs.run_fault_job``): a session that misbehaves on
+demand so the chaos suite can drive crash/hang/failure through real
+worker processes with ordinary session specs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.serve.protocol import ERROR_FAILED, ERROR_TIMEOUT
+
+#: Simulated-cycle watchdog per session: far beyond any catalog
+#: session (the largest is ~1M cycles), small enough that a runaway
+#: decode is caught in seconds of host time.
+DEFAULT_MAX_CYCLES = 20_000_000
+
+#: Default preemption slice: instructions retired per ``step_block``
+#: call before the worker may switch sessions.  Small enough that a
+#: CABAC I-field is sliced ~8 times, large enough that slicing costs
+#: noise (<1% of a slice is loop overhead).
+DEFAULT_SLICE_BUDGET = 8192
+
+#: A checkpoint is taken every N preemption slices (1 = every slice).
+DEFAULT_CHECKPOINT_EVERY = 4
+
+
+class InvalidSessionError(ValueError):
+    """The session spec is malformed (unknown kind, bad parameters)."""
+
+
+class SessionExecutionError(RuntimeError):
+    """A session failed mid-run, rolled back to its last checkpoint.
+
+    ``error_type`` is the wire vocabulary (``failed`` / ``timeout``);
+    ``instructions``/``cycles`` are the machine vitals at the clean
+    instruction boundary the rollback landed on (-1: failed before the
+    first boundary).
+    """
+
+    def __init__(self, error_type: str, message: str, *,
+                 instructions: int = -1, cycles: int = -1) -> None:
+        super().__init__(message)
+        self.error_type = error_type
+        self.instructions = instructions
+        self.cycles = cycles
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """One self-contained decode request (JSON-safe, picklable)."""
+
+    session_id: str
+    kind: str
+    params: dict = field(default_factory=dict)
+
+    def describe(self) -> dict:
+        """JSON round-trip (raises if ``params`` are not JSON-safe)."""
+        return json.loads(json.dumps({
+            "session_id": self.session_id,
+            "kind": self.kind,
+            "params": self.params,
+        }))
+
+
+def spec_from_document(document: dict) -> SessionSpec:
+    """Parse a wire-side spec document (raises InvalidSessionError)."""
+    if not isinstance(document, dict):
+        raise InvalidSessionError("session spec must be an object")
+    session_id = document.get("session_id")
+    kind = document.get("kind")
+    params = document.get("params", {})
+    if not isinstance(session_id, str) or not session_id:
+        raise InvalidSessionError(
+            "session spec must carry a string 'session_id'")
+    if not isinstance(kind, str) or not kind:
+        raise InvalidSessionError(
+            "session spec must carry a string 'kind'")
+    if not isinstance(params, dict):
+        raise InvalidSessionError("session 'params' must be an object")
+    return SessionSpec(session_id=session_id, kind=kind, params=params)
+
+
+@dataclass
+class SessionResult:
+    """The deterministic outcome of one session.
+
+    :meth:`core` is the conformance surface — every field in it is a
+    pure function of the spec.  Slice telemetry (``slices``,
+    ``preemptions``, ``checkpoints``) depends on the slice budget and
+    is deliberately outside the digest.
+    """
+
+    session_id: str
+    kind: str
+    output_digest: str
+    instructions: int
+    cycles: int
+    ops_issued: int
+    ops_executed: int
+    dcache_stall_cycles: int
+    icache_stall_cycles: int
+    payload: dict
+    slices: int = 1
+    preemptions: int = 0
+    checkpoints: int = 0
+
+    def core(self) -> dict:
+        """The schedule-invariant result fields, in stable order."""
+        return {
+            "session_id": self.session_id,
+            "kind": self.kind,
+            "output_digest": self.output_digest,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "ops_issued": self.ops_issued,
+            "ops_executed": self.ops_executed,
+            "dcache_stall_cycles": self.dcache_stall_cycles,
+            "icache_stall_cycles": self.icache_stall_cycles,
+            "payload": self.payload,
+        }
+
+    @property
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON of :meth:`core`."""
+        canonical = json.dumps(self.core(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def describe(self) -> dict:
+        """Wire form: core fields + digest + slice telemetry."""
+        return {**self.core(), "digest": self.digest,
+                "slices": self.slices, "preemptions": self.preemptions,
+                "checkpoints": self.checkpoints}
+
+
+@dataclass
+class _SessionWork:
+    """A built, ready-to-run session (worker-side only)."""
+
+    program: object
+    config: object
+    memory: object
+    args: dict
+    verify: Callable
+    output_digest: Callable
+    payload: Callable
+    max_cycles: int = DEFAULT_MAX_CYCLES
+
+
+# ---------------------------------------------------------------------------
+# Session builders
+# ---------------------------------------------------------------------------
+
+_CABAC_STREAM_OFF = 0x0
+_CABAC_OUT_OFF = 0x8000
+_CABAC_CTX_OFF = 0xA000
+_CABAC_TABLES_OFF = 0xB000
+
+#: Default CABAC field scale for served sessions (1/400 of the paper's
+#: field sizes: ~500 symbols, ~0.1s of simulation — a streaming-sized
+#: slice of work, not a batch experiment).
+CABAC_SESSION_SCALE = 0.0025
+
+
+def _require(params: dict, key: str, types, choices=None):
+    if key not in params:
+        raise InvalidSessionError(f"session params missing {key!r}")
+    value = params[key]
+    if not isinstance(value, types) or isinstance(value, bool):
+        raise InvalidSessionError(
+            f"session param {key!r} has type {type(value).__name__}")
+    if choices is not None and value not in choices:
+        raise InvalidSessionError(
+            f"session param {key!r} must be one of {sorted(choices)}, "
+            f"got {value!r}")
+    return value
+
+
+def _build_cabac(params: dict) -> _SessionWork:
+    from repro.asm.link import compile_program
+    from repro.core.config import TM3270_CONFIG
+    from repro.kernels import cabac_kernel
+    from repro.kernels.common import DATA_BASE, args_for
+    from repro.mem.flatmem import FlatMemory
+    from repro.workloads.cabac_streams import generate_field
+
+    field_type = _require(params, "field_type", str, {"I", "P", "B"})
+    variant = _require(params, "variant", str, {"plain", "super"})
+    seed = _require(params, "seed", int)
+    scale = params.get("scale", CABAC_SESSION_SCALE)
+    if not isinstance(scale, (int, float)) or not 0 < scale <= 1:
+        raise InvalidSessionError(
+            "session param 'scale' must be a fraction in (0, 1]")
+    stream = generate_field(field_type, seed=seed, scale=scale)
+    build = (cabac_kernel.build_cabac_plain if variant == "plain"
+             else cabac_kernel.build_cabac_super)
+    program = compile_program(
+        build(num_contexts=stream.num_contexts), TM3270_CONFIG.target)
+    memory = FlatMemory(1 << 18)
+    memory.write_block(DATA_BASE + _CABAC_STREAM_OFF, stream.data)
+    memory.write_block(DATA_BASE + _CABAC_TABLES_OFF,
+                       cabac_kernel.prepare_tables())
+    out_addr = DATA_BASE + _CABAC_OUT_OFF
+
+    def verify(memory, result):
+        decoded = memory.read_block(out_addr, stream.num_symbols)
+        if decoded != bytes(stream.symbols):
+            raise SessionExecutionError(
+                ERROR_FAILED,
+                f"CABAC {variant} decoder mis-decoded a "
+                f"{field_type} field (seed {seed})")
+
+    def output_digest(memory):
+        decoded = memory.read_block(out_addr, stream.num_symbols)
+        return hashlib.sha256(decoded).hexdigest()
+
+    def payload(memory, result):
+        return {"field_type": field_type, "variant": variant,
+                "num_symbols": stream.num_symbols,
+                "num_bits": stream.num_bits}
+
+    return _SessionWork(
+        program=program, config=TM3270_CONFIG, memory=memory,
+        args=args_for(DATA_BASE + _CABAC_STREAM_OFF, out_addr,
+                      DATA_BASE + _CABAC_CTX_OFF,
+                      DATA_BASE + _CABAC_TABLES_OFF, stream.num_symbols),
+        verify=verify, output_digest=output_digest, payload=payload)
+
+
+def _build_kernel(params: dict) -> _SessionWork:
+    from repro.asm.link import compile_program
+    from repro.core.config import EVALUATION_CONFIGS
+    from repro.kernels.registry import kernel_by_name
+    from repro.mem.flatmem import FlatMemory
+
+    kernel = _require(params, "kernel", str)
+    config_name = _require(params, "config", str)
+    by_name = {cfg.name: cfg for cfg in EVALUATION_CONFIGS}
+    if config_name not in by_name:
+        raise InvalidSessionError(
+            f"unknown evaluation config {config_name!r} "
+            f"(have {sorted(by_name)})")
+    try:
+        case = kernel_by_name(kernel)
+    except KeyError as error:
+        raise InvalidSessionError(str(error)) from error
+    config = by_name[config_name]
+    program = compile_program(case.build(), config.target)
+    memory = FlatMemory(case.memory_size)
+    args = case.prepare(memory)
+
+    def verify(memory, result):
+        try:
+            case.verify(memory, result)
+        except AssertionError as error:
+            raise SessionExecutionError(
+                ERROR_FAILED,
+                f"kernel {kernel} verification failed: {error}"
+            ) from error
+
+    def output_digest(memory):
+        return case.output_digest(memory)
+
+    def payload(memory, result):
+        return {"kernel": kernel, "config": config_name,
+                "work_units": case.work_units}
+
+    return _SessionWork(
+        program=program, config=config, memory=memory, args=args,
+        verify=verify, output_digest=output_digest, payload=payload)
+
+
+_ME_WIDTH = 64
+_ME_RESULT_OFF = 0x8000
+
+
+def _build_me(params: dict) -> _SessionWork:
+    from repro.asm.link import compile_program
+    from repro.core.config import TM3270_CONFIG
+    from repro.kernels import motion
+    from repro.kernels.common import DATA_BASE, args_for
+    from repro.mem.flatmem import FlatMemory
+    from repro.workloads.video import synthetic_frame
+
+    variant = _require(params, "variant", str, {"plain", "ld8"})
+    seed = _require(params, "seed", int)
+    build = (motion.build_me_frac_plain if variant == "plain"
+             else motion.build_me_frac_ld8)
+    program = compile_program(build(), TM3270_CONFIG.target)
+    frame = synthetic_frame(_ME_WIDTH, 16, seed=seed)
+    memory = FlatMemory(1 << 16)
+    cur_addr = DATA_BASE
+    ref_addr = DATA_BASE + 8 * _ME_WIDTH
+    result_addr = DATA_BASE + _ME_RESULT_OFF
+    memory.write_block(cur_addr, frame[:8 * _ME_WIDTH])
+    memory.write_block(ref_addr, frame[8 * _ME_WIDTH:16 * _ME_WIDTH])
+
+    def verify(memory, result):
+        cur = memory.read_block(cur_addr, 8 * _ME_WIDTH)
+        ref = memory.read_block(ref_addr, 8 * _ME_WIDTH)
+        expected = motion.reference_best_sad(cur, ref, _ME_WIDTH)
+        got = memory.load(result_addr, 4)
+        if got != expected:
+            raise SessionExecutionError(
+                ERROR_FAILED,
+                f"me_frac_{variant} best SAD {got} != reference "
+                f"{expected} (seed {seed})")
+
+    def output_digest(memory):
+        return hashlib.sha256(
+            memory.read_block(result_addr, 4)).hexdigest()
+
+    def payload(memory, result):
+        return {"variant": variant,
+                "best_sad": memory.load(result_addr, 4)}
+
+    return _SessionWork(
+        program=program, config=TM3270_CONFIG, memory=memory,
+        args=args_for(cur_addr, ref_addr, _ME_WIDTH, result_addr),
+        verify=verify, output_digest=output_digest, payload=payload)
+
+
+_BUILDERS = {
+    "cabac": _build_cabac,
+    "kernel": _build_kernel,
+    "me": _build_me,
+}
+
+SESSION_KINDS = tuple(sorted(_BUILDERS)) + ("fault",)
+
+
+def build_session(spec: SessionSpec) -> _SessionWork:
+    """Compile and lay out one session (raises InvalidSessionError)."""
+    builder = _BUILDERS.get(spec.kind)
+    if builder is None:
+        raise InvalidSessionError(
+            f"unknown session kind {spec.kind!r} "
+            f"(have {sorted(SESSION_KINDS)})")
+    return builder(spec.params)
+
+
+# ---------------------------------------------------------------------------
+# Execution (preemptible, checkpointed)
+# ---------------------------------------------------------------------------
+
+def _run_fault_session(spec: SessionSpec) -> SessionResult:
+    """Test-support misbehaviour on demand (chaos suite)."""
+    mode = _require(spec.params, "mode", str,
+                    {"ok", "raise", "hang", "exit"})
+    if mode == "raise":
+        raise SessionExecutionError(
+            ERROR_FAILED, "injected failure (fault session)")
+    if mode == "hang":
+        time.sleep(float(spec.params.get("seconds", 3600.0)))
+    elif mode == "exit":
+        os._exit(3)
+    return SessionResult(
+        session_id=spec.session_id, kind="fault",
+        output_digest=hashlib.sha256(b"fault:ok").hexdigest(),
+        instructions=0, cycles=0, ops_issued=0, ops_executed=0,
+        dcache_stall_cycles=0, icache_stall_cycles=0,
+        payload={"mode": mode})
+
+
+class SessionRun:
+    """One in-progress preemptible session (worker-side).
+
+    Drive it with :meth:`advance`: each call retires one
+    ``slice_budget``-instruction slice and returns the final
+    :class:`SessionResult` once the program halts (``None`` while the
+    session still has work).  Between calls the machine sits at a
+    clean instruction boundary, so a worker can interleave
+    ``advance()`` calls across many concurrent sessions — that *is*
+    the preemption protocol.  After every ``checkpoint_every``-th
+    slice a ``Processor.snapshot()`` checkpoint is taken; a slice that
+    raises rolls the machine back to the last checkpoint so the
+    failure is reported from a clean boundary (as
+    :class:`SessionExecutionError`).
+    """
+
+    def __init__(self, spec: SessionSpec,
+                 slice_budget: int | None = DEFAULT_SLICE_BUDGET,
+                 checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY) -> None:
+        from repro.core.processor import Processor
+
+        self.spec = spec
+        self.slice_budget = slice_budget
+        self.checkpoint_every = checkpoint_every
+        self.slices = 0
+        self.checkpoints = 0
+        self._checkpoint = None
+        self._work = None
+        self._processor = None
+        if spec.kind != "fault":
+            self._work = build_session(spec)
+            self._processor = Processor(self._work.config,
+                                        memory=self._work.memory)
+            self._processor.begin(self._work.program,
+                                  args=self._work.args,
+                                  max_cycles=self._work.max_cycles)
+
+    @property
+    def progress(self) -> tuple[int, int, int]:
+        """(instructions, cycles, slices) at the current boundary."""
+        if self._processor is None or self._processor.session is None:
+            return (0, 0, self.slices)
+        session = self._processor.session
+        return (session.instructions, session.cycle, self.slices)
+
+    def advance(self) -> SessionResult | None:
+        """Retire one slice; the final result once halted, else None."""
+        from repro.core.processor import WatchdogTimeout
+
+        if self.spec.kind == "fault":
+            return _run_fault_session(self.spec)
+        processor = self._processor
+        try:
+            halted = processor.step_block(self.slice_budget)
+        except Exception as error:
+            error_type = (ERROR_TIMEOUT
+                          if isinstance(error, WatchdogTimeout)
+                          else ERROR_FAILED)
+            if self._checkpoint is not None:
+                processor.restore(self._checkpoint)
+                vitals = (processor.session.instructions,
+                          processor.session.cycle)
+            else:
+                vitals = (-1, -1)
+            raise SessionExecutionError(
+                error_type, f"{type(error).__name__}: {error}",
+                instructions=vitals[0], cycles=vitals[1]) from error
+        self.slices += 1
+        if not halted:
+            if (self.checkpoint_every
+                    and self.slices % self.checkpoint_every == 0):
+                self._checkpoint = processor.snapshot()
+                self.checkpoints += 1
+            return None
+        work = self._work
+        result = processor.result()
+        work.verify(work.memory, result)
+        stats = result.stats
+        return SessionResult(
+            session_id=self.spec.session_id, kind=self.spec.kind,
+            output_digest=work.output_digest(work.memory),
+            instructions=stats.instructions, cycles=stats.cycles,
+            ops_issued=stats.ops_issued,
+            ops_executed=stats.ops_executed,
+            dcache_stall_cycles=stats.dcache_stall_cycles,
+            icache_stall_cycles=stats.icache_stall_cycles,
+            payload=work.payload(work.memory, result),
+            slices=self.slices, preemptions=max(0, self.slices - 1),
+            checkpoints=self.checkpoints)
+
+
+def execute_session(spec: SessionSpec,
+                    slice_budget: int | None = DEFAULT_SLICE_BUDGET,
+                    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+                    on_slice: Callable | None = None) -> SessionResult:
+    """Run one session to completion in preemptible slices.
+
+    ``slice_budget`` instructions retire per ``step_block`` call
+    (``None``: one unpreempted block — the serial reference).
+    ``on_slice(instructions, cycles, slices)`` streams incremental
+    progress (the server forwards it as ``progress`` frames).
+
+    The result is bit-identical for every ``slice_budget`` /
+    ``checkpoint_every`` combination — ``tests/serve/test_preemption``
+    pins that with hypothesis-drawn schedules.
+    """
+    run = SessionRun(spec, slice_budget=slice_budget,
+                     checkpoint_every=checkpoint_every)
+    while True:
+        result = run.advance()
+        if result is not None:
+            return result
+        if on_slice is not None:
+            on_slice(*run.progress)
+
+
+def run_sessions_serial(specs: list[SessionSpec],
+                        slice_budget: int | None = None
+                        ) -> list[SessionResult]:
+    """The serial reference runner: one session after another,
+    in-process, unpreempted by default.  Served results are pinned
+    byte-identical to this."""
+    return [execute_session(spec, slice_budget=slice_budget)
+            for spec in specs]
+
+
+def workload_digest(results: list[SessionResult]) -> str:
+    """One digest over a whole workload's per-session digests,
+    in ``session_id`` order (schedule-invariant)."""
+    ordered = sorted(results, key=lambda result: result.session_id)
+    canonical = json.dumps(
+        [[result.session_id, result.digest] for result in ordered],
+        separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# The pinned mixed workload (conformance corpus)
+# ---------------------------------------------------------------------------
+
+def mixed_workload() -> list[SessionSpec]:
+    """The pinned 12-session mixed workload.
+
+    Four CABAC entropy decodes (all three field types + one
+    super-op variant), four video-pipeline kernels (MPEG2 motion
+    compensation, EEMBC filter/color, TV de-interlacing), and four
+    motion-estimation refinements — the session mix the golden serve
+    digests (``tests/golden/serve_sessions.json``) are pinned over.
+    The set, order, and parameters are part of the golden contract;
+    changing any of them requires ``make serve-golden``.
+    """
+    specs = [
+        SessionSpec("cabac-I-plain", "cabac",
+                    {"field_type": "I", "variant": "plain", "seed": 7}),
+        SessionSpec("cabac-P-plain", "cabac",
+                    {"field_type": "P", "variant": "plain", "seed": 11}),
+        SessionSpec("cabac-B-plain", "cabac",
+                    {"field_type": "B", "variant": "plain", "seed": 13}),
+        SessionSpec("cabac-B-super", "cabac",
+                    {"field_type": "B", "variant": "super", "seed": 13}),
+        SessionSpec("kernel-mpeg2c-A", "kernel",
+                    {"kernel": "mpeg2_c", "config": "A"}),
+        SessionSpec("kernel-filter-A", "kernel",
+                    {"kernel": "filter", "config": "A"}),
+        SessionSpec("kernel-filmdet-D", "kernel",
+                    {"kernel": "filmdet", "config": "D"}),
+        SessionSpec("kernel-majsel-A", "kernel",
+                    {"kernel": "majority_sel", "config": "A"}),
+        SessionSpec("me-plain-5", "me", {"variant": "plain", "seed": 5}),
+        SessionSpec("me-ld8-5", "me", {"variant": "ld8", "seed": 5}),
+        SessionSpec("me-plain-9", "me", {"variant": "plain", "seed": 9}),
+        SessionSpec("me-ld8-9", "me", {"variant": "ld8", "seed": 9}),
+    ]
+    assert len({spec.session_id for spec in specs}) == len(specs)
+    return specs

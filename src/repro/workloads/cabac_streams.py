@@ -22,6 +22,7 @@ context selection (mirrored exactly by the decode kernels).
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass
 
@@ -64,7 +65,14 @@ def generate_field(field_type: str, seed: int = 7,
         raise ValueError(f"unknown field type {field_type!r}")
     target_bits = max(64, int(PAPER_BITS_PER_FIELD[field_type] * scale))
     bias = FIELD_BIAS[field_type]
-    rng = random.Random((seed, field_type).__hash__() & 0x7FFFFFFF)
+    # Derive the RNG seed without hash(): a str's hash is randomized
+    # per interpreter launch (PYTHONHASHSEED), which made every
+    # "deterministic" stream differ between processes — sha256 is the
+    # same everywhere, so the same (seed, field_type) is the same
+    # bitstream on any worker, any machine, any hash seed.
+    material = f"cabac-field:{seed}:{field_type}".encode()
+    rng = random.Random(
+        int.from_bytes(hashlib.sha256(material).digest()[:8], "big"))
     encoder = CabacEncoder(num_contexts=num_contexts)
     # The decoder selects contexts round-robin; mirror it exactly.
     mps_guess = [0] * num_contexts

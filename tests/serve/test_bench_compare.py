@@ -1,0 +1,148 @@
+"""``scripts/bench_compare.py``: schema-drift diagnostics + serve gate.
+
+The comparator reads three generations of ``BENCH_*.json`` perf
+records: pre-median (``instructions_per_sec`` only), median-era
+(``median_instructions_per_sec`` + ``samples_ns``), and per-engine
+(``engines`` subsections).  A record from the wrong generation used to
+escape as a bare ``KeyError``; these tests pin the structured
+diagnostic that replaced it, and the new SLO gate over ``serve``
+sections (sessions/sec drop, p99 latency growth).
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+_SCRIPT = (pathlib.Path(__file__).resolve().parent.parent.parent
+           / "scripts" / "bench_compare.py")
+_spec = importlib.util.spec_from_file_location("bench_compare", _SCRIPT)
+bench_compare = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_compare)
+
+
+def _record(kernel="serve_loadgen", config="SERVE", **extra):
+    base = {
+        "kernel": kernel, "config": config, "freq_mhz": 240.0,
+        "instructions": 1000, "cycles": 2000, "ops_issued": 1500,
+        "ops_executed": 1400, "opi": 1.4, "cpi": 2.0,
+        "seconds": 0.001,
+        "stall_cycles": {"dcache": 10, "icache": 5},
+        "hit_rates": {},
+    }
+    base.update(extra)
+    return base
+
+
+def _document(*records):
+    return {"schema": "tm3270.bench/1", "records": list(records)}
+
+
+def _serve_section(sessions_per_sec=10.0, p99_ms=500.0, failed=0):
+    return {"failed": failed,
+            "server_sessions_per_sec": sessions_per_sec,
+            "server_latency_p99_ms": p99_ms}
+
+
+class TestSchemaDriftDiagnostics:
+    """A record from another schema generation fails with a clear
+    message, never a KeyError."""
+
+    def test_sim_speed_with_no_rate_field(self):
+        record = _record(kernel="memcpy", config="A",
+                         sim_speed={"samples_ns": [1, 2, 3]})
+        with pytest.raises(bench_compare.SchemaDriftError) as caught:
+            bench_compare.compare(_document(record),
+                                  _document(record), 0.2)
+        message = str(caught.value)
+        assert "perf record schema drift" in message
+        assert "memcpy/A" in message
+        assert "'sim_speed' section" in message
+        assert "regenerate the file with 'make perf'" in message
+
+    def test_engines_entry_with_no_median(self):
+        engines = {"interp": {"samples_ns": [1, 2]},
+                   "plan": {"samples_ns": [1, 2]}}
+        record = _record(kernel="memcpy", config="A",
+                         sim_speed={"engines": engines})
+        with pytest.raises(bench_compare.SchemaDriftError) as caught:
+            bench_compare.compare(_document(record),
+                                  _document(record), 0.2)
+        message = str(caught.value)
+        assert "perf record schema drift" in message
+        assert "'sim_speed.engines' section" in message
+        assert "'median_instructions_per_sec'" in message
+
+    def test_serve_section_with_no_slo_fields(self):
+        old = _record(serve=_serve_section())
+        new = _record(serve={"failed": 0})
+        with pytest.raises(bench_compare.SchemaDriftError) as caught:
+            bench_compare.compare(_document(old), _document(new), 0.2)
+        assert "'serve' section" in str(caught.value)
+        assert "'server_sessions_per_sec'" in str(caught.value)
+
+    def test_main_reports_drift_as_clean_failure(self, tmp_path,
+                                                 capsys):
+        record = _record(kernel="memcpy", config="A",
+                         sim_speed={"samples_ns": [1]})
+        import json
+        for name in ("old.json", "new.json"):
+            (tmp_path / name).write_text(json.dumps(_document(record)))
+        code = bench_compare.main([str(tmp_path / "old.json"),
+                                   str(tmp_path / "new.json"),
+                                   "--no-static-verify",
+                                   "--no-trace-validate"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "perf record schema drift" in captured.err
+        assert "KeyError" not in captured.err
+
+    def test_legacy_pre_median_record_still_gates(self):
+        # The oldest real generation (instructions_per_sec only) is
+        # not drift — it must keep comparing.
+        old = _record(kernel="memcpy", config="A",
+                      sim_speed={"instructions_per_sec": 100.0})
+        new = _record(kernel="memcpy", config="A",
+                      sim_speed={"instructions_per_sec": 50.0})
+        failures = bench_compare.compare(_document(old),
+                                         _document(new), 0.2)
+        assert any("throughput fell" in failure
+                   for failure in failures)
+
+
+class TestServeGate:
+    def test_clean_run_passes(self):
+        old = _record(serve=_serve_section(10.0, 500.0))
+        new = _record(serve=_serve_section(9.5, 520.0))
+        assert bench_compare.compare(_document(old),
+                                     _document(new), 0.2) == []
+
+    def test_sessions_per_sec_drop_fails(self):
+        old = _record(serve=_serve_section(sessions_per_sec=10.0))
+        new = _record(serve=_serve_section(sessions_per_sec=7.0))
+        failures = bench_compare.compare(_document(old),
+                                         _document(new), 0.2)
+        assert any("sessions/sec fell" in failure
+                   for failure in failures)
+
+    def test_p99_growth_fails(self):
+        old = _record(serve=_serve_section(p99_ms=500.0))
+        new = _record(serve=_serve_section(p99_ms=700.0))
+        failures = bench_compare.compare(_document(old),
+                                         _document(new), 0.2)
+        assert any("p99 session latency grew" in failure
+                   for failure in failures)
+
+    def test_failed_sessions_fail_unconditionally(self):
+        old = _record(serve=_serve_section())
+        new = _record(serve=_serve_section(failed=2))
+        failures = bench_compare.compare(_document(old),
+                                         _document(new), 0.2)
+        assert any("session(s) failed" in failure
+                   for failure in failures)
+
+    def test_improvements_pass(self):
+        old = _record(serve=_serve_section(10.0, 500.0))
+        new = _record(serve=_serve_section(20.0, 250.0))
+        assert bench_compare.compare(_document(old),
+                                     _document(new), 0.2) == []

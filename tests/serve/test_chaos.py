@@ -1,0 +1,286 @@
+"""Chaos: crashes, hangs, and garbage bytes never wedge the server.
+
+The serve twin of ``tests/eval/test_parallel_faults.py``: a production
+server multiplexes thousands of sessions; its promise is that one
+misbehaving session (or client) costs *that session* — a typed error
+frame — never the server.  These tests drive the three failure
+families through a real asyncio server and real worker processes:
+
+* a worker killed outright mid-session (``os._exit`` via a ``fault``
+  session) — typed ``crashed`` frame, worker respawned, the next
+  session served normally;
+* a hung worker (a ``fault`` session sleeping past the watchdog) —
+  typed ``timeout`` frame after the watchdog fires, worker respawned;
+* malformed client bytes — a typed ``protocol`` error frame and a
+  closed connection, with the server still serving new connections.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.serve.loadgen import run_load
+from repro.serve.protocol import (
+    ERROR_CRASHED,
+    ERROR_INVALID,
+    ERROR_PROTOCOL,
+    ERROR_TIMEOUT,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+from repro.serve.server import ServeConfig, ServeServer
+from repro.serve.sessions import SessionSpec
+
+ME_DOC = SessionSpec("me-ok", "me",
+                     {"variant": "plain", "seed": 5}).describe()
+
+
+def _fault_doc(session_id, mode, **params):
+    return {"session_id": session_id, "kind": "fault",
+            "params": {"mode": mode, **params}}
+
+
+async def _open(server):
+    return await asyncio.open_connection("127.0.0.1", server.port)
+
+
+async def _submit(writer, document, **extra):
+    await write_frame(writer, {"type": "submit", "spec": document,
+                               **extra})
+
+
+async def _await_terminal(reader, session_id):
+    """Frames until the session's result/error; returns that frame."""
+    while True:
+        frame = await asyncio.wait_for(read_frame(reader), 30.0)
+        assert frame is not None, "server closed mid-session"
+        if (frame["type"] in ("result", "error", "rejected")
+                and frame.get("session_id") == session_id):
+            return frame
+
+
+async def _stats(server):
+    reader, writer = await _open(server)
+    await write_frame(writer, {"type": "stats"})
+    frame = await asyncio.wait_for(read_frame(reader), 10.0)
+    writer.close()
+    return frame
+
+
+def _run(coroutine):
+    return asyncio.run(asyncio.wait_for(coroutine, 90.0))
+
+
+class TestWorkerCrash:
+    def test_crash_is_typed_and_server_recovers(self):
+        async def scenario():
+            config = ServeConfig(workers=1, watchdog_seconds=30.0)
+            async with ServeServer(config) as server:
+                reader, writer = await _open(server)
+                await _submit(writer, _fault_doc("boom", "exit"))
+                frame = await _await_terminal(reader, "boom")
+                assert frame["type"] == "error"
+                assert frame["error_type"] == ERROR_CRASHED
+
+                # The respawned worker serves the next session.
+                await _submit(writer, ME_DOC)
+                frame = await _await_terminal(reader, "me-ok")
+                assert frame["type"] == "result"
+                writer.close()
+                stats = await _stats(server)
+                assert stats["metrics"]["worker_respawns"] == 1
+                assert stats["metrics"]["sessions_failed"] == 1
+                assert stats["metrics"]["sessions_completed"] == 1
+
+        _run(scenario())
+
+    def test_collateral_sessions_get_crashed_frames(self):
+        async def scenario():
+            # One worker, so the healthy session shares the process
+            # that dies: both must resolve (crashed), neither hangs.
+            config = ServeConfig(workers=1, slice_budget=256,
+                                 watchdog_seconds=30.0)
+            async with ServeServer(config) as server:
+                reader, writer = await _open(server)
+                slow = dict(ME_DOC, session_id="me-collateral")
+                await _submit(writer, slow)
+                await _submit(writer, _fault_doc("boom", "exit"))
+                frames = {}
+                while len(frames) < 2:
+                    frame = await asyncio.wait_for(
+                        read_frame(reader), 30.0)
+                    if frame["type"] in ("result", "error"):
+                        frames[frame["session_id"]] = frame
+                assert frames["boom"]["error_type"] == ERROR_CRASHED
+                collateral = frames["me-collateral"]
+                assert (collateral["type"] == "result"
+                        or collateral["error_type"] == ERROR_CRASHED)
+                writer.close()
+
+        _run(scenario())
+
+
+class TestWorkerHang:
+    def test_hang_times_out_and_server_recovers(self):
+        async def scenario():
+            config = ServeConfig(workers=1, watchdog_seconds=0.6,
+                                 poll_seconds=0.05)
+            async with ServeServer(config) as server:
+                reader, writer = await _open(server)
+                await _submit(writer, _fault_doc("sleeper", "hang",
+                                                 seconds=3600.0))
+                frame = await _await_terminal(reader, "sleeper")
+                assert frame["type"] == "error"
+                assert frame["error_type"] == ERROR_TIMEOUT
+                assert "watchdog" in frame["message"]
+
+                await _submit(writer, ME_DOC)
+                frame = await _await_terminal(reader, "me-ok")
+                assert frame["type"] == "result"
+                writer.close()
+                stats = await _stats(server)
+                assert stats["metrics"]["worker_respawns"] == 1
+
+        _run(scenario())
+
+
+class TestMalformedClient:
+    @pytest.mark.parametrize("garbage", [
+        b"\xff\xff\xff\xff----",          # absurd length prefix
+        (2).to_bytes(4, "big") + b"[]",   # JSON, but not an object
+        (4).to_bytes(4, "big") + b"\xff\xfe\x00\x01",  # not UTF-8
+    ])
+    def test_garbage_earns_protocol_frame(self, garbage):
+        async def scenario():
+            async with ServeServer(ServeConfig(workers=1)) as server:
+                reader, writer = await _open(server)
+                writer.write(garbage)
+                await writer.drain()
+                frame = await asyncio.wait_for(read_frame(reader), 10.0)
+                assert frame["type"] == "error"
+                assert frame["error_type"] == ERROR_PROTOCOL
+                # ... and the connection is closed behind it.
+                assert await asyncio.wait_for(
+                    read_frame(reader), 10.0) is None
+                writer.close()
+
+                # The server still serves fresh connections.
+                reader2, writer2 = await _open(server)
+                await _submit(writer2, ME_DOC)
+                frame = await _await_terminal(reader2, "me-ok")
+                assert frame["type"] == "result"
+                writer2.close()
+
+        _run(scenario())
+
+    def test_unknown_session_kind_is_invalid(self):
+        async def scenario():
+            async with ServeServer(ServeConfig(workers=1)) as server:
+                reader, writer = await _open(server)
+                await _submit(writer, {"session_id": "odd",
+                                       "kind": "quantum",
+                                       "params": {}})
+                frame = await _await_terminal(reader, "odd")
+                assert frame["type"] == "error"
+                assert frame["error_type"] == ERROR_INVALID
+                assert "unknown session kind" in frame["message"]
+                writer.close()
+
+        _run(scenario())
+
+    def test_submit_without_spec_is_invalid(self):
+        async def scenario():
+            async with ServeServer(ServeConfig(workers=1)) as server:
+                reader, writer = await _open(server)
+                await write_frame(writer, {"type": "submit"})
+                frame = await asyncio.wait_for(read_frame(reader), 10.0)
+                assert frame["type"] == "error"
+                assert frame["error_type"] == ERROR_INVALID
+                writer.close()
+
+        _run(scenario())
+
+    def test_duplicate_in_flight_id_is_invalid(self):
+        async def scenario():
+            config = ServeConfig(workers=1, slice_budget=128)
+            async with ServeServer(config) as server:
+                reader, writer = await _open(server)
+                await _submit(writer, ME_DOC)
+                await _submit(writer, ME_DOC)  # same id, still running
+                saw_invalid = saw_result = False
+                while not (saw_invalid and saw_result):
+                    frame = await asyncio.wait_for(
+                        read_frame(reader), 30.0)
+                    if frame["type"] == "error":
+                        assert frame["error_type"] == ERROR_INVALID
+                        assert "already in flight" in frame["message"]
+                        saw_invalid = True
+                    elif frame["type"] == "result":
+                        saw_result = True
+                writer.close()
+
+        _run(scenario())
+
+
+class TestAdmissionControl:
+    def test_backlog_overflow_rejected_with_retry_after(self):
+        async def scenario():
+            config = ServeConfig(workers=1, backlog=1,
+                                 slice_budget=128)
+            async with ServeServer(config) as server:
+                reader, writer = await _open(server)
+                first = dict(ME_DOC, session_id="first")
+                second = dict(ME_DOC, session_id="second")
+                # Two submits back to back: the backlog admits exactly
+                # one, so the second is deterministically rejected.
+                await _submit(writer, first)
+                await _submit(writer, second)
+                rejected = await _await_terminal(reader, "second")
+                assert rejected["type"] == "rejected"
+                assert rejected["retry_after"] > 0
+                assert rejected["backlog"] == 1
+                result = await _await_terminal(reader, "first")
+                assert result["type"] == "result"
+
+                # Honouring retry-after succeeds once the slot frees.
+                await asyncio.sleep(rejected["retry_after"])
+                await _submit(writer, second)
+                result = await _await_terminal(reader, "second")
+                assert result["type"] == "result"
+                writer.close()
+                stats = await _stats(server)
+                assert stats["metrics"]["sessions_rejected"] == 1
+
+        _run(scenario())
+
+    def test_load_survives_tight_backlog(self):
+        async def scenario():
+            config = ServeConfig(workers=2, backlog=2)
+            async with ServeServer(config) as server:
+                documents = [dict(ME_DOC, session_id=f"s{index}")
+                             for index in range(10)]
+                report = await run_load("127.0.0.1", server.port,
+                                        documents, connections=5)
+                assert not report.errors
+                assert report.completed == 10
+                outputs = {document["output_digest"]
+                           for document in report.results.values()}
+                assert len(outputs) == 1  # same spec, same output
+
+        _run(scenario())
+
+
+class TestServerSideEncoding:
+    def test_error_frames_are_valid_protocol_frames(self):
+        # Belt and braces: a server error frame must itself round-trip
+        # through the codec (the chaos contract is typed *frames*, not
+        # typed exceptions).
+        frame = {"type": "error", "session_id": "x",
+                 "error_type": ERROR_CRASHED,
+                 "message": "worker process died mid-session",
+                 "vitals": {"slices": 3}}
+        encoded = encode_frame(frame)
+        from repro.serve.protocol import decode_frame
+        decoded, _ = decode_frame(encoded)
+        assert decoded == frame

@@ -1,0 +1,89 @@
+"""Golden serve conformance: served results == serial, byte for byte.
+
+The acceptance contract for the serving layer: the pinned 12-session
+mixed workload, served through a real asyncio server and real worker
+processes, reproduces the serial reference runner's digests exactly —
+at every worker count in {1, 2, 4}, under forced mid-session
+preemption, and at maximum dispatch churn (more connections than
+workers).  The digests themselves are pinned in
+``tests/golden/serve_sessions.json`` (regenerate deliberately with
+``make serve-golden``), so a simulator behaviour change cannot hide
+behind the serial runner changing in lockstep.
+"""
+
+import asyncio
+import json
+import pathlib
+
+import pytest
+
+from repro.serve.loadgen import GOLDEN_SCHEMA, run_load
+from repro.serve.server import ServeConfig, ServeServer
+from repro.serve.sessions import (
+    mixed_workload,
+    run_sessions_serial,
+    workload_digest,
+)
+
+GOLDEN_PATH = (pathlib.Path(__file__).resolve().parent.parent
+               / "golden" / "serve_sessions.json")
+
+
+@pytest.fixture(scope="module")
+def golden():
+    document = json.loads(GOLDEN_PATH.read_text())
+    assert document["schema"] == GOLDEN_SCHEMA
+    return document
+
+
+@pytest.fixture(scope="module")
+def serial_results():
+    return run_sessions_serial(mixed_workload())
+
+
+def _serve_workload(workers: int, slice_budget: int | None = None,
+                    connections: int = 6) -> dict[str, str]:
+    """Serve the mixed workload through a real server; digests by id."""
+    documents = [spec.describe() for spec in mixed_workload()]
+
+    async def drive():
+        config = ServeConfig(workers=workers,
+                             slice_budget=slice_budget)
+        async with ServeServer(config) as server:
+            return await run_load("127.0.0.1", server.port, documents,
+                                  connections=connections)
+
+    report = asyncio.run(drive())
+    assert not report.errors, report.errors
+    assert report.completed == len(documents)
+    return report.result_digests()
+
+
+class TestSerialMatchesGolden:
+    def test_workload_digest_pinned(self, golden, serial_results):
+        assert (workload_digest(serial_results)
+                == golden["workload_digest"])
+
+    def test_every_session_digest_pinned(self, golden, serial_results):
+        got = {result.session_id: result.digest
+               for result in serial_results}
+        assert got == golden["sessions"]
+
+
+class TestServedMatchesGolden:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_any_worker_count(self, workers, golden):
+        assert _serve_workload(workers) == golden["sessions"]
+
+    def test_forced_preemption(self, golden):
+        # A 777-instruction slice forces every session through many
+        # checkpointed preemption boundaries and worker round-robin
+        # interleavings.
+        assert (_serve_workload(2, slice_budget=777)
+                == golden["sessions"])
+
+    @pytest.mark.slow
+    def test_single_connection_single_worker(self, golden):
+        # Degenerate schedule: strictly sequential service.
+        assert (_serve_workload(1, connections=1)
+                == golden["sessions"])

@@ -1,0 +1,72 @@
+"""Load generator: seeded schedules are deterministic and well-formed.
+
+The bench gate compares runs across machines and interpreter
+launches, so the loadgen's session schedule must be a pure function
+of ``(seed, count)`` — same ids, kinds, parameters, order.
+``tests/test_ci_guard.py`` additionally pins the schedule digest
+across ``PYTHONHASHSEED`` values in subprocesses; these tests cover
+the in-process contract and the bench-record shape.
+"""
+
+from repro.obs.export import validate_bench_record
+from repro.serve.loadgen import (
+    LoadReport,
+    _bench_records,
+    schedule_digest,
+    session_schedule,
+)
+from repro.serve.sessions import SESSION_KINDS, spec_from_document
+
+
+class TestSchedule:
+    def test_same_seed_same_schedule(self):
+        assert (session_schedule(2026, 50)
+                == session_schedule(2026, 50))
+        assert (schedule_digest(session_schedule(2026, 50))
+                == schedule_digest(session_schedule(2026, 50)))
+
+    def test_different_seeds_differ(self):
+        assert (session_schedule(1, 50) != session_schedule(2, 50))
+
+    def test_prefix_stability(self):
+        # Growing the run extends the schedule, never rewrites it.
+        assert (session_schedule(7, 100)[:40]
+                == session_schedule(7, 40))
+
+    def test_ids_unique_and_specs_valid(self):
+        documents = session_schedule(2026, 200)
+        ids = [document["session_id"] for document in documents]
+        assert len(set(ids)) == len(ids)
+        for document in documents:
+            spec = spec_from_document(document)
+            assert spec.kind in SESSION_KINDS
+            assert spec.kind != "fault"  # loadgen never injects faults
+
+    def test_mix_covers_all_real_kinds(self):
+        kinds = {document["kind"]
+                 for document in session_schedule(2026, 200)}
+        assert kinds == {"me", "cabac", "kernel"}
+
+
+class TestBenchRecord:
+    def test_record_validates_against_bench_schema(self):
+        report = LoadReport()
+        report.results["s1"] = {
+            "session_id": "s1", "kind": "me", "digest": "d" * 64,
+            "output_digest": "o" * 64, "instructions": 1641,
+            "cycles": 4000, "ops_issued": 5000, "ops_executed": 4500,
+            "dcache_stall_cycles": 10, "icache_stall_cycles": 5,
+            "payload": {}, "slices": 1, "preemptions": 0,
+            "checkpoints": 0}
+        report.server_stats = {"metrics": {
+            "latency_p50_ms": 1.0, "latency_p99_ms": 2.0,
+            "sessions_per_sec": 100.0}}
+        records = _bench_records(report, seed=1, workers=2,
+                                 connections=2, backlog=8,
+                                 seconds=0.5)
+        assert len(records) == 1
+        validate_bench_record(records[0])
+        serve = records[0]["serve"]
+        assert serve["completed"] == 1
+        assert serve["server_sessions_per_sec"] == 100.0
+        assert records[0]["instructions"] == 1641

@@ -1,0 +1,165 @@
+"""Wire-codec fuzz: malformed frames fail with ``ProtocolError``, not chaos.
+
+The serve twin of ``tests/isa/test_decode_fuzz.py``: the chaos suite
+classifies a client that sends garbage as a *protocol* failure, which
+only works if the frame codec's sole failure mode on malformed bytes
+is the typed :class:`~repro.serve.protocol.ProtocolError`.  Hypothesis
+drives the same three corruption families — arbitrary byte streams,
+truncations of real frames, and single bit flips of real frames —
+plus the encode→decode identity and arbitrary chunking through the
+incremental :class:`~repro.serve.protocol.FrameDecoder`.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    PREFIX_BYTES,
+    FrameDecoder,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    is_truncation,
+)
+
+#: JSON-safe values for message payloads (no floats: JSON round-trips
+#: them inexactly in edge cases, and the protocol's identity claim is
+#: about structure, not IEEE-754 formatting).
+_VALUES = st.recursive(
+    st.none() | st.booleans() | st.integers(-2**31, 2**31) | st.text(),
+    lambda children: (st.lists(children, max_size=4)
+                      | st.dictionaries(st.text(max_size=8), children,
+                                        max_size=4)),
+    max_leaves=12)
+
+_MESSAGES = st.fixed_dictionaries(
+    {"type": st.text(min_size=1, max_size=16)},
+    optional={"session_id": st.text(max_size=16),
+              "payload": _VALUES})
+
+
+def _decode_or_diagnose(data: bytes):
+    """Decode, allowing only success or a structured ProtocolError."""
+    try:
+        return decode_frame(data)
+    except ProtocolError as error:
+        assert isinstance(error, ValueError)
+        assert error.reason
+        assert str(error).startswith("protocol error")
+        if error.offset is not None:
+            assert 0 <= error.offset <= len(data) + PREFIX_BYTES
+        return None
+
+
+class TestRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(_MESSAGES)
+    def test_encode_decode_identity(self, message):
+        frame = encode_frame(message)
+        decoded, consumed = decode_frame(frame)
+        assert decoded == message
+        assert consumed == len(frame)
+
+    @settings(max_examples=100, deadline=None)
+    @given(_MESSAGES, _MESSAGES)
+    def test_back_to_back_frames(self, first, second):
+        data = encode_frame(first) + encode_frame(second)
+        one, consumed = decode_frame(data)
+        two, rest = decode_frame(data[consumed:])
+        assert one == first and two == second
+        assert consumed + rest == len(data)
+
+    def test_canonical_encoding_is_stable(self):
+        frame = encode_frame({"type": "result", "b": 1, "a": 2})
+        assert frame[PREFIX_BYTES:] == b'{"a":2,"b":1,"type":"result"}'
+
+
+class TestEncodeRejects:
+    def test_non_dict(self):
+        with pytest.raises(ProtocolError):
+            encode_frame(["type", "submit"])
+
+    def test_missing_type(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"session_id": "x"})
+
+    def test_non_string_type(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"type": 7})
+
+
+class TestMalformedBytes:
+    @settings(max_examples=300, deadline=None)
+    @given(st.binary(max_size=64))
+    def test_arbitrary_bytes_never_chaos(self, data):
+        _decode_or_diagnose(data)
+
+    @settings(max_examples=200, deadline=None)
+    @given(_MESSAGES, st.data())
+    def test_truncations_raise_truncation(self, message, data):
+        frame = encode_frame(message)
+        cut = data.draw(st.integers(0, len(frame) - 1))
+        with pytest.raises(ProtocolError) as caught:
+            decode_frame(frame[:cut])
+        assert is_truncation(caught.value)
+
+    @settings(max_examples=200, deadline=None)
+    @given(_MESSAGES, st.data())
+    def test_bit_flips_never_chaos(self, message, data):
+        frame = bytearray(encode_frame(message))
+        bit = data.draw(st.integers(0, len(frame) * 8 - 1))
+        frame[bit // 8] ^= 1 << (bit % 8)
+        result = _decode_or_diagnose(bytes(frame))
+        if result is not None:
+            decoded, _ = result
+            assert isinstance(decoded, dict)  # garbage never leaks
+
+    def test_oversized_length_prefix_refused(self):
+        declared = (MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+        with pytest.raises(ProtocolError) as caught:
+            decode_frame(declared + b"x")
+        assert not is_truncation(caught.value)
+        assert "exceeds" in caught.value.reason
+
+    def test_non_object_payload_refused(self):
+        payload = json.dumps([1, 2, 3]).encode()
+        data = len(payload).to_bytes(4, "big") + payload
+        with pytest.raises(ProtocolError) as caught:
+            decode_frame(data)
+        assert "JSON object" in caught.value.reason
+
+    def test_invalid_utf8_refused(self):
+        payload = b"\xff\xfe{}"
+        data = len(payload).to_bytes(4, "big") + payload
+        with pytest.raises(ProtocolError) as caught:
+            decode_frame(data)
+        assert "UTF-8" in caught.value.reason
+
+
+class TestFrameDecoder:
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(_MESSAGES, min_size=1, max_size=6), st.data())
+    def test_any_chunking_yields_same_messages(self, messages, data):
+        stream = b"".join(encode_frame(m) for m in messages)
+        decoder = FrameDecoder()
+        received = []
+        position = 0
+        while position < len(stream):
+            size = data.draw(st.integers(1, len(stream) - position))
+            received.extend(
+                decoder.feed(stream[position:position + size]))
+            position += size
+        assert received == messages
+        assert decoder.pending_bytes == 0
+
+    def test_malformed_frame_poisons_decoder(self):
+        decoder = FrameDecoder()
+        bad = (2).to_bytes(4, "big") + b"[]"  # valid JSON, not an object
+        with pytest.raises(ProtocolError):
+            decoder.feed(bad)
+        with pytest.raises(ProtocolError):
+            decoder.feed(encode_frame({"type": "ok"}))

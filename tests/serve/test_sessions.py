@@ -1,0 +1,168 @@
+"""Session layer: spec validation, determinism, preemption equivalence.
+
+The serving conformance contract bottoms out here: a session's result
+is a pure function of its spec, so *no* preemption schedule — any
+slice budget, any checkpoint cadence, any interleaving — can change
+it.  The hypothesis test draws arbitrary (slice_budget,
+checkpoint_every) schedules and pins the digests against the
+unpreempted reference; everything above (pool, server) only has to
+preserve message plumbing to inherit byte-identical results.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.protocol import ERROR_FAILED, ERROR_TIMEOUT
+from repro.serve.sessions import (
+    InvalidSessionError,
+    SessionExecutionError,
+    SessionRun,
+    SessionSpec,
+    execute_session,
+    mixed_workload,
+    run_sessions_serial,
+    spec_from_document,
+    workload_digest,
+)
+
+#: Cheap sessions for schedule-heavy property tests (~20ms each).
+ME_SPEC = SessionSpec("me-prop", "me", {"variant": "plain", "seed": 5})
+CABAC_SPEC = SessionSpec("cabac-prop", "cabac",
+                         {"field_type": "P", "variant": "plain",
+                          "seed": 3, "scale": 0.001})
+
+#: Unpreempted reference digests, computed once.
+ME_REFERENCE = execute_session(ME_SPEC, slice_budget=None)
+CABAC_REFERENCE = execute_session(CABAC_SPEC, slice_budget=None)
+
+
+class TestSpecValidation:
+    def test_document_round_trip(self):
+        spec = spec_from_document(ME_SPEC.describe())
+        assert spec == ME_SPEC
+
+    @pytest.mark.parametrize("document", [
+        "not an object",
+        {},
+        {"session_id": "", "kind": "me"},
+        {"session_id": "x", "kind": 7},
+        {"session_id": "x", "kind": "me", "params": []},
+    ])
+    def test_malformed_documents_refused(self, document):
+        with pytest.raises(InvalidSessionError):
+            spec_from_document(document)
+
+    def test_unknown_kind_refused(self):
+        with pytest.raises(InvalidSessionError) as caught:
+            execute_session(SessionSpec("x", "quantum", {}))
+        assert "unknown session kind" in str(caught.value)
+
+    @pytest.mark.parametrize("params", [
+        {},                                        # everything missing
+        {"variant": "plain"},                      # no seed
+        {"variant": "warp", "seed": 1},            # bad variant
+        {"variant": "plain", "seed": "seven"},     # bad type
+    ])
+    def test_bad_me_params_refused(self, params):
+        with pytest.raises(InvalidSessionError):
+            execute_session(SessionSpec("x", "me", params))
+
+    def test_bad_cabac_scale_refused(self):
+        with pytest.raises(InvalidSessionError):
+            execute_session(SessionSpec("x", "cabac", {
+                "field_type": "I", "variant": "plain", "seed": 1,
+                "scale": 2.0}))
+
+
+class TestDeterminism:
+    def test_same_spec_same_digest(self):
+        again = execute_session(ME_SPEC, slice_budget=None)
+        assert again.digest == ME_REFERENCE.digest
+        assert again.core() == ME_REFERENCE.core()
+
+    def test_slice_telemetry_outside_the_digest(self):
+        sliced = execute_session(ME_SPEC, slice_budget=100)
+        assert sliced.slices > 1
+        assert sliced.digest == ME_REFERENCE.digest
+
+    def test_workload_digest_is_order_invariant(self):
+        results = run_sessions_serial([ME_SPEC, CABAC_SPEC])
+        assert (workload_digest(results)
+                == workload_digest(list(reversed(results))))
+
+
+class TestPreemptionEquivalence:
+    """Any slice-budget schedule is bit-identical to no preemption."""
+
+    @pytest.mark.parametrize("slice_budget", [64, 777, 8192])
+    def test_fixed_budgets(self, slice_budget):
+        result = execute_session(ME_SPEC, slice_budget=slice_budget)
+        assert result.digest == ME_REFERENCE.digest
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(16, 4096), st.integers(1, 8))
+    def test_any_me_schedule(self, slice_budget, checkpoint_every):
+        result = execute_session(ME_SPEC, slice_budget=slice_budget,
+                                 checkpoint_every=checkpoint_every)
+        assert result.digest == ME_REFERENCE.digest
+
+    @pytest.mark.slow
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(64, 20000), st.integers(1, 8))
+    def test_any_cabac_schedule(self, slice_budget, checkpoint_every):
+        result = execute_session(CABAC_SPEC, slice_budget=slice_budget,
+                                 checkpoint_every=checkpoint_every)
+        assert result.digest == CABAC_REFERENCE.digest
+
+    @pytest.mark.slow
+    @settings(max_examples=5, deadline=None)
+    @given(st.integers(256, 32768))
+    def test_mixed_workload_schedule(self, slice_budget):
+        specs = mixed_workload()[:4]  # the four CABAC sessions
+        reference = workload_digest(run_sessions_serial(specs))
+        sliced = workload_digest(
+            run_sessions_serial(specs, slice_budget=slice_budget))
+        assert sliced == reference
+
+    def test_interleaved_runs_match_sequential(self):
+        """Two sessions advanced in lockstep (the worker's round-robin)
+        produce the same digests as back-to-back runs."""
+        runs = [SessionRun(ME_SPEC, slice_budget=128),
+                SessionRun(CABAC_SPEC, slice_budget=128)]
+        results = {}
+        while runs:
+            run = runs.pop(0)
+            result = run.advance()
+            if result is None:
+                runs.append(run)
+            else:
+                results[result.session_id] = result.digest
+        assert results[ME_SPEC.session_id] == ME_REFERENCE.digest
+        assert results[CABAC_SPEC.session_id] == CABAC_REFERENCE.digest
+
+
+class TestFailurePaths:
+    def test_watchdog_timeout_is_typed(self):
+        spec = SessionSpec("hog", "me",
+                           {"variant": "plain", "seed": 5})
+        run = SessionRun(spec, slice_budget=64)
+        session = run._processor.session
+        session.max_cycles = 100        # force the watchdog
+        session.watchdog_limit = 100
+        with pytest.raises(SessionExecutionError) as caught:
+            while run.advance() is None:
+                pass
+        assert caught.value.error_type == ERROR_TIMEOUT
+
+    def test_fault_session_raise_is_typed(self):
+        with pytest.raises(SessionExecutionError) as caught:
+            execute_session(SessionSpec("boom", "fault",
+                                        {"mode": "raise"}))
+        assert caught.value.error_type == ERROR_FAILED
+        assert "injected failure" in str(caught.value)
+
+    def test_fault_session_ok_completes(self):
+        result = execute_session(SessionSpec("fine", "fault",
+                                             {"mode": "ok"}))
+        assert result.kind == "fault"

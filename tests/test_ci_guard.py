@@ -68,6 +68,27 @@ print(report.format())
 """
 
 
+SERVE_SNIPPET = """\
+from repro.serve.loadgen import schedule_digest, session_schedule
+from repro.serve.sessions import (
+    SessionSpec, execute_session, mixed_workload, run_sessions_serial,
+    workload_digest)
+schedule = session_schedule(2026, 64)
+print("schedule", schedule_digest(schedule))
+print("ids", [doc["session_id"] for doc in schedule[:8]])
+specs = mixed_workload()[:1] + [
+    SessionSpec("cabac-guard", "cabac",
+                {"field_type": "P", "variant": "plain", "seed": 3,
+                 "scale": 0.001}),
+    SessionSpec("me-guard", "me", {"variant": "ld8", "seed": 9}),
+]
+results = run_sessions_serial(specs, slice_budget=777)
+print("workload", workload_digest(results))
+for result in results:
+    print(result.session_id, result.digest)
+"""
+
+
 def _env(hash_seed):
     env = dict(os.environ)
     env["PYTHONPATH"] = str(ROOT / "src") + (
@@ -127,6 +148,27 @@ def test_translation_validator_is_hash_seed_invariant():
     assert outputs[0] == outputs[1] == outputs[31337], \
         "validator output / mutant ordering must not depend on " \
         "PYTHONHASHSEED"
+
+
+def test_serve_digests_are_hash_seed_invariant():
+    # BENCH_serve.json's workload digest and the loadgen's seeded
+    # session schedule are compared across machines and interpreter
+    # launches; if either leaned on hash(), str-hash randomization
+    # would make the serve bench gate flake (exactly the bug the
+    # CABAC stream generator used to have: it seeded its RNG from a
+    # string tuple's hash()).  Same schedule digest, same session
+    # digests, same workload digest, for every hash seed.
+    outputs = {}
+    for hash_seed in (0, 1, 31337):
+        completed = subprocess.run(
+            [sys.executable, "-c", SERVE_SNIPPET],
+            capture_output=True, text=True, env=_env(hash_seed),
+            cwd=ROOT, timeout=300)
+        assert completed.returncode == 0, completed.stderr
+        outputs[hash_seed] = completed.stdout
+    assert outputs[0] == outputs[1] == outputs[31337], \
+        "serve session digests / loadgen schedule must not depend " \
+        "on PYTHONHASHSEED"
 
 
 def test_suite_subset_passes_under_pinned_hash_seed():
