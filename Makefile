@@ -11,7 +11,8 @@ JOBSFLAG := $(if $(JOBS),--jobs $(JOBS),)
 
 .PHONY: test fast slow bench benchmarks eval perf perf-quick trace \
 	verify validate lint golden conformance lockstep lockstep-smoke \
-	inject inject-golden serve-smoke serve-bench serve-golden ci
+	inject inject-golden serve-smoke serve-bench serve-golden \
+	chaos-smoke ci
 
 # Tier-1 verification: the whole unit/property suite.
 test:
@@ -120,6 +121,18 @@ serve-smoke:
 	$(PY) -m pytest -x -q tests/serve -m "not slow"
 	$(PY) -m repro.serve.loadgen --smoke --workers 2
 
+# Seeded chaos campaign against a real server: worker kills and
+# hangs, corrupted client frames, delayed ACKs, and in-session bit
+# flips, all drawn from one seed.  Passes only if every admitted
+# session completes with a served workload digest byte-identical to
+# the fault-free serial reference and zero lost sessions.  Override
+# the campaign with CHAOS_SEED / CHAOS_CAMPAIGNS.
+CHAOS_SEED ?= 2026
+CHAOS_CAMPAIGNS ?= 1
+chaos-smoke:
+	$(PY) -m repro.serve.chaos --smoke --seed $(CHAOS_SEED) \
+		--campaigns $(CHAOS_CAMPAIGNS)
+
 # The serving benchmark: a seeded load run (deterministic session
 # schedule) through a real server; writes BENCH_serve.json and gates
 # p99 session latency and sessions/sec against the committed baseline
@@ -141,7 +154,9 @@ serve-golden:
 # tier-1 suite under a pinned hash seed, a translation-validation
 # smoke pass over the trace tier, the three-engine lockstep
 # smoke subset, sharded golden conformance + fault-campaign runs
-# proving parallelism changes nothing, then a quick throughput gate
+# proving parallelism changes nothing, the serve + chaos smokes
+# (crash-recovery digests against the serial reference), then a quick
+# throughput gate
 # against the committed baseline (generous threshold: CI machines are
 # noisy; benchmarks/test_sim_speed.py holds the tight ratios).  (The
 # full 30-program lockstep catalog is the `make lockstep` / `-m slow`
@@ -153,6 +168,7 @@ ci: lint verify
 	$(PY) -m repro.eval.parallel --conformance --jobs 2
 	$(PY) -m repro.resilience --check --jobs 2
 	$(MAKE) serve-smoke
+	$(MAKE) chaos-smoke
 	$(PY) -m repro.eval.runner --perf --kernels $(PERF_QUICK) \
 		--bench-out benchmarks/results/BENCH_ci_perf.json
 	$(PY) scripts/bench_compare.py \

@@ -278,13 +278,33 @@ def _compare_serve(name: str, old_serve: dict, new_serve: dict,
     must not fall more than ``threshold`` and p99 session latency must
     not grow more than ``threshold``.  A run with failed sessions
     gates unconditionally — throughput of a server that drops work is
-    not throughput.
+    not throughput — and so does any *lost* session (one the recovery
+    layer failed after a worker death despite journaling and the
+    resume budget): the PR 10 crash-recovery contract is
+    ``lost_sessions == 0`` under every fault schedule, so a nonzero
+    count is a correctness failure regardless of thresholds.
+    ``server_lost_sessions`` is read with ``.get`` so pre-recovery
+    baselines (which never emitted the field) still compare.
     """
     failures: list[str] = []
     if new_serve.get("failed", 0):
         failures.append(
             f"{name}: {new_serve['failed']} session(s) failed in the "
             "candidate run")
+    lost = new_serve.get("server_lost_sessions", 0)
+    if lost:
+        failures.append(
+            f"{name}: {lost} session(s) LOST in the candidate run "
+            "(worker death exhausted the resume budget); the recovery "
+            "contract is lost_sessions == 0")
+    resumed = new_serve.get("server_resumed_sessions")
+    if resumed is not None:
+        print(f"  {name}: recovery ledger: "
+              f"{resumed} resumed, "
+              f"{new_serve.get('server_resume_replays', 0)} replays "
+              f"suppressed, "
+              f"{new_serve.get('server_checkpoint_bytes', 0)} "
+              f"checkpoint bytes, {lost} lost")
     old_rate = _serve_value(name, old_serve, "server_sessions_per_sec")
     new_rate = _serve_value(name, new_serve, "server_sessions_per_sec")
     rate_change = new_rate / old_rate - 1.0 if old_rate else 0.0

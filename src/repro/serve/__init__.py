@@ -25,20 +25,56 @@ back incrementally over a length-prefixed JSON protocol:
   sessions/sec, preemptions, rejects) in the ``serve`` obs group;
 * :mod:`repro.serve.loadgen` — the seeded deterministic load
   generator behind ``make serve-bench`` / ``make serve-smoke``,
-  writing ``BENCH_serve.json``.
+  writing ``BENCH_serve.json``, with per-session exponential backoff
+  (deterministic seeded jitter) and client deadlines;
+* :mod:`repro.serve.chaos` — the seeded chaos harness behind
+  ``make chaos-smoke``: deterministic fault schedules (worker kills /
+  hangs, corrupted frames, delayed ACKs, in-session bit flips) driven
+  against a real server, asserting the served workload digest equals
+  the fault-free serial reference with zero lost sessions.
 
 The conformance contract (``tests/serve/``): results served through
 any worker count, any preemption slice budget, and under fault churn
 are byte-identical to :func:`~repro.serve.sessions.run_sessions_serial`.
+Crash recovery (PR 10) extends it: a worker death mid-session costs a
+resume from the checkpoint journal — never the session, never the
+digest.
 """
 
+from repro.serve.pool import ServeConfigError  # noqa: F401
 from repro.serve.protocol import ProtocolError  # noqa: F401
-from repro.serve.server import ServeConfig, ServeServer  # noqa: F401
+from repro.serve.server import (  # noqa: F401
+    ServeConfig,
+    ServeServer,
+    SessionJournal,
+    WorkerConnectionLost,
+)
 from repro.serve.sessions import (  # noqa: F401
+    SessionJournalError,
     SessionResult,
+    SessionRun,
     SessionSpec,
     execute_session,
     mixed_workload,
     run_sessions_serial,
     workload_digest,
 )
+
+_LAZY = {
+    # Resolved on first attribute access: loadgen and chaos are also
+    # `python -m` entry points, and importing them eagerly here would
+    # trip the found-in-sys.modules RuntimeWarning on every CLI run.
+    "Backoff": ("repro.serve.loadgen", "Backoff"),
+    "chaos_schedule": ("repro.serve.chaos", "chaos_schedule"),
+    "run_chaos": ("repro.serve.chaos", "run_chaos"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+    return getattr(importlib.import_module(module_name), attr)

@@ -13,6 +13,7 @@ import argparse
 import asyncio
 import sys
 
+from repro.serve.pool import ServeConfigError
 from repro.serve.server import ServeConfig, ServeServer
 
 
@@ -39,12 +40,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--slice-budget", type=int, default=None)
     parser.add_argument("--checkpoint-every", type=int, default=None)
     parser.add_argument("--watchdog", type=float, default=10.0)
+    parser.add_argument("--resume-attempts", type=int, default=2)
     args = parser.parse_args(argv)
-    config = ServeConfig(
-        host=args.host, port=args.port, workers=args.workers,
-        backlog=args.backlog, slice_budget=args.slice_budget,
-        checkpoint_every=args.checkpoint_every,
-        watchdog_seconds=args.watchdog)
+    try:
+        config = ServeConfig(
+            host=args.host, port=args.port, workers=args.workers,
+            backlog=args.backlog, slice_budget=args.slice_budget,
+            checkpoint_every=args.checkpoint_every,
+            watchdog_seconds=args.watchdog,
+            resume_attempts=args.resume_attempts)
+    except ServeConfigError as error:
+        parser.error(str(error))   # exits 2, argparse-style
     try:
         asyncio.run(_serve(config))
     except KeyboardInterrupt:

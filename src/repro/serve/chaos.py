@@ -1,0 +1,416 @@
+"""Seeded chaos harness for the serve layer (``make chaos-smoke``).
+
+The recovery contract of PR 10 is a *digest* statement: under **any**
+fault schedule — workers killed or hung mid-session, client frames
+corrupted on the wire, ACK consumption delayed, bit flips injected
+into live machine state — every admitted session completes with a
+result byte-identical to the fault-free serial reference, and the
+server's ``lost_sessions`` counter stays at zero.  This module makes
+that statement executable: it draws a deterministic fault schedule
+from a seed, drives a real server + worker pool through it with a
+chaos-aware client, and asserts the invariant.
+
+Fault-schedule grammar — a schedule is a list of event objects:
+
+``{"event": "kill_worker",  "worker": w, "after_slices": k}``
+    Worker ``w`` calls ``os._exit(11)`` after retiring its ``k``-th
+    preemption slice (slice-counted, so wall clock never enters the
+    schedule).
+``{"event": "hang_worker",  "worker": w, "after_slices": k}``
+    Worker ``w`` sleeps past the watchdog after its ``k``-th slice.
+``{"event": "corrupt_frame", "session_index": j}``
+    The client corrupts the submit frame of the ``j``-th scheduled
+    session (garbage bytes on the wire), collects the typed
+    ``protocol`` error, reconnects with backoff, and resubmits.
+``{"event": "delay_ack", "session_index": j, "seconds": s}``
+    The client stops consuming the ``j``-th session's frames for
+    ``s`` seconds after admission (a slow consumer).
+``{"event": "bitflip", "session_index": j, "slice": k, "target": t,
+"seed": r}``
+    A PR 5 fault-injection bit flip (register file / D$ data / D$
+    tag) fired inside the served session at preemption boundary
+    ``k``; the worker detects, restores its last clean snapshot, and
+    replays (:meth:`~repro.serve.sessions.SessionRun` ``faults``).
+
+:func:`chaos_schedule` draws a schedule from ``random.Random(seed)``
+(hash-seed invariant; ``tests/test_ci_guard.py`` pins campaign
+digests and resume counters across ``PYTHONHASHSEED`` values), and
+:func:`run_chaos` executes one campaign and returns a
+:class:`ChaosReport` whose ``failures`` list is empty exactly when
+the recovery contract held.
+
+CLI::
+
+    python -m repro.serve.chaos --smoke       # CI chaos-smoke gate
+    python -m repro.serve.chaos --seed 7 --sessions 16 --workers 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import sys
+import time
+
+from repro.serve.loadgen import Backoff, session_schedule
+from repro.serve.protocol import (
+    TRANSIENT_ERROR_TYPES,
+    read_frame,
+    write_frame,
+)
+from repro.serve.server import ServeConfig, ServeServer
+from repro.serve.sessions import (
+    SESSION_FAULT_TARGETS,
+    run_sessions_serial,
+    spec_from_document,
+    workload_digest,
+)
+
+EVENT_KINDS = ("kill_worker", "hang_worker", "corrupt_frame",
+               "delay_ack", "bitflip")
+
+
+def chaos_schedule(seed: int, *, sessions: int, workers: int,
+                   kills: int = 1, hangs: int = 1, corrupts: int = 1,
+                   delays: int = 1, bitflips: int = 2) -> list[dict]:
+    """Draw a deterministic fault schedule from ``seed``.
+
+    Pure function of its arguments: the worker indices, slice counts,
+    session targets, and fault seeds all come from an explicitly
+    seeded ``random.Random``, so the same seed replays the same
+    campaign on every interpreter and every ``PYTHONHASHSEED``.
+    Kill/hang events land on distinct workers where possible (a
+    worker dies at most once per armed directive anyway — its respawn
+    comes up clean).
+    """
+    rng = random.Random(seed)
+    events: list[dict] = []
+    worker_pool = list(range(workers)) * (1 + (kills + hangs) // max(
+        workers, 1))
+    rng.shuffle(worker_pool)
+    for _ in range(kills):
+        events.append({"event": "kill_worker",
+                       "worker": worker_pool.pop(),
+                       "after_slices": rng.randrange(3, 10)})
+    for _ in range(hangs):
+        events.append({"event": "hang_worker",
+                       "worker": worker_pool.pop(),
+                       "after_slices": rng.randrange(3, 10)})
+    for _ in range(corrupts):
+        events.append({"event": "corrupt_frame",
+                       "session_index": rng.randrange(sessions)})
+    for _ in range(delays):
+        events.append({"event": "delay_ack",
+                       "session_index": rng.randrange(sessions),
+                       "seconds": round(rng.uniform(0.02, 0.08), 3)})
+    for _ in range(bitflips):
+        events.append({"event": "bitflip",
+                       "session_index": rng.randrange(sessions),
+                       "slice": rng.randrange(1, 4),
+                       "target": rng.choice(SESSION_FAULT_TARGETS),
+                       "seed": rng.randrange(1, 1 << 16)})
+    return events
+
+
+class ChaosReport:
+    """Everything one chaos campaign observed, plus its verdict."""
+
+    def __init__(self, *, seed: int, sessions: int, workers: int,
+                 schedule: list[dict]) -> None:
+        self.seed = seed
+        self.sessions = sessions
+        self.workers = workers
+        self.schedule = schedule
+        self.results: dict[str, dict] = {}
+        self.errors: dict[str, dict] = {}
+        self.latencies: dict[str, float] = {}
+        self.reference_digest = ""
+        self.corrupt_frames_sent = 0
+        self.reconnects = 0
+        self.transient_retries = 0
+        self.rejects = 0
+        self.metrics: dict = {}
+        self.failures: list[str] = []
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def served_digest(self) -> str:
+        """Order-invariant digest over served (id, digest) pairs, the
+        same construction as
+        :meth:`~repro.serve.loadgen.LoadReport.served_workload_digest`."""
+        import hashlib
+        pairs = sorted((sid, document["digest"])
+                       for sid, document in self.results.items())
+        canonical = json.dumps([list(pair) for pair in pairs],
+                               sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def describe(self) -> dict:
+        return {
+            "seed": self.seed,
+            "sessions": self.sessions,
+            "workers": self.workers,
+            "events": len(self.schedule),
+            "completed": len(self.results),
+            "failed": len(self.errors),
+            "workload_digest": self.served_digest(),
+            "reference_digest": self.reference_digest,
+            "corrupt_frames_sent": self.corrupt_frames_sent,
+            "reconnects": self.reconnects,
+            "transient_retries": self.transient_retries,
+            "client_rejects": self.rejects,
+            "resumed_sessions": self.metrics.get("resumed_sessions"),
+            "resume_replays": self.metrics.get("resume_replays"),
+            "checkpoint_bytes": self.metrics.get("checkpoint_bytes"),
+            "lost_sessions": self.metrics.get("lost_sessions"),
+            "worker_respawns": self.metrics.get("worker_respawns"),
+            "passed": self.passed,
+            "failures": list(self.failures),
+        }
+
+
+_GARBAGE = b"\xff\xff\xff\xf0chaos-corrupted-frame"
+
+
+async def _drive_chaos_shard(host: str, port: int,
+                             shard: list[tuple[int, dict]],
+                             extras: dict[int, dict],
+                             report: ChaosReport,
+                             slice_budget: int | None,
+                             transient_budget: int = 6) -> None:
+    """One connection driving its sessions through scheduled faults."""
+    reader, writer = await asyncio.open_connection(host, port)
+
+    async def reconnect():
+        nonlocal reader, writer
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        report.reconnects += 1
+        reader, writer = await asyncio.open_connection(host, port)
+
+    try:
+        for index, document in shard:
+            sid = document["session_id"]
+            extra = extras.get(index, {})
+            submit = {"type": "submit", "spec": document}
+            if slice_budget is not None:
+                submit["slice_budget"] = slice_budget
+            if extra.get("faults"):
+                submit["faults"] = extra["faults"]
+            backoff = Backoff(sid)
+            resubmits = 0
+            started = time.monotonic()
+
+            if extra.get("corrupt"):
+                # Corrupt this session's submit on the wire: the
+                # server must answer with a typed protocol error and
+                # close; the client backs off, reconnects, resubmits.
+                writer.write(_GARBAGE)
+                await writer.drain()
+                report.corrupt_frames_sent += 1
+                while True:
+                    frame = await read_frame(reader)
+                    if frame is None:
+                        break
+                    assert frame.get("error_type") == "protocol", frame
+                await asyncio.sleep(backoff.next_delay())
+                await reconnect()
+
+            await write_frame(writer, submit)
+            delayed = False
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    # Mid-session close is itself a transient fault.
+                    if resubmits < transient_budget:
+                        resubmits += 1
+                        report.transient_retries += 1
+                        await asyncio.sleep(backoff.next_delay())
+                        await reconnect()
+                        await write_frame(writer, submit)
+                        continue
+                    report.errors[sid] = {
+                        "error_type": "crashed",
+                        "message": "connection closed; budget spent"}
+                    break
+                kind = frame["type"]
+                if kind == "rejected":
+                    report.rejects += 1
+                    await asyncio.sleep(backoff.next_delay(
+                        floor=float(frame.get("retry_after", 0.0))))
+                    await write_frame(writer, submit)
+                elif kind == "accepted":
+                    if extra.get("delay_ack") and not delayed:
+                        delayed = True
+                        await asyncio.sleep(extra["delay_ack"])
+                elif kind == "progress":
+                    pass
+                elif kind == "result":
+                    report.results[sid] = frame["result"]
+                    report.latencies[sid] = time.monotonic() - started
+                    break
+                elif kind == "error":
+                    if (frame.get("error_type") in TRANSIENT_ERROR_TYPES
+                            and resubmits < transient_budget):
+                        resubmits += 1
+                        report.transient_retries += 1
+                        await asyncio.sleep(backoff.next_delay())
+                        await write_frame(writer, submit)
+                        continue
+                    report.errors[sid] = frame
+                    break
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def _fetch_metrics(host: str, port: int) -> dict:
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        await write_frame(writer, {"type": "stats"})
+        frame = await read_frame(reader)
+        return (frame or {}).get("metrics", {})
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def run_chaos(*, seed: int = 2026, sessions: int = 12,
+                    workers: int = 2, connections: int = 2,
+                    slice_budget: int = 777,
+                    checkpoint_every: int = 2,
+                    watchdog_seconds: float = 1.0,
+                    schedule: list[dict] | None = None) -> ChaosReport:
+    """Run one seeded chaos campaign; return its report.
+
+    The resume budget is sized to the schedule (every kill/hang event
+    plus slack), so a session unlucky enough to ride multiple dying
+    workers still completes — the campaign asserts outcomes, it does
+    not depend on scheduling luck.
+    """
+    documents = session_schedule(seed, sessions)
+    if schedule is None:
+        schedule = chaos_schedule(seed, sessions=sessions,
+                                  workers=workers)
+    report = ChaosReport(seed=seed, sessions=sessions, workers=workers,
+                         schedule=schedule)
+    report.reference_digest = workload_digest(run_sessions_serial(
+        [spec_from_document(document) for document in documents]))
+
+    directives: dict[int, dict] = {}
+    extras: dict[int, dict] = {}
+    disruptions = 0
+    for event in schedule:
+        kind = event["event"]
+        if kind == "kill_worker":
+            directives.setdefault(event["worker"], {})[
+                "kill_after_slices"] = event["after_slices"]
+            disruptions += 1
+        elif kind == "hang_worker":
+            directives.setdefault(event["worker"], {})[
+                "hang_after_slices"] = event["after_slices"]
+            disruptions += 1
+        elif kind == "corrupt_frame":
+            extras.setdefault(event["session_index"], {})[
+                "corrupt"] = True
+        elif kind == "delay_ack":
+            extras.setdefault(event["session_index"], {})[
+                "delay_ack"] = event["seconds"]
+        elif kind == "bitflip":
+            extras.setdefault(event["session_index"], {}).setdefault(
+                "faults", []).append({
+                    "slice": event["slice"],
+                    "target": event["target"],
+                    "seed": event["seed"]})
+        else:
+            raise ValueError(f"unknown chaos event {kind!r} "
+                             f"(have {EVENT_KINDS})")
+
+    config = ServeConfig(workers=workers, backlog=max(sessions, 8),
+                         slice_budget=slice_budget,
+                         checkpoint_every=checkpoint_every,
+                         watchdog_seconds=watchdog_seconds,
+                         poll_seconds=0.02,
+                         resume_attempts=disruptions + 2)
+    async with ServeServer(config) as server:
+        for worker, directive in sorted(directives.items()):
+            server.inject_worker_chaos(worker % workers, directive)
+        shards = [list(enumerate(documents))[index::connections]
+                  for index in range(connections)]
+        await asyncio.gather(*(
+            _drive_chaos_shard("127.0.0.1", server.port, shard,
+                               extras, report, slice_budget)
+            for shard in shards if shard))
+        report.metrics = await _fetch_metrics("127.0.0.1", server.port)
+
+    if report.errors:
+        first = sorted(report.errors)[0]
+        report.failures.append(
+            f"{len(report.errors)} session(s) failed; first: {first}: "
+            f"{report.errors[first].get('message')}")
+    if len(report.results) != sessions:
+        report.failures.append(
+            f"served {len(report.results)}/{sessions} sessions")
+    served = report.served_digest()
+    if served != report.reference_digest:
+        report.failures.append(
+            f"served workload digest {served} != fault-free serial "
+            f"reference {report.reference_digest}")
+    lost = report.metrics.get("lost_sessions", 0)
+    if lost:
+        report.failures.append(
+            f"{lost} session(s) lost (resume budget exhausted); the "
+            "recovery contract is lost_sessions == 0")
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.chaos",
+        description="seeded chaos harness: fault schedules against "
+                    "the serve layer, digest-checked against the "
+                    "fault-free serial reference")
+    parser.add_argument("--seed", type=int, default=2026)
+    parser.add_argument("--sessions", type=int, default=12)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--connections", type=int, default=2)
+    parser.add_argument("--slice-budget", type=int, default=777)
+    parser.add_argument("--checkpoint-every", type=int, default=2)
+    parser.add_argument("--campaigns", type=int, default=1,
+                        help="run this many campaigns at seed, "
+                             "seed+1, ...")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI chaos-smoke defaults (one pinned "
+                             "campaign)")
+    args = parser.parse_args(argv)
+
+    exit_code = 0
+    for offset in range(max(1, args.campaigns)):
+        report = asyncio.run(asyncio.wait_for(run_chaos(
+            seed=args.seed + offset, sessions=args.sessions,
+            workers=args.workers, connections=args.connections,
+            slice_budget=args.slice_budget,
+            checkpoint_every=args.checkpoint_every), 300.0))
+        print(json.dumps(report.describe(), indent=1))
+        if not report.passed:
+            print(f"chaos: FAIL (seed {args.seed + offset}): "
+                  + "; ".join(report.failures), file=sys.stderr)
+            exit_code = 1
+    return exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

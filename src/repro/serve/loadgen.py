@@ -14,6 +14,20 @@ Two halves, split so determinism is testable in isolation:
   submit, honour ``rejected``+``retry_after`` backpressure, consume
   ``progress`` streams, collect ``result``/``error`` terminals.
 
+Client-side resilience (PR 10): every retry sleep goes through
+:class:`Backoff` — exponential growth with *deterministic seeded
+jitter* (the jitter stream is derived from the session id via
+SHA-256, so two clients hammering the same server desynchronize
+without sacrificing reproducibility, and the delay sequence is
+identical under every ``PYTHONHASHSEED``).  ``rejected`` frames honour
+the server's ``retry_after`` as a floor under the backoff window;
+*transient* typed errors (``timeout``/``crashed`` — see
+``TRANSIENT_ERROR_TYPES``) are resubmitted with backoff up to a small
+budget, since the spec is deterministic and did not fail on its own
+merits.  An optional per-session ``deadline`` propagates to the
+server so hopeless sessions are shed early with a typed ``deadline``
+error instead of burning worker slices.
+
 :func:`run_bench` wires them to an in-process
 :class:`~repro.serve.server.ServeServer` (or an external one via
 ``--connect``), optionally cross-checks every served digest against
@@ -38,7 +52,11 @@ import random
 import sys
 import time
 
-from repro.serve.protocol import read_frame, write_frame
+from repro.serve.protocol import (
+    TRANSIENT_ERROR_TYPES,
+    read_frame,
+    write_frame,
+)
 from repro.serve.server import ServeConfig, ServeServer
 from repro.serve.sessions import (
     mixed_workload,
@@ -105,6 +123,38 @@ def session_schedule(seed: int, count: int) -> list[dict]:
     return documents
 
 
+class Backoff:
+    """Exponential backoff with deterministic seeded jitter.
+
+    The jitter stream is a ``random.Random`` seeded from SHA-256 of
+    the key (typically the session id), so the delay sequence is a
+    pure function of ``(key, base, cap)`` — reproducible across
+    processes and ``PYTHONHASHSEED`` values — while distinct keys get
+    decorrelated sequences, which is what breaks retry stampedes.
+    Each delay is drawn uniformly from the upper half of the current
+    exponential window (``[window/2, window]``), the "equal jitter"
+    scheme: never busy-spins near zero, never exceeds ``cap``.
+    """
+
+    def __init__(self, key: str, *, base: float = 0.02,
+                 cap: float = 1.0) -> None:
+        digest = hashlib.sha256(f"backoff:{key}".encode()).digest()
+        self._rng = random.Random(int.from_bytes(digest[:8], "big"))
+        self.base = base
+        self.cap = cap
+        self.attempt = 0
+
+    def next_delay(self, floor: float = 0.0) -> float:
+        """The next sleep, honouring ``floor`` (server retry_after)."""
+        window = min(self.cap, self.base * (1 << min(self.attempt, 60)))
+        self.attempt += 1
+        jittered = window * (0.5 + 0.5 * self._rng.random())
+        return max(floor, jittered)
+
+    def reset(self) -> None:
+        self.attempt = 0
+
+
 def schedule_digest(documents: list[dict]) -> str:
     """SHA-256 over the canonical JSON of a schedule."""
     canonical = json.dumps(documents, sort_keys=True,
@@ -121,6 +171,8 @@ class LoadReport:
         self.latencies: dict[str, float] = {}  # sid -> seconds
         self.rejects = 0
         self.progress_frames = 0
+        self.transient_retries = 0     # resubmits after timeout/crashed
+        self.backoff_seconds = 0.0     # total client backoff slept
         self.server_stats: dict = {}
 
     @property
@@ -149,8 +201,15 @@ class LoadReport:
 async def _drive_connection(host: str, port: int, documents: list[dict],
                             report: LoadReport,
                             slice_budget: int | None,
-                            max_retries: int = 200) -> None:
-    """One client connection running its sessions sequentially."""
+                            max_retries: int = 200,
+                            deadline: float | None = None,
+                            transient_budget: int = 3) -> None:
+    """One client connection running its sessions sequentially.
+
+    Every sleep — rejected backpressure and transient-error
+    resubmission alike — goes through the session's :class:`Backoff`,
+    so the retry schedule is deterministic per session id.
+    """
     reader, writer = await asyncio.open_connection(host, port)
     try:
         for document in documents:
@@ -158,7 +217,11 @@ async def _drive_connection(host: str, port: int, documents: list[dict],
             submit = {"type": "submit", "spec": document}
             if slice_budget is not None:
                 submit["slice_budget"] = slice_budget
+            if deadline is not None:
+                submit["deadline"] = deadline
+            backoff = Backoff(sid)
             retries = 0
+            resubmits = 0
             started = time.monotonic()
             await write_frame(writer, submit)
             while True:
@@ -179,8 +242,10 @@ async def _drive_connection(host: str, port: int, documents: list[dict],
                             "error_type": "failed",
                             "message": "rejected too many times"}
                         break
-                    await asyncio.sleep(
-                        float(frame.get("retry_after", 0.05)))
+                    delay = backoff.next_delay(
+                        floor=float(frame.get("retry_after", 0.0)))
+                    report.backoff_seconds += delay
+                    await asyncio.sleep(delay)
                     await write_frame(writer, submit)
                 elif kind == "accepted":
                     continue
@@ -191,6 +256,18 @@ async def _drive_connection(host: str, port: int, documents: list[dict],
                     report.latencies[sid] = time.monotonic() - started
                     break
                 elif kind == "error":
+                    if (frame.get("error_type") in TRANSIENT_ERROR_TYPES
+                            and resubmits < transient_budget):
+                        # The spec is deterministic and did not fail on
+                        # its own merits — resubmit it with backoff.
+                        resubmits += 1
+                        report.transient_retries += 1
+                        backoff.reset()
+                        delay = backoff.next_delay()
+                        report.backoff_seconds += delay
+                        await asyncio.sleep(delay)
+                        await write_frame(writer, submit)
+                        continue
                     report.errors[sid] = frame
                     report.latencies[sid] = time.monotonic() - started
                     break
@@ -218,13 +295,15 @@ async def _fetch_stats(host: str, port: int) -> dict:
 
 async def run_load(host: str, port: int, documents: list[dict],
                    connections: int = 8,
-                   slice_budget: int | None = None) -> LoadReport:
+                   slice_budget: int | None = None,
+                   deadline: float | None = None) -> LoadReport:
     """Drive ``documents`` through a running server; gather a report."""
     report = LoadReport()
     shards = [documents[index::connections]
               for index in range(connections)]
     await asyncio.gather(*(
-        _drive_connection(host, port, shard, report, slice_budget)
+        _drive_connection(host, port, shard, report, slice_budget,
+                          deadline=deadline)
         for shard in shards if shard))
     report.server_stats = await _fetch_stats(host, port)
     return report
@@ -271,6 +350,8 @@ def _bench_records(report: LoadReport, *, seed: int, workers: int,
             "completed": report.completed,
             "failed": report.failed,
             "client_rejects": report.rejects,
+            "client_transient_retries": report.transient_retries,
+            "client_backoff_seconds": round(report.backoff_seconds, 3),
             "progress_frames": report.progress_frames,
             "workload_digest": report.served_workload_digest(),
             **{f"server_{key}": value
@@ -285,7 +366,9 @@ async def run_bench(*, sessions: int, seed: int, workers: int,
                     slice_budget: int | None,
                     checkpoint_every: int | None,
                     connect: str | None = None,
-                    verify: bool = False) -> tuple[LoadReport, list[dict]]:
+                    verify: bool = False,
+                    deadline: float | None = None
+                    ) -> tuple[LoadReport, list[dict]]:
     """One full load run; returns the report and its bench records.
 
     Raises ``RuntimeError`` when ``verify`` finds a digest mismatch
@@ -296,7 +379,8 @@ async def run_bench(*, sessions: int, seed: int, workers: int,
     if connect is not None:
         host, _, port_text = connect.rpartition(":")
         report = await run_load(host or "127.0.0.1", int(port_text),
-                                documents, connections, slice_budget)
+                                documents, connections, slice_budget,
+                                deadline=deadline)
     else:
         config = ServeConfig(workers=workers, backlog=backlog,
                              slice_budget=slice_budget,
@@ -304,7 +388,7 @@ async def run_bench(*, sessions: int, seed: int, workers: int,
         async with ServeServer(config) as server:
             report = await run_load("127.0.0.1", server.port,
                                     documents, connections,
-                                    slice_budget)
+                                    slice_budget, deadline=deadline)
     seconds = time.monotonic() - started
 
     if report.errors:
@@ -342,6 +426,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--backlog", type=int, default=32)
     parser.add_argument("--slice-budget", type=int, default=None)
     parser.add_argument("--checkpoint-every", type=int, default=None)
+    parser.add_argument("--deadline", type=float, default=None,
+                        help="per-session deadline in seconds, "
+                             "propagated to the server for early "
+                             "shedding")
     parser.add_argument("--connect", metavar="HOST:PORT", default=None,
                         help="drive an already-running server instead "
                              "of starting one in-process")
@@ -379,7 +467,8 @@ def main(argv: list[str] | None = None) -> int:
             workers=args.workers, connections=args.connections,
             backlog=args.backlog, slice_budget=args.slice_budget,
             checkpoint_every=args.checkpoint_every,
-            connect=args.connect, verify=args.verify))
+            connect=args.connect, verify=args.verify,
+            deadline=args.deadline))
     except RuntimeError as error:
         print(f"loadgen: FAIL: {error}", file=sys.stderr)
         return 1

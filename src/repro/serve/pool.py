@@ -13,21 +13,39 @@ streaming a ``progress`` message at each preemption boundary.
 Isolation mirrors the PR 4 supervisor contract: a session that raises
 fails *that session* (typed ``error`` message, worker keeps serving);
 only a hard process death (``os._exit``, kill) or a wall-clock
-watchdog ends the worker, and the server respawns it.
+watchdog ends the worker, and the server respawns it.  PR 10 closes
+the gap that respawn used to leave: at every checkpoint boundary the
+worker ships the session's journal blob
+(:meth:`~repro.serve.sessions.SessionRun.journal_blob`) upstream, so
+the server can *resume* the sessions a dead worker carried on a live
+one instead of failing them.
 
 Wire protocol over the Pipe (tuples, like
 :mod:`repro.eval.parallel`):
 
-* parent → worker: ``("run", spec_document, options)`` and
-  ``("stop",)``;
+* parent → worker: ``("run", spec_document, options)``,
+  ``("resume", spec_document, options, blob_or_None)``,
+  ``("cancel", session_id)`` (deadline shed),
+  ``("chaos", directive)`` (deterministic fault-schedule arming:
+  ``{"kill_after_slices": k}`` / ``{"hang_after_slices": k,
+  "hang_seconds": s}``), and ``("stop",)``;
 * worker → parent: ``("progress", sid, instructions, cycles,
-  slices)``, ``("result", sid, result_document)``, or ``("error",
-  sid, error_type, message, vitals)``.
+  slices)``, ``("checkpoint", sid, blob, meta)``, ``("result", sid,
+  result_document)``, or ``("error", sid, error_type, message,
+  vitals)``.
+
+``options`` keys: ``slice_budget``, ``checkpoint_every``, ``faults``
+(seeded in-session bit flips, see
+:func:`~repro.serve.sessions.parse_faults`), and ``journal``
+(``False`` disables checkpoint shipping for that session).
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
+import stat
+import time
 from collections import deque
 
 from repro.serve.protocol import ERROR_FAILED, ERROR_INVALID
@@ -36,9 +54,56 @@ from repro.serve.sessions import (
     DEFAULT_SLICE_BUDGET,
     InvalidSessionError,
     SessionExecutionError,
+    SessionJournalError,
     SessionRun,
     spec_from_document,
 )
+
+
+class ServeConfigError(ValueError):
+    """A serve-layer configuration knob is out of range.
+
+    Every message names the offending field and the constraint, so a
+    misconfigured deployment fails at construction with a diagnostic
+    instead of misbehaving silently (a zero watchdog classifying every
+    worker as hung, a negative backlog rejecting everything, ...).
+    """
+
+
+def _require_positive_int(name: str, value, *,
+                          allow_none: bool = False) -> None:
+    if value is None and allow_none:
+        return
+    if not isinstance(value, int) or isinstance(value, bool) \
+            or value < 1:
+        raise ServeConfigError(
+            f"{name} must be a positive integer"
+            f"{' (or None)' if allow_none else ''}, got {value!r}")
+
+
+def _require_positive_number(name: str, value) -> None:
+    if not isinstance(value, (int, float)) or isinstance(value, bool) \
+            or not value > 0:
+        raise ServeConfigError(
+            f"{name} must be a positive number, got {value!r}")
+
+
+def validate_worker_defaults(defaults: dict | None) -> dict:
+    """Validate a worker-defaults mapping (raises ServeConfigError)."""
+    defaults = dict(defaults or {})
+    known = {"slice_budget", "checkpoint_every", "journal"}
+    for key in sorted(defaults.keys() - known):
+        raise ServeConfigError(
+            f"unknown worker default {key!r} (have {sorted(known)})")
+    _require_positive_int("slice_budget",
+                          defaults.get("slice_budget"), allow_none=True)
+    _require_positive_int("checkpoint_every",
+                          defaults.get("checkpoint_every"),
+                          allow_none=True)
+    if not isinstance(defaults.get("journal", True), bool):
+        raise ServeConfigError(
+            f"journal must be a bool, got {defaults['journal']!r}")
+    return defaults
 
 
 def _context():
@@ -47,6 +112,69 @@ def _context():
         return multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
         return multiprocessing.get_context()
+
+
+class _Chaos:
+    """Armed deterministic worker-level fault directives.
+
+    Counted in retired slices (every ``advance()`` call on any
+    session), so a scheduled kill/hang lands at the same point of the
+    worker's slice stream on every run — wall clock never enters it.
+    """
+
+    def __init__(self) -> None:
+        self.kill_after: int | None = None
+        self.hang_after: int | None = None
+        self.hang_seconds = 3600.0
+        self.slices = 0
+
+    def arm(self, directive: dict) -> None:
+        if "kill_after_slices" in directive:
+            self.kill_after = int(directive["kill_after_slices"])
+        if "hang_after_slices" in directive:
+            self.hang_after = int(directive["hang_after_slices"])
+            self.hang_seconds = float(
+                directive.get("hang_seconds", 3600.0))
+
+    def tick(self) -> None:
+        """One slice retired; fire any directive that is due."""
+        self.slices += 1
+        if self.kill_after is not None \
+                and self.slices >= self.kill_after:
+            os._exit(11)
+        if self.hang_after is not None \
+                and self.slices >= self.hang_after:
+            self.hang_after = None   # fire once
+            time.sleep(self.hang_seconds)
+
+
+def _drop_inherited_sockets(keep: set[int]) -> None:
+    """Close socket fds forked from the server process.
+
+    A worker (re)spawned by fork inherits every fd the parent holds at
+    that moment — the TCP listener, live client connections, and other
+    workers' pipes.  A client socket pinned open by a worker is a
+    deadlock: when the server later closes that connection, the FIN is
+    never sent (the worker's duplicate fd keeps it open) and a client
+    blocked on EOF waits forever.  So the first thing a worker does is
+    close every inherited *socket* except its own command pipe (the
+    duplex Pipe is a socketpair on POSIX).  Non-socket fds — stdio,
+    the resource tracker's pipe — are left alone.  Best effort on
+    platforms without ``/proc/self/fd`` (non-Linux forks are rare and
+    the non-fork contexts never inherit fds at all).
+    """
+    try:
+        fds = [int(name) for name in os.listdir("/proc/self/fd")]
+    except (FileNotFoundError, OSError):  # pragma: no cover - non-Linux
+        return
+    for fd in fds:
+        if fd in keep:
+            continue
+        try:
+            if stat.S_ISSOCK(os.fstat(fd).st_mode):
+                os.close(fd)
+        except OSError:  # raced away or already closed
+            continue
 
 
 def worker_main(conn, defaults: dict | None = None) -> None:
@@ -59,26 +187,51 @@ def worker_main(conn, defaults: dict | None = None) -> None:
     :class:`~repro.serve.sessions.SessionRun` machines, so the
     interleaving order cannot change any result — only latency.
     """
-    defaults = defaults or {}
+    _drop_inherited_sockets({conn.fileno()})
+    defaults = dict(defaults or {})
     active: deque[SessionRun] = deque()
+    journaled: dict[str, int] = {}   # sid -> checkpoints last shipped
+    chaos = _Chaos()
 
-    def start_session(spec_document: dict, options: dict) -> None:
+    def resolve_options(options: dict) -> tuple:
+        return (
+            options.get("slice_budget",
+                        defaults.get("slice_budget",
+                                     DEFAULT_SLICE_BUDGET)),
+            options.get("checkpoint_every",
+                        defaults.get("checkpoint_every",
+                                     DEFAULT_CHECKPOINT_EVERY)),
+            options.get("faults"),
+            options.get("journal", defaults.get("journal", True)),
+        )
+
+    def start_session(spec_document: dict, options: dict,
+                      blob: bytes | None = None) -> None:
         session_id = "?"
         if isinstance(spec_document, dict):
             raw = spec_document.get("session_id")
             if isinstance(raw, str) and raw:
                 session_id = raw
+        slice_budget, checkpoint_every, faults, journal = \
+            resolve_options(options)
         try:
-            spec = spec_from_document(spec_document)
-            run = SessionRun(
-                spec,
-                slice_budget=options.get(
-                    "slice_budget",
-                    defaults.get("slice_budget", DEFAULT_SLICE_BUDGET)),
-                checkpoint_every=options.get(
-                    "checkpoint_every",
-                    defaults.get("checkpoint_every",
-                                 DEFAULT_CHECKPOINT_EVERY)))
+            run = None
+            if blob is not None:
+                try:
+                    run = SessionRun.resume(
+                        blob, slice_budget=slice_budget,
+                        checkpoint_every=checkpoint_every,
+                        faults=faults)
+                except SessionJournalError:
+                    # A corrupt/foreign journal entry costs the saved
+                    # progress, never the session: fall back to a
+                    # from-scratch run of the same deterministic spec.
+                    run = None
+            if run is None:
+                spec = spec_from_document(spec_document)
+                run = SessionRun(spec, slice_budget=slice_budget,
+                                 checkpoint_every=checkpoint_every,
+                                 faults=faults)
         except InvalidSessionError as error:
             conn.send(("error", session_id, ERROR_INVALID, str(error),
                        {}))
@@ -92,7 +245,29 @@ def worker_main(conn, defaults: dict | None = None) -> None:
             conn.send(("error", session_id, ERROR_FAILED,
                        f"{type(error).__name__}: {error}", {}))
             return
+        run.journal = journal
+        journaled[run.spec.session_id] = run.checkpoints
         active.append(run)
+
+    def handle_command(message: tuple) -> bool:
+        """Apply one parent command; False = stop serving."""
+        kind = message[0]
+        if kind == "stop":
+            return False
+        if kind == "run":
+            start_session(message[1], message[2])
+        elif kind == "resume":
+            start_session(message[1], message[2], message[3])
+        elif kind == "cancel":
+            for run in list(active):
+                if run.spec.session_id == message[1]:
+                    active.remove(run)
+                    journaled.pop(message[1], None)
+        elif kind == "chaos":
+            chaos.arm(message[1])
+        else:  # pragma: no cover - defensive
+            raise AssertionError(f"unknown command {message!r}")
+        return True
 
     while True:
         # Drain commands; block only when there is nothing to run.
@@ -101,31 +276,46 @@ def worker_main(conn, defaults: dict | None = None) -> None:
                 message = conn.recv()
             except EOFError:
                 return
-            if message[0] == "stop":
+            if not handle_command(message):
                 return
-            assert message[0] == "run", message
-            start_session(message[1], message[2])
 
         run = active.popleft()
         session_id = run.spec.session_id
         try:
             result = run.advance()
         except SessionExecutionError as error:
+            journaled.pop(session_id, None)
             conn.send(("error", session_id, error.error_type,
                        str(error), {"instructions": error.instructions,
                                     "cycles": error.cycles}))
+            chaos.tick()
             continue
         except Exception as error:  # pragma: no cover - defensive
+            journaled.pop(session_id, None)
             conn.send(("error", session_id, ERROR_FAILED,
                        f"{type(error).__name__}: {error}", {}))
+            chaos.tick()
             continue
         if result is None:
             instructions, cycles, slices = run.progress
             conn.send(("progress", session_id, instructions, cycles,
                        slices))
+            if (run.journal
+                    and run.checkpoints > journaled.get(session_id, 0)):
+                blob = run.journal_blob()
+                if blob is not None:
+                    journaled[session_id] = run.checkpoints
+                    conn.send(("checkpoint", session_id, blob, {
+                        "slices": slices,
+                        "instructions": instructions,
+                        "cycles": cycles,
+                        "checkpoints": run.checkpoints,
+                    }))
             active.append(run)
         else:
+            journaled.pop(session_id, None)
             conn.send(("result", session_id, result.describe()))
+        chaos.tick()
 
 
 class WorkerHandle:
@@ -134,7 +324,7 @@ class WorkerHandle:
     def __init__(self, index: int, defaults: dict | None = None,
                  ctx=None) -> None:
         self.index = index
-        self.defaults = dict(defaults or {})
+        self.defaults = validate_worker_defaults(defaults)
         self.ctx = ctx or _context()
         self.process = None
         self.conn = None
@@ -156,9 +346,33 @@ class WorkerHandle:
     def alive(self) -> bool:
         return self.process is not None and self.process.is_alive()
 
+    def _send(self, command: tuple) -> None:
+        # A handle mid-replacement has conn=None; surface that the
+        # same way a dead pipe does so every caller's
+        # BrokenPipeError/OSError handling covers it (the watchdog
+        # then rescues any session whose command was dropped).
+        conn = self.conn
+        if conn is None:
+            raise BrokenPipeError("worker connection closed")
+        conn.send(command)
+
     def submit(self, spec_document: dict,
                options: dict | None = None) -> None:
-        self.conn.send(("run", spec_document, options or {}))
+        self._send(("run", spec_document, options or {}))
+
+    def resume(self, spec_document: dict, options: dict | None,
+               blob: bytes | None) -> None:
+        """Dispatch a session resuming from a journal blob (or from
+        scratch when the journal never got an entry)."""
+        self._send(("resume", spec_document, options or {}, blob))
+
+    def cancel(self, session_id: str) -> None:
+        """Drop a session from the worker's active set (deadline shed)."""
+        self._send(("cancel", session_id))
+
+    def inject_chaos(self, directive: dict) -> None:
+        """Arm a deterministic worker-level fault (chaos harness)."""
+        self._send(("chaos", directive))
 
     def kill(self) -> None:
         """Hard-stop the process (watchdog / shutdown path)."""

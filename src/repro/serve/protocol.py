@@ -16,16 +16,31 @@ Frame vocabulary (the ``"type"`` field):
 ==============  ======  ==================================================
 type            sender  meaning
 ==============  ======  ==================================================
-``submit``      client  open a session (``spec``: a SessionSpec document)
+``submit``      client  open a session (``spec``: a SessionSpec document;
+                        optional ``deadline`` seconds, ``faults`` list)
 ``stats``       client  request a server metrics snapshot
 ``accepted``    server  session admitted (``session_id``)
 ``rejected``    server  backlog full (``retry_after`` seconds)
 ``progress``    server  one preemption slice retired (incremental)
 ``result``      server  final deterministic session result
 ``error``       server  typed failure (``error_type``: invalid / failed /
-                        timeout / crashed / protocol)
+                        timeout / crashed / deadline / protocol)
 ``stats``       server  metrics snapshot reply
 ==============  ======  ==================================================
+
+Crash recovery (PR 10) adds two *optional* ``submit`` fields — a
+``deadline`` (seconds of wall clock the client will wait; the server
+sheds the session with a typed ``deadline`` error once it expires)
+and a ``faults`` list (seeded in-session bit-flip injections, the
+chaos harness's grammar; see
+:meth:`repro.serve.sessions.SessionRun`).  Recovery itself is
+invisible on the wire by design: when a worker dies, its sessions are
+resumed from their server-side journal on another worker, replayed
+``progress`` frames are suppressed so the client's view stays
+monotonic, and the ``result`` frame is byte-identical to an
+undisturbed run.  Only a session that exhausts its resume budget
+falls back to the PR 9 behaviour: a typed ``crashed`` / ``timeout``
+error frame.
 """
 
 from __future__ import annotations
@@ -46,9 +61,17 @@ ERROR_INVALID = "invalid"      # malformed/unknown session spec
 ERROR_FAILED = "failed"        # session runner raised
 ERROR_TIMEOUT = "timeout"      # session exceeded its wall budget
 ERROR_CRASHED = "crashed"      # worker process died mid-session
+ERROR_DEADLINE = "deadline"    # client deadline expired; session shed
 ERROR_PROTOCOL = "protocol"    # unparseable client frame
 ERROR_TYPES = (ERROR_INVALID, ERROR_FAILED, ERROR_TIMEOUT,
-               ERROR_CRASHED, ERROR_PROTOCOL)
+               ERROR_CRASHED, ERROR_DEADLINE, ERROR_PROTOCOL)
+
+#: Error types a client may treat as transient: the session did not
+#: fail on its own merits, so resubmitting the same spec (with
+#: backoff) can succeed.  ``deadline`` is deliberately absent — the
+#: client asked for the shed — as is ``invalid``/``failed``, which
+#: are deterministic properties of the spec.
+TRANSIENT_ERROR_TYPES = (ERROR_TIMEOUT, ERROR_CRASHED)
 
 
 class ProtocolError(ValueError):

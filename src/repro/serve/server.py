@@ -14,25 +14,44 @@ but for an open-ended session stream instead of a fixed job list:
 * **Dispatch** — an admitted session goes to the worker with the
   fewest active sessions (lowest index on ties), which time-slices it
   against its other sessions (:mod:`repro.serve.pool`).
-* **Containment** — a dead worker Pipe (crash, ``os._exit``) or a
-  watchdog expiry (no message from a busy worker for
+* **Checkpoint journal** — workers ship each session's latest
+  ``Processor.snapshot()`` checkpoint upstream at its cadence; the
+  server keeps the newest blob per session in a
+  :class:`SessionJournal` with size- and age-based retention.
+  Retention can only ever cost saved *progress*: an evicted session
+  resumes from scratch, it is never lost.
+* **Resume-on-respawn** — a dead worker Pipe (crash, ``os._exit``) or
+  a watchdog expiry (no message from a busy worker for
   ``watchdog_seconds``) kills and respawns that worker; every session
-  it carried is answered with a typed ``error`` frame (``crashed`` /
-  ``timeout``) and the server keeps serving.  A malformed client
-  frame earns a typed ``protocol`` error frame and closes *that*
-  connection only.
+  it carried is *rescheduled* onto the least-loaded live worker from
+  its latest journal entry (or from scratch), up to
+  ``resume_attempts`` times per session — only then does the client
+  see the PR 9 typed ``error`` frame, counted as a lost session.
+  Replayed ``progress`` frames (work between the checkpoint and the
+  crash, re-executed on resume) are suppressed against a per-session
+  instruction high-water mark, so the client's view stays monotonic
+  and no output frame is ever delivered twice.
+* **Deadlines** — a ``submit`` may carry ``deadline`` seconds; once it
+  expires the server shies the session out of its worker (``cancel``)
+  and answers with a typed ``deadline`` error, so hopeless work is
+  shed early instead of burning slices nobody will wait for.
 * **SLO metrics** — counters live in an obs
   :class:`~repro.obs.metrics.MetricsRegistry` under ``serve_*`` names;
   :meth:`ServeMetrics.snapshot` derives p50/p99 session latency and
-  sessions/sec for ``stats`` frames and ``BENCH_serve.json``.
+  sessions/sec for ``stats`` frames and ``BENCH_serve.json``, plus
+  the recovery ledger (``resumed_sessions``, ``resume_replays``,
+  ``checkpoint_bytes``, ``lost_sessions`` — gated at zero by
+  ``scripts/bench_compare.py``).
 
 Determinism: the server adds no state of its own to results — a
 ``result`` frame relays the worker's
 :meth:`~repro.serve.sessions.SessionResult.describe` document
-verbatim, so served digests are byte-identical to
+verbatim, and a resumed session's machine continues bit-identically
+from its checkpoint, so served digests equal
 :func:`~repro.serve.sessions.run_sessions_serial` regardless of
-worker count, dispatch order, or preemption schedule
-(``tests/serve/test_conformance.py``).
+worker count, dispatch order, preemption schedule, or fault schedule
+(``tests/serve/test_conformance.py``, ``tests/serve/test_recovery.py``,
+``repro.serve.chaos``).
 """
 
 from __future__ import annotations
@@ -43,9 +62,15 @@ import time
 from dataclasses import dataclass, field
 
 from repro.obs.metrics import MetricsRegistry
-from repro.serve.pool import WorkerHandle
+from repro.serve.pool import (
+    ServeConfigError,
+    WorkerHandle,
+    _require_positive_int,
+    _require_positive_number,
+)
 from repro.serve.protocol import (
     ERROR_CRASHED,
+    ERROR_DEADLINE,
     ERROR_INVALID,
     ERROR_PROTOCOL,
     ERROR_TIMEOUT,
@@ -53,11 +78,18 @@ from repro.serve.protocol import (
     read_frame,
     write_frame,
 )
+from repro.serve.sessions import InvalidSessionError, parse_faults
 
 
 @dataclass(frozen=True)
 class ServeConfig:
-    """Knobs for one server instance (defaults suit the test suite)."""
+    """Knobs for one server instance (defaults suit the test suite).
+
+    Construction validates every field and raises the typed
+    :class:`~repro.serve.pool.ServeConfigError` naming the offending
+    knob — a server must refuse to exist with a zero watchdog or a
+    negative backlog rather than misbehave silently.
+    """
 
     host: str = "127.0.0.1"
     port: int = 0                    # 0 = ephemeral, read ServeServer.port
@@ -68,6 +100,44 @@ class ServeConfig:
     checkpoint_every: int | None = None
     watchdog_seconds: float = 10.0   # hung-worker detector
     poll_seconds: float = 0.05       # worker Pipe poll granularity
+    resume_attempts: int = 2         # resumes per session before failing
+    journal: bool = True             # ship checkpoints upstream
+    journal_max_bytes: int = 1 << 26     # journal size retention cap
+    journal_max_age_seconds: float = 600.0   # journal age retention cap
+
+    def __post_init__(self) -> None:
+        _require_positive_int("workers", self.workers)
+        _require_positive_int("backlog", self.backlog)
+        _require_positive_number("retry_after", self.retry_after)
+        _require_positive_int("slice_budget", self.slice_budget,
+                              allow_none=True)
+        _require_positive_int("checkpoint_every", self.checkpoint_every,
+                              allow_none=True)
+        _require_positive_number("watchdog_seconds",
+                                 self.watchdog_seconds)
+        _require_positive_number("poll_seconds", self.poll_seconds)
+        if not isinstance(self.resume_attempts, int) \
+                or isinstance(self.resume_attempts, bool) \
+                or self.resume_attempts < 0:
+            raise ServeConfigError(
+                f"resume_attempts must be a non-negative integer, "
+                f"got {self.resume_attempts!r}")
+        if not isinstance(self.journal, bool):
+            raise ServeConfigError(
+                f"journal must be a bool, got {self.journal!r}")
+        if not isinstance(self.journal_max_bytes, int) \
+                or isinstance(self.journal_max_bytes, bool) \
+                or self.journal_max_bytes < 0:
+            raise ServeConfigError(
+                f"journal_max_bytes must be a non-negative integer, "
+                f"got {self.journal_max_bytes!r}")
+        _require_positive_number("journal_max_age_seconds",
+                                 self.journal_max_age_seconds)
+        if not isinstance(self.port, int) \
+                or isinstance(self.port, bool) or self.port < 0:
+            raise ServeConfigError(
+                f"port must be a non-negative integer, "
+                f"got {self.port!r}")
 
 
 def _percentile(values: list[float], quantile: float) -> float:
@@ -77,6 +147,71 @@ def _percentile(values: list[float], quantile: float) -> float:
     ordered = sorted(values)
     rank = max(1, math.ceil(quantile * len(ordered)))
     return ordered[rank - 1]
+
+
+@dataclass
+class _JournalEntry:
+    """One session's latest shipped checkpoint."""
+
+    blob: bytes
+    meta: dict
+    stored_at: float
+    seq: int
+
+
+class SessionJournal:
+    """Latest-checkpoint store with size/age retention.
+
+    One entry per in-flight session (a newer checkpoint replaces the
+    older).  Retention evicts by age and then oldest-first by update
+    time until under the byte cap; eviction only loses saved
+    *progress* — the session's resume falls back to a from-scratch
+    re-run of its deterministic spec — never the session itself.
+    """
+
+    def __init__(self, max_bytes: int,
+                 max_age_seconds: float) -> None:
+        self.max_bytes = max_bytes
+        self.max_age_seconds = max_age_seconds
+        self._entries: dict[str, _JournalEntry] = {}
+        self._seq = 0
+        self.total_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def put(self, session_id: str, blob: bytes, meta: dict,
+            now: float | None = None) -> None:
+        now = time.monotonic() if now is None else now
+        self.discard(session_id)
+        self._seq += 1
+        self._entries[session_id] = _JournalEntry(
+            blob, dict(meta), now, self._seq)
+        self.total_bytes += len(blob)
+        self.evict(now)
+
+    def get(self, session_id: str) -> _JournalEntry | None:
+        return self._entries.get(session_id)
+
+    def discard(self, session_id: str) -> None:
+        entry = self._entries.pop(session_id, None)
+        if entry is not None:
+            self.total_bytes -= len(entry.blob)
+
+    def evict(self, now: float | None = None) -> int:
+        """Apply retention; returns the number of entries evicted."""
+        now = time.monotonic() if now is None else now
+        stale = [sid for sid, entry in self._entries.items()
+                 if now - entry.stored_at > self.max_age_seconds]
+        for sid in stale:
+            self.discard(sid)
+        evicted = len(stale)
+        while self.total_bytes > self.max_bytes and self._entries:
+            oldest = min(self._entries,
+                         key=lambda sid: self._entries[sid].seq)
+            self.discard(oldest)
+            evicted += 1
+        return evicted
 
 
 class ServeMetrics:
@@ -100,6 +235,28 @@ class ServeMetrics:
             "serve_worker_respawns", "workers killed and restarted")
         self._protocol_errors = self.registry.counter(
             "serve_protocol_errors", "malformed client frames")
+        self._resumed = self.registry.counter(
+            "serve_resumed_sessions",
+            "sessions rescheduled after a worker death")
+        self._resumed_journal = self.registry.counter(
+            "serve_resumed_from_journal",
+            "resumes seeded by a journal checkpoint (vs from scratch)")
+        self._replays = self.registry.counter(
+            "serve_resume_replays",
+            "replayed progress frames suppressed after a resume")
+        self._lost = self.registry.counter(
+            "serve_lost_sessions",
+            "sessions failed by worker death after resume exhaustion")
+        self._shed = self.registry.counter(
+            "serve_shed_sessions", "sessions shed past their deadline")
+        self._checkpoints = self.registry.counter(
+            "serve_checkpoints_journaled", "checkpoint blobs journaled")
+        self._checkpoint_bytes = self.registry.counter(
+            "serve_checkpoint_bytes", "journal blob bytes received")
+        self._journal_entries = self.registry.gauge(
+            "serve_journal_entries", "sessions with a live journal entry")
+        self._journal_bytes = self.registry.gauge(
+            "serve_journal_bytes", "current journal footprint")
         self.latencies: list[float] = []   # seconds, submit -> result
         self._first_accept: float | None = None
         self._last_done: float | None = None
@@ -133,6 +290,29 @@ class ServeMetrics:
     def protocol_error(self) -> None:
         self._protocol_errors.inc()
 
+    def resumed(self, from_journal: bool) -> None:
+        self._resumed.inc()
+        if from_journal:
+            self._resumed_journal.inc()
+
+    def replayed(self) -> None:
+        self._replays.inc()
+
+    def lost(self) -> None:
+        self._lost.inc()
+
+    def shed(self) -> None:
+        self._shed.inc()
+
+    def checkpointed(self, nbytes: int, journal: SessionJournal) -> None:
+        self._checkpoints.inc()
+        self._checkpoint_bytes.inc(nbytes)
+        self.journal_sized(journal)
+
+    def journal_sized(self, journal: SessionJournal) -> None:
+        self._journal_entries.set(len(journal))
+        self._journal_bytes.set(journal.total_bytes)
+
     def snapshot(self) -> dict:
         """Counter values plus the derived SLO figures."""
         completed = self._completed.value
@@ -148,6 +328,15 @@ class ServeMetrics:
             "preemptions": self._preemptions.value,
             "worker_respawns": self._respawns.value,
             "protocol_errors": self._protocol_errors.value,
+            "resumed_sessions": self._resumed.value,
+            "resumed_from_journal": self._resumed_journal.value,
+            "resume_replays": self._replays.value,
+            "lost_sessions": self._lost.value,
+            "shed_sessions": self._shed.value,
+            "checkpoints_journaled": self._checkpoints.value,
+            "checkpoint_bytes": self._checkpoint_bytes.value,
+            "journal_entries": self._journal_entries.value,
+            "journal_bytes": self._journal_bytes.value,
             "latency_p50_ms": round(
                 _percentile(self.latencies, 0.50) * 1e3, 3),
             "latency_p99_ms": round(
@@ -184,7 +373,12 @@ class _Session:
     session_id: str
     client: _Client
     submitted_at: float
+    spec: dict = field(default_factory=dict)
+    options: dict = field(default_factory=dict)
+    deadline: float | None = None       # absolute monotonic, or None
     slices: int = 0
+    resumes: int = 0
+    high_water: int = -1                # instructions last forwarded
 
 
 @dataclass
@@ -196,6 +390,20 @@ class _WorkerSlot:
     last_heard: float = field(default_factory=time.monotonic)
 
 
+class WorkerConnectionLost(Exception):
+    """A worker's pipe died or delivered garbage mid-message.
+
+    The typed manager-task classification for *any* receive-side
+    failure — a clean worker exit between ``poll()`` and ``recv()``
+    (EOF), a closed handle, or a truncated/unpicklable message from a
+    process killed mid-``send``.  Whatever the raw exception, the
+    manager must classify the worker as crashed and respawn it; a raw
+    ``EOFError``/``UnpicklingError`` escaping the manager task would
+    silently end supervision and wedge that worker's slot forever
+    (``tests/serve/test_recovery.py`` pins the clean-exit race).
+    """
+
+
 class ServeServer:
     """The serving front-end.  ``start()`` → use → ``stop()``."""
 
@@ -203,6 +411,9 @@ class ServeServer:
                  registry: MetricsRegistry | None = None) -> None:
         self.config = config or ServeConfig()
         self.metrics = ServeMetrics(registry)
+        self.journal = SessionJournal(
+            self.config.journal_max_bytes,
+            self.config.journal_max_age_seconds)
         self._slots: list[_WorkerSlot] = []
         self._sessions: dict[str, _Session] = {}   # in-flight, by id
         self._managers: list[asyncio.Task] = []
@@ -223,6 +434,8 @@ class ServeServer:
             defaults["slice_budget"] = self.config.slice_budget
         if self.config.checkpoint_every is not None:
             defaults["checkpoint_every"] = self.config.checkpoint_every
+        if not self.config.journal:
+            defaults["journal"] = False
         self._running = True
         for index in range(self.config.workers):
             slot = _WorkerSlot(WorkerHandle(index, defaults))
@@ -251,6 +464,11 @@ class ServeServer:
 
     async def __aexit__(self, *exc) -> None:
         await self.stop()
+
+    def inject_worker_chaos(self, worker_index: int,
+                            directive: dict) -> None:
+        """Arm a deterministic worker-level fault (chaos harness)."""
+        self._slots[worker_index].handle.inject_chaos(directive)
 
     # -- client side -------------------------------------------------------
 
@@ -335,6 +553,28 @@ class ServeServer:
                                    "integer"})
                     return
                 options[knob] = value
+        if "faults" in message:
+            try:
+                parse_faults(message["faults"])
+            except InvalidSessionError as error:
+                await client.send({
+                    "type": "error", "session_id": session_id,
+                    "error_type": ERROR_INVALID,
+                    "message": str(error)})
+                return
+            options["faults"] = message["faults"]
+        deadline = None
+        if "deadline" in message:
+            value = message["deadline"]
+            if not isinstance(value, (int, float)) \
+                    or isinstance(value, bool) or not value > 0:
+                await client.send({
+                    "type": "error", "session_id": session_id,
+                    "error_type": ERROR_INVALID,
+                    "message": "deadline must be a positive number "
+                               "of seconds"})
+                return
+            deadline = float(value)
         if len(self._sessions) >= self.config.backlog:
             self.metrics.rejected()
             await client.send({
@@ -346,7 +586,10 @@ class ServeServer:
 
         slot = min(self._slots,
                    key=lambda s: (len(s.active), s.handle.index))
-        session = _Session(session_id, client, time.monotonic())
+        now = time.monotonic()
+        session = _Session(
+            session_id, client, now, spec=spec, options=options,
+            deadline=None if deadline is None else now + deadline)
         self._sessions[session_id] = session
         slot.active[session_id] = session
         slot.last_heard = time.monotonic()
@@ -365,12 +608,28 @@ class ServeServer:
 
     @staticmethod
     def _poll_recv(handle: WorkerHandle, timeout: float):
-        """Blocking poll+recv, run in a thread.  ``None`` = no message."""
+        """Blocking poll+recv, run in a thread.  ``None`` = no message.
+
+        Every receive-side failure — including the clean-exit race
+        where the worker dies between a truthy ``poll()`` and the
+        ``recv()``, and a truncated pickle from a worker killed
+        mid-``send`` — is translated into the typed
+        :class:`WorkerConnectionLost` so the manager task classifies
+        it as a crash instead of dying on a raw exception.
+        """
         conn = handle.conn
         if conn is None:
-            raise EOFError("worker connection closed")
-        if conn.poll(timeout):
-            return conn.recv()
+            raise WorkerConnectionLost("worker connection closed")
+        try:
+            if conn.poll(timeout):
+                return conn.recv()
+        except EOFError as error:
+            raise WorkerConnectionLost(
+                "worker pipe at EOF (clean exit mid-session)"
+            ) from error
+        except Exception as error:
+            raise WorkerConnectionLost(
+                f"{type(error).__name__}: {error}") from error
         return None
 
     async def _manage_worker(self, slot: _WorkerSlot) -> None:
@@ -379,13 +638,14 @@ class ServeServer:
             try:
                 message = await asyncio.to_thread(
                     self._poll_recv, handle, self.config.poll_seconds)
-            except (EOFError, OSError):
+            except (WorkerConnectionLost, EOFError, OSError):
                 if not self._running:
                     return
                 await self._replace_worker(
                     slot, ERROR_CRASHED,
                     "worker process died mid-session")
                 continue
+            await self._shed_expired(slot)
             if message is None:
                 stale = time.monotonic() - slot.last_heard
                 if slot.active and stale > self.config.watchdog_seconds:
@@ -407,11 +667,22 @@ class ServeServer:
         if kind == "progress":
             _, session_id, instructions, cycles, slices = message
             session.slices = slices
+            if instructions <= session.high_water:
+                # Replay of work already reported before a resume:
+                # suppress so the client's progress stays monotonic
+                # and nothing is double-emitted.
+                self.metrics.replayed()
+                return
+            session.high_water = instructions
             self.metrics.preempted()
             await session.client.send({
                 "type": "progress", "session_id": session_id,
                 "instructions": instructions, "cycles": cycles,
                 "slices": slices})
+        elif kind == "checkpoint":
+            _, session_id, blob, meta = message
+            self.journal.put(session_id, blob, meta)
+            self.metrics.checkpointed(len(blob), self.journal)
         elif kind == "result":
             _, session_id, document = message
             self._finish(slot, session_id)
@@ -429,23 +700,96 @@ class ServeServer:
                 "error_type": error_type, "message": text,
                 "vitals": vitals})
 
-    def _finish(self, slot: _WorkerSlot, session_id: str) -> None:
-        slot.active.pop(session_id, None)
+    def _finish(self, slot: _WorkerSlot | None, session_id: str) -> None:
+        if slot is not None:
+            slot.active.pop(session_id, None)
         self._sessions.pop(session_id, None)
+        self.journal.discard(session_id)
+        self.metrics.journal_sized(self.journal)
+
+    async def _shed_expired(self, slot: _WorkerSlot) -> None:
+        """Cancel and fail sessions whose client deadline has passed."""
+        now = time.monotonic()
+        expired = [session for session in slot.active.values()
+                   if session.deadline is not None
+                   and now > session.deadline]
+        for session in expired:
+            self._finish(slot, session.session_id)
+            self.metrics.shed()
+            self.metrics.failed()
+            try:
+                await asyncio.to_thread(slot.handle.cancel,
+                                        session.session_id)
+            except (BrokenPipeError, OSError):
+                pass
+            await session.client.send({
+                "type": "error", "session_id": session.session_id,
+                "error_type": ERROR_DEADLINE,
+                "message": "session deadline expired before "
+                           "completion; shed",
+                "vitals": {"slices": session.slices,
+                           "resumes": session.resumes}})
 
     async def _replace_worker(self, slot: _WorkerSlot,
                               error_type: str, reason: str) -> None:
-        """Kill + respawn a worker; fail everything it carried."""
+        """Kill + respawn a worker; resume or fail what it carried.
+
+        Each carried session is rescheduled onto the least-loaded live
+        worker from its latest journal entry (or from scratch when the
+        journal has none) until its ``resume_attempts`` budget runs
+        out — only then does the client get the typed ``error`` frame
+        and the session counts as *lost*.
+        """
         casualties = list(slot.active.values())
         slot.active.clear()
         await asyncio.to_thread(slot.handle.kill)
         slot.handle.spawn()
         slot.last_heard = time.monotonic()
         self.metrics.respawned()
+        now = time.monotonic()
         for session in casualties:
-            self._sessions.pop(session.session_id, None)
+            session_id = session.session_id
+            expired = (session.deadline is not None
+                       and now > session.deadline)
+            if (self._running and not expired
+                    and session.resumes < self.config.resume_attempts):
+                session.resumes += 1
+                entry = self.journal.get(session_id)
+                target = min(self._slots,
+                             key=lambda s: (len(s.active),
+                                            s.handle.index))
+                target.active[session_id] = session
+                target.last_heard = time.monotonic()
+                self.metrics.resumed(from_journal=entry is not None)
+                try:
+                    await asyncio.to_thread(
+                        target.handle.resume, session.spec,
+                        session.options,
+                        None if entry is None else entry.blob)
+                except (BrokenPipeError, OSError):
+                    # The target's manager will classify the dead pipe
+                    # and route this session through another resume.
+                    pass
+                continue
+            self._finish(None, session_id)
+            if expired:
+                self.metrics.shed()
+                self.metrics.failed()
+                await session.client.send({
+                    "type": "error", "session_id": session_id,
+                    "error_type": ERROR_DEADLINE,
+                    "message": "session deadline expired during "
+                               "worker recovery; shed",
+                    "vitals": {"slices": session.slices,
+                               "resumes": session.resumes}})
+                continue
+            self.metrics.lost()
             self.metrics.failed()
             await session.client.send({
-                "type": "error", "session_id": session.session_id,
-                "error_type": error_type, "message": reason,
-                "vitals": {"slices": session.slices}})
+                "type": "error", "session_id": session_id,
+                "error_type": error_type,
+                "message": f"{reason} (resume budget of "
+                           f"{self.config.resume_attempts} "
+                           f"attempt(s) exhausted; session lost)",
+                "vitals": {"slices": session.slices,
+                           "resumes": session.resumes}})

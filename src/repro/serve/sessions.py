@@ -32,7 +32,10 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import pickle
+import random
 import time
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -52,9 +55,22 @@ DEFAULT_SLICE_BUDGET = 8192
 #: A checkpoint is taken every N preemption slices (1 = every slice).
 DEFAULT_CHECKPOINT_EVERY = 4
 
+#: Journal blob format version (bumped on incompatible layout change).
+JOURNAL_VERSION = 1
+
+#: Fault structures a served session may inject (the chaos grammar's
+#: ``target`` field).  ``ibuf`` is deliberately absent: an instruction
+#: -buffer flip under no protection swaps the execution *plan*, which
+#: a state rollback alone cannot undo.
+SESSION_FAULT_TARGETS = ("regfile", "dcache-data", "dcache-tag")
+
 
 class InvalidSessionError(ValueError):
     """The session spec is malformed (unknown kind, bad parameters)."""
+
+
+class SessionJournalError(RuntimeError):
+    """A journal blob failed to deserialize or is from another era."""
 
 
 class SessionExecutionError(RuntimeError):
@@ -132,6 +148,7 @@ class SessionResult:
     slices: int = 1
     preemptions: int = 0
     checkpoints: int = 0
+    recoveries: int = 0
 
     def core(self) -> dict:
         """The schedule-invariant result fields, in stable order."""
@@ -159,7 +176,8 @@ class SessionResult:
         """Wire form: core fields + digest + slice telemetry."""
         return {**self.core(), "digest": self.digest,
                 "slices": self.slices, "preemptions": self.preemptions,
-                "checkpoints": self.checkpoints}
+                "checkpoints": self.checkpoints,
+                "recoveries": self.recoveries}
 
 
 @dataclass
@@ -391,6 +409,38 @@ def _run_fault_session(spec: SessionSpec) -> SessionResult:
         payload={"mode": mode})
 
 
+def parse_faults(faults) -> tuple[dict, ...]:
+    """Validate a ``faults`` option (the chaos grammar's in-session
+    leg): a list of ``{"slice": int, "target": name, "seed": int}``
+    documents, each meaning *flip one seeded bit in that structure at
+    that preemption boundary*.  Raises :class:`InvalidSessionError`
+    with a field-naming message on any malformation."""
+    if faults is None:
+        return ()
+    if not isinstance(faults, (list, tuple)):
+        raise InvalidSessionError("session 'faults' must be a list")
+    parsed = []
+    for index, document in enumerate(faults):
+        if not isinstance(document, dict):
+            raise InvalidSessionError(
+                f"faults[{index}] must be an object")
+        at = document.get("slice", 0)
+        seed = document.get("seed", 0)
+        target = document.get("target", "regfile")
+        if not isinstance(at, int) or isinstance(at, bool) or at < 0:
+            raise InvalidSessionError(
+                f"faults[{index}].slice must be a non-negative int")
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise InvalidSessionError(
+                f"faults[{index}].seed must be an int")
+        if target not in SESSION_FAULT_TARGETS:
+            raise InvalidSessionError(
+                f"faults[{index}].target must be one of "
+                f"{sorted(SESSION_FAULT_TARGETS)}, got {target!r}")
+        parsed.append({"slice": at, "target": target, "seed": seed})
+    return tuple(sorted(parsed, key=lambda f: f["slice"]))
+
+
 class SessionRun:
     """One in-progress preemptible session (worker-side).
 
@@ -405,19 +455,42 @@ class SessionRun:
     raises rolls the machine back to the last checkpoint so the
     failure is reported from a clean boundary (as
     :class:`SessionExecutionError`).
+
+    **Journaling** (PR 10): :meth:`journal_blob` serializes the latest
+    checkpoint — machine snapshot plus the session progress state
+    (slice/checkpoint/recovery counters and the spec that re-derives
+    every stream deterministically) — into an opaque compressed blob;
+    :meth:`SessionRun.resume` rebuilds a run from one *in another
+    process* and continues bit-identically
+    (``tests/serve/test_journal.py`` pins the round trip with
+    hypothesis at every checkpoint boundary for every session kind).
+
+    **Fault injection** (the chaos harness's in-session leg):
+    ``faults`` schedules seeded PR 5 bit flips at preemption
+    boundaries.  Each scheduled flip runs the §11 recovery protocol
+    inline: snapshot the clean boundary, arm the fault, let the
+    corrupted slice run, then discard it — roll back and replay
+    cleanly — so the final result is byte-identical to a fault-free
+    run and the flip shows up only in the ``recoveries`` telemetry.
     """
 
     def __init__(self, spec: SessionSpec,
                  slice_budget: int | None = DEFAULT_SLICE_BUDGET,
-                 checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY) -> None:
+                 checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+                 faults=None) -> None:
         from repro.core.processor import Processor
 
         self.spec = spec
         self.slice_budget = slice_budget
         self.checkpoint_every = checkpoint_every
+        self.faults = parse_faults(faults)
         self.slices = 0
         self.checkpoints = 0
-        self._checkpoint = None
+        self.recoveries = 0
+        self.resumed = False
+        self.journal = True   # ship checkpoints upstream (pool layer)
+        self._checkpoint = None          # (MachineSnapshot, slices-at)
+        self._faults_fired = 0
         self._work = None
         self._processor = None
         if spec.kind != "fault":
@@ -436,6 +509,112 @@ class SessionRun:
         session = self._processor.session
         return (session.instructions, session.cycle, self.slices)
 
+    # -- journal -----------------------------------------------------------
+
+    def journal_blob(self) -> bytes | None:
+        """The latest checkpoint as an opaque resumable blob.
+
+        ``None`` until the first cadence checkpoint (a session lost
+        before then is simply re-run from its spec) and always for
+        ``fault`` sessions, which have no machine state.  The blob is
+        a zlib-compressed pickle: the machine snapshot dominates, and
+        a fresh session's flat memory is mostly zeros, so compression
+        keeps the server-side journal small (``checkpoint_bytes`` in
+        the serve metrics tracks the actual footprint).
+        """
+        if self._checkpoint is None:
+            return None
+        snapshot, at_slices = self._checkpoint
+        state = {
+            "version": JOURNAL_VERSION,
+            "spec": self.spec.describe(),
+            "slice_budget": self.slice_budget,
+            "checkpoint_every": self.checkpoint_every,
+            "slices": at_slices,
+            "checkpoints": self.checkpoints,
+            "recoveries": self.recoveries,
+            "snapshot": snapshot,
+        }
+        return zlib.compress(
+            pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL), 1)
+
+    @classmethod
+    def resume(cls, blob: bytes, *, slice_budget=None,
+               checkpoint_every=None, faults=None) -> "SessionRun":
+        """Rebuild a run from a :meth:`journal_blob` and continue.
+
+        The session is rebuilt from its (deterministic) spec, then the
+        journaled machine snapshot is restored over it, so the resumed
+        run continues from the checkpoint boundary bit-identically —
+        on any host, in any process.  Raises
+        :class:`SessionJournalError` on a corrupt or foreign blob.
+        """
+        try:
+            state = pickle.loads(zlib.decompress(blob))
+            version = state["version"]
+            spec_document = state["spec"]
+            snapshot = state["snapshot"]
+        except Exception as error:
+            raise SessionJournalError(
+                f"journal blob failed to deserialize: "
+                f"{type(error).__name__}: {error}") from error
+        if version != JOURNAL_VERSION:
+            raise SessionJournalError(
+                f"journal blob version {version!r} != "
+                f"{JOURNAL_VERSION} (refusing a foreign-era resume)")
+        run = cls(
+            spec_from_document(spec_document),
+            slice_budget=(state["slice_budget"] if slice_budget is None
+                          else slice_budget),
+            checkpoint_every=(state["checkpoint_every"]
+                              if checkpoint_every is None
+                              else checkpoint_every),
+            faults=faults)
+        try:
+            run._processor.restore(snapshot)
+        except Exception as error:
+            raise SessionJournalError(
+                f"journal snapshot failed to restore: "
+                f"{type(error).__name__}: {error}") from error
+        run.slices = state["slices"]
+        run.checkpoints = state["checkpoints"]
+        run.recoveries = state["recoveries"]
+        run._checkpoint = (snapshot, state["slices"])
+        run.resumed = True
+        return run
+
+    # -- fault injection ---------------------------------------------------
+
+    def _inject_and_recover(self, directive: dict) -> None:
+        """One seeded bit flip, detected and recovered at the boundary.
+
+        Mirrors the §11 parity protocol: snapshot the clean boundary,
+        arm the fault, let the *corrupted* slice execute (its work —
+        including any exception it takes — is real but doomed), then
+        roll back and let the caller replay the slice cleanly.  The
+        rollback makes the recovery invisible in the result digest by
+        construction; only ``recoveries`` ticks.
+        """
+        from repro.resilience.faults import make_fault
+
+        processor = self._processor
+        snapshot = processor.snapshot()
+        rng = random.Random(directive["seed"])
+        fault = make_fault(directive["target"])
+        armed = False
+        try:
+            armed = fault.inject(processor, rng)
+            if armed:
+                try:
+                    processor.step_block(self.slice_budget)
+                except BaseException:
+                    pass   # corrupted-slice fallout, discarded below
+        finally:
+            processor.restore(snapshot)
+        self._checkpoint = (snapshot, self.slices)
+        if armed:
+            self.recoveries += 1
+
     def advance(self) -> SessionResult | None:
         """Retire one slice; the final result once halted, else None."""
         from repro.core.processor import WatchdogTimeout
@@ -443,6 +622,12 @@ class SessionRun:
         if self.spec.kind == "fault":
             return _run_fault_session(self.spec)
         processor = self._processor
+        while (self._faults_fired < len(self.faults)
+               and self.faults[self._faults_fired]["slice"]
+               <= self.slices):
+            directive = self.faults[self._faults_fired]
+            self._faults_fired += 1
+            self._inject_and_recover(directive)
         try:
             halted = processor.step_block(self.slice_budget)
         except Exception as error:
@@ -450,7 +635,8 @@ class SessionRun:
                           if isinstance(error, WatchdogTimeout)
                           else ERROR_FAILED)
             if self._checkpoint is not None:
-                processor.restore(self._checkpoint)
+                snapshot, at_slices = self._checkpoint
+                processor.restore(snapshot)
                 vitals = (processor.session.instructions,
                           processor.session.cycle)
             else:
@@ -462,7 +648,7 @@ class SessionRun:
         if not halted:
             if (self.checkpoint_every
                     and self.slices % self.checkpoint_every == 0):
-                self._checkpoint = processor.snapshot()
+                self._checkpoint = (processor.snapshot(), self.slices)
                 self.checkpoints += 1
             return None
         work = self._work
@@ -479,26 +665,30 @@ class SessionRun:
             icache_stall_cycles=stats.icache_stall_cycles,
             payload=work.payload(work.memory, result),
             slices=self.slices, preemptions=max(0, self.slices - 1),
-            checkpoints=self.checkpoints)
+            checkpoints=self.checkpoints, recoveries=self.recoveries)
 
 
 def execute_session(spec: SessionSpec,
                     slice_budget: int | None = DEFAULT_SLICE_BUDGET,
                     checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
-                    on_slice: Callable | None = None) -> SessionResult:
+                    on_slice: Callable | None = None,
+                    faults=None) -> SessionResult:
     """Run one session to completion in preemptible slices.
 
     ``slice_budget`` instructions retire per ``step_block`` call
     (``None``: one unpreempted block — the serial reference).
     ``on_slice(instructions, cycles, slices)`` streams incremental
     progress (the server forwards it as ``progress`` frames).
+    ``faults`` schedules seeded in-session bit flips (see
+    :func:`parse_faults`); each is recovered by checkpoint rollback,
+    so it cannot change the result.
 
     The result is bit-identical for every ``slice_budget`` /
     ``checkpoint_every`` combination — ``tests/serve/test_preemption``
     pins that with hypothesis-drawn schedules.
     """
     run = SessionRun(spec, slice_budget=slice_budget,
-                     checkpoint_every=checkpoint_every)
+                     checkpoint_every=checkpoint_every, faults=faults)
     while True:
         result = run.advance()
         if result is not None:

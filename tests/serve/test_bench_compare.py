@@ -146,3 +146,29 @@ class TestServeGate:
         new = _record(serve=_serve_section(20.0, 250.0))
         assert bench_compare.compare(_document(old),
                                      _document(new), 0.2) == []
+
+    def test_lost_sessions_fail_unconditionally(self):
+        # The recovery contract: a session a worker death actually
+        # lost (resume budget exhausted) gates regardless of every
+        # threshold, even when throughput and latency improved.
+        old = _record(serve=_serve_section(10.0, 500.0))
+        new_section = _serve_section(20.0, 250.0)
+        new_section["server_lost_sessions"] = 1
+        new = _record(serve=new_section)
+        failures = bench_compare.compare(_document(old),
+                                         _document(new), 0.2)
+        assert any("LOST" in failure and "lost_sessions == 0"
+                   in failure for failure in failures)
+
+    def test_pre_recovery_baseline_still_compares(self):
+        # Baselines written before the recovery metrics existed have
+        # no server_lost_sessions field: not drift, gate passes.
+        old = _record(serve=_serve_section(10.0, 500.0))
+        new_section = _serve_section(10.0, 500.0)
+        new_section.update({"server_lost_sessions": 0,
+                            "server_resumed_sessions": 3,
+                            "server_resume_replays": 2,
+                            "server_checkpoint_bytes": 12345})
+        new = _record(serve=new_section)
+        assert bench_compare.compare(_document(old),
+                                     _document(new), 0.2) == []

@@ -13,6 +13,13 @@ families through a real asyncio server and real worker processes:
   typed ``timeout`` frame after the watchdog fires, worker respawned;
 * malformed client bytes — a typed ``protocol`` error frame and a
   closed connection, with the server still serving new connections.
+
+The crash/hang tests here pin the PR 9 *fail-fast* contract with
+``resume_attempts=0`` — a deterministic ``fault`` session would kill
+every worker it resumed on anyway.  The PR 10 resume-on-respawn
+contract (default ``resume_attempts=2``) has its own suite in
+``test_recovery.py``, and the full fault-schedule campaign lives in
+``repro.serve.chaos`` / ``test_chaos_harness.py``.
 """
 
 import asyncio
@@ -75,7 +82,8 @@ def _run(coroutine):
 class TestWorkerCrash:
     def test_crash_is_typed_and_server_recovers(self):
         async def scenario():
-            config = ServeConfig(workers=1, watchdog_seconds=30.0)
+            config = ServeConfig(workers=1, watchdog_seconds=30.0,
+                                 resume_attempts=0)
             async with ServeServer(config) as server:
                 reader, writer = await _open(server)
                 await _submit(writer, _fault_doc("boom", "exit"))
@@ -100,7 +108,8 @@ class TestWorkerCrash:
             # One worker, so the healthy session shares the process
             # that dies: both must resolve (crashed), neither hangs.
             config = ServeConfig(workers=1, slice_budget=256,
-                                 watchdog_seconds=30.0)
+                                 watchdog_seconds=30.0,
+                                 resume_attempts=0)
             async with ServeServer(config) as server:
                 reader, writer = await _open(server)
                 slow = dict(ME_DOC, session_id="me-collateral")
@@ -125,7 +134,8 @@ class TestWorkerHang:
     def test_hang_times_out_and_server_recovers(self):
         async def scenario():
             config = ServeConfig(workers=1, watchdog_seconds=0.6,
-                                 poll_seconds=0.05)
+                                 poll_seconds=0.05,
+                                 resume_attempts=0)
             async with ServeServer(config) as server:
                 reader, writer = await _open(server)
                 await _submit(writer, _fault_doc("sleeper", "hang",

@@ -1,0 +1,101 @@
+"""The seeded chaos harness: deterministic schedules, honest verdicts.
+
+``repro.serve.chaos`` is the PR 10 acceptance machine: a seeded fault
+schedule (worker kills/hangs, corrupted client frames, delayed ACKs,
+in-session bit flips) driven against a real server, with the verdict
+that every admitted session completes and the served workload digest
+is byte-identical to the fault-free serial reference.  These tests pin
+the harness itself — schedule purity across seeds and hash seeds, and
+a small end-to-end campaign with a worker kill mid-workload.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.serve.chaos import EVENT_KINDS, chaos_schedule, run_chaos
+from repro.serve.sessions import SESSION_FAULT_TARGETS
+
+
+class TestChaosSchedule:
+    def test_same_seed_same_schedule(self):
+        first = chaos_schedule(7, sessions=12, workers=3)
+        second = chaos_schedule(7, sessions=12, workers=3)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        schedules = {str(chaos_schedule(seed, sessions=12, workers=3))
+                     for seed in range(8)}
+        assert len(schedules) > 1
+
+    def test_event_counts_follow_arguments(self):
+        schedule = chaos_schedule(3, sessions=6, workers=2, kills=2,
+                                  hangs=1, corrupts=3, delays=0,
+                                  bitflips=4)
+        by_kind = {}
+        for event in schedule:
+            by_kind.setdefault(event["event"], []).append(event)
+        assert len(by_kind["kill_worker"]) == 2
+        assert len(by_kind["hang_worker"]) == 1
+        assert len(by_kind["corrupt_frame"]) == 3
+        assert "delay_ack" not in by_kind
+        assert len(by_kind["bitflip"]) == 4
+
+    def test_events_are_well_formed(self):
+        schedule = chaos_schedule(11, sessions=5, workers=2, kills=2,
+                                  hangs=2, corrupts=2, delays=2,
+                                  bitflips=3)
+        for event in schedule:
+            assert event["event"] in EVENT_KINDS
+            if event["event"] in ("kill_worker", "hang_worker"):
+                assert 0 <= event["worker"] < 2
+                assert event["after_slices"] >= 1
+            elif event["event"] == "bitflip":
+                assert 0 <= event["session_index"] < 5
+                assert event["target"] in SESSION_FAULT_TARGETS
+                assert event["slice"] >= 1
+                assert event["seed"] >= 1
+            else:
+                assert 0 <= event["session_index"] < 5
+
+    def test_schedule_is_json_safe(self):
+        import json
+        schedule = chaos_schedule(1, sessions=4, workers=2)
+        assert json.loads(json.dumps(schedule)) == schedule
+
+
+class TestChaosCampaign:
+    def test_kill_campaign_passes_with_digest_match(self):
+        schedule = [
+            {"event": "kill_worker", "worker": 0, "after_slices": 3},
+            {"event": "bitflip", "session_index": 1, "slice": 1,
+             "target": "regfile", "seed": 99},
+        ]
+        report = asyncio.run(asyncio.wait_for(
+            run_chaos(seed=5, sessions=4, workers=2, connections=1,
+                      slice_budget=512, checkpoint_every=2,
+                      watchdog_seconds=30.0, schedule=schedule),
+            120.0))
+        assert report.passed, report.failures
+        assert len(report.results) == 4
+        assert report.served_digest() == report.reference_digest
+        assert report.metrics["lost_sessions"] == 0
+        assert report.metrics["worker_respawns"] >= 1
+        assert report.metrics["resumed_sessions"] >= 1
+        describe = report.describe()
+        assert describe["passed"] is True
+        assert describe["workload_digest"] == report.reference_digest
+
+    @pytest.mark.slow
+    def test_default_schedule_campaign_passes(self):
+        # The full grammar — kill + hang + corrupt + delay + flips —
+        # at a non-smoke seed; ``make chaos-smoke`` covers seed 2026.
+        report = asyncio.run(asyncio.wait_for(
+            run_chaos(seed=31, sessions=8, workers=2, connections=2,
+                      slice_budget=640, checkpoint_every=2,
+                      watchdog_seconds=1.0),
+            300.0))
+        assert report.passed, report.failures
+        assert len(report.results) == 8
+        assert report.served_digest() == report.reference_digest
+        assert report.metrics["lost_sessions"] == 0

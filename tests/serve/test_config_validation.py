@@ -1,0 +1,96 @@
+"""ServeConfig / worker-defaults validation: refuse to misbehave.
+
+Satellite of the PR 10 recovery work: a server constructed with a
+zero watchdog would classify every worker as hung; a negative backlog
+would reject everything; a zero checkpoint cadence would never
+journal.  Construction must raise the typed
+:class:`~repro.serve.pool.ServeConfigError` naming the offending
+field, instead of starting a server that silently misbehaves.
+"""
+
+import pytest
+
+from repro.serve.pool import ServeConfigError, validate_worker_defaults
+from repro.serve.server import ServeConfig
+
+BAD_FIELDS = [
+    ("workers", 0), ("workers", -1), ("workers", 1.5),
+    ("workers", True), ("workers", "two"),
+    ("backlog", 0), ("backlog", -4), ("backlog", None),
+    ("retry_after", 0), ("retry_after", -0.01),
+    ("retry_after", "fast"), ("retry_after", True),
+    ("slice_budget", 0), ("slice_budget", -8192),
+    ("slice_budget", 1.5), ("slice_budget", "many"),
+    ("checkpoint_every", 0), ("checkpoint_every", -2),
+    ("checkpoint_every", False),
+    ("watchdog_seconds", 0), ("watchdog_seconds", -1.0),
+    ("watchdog_seconds", None),
+    ("poll_seconds", 0), ("poll_seconds", -0.05),
+    ("resume_attempts", -1), ("resume_attempts", 1.5),
+    ("resume_attempts", True), ("resume_attempts", "twice"),
+    ("journal", 1), ("journal", "yes"),
+    ("journal_max_bytes", -1), ("journal_max_bytes", 2.5),
+    ("journal_max_bytes", True),
+    ("journal_max_age_seconds", 0),
+    ("journal_max_age_seconds", -600.0),
+    ("port", -80), ("port", 1.5), ("port", True),
+]
+
+
+class TestServeConfigValidation:
+    @pytest.mark.parametrize(
+        "field,value", BAD_FIELDS,
+        ids=[f"{field}={value!r}" for field, value in BAD_FIELDS])
+    def test_bad_field_raises_naming_the_field(self, field, value):
+        with pytest.raises(ServeConfigError) as caught:
+            ServeConfig(**{field: value})
+        assert field in str(caught.value)
+        assert repr(value) in str(caught.value)
+
+    def test_error_is_a_value_error(self):
+        # Callers that predate the typed error still catch it.
+        with pytest.raises(ValueError):
+            ServeConfig(workers=0)
+
+    def test_defaults_are_valid(self):
+        config = ServeConfig()
+        assert config.workers == 2
+        assert config.resume_attempts == 2
+        assert config.journal is True
+
+    def test_boundary_values_accepted(self):
+        config = ServeConfig(
+            workers=1, backlog=1, retry_after=1e-6, slice_budget=1,
+            checkpoint_every=1, watchdog_seconds=1e-3,
+            poll_seconds=1e-3, resume_attempts=0, journal=False,
+            journal_max_bytes=0, journal_max_age_seconds=1e-3, port=0)
+        assert config.resume_attempts == 0
+        assert config.journal_max_bytes == 0
+
+    def test_none_means_worker_side_default(self):
+        config = ServeConfig(slice_budget=None, checkpoint_every=None)
+        assert config.slice_budget is None
+        assert config.checkpoint_every is None
+
+
+class TestWorkerDefaultsValidation:
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ServeConfigError, match="unknown worker"):
+            validate_worker_defaults({"slice_buget": 512})  # typo'd
+
+    @pytest.mark.parametrize("defaults", [
+        {"slice_budget": 0},
+        {"slice_budget": -1},
+        {"checkpoint_every": 0},
+        {"checkpoint_every": 2.5},
+        {"journal": "no"},
+    ])
+    def test_bad_values_rejected(self, defaults):
+        with pytest.raises(ServeConfigError):
+            validate_worker_defaults(defaults)
+
+    def test_valid_defaults_round_trip(self):
+        defaults = {"slice_budget": 512, "checkpoint_every": 2,
+                    "journal": False}
+        assert validate_worker_defaults(defaults) == defaults
+        assert validate_worker_defaults(None) == {}

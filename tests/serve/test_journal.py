@@ -1,0 +1,174 @@
+"""Checkpoint journal round trip: serialize, restore, continue.
+
+The PR 10 recovery contract rests on one property: a session journaled
+at any checkpoint boundary and resumed *in another SessionRun* (in
+practice: another worker process) finishes with a core digest
+byte-identical to the uninterrupted run.  These tests pin that round
+trip exhaustively at every checkpoint boundary for each session kind,
+and with hypothesis across drawn (kind, slice budget, checkpoint
+cadence, boundary) combinations.
+
+The failure modes are pinned too: a blob is ``None`` before the first
+cadence checkpoint (re-run from the spec instead), ``fault`` sessions
+never journal (no machine state), and corrupt / foreign-era blobs
+raise :class:`SessionJournalError` instead of resuming garbage.
+"""
+
+import pickle
+import zlib
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.serve.sessions import (
+    JOURNAL_VERSION,
+    SessionJournalError,
+    SessionRun,
+    SessionSpec,
+)
+
+SPECS = {
+    "cabac": SessionSpec("cabac-journal", "cabac",
+                         {"field_type": "I", "variant": "plain",
+                          "seed": 7, "scale": 0.002}),
+    "kernel": SessionSpec("kernel-journal", "kernel",
+                          {"kernel": "majority_sel", "config": "A"}),
+    "me": SessionSpec("me-journal", "me",
+                      {"variant": "plain", "seed": 5}),
+}
+
+
+def _run_collecting_blobs(spec, slice_budget, checkpoint_every):
+    """Uninterrupted run; returns (result, blob at each checkpoint)."""
+    run = SessionRun(spec, slice_budget=slice_budget,
+                     checkpoint_every=checkpoint_every)
+    blobs = []
+    while True:
+        result = run.advance()
+        if result is not None:
+            return result, blobs
+        if run.checkpoints > len(blobs):
+            blobs.append(run.journal_blob())
+
+
+def _resume_to_completion(blob):
+    run = SessionRun.resume(blob)
+    assert run.resumed
+    while True:
+        result = run.advance()
+        if result is not None:
+            return result
+
+
+# Cache: the reference run per (kind, budget, cadence) is pure, so the
+# exhaustive and hypothesis tests can share one uninterrupted run.
+_REFERENCE_CACHE = {}
+
+
+def _reference(kind, slice_budget, checkpoint_every):
+    key = (kind, slice_budget, checkpoint_every)
+    if key not in _REFERENCE_CACHE:
+        _REFERENCE_CACHE[key] = _run_collecting_blobs(
+            SPECS[kind], slice_budget, checkpoint_every)
+    return _REFERENCE_CACHE[key]
+
+
+class TestEveryBoundary:
+    """Exhaustive per-kind sweep: resume at *every* checkpoint."""
+
+    @pytest.mark.parametrize("kind", sorted(SPECS))
+    def test_resume_at_each_checkpoint_matches(self, kind):
+        reference, blobs = _reference(kind, 512, 2)
+        assert blobs, "session too small to checkpoint at this budget"
+        for blob in blobs:
+            resumed = _resume_to_completion(blob)
+            assert resumed.digest == reference.digest
+            # The slice clock is restored, not restarted: the resumed
+            # run retires the same total number of slices.
+            assert resumed.slices == reference.slices
+
+    def test_blob_survives_pickle_transport(self):
+        # The pool ships blobs over a multiprocessing pipe (pickle);
+        # a blob must be inert bytes, not something holding live state.
+        _, blobs = _reference("me", 512, 2)
+        wired = pickle.loads(pickle.dumps(blobs[0]))
+        reference, _ = _reference("me", 512, 2)
+        assert _resume_to_completion(wired).digest == reference.digest
+
+
+class TestJournalProperty:
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.data_too_large])
+    @given(kind=st.sampled_from(sorted(SPECS)),
+           slice_budget=st.sampled_from([256, 512, 1024]),
+           checkpoint_every=st.integers(min_value=1, max_value=3),
+           data=st.data())
+    def test_round_trip_digest_identical(self, kind, slice_budget,
+                                         checkpoint_every, data):
+        reference, blobs = _reference(kind, slice_budget,
+                                      checkpoint_every)
+        if not blobs:
+            return   # halts before the first cadence checkpoint
+        boundary = data.draw(st.integers(0, len(blobs) - 1),
+                             label="checkpoint boundary")
+        resumed = _resume_to_completion(blobs[boundary])
+        assert resumed.digest == reference.digest
+
+
+class TestChainedResume:
+    def test_resume_of_a_resume_matches(self):
+        # Crash, resume, crash again, resume again: the journal chain
+        # composes (this is the multi-respawn path in _replace_worker).
+        reference, blobs = _reference("me", 256, 1)
+        assert len(blobs) >= 2
+        first = SessionRun.resume(blobs[0])
+        while first.journal_blob() == blobs[0]:
+            assert first.advance() is None, \
+                "session halted before a second checkpoint"
+        second = _resume_to_completion(first.journal_blob())
+        assert second.digest == reference.digest
+
+
+class TestNoJournalCases:
+    def test_no_blob_before_first_checkpoint(self):
+        run = SessionRun(SPECS["me"], slice_budget=512,
+                         checkpoint_every=4)
+        assert run.journal_blob() is None
+        assert run.advance() is None     # slice 1: not yet at cadence
+        assert run.journal_blob() is None
+
+    def test_fault_sessions_never_journal(self):
+        run = SessionRun(SessionSpec("f", "fault", {"mode": "ok"}))
+        assert run.journal_blob() is None
+        assert run.advance() is not None
+
+
+class TestBlobRejection:
+    def test_corrupt_bytes_raise_journal_error(self):
+        _, blobs = _reference("me", 512, 2)
+        corrupt = bytes(b ^ 0xFF for b in blobs[0])
+        with pytest.raises(SessionJournalError,
+                           match="failed to deserialize"):
+            SessionRun.resume(corrupt)
+
+    def test_valid_zlib_garbage_pickle_raises(self):
+        with pytest.raises(SessionJournalError,
+                           match="failed to deserialize"):
+            SessionRun.resume(zlib.compress(b"not a pickle"))
+
+    def test_truncated_blob_raises(self):
+        _, blobs = _reference("me", 512, 2)
+        with pytest.raises(SessionJournalError):
+            SessionRun.resume(blobs[0][: len(blobs[0]) // 2])
+
+    def test_foreign_version_refused(self):
+        _, blobs = _reference("me", 512, 2)
+        state = pickle.loads(zlib.decompress(blobs[0]))
+        assert state["version"] == JOURNAL_VERSION
+        state["version"] = JOURNAL_VERSION + 1
+        foreign = zlib.compress(pickle.dumps(state))
+        with pytest.raises(SessionJournalError,
+                           match="foreign-era"):
+            SessionRun.resume(foreign)

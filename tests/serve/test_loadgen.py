@@ -10,6 +10,7 @@ the in-process contract and the bench-record shape.
 
 from repro.obs.export import validate_bench_record
 from repro.serve.loadgen import (
+    Backoff,
     LoadReport,
     _bench_records,
     schedule_digest,
@@ -46,6 +47,48 @@ class TestSchedule:
         kinds = {document["kind"]
                  for document in session_schedule(2026, 200)}
         assert kinds == {"me", "cabac", "kernel"}
+
+
+class TestBackoff:
+    """Client retry backoff: deterministic jitter, stampede-proof."""
+
+    def test_same_key_same_sequence(self):
+        first = [Backoff("session-1").next_delay() for _ in range(8)]
+        second = [Backoff("session-1").next_delay() for _ in range(8)]
+        assert first == second
+
+    def test_distinct_keys_decorrelate(self):
+        # Different sessions retrying after the same rejection must
+        # not sleep identically — that would re-synchronize the
+        # stampede the jitter exists to break.
+        a = [Backoff("session-a").next_delay() for _ in range(8)]
+        b = [Backoff("session-b").next_delay() for _ in range(8)]
+        assert a != b
+
+    def test_windows_grow_exponentially_to_cap(self):
+        backoff = Backoff("k", base=0.02, cap=1.0)
+        delays = [backoff.next_delay() for _ in range(16)]
+        for attempt, delay in enumerate(delays):
+            window = min(1.0, 0.02 * (1 << attempt))
+            assert window / 2 <= delay <= window  # equal jitter
+        assert max(delays) <= 1.0
+
+    def test_floor_honours_server_retry_after(self):
+        backoff = Backoff("k", base=0.001, cap=1.0)
+        assert backoff.next_delay(floor=0.25) >= 0.25
+
+    def test_reset_restarts_the_window(self):
+        backoff = Backoff("k")
+        for _ in range(6):
+            backoff.next_delay()
+        backoff.reset()
+        assert backoff.attempt == 0
+        assert backoff.next_delay() <= backoff.base
+
+    def test_huge_attempt_counts_do_not_overflow(self):
+        backoff = Backoff("k")
+        backoff.attempt = 10_000  # shift is clamped, not 2**10000
+        assert 0.0 < backoff.next_delay() <= backoff.cap
 
 
 class TestBenchRecord:

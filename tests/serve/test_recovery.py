@@ -1,0 +1,313 @@
+"""Resume-on-respawn: crashed workers lose a process, not a session.
+
+The PR 10 contract over the PR 9 fail-fast baseline: when a worker
+dies (or hangs past the watchdog) mid-session, its carried sessions
+are rescheduled onto a live worker from their latest journal entry —
+bounded by ``resume_attempts`` — and the client sees a normal result
+whose digest is byte-identical to an undisturbed run, with replayed
+progress frames suppressed (instructions strictly monotonic on the
+wire).  Only when the budget is exhausted does the session fail with a
+typed ``crashed`` frame and tick ``lost_sessions``.
+
+Also pinned here: the ``_poll_recv`` classification fix (a worker
+exiting cleanly between ``poll()`` and ``recv()`` — or delivering a
+truncated pickle — must surface as :class:`WorkerConnectionLost`, not
+escape the manager task as a raw ``EOFError``/``OSError``), and
+deadline shedding (a submit's ``deadline`` seconds cancels hopeless
+work server-side with a typed ``deadline`` frame).
+"""
+
+import asyncio
+import pickle
+
+import pytest
+
+from repro.serve.protocol import (
+    ERROR_CRASHED,
+    ERROR_DEADLINE,
+    ERROR_INVALID,
+    read_frame,
+    write_frame,
+)
+from repro.serve.server import ServeConfig, ServeServer, WorkerConnectionLost
+from repro.serve.sessions import SessionSpec, execute_session
+
+ME_SPEC = SessionSpec("me-recover", "me", {"variant": "plain", "seed": 5})
+ME_DOC = ME_SPEC.describe()
+
+
+async def _open(server):
+    return await asyncio.open_connection("127.0.0.1", server.port)
+
+
+async def _submit(writer, document, **extra):
+    await write_frame(writer, {"type": "submit", "spec": document,
+                               **extra})
+
+
+async def _stats(server):
+    reader, writer = await _open(server)
+    await write_frame(writer, {"type": "stats"})
+    frame = await asyncio.wait_for(read_frame(reader), 10.0)
+    writer.close()
+    return frame["metrics"]
+
+
+def _run(coroutine):
+    return asyncio.run(asyncio.wait_for(coroutine, 90.0))
+
+
+# ---------------------------------------------------------------------------
+# _poll_recv classification (the clean-exit race regression)
+# ---------------------------------------------------------------------------
+
+class _FakeConn:
+    def __init__(self, poll_result=True, recv_error=None,
+                 recv_value=None):
+        self._poll_result = poll_result
+        self._recv_error = recv_error
+        self._recv_value = recv_value
+
+    def poll(self, timeout):
+        return self._poll_result
+
+    def recv(self):
+        if self._recv_error is not None:
+            raise self._recv_error
+        return self._recv_value
+
+
+class _FakeHandle:
+    def __init__(self, conn):
+        self.conn = conn
+
+
+class TestPollRecvClassification:
+    """Every receive-side failure becomes WorkerConnectionLost."""
+
+    def test_clean_exit_between_poll_and_recv(self):
+        # The race this satellite pins: poll() says readable (EOF is
+        # readable!), then recv() hits the closed pipe.  The raw
+        # EOFError must not escape — it would end the manager task.
+        handle = _FakeHandle(_FakeConn(poll_result=True,
+                                       recv_error=EOFError()))
+        with pytest.raises(WorkerConnectionLost, match="clean exit"):
+            ServeServer._poll_recv(handle, 0.01)
+
+    def test_truncated_pickle_from_killed_worker(self):
+        error = pickle.UnpicklingError("pickle data was truncated")
+        handle = _FakeHandle(_FakeConn(poll_result=True,
+                                       recv_error=error))
+        with pytest.raises(WorkerConnectionLost,
+                           match="UnpicklingError"):
+            ServeServer._poll_recv(handle, 0.01)
+
+    def test_oserror_mid_recv(self):
+        handle = _FakeHandle(_FakeConn(poll_result=True,
+                                       recv_error=OSError(9, "EBADF")))
+        with pytest.raises(WorkerConnectionLost):
+            ServeServer._poll_recv(handle, 0.01)
+
+    def test_closed_handle(self):
+        with pytest.raises(WorkerConnectionLost, match="closed"):
+            ServeServer._poll_recv(_FakeHandle(None), 0.01)
+
+    def test_quiet_healthy_pipe_returns_none(self):
+        handle = _FakeHandle(_FakeConn(poll_result=False))
+        assert ServeServer._poll_recv(handle, 0.01) is None
+
+    def test_message_passes_through(self):
+        handle = _FakeHandle(_FakeConn(recv_value=("progress", "s", 1,
+                                                   2, 3)))
+        assert ServeServer._poll_recv(handle, 0.01) == (
+            "progress", "s", 1, 2, 3)
+
+
+# ---------------------------------------------------------------------------
+# Resume-on-respawn, end to end
+# ---------------------------------------------------------------------------
+
+class TestResumeOnRespawn:
+    def test_killed_worker_session_resumes_and_matches(self):
+        reference = execute_session(ME_SPEC)
+
+        async def scenario():
+            config = ServeConfig(workers=2, slice_budget=256,
+                                 checkpoint_every=2,
+                                 watchdog_seconds=30.0,
+                                 poll_seconds=0.02)
+            async with ServeServer(config) as server:
+                # Worker 0 (the least-loaded tie-break target) dies
+                # after its third preemption slice: the session has a
+                # journal entry (checkpoint at slice 2) plus one more
+                # progress frame already on the wire.
+                server.inject_worker_chaos(
+                    0, {"kill_after_slices": 3})
+                reader, writer = await _open(server)
+                await _submit(writer, ME_DOC)
+                progress = []
+                while True:
+                    frame = await asyncio.wait_for(
+                        read_frame(reader), 30.0)
+                    assert frame is not None
+                    if frame["type"] == "progress":
+                        progress.append(frame["instructions"])
+                    if frame["type"] in ("result", "error"):
+                        break
+                assert frame["type"] == "result", frame
+                assert frame["result"]["digest"] == reference.digest
+                # Double-emission suppression: the client never sees
+                # replayed progress — instructions strictly increase.
+                assert progress == sorted(set(progress))
+                writer.close()
+
+                metrics = await _stats(server)
+                assert metrics["worker_respawns"] == 1
+                assert metrics["resumed_sessions"] == 1
+                assert metrics["resumed_from_journal"] == 1
+                assert metrics["resume_replays"] >= 1
+                assert metrics["lost_sessions"] == 0
+                assert metrics["sessions_failed"] == 0
+                assert metrics["sessions_completed"] == 1
+                assert metrics["checkpoints_journaled"] >= 1
+                assert metrics["checkpoint_bytes"] > 0
+
+        _run(scenario())
+
+    def test_unjournaled_session_resumes_from_scratch(self):
+        reference = execute_session(ME_SPEC)
+
+        async def scenario():
+            # Kill before the first cadence checkpoint: no journal
+            # entry, so the resume re-runs from the spec — same
+            # digest, resumed_from_journal stays 0.
+            config = ServeConfig(workers=1, slice_budget=256,
+                                 checkpoint_every=100,
+                                 watchdog_seconds=30.0,
+                                 poll_seconds=0.02)
+            async with ServeServer(config) as server:
+                server.inject_worker_chaos(
+                    0, {"kill_after_slices": 2})
+                reader, writer = await _open(server)
+                await _submit(writer, ME_DOC)
+                while True:
+                    frame = await asyncio.wait_for(
+                        read_frame(reader), 30.0)
+                    if frame["type"] in ("result", "error"):
+                        break
+                assert frame["type"] == "result", frame
+                assert frame["result"]["digest"] == reference.digest
+                writer.close()
+                metrics = await _stats(server)
+                assert metrics["resumed_sessions"] == 1
+                assert metrics["resumed_from_journal"] == 0
+                assert metrics["lost_sessions"] == 0
+
+        _run(scenario())
+
+    def test_resume_budget_exhaustion_is_typed_and_counted(self):
+        async def scenario():
+            # A deterministic "exit" fault session kills every worker
+            # it is resumed on: one resume attempt, then the session
+            # is declared lost with a typed crashed frame.
+            config = ServeConfig(workers=1, watchdog_seconds=30.0,
+                                 poll_seconds=0.02, resume_attempts=1)
+            async with ServeServer(config) as server:
+                reader, writer = await _open(server)
+                await _submit(writer, {"session_id": "doomed",
+                                       "kind": "fault",
+                                       "params": {"mode": "exit"}})
+                while True:
+                    frame = await asyncio.wait_for(
+                        read_frame(reader), 30.0)
+                    if frame["type"] in ("result", "error"):
+                        break
+                assert frame["type"] == "error"
+                assert frame["error_type"] == ERROR_CRASHED
+                assert "resume" in frame["message"]
+                assert frame["vitals"]["resumes"] == 1
+                writer.close()
+                metrics = await _stats(server)
+                assert metrics["worker_respawns"] == 2
+                assert metrics["resumed_sessions"] == 1
+                assert metrics["lost_sessions"] == 1
+                assert metrics["sessions_failed"] == 1
+
+                # The pool itself is healthy again: a normal session
+                # on a fresh connection completes.
+                reader2, writer2 = await _open(server)
+                await _submit(writer2, ME_DOC)
+                while True:
+                    frame = await asyncio.wait_for(
+                        read_frame(reader2), 30.0)
+                    if frame["type"] in ("result", "error"):
+                        break
+                assert frame["type"] == "result"
+                writer2.close()
+
+        _run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# Deadline shedding
+# ---------------------------------------------------------------------------
+
+class TestDeadlines:
+    def test_expired_deadline_sheds_with_typed_frame(self):
+        async def scenario():
+            config = ServeConfig(workers=1, watchdog_seconds=30.0,
+                                 poll_seconds=0.02)
+            async with ServeServer(config) as server:
+                reader, writer = await _open(server)
+                # A hung fault session never finishes; the 0.3s client
+                # deadline sheds it long before the 30s watchdog.
+                await _submit(writer, {"session_id": "tardy",
+                                       "kind": "fault",
+                                       "params": {"mode": "hang",
+                                                  "seconds": 3600.0}},
+                              deadline=0.3)
+                while True:
+                    frame = await asyncio.wait_for(
+                        read_frame(reader), 30.0)
+                    if frame["type"] in ("result", "error"):
+                        break
+                assert frame["type"] == "error"
+                assert frame["error_type"] == ERROR_DEADLINE
+                writer.close()
+                metrics = await _stats(server)
+                assert metrics["shed_sessions"] == 1
+                assert metrics["sessions_failed"] == 1
+                assert metrics["lost_sessions"] == 0
+
+        _run(scenario())
+
+    def test_generous_deadline_is_harmless(self):
+        async def scenario():
+            async with ServeServer(ServeConfig(workers=1)) as server:
+                reader, writer = await _open(server)
+                await _submit(writer, ME_DOC, deadline=300.0)
+                while True:
+                    frame = await asyncio.wait_for(
+                        read_frame(reader), 30.0)
+                    if frame["type"] in ("result", "error"):
+                        break
+                assert frame["type"] == "result"
+                writer.close()
+                metrics = await _stats(server)
+                assert metrics["shed_sessions"] == 0
+
+        _run(scenario())
+
+    @pytest.mark.parametrize("bad", [0, -1.5, "soon", True])
+    def test_malformed_deadline_is_invalid(self, bad):
+        async def scenario():
+            async with ServeServer(ServeConfig(workers=1)) as server:
+                reader, writer = await _open(server)
+                await _submit(writer, ME_DOC, deadline=bad)
+                frame = await asyncio.wait_for(read_frame(reader), 10.0)
+                assert frame["type"] == "error"
+                assert frame["error_type"] == ERROR_INVALID
+                assert "deadline" in frame["message"]
+                writer.close()
+
+        _run(scenario())

@@ -89,6 +89,28 @@ for result in results:
 """
 
 
+CHAOS_SNIPPET = """\
+import asyncio, json
+from repro.serve.chaos import chaos_schedule, run_chaos
+schedule = chaos_schedule(41, sessions=6, workers=2)
+print("schedule", json.dumps(schedule, sort_keys=True))
+report = asyncio.run(asyncio.wait_for(run_chaos(
+    seed=41, sessions=4, workers=2, connections=1,
+    slice_budget=512, checkpoint_every=2, watchdog_seconds=30.0,
+    schedule=[{"event": "kill_worker", "worker": 0,
+               "after_slices": 3},
+              {"event": "bitflip", "session_index": 0, "slice": 1,
+               "target": "regfile", "seed": 7}]), 240.0))
+assert report.passed, report.failures
+print("digest", report.served_digest())
+print("reference", report.reference_digest)
+for key in ("resumed_sessions", "resume_replays", "lost_sessions",
+            "worker_respawns", "checkpoints_journaled",
+            "checkpoint_bytes"):
+    print(key, report.metrics[key])
+"""
+
+
 def _env(hash_seed):
     env = dict(os.environ)
     env["PYTHONPATH"] = str(ROOT / "src") + (
@@ -169,6 +191,28 @@ def test_serve_digests_are_hash_seed_invariant():
     assert outputs[0] == outputs[1] == outputs[31337], \
         "serve session digests / loadgen schedule must not depend " \
         "on PYTHONHASHSEED"
+
+
+def test_chaos_campaign_is_hash_seed_invariant():
+    # The chaos verdict ("served digest == fault-free reference,
+    # lost_sessions == 0") and the recovery ledger it reports
+    # (resumed sessions, suppressed replays, journaled checkpoint
+    # bytes) go into BENCH_serve.json and are gated by
+    # bench_compare.py.  A single-connection campaign is fully
+    # sequential, so every one of those counters — not just the
+    # digest — must replay identically under any PYTHONHASHSEED, or
+    # the recovery gate would flake across machines.
+    outputs = {}
+    for hash_seed in (0, 1, 31337):
+        completed = subprocess.run(
+            [sys.executable, "-c", CHAOS_SNIPPET],
+            capture_output=True, text=True, env=_env(hash_seed),
+            cwd=ROOT, timeout=300)
+        assert completed.returncode == 0, completed.stderr
+        outputs[hash_seed] = completed.stdout
+    assert outputs[0] == outputs[1] == outputs[31337], \
+        "chaos schedules, campaign digests and recovery counters " \
+        "must not depend on PYTHONHASHSEED"
 
 
 def test_suite_subset_passes_under_pinned_hash_seed():
